@@ -1,0 +1,134 @@
+//! Organization sweeps: how the column-mux choice moves the overhead.
+//!
+//! The paper fixes 1-out-of-8 multiplexing; this module treats `2^s` as a
+//! free variable. The checking ROMs cost `k·r·(2^p + 2^s)` and `p + s` is
+//! fixed by capacity, so the ROM term is minimised at `p = s` (square
+//! decoder split) — but the *base RAM* periphery prefers square *arrays*
+//! (`2^p ≈ m·2^s`), pulling the optimum toward the paper's small `s`.
+//! [`mux_sweep`] exposes the whole curve so designers can see both forces.
+
+use crate::overhead::scheme_overhead;
+use crate::ram_area::RamOrganization;
+use crate::tech::TechnologyParams;
+use scm_codes::MOutOfN;
+
+/// One point of a mux sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuxSweepPoint {
+    /// Column mux factor `2^s`.
+    pub mux_factor: u32,
+    /// Row bits `p`.
+    pub row_bits: u32,
+    /// Base RAM area (normalised units).
+    pub ram_area: f64,
+    /// Decoder-checking headline percentage.
+    pub decoder_checking_percent: f64,
+    /// Total overhead percentage.
+    pub total_percent: f64,
+}
+
+/// Sweep every legal power-of-two mux factor for a capacity/word-width and
+/// code, under a technology.
+pub fn mux_sweep(
+    words: u64,
+    word_bits: u32,
+    code: MOutOfN,
+    tech: &TechnologyParams,
+) -> Vec<MuxSweepPoint> {
+    let n = words.trailing_zeros();
+    (0..n)
+        .map(|s| {
+            let mux = 1u32 << s;
+            let org = RamOrganization::new(words, word_bits, mux);
+            let b = scheme_overhead(org, code, code, tech);
+            MuxSweepPoint {
+                mux_factor: mux,
+                row_bits: org.row_bits(),
+                ram_area: b.ram,
+                decoder_checking_percent: b.decoder_checking_percent(),
+                total_percent: b.total_percent(),
+            }
+        })
+        .collect()
+}
+
+/// The mux factor minimising the decoder-checking percentage.
+pub fn best_mux_for_checking(
+    words: u64,
+    word_bits: u32,
+    code: MOutOfN,
+    tech: &TechnologyParams,
+) -> MuxSweepPoint {
+    mux_sweep(words, word_bits, code, tech)
+        .into_iter()
+        .min_by(|a, b| {
+            a.decoder_checking_percent
+                .total_cmp(&b.decoder_checking_percent)
+        })
+        .expect("sweep is never empty for words >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code() -> MOutOfN {
+        MOutOfN::new(3, 5).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_all_splits() {
+        let tech = TechnologyParams::default();
+        let sweep = mux_sweep(2048, 16, code(), &tech);
+        assert_eq!(sweep.len(), 11); // s = 0..=10
+        for p in &sweep {
+            assert!(p.decoder_checking_percent > 0.0);
+            assert_eq!(p.row_bits + p.mux_factor.trailing_zeros(), 11);
+        }
+    }
+
+    #[test]
+    fn rom_term_favors_balanced_split() {
+        // With periphery set to zero, overhead % is minimised where
+        // 2^p + 2^s is minimal, i.e. p = s (or the nearest split).
+        let tech = TechnologyParams {
+            periphery_per_line: 0.0,
+            ..TechnologyParams::default()
+        };
+        let best = best_mux_for_checking(4096, 16, code(), &tech);
+        assert_eq!(best.row_bits, 6, "n = 12 should split 6/6, got p = {}", best.row_bits);
+    }
+
+    #[test]
+    fn deep_muxing_shrinks_the_checking_ratio() {
+        // A notable model finding: the row ROM scales with 2^p, so deeper
+        // column muxing (smaller p) cuts the *checking-overhead ratio*
+        // substantially — the optimum sits near the balanced split, not at
+        // the paper's 1-of-8. The paper's choice reflects array aspect
+        // ratio and access-path constraints the area model prices only
+        // through the periphery term; EXPERIMENTS.md records this as an
+        // ablation observation, not a paper error.
+        let tech = TechnologyParams::default();
+        let best = best_mux_for_checking(4096, 16, code(), &tech);
+        let s_opt = best.mux_factor.trailing_zeros();
+        assert!((5..=8).contains(&s_opt), "optimum at s = {s_opt}");
+        let sweep = mux_sweep(4096, 16, code(), &tech);
+        let at8 = sweep.iter().find(|p| p.mux_factor == 8).unwrap();
+        assert!(
+            at8.decoder_checking_percent > 2.0 * best.decoder_checking_percent,
+            "1-of-8 ({:.2}%) vs optimum ({:.2}%)",
+            at8.decoder_checking_percent,
+            best.decoder_checking_percent
+        );
+    }
+
+    #[test]
+    fn monotone_in_code_width_at_fixed_org() {
+        let tech = TechnologyParams::default();
+        let narrow = mux_sweep(2048, 16, MOutOfN::new(1, 2).unwrap(), &tech);
+        let wide = mux_sweep(2048, 16, MOutOfN::new(5, 9).unwrap(), &tech);
+        for (n, w) in narrow.iter().zip(&wide) {
+            assert!(w.decoder_checking_percent > n.decoder_checking_percent);
+        }
+    }
+}

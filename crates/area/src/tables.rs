@@ -1,0 +1,235 @@
+//! Generators for the paper's Table 1 and Table 2, with the published
+//! values embedded for regression comparison.
+//!
+//! Table 1: `Pndc = 1e-9`, `c ∈ {2, 5, 10, 20, 30, 40}`.
+//! Table 2: `c = 10`, `Pndc ∈ {1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30}`.
+//! Columns: % hardware increase for 16×2K, 32×4K and 64×8K embedded RAMs.
+
+use crate::overhead::scheme_overhead;
+use crate::ram_area::{paper_rams, RamOrganization};
+use crate::tech::TechnologyParams;
+use scm_codes::selection::{select_code, CodePlan, LatencyBudget, SelectionPolicy};
+use scm_codes::{CodeError, MOutOfN};
+
+/// One published row of a paper table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Detection-latency budget in cycles.
+    pub c: u32,
+    /// Escape probability budget.
+    pub pndc: f64,
+    /// Code the paper selected.
+    pub code: &'static str,
+    /// Width of that code.
+    pub r: u32,
+    /// Published % hardware increase for 16×2K, 32×4K, 64×8K.
+    pub percents: [f64; 3],
+}
+
+/// The paper's Table 1 as published.
+pub const PAPER_TABLE1: [PaperRow; 6] = [
+    PaperRow { c: 2, pndc: 1e-9, code: "9-out-of-18", r: 18, percents: [88.7, 49.35, 26.28] },
+    PaperRow { c: 5, pndc: 1e-9, code: "5-out-of-9", r: 9, percents: [44.35, 24.6, 13.14] },
+    PaperRow { c: 10, pndc: 1e-9, code: "3-out-of-5", r: 5, percents: [24.8, 13.7, 7.3] },
+    PaperRow { c: 20, pndc: 1e-9, code: "2-out-of-4", r: 4, percents: [19.5, 9.67, 5.84] },
+    PaperRow { c: 30, pndc: 1e-9, code: "2-out-of-3", r: 3, percents: [15.0, 8.2, 4.38] },
+    PaperRow { c: 40, pndc: 1e-9, code: "1-out-of-2", r: 2, percents: [9.7, 5.48, 2.92] },
+];
+
+/// The paper's Table 2 as published.
+pub const PAPER_TABLE2: [PaperRow; 6] = [
+    PaperRow { c: 10, pndc: 1e-2, code: "1-out-of-2", r: 2, percents: [9.7, 5.4, 2.92] },
+    PaperRow { c: 10, pndc: 1e-5, code: "2-out-of-4", r: 4, percents: [19.5, 9.6, 5.84] },
+    PaperRow { c: 10, pndc: 1e-9, code: "3-out-of-5", r: 5, percents: [24.8, 13.7, 7.3] },
+    PaperRow { c: 10, pndc: 1e-15, code: "4-out-of-7", r: 7, percents: [34.2, 19.1, 10.2] },
+    PaperRow { c: 10, pndc: 1e-20, code: "5-out-of-9", r: 9, percents: [44.35, 24.67, 13.14] },
+    PaperRow { c: 10, pndc: 1e-30, code: "7-out-of-13", r: 13, percents: [63.5, 35.6, 18.9] },
+];
+
+/// One regenerated row: our selection + our area model next to the paper's.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Latency budget of the row.
+    pub c: u32,
+    /// Escape-probability budget of the row.
+    pub pndc: f64,
+    /// Our selected plan under the chosen policy.
+    pub plan: CodePlan,
+    /// Our % hardware increase (headline: ROMs over base RAM) for the three
+    /// paper RAMs.
+    pub percents: [f64; 3],
+    /// The published row.
+    pub paper: PaperRow,
+}
+
+impl TableRow {
+    /// Whether our selected code width matches the paper's.
+    pub fn code_matches_paper(&self) -> bool {
+        self.plan.r() == self.paper.r
+    }
+
+    /// Largest relative deviation of our percents from the paper's, over
+    /// the three RAM sizes (computed at the *paper's* code width when codes
+    /// differ, so area-model and selection deviations stay separable).
+    pub fn worst_percent_deviation(&self, tech: &TechnologyParams) -> f64 {
+        let paper_r_percents = percents_for_width(self.paper.r, tech);
+        self.paper
+            .percents
+            .iter()
+            .zip(paper_r_percents)
+            .map(|(p, ours)| (ours - p).abs() / p)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Headline % hardware increase (two ROMs of width `r` over the base RAM)
+/// for one organization.
+pub fn percent_for(org: RamOrganization, r: u32, tech: &TechnologyParams) -> f64 {
+    let code = MOutOfN::centered(r).expect("table code widths are ≤ 64");
+    scheme_overhead(org, code, code, tech).decoder_checking_percent()
+}
+
+/// Headline percents for the three paper RAMs at a given code width.
+pub fn percents_for_width(r: u32, tech: &TechnologyParams) -> [f64; 3] {
+    let rams = paper_rams();
+    [
+        percent_for(rams[0], r, tech),
+        percent_for(rams[1], r, tech),
+        percent_for(rams[2], r, tech),
+    ]
+}
+
+fn rows_for(paper: &[PaperRow], policy: SelectionPolicy, tech: &TechnologyParams)
+    -> Result<Vec<TableRow>, CodeError>
+{
+    paper
+        .iter()
+        .map(|row| {
+            let budget = LatencyBudget::new(row.c, row.pndc)?;
+            let plan = select_code(budget, policy)?;
+            let percents = percents_for_width(plan.r(), tech);
+            Ok(TableRow { c: row.c, pndc: row.pndc, plan, percents, paper: *row })
+        })
+        .collect()
+}
+
+/// Regenerate Table 1 under a policy.
+///
+/// # Errors
+/// Propagates selection errors (none occur for the published parameters).
+pub fn table1_rows(policy: SelectionPolicy, tech: &TechnologyParams)
+    -> Result<Vec<TableRow>, CodeError>
+{
+    rows_for(&PAPER_TABLE1, policy, tech)
+}
+
+/// Regenerate Table 2 under a policy.
+///
+/// # Errors
+/// Propagates selection errors (none occur for the published parameters).
+pub fn table2_rows(policy: SelectionPolicy, tech: &TechnologyParams)
+    -> Result<Vec<TableRow>, CodeError>
+{
+    rows_for(&PAPER_TABLE2, policy, tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's 2-out-of-4 / 32×4K cell deviates from its own otherwise
+    /// perfectly linear-in-r structure; both tables contain it.
+    fn is_known_outlier(row: &PaperRow, col: usize) -> bool {
+        row.r == 4 && col == 1
+    }
+
+    #[test]
+    fn area_model_reproduces_all_published_cells() {
+        let tech = TechnologyParams::default();
+        for row in PAPER_TABLE1.iter().chain(&PAPER_TABLE2) {
+            let ours = percents_for_width(row.r, &tech);
+            for col in 0..3 {
+                let rel = (ours[col] - row.percents[col]).abs() / row.percents[col];
+                let tol = if is_known_outlier(row, col) { 0.15 } else { 0.025 };
+                assert!(
+                    rel < tol,
+                    "r={} col={col}: ours {:.2} vs paper {:.2} (rel {:.3})",
+                    row.r,
+                    ours[col],
+                    row.percents[col],
+                    rel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_inverse_a_codes_all_match() {
+        let tech = TechnologyParams::default();
+        let rows = table2_rows(SelectionPolicy::InverseA, &tech).unwrap();
+        for row in &rows {
+            assert!(
+                row.code_matches_paper(),
+                "Pndc={}: ours {} vs paper {}",
+                row.pndc,
+                row.plan.code_name(),
+                row.paper.code
+            );
+        }
+    }
+
+    #[test]
+    fn table1_worst_block_codes_match_documented_rows() {
+        let tech = TechnologyParams::default();
+        let rows = table1_rows(SelectionPolicy::WorstBlockExact, &tech).unwrap();
+        // Rows c = 2, 10, 20, 40 match; c = 5 and c = 30 select cheaper
+        // codes (see DESIGN.md §5).
+        let expect_match = [true, false, true, true, false, true];
+        for (row, expect) in rows.iter().zip(expect_match) {
+            assert_eq!(
+                row.code_matches_paper(),
+                expect,
+                "c={}: ours {} vs paper {}",
+                row.c,
+                row.plan.code_name(),
+                row.paper.code
+            );
+            if !expect {
+                // When we deviate, we must deviate *cheaper*, never costlier.
+                assert!(row.plan.r() < row.paper.r);
+            }
+        }
+    }
+
+    #[test]
+    fn regenerated_rows_meet_their_budgets() {
+        let tech = TechnologyParams::default();
+        for policy in SelectionPolicy::ALL {
+            for rows in [
+                table1_rows(policy, &tech).unwrap(),
+                table2_rows(policy, &tech).unwrap(),
+            ] {
+                for row in rows {
+                    let achieved = row.plan.pndc_after(row.c);
+                    assert!(
+                        achieved <= row.pndc * (1.0 + 1e-6),
+                        "{policy:?} c={} pndc={}: achieved {achieved}",
+                        row.c,
+                        row.pndc
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percent_deviation_metric_small_for_matching_rows() {
+        let tech = TechnologyParams::default();
+        let rows = table2_rows(SelectionPolicy::InverseA, &tech).unwrap();
+        for row in &rows {
+            let dev = row.worst_percent_deviation(&tech);
+            let tol = if row.paper.r == 4 { 0.15 } else { 0.025 };
+            assert!(dev < tol, "Pndc={}: deviation {dev}", row.pndc);
+        }
+    }
+}

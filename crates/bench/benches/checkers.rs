@@ -1,0 +1,53 @@
+//! Criterion bench for checker evaluation: behavioural membership vs
+//! gate-level netlists, plus ROM encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_checkers::{Checker, MOutOfNChecker};
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_logic::Netlist;
+use scm_rom::RomMatrix;
+use std::hint::black_box;
+
+fn bench_checkers(c: &mut Criterion) {
+    let code = MOutOfN::new(3, 5).unwrap();
+    let chk = MOutOfNChecker::new(code);
+    let mut nl = Netlist::new();
+    let ins = nl.inputs(5);
+    let rails = chk.build_netlist(&mut nl, &ins);
+    nl.expose(rails.0);
+    nl.expose(rails.1);
+
+    let mut g = c.benchmark_group("checker-3of5");
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("behavioral-32-words", |b| {
+        b.iter(|| {
+            for w in 0u64..32 {
+                black_box(chk.eval(w));
+            }
+        })
+    });
+    g.bench_function("netlist-32-words", |b| {
+        b.iter(|| {
+            for w in 0u64..32 {
+                black_box(nl.eval_word(w, None).outputs_word());
+            }
+        })
+    });
+    g.finish();
+
+    let map = CodewordMap::mod_a(code, 9, 128).unwrap();
+    let rom = RomMatrix::from_map(&map);
+    let mut g = c.benchmark_group("rom-128-lines");
+    g.throughput(Throughput::Elements(128));
+    g.bench_function("encode-one-hot-sweep", |b| {
+        b.iter(|| {
+            for line in 0..128usize {
+                black_box(rom.eval([line]));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for self-checking RAM operation throughput (checkers
+//! evaluated every cycle), fault-free and under an injected decoder fault.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_core::prelude::*;
+use scm_memory::decoder_unit::DecoderFault;
+use std::hint::black_box;
+
+fn ram() -> SelfCheckingRam {
+    let design = SelfCheckingRamBuilder::new(1024, 16)
+        .mux_factor(8)
+        .latency_budget(10, 1e-9)
+        .unwrap()
+        .build()
+        .unwrap();
+    let mut ram = design.instantiate();
+    for a in 0..1024u64 {
+        ram.write(a, a ^ 0x5A5A);
+    }
+    ram
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let base = ram();
+    let mut g = c.benchmark_group("memory-ops");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("read-sweep-fault-free", |b| {
+        b.iter(|| {
+            for a in 0..1024u64 {
+                black_box(base.read(a));
+            }
+        })
+    });
+    let mut faulty = base.clone();
+    faulty.inject(FaultSite::RowDecoder(DecoderFault {
+        bits: 7,
+        offset: 0,
+        value: 3,
+        stuck_one: true,
+    }));
+    g.bench_function("read-sweep-with-decoder-fault", |b| {
+        b.iter(|| {
+            for a in 0..1024u64 {
+                black_box(faulty.read(a));
+            }
+        })
+    });
+    let mut w = base.clone();
+    g.bench_function("write-sweep", |b| {
+        b.iter(|| {
+            for a in 0..1024u64 {
+                black_box(w.write(a, a));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

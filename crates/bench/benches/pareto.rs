@@ -1,0 +1,31 @@
+//! Criterion bench for the area-vs-latency Pareto sweep (the title figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scm_area::tables::percents_for_width;
+use scm_area::TechnologyParams;
+use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+use std::hint::black_box;
+
+fn sweep(policy: SelectionPolicy, tech: &TechnologyParams) -> (usize, f64) {
+    let mut points = 0usize;
+    let mut area_sum = 0.0f64;
+    for pndc in [1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30] {
+        for c in [1u32, 2, 4, 8, 10, 16, 20, 30, 40, 64] {
+            let Ok(budget) = LatencyBudget::new(c, pndc) else { continue };
+            let Ok(plan) = select_code(budget, policy) else { continue };
+            points += 1;
+            area_sum += percents_for_width(plan.r(), tech)[0];
+        }
+    }
+    (points, area_sum)
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let tech = TechnologyParams::default();
+    c.bench_function("pareto/full-sweep", |b| {
+        b.iter(|| sweep(black_box(SelectionPolicy::WorstBlockExact), &tech))
+    });
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

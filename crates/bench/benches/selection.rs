@@ -1,0 +1,30 @@
+//! Criterion bench for the code-selection algorithm across budget extremes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let budgets: Vec<LatencyBudget> = [
+        (10u32, 1e-9f64),
+        (2, 1e-9),     // widest table code (9-out-of-18)
+        (2, 1e-30),    // a ≈ 1e15: stress the binomial search
+        (1000, 1e-2),  // trivially loose
+    ]
+    .into_iter()
+    .map(|(cy, p)| LatencyBudget::new(cy, p).unwrap())
+    .collect();
+
+    for policy in SelectionPolicy::ALL {
+        c.bench_function(&format!("select_code/{}", policy.name()), |b| {
+            b.iter(|| {
+                for &budget in &budgets {
+                    let _ = black_box(select_code(black_box(budget), policy));
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Table 1 (code selection + area model for
+//! all six rows on the three paper RAMs, both policies).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scm_area::tables::table1_rows;
+use scm_area::TechnologyParams;
+use scm_codes::selection::SelectionPolicy;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let tech = TechnologyParams::default();
+    c.bench_function("table1/worst-block-exact", |b| {
+        b.iter(|| table1_rows(SelectionPolicy::WorstBlockExact, black_box(&tech)).unwrap())
+    });
+    c.bench_function("table1/inverse-a", |b| {
+        b.iter(|| table1_rows(SelectionPolicy::InverseA, black_box(&tech)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

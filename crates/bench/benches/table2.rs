@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Table 2 (Pndc sweep at c = 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scm_area::tables::table2_rows;
+use scm_area::TechnologyParams;
+use scm_codes::selection::SelectionPolicy;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let tech = TechnologyParams::default();
+    c.bench_function("table2/worst-block-exact", |b| {
+        b.iter(|| table2_rows(SelectionPolicy::WorstBlockExact, black_box(&tech)).unwrap())
+    });
+    c.bench_function("table2/inverse-a", |b| {
+        b.iter(|| table2_rows(SelectionPolicy::InverseA, black_box(&tech)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablations of the scheme's design choices — the knobs the paper fixes by
+//! argument, measured:
+//!
+//! 1. **Odd-`a` rule**: replace `a = 9` by even neighbours and watch
+//!    detection collapse at bit offsets `j ≥ 1` (the `gcd(2^j, a)` effect).
+//! 2. **Decoder pairing arity** (`t`-input gates): the paper claims its
+//!    2-input analysis is valid for wider gates; the block structure (and
+//!    hence the analytical bound) should be arity-invariant at the worst
+//!    block, while gate counts shrink.
+//! 3. **Completion fix** (`a = C(q,r) − 1` re-map): how many distinct
+//!    codewords the ROM exercises with and without it — the checker's
+//!    self-testing diet.
+//!
+//! Run: `cargo run -p scm-bench --bin ablations`
+
+use scm_codes::mapping::MappingKind;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_decoder::build_multilevel_decoder;
+use scm_latency::distribution::analyze_decoder;
+use scm_latency::goal::{classify, ProtectionGrade};
+use scm_logic::stats::gate_stats;
+use scm_logic::Netlist;
+
+fn main() {
+    ablation_odd_a();
+    ablation_arity();
+    ablation_completion_fix();
+}
+
+fn ablation_odd_a() {
+    println!("## Ablation 1 — the odd-a rule (8-bit decoder)");
+    println!();
+    println!("{:>4} | {:>12} | {:>14} | {:>10} | grade", "a", "paper bound", "err-escape", "zero-lat %");
+    println!("{}", "-".repeat(64));
+    let mut nl = Netlist::new();
+    let addr = nl.inputs(8);
+    let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+    for a in [7u64, 8, 9, 10, 11, 12, 13] {
+        let report = analyze_decoder(&dec, MappingKind::ModA { a });
+        println!(
+            "{a:>4} | {:>12.4} | {:>14.4} | {:>10.1} | {:?}",
+            report.paper_escape_bound,
+            report.worst_error_escape,
+            100.0 * report.zero_latency_fraction(),
+            classify(&report)
+        );
+    }
+    println!();
+    println!("even moduli are Unprotected: some faults become undetectable.");
+    println!();
+}
+
+fn ablation_arity() {
+    println!("## Ablation 2 — decoder pairing arity (8-bit decoder, a = 9)");
+    println!();
+    println!("{:>5} | {:>7} | {:>9} | {:>12} | {:>14}", "arity", "gates", "GEs", "paper bound", "err-escape");
+    println!("{}", "-".repeat(60));
+    for arity in [2usize, 3, 4, 8] {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(8);
+        let dec = build_multilevel_decoder(&mut nl, &addr, arity);
+        let stats = gate_stats(&nl);
+        let report = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
+        println!(
+            "{arity:>5} | {:>7} | {:>9.1} | {:>12.4} | {:>14.4}",
+            stats.gates, stats.gate_equivalents, report.paper_escape_bound, report.worst_error_escape
+        );
+    }
+    println!();
+    println!("wider gates shrink the tree but merge levels: fewer intermediate");
+    println!("blocks can only *remove* colliding fault sites, so the 2-input");
+    println!("analysis upper-bounds every arity — exactly the paper's claim.");
+    println!();
+}
+
+fn ablation_completion_fix() {
+    println!("## Ablation 3 — the completion fix (3-out-of-5, a = 9, 128 lines)");
+    println!();
+    let code = MOutOfN::new(3, 5).unwrap();
+    let with_fix = CodewordMap::mod_a(code, 9, 128).unwrap();
+    let distinct_with: std::collections::HashSet<u64> = with_fix.table().into_iter().collect();
+    // Without the fix: simulate by mapping through a = 9 with exactly 9
+    // ranks (drop the spare-word remap) — reconstruct via rank_for modulo.
+    let distinct_without: std::collections::HashSet<u64> = (0..128u64)
+        .map(|addr| code.word_at((addr % 9) as u128).unwrap())
+        .collect();
+    println!("  distinct ROM codewords with fix:    {}/{}", distinct_with.len(), code.count());
+    println!("  distinct ROM codewords without fix: {}/{}", distinct_without.len(), code.count());
+    println!();
+    println!("the fix makes the q-out-of-r checker see its complete codeword set");
+    println!("during normal operation (the self-testing requirement); detection");
+    println!("probabilities are otherwise unchanged except on the one re-mapped line.");
+}

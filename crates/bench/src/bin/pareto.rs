@@ -1,0 +1,45 @@
+//! The paper's title trade-off as data: the **area vs detection latency
+//! Pareto front**. Sweeps the latency budget and prints, for each point,
+//! the selected code and the % hardware increase on the three paper RAMs —
+//! CSV on stdout, ready for plotting.
+//!
+//! Run: `cargo run -p scm-bench --bin pareto [--policy inverse-a]`
+
+use scm_area::tables::percents_for_width;
+use scm_area::TechnologyParams;
+use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+
+fn main() {
+    let policy = match std::env::args().nth(2).as_deref() {
+        Some("inverse-a") => SelectionPolicy::InverseA,
+        _ => SelectionPolicy::WorstBlockExact,
+    };
+    let tech = TechnologyParams::default();
+
+    println!("# area-vs-latency Pareto sweep, policy = {}", policy.name());
+    println!("c,pndc,code,r,a,escape_per_cycle,pct_16x2K,pct_32x4K,pct_64x8K");
+    let cs = [1u32, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 30, 40, 50, 64, 100];
+    let pndcs = [1e-2, 1e-5, 1e-9, 1e-12, 1e-15, 1e-20, 1e-30];
+    for &pndc in &pndcs {
+        for &c in &cs {
+            let Ok(budget) = LatencyBudget::new(c, pndc) else { continue };
+            let Ok(plan) = select_code(budget, policy) else {
+                // Infeasible corner (e.g. c = 1, Pndc = 1e-30): skip.
+                continue;
+            };
+            let p = percents_for_width(plan.r(), &tech);
+            println!(
+                "{c},{pndc:.0e},{},{},{},{:.6},{:.3},{:.3},{:.3}",
+                plan.code_name(),
+                plan.r(),
+                plan.a(),
+                plan.escape_per_cycle(),
+                p[0],
+                p[1],
+                p[2]
+            );
+        }
+    }
+    eprintln!("# rows are the achievable (latency, area) points; the Pareto front");
+    eprintln!("# is monotone: tighter budgets never select narrower codes.");
+}

@@ -1,0 +1,44 @@
+//! Extension experiment: **deterministic scrubbing bounds** — the hard
+//! (non-probabilistic) detection-latency guarantee a sequential background
+//! sweep adds on top of the paper's `Pndc`.
+//!
+//! Run: `cargo run -p scm-bench --bin scrubbing`
+
+use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+use scm_memory::scrub::sweep_bound;
+
+fn main() {
+    let n = 7u32; // the 1K×16 row decoder
+    println!("deterministic sweep bounds, p = {n} row decoder (128 lines)");
+    println!();
+    println!(
+        "{:<12} | {:>4} | {:>9} | {:>9} | {:>12} | {:>7}",
+        "code", "a", "SA0 bound", "SA1 bound", "undetectable", "faults"
+    );
+    println!("{}", "-".repeat(68));
+    for pndc in [1e-2, 1e-5, 1e-9, 1e-15] {
+        let plan = select_code(
+            LatencyBudget::new(10, pndc).unwrap(),
+            SelectionPolicy::InverseA,
+        )
+        .unwrap();
+        let map = plan.mapping(1 << n).unwrap();
+        let bound = sweep_bound(n, &map);
+        println!(
+            "{:<12} | {:>4} | {:>9} | {:>9} | {:>12} | {:>7}",
+            plan.code_name(),
+            plan.a(),
+            bound.worst_sa0,
+            bound.worst_sa1,
+            bound.undetectable,
+            bound.total
+        );
+    }
+    println!();
+    println!("reading: with one scrub read per slot, every stuck-at-0 is caught within");
+    println!("one full sweep (2^p slots: only the stuck line's own address exposes it),");
+    println!("and every detectable stuck-at-1 within half a sweep + 1 (the sweep's dead");
+    println!("zone inside the faulty top-bit half). Undetectable = codeword-colliding");
+    println!("line pairs — the residue the paper's Pndc budget prices; note how it");
+    println!("shrinks as the code strengthens, vanishing for a >= #lines.");
+}

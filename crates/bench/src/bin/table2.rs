@@ -1,0 +1,25 @@
+//! Regenerate the paper's **Table 2**: codes and % hardware increase for
+//! `Pndc ∈ {1e-2 … 1e-30}` at `c = 10` on the three AT&T embedded RAMs.
+//!
+//! The `inverse-a` policy reproduces the paper's code column 6/6.
+//!
+//! Run: `cargo run -p scm-bench --bin table2`
+
+fn main() {
+    print!("{}", scm_bench::table2_report());
+    println!("worked example (Section III.2): c = 10, Pndc = 1e-9 ->");
+    let budget = scm_codes::selection::LatencyBudget::new(10, 1e-9).unwrap();
+    let plan = scm_codes::selection::select_code(
+        budget,
+        scm_codes::selection::SelectionPolicy::WorstBlockExact,
+    )
+    .unwrap();
+    println!(
+        "  a_search = {}, a_required = {}, code = {}, final a = {}",
+        plan.a_search(),
+        plan.a_required(),
+        plan.code_name(),
+        plan.a()
+    );
+    println!("  paper: a = 8 -> C >= 9 -> 3-out-of-5 -> a = 10 - 1 = 9");
+}

@@ -1,0 +1,149 @@
+//! The Berger code checker: zero counter plus two-rail comparator.
+//!
+//! The textbook structure: count the zeros among the information bits with
+//! a popcount network over the inverted inputs, then compare the computed
+//! count with the received check field using a two-rail checker tree over
+//! the bit pairs `(z_k, ¬c_k)` — each pair is complementary exactly when
+//! `z_k = c_k`, so the tree's output is valid iff the counts agree.
+
+use crate::count::popcount_network;
+use crate::two_rail_checker::two_rail_tree;
+use crate::Checker;
+use scm_codes::{BergerCode, Code, TwoRail};
+use scm_logic::{Netlist, SignalId};
+
+/// Checker for a Berger code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BergerChecker {
+    code: BergerCode,
+}
+
+impl BergerChecker {
+    /// Checker for the given code.
+    pub fn new(code: BergerCode) -> Self {
+        BergerChecker { code }
+    }
+
+    /// The checked code.
+    pub fn code(&self) -> BergerCode {
+        self.code
+    }
+}
+
+impl Checker for BergerChecker {
+    fn input_width(&self) -> usize {
+        self.code.width()
+    }
+
+    fn eval(&self, word: u64) -> TwoRail {
+        let (info, check) = self.code.split(word);
+        let zeros = self.code.check_field(info);
+        if zeros == check {
+            // Data-dependent valid polarity: LSB of the count, so normal
+            // operation exercises both output patterns.
+            let bit = zeros & 1 == 1;
+            TwoRail { t: bit, f: !bit }
+        } else {
+            TwoRail { t: false, f: false }
+        }
+    }
+
+    fn build_netlist(&self, netlist: &mut Netlist, inputs: &[SignalId]) -> (SignalId, SignalId) {
+        assert_eq!(inputs.len(), self.input_width(), "berger checker width mismatch");
+        let k = self.code.info_bits() as usize;
+        let (info, check) = inputs.split_at(k);
+
+        // Count zeros = popcount of inverted info bits.
+        let inverted: Vec<SignalId> = info.iter().map(|&b| netlist.inv(b)).collect();
+        let mut zeros = popcount_network(netlist, &inverted);
+        // Pad the computed count to the check-field width (popcount of k
+        // bits always fits in ⌈log2(k+1)⌉ bits = check width).
+        while zeros.len() < check.len() {
+            zeros.push(netlist.constant(false));
+        }
+        debug_assert_eq!(zeros.len(), check.len());
+
+        let pairs: Vec<(SignalId, SignalId)> = zeros
+            .iter()
+            .zip(check)
+            .map(|(&z, &c)| {
+                let nc = netlist.inv(c);
+                (z, nc)
+            })
+            .collect();
+        two_rail_tree(netlist, &pairs)
+    }
+
+    fn name(&self) -> String {
+        format!("{}-checker", self.code.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_disjoint_violation;
+
+    #[test]
+    fn behavioral_code_disjoint() {
+        for k in [1u32, 3, 4, 5, 8] {
+            let code = BergerCode::new(k).unwrap();
+            let chk = BergerChecker::new(code);
+            for word in 0u64..(1 << code.width()) {
+                assert_eq!(
+                    chk.eval(word).is_valid(),
+                    code.is_codeword(word),
+                    "berger({k}) word {word:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_validity_matches_behavioral() {
+        for k in [2u32, 4, 5] {
+            let code = BergerCode::new(k).unwrap();
+            let chk = BergerChecker::new(code);
+            let mut nl = Netlist::new();
+            let ins = nl.inputs(code.width());
+            let rails = chk.build_netlist(&mut nl, &ins);
+            nl.expose(rails.0);
+            nl.expose(rails.1);
+            for word in 0u64..(1 << code.width()) {
+                let out = nl.eval_word(word, None).outputs();
+                let pair = TwoRail { t: out[0], f: out[1] };
+                assert_eq!(
+                    pair.is_valid(),
+                    code.is_codeword(word),
+                    "berger({k}) word {word:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_code_disjoint_exhaustive() {
+        let code = BergerCode::new(5).unwrap();
+        let chk = BergerChecker::new(code);
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(code.width());
+        let rails = chk.build_netlist(&mut nl, &ins);
+        assert_eq!(
+            code_disjoint_violation(&nl, rails, code.width(), |w| code.is_codeword(w)),
+            None
+        );
+    }
+
+    #[test]
+    fn valid_polarity_varies_with_data() {
+        let code = BergerCode::new(4).unwrap();
+        let chk = BergerChecker::new(code);
+        let mut saw = [false, false];
+        for info in 0u64..16 {
+            let p = chk.eval(code.encode(info));
+            assert!(p.is_valid());
+            saw[p.t as usize] = true;
+        }
+        assert_eq!(saw, [true, true], "both valid polarities must occur");
+    }
+}

@@ -1,0 +1,157 @@
+//! Arithmetic helper networks: ripple-carry addition and population count.
+//!
+//! The Berger checker counts zeros; the `q`-out-of-`r` checker's behavioural
+//! twin counts ones. Both use the divide-and-conquer popcount network below,
+//! built from full adders.
+
+use scm_logic::{Netlist, SignalId};
+
+/// Full adder: returns `(sum, carry)`.
+pub fn full_adder(
+    netlist: &mut Netlist,
+    a: SignalId,
+    b: SignalId,
+    c: SignalId,
+) -> (SignalId, SignalId) {
+    let axb = netlist.xor2(a, b);
+    let sum = netlist.xor2(axb, c);
+    let ab = netlist.and2(a, b);
+    let cx = netlist.and2(c, axb);
+    let carry = netlist.or2(ab, cx);
+    (sum, carry)
+}
+
+/// Half adder: returns `(sum, carry)`.
+pub fn half_adder(netlist: &mut Netlist, a: SignalId, b: SignalId) -> (SignalId, SignalId) {
+    (netlist.xor2(a, b), netlist.and2(a, b))
+}
+
+/// Ripple-carry addition of two little-endian binary vectors of possibly
+/// different widths; the result is wide enough to hold the full sum.
+///
+/// # Panics
+/// Panics if either operand is empty.
+pub fn ripple_add(netlist: &mut Netlist, a: &[SignalId], b: &[SignalId]) -> Vec<SignalId> {
+    assert!(!a.is_empty() && !b.is_empty(), "ripple_add needs nonempty operands");
+    let width = a.len().max(b.len());
+    let mut out = Vec::with_capacity(width + 1);
+    let mut carry: Option<SignalId> = None;
+    for k in 0..width {
+        let bits: Vec<SignalId> = [a.get(k), b.get(k), carry.as_ref()]
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        match bits.len() {
+            0 => unreachable!("loop bound guarantees at least one bit"),
+            1 => {
+                out.push(bits[0]);
+                carry = None;
+            }
+            2 => {
+                let (s, c) = half_adder(netlist, bits[0], bits[1]);
+                out.push(s);
+                carry = Some(c);
+            }
+            _ => {
+                let (s, c) = full_adder(netlist, bits[0], bits[1], bits[2]);
+                out.push(s);
+                carry = Some(c);
+            }
+        }
+    }
+    if let Some(c) = carry {
+        out.push(c);
+    }
+    out
+}
+
+/// Population-count network: little-endian binary count of ones among
+/// `bits`, built by divide and conquer over [`ripple_add`].
+///
+/// # Panics
+/// Panics if `bits` is empty.
+pub fn popcount_network(netlist: &mut Netlist, bits: &[SignalId]) -> Vec<SignalId> {
+    assert!(!bits.is_empty(), "popcount of nothing");
+    match bits.len() {
+        1 => vec![bits[0]],
+        2 => {
+            let (s, c) = half_adder(netlist, bits[0], bits[1]);
+            vec![s, c]
+        }
+        3 => {
+            let (s, c) = full_adder(netlist, bits[0], bits[1], bits[2]);
+            vec![s, c]
+        }
+        n => {
+            let (lo, hi) = bits.split_at(n / 2);
+            let a = popcount_network(netlist, lo);
+            let b = popcount_network(netlist, hi);
+            ripple_add(netlist, &a, &b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_logic::Netlist;
+
+    fn read_count(netlist: &Netlist, outs: &[SignalId], pattern: u64) -> u64 {
+        let eval = netlist.eval_word(pattern, None);
+        outs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, &s)| acc | ((eval.value(s) as u64) << k))
+    }
+
+    #[test]
+    fn popcount_exhaustive_up_to_9_bits() {
+        for n in 1..=9usize {
+            let mut nl = Netlist::new();
+            let ins = nl.inputs(n);
+            let outs = popcount_network(&mut nl, &ins);
+            for pattern in 0u64..(1 << n) {
+                assert_eq!(
+                    read_count(&nl, &outs, pattern),
+                    pattern.count_ones() as u64,
+                    "n={n} pattern={pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_width_is_logarithmic() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(18); // widest code in the paper's tables
+        let outs = popcount_network(&mut nl, &ins);
+        assert!(outs.len() <= 5, "popcount(18) needs ≤ 5 bits, got {}", outs.len());
+    }
+
+    #[test]
+    fn ripple_add_asymmetric_widths() {
+        let mut nl = Netlist::new();
+        let a = nl.inputs(3); // 0..8
+        let b = nl.inputs(1); // 0..2
+        let outs = ripple_add(&mut nl, &a, &b);
+        for av in 0u64..8 {
+            for bv in 0u64..2 {
+                let pattern = av | (bv << 3);
+                assert_eq!(read_count(&nl, &outs, pattern), av + bv, "{av}+{bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(3);
+        let (s, c) = full_adder(&mut nl, ins[0], ins[1], ins[2]);
+        for pattern in 0u64..8 {
+            let eval = nl.eval_word(pattern, None);
+            let ones = pattern.count_ones();
+            assert_eq!(eval.value(s), ones % 2 == 1);
+            assert_eq!(eval.value(c), ones >= 2);
+        }
+    }
+}

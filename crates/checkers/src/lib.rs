@@ -1,0 +1,86 @@
+//! Self-checking checkers producing two-rail error indications.
+//!
+//! Every encoded signal group in the self-checking memory is verified by a
+//! checker whose output is a 1-out-of-2 (two-rail) pair: complementary rails
+//! mean "no error", equal rails raise the error indication (paper, Figure 1).
+//! This crate provides the four checkers the design needs, each with a fast
+//! behavioural model and a gate-level netlist builder for fault-injection
+//! campaigns:
+//!
+//! * [`two_rail_checker`] — the classical two-rail checker cell and tree
+//!   that compresses many pairs into one (totally self-checking).
+//! * [`parity_checker`] — dual-XOR-tree parity checker for the data path.
+//! * [`mofn_checker`] — `q`-out-of-`r` checker built from bit-sorting
+//!   threshold networks and an exact-weight two-rail output plane
+//!   (Marouf/Friedman-style); code-disjoint by construction, with both
+//!   valid output polarities exercised across codewords.
+//! * [`berger_checker`] — zero-counting network plus a two-rail comparator.
+//!
+//! [`self_testing`] measures, by exhaustive fault injection, which internal
+//! faults of a checker netlist are detectable by codeword inputs — the
+//! *self-testing* half of the totally-self-checking property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod berger_checker;
+pub mod count;
+pub mod mofn_checker;
+pub mod parity_checker;
+pub mod self_testing;
+pub mod two_rail_checker;
+
+use scm_codes::TwoRail;
+use scm_logic::{Netlist, SignalId};
+
+pub use berger_checker::BergerChecker;
+pub use mofn_checker::MOutOfNChecker;
+pub use parity_checker::ParityChecker;
+
+/// A checker: maps an input word to a two-rail error indication.
+///
+/// The contract (code-disjointness) is: codewords of the checked code map to
+/// *valid* pairs, non-codewords map to *invalid* pairs.
+pub trait Checker {
+    /// Width of the checked word in bits.
+    fn input_width(&self) -> usize;
+
+    /// Behavioural evaluation.
+    fn eval(&self, word: u64) -> TwoRail;
+
+    /// Emit the gate-level implementation over existing input signals;
+    /// returns the `(t, f)` rail signals.
+    ///
+    /// # Panics
+    /// Implementations panic if `inputs.len() != self.input_width()`.
+    fn build_netlist(&self, netlist: &mut Netlist, inputs: &[SignalId]) -> (SignalId, SignalId);
+
+    /// Human-readable name.
+    fn name(&self) -> String;
+}
+
+/// Exhaustively verify code-disjointness of a checker netlist against a
+/// membership predicate: every input word maps to a valid pair iff it is a
+/// codeword. Returns the first offending word.
+///
+/// # Panics
+/// Panics if the checker has more than 24 inputs (exhaustion guard).
+pub fn code_disjoint_violation<F>(
+    netlist: &Netlist,
+    rails: (SignalId, SignalId),
+    width: usize,
+    is_codeword: F,
+) -> Option<u64>
+where
+    F: Fn(u64) -> bool,
+{
+    assert!(width <= 24, "exhaustive check over {width} bits is too large");
+    for word in 0..(1u64 << width) {
+        let eval = netlist.eval_word(word, None);
+        let pair = TwoRail { t: eval.value(rails.0), f: eval.value(rails.1) };
+        if pair.is_valid() != is_codeword(word) {
+            return Some(word);
+        }
+    }
+    None
+}

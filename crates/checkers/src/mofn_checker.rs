@@ -1,0 +1,256 @@
+//! The `q`-out-of-`r` code checker.
+//!
+//! Construction (Marouf/Friedman-style exact-weight plane):
+//!
+//! 1. Split the `r` inputs into group `A` (first `⌈r/2⌉` bits) and group `B`
+//!    (the rest).
+//! 2. Sort each group's bits descending with an odd-even transposition
+//!    network of OR/AND compare cells; sorted output `k` is the threshold
+//!    function `T_{k+1}` (`1` iff the group has more than `k` ones).
+//! 3. Exact-count terms `E_i = T_i ∧ ¬T_{i+1}` ("the group has exactly `i`
+//!    ones").
+//! 4. Output rails:
+//!    `t = ∨_{i even} E_i(A) ∧ E_{q−i}(B)`,
+//!    `f = ∨_{i odd } E_i(A) ∧ E_{q−i}(B)`.
+//!
+//! On a codeword (`|A| ones + |B| ones = q`) exactly one term fires, so the
+//! pair is `10` or `01` — and both polarities occur across codewords, which
+//! exercises the output plane. On any non-codeword no term fires and the
+//! pair is `00`: the checker is code-disjoint by construction. Threshold
+//! nodes unreachable under constant-weight inputs leave a small untestable
+//! residue that [`crate::self_testing`] quantifies.
+
+use crate::Checker;
+use scm_codes::{Code, MOutOfN, TwoRail};
+use scm_logic::{Netlist, SignalId};
+
+/// Checker for a `q`-out-of-`r` code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MOutOfNChecker {
+    code: MOutOfN,
+}
+
+impl MOutOfNChecker {
+    /// Checker for the given code.
+    pub fn new(code: MOutOfN) -> Self {
+        MOutOfNChecker { code }
+    }
+
+    /// The checked code.
+    pub fn code(&self) -> MOutOfN {
+        self.code
+    }
+
+    fn group_a_size(&self) -> usize {
+        (self.code.width() + 1) / 2
+    }
+}
+
+/// Descending odd-even transposition sort of bit signals: output `k` is
+/// `1` iff at least `k+1` inputs are `1` (threshold `T_{k+1}`).
+fn sort_bits_descending(netlist: &mut Netlist, bits: &[SignalId]) -> Vec<SignalId> {
+    let mut wires: Vec<SignalId> = bits.to_vec();
+    let n = wires.len();
+    for pass in 0..n {
+        let start = pass % 2;
+        let mut k = start;
+        while k + 1 < n {
+            let hi = netlist.or2(wires[k], wires[k + 1]);
+            let lo = netlist.and2(wires[k], wires[k + 1]);
+            wires[k] = hi;
+            wires[k + 1] = lo;
+            k += 2;
+        }
+    }
+    wires
+}
+
+impl Checker for MOutOfNChecker {
+    fn input_width(&self) -> usize {
+        self.code.width()
+    }
+
+    fn eval(&self, word: u64) -> TwoRail {
+        let r = self.code.width();
+        let a_size = self.group_a_size();
+        let mask_a = (1u64 << a_size) - 1;
+        let s_a = (word & mask_a).count_ones();
+        let s_b = ((word >> a_size) & ((1u64 << (r - a_size)) - 1)).count_ones();
+        if s_a + s_b == self.code.weight() {
+            TwoRail { t: s_a % 2 == 0, f: s_a % 2 == 1 }
+        } else {
+            TwoRail { t: false, f: false }
+        }
+    }
+
+    fn build_netlist(&self, netlist: &mut Netlist, inputs: &[SignalId]) -> (SignalId, SignalId) {
+        assert_eq!(inputs.len(), self.input_width(), "m-out-of-n checker width mismatch");
+        let q = self.code.weight() as usize;
+        let a_size = self.group_a_size();
+        let (group_a, group_b) = inputs.split_at(a_size);
+        let b_size = group_b.len();
+
+        let sorted_a = sort_bits_descending(netlist, group_a);
+        let sorted_b = if group_b.is_empty() {
+            Vec::new()
+        } else {
+            sort_bits_descending(netlist, group_b)
+        };
+
+        // Exact-count term E_i over a sorted vector: T_i ∧ ¬T_{i+1}, with
+        // T_0 = 1 and T_{size+1} = 0.
+        let exact = |netlist: &mut Netlist, sorted: &[SignalId], i: usize| -> Option<SignalId> {
+            let size = sorted.len();
+            if i > size {
+                return None;
+            }
+            match (i, i == size) {
+                (0, true) => Some(netlist.constant(true)), // empty group: exactly 0
+                (0, false) => Some(netlist.inv(sorted[0])),
+                (_, true) => Some(sorted[i - 1]),
+                (_, false) => {
+                    let not_next = netlist.inv(sorted[i]);
+                    Some(netlist.and2(sorted[i - 1], not_next))
+                }
+            }
+        };
+
+        let mut even_terms = Vec::new();
+        let mut odd_terms = Vec::new();
+        for i in 0..=q.min(a_size) {
+            let j = q - i;
+            if j > b_size {
+                continue;
+            }
+            let ea = exact(netlist, &sorted_a, i).expect("i <= a_size");
+            let eb = exact(netlist, &sorted_b, j).expect("j <= b_size");
+            let term = netlist.and2(ea, eb);
+            if i % 2 == 0 {
+                even_terms.push(term);
+            } else {
+                odd_terms.push(term);
+            }
+        }
+
+        let t = if even_terms.is_empty() {
+            netlist.constant(false)
+        } else {
+            netlist.or_n(&even_terms)
+        };
+        let f = if odd_terms.is_empty() {
+            netlist.constant(false)
+        } else {
+            netlist.or_n(&odd_terms)
+        };
+        (t, f)
+    }
+
+    fn name(&self) -> String {
+        format!("{}-checker", self.code.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code_disjoint_violation;
+    use crate::self_testing::self_testing_report;
+
+    fn paper_codes() -> Vec<MOutOfN> {
+        [(1u32, 2u32), (2, 3), (2, 4), (3, 5), (4, 7), (4, 8), (5, 9)]
+            .into_iter()
+            .map(|(q, r)| MOutOfN::new(q, r).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn behavioral_code_disjoint_all_paper_codes() {
+        for code in paper_codes() {
+            let chk = MOutOfNChecker::new(code);
+            for word in 0u64..(1 << code.width()) {
+                assert_eq!(
+                    chk.eval(word).is_valid(),
+                    code.is_codeword(word),
+                    "{} word {word:b}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_matches_behavioral_all_paper_codes() {
+        for code in paper_codes() {
+            let chk = MOutOfNChecker::new(code);
+            let mut nl = Netlist::new();
+            let ins = nl.inputs(code.width());
+            let rails = chk.build_netlist(&mut nl, &ins);
+            nl.expose(rails.0);
+            nl.expose(rails.1);
+            for word in 0u64..(1 << code.width()) {
+                let out = nl.eval_word(word, None).outputs();
+                let expect = chk.eval(word);
+                assert_eq!(
+                    (out[0], out[1]),
+                    (expect.t, expect.f),
+                    "{} word {word:b}",
+                    code.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_code_disjoint_three_out_of_five() {
+        let code = MOutOfN::new(3, 5).unwrap();
+        let chk = MOutOfNChecker::new(code);
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(5);
+        let rails = chk.build_netlist(&mut nl, &ins);
+        assert_eq!(
+            code_disjoint_violation(&nl, rails, 5, |w| code.is_codeword(w)),
+            None
+        );
+    }
+
+    #[test]
+    fn both_output_polarities_occur_across_codewords() {
+        // Needed for the output plane (and downstream two-rail tree) to be
+        // exercised: some codewords give 10, others 01.
+        for code in paper_codes() {
+            if code.width() < 3 {
+                continue; // 1-out-of-2 has a single bit per group
+            }
+            let chk = MOutOfNChecker::new(code);
+            let mut saw_t = false;
+            let mut saw_f = false;
+            for w in code.iter() {
+                let p = chk.eval(w);
+                assert!(p.is_valid());
+                saw_t |= p.t;
+                saw_f |= p.f;
+            }
+            assert!(saw_t && saw_f, "{} output plane not exercised", code.name());
+        }
+    }
+
+    #[test]
+    fn self_testing_coverage_is_high_and_residue_known() {
+        // Threshold nodes unreachable under constant-weight inputs leave a
+        // bounded residue; the output plane and all reachable sorter nodes
+        // must be covered.
+        let code = MOutOfN::new(3, 5).unwrap();
+        let chk = MOutOfNChecker::new(code);
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(5);
+        let rails = chk.build_netlist(&mut nl, &ins);
+        let report = self_testing_report(&nl, rails, code.iter());
+        assert!(
+            report.coverage() > 0.80,
+            "coverage {} too low ({} untestable of {})",
+            report.coverage(),
+            report.untestable.len(),
+            report.total
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Self-testing measurement harness.
+//!
+//! A checker is *self-testing* when every modelled fault inside it is
+//! detected (drives the output pair off-code) by at least one codeword
+//! input it receives during normal operation. Together with
+//! code-disjointness this gives the Strongly Code Disjoint property
+//! (\[NIC 84\]) the TSC goal needs.
+//!
+//! The harness exhaustively injects every single stuck-at fault and sweeps
+//! the provided codeword inputs. Checkers built from naturally-exercised
+//! logic (two-rail trees, parity trees) come out 100 % self-testing;
+//! constructions with structurally unreachable nodes under code inputs
+//! (e.g. threshold terms beyond a constant weight) report their residue —
+//! the report makes the trade-off measurable instead of hand-waved.
+
+use scm_codes::TwoRail;
+use scm_logic::fault::{fault_universe, Fault};
+use scm_logic::{Netlist, SignalId};
+
+/// Outcome of a self-testing sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTestReport {
+    /// Total faults in the netlist universe.
+    pub total: usize,
+    /// Faults detected by at least one codeword input.
+    pub tested: usize,
+    /// Faults no codeword input detects.
+    pub untestable: Vec<Fault>,
+}
+
+impl SelfTestReport {
+    /// Fraction of faults that are self-tested.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.tested as f64 / self.total as f64
+        }
+    }
+}
+
+/// Sweep every stuck-at fault against the given codeword inputs.
+///
+/// `rails` identifies the checker's output pair inside `netlist`. A fault is
+/// *tested* when some codeword input makes the faulty output pair invalid
+/// (`00`/`11`).
+pub fn self_testing_report<I>(
+    netlist: &Netlist,
+    rails: (SignalId, SignalId),
+    codewords: I,
+) -> SelfTestReport
+where
+    I: IntoIterator<Item = u64>,
+{
+    let words: Vec<u64> = codewords.into_iter().collect();
+    let universe = fault_universe(netlist);
+    let mut untestable = Vec::new();
+    for fault in &universe {
+        let mut detected = false;
+        for &w in &words {
+            let eval = netlist.eval_word(w, Some(*fault));
+            let pair = TwoRail { t: eval.value(rails.0), f: eval.value(rails.1) };
+            if pair.is_error() {
+                detected = true;
+                break;
+            }
+        }
+        if !detected {
+            untestable.push(*fault);
+        }
+    }
+    let total = universe.len();
+    let tested = total - untestable.len();
+    SelfTestReport { total, tested, untestable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_rail_pair_is_fully_self_tested() {
+        // Rails fed by two independent inputs, exercised with both code
+        // words 01 and 10: every stuck-at on either rail is detected.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let report = self_testing_report(&nl, (a, b), [0b01u64, 0b10]);
+        assert_eq!(report.coverage(), 1.0);
+        assert_eq!(report.total, 4);
+    }
+
+    #[test]
+    fn single_codeword_cannot_self_test() {
+        // With only one input word, one polarity per rail is never
+        // exercised; the report must show the residue.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let report = self_testing_report(&nl, (a, b), [0b10u64]);
+        assert_eq!(report.tested, 2);
+        assert_eq!(report.untestable.len(), 2);
+        assert!(report.coverage() < 1.0);
+    }
+
+    #[test]
+    fn common_mode_fault_site_is_structurally_untestable() {
+        // The classic pitfall: deriving both rails from one signal makes
+        // faults on that signal invisible — the harness must expose this.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let na = nl.inv(a);
+        let report = self_testing_report(&nl, (a, na), [0u64, 1]);
+        let untestable_on_a: Vec<_> = report
+            .untestable
+            .iter()
+            .filter(|f| f.signal == a)
+            .collect();
+        assert_eq!(untestable_on_a.len(), 2, "faults on the shared cone must be untestable");
+    }
+}

@@ -1,0 +1,138 @@
+//! The two-rail checker cell and tree.
+//!
+//! The cell takes two rail pairs and produces one; its output is a valid
+//! pair iff both inputs are valid (single-fault assumption). A balanced tree
+//! of cells compresses the error indications of all the design's checkers
+//! into the single pair of Figure 1. The cell is the canonical morphic
+//! network
+//!
+//! ```text
+//! z.t = a.t·b.t + a.f·b.f        z.f = a.t·b.f + a.f·b.t
+//! ```
+//!
+//! which is totally self-checking under codeword (complementary) inputs: all
+//! four input combinations `(01,01) (01,10) (10,01) (10,10)` occur in normal
+//! operation and exercise every gate.
+
+use scm_codes::TwoRail;
+use scm_logic::{Netlist, SignalId};
+
+/// Emit one two-rail checker cell; returns the output `(t, f)` rails.
+pub fn two_rail_cell(
+    netlist: &mut Netlist,
+    a: (SignalId, SignalId),
+    b: (SignalId, SignalId),
+) -> (SignalId, SignalId) {
+    let tt = netlist.and2(a.0, b.0);
+    let ff = netlist.and2(a.1, b.1);
+    let tf = netlist.and2(a.0, b.1);
+    let ft = netlist.and2(a.1, b.0);
+    let t = netlist.or2(tt, ff);
+    let f = netlist.or2(tf, ft);
+    (t, f)
+}
+
+/// Emit a balanced tree of cells over many rail pairs; returns the root
+/// pair. A single pair passes through; an empty slice yields a constant
+/// valid pair (true rail high).
+pub fn two_rail_tree(
+    netlist: &mut Netlist,
+    pairs: &[(SignalId, SignalId)],
+) -> (SignalId, SignalId) {
+    match pairs.len() {
+        0 => {
+            let t = netlist.constant(true);
+            let f = netlist.constant(false);
+            (t, f)
+        }
+        1 => pairs[0],
+        n => {
+            let (lo, hi) = pairs.split_at(n / 2);
+            let l = two_rail_tree(netlist, lo);
+            let r = two_rail_tree(netlist, hi);
+            two_rail_cell(netlist, l, r)
+        }
+    }
+}
+
+/// Behavioural twin of [`two_rail_tree`] (delegates to
+/// [`TwoRail::combine_all`]).
+pub fn two_rail_tree_behavioral(pairs: &[TwoRail]) -> TwoRail {
+    TwoRail::combine_all(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_logic::fault::fault_universe;
+
+    /// Build a k-pair tree with 2k primary inputs.
+    fn tree(k: usize) -> (Netlist, (SignalId, SignalId), Vec<(SignalId, SignalId)>) {
+        let mut nl = Netlist::new();
+        let mut pairs = Vec::new();
+        for _ in 0..k {
+            let t = nl.input();
+            let f = nl.input();
+            pairs.push((t, f));
+        }
+        let root = two_rail_tree(&mut nl, &pairs);
+        nl.expose(root.0);
+        nl.expose(root.1);
+        (nl, root, pairs)
+    }
+
+    fn pattern_for(values: &[TwoRail]) -> u64 {
+        values.iter().enumerate().fold(0u64, |acc, (k, p)| {
+            acc | ((p.t as u64) << (2 * k)) | ((p.f as u64) << (2 * k + 1))
+        })
+    }
+
+    #[test]
+    fn netlist_matches_behavioral_exhaustive_3_pairs() {
+        let (nl, _, _) = tree(3);
+        for raw in 0u64..(1 << 6) {
+            let pairs: Vec<TwoRail> = (0..3)
+                .map(|k| TwoRail { t: raw >> (2 * k) & 1 == 1, f: raw >> (2 * k + 1) & 1 == 1 })
+                .collect();
+            let expect = two_rail_tree_behavioral(&pairs);
+            let out = nl.eval_word(raw, None).outputs();
+            assert_eq!((out[0], out[1]), (expect.t, expect.f), "raw {raw:06b}");
+        }
+    }
+
+    #[test]
+    fn tree_is_fully_self_testing() {
+        // Every stuck-at fault in a 4-pair tree is detected by some valid
+        // (all-complementary) input combination — the TSC property.
+        let (nl, _, _) = tree(4);
+        let codewords: Vec<u64> = (0u64..16)
+            .map(|v| {
+                let pairs: Vec<TwoRail> =
+                    (0..4).map(|k| TwoRail::encode(v >> k & 1 == 1)).collect();
+                pattern_for(&pairs)
+            })
+            .collect();
+        for fault in fault_universe(&nl) {
+            let mut detected = false;
+            for &w in &codewords {
+                let eval = nl.eval_word(w, Some(fault));
+                let out = eval.outputs();
+                let pair = TwoRail { t: out[0], f: out[1] };
+                if pair.is_error() {
+                    detected = true;
+                    break;
+                }
+            }
+            assert!(detected, "fault {fault} not self-tested");
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_constant_valid() {
+        let mut nl = Netlist::new();
+        let root = two_rail_tree(&mut nl, &[]);
+        nl.expose(root.0);
+        nl.expose(root.1);
+        assert_eq!(nl.eval(&[]).outputs(), vec![true, false]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Berger codes — the systematic unordered code used by the zero-latency
+//! decoder-checking scheme of \[NIC 94\].
+//!
+//! A Berger codeword appends, to `k` information bits, a binary check field
+//! counting the number of **zeros** among the information bits. Unidirectional
+//! errors (all flipped bits in the same direction) always change the zero
+//! count in the wrong direction relative to the check field, so Berger codes
+//! are unordered and detect all unidirectional errors — exactly what the
+//! NOR-matrix scheme needs.
+//!
+//! The paper's Section III recalls the \[NIC 94\] implementation choice: a
+//! ROM generating "a Berger code with information bits equal to the decoder
+//! inputs", i.e. the matrix re-emits the address bits plus the zero-count
+//! check bits.
+
+use crate::{Code, CodeError};
+
+/// A Berger code over `info_bits` information bits.
+///
+/// The check field has `⌈log2(info_bits + 1)⌉` bits and stores the number of
+/// zeros in the information field. Total width is `info_bits + check_bits`,
+/// capped at 64 to fit the crate's `u64` word transport (hence
+/// `info_bits ≤ 57`, far beyond the ≤ 32 address bits any realistic decoder
+/// has).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BergerCode {
+    info_bits: u32,
+    check_bits: u32,
+}
+
+impl BergerCode {
+    /// Create a Berger code over `info_bits` information bits.
+    ///
+    /// # Errors
+    /// [`CodeError::InvalidBergerWidth`] unless `1 ≤ info_bits ≤ 57`.
+    pub fn new(info_bits: u32) -> Result<Self, CodeError> {
+        if info_bits == 0 || info_bits > 57 {
+            return Err(CodeError::InvalidBergerWidth { info_bits });
+        }
+        let check_bits = 32 - (info_bits).leading_zeros(); // ⌈log2(k+1)⌉
+        Ok(BergerCode { info_bits, check_bits })
+    }
+
+    /// Number of information bits.
+    pub fn info_bits(&self) -> u32 {
+        self.info_bits
+    }
+
+    /// Number of check bits, `⌈log2(k+1)⌉`.
+    pub fn check_bits(&self) -> u32 {
+        self.check_bits
+    }
+
+    /// Number of codewords, `2^info_bits`.
+    pub fn count(&self) -> u128 {
+        1u128 << self.info_bits
+    }
+
+    /// The check field for an information word: count of zeros among the low
+    /// `info_bits` bits.
+    pub fn check_field(&self, info: u64) -> u64 {
+        let mask = (1u64 << self.info_bits) - 1;
+        (self.info_bits - (info & mask).count_ones()) as u64
+    }
+
+    /// Encode: information in the low bits, check field above it.
+    ///
+    /// # Example
+    /// ```
+    /// use scm_codes::berger::BergerCode;
+    /// let code = BergerCode::new(4)?;
+    /// // info = 0b0101 has two zeros → check field 2 (0b010).
+    /// assert_eq!(code.encode(0b0101), 0b010_0101);
+    /// # Ok::<(), scm_codes::CodeError>(())
+    /// ```
+    pub fn encode(&self, info: u64) -> u64 {
+        let mask = (1u64 << self.info_bits) - 1;
+        let info = info & mask;
+        info | (self.check_field(info) << self.info_bits)
+    }
+
+    /// Split an encoded word into (information, check) fields.
+    pub fn split(&self, word: u64) -> (u64, u64) {
+        let mask = (1u64 << self.info_bits) - 1;
+        let info = word & mask;
+        let check = (word >> self.info_bits) & ((1u64 << self.check_bits) - 1);
+        (info, check)
+    }
+}
+
+impl Code for BergerCode {
+    fn width(&self) -> usize {
+        (self.info_bits + self.check_bits) as usize
+    }
+
+    fn is_codeword(&self, word: u64) -> bool {
+        if self.width() < 64 && word >> self.width() != 0 {
+            return false;
+        }
+        let (info, check) = self.split(word);
+        self.check_field(info) == check
+    }
+
+    fn name(&self) -> String {
+        format!("berger({}+{})", self.info_bits, self.check_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unordered::is_unordered_set;
+    use proptest::prelude::*;
+
+    #[test]
+    fn check_bit_counts() {
+        assert_eq!(BergerCode::new(1).unwrap().check_bits(), 1);
+        assert_eq!(BergerCode::new(3).unwrap().check_bits(), 2);
+        assert_eq!(BergerCode::new(4).unwrap().check_bits(), 3);
+        assert_eq!(BergerCode::new(7).unwrap().check_bits(), 3);
+        assert_eq!(BergerCode::new(8).unwrap().check_bits(), 4);
+        assert_eq!(BergerCode::new(15).unwrap().check_bits(), 4);
+        assert_eq!(BergerCode::new(16).unwrap().check_bits(), 5);
+        assert_eq!(BergerCode::new(32).unwrap().check_bits(), 6);
+    }
+
+    #[test]
+    fn invalid_widths_rejected() {
+        assert!(BergerCode::new(0).is_err());
+        assert!(BergerCode::new(58).is_err());
+        assert!(BergerCode::new(57).is_ok());
+    }
+
+    #[test]
+    fn encode_examples() {
+        let c = BergerCode::new(3).unwrap();
+        assert_eq!(c.encode(0b000), 0b11_000); // 3 zeros
+        assert_eq!(c.encode(0b111), 0b00_111); // 0 zeros
+        assert_eq!(c.encode(0b101), 0b01_101); // 1 zero
+    }
+
+    #[test]
+    fn all_codewords_unordered_small() {
+        for k in 1..=8u32 {
+            let c = BergerCode::new(k).unwrap();
+            let words: Vec<u64> = (0..(1u64 << k)).map(|v| c.encode(v)).collect();
+            assert!(is_unordered_set(&words), "berger({k}) not unordered");
+        }
+    }
+
+    #[test]
+    fn unidirectional_errors_detected_exhaustive_small() {
+        // Flip any nonempty subset of bits all in the same direction:
+        // the result must not be a codeword.
+        let c = BergerCode::new(4).unwrap();
+        let width = c.width();
+        for info in 0..16u64 {
+            let enc = c.encode(info);
+            for subset in 1u64..(1 << width) {
+                let ones_only = enc | subset; // 0→1 flips
+                if ones_only != enc {
+                    assert!(!c.is_codeword(ones_only), "0→1 escape info={info:b} subset={subset:b}");
+                }
+                let zeros_only = enc & !subset; // 1→0 flips
+                if zeros_only != enc {
+                    assert!(!c.is_codeword(zeros_only), "1→0 escape info={info:b} subset={subset:b}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_is_codeword(k in 1u32..=57, info in any::<u64>()) {
+            let c = BergerCode::new(k).unwrap();
+            prop_assert!(c.is_codeword(c.encode(info)));
+        }
+
+        #[test]
+        fn prop_split_roundtrip(k in 1u32..=57, info in any::<u64>()) {
+            let c = BergerCode::new(k).unwrap();
+            let enc = c.encode(info);
+            let (i, chk) = c.split(enc);
+            prop_assert_eq!(i, info & ((1u64 << k) - 1));
+            prop_assert_eq!(chk, c.check_field(i));
+        }
+
+        #[test]
+        fn prop_unidirectional_error_detected(k in 1u32..=20, info in any::<u64>(), subset in 1u64..u64::MAX, dir in any::<bool>()) {
+            let c = BergerCode::new(k).unwrap();
+            let enc = c.encode(info);
+            let mask = (1u64 << c.width()) - 1;
+            let subset = subset & mask;
+            prop_assume!(subset != 0);
+            let corrupted = if dir { enc | subset } else { enc & !subset };
+            prop_assume!(corrupted != enc);
+            prop_assert!(!c.is_codeword(corrupted));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Exact binomial coefficients in `u128`, the arithmetic backbone of
+//! `q`-out-of-`r` code sizing.
+//!
+//! The paper sizes codes by `C(q, r) ≥ a` where `a` can reach `10^15`
+//! (Table 1, `c = 2`, and Table 2, `Pndc = 1e-30`), so `f64` binomials are
+//! not acceptable; everything here is exact integer arithmetic with explicit
+//! overflow reporting.
+
+/// Exact binomial coefficient `C(n, k)`, or `None` on `u128` overflow.
+///
+/// Uses the multiplicative formula with per-step GCD-free exact division
+/// (the running product is always divisible by the next divisor).
+///
+/// # Example
+/// ```
+/// use scm_codes::binom::binomial;
+/// assert_eq!(binomial(5, 3), Some(10));     // the paper's 3-out-of-5 code
+/// assert_eq!(binomial(18, 9), Some(48620)); // the paper's 9-out-of-18 code
+/// assert_eq!(binomial(4, 7), Some(0));
+/// ```
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for j in 1..=k {
+        // acc * (n - k + j) / j is exact at every step: acc holds C(n', j-1)
+        // scaled so that the division below is exact.
+        acc = acc.checked_mul((n - k + j) as u128)?;
+        acc /= j as u128;
+    }
+    Some(acc)
+}
+
+/// Central binomial-style weight used by the paper: `q = ⌈r/2⌉`.
+///
+/// `q`-out-of-`r` codes with `q = ⌈r/2⌉` (equivalently `⌊r/2⌋`) maximise the
+/// codeword count for a given width, i.e. they are the cheapest unordered
+/// codes for a required number of codewords.
+pub fn central_weight(width: u32) -> u32 {
+    width.div_ceil(2)
+}
+
+/// Codeword count of the centred code of width `r`: `C(r, ⌈r/2⌉)`.
+///
+/// Returns `None` on overflow (first overflows above `r = 131`, far beyond
+/// the `r ≤ 64` words this crate manipulates).
+pub fn central_count(width: u32) -> Option<u128> {
+    binomial(width as u64, central_weight(width) as u64)
+}
+
+/// Smallest width `r` such that the centred `⌈r/2⌉`-out-of-`r` code has at
+/// least `required` codewords, together with that count.
+///
+/// This is exactly the paper's rule "select the code q-out-of-r with minimum
+/// r that satisfies `C(q,r) ≥ a` and `q = ⌈r/2⌉`". Returns `None` if no
+/// `r ≤ 64` suffices (`required > C(64, 32) ≈ 1.8e18`).
+///
+/// # Example
+/// ```
+/// use scm_codes::binom::smallest_central_width;
+/// // Paper, Section III.2: a = 9 → 3-out-of-5 (C = 10).
+/// assert_eq!(smallest_central_width(9), Some((5, 10)));
+/// // Table 2, Pndc = 1e-30: a = 1001 → 7-out-of-13 (C = 1716).
+/// assert_eq!(smallest_central_width(1001), Some((13, 1716)));
+/// ```
+pub fn smallest_central_width(required: u128) -> Option<(u32, u128)> {
+    for r in 1..=64u32 {
+        let count = central_count(r)?;
+        if count >= required {
+            return Some((r, count));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(1, 0), Some(1));
+        assert_eq!(binomial(1, 1), Some(1));
+        assert_eq!(binomial(2, 1), Some(2));
+        assert_eq!(binomial(3, 2), Some(3));
+        assert_eq!(binomial(4, 2), Some(6));
+        assert_eq!(binomial(7, 4), Some(35));
+        assert_eq!(binomial(8, 4), Some(70));
+        assert_eq!(binomial(9, 5), Some(126));
+        assert_eq!(binomial(13, 7), Some(1716));
+        assert_eq!(binomial(17, 9), Some(24310));
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_rule() {
+        for n in 1..60u64 {
+            for k in 1..=n {
+                let lhs = binomial(n, k).unwrap();
+                let rhs = binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap();
+                assert_eq!(lhs, rhs, "Pascal fails at C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_large_no_overflow_in_domain() {
+        // C(64, 32) = 1832624140942590534, fits easily in u128. This is the
+        // largest value the code-sizing path can request (r ≤ 64).
+        assert_eq!(binomial(64, 32), Some(1_832_624_140_942_590_534));
+        // C(120, 60) ≈ 9.7e34 still computes exactly.
+        assert!(binomial(120, 60).is_some());
+        // Near the u128 ceiling the intermediate product overflows and the
+        // function reports it rather than returning garbage.
+        assert!(binomial(140, 70).is_none());
+    }
+
+    #[test]
+    fn central_weight_matches_paper_examples() {
+        assert_eq!(central_weight(2), 1); // 1-out-of-2
+        assert_eq!(central_weight(3), 2); // 2-out-of-3
+        assert_eq!(central_weight(4), 2); // 2-out-of-4
+        assert_eq!(central_weight(5), 3); // 3-out-of-5
+        assert_eq!(central_weight(7), 4); // 4-out-of-7
+        assert_eq!(central_weight(9), 5); // 5-out-of-9
+        assert_eq!(central_weight(13), 7); // 7-out-of-13
+        assert_eq!(central_weight(18), 9); // 9-out-of-18
+    }
+
+    #[test]
+    fn smallest_central_width_monotone_and_tight() {
+        // The selected width is minimal: the next smaller width is too small.
+        for required in [2u128, 3, 5, 9, 33, 101, 1001, 32769] {
+            let (r, count) = smallest_central_width(required).unwrap();
+            assert!(count >= required);
+            if r > 1 {
+                assert!(central_count(r - 1).unwrap() < required);
+            }
+        }
+    }
+
+    #[test]
+    fn smallest_central_width_table_rows() {
+        // Table 2 code column, via the odd-adjusted a values.
+        assert_eq!(smallest_central_width(5).unwrap().0, 4); // 2-out-of-4
+        assert_eq!(smallest_central_width(9).unwrap().0, 5); // 3-out-of-5
+        assert_eq!(smallest_central_width(33).unwrap().0, 7); // 4-out-of-7
+        assert_eq!(smallest_central_width(101).unwrap().0, 9); // 5-out-of-9
+        assert_eq!(smallest_central_width(1001).unwrap().0, 13); // 7-out-of-13
+        // Table 1, c = 2: a = 31623 → 9-out-of-18.
+        assert_eq!(smallest_central_width(31623).unwrap().0, 18);
+    }
+
+    #[test]
+    fn smallest_central_width_out_of_range() {
+        assert_eq!(smallest_central_width(u128::MAX), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Coding-theory substrate for the self-checking memory reproduction.
+//!
+//! This crate implements every code the paper relies on:
+//!
+//! * [`parity`] — single-bit even/odd parity protecting the memory data path
+//!   (cell array + column MUX), which is Strongly Fault Secure because each
+//!   cell and MUX line feeds exactly one memory output.
+//! * [`two_rail`] — the 1-out-of-2 two-rail code used for checker error
+//!   indications.
+//! * [`berger`] — Berger codes, the unordered code family used by the
+//!   zero-latency scheme of \[NIC 94\].
+//! * [`mofn`] — `q`-out-of-`r` (a.k.a. *m-out-of-n*) constant-weight codes:
+//!   with `q = ⌈r/2⌉` these are the unordered codes with the minimum number
+//!   of bits for a given codeword count, and are the paper's workhorse.
+//! * [`unordered`] — the *unordered* property itself (no codeword covers
+//!   another) and verification helpers.
+//! * [`mapping`] — the address → codeword mappings of Section III.1/III.2:
+//!   `B = A mod a` with odd `a`, the 1-out-of-2 decoder-input-parity special
+//!   case, and the "complete the code" fix applied when `a = C(q,r) − 1`.
+//! * [`selection`] — the paper's central algorithm: given a tolerated
+//!   detection latency (`c` clock cycles, escape probability `Pndc`),
+//!   select the cheapest `q`-out-of-`r` code meeting it (Section III.2).
+//!
+//! # Example
+//!
+//! Reproduce the paper's worked example (`c = 10`, `Pndc = 1e-9` →
+//! 3-out-of-5 code with `a = 9`):
+//!
+//! ```
+//! use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+//! use scm_codes::selection::SelectedScheme;
+//!
+//! let budget = LatencyBudget::new(10, 1e-9)?;
+//! let plan = select_code(budget, SelectionPolicy::WorstBlockExact)?;
+//! match plan.scheme() {
+//!     SelectedScheme::QOutOfR { code, a } => {
+//!         assert_eq!((code.weight(), code.width_u32()), (3, 5));
+//!         assert_eq!(*a, 9);
+//!     }
+//!     other => panic!("unexpected scheme {other:?}"),
+//! }
+//! # Ok::<(), scm_codes::CodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod berger;
+pub mod binom;
+pub mod mapping;
+pub mod mofn;
+pub mod parity;
+pub mod selection;
+pub mod two_rail;
+pub mod unordered;
+
+use std::error::Error;
+use std::fmt;
+
+pub use berger::BergerCode;
+pub use mapping::{CodewordMap, MappingKind};
+pub use mofn::MOutOfN;
+pub use selection::{CodePlan, LatencyBudget, SelectedScheme, SelectionPolicy};
+pub use two_rail::TwoRail;
+
+/// A systematic or non-systematic block code over bit-words.
+///
+/// Codewords are represented as the low `width()` bits of a `u64`
+/// (bit `k` of the `u64` is bit `k` of the codeword). All the paper's codes
+/// fit comfortably: the widest code in either table is 9-out-of-18.
+pub trait Code {
+    /// Number of bits in a codeword.
+    fn width(&self) -> usize;
+
+    /// Whether the low [`Code::width`] bits of `word` form a codeword.
+    fn is_codeword(&self, word: u64) -> bool;
+
+    /// Human-readable code name, e.g. `"3-out-of-5"`.
+    fn name(&self) -> String;
+}
+
+/// Errors produced by code construction, mapping and selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodeError {
+    /// A `q`-out-of-`r` code was requested with `q > r`, `r = 0` or `r > 64`.
+    InvalidMOutOfN {
+        /// Requested weight `q`.
+        weight: u32,
+        /// Requested width `r`.
+        width: u32,
+    },
+    /// A codeword rank was out of range for the code.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u128,
+        /// The code's codeword count.
+        count: u128,
+    },
+    /// A latency budget was malformed (`cycles = 0`, or `Pndc` outside `(0, 1]`).
+    InvalidBudget {
+        /// Requested number of cycles `c`.
+        cycles: u32,
+        /// Requested escape probability `Pndc`.
+        pndc: f64,
+    },
+    /// The mapping modulus `a` was invalid (must be ≥ 2; even values other
+    /// than 2 defeat detection for sub-blocks at bit offsets `j ≥ 1`).
+    InvalidModulus {
+        /// The offending modulus.
+        a: u64,
+    },
+    /// No q-out-of-r code with width ≤ 64 can supply the required number of
+    /// codewords.
+    CodeTooLarge {
+        /// Required codeword count.
+        required: u128,
+    },
+    /// Berger code information width out of the supported 1..=57 range.
+    InvalidBergerWidth {
+        /// Requested information-bit count.
+        info_bits: u32,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidMOutOfN { weight, width } => {
+                write!(f, "invalid {weight}-out-of-{width} code parameters")
+            }
+            CodeError::RankOutOfRange { rank, count } => {
+                write!(f, "codeword rank {rank} out of range for code with {count} codewords")
+            }
+            CodeError::InvalidBudget { cycles, pndc } => {
+                write!(f, "invalid latency budget: c = {cycles}, Pndc = {pndc}")
+            }
+            CodeError::InvalidModulus { a } => {
+                write!(f, "invalid codeword-map modulus a = {a} (must be 2 or odd ≥ 3)")
+            }
+            CodeError::CodeTooLarge { required } => {
+                write!(f, "no q-out-of-r code with r ≤ 64 has {required} codewords")
+            }
+            CodeError::InvalidBergerWidth { info_bits } => {
+                write!(f, "Berger code information width {info_bits} outside supported range 1..=57")
+            }
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+/// Popcount helper used across the crate: number of 1-bits among the low
+/// `width` bits of `word`.
+///
+/// # Example
+/// ```
+/// assert_eq!(scm_codes::weight_of(0b1011, 4), 3);
+/// assert_eq!(scm_codes::weight_of(0b1011, 2), 2); // bits above `width` ignored
+/// ```
+pub fn weight_of(word: u64, width: usize) -> u32 {
+    debug_assert!(width <= 64);
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    (word & mask).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_of_masks_high_bits() {
+        assert_eq!(weight_of(u64::MAX, 64), 64);
+        assert_eq!(weight_of(u64::MAX, 1), 1);
+        assert_eq!(weight_of(0, 64), 0);
+        assert_eq!(weight_of(0b10100, 5), 2);
+    }
+
+    #[test]
+    fn errors_display_is_nonempty() {
+        let samples: Vec<CodeError> = vec![
+            CodeError::InvalidMOutOfN { weight: 5, width: 3 },
+            CodeError::RankOutOfRange { rank: 10, count: 5 },
+            CodeError::InvalidBudget { cycles: 0, pndc: 2.0 },
+            CodeError::InvalidModulus { a: 4 },
+            CodeError::CodeTooLarge { required: u128::MAX },
+            CodeError::InvalidBergerWidth { info_bits: 99 },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Address → codeword mappings (paper, Sections III.1–III.2).
+//!
+//! The NOR matrix attached to a decoder must emit, for each decoder output
+//! line (i.e. each address value `A`), a codeword of the chosen unordered
+//! code. Which codeword matters enormously for detection latency:
+//!
+//! * **`B = A mod a`** (with the codeword of rank `B`): distributes the `a`
+//!   used codewords uniformly over the address space, so every decoding
+//!   block at every bit offset `j` sees ≈`a` distinct codewords — *provided
+//!   `a` is odd*. If `gcd(2^j, a) = f > 1`, a block at offset `j` only ever
+//!   exercises `a/f` codewords and detection degrades by a factor `f`
+//!   (fatally, `f = a`, for even `a` at `j ≥ 1`). Hence the paper's rule:
+//!   `a` odd, taken as `C(q,r)` if odd else `C(q,r) − 1`.
+//! * **Decoder-input parity** (the 1-out-of-2 special case): codeword
+//!   `(odd parity, even parity)` of the address bits. Any two addresses
+//!   differing in an odd number of bits get different codewords, which is
+//!   what replaces the hopeless `mod 2` mapping.
+//! * **Berger identity mapping** (\[NIC 94\] zero-latency endpoint): every
+//!   line gets a *unique* codeword — the Berger encoding of its address —
+//!   so every two-line selection is detected instantly.
+//!
+//! When `a = C(q,r) − 1`, one codeword is never emitted; the paper's
+//! "complete the code" fix re-maps a single address onto it so the
+//! downstream `q`-out-of-`r` checker is fully exercised during normal
+//! operation. [`CodewordMap`] applies this fix automatically whenever the
+//! address space is large enough.
+
+use crate::berger::BergerCode;
+use crate::mofn::MOutOfN;
+use crate::{Code, CodeError};
+
+/// Which mapping strategy a [`CodewordMap`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// `B = A mod a`, codeword of rank `B` in a `q`-out-of-`r` code.
+    ModA {
+        /// The modulus `a` (number of distinct codewords in use).
+        a: u64,
+    },
+    /// 1-out-of-2 codeword `(odd parity, even parity)` of the address bits.
+    InputParity,
+    /// Unique Berger codeword per address (zero-latency endpoint).
+    Berger,
+}
+
+#[derive(Clone)]
+enum MapCode {
+    MOutOfN(MOutOfN),
+    OneOutOfTwo,
+    Berger(BergerCode),
+}
+
+/// A concrete address → codeword mapping for a decoder with `num_lines`
+/// output lines (addresses `0 .. num_lines`).
+///
+/// # Example
+/// ```
+/// use scm_codes::{CodewordMap, MOutOfN};
+/// // The paper's 3-out-of-5 / a = 9 scheme on a 32-line decoder.
+/// let map = CodewordMap::mod_a(MOutOfN::new(3, 5)?, 9, 32)?;
+/// assert_eq!(map.width(), 5);
+/// // Addresses 0 and 9 share a codeword (9 mod 9 == 0 mod 9)...
+/// assert_eq!(map.codeword_for(0), map.codeword_for(18));
+/// // ...but the bitwise AND of two *different* codewords is never valid.
+/// let w = map.codeword_for(1) & map.codeword_for(2);
+/// assert!(!map.is_codeword(w));
+/// # Ok::<(), scm_codes::CodeError>(())
+/// ```
+#[derive(Clone)]
+pub struct CodewordMap {
+    kind: MappingKind,
+    code: MapCode,
+    num_lines: u64,
+    /// The paper's completion fix: `(address, rank)` of the one re-mapped
+    /// line, when `a = C(q,r) − 1` leaves a codeword unused.
+    remapped: Option<(u64, u128)>,
+}
+
+impl std::fmt::Debug for CodewordMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodewordMap")
+            .field("kind", &self.kind)
+            .field("code", &self.code_name())
+            .field("num_lines", &self.num_lines)
+            .field("remapped", &self.remapped)
+            .finish()
+    }
+}
+
+impl CodewordMap {
+    /// Build a `mod a` mapping into a `q`-out-of-`r` code.
+    ///
+    /// # Errors
+    /// * [`CodeError::InvalidModulus`] if `a < 2`, or if `a` is even while
+    ///   `a < num_lines` (codeword collisions with an even modulus destroy
+    ///   detection for sub-blocks at bit offsets `j ≥ 1`), or `a = 2`
+    ///   (the paper mandates the parity mapping instead — use
+    ///   [`CodewordMap::input_parity`]).
+    /// * [`CodeError::RankOutOfRange`] if `a` exceeds the code's codeword
+    ///   count.
+    pub fn mod_a(code: MOutOfN, a: u64, num_lines: u64) -> Result<Self, CodeError> {
+        if a < 2 || a == 2 || (a % 2 == 0 && a < num_lines) {
+            return Err(CodeError::InvalidModulus { a });
+        }
+        let count = code.count();
+        if (a as u128) > count {
+            return Err(CodeError::RankOutOfRange { rank: a as u128, count });
+        }
+        // Completion fix: if exactly the top codeword-space is unused and the
+        // address space has collisions anyway, re-map address `a` (a duplicate
+        // of residue 0) onto the first unused rank. This matches the paper:
+        // "one address mapped to some other code word can be mapped to this
+        // code word".
+        let remapped = if (a as u128) < count && num_lines > a {
+            Some((a, a as u128))
+        } else {
+            None
+        };
+        Ok(CodewordMap { kind: MappingKind::ModA { a }, code: MapCode::MOutOfN(code), num_lines, remapped })
+    }
+
+    /// Build the 1-out-of-2 decoder-input-parity mapping.
+    pub fn input_parity(num_lines: u64) -> Self {
+        CodewordMap {
+            kind: MappingKind::InputParity,
+            code: MapCode::OneOutOfTwo,
+            num_lines,
+            remapped: None,
+        }
+    }
+
+    /// Build the \[NIC 94\] zero-latency Berger identity mapping for a
+    /// decoder with `num_lines = 2^address_bits` outputs.
+    ///
+    /// # Errors
+    /// [`CodeError::InvalidBergerWidth`] for unsupported address widths.
+    pub fn berger(address_bits: u32, num_lines: u64) -> Result<Self, CodeError> {
+        let code = BergerCode::new(address_bits)?;
+        Ok(CodewordMap { kind: MappingKind::Berger, code: MapCode::Berger(code), num_lines, remapped: None })
+    }
+
+    /// Zero-latency `q`-out-of-`r` identity mapping (`a = num_lines`): every
+    /// line gets a distinct codeword of the smallest centred code that is
+    /// large enough. This is the other \[NIC 94\] implementation option.
+    ///
+    /// # Errors
+    /// [`CodeError::CodeTooLarge`] if no `r ≤ 64` suffices.
+    pub fn identity_mofn(num_lines: u64) -> Result<Self, CodeError> {
+        let (r, _count) = crate::binom::smallest_central_width(num_lines as u128)
+            .ok_or(CodeError::CodeTooLarge { required: num_lines as u128 })?;
+        let code = MOutOfN::centered(r)?;
+        Ok(CodewordMap {
+            kind: MappingKind::ModA { a: num_lines },
+            code: MapCode::MOutOfN(code),
+            num_lines,
+            remapped: None,
+        })
+    }
+
+    /// The mapping strategy in use.
+    pub fn kind(&self) -> MappingKind {
+        self.kind
+    }
+
+    /// Number of decoder output lines this map serves.
+    pub fn num_lines(&self) -> u64 {
+        self.num_lines
+    }
+
+    /// Codeword width `r` emitted by the NOR matrix.
+    pub fn width(&self) -> usize {
+        match &self.code {
+            MapCode::MOutOfN(c) => c.width(),
+            MapCode::OneOutOfTwo => 2,
+            MapCode::Berger(c) => c.width(),
+        }
+    }
+
+    /// Name of the underlying code (e.g. `"3-out-of-5"`).
+    pub fn code_name(&self) -> String {
+        match &self.code {
+            MapCode::MOutOfN(c) => c.name(),
+            MapCode::OneOutOfTwo => "1-out-of-2".to_owned(),
+            MapCode::Berger(c) => c.name(),
+        }
+    }
+
+    /// Membership test for the underlying code.
+    pub fn is_codeword(&self, word: u64) -> bool {
+        match &self.code {
+            MapCode::MOutOfN(c) => c.is_codeword(word),
+            MapCode::OneOutOfTwo => word == 0b01 || word == 0b10,
+            MapCode::Berger(c) => c.is_codeword(word),
+        }
+    }
+
+    /// The codeword *rank* assigned to an address (before codeword lookup).
+    ///
+    /// # Panics
+    /// Panics if `address >= num_lines`.
+    pub fn rank_for(&self, address: u64) -> u128 {
+        assert!(address < self.num_lines, "address {address} out of {} lines", self.num_lines);
+        if let Some((remap_addr, rank)) = self.remapped {
+            if address == remap_addr {
+                return rank;
+            }
+        }
+        match self.kind {
+            MappingKind::ModA { a } => (address % a) as u128,
+            MappingKind::InputParity => (address.count_ones() % 2) as u128,
+            MappingKind::Berger => address as u128,
+        }
+    }
+
+    /// The codeword assigned to an address.
+    ///
+    /// # Panics
+    /// Panics if `address >= num_lines`.
+    pub fn codeword_for(&self, address: u64) -> u64 {
+        let rank = self.rank_for(address);
+        match &self.code {
+            MapCode::MOutOfN(c) => c.word_at(rank).expect("rank < a <= count"),
+            MapCode::OneOutOfTwo => {
+                if rank == 1 {
+                    0b01 // odd parity → rail pattern (odd=1, even=0)
+                } else {
+                    0b10
+                }
+            }
+            MapCode::Berger(c) => c.encode(address),
+        }
+    }
+
+    /// Full table of codewords for all lines — the ROM programming image.
+    pub fn table(&self) -> Vec<u64> {
+        (0..self.num_lines).map(|a| self.codeword_for(a)).collect()
+    }
+
+    /// Do two addresses share a codeword? (If they do, a stuck-at-1 fault
+    /// selecting both lines is *undetectable* — the paper's fundamental
+    /// limitation when `a <` number of lines.)
+    pub fn same_codeword(&self, a1: u64, a2: u64) -> bool {
+        self.rank_for(a1) == self.rank_for(a2)
+    }
+
+    /// The effective number of distinct codewords in use.
+    pub fn distinct_codewords(&self) -> u64 {
+        match self.kind {
+            MappingKind::ModA { a } => {
+                let base = a.min(self.num_lines);
+                base + if self.remapped.is_some() { 1 } else { 0 }
+            }
+            MappingKind::InputParity => 2.min(self.num_lines),
+            MappingKind::Berger => self.num_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_map(lines: u64) -> CodewordMap {
+        CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, lines).unwrap()
+    }
+
+    #[test]
+    fn mod_a_rejects_bad_moduli() {
+        let code = MOutOfN::new(3, 5).unwrap();
+        assert!(matches!(
+            CodewordMap::mod_a(code, 2, 16),
+            Err(CodeError::InvalidModulus { a: 2 })
+        ));
+        assert!(matches!(
+            CodewordMap::mod_a(code, 4, 16),
+            Err(CodeError::InvalidModulus { a: 4 })
+        ));
+        assert!(matches!(
+            CodewordMap::mod_a(code, 11, 16),
+            Err(CodeError::RankOutOfRange { .. })
+        ));
+        // Even modulus with no collisions (a >= lines) is fine: identity-ish.
+        assert!(CodewordMap::mod_a(code, 10, 10).is_ok());
+        assert!(CodewordMap::mod_a(code, 9, 16).is_ok());
+    }
+
+    #[test]
+    fn mod_a_residue_structure() {
+        let map = paper_map(64);
+        for addr in 0..64u64 {
+            if addr != 9 {
+                // completion fix moved address 9
+                assert_eq!(map.rank_for(addr), (addr % 9) as u128, "addr {addr}");
+            }
+        }
+        assert_eq!(map.rank_for(9), 9, "completion fix must use the spare codeword");
+        assert_eq!(map.distinct_codewords(), 10);
+    }
+
+    #[test]
+    fn completion_fix_covers_all_codewords() {
+        // With a = 9 out of C(3,5) = 10 codewords and >= 10 lines, all 10
+        // codewords must appear in the ROM image (exercises the checker).
+        let map = paper_map(64);
+        let mut seen: Vec<u64> = map.table();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10);
+        let code = MOutOfN::new(3, 5).unwrap();
+        let all: std::collections::HashSet<u64> = code.iter().collect();
+        for w in seen {
+            assert!(all.contains(&w));
+        }
+    }
+
+    #[test]
+    fn no_completion_fix_when_space_too_small() {
+        // 8 lines, a = 9: every line already has a unique codeword.
+        let map = paper_map(8);
+        for a1 in 0..8u64 {
+            for a2 in 0..a1 {
+                assert!(!map.same_codeword(a1, a2));
+            }
+        }
+    }
+
+    #[test]
+    fn input_parity_mapping() {
+        let map = CodewordMap::input_parity(16);
+        assert_eq!(map.width(), 2);
+        assert_eq!(map.codeword_for(0), 0b10); // even parity
+        assert_eq!(map.codeword_for(1), 0b01); // odd
+        assert_eq!(map.codeword_for(3), 0b10); // two ones → even
+        assert_eq!(map.codeword_for(7), 0b01);
+        assert_eq!(map.distinct_codewords(), 2);
+        assert!(map.is_codeword(0b01));
+        assert!(map.is_codeword(0b10));
+        assert!(!map.is_codeword(0b00));
+        assert!(!map.is_codeword(0b11));
+    }
+
+    #[test]
+    fn berger_mapping_is_injective() {
+        let map = CodewordMap::berger(5, 32).unwrap();
+        let table = map.table();
+        let mut sorted = table.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32);
+        for w in table {
+            assert!(map.is_codeword(w));
+        }
+    }
+
+    #[test]
+    fn identity_mofn_zero_latency() {
+        let map = CodewordMap::identity_mofn(256).unwrap();
+        // Needs C(q,r) >= 256 → 5-out-of-10 (252) too small, C(6,11) = 462.
+        assert_eq!(map.width(), 11);
+        let table = map.table();
+        let mut sorted = table.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "identity mapping must be injective");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn address_out_of_range_panics() {
+        paper_map(8).codeword_for(8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_rom_word_is_codeword(lines_log in 3u32..=10, a_idx in 0usize..4) {
+            let choices = [(2u32,3u32,3u64), (2,4,5), (3,5,9), (4,7,35)];
+            let (q, r, a) = choices[a_idx];
+            let lines = 1u64 << lines_log;
+            let map = CodewordMap::mod_a(MOutOfN::new(q, r).unwrap(), a, lines).unwrap();
+            for addr in 0..lines {
+                prop_assert!(map.is_codeword(map.codeword_for(addr)));
+            }
+        }
+
+        #[test]
+        fn prop_and_of_different_ranks_noncode(addr1 in 0u64..512, addr2 in 0u64..512) {
+            let map = paper_map(512);
+            if !map.same_codeword(addr1, addr2) {
+                let and = map.codeword_for(addr1) & map.codeword_for(addr2);
+                prop_assert!(!map.is_codeword(and));
+            } else {
+                prop_assert_eq!(map.codeword_for(addr1), map.codeword_for(addr2));
+            }
+        }
+
+        #[test]
+        fn prop_parity_map_detects_odd_distance(addr1 in 0u64..1024, addr2 in 0u64..1024) {
+            let map = CodewordMap::input_parity(1024);
+            let distance = (addr1 ^ addr2).count_ones();
+            if distance % 2 == 1 {
+                prop_assert!(!map.same_codeword(addr1, addr2));
+            } else {
+                prop_assert!(map.same_codeword(addr1, addr2));
+            }
+        }
+    }
+}

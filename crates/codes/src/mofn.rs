@@ -1,0 +1,293 @@
+//! `q`-out-of-`r` constant-weight codes (the paper's *m-out-of-n* codes).
+//!
+//! A `q`-out-of-`r` codeword is an `r`-bit word with exactly `q` ones. These
+//! codes are **unordered**: no codeword covers another (two distinct words of
+//! equal weight must each have a 1 where the other has a 0). The paper uses
+//! them with `q = ⌈r/2⌉` because that choice minimises `r` for a required
+//! codeword count.
+//!
+//! Codewords are *ranked*: [`MOutOfN::word_at`] / [`MOutOfN::rank_of`]
+//! implement the combinatorial number system (lexicographic by bit-reversed
+//! value — any fixed total order works for the scheme; what matters is that
+//! the map is a bijection, which the property tests pin down).
+
+use crate::binom::binomial;
+use crate::{weight_of, Code, CodeError};
+
+/// A `q`-out-of-`r` constant-weight code.
+///
+/// # Example
+/// ```
+/// use scm_codes::{Code, MOutOfN};
+/// let code = MOutOfN::new(3, 5)?; // the paper's flagship 3-out-of-5 code
+/// assert_eq!(code.count(), 10);
+/// assert!(code.is_codeword(0b00111));
+/// assert!(!code.is_codeword(0b00011));
+/// # Ok::<(), scm_codes::CodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MOutOfN {
+    weight: u32,
+    width: u32,
+}
+
+impl MOutOfN {
+    /// Create a `weight`-out-of-`width` code.
+    ///
+    /// # Errors
+    /// [`CodeError::InvalidMOutOfN`] if `width == 0`, `width > 64` or
+    /// `weight > width`.
+    pub fn new(weight: u32, width: u32) -> Result<Self, CodeError> {
+        if width == 0 || width > 64 || weight > width {
+            return Err(CodeError::InvalidMOutOfN { weight, width });
+        }
+        Ok(MOutOfN { weight, width })
+    }
+
+    /// The centred code of a given width: `⌈r/2⌉`-out-of-`r`.
+    ///
+    /// # Errors
+    /// [`CodeError::InvalidMOutOfN`] if `width == 0` or `width > 64`.
+    pub fn centered(width: u32) -> Result<Self, CodeError> {
+        Self::new(crate::binom::central_weight(width), width)
+    }
+
+    /// Codeword weight `q`.
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// Codeword width `r` (same as [`Code::width`] but `u32`-typed).
+    pub fn width_u32(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of codewords, `C(r, q)`.
+    pub fn count(&self) -> u128 {
+        binomial(self.width as u64, self.weight as u64)
+            .expect("C(r,q) with r <= 64 always fits in u128")
+    }
+
+    /// The rank-`rank` codeword (combinatorial number system).
+    ///
+    /// # Errors
+    /// [`CodeError::RankOutOfRange`] if `rank >= self.count()`.
+    pub fn word_at(&self, rank: u128) -> Result<u64, CodeError> {
+        let count = self.count();
+        if rank >= count {
+            return Err(CodeError::RankOutOfRange { rank, count });
+        }
+        // Combinadic decoding: choose bit positions from the top.
+        let mut word = 0u64;
+        let mut remaining = rank;
+        let mut ones_left = self.weight;
+        for pos in (0..self.width).rev() {
+            if ones_left == 0 {
+                break;
+            }
+            // Number of words that leave bit `pos` clear: C(pos, ones_left).
+            let without = binomial(pos as u64, ones_left as u64).unwrap_or(0);
+            if remaining >= without {
+                word |= 1u64 << pos;
+                remaining -= without;
+                ones_left -= 1;
+            }
+        }
+        debug_assert_eq!(ones_left, 0);
+        Ok(word)
+    }
+
+    /// Rank of a codeword, inverse of [`MOutOfN::word_at`]; `None` if `word`
+    /// is not a codeword.
+    pub fn rank_of(&self, word: u64) -> Option<u128> {
+        if !self.is_codeword(word) {
+            return None;
+        }
+        let mut rank: u128 = 0;
+        let mut ones_left = self.weight;
+        for pos in (0..self.width).rev() {
+            if ones_left == 0 {
+                break;
+            }
+            if word & (1u64 << pos) != 0 {
+                rank += binomial(pos as u64, ones_left as u64).unwrap_or(0);
+                ones_left -= 1;
+            }
+        }
+        Some(rank)
+    }
+
+    /// Iterator over all codewords in rank order.
+    ///
+    /// # Panics
+    /// Panics if the code has more than `u64::MAX` codewords (impossible for
+    /// the centred codes with `r ≤ 64` used by the scheme would be fine, but
+    /// guarded anyway).
+    pub fn iter(&self) -> CodewordIter {
+        CodewordIter { code: *self, next_rank: 0, count: self.count() }
+    }
+}
+
+impl Code for MOutOfN {
+    fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    fn is_codeword(&self, word: u64) -> bool {
+        weight_of(word, self.width as usize) == self.weight
+            && (self.width == 64 || word >> self.width == 0)
+    }
+
+    fn name(&self) -> String {
+        format!("{}-out-of-{}", self.weight, self.width)
+    }
+}
+
+/// Iterator over the codewords of an [`MOutOfN`] code in rank order.
+#[derive(Debug, Clone)]
+pub struct CodewordIter {
+    code: MOutOfN,
+    next_rank: u128,
+    count: u128,
+}
+
+impl Iterator for CodewordIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next_rank >= self.count {
+            return None;
+        }
+        let w = self
+            .code
+            .word_at(self.next_rank)
+            .expect("rank < count is always valid");
+        self.next_rank += 1;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.count - self.next_rank).min(usize::MAX as u128) as usize;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unordered::is_unordered_set;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(MOutOfN::new(3, 2).is_err());
+        assert!(MOutOfN::new(0, 0).is_err());
+        assert!(MOutOfN::new(1, 65).is_err());
+        assert!(MOutOfN::new(0, 4).is_ok()); // degenerate but well-defined
+        assert!(MOutOfN::new(64, 64).is_ok());
+    }
+
+    #[test]
+    fn one_out_of_two_is_two_rail() {
+        let c = MOutOfN::new(1, 2).unwrap();
+        assert_eq!(c.count(), 2);
+        let words: Vec<u64> = c.iter().collect();
+        assert_eq!(words.len(), 2);
+        assert!(words.contains(&0b01));
+        assert!(words.contains(&0b10));
+    }
+
+    #[test]
+    fn three_out_of_five_enumeration() {
+        let c = MOutOfN::new(3, 5).unwrap();
+        let words: Vec<u64> = c.iter().collect();
+        assert_eq!(words.len(), 10);
+        for w in &words {
+            assert_eq!(w.count_ones(), 3);
+            assert!(w >> 5 == 0);
+        }
+        // All distinct.
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn codewords_form_unordered_set() {
+        for (q, r) in [(1u32, 2u32), (2, 3), (2, 4), (3, 5), (4, 7), (5, 9)] {
+            let c = MOutOfN::new(q, r).unwrap();
+            let words: Vec<u64> = c.iter().collect();
+            assert!(is_unordered_set(&words), "{q}-out-of-{r} not unordered");
+        }
+    }
+
+    #[test]
+    fn rank_roundtrip_exhaustive_small() {
+        for (q, r) in [(1u32, 2u32), (2, 4), (3, 5), (2, 6), (4, 8)] {
+            let c = MOutOfN::new(q, r).unwrap();
+            for rank in 0..c.count() {
+                let w = c.word_at(rank).unwrap();
+                assert!(c.is_codeword(w));
+                assert_eq!(c.rank_of(w), Some(rank), "{q}/{r} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_out_of_range_errors() {
+        let c = MOutOfN::new(3, 5).unwrap();
+        assert_eq!(
+            c.word_at(10),
+            Err(CodeError::RankOutOfRange { rank: 10, count: 10 })
+        );
+    }
+
+    #[test]
+    fn rank_of_noncodeword_is_none() {
+        let c = MOutOfN::new(3, 5).unwrap();
+        assert_eq!(c.rank_of(0b11111), None);
+        assert_eq!(c.rank_of(0), None);
+        assert_eq!(c.rank_of(0b100111), None); // weight 4 over 6 bits
+    }
+
+    #[test]
+    fn centered_matches_paper_codes() {
+        let c = MOutOfN::centered(18).unwrap();
+        assert_eq!((c.weight(), c.width_u32()), (9, 18));
+        assert_eq!(c.count(), 48620);
+        let c = MOutOfN::centered(9).unwrap();
+        assert_eq!((c.weight(), c.width_u32()), (5, 9));
+        assert_eq!(c.count(), 126);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_unrank_bijection(r in 1u32..=16, rank_seed in any::<u64>()) {
+            let q = crate::binom::central_weight(r);
+            let c = MOutOfN::new(q, r).unwrap();
+            let rank = (rank_seed as u128) % c.count();
+            let w = c.word_at(rank).unwrap();
+            prop_assert_eq!(c.rank_of(w), Some(rank));
+        }
+
+        #[test]
+        fn prop_is_codeword_iff_weight(r in 1u32..=16, word in any::<u64>()) {
+            let q = crate::binom::central_weight(r);
+            let c = MOutOfN::new(q, r).unwrap();
+            let masked = word & ((1u64 << r) - 1);
+            prop_assert_eq!(c.is_codeword(masked), masked.count_ones() == q);
+        }
+
+        #[test]
+        fn prop_word_order_is_strictly_monotone(r in 2u32..=12) {
+            let c = MOutOfN::centered(r).unwrap();
+            // Ranks must enumerate distinct words; adjacent words differ.
+            let mut seen = std::collections::HashSet::new();
+            for rank in 0..c.count() {
+                let w = c.word_at(rank).unwrap();
+                prop_assert!(seen.insert(w), "duplicate word {w:b} at rank {rank}");
+            }
+        }
+    }
+}

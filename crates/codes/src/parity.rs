@@ -1,0 +1,188 @@
+//! Single-bit parity, the data-path code of the self-checking memory.
+//!
+//! The paper (Section II) keeps the classical arrangement: every memory word
+//! is stored with one parity bit. Because each cell of the array and each
+//! MUX line feeds exactly one memory output, any single structural fault in
+//! those parts flips at most one output bit, which parity detects — giving
+//! the Strongly Fault Secure property for the data path with zero detection
+//! latency for single-cell faults.
+
+/// Parity sense: whether a valid (word, check-bit) pair has an even or odd
+/// total number of ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParitySense {
+    /// Total ones count (data + check bit) must be even.
+    #[default]
+    Even,
+    /// Total ones count (data + check bit) must be odd.
+    Odd,
+}
+
+/// Parity of the low `width` bits of `word`: `true` when the count of ones
+/// is odd.
+///
+/// # Example
+/// ```
+/// use scm_codes::parity::parity_bit_of;
+/// assert!(parity_bit_of(0b0111, 4));
+/// assert!(!parity_bit_of(0b0110, 4));
+/// ```
+pub fn parity_bit_of(word: u64, width: usize) -> bool {
+    crate::weight_of(word, width) % 2 == 1
+}
+
+/// A single-parity-bit code over `width` data bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParityCode {
+    width: usize,
+    sense: ParitySense,
+}
+
+impl ParityCode {
+    /// Even-parity code over `width` data bits.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `width > 63` (the check bit must also fit
+    /// in the `u64` transport used throughout this crate).
+    pub fn even(width: usize) -> Self {
+        assert!(width >= 1 && width <= 63, "parity width {width} out of 1..=63");
+        ParityCode { width, sense: ParitySense::Even }
+    }
+
+    /// Odd-parity code over `width` data bits.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `width > 63`.
+    pub fn odd(width: usize) -> Self {
+        assert!(width >= 1 && width <= 63, "parity width {width} out of 1..=63");
+        ParityCode { width, sense: ParitySense::Odd }
+    }
+
+    /// Data width (excluding the check bit).
+    pub fn data_width(&self) -> usize {
+        self.width
+    }
+
+    /// The parity sense of this code.
+    pub fn sense(&self) -> ParitySense {
+        self.sense
+    }
+
+    /// Compute the check bit for a data word.
+    pub fn check_bit(&self, data: u64) -> bool {
+        let odd = parity_bit_of(data, self.width);
+        match self.sense {
+            ParitySense::Even => odd,         // make total even
+            ParitySense::Odd => !odd,         // make total odd
+        }
+    }
+
+    /// Encode: data in the low bits, check bit at position `width`.
+    pub fn encode(&self, data: u64) -> u64 {
+        let masked = data & self.data_mask();
+        masked | ((self.check_bit(masked) as u64) << self.width)
+    }
+
+    /// Check a (data, check-bit) pair.
+    pub fn check(&self, data: u64, check: bool) -> bool {
+        self.check_bit(data & self.data_mask()) == check
+    }
+
+    fn data_mask(&self) -> u64 {
+        (1u64 << self.width) - 1
+    }
+}
+
+impl crate::Code for ParityCode {
+    fn width(&self) -> usize {
+        self.width + 1
+    }
+
+    fn is_codeword(&self, word: u64) -> bool {
+        let data = word & self.data_mask();
+        let check = (word >> self.width) & 1 == 1;
+        self.check(data, check)
+    }
+
+    fn name(&self) -> String {
+        match self.sense {
+            ParitySense::Even => format!("even-parity({})", self.width),
+            ParitySense::Odd => format!("odd-parity({})", self.width),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Code;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_parity_examples() {
+        let p = ParityCode::even(8);
+        assert!(!p.check_bit(0b0000_0000));
+        assert!(p.check_bit(0b0000_0001));
+        assert!(!p.check_bit(0b0000_0011));
+        assert!(p.is_codeword(p.encode(0xA5)));
+    }
+
+    #[test]
+    fn odd_parity_examples() {
+        let p = ParityCode::odd(4);
+        assert!(p.check_bit(0)); // zero data needs a 1 check bit
+        assert!(!p.check_bit(0b1000));
+        assert!(p.is_codeword(p.encode(0b1010)));
+    }
+
+    #[test]
+    fn single_bit_flip_always_detected() {
+        // The fault-secure argument for the data path: flipping any single
+        // bit of an encoded word (data or check) leaves a non-codeword.
+        let p = ParityCode::even(16);
+        for data in [0u64, 1, 0xFFFF, 0xA5A5, 0x1234] {
+            let enc = p.encode(data);
+            for bit in 0..17 {
+                let corrupted = enc ^ (1u64 << bit);
+                assert!(!p.is_codeword(corrupted), "flip {bit} of {data:#x} undetected");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parity width")]
+    fn zero_width_panics() {
+        let _ = ParityCode::even(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_is_codeword(data in any::<u64>(), width in 1usize..=63) {
+            let p = ParityCode::even(width);
+            prop_assert!(p.is_codeword(p.encode(data)));
+            let p = ParityCode::odd(width);
+            prop_assert!(p.is_codeword(p.encode(data)));
+        }
+
+        #[test]
+        fn prop_single_flip_detected(data in any::<u64>(), width in 1usize..=63, bit_seed in any::<usize>()) {
+            let p = ParityCode::even(width);
+            let enc = p.encode(data);
+            let bit = bit_seed % (width + 1);
+            prop_assert!(!p.is_codeword(enc ^ (1u64 << bit)));
+        }
+
+        #[test]
+        fn prop_double_flip_escapes(data in any::<u64>(), width in 2usize..=63, s1 in any::<usize>(), s2 in any::<usize>()) {
+            // Parity is only single-error-detecting: double flips escape.
+            // (This is why decoder faults — which select two words — need the
+            // unordered-code scheme.)
+            let p = ParityCode::even(width);
+            let b1 = s1 % (width + 1);
+            let b2 = s2 % (width + 1);
+            prop_assume!(b1 != b2);
+            let enc = p.encode(data);
+            prop_assert!(p.is_codeword(enc ^ (1u64 << b1) ^ (1u64 << b2)));
+        }
+    }
+}

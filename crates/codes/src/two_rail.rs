@@ -1,0 +1,173 @@
+//! The two-rail (1-out-of-2) code used for checker error indications.
+//!
+//! Every checker in a self-checking design emits a pair of rails. The pair
+//! is a codeword when the rails are complementary (`01` or `10`); equal rails
+//! (`00` or `11`) signal an error. Two-rail outputs compose: a tree of
+//! two-rail checker cells compresses many pairs into one while preserving
+//! the totally-self-checking property.
+
+/// A two-rail value: a pair of rails that is code-valid when complementary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwoRail {
+    /// True rail.
+    pub t: bool,
+    /// Complement rail.
+    pub f: bool,
+}
+
+impl TwoRail {
+    /// The canonical "no error" encoding of a logical value `v`: `(v, !v)`.
+    pub fn encode(v: bool) -> Self {
+        TwoRail { t: v, f: !v }
+    }
+
+    /// Valid (code) pair: rails are complementary.
+    pub fn is_valid(self) -> bool {
+        self.t != self.f
+    }
+
+    /// Error indication: rails agree (`00` or `11`).
+    pub fn is_error(self) -> bool {
+        !self.is_valid()
+    }
+
+    /// The logical value carried by a valid pair.
+    ///
+    /// # Panics
+    /// Panics (debug assertion) if the pair is invalid; in release the true
+    /// rail is returned.
+    pub fn value(self) -> bool {
+        debug_assert!(self.is_valid(), "value() on invalid two-rail pair");
+        self.t
+    }
+
+    /// Combine two two-rail pairs with the classical two-rail checker cell
+    /// (two AND-OR planes): the result is valid iff **both** inputs are
+    /// valid.
+    ///
+    /// Cell equations (standard morphic AND):
+    /// `t = a.t·b.t + a.f·b.f` is *not* the standard cell — the canonical
+    /// TSC two-rail cell computes
+    /// `z.t = a.t·b.t + a.f·b.f`, `z.f = a.t·b.f + a.f·b.t`.
+    /// With valid inputs `(v, !v)`, `(w, !w)` this gives `z = (v ⊙ w, v ⊕ w)`
+    /// (XNOR/XOR), which is valid; any invalid input propagates invalidity.
+    pub fn combine(self, other: TwoRail) -> TwoRail {
+        TwoRail {
+            t: (self.t && other.t) || (self.f && other.f),
+            f: (self.t && other.f) || (self.f && other.t),
+        }
+    }
+
+    /// Fold many pairs down to one with a balanced tree of
+    /// [`TwoRail::combine`] cells. Returns `encode(true)` for an empty slice
+    /// (vacuously valid).
+    pub fn combine_all(pairs: &[TwoRail]) -> TwoRail {
+        match pairs.len() {
+            0 => TwoRail::encode(true),
+            1 => pairs[0],
+            n => {
+                let (lo, hi) = pairs.split_at(n / 2);
+                TwoRail::combine_all(lo).combine(TwoRail::combine_all(hi))
+            }
+        }
+    }
+
+    /// View as a 2-bit word: bit 0 = `t`, bit 1 = `f`. A codeword of the
+    /// 1-out-of-2 code iff valid.
+    pub fn to_word(self) -> u64 {
+        (self.t as u64) | ((self.f as u64) << 1)
+    }
+
+    /// Parse from a 2-bit word (bit 0 = `t`, bit 1 = `f`).
+    pub fn from_word(word: u64) -> Self {
+        TwoRail { t: word & 1 == 1, f: word & 2 == 2 }
+    }
+}
+
+/// The 1-out-of-2 code as a [`crate::Code`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TwoRailCode;
+
+impl crate::Code for TwoRailCode {
+    fn width(&self) -> usize {
+        2
+    }
+
+    fn is_codeword(&self, word: u64) -> bool {
+        TwoRail::from_word(word).is_valid()
+    }
+
+    fn name(&self) -> String {
+        "1-out-of-2".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_is_valid() {
+        assert!(TwoRail::encode(true).is_valid());
+        assert!(TwoRail::encode(false).is_valid());
+        assert_eq!(TwoRail::encode(true).value(), true);
+        assert_eq!(TwoRail::encode(false).value(), false);
+    }
+
+    #[test]
+    fn error_pairs_detected() {
+        assert!(TwoRail { t: true, f: true }.is_error());
+        assert!(TwoRail { t: false, f: false }.is_error());
+    }
+
+    #[test]
+    fn combine_truth_table_on_valid_inputs() {
+        for v in [false, true] {
+            for w in [false, true] {
+                let z = TwoRail::encode(v).combine(TwoRail::encode(w));
+                assert!(z.is_valid());
+                // Standard cell computes XNOR on the true rail.
+                assert_eq!(z.value(), v == w);
+            }
+        }
+    }
+
+    #[test]
+    fn combine_propagates_errors() {
+        let bad = TwoRail { t: false, f: false };
+        for v in [false, true] {
+            assert!(bad.combine(TwoRail::encode(v)).is_error());
+            assert!(TwoRail::encode(v).combine(bad).is_error());
+        }
+        let bad2 = TwoRail { t: true, f: true };
+        for v in [false, true] {
+            assert!(bad2.combine(TwoRail::encode(v)).is_error());
+        }
+        // Note: two *simultaneously* invalid inputs can mask (11 ∧ 00) — the
+        // single-fault assumption of self-checking design excludes this.
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        for word in 0..4u64 {
+            assert_eq!(TwoRail::from_word(word).to_word(), word);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_combine_all_valid_iff_all_valid(values in proptest::collection::vec(any::<bool>(), 0..32)) {
+            let pairs: Vec<TwoRail> = values.iter().map(|&v| TwoRail::encode(v)).collect();
+            prop_assert!(TwoRail::combine_all(&pairs).is_valid());
+        }
+
+        #[test]
+        fn prop_single_invalid_input_flags(values in proptest::collection::vec(any::<bool>(), 1..32), idx in any::<usize>(), stuck in any::<bool>()) {
+            let mut pairs: Vec<TwoRail> = values.iter().map(|&v| TwoRail::encode(v)).collect();
+            let k = idx % pairs.len();
+            pairs[k] = TwoRail { t: stuck, f: stuck };
+            prop_assert!(TwoRail::combine_all(&pairs).is_error());
+        }
+    }
+}

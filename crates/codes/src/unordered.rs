@@ -1,0 +1,168 @@
+//! The *unordered* code property and why the scheme depends on it.
+//!
+//! A code is **unordered** when no codeword *covers* another: codeword `x`
+//! covers `y` when `x` has a 1 in every position where `y` has a 1
+//! (`x & y == y`). The paper selects unordered codes because of two facts
+//! about the NOR-matrix encoder (Section III):
+//!
+//! * **Stuck-at-0 decoder fault** → no decoder line selected → the NOR
+//!   matrix emits the all-ones word, which cannot belong to any unordered
+//!   code with ≥ 2 codewords (it would cover every other codeword).
+//! * **Stuck-at-1 decoder fault** → two lines selected → the NOR matrix
+//!   emits the bitwise AND of their two codewords. If the codewords differ,
+//!   the AND is *covered by both* and therefore cannot be a codeword of an
+//!   unordered code — the error is caught the same cycle.
+
+/// Does `cover` cover `covered` (ones of `covered` ⊆ ones of `cover`)?
+///
+/// Every word covers itself.
+///
+/// # Example
+/// ```
+/// use scm_codes::unordered::covers;
+/// assert!(covers(0b1110, 0b0110));
+/// assert!(!covers(0b0110, 0b1110));
+/// assert!(covers(0b0110, 0b0110));
+/// ```
+pub fn covers(cover: u64, covered: u64) -> bool {
+    cover & covered == covered
+}
+
+/// Are two *distinct* words incomparable (neither covers the other)?
+pub fn incomparable(x: u64, y: u64) -> bool {
+    !covers(x, y) && !covers(y, x)
+}
+
+/// Check that a set of words forms an unordered code (pairwise incomparable).
+///
+/// `O(k²)` over `k` words — fine for the code sizes the scheme uses
+/// (≤ 48620 words only for exhaustive 9-out-of-18 checks in tests; the
+/// runtime path never materialises codes that large).
+pub fn is_unordered_set(words: &[u64]) -> bool {
+    for (idx, &x) in words.iter().enumerate() {
+        for &y in &words[idx + 1..] {
+            if covers(x, y) || covers(y, x) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Find a witness violating unorderedness: a pair `(i, j)` of indices such
+/// that `words[i]` covers `words[j]`, if any.
+pub fn covering_pair(words: &[u64]) -> Option<(usize, usize)> {
+    for (i, &x) in words.iter().enumerate() {
+        for (j, &y) in words.iter().enumerate() {
+            if i != j && covers(x, y) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// The key detection fact (paper, Section III): for two *different*
+/// codewords of an unordered code, their bitwise AND is **not** a codeword
+/// of that code, so a stuck-at-1 fault selecting two differently-mapped
+/// lines is detected immediately.
+///
+/// This helper states the property for a concrete membership predicate so
+/// tests and simulators can assert it wholesale.
+pub fn and_of_distinct_detected<F>(x: u64, y: u64, is_codeword: F) -> bool
+where
+    F: Fn(u64) -> bool,
+{
+    if x == y {
+        return true; // same codeword: error genuinely not detectable, vacuous
+    }
+    !is_codeword(x & y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mofn::MOutOfN;
+    use crate::Code;
+    use proptest::prelude::*;
+
+    #[test]
+    fn covers_basics() {
+        assert!(covers(0, 0));
+        assert!(covers(u64::MAX, 0));
+        assert!(covers(u64::MAX, u64::MAX));
+        assert!(!covers(0, 1));
+    }
+
+    #[test]
+    fn ordered_set_detected() {
+        // 0b011 is covered by 0b111.
+        assert!(!is_unordered_set(&[0b011, 0b111, 0b100]));
+        assert_eq!(covering_pair(&[0b011, 0b111]), Some((1, 0)));
+    }
+
+    #[test]
+    fn berger_codewords_unordered() {
+        use crate::berger::BergerCode;
+        let code = BergerCode::new(4).unwrap();
+        let words: Vec<u64> = (0..16u64).map(|v| code.encode(v)).collect();
+        assert!(is_unordered_set(&words));
+    }
+
+    #[test]
+    fn and_of_distinct_mofn_words_never_codeword() {
+        for width in 2..=9u32 {
+            let code = MOutOfN::centered(width).unwrap();
+            let words: Vec<u64> = code.iter().collect();
+            for &x in &words {
+                for &y in &words {
+                    assert!(
+                        and_of_distinct_detected(x, y, |w| code.is_codeword(w)),
+                        "AND of {x:b} and {y:b} slipped through {}",
+                        code.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_never_codeword_of_nontrivial_unordered() {
+        for width in 2..=10u32 {
+            let code = MOutOfN::centered(width).unwrap();
+            let all_ones = (1u64 << width) - 1;
+            assert!(!code.is_codeword(all_ones));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_covers_is_reflexive_transitive(x in any::<u64>(), y in any::<u64>(), z in any::<u64>()) {
+            prop_assert!(covers(x, x));
+            if covers(x, y) && covers(y, z) {
+                prop_assert!(covers(x, z));
+            }
+        }
+
+        #[test]
+        fn prop_incomparable_symmetric(x in any::<u64>(), y in any::<u64>()) {
+            prop_assert_eq!(incomparable(x, y), incomparable(y, x));
+        }
+
+        #[test]
+        fn prop_constant_weight_sets_unordered(r in 2u32..=10, seed in any::<u64>()) {
+            // Any subset of a constant-weight code is unordered.
+            let code = MOutOfN::centered(r).unwrap();
+            let count = code.count() as u64;
+            let mut words = Vec::new();
+            let mut s = seed;
+            for _ in 0..8 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                words.push(code.word_at((s % count) as u128).unwrap());
+            }
+            words.sort_unstable();
+            words.dedup();
+            prop_assert!(is_unordered_set(&words));
+        }
+    }
+}

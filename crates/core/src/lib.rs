@@ -1,0 +1,514 @@
+//! # Self-checking memory design with tunable detection latency
+//!
+//! Production-quality reproduction of *Kebichi, Zorian & Nicolaidis, "Area
+//! Versus Detection Latency Trade-Offs in Self-Checking Memory Design",
+//! DATE 1995*.
+//!
+//! The paper's contribution is a decoder-checking scheme whose hardware
+//! cost is **tunable against detection latency**: given the latency an
+//! application tolerates (`c` clock cycles, escape probability `Pndc`), the
+//! scheme selects the cheapest unordered `q`-out-of-`r` code, programs a
+//! NOR matrix on each address decoder to emit one codeword per decoder
+//! line (`B = A mod a` with odd `a`), and protects the data path with a
+//! parity bit. Stuck-at-0 decoder faults are caught instantly (all-ones
+//! matrix word); stuck-at-1 faults are caught whenever the two selected
+//! lines carry different codewords — within `c` cycles except with
+//! probability `Pndc`.
+//!
+//! This crate is the facade: one builder from requirements to a complete,
+//! analysable, simulatable design.
+//!
+//! ```
+//! use scm_core::prelude::*;
+//!
+//! // A 1K×16 embedded RAM that must detect decoder faults within 10
+//! // cycles, escaping with probability at most 1e-9.
+//! let design = SelfCheckingRamBuilder::new(1024, 16)
+//!     .mux_factor(8)
+//!     .latency_budget(10, 1e-9)?
+//!     .build()?;
+//!
+//! // The paper's worked example: 3-out-of-5 code, a = 9.
+//! assert_eq!(design.report().row_code, "3-out-of-5");
+//!
+//! // Simulate it.
+//! let mut ram = design.instantiate();
+//! ram.write(0x2A, 0x1234);
+//! assert_eq!(ram.read(0x2A).data, 0x1234);
+//! # Ok::<(), scm_core::BuildError>(())
+//! ```
+//!
+//! The substrate crates remain available for power users: `scm-codes`
+//! (codes, mappings, selection), `scm-logic`/`scm-decoder`/`scm-rom`/
+//! `scm-checkers` (gate level), `scm-memory` (simulation, campaigns),
+//! `scm-latency` (analytics), `scm-area` (cost models, paper tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude;
+
+use std::error::Error;
+use std::fmt;
+
+use scm_area::{scheme_overhead, OverheadBreakdown, RamOrganization, TechnologyParams};
+use scm_codes::selection::{select_code, CodePlan, LatencyBudget, SelectionPolicy};
+use scm_codes::{CodeError, CodewordMap, MOutOfN};
+use scm_latency::distribution::{analyze_decoder, DecoderLatencyReport};
+use scm_logic::Netlist;
+use scm_memory::design::{RamConfig, SelfCheckingRam};
+
+/// Errors from [`SelfCheckingRamBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Underlying code/mapping/selection failure.
+    Code(CodeError),
+    /// No latency budget or explicit code was supplied.
+    MissingRequirement,
+    /// Invalid geometry (word count/mux not powers of two, etc.).
+    Geometry(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Code(e) => write!(f, "code selection failed: {e}"),
+            BuildError::MissingRequirement => {
+                write!(f, "no latency budget, explicit code, or zero-latency request supplied")
+            }
+            BuildError::Geometry(msg) => write!(f, "invalid geometry: {msg}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for BuildError {
+    fn from(e: CodeError) -> Self {
+        BuildError::Code(e)
+    }
+}
+
+/// What protection level the builder should target.
+#[derive(Debug, Clone)]
+enum Protection {
+    Budget(LatencyBudget),
+    Explicit { code: MOutOfN, a: u64 },
+    ZeroLatency,
+    InputParityOnly,
+}
+
+/// Builder from requirements to a complete self-checking RAM design.
+#[derive(Debug, Clone)]
+pub struct SelfCheckingRamBuilder {
+    words: u64,
+    word_bits: u32,
+    mux_factor: u32,
+    policy: SelectionPolicy,
+    protection: Option<Protection>,
+    tech: TechnologyParams,
+}
+
+impl SelfCheckingRamBuilder {
+    /// Start a design for a `words` × `word_bits` RAM (1-out-of-8 column
+    /// multiplexing by default, like the paper's examples).
+    pub fn new(words: u64, word_bits: u32) -> Self {
+        SelfCheckingRamBuilder {
+            words,
+            word_bits,
+            mux_factor: 8,
+            policy: SelectionPolicy::WorstBlockExact,
+            protection: None,
+            tech: TechnologyParams::att_04um_standard_cell(),
+        }
+    }
+
+    /// Set the column multiplexing factor `2^s`.
+    pub fn mux_factor(mut self, mux: u32) -> Self {
+        self.mux_factor = mux;
+        self
+    }
+
+    /// Require detection within `cycles` with escape probability ≤ `pndc`
+    /// (the paper's central knob).
+    ///
+    /// # Errors
+    /// [`CodeError::InvalidBudget`] for malformed budgets.
+    pub fn latency_budget(mut self, cycles: u32, pndc: f64) -> Result<Self, CodeError> {
+        self.protection = Some(Protection::Budget(LatencyBudget::new(cycles, pndc)?));
+        Ok(self)
+    }
+
+    /// Choose the selection policy (see `scm_codes::selection`).
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Force a specific `q`-out-of-`r` code and modulus instead of a budget.
+    pub fn explicit_code(mut self, code: MOutOfN, a: u64) -> Self {
+        self.protection = Some(Protection::Explicit { code, a });
+        self
+    }
+
+    /// Request the \[NIC 94\] zero-latency endpoint (distinct codeword per
+    /// line, maximum cost).
+    pub fn zero_latency(mut self) -> Self {
+        self.protection = Some(Protection::ZeroLatency);
+        self
+    }
+
+    /// Request the \[CHE 85\]/\[NIC 84b\] minimum-cost endpoint
+    /// (1-out-of-2 decoder-input parity).
+    pub fn input_parity_only(mut self) -> Self {
+        self.protection = Some(Protection::InputParityOnly);
+        self
+    }
+
+    /// Override the area-model technology parameters.
+    pub fn technology(mut self, tech: TechnologyParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    fn map_for(&self, lines: u64, plan: Option<&CodePlan>) -> Result<CodewordMap, BuildError> {
+        match self.protection.as_ref().expect("checked by build()") {
+            Protection::Budget(_) => {
+                let plan = plan.expect("budget protection always has a plan");
+                Ok(plan.mapping(lines)?)
+            }
+            Protection::Explicit { code, a } => Ok(CodewordMap::mod_a(*code, *a, lines)?),
+            Protection::ZeroLatency => Ok(CodewordMap::identity_mofn(lines)?),
+            Protection::InputParityOnly => Ok(CodewordMap::input_parity(lines)),
+        }
+    }
+
+    /// Produce the design.
+    ///
+    /// # Errors
+    /// * [`BuildError::MissingRequirement`] if no protection target was set.
+    /// * [`BuildError::Geometry`] for invalid geometry.
+    /// * [`BuildError::Code`] if selection or mapping fails.
+    pub fn build(self) -> Result<Design, BuildError> {
+        if self.protection.is_none() {
+            return Err(BuildError::MissingRequirement);
+        }
+        if !self.words.is_power_of_two() || !self.mux_factor.is_power_of_two() {
+            return Err(BuildError::Geometry(format!(
+                "words ({}) and mux factor ({}) must be powers of two",
+                self.words, self.mux_factor
+            )));
+        }
+        if self.mux_factor as u64 >= self.words {
+            return Err(BuildError::Geometry(format!(
+                "mux factor {} exceeds word count {}",
+                self.mux_factor, self.words
+            )));
+        }
+        if self.word_bits == 0 || self.word_bits > 64 {
+            return Err(BuildError::Geometry(format!(
+                "word width {} outside 1..=64",
+                self.word_bits
+            )));
+        }
+        let org = RamOrganization::new(self.words, self.word_bits, self.mux_factor);
+
+        let plan = match self.protection.as_ref().expect("checked above") {
+            Protection::Budget(budget) => Some(select_code(*budget, self.policy)?),
+            _ => None,
+        };
+        let row_map = self.map_for(org.rows(), plan.as_ref())?;
+        let col_map = self.map_for(org.mux_factor() as u64, plan.as_ref())?;
+        let config = RamConfig::new(org, row_map, col_map);
+        let report = DesignReport::compute(&config, plan.as_ref(), &self.tech);
+        Ok(Design { config, plan, report })
+    }
+}
+
+/// A finished design: configuration, the plan that produced it, and the
+/// analysis report.
+#[derive(Debug, Clone)]
+pub struct Design {
+    config: RamConfig,
+    plan: Option<CodePlan>,
+    report: DesignReport,
+}
+
+impl Design {
+    /// The simulation-ready configuration.
+    pub fn config(&self) -> &RamConfig {
+        &self.config
+    }
+
+    /// The code-selection plan (absent for explicit/endpoint designs).
+    pub fn plan(&self) -> Option<&CodePlan> {
+        self.plan.as_ref()
+    }
+
+    /// The analysis report.
+    pub fn report(&self) -> &DesignReport {
+        &self.report
+    }
+
+    /// Instantiate a simulatable RAM.
+    pub fn instantiate(&self) -> SelfCheckingRam {
+        SelfCheckingRam::new(self.config.clone())
+    }
+}
+
+/// Everything a designer wants to know about the produced design.
+#[derive(Debug, Clone)]
+pub struct DesignReport {
+    /// Geometry.
+    pub org: RamOrganization,
+    /// Row-decoder code name.
+    pub row_code: String,
+    /// Column-decoder code name.
+    pub col_code: String,
+    /// Codeword width on the row decoder.
+    pub row_r: u32,
+    /// Codeword width on the column decoder.
+    pub col_r: u32,
+    /// Analytical latency report for the row decoder.
+    pub row_latency: DecoderLatencyReport,
+    /// Analytical latency report for the column decoder.
+    pub col_latency: DecoderLatencyReport,
+    /// Area breakdown under the chosen technology.
+    pub area: OverheadBreakdown,
+    /// Gate count of the generated row decoder netlist (context for the
+    /// fault universe size).
+    pub row_decoder_gates: usize,
+}
+
+impl DesignReport {
+    fn compute(config: &RamConfig, _plan: Option<&CodePlan>, tech: &TechnologyParams) -> Self {
+        let org = config.org();
+        // Analytical latency from the actual decoder structure.
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(org.row_bits() as usize);
+        let row_dec = scm_decoder::build_multilevel_decoder(&mut nl, &addr, 2);
+        let row_latency = analyze_decoder(&row_dec, config.row_map().kind());
+        let row_decoder_gates = nl.num_gates();
+
+        let mut nl2 = Netlist::new();
+        let addr2 = nl2.inputs(org.col_bits().max(1) as usize);
+        let col_dec = scm_decoder::build_multilevel_decoder(&mut nl2, &addr2, 2);
+        let col_latency = analyze_decoder(&col_dec, config.col_map().kind());
+
+        // Area: price q-out-of-r widths; parity/Berger mappings are priced
+        // at their true widths via the nearest centred code of equal width.
+        let width_code = |map: &CodewordMap| -> MOutOfN {
+            MOutOfN::centered(map.width() as u32).expect("mapping widths are small")
+        };
+        let area = scheme_overhead(
+            org,
+            width_code(config.row_map()),
+            width_code(config.col_map()),
+            tech,
+        );
+
+        DesignReport {
+            org,
+            row_code: config.row_map().code_name(),
+            col_code: config.col_map().code_name(),
+            row_r: config.row_map().width() as u32,
+            col_r: config.col_map().width() as u32,
+            row_latency,
+            col_latency,
+            area,
+            row_decoder_gates,
+        }
+    }
+
+    /// The paper's `Pndc` bound for the worst decoder fault after `c`
+    /// cycles (max over both decoders).
+    pub fn pndc_after(&self, cycles: u32) -> f64 {
+        self.row_latency
+            .paper_bound_after(cycles)
+            .max(self.col_latency.paper_bound_after(cycles))
+    }
+
+    /// The headline decoder-checking overhead (% of base RAM area).
+    pub fn decoder_checking_percent(&self) -> f64 {
+        self.area.decoder_checking_percent()
+    }
+
+    /// Total overhead including checkers and the parity path (%).
+    pub fn total_percent(&self) -> f64 {
+        self.area.total_percent()
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "self-checking RAM {}", self.org.name())?;
+        writeln!(
+            f,
+            "  geometry: {} words x {} bits, {} rows x {} cols (1-of-{} mux)",
+            self.org.words(),
+            self.org.word_bits(),
+            self.org.rows(),
+            self.org.cols(),
+            self.org.mux_factor()
+        )?;
+        writeln!(f, "  row decoder:    {} (r = {})", self.row_code, self.row_r)?;
+        writeln!(f, "  column decoder: {} (r = {})", self.col_code, self.col_r)?;
+        writeln!(
+            f,
+            "  worst per-cycle escape bound: row {:.4e}, col {:.4e}",
+            self.row_latency.paper_escape_bound, self.col_latency.paper_escape_bound
+        )?;
+        writeln!(
+            f,
+            "  zero-latency decoder faults: row {:.1}%, col {:.1}%",
+            100.0 * self.row_latency.zero_latency_fraction(),
+            100.0 * self.col_latency.zero_latency_fraction()
+        )?;
+        writeln!(
+            f,
+            "  area: decoder checking {:.2}% (+checkers {:.2}%), parity {:.2}%, total {:.2}%",
+            self.area.decoder_checking_percent(),
+            self.area.decoder_checking_with_checkers_percent(),
+            self.area.parity_percent(),
+            self.area.total_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_via_builder() {
+        let design = SelfCheckingRamBuilder::new(1024, 16)
+            .mux_factor(8)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let r = design.report();
+        assert_eq!(r.row_code, "3-out-of-5");
+        assert_eq!(r.col_code, "3-out-of-5");
+        assert!(r.pndc_after(10) <= 1e-9);
+        // Display formats without panicking and mentions the code.
+        let text = r.to_string();
+        assert!(text.contains("3-out-of-5"));
+    }
+
+    #[test]
+    fn missing_requirement_rejected() {
+        let err = SelfCheckingRamBuilder::new(1024, 16).build().unwrap_err();
+        assert_eq!(err, BuildError::MissingRequirement);
+    }
+
+    #[test]
+    fn bad_geometry_rejected() {
+        let err = SelfCheckingRamBuilder::new(1000, 16)
+            .input_parity_only()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Geometry(_)));
+        let err = SelfCheckingRamBuilder::new(4, 16)
+            .mux_factor(8)
+            .input_parity_only()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::Geometry(_)));
+    }
+
+    #[test]
+    fn zero_latency_endpoint() {
+        let design = SelfCheckingRamBuilder::new(256, 8)
+            .mux_factor(4)
+            .zero_latency()
+            .build()
+            .unwrap();
+        let r = design.report();
+        // 64 rows → C(q,r) ≥ 64 → 4-out-of-8 (70).
+        assert_eq!(r.row_code, "4-out-of-8");
+        assert_eq!(r.row_latency.zero_latency_fraction(), 1.0);
+        assert_eq!(r.pndc_after(1), 0.0);
+    }
+
+    #[test]
+    fn input_parity_endpoint() {
+        let design = SelfCheckingRamBuilder::new(256, 8)
+            .mux_factor(4)
+            .input_parity_only()
+            .build()
+            .unwrap();
+        let r = design.report();
+        assert_eq!(r.row_code, "1-out-of-2");
+        assert_eq!(r.row_latency.paper_escape_bound, 0.5);
+        // Cheapest scheme: strictly cheaper than any wider code on the
+        // same geometry (absolute percents are large on so tiny a RAM).
+        let mid = SelfCheckingRamBuilder::new(256, 8)
+            .mux_factor(4)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(r.decoder_checking_percent() < mid.report().decoder_checking_percent());
+    }
+
+    #[test]
+    fn explicit_code_override() {
+        let code = MOutOfN::new(4, 7).unwrap();
+        let design = SelfCheckingRamBuilder::new(512, 16)
+            .mux_factor(8)
+            .explicit_code(code, 35)
+            .build()
+            .unwrap();
+        assert_eq!(design.report().row_code, "4-out-of-7");
+    }
+
+    #[test]
+    fn tighter_budget_costs_more_area() {
+        let loose = SelfCheckingRamBuilder::new(2048, 16)
+            .latency_budget(40, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let tight = SelfCheckingRamBuilder::new(2048, 16)
+            .latency_budget(2, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(
+            tight.report().decoder_checking_percent()
+                > loose.report().decoder_checking_percent()
+        );
+        // And buys a smaller escape bound.
+        assert!(
+            tight.report().row_latency.paper_escape_bound
+                < loose.report().row_latency.paper_escape_bound
+        );
+    }
+
+    #[test]
+    fn instantiated_ram_works_end_to_end() {
+        let design = SelfCheckingRamBuilder::new(256, 8)
+            .mux_factor(4)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut ram = design.instantiate();
+        for addr in 0..256u64 {
+            ram.write(addr, addr & 0xFF);
+        }
+        for addr in 0..256u64 {
+            let out = ram.read(addr);
+            assert_eq!(out.data, addr & 0xFF);
+            assert!(!out.verdict.any_error());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! One-stop imports for typical users.
+//!
+//! ```
+//! use scm_core::prelude::*;
+//!
+//! let design = SelfCheckingRamBuilder::new(2048, 16)
+//!     .latency_budget(20, 1e-9)?
+//!     .build()?;
+//! assert_eq!(design.report().row_code, "2-out-of-4");
+//! # Ok::<(), scm_core::BuildError>(())
+//! ```
+
+pub use crate::{BuildError, Design, DesignReport, SelfCheckingRamBuilder};
+pub use scm_area::{RamOrganization, TechnologyParams};
+pub use scm_codes::selection::{LatencyBudget, SelectionPolicy};
+pub use scm_codes::{CodewordMap, MOutOfN};
+pub use scm_memory::design::{ReadOutcome, SelfCheckingRam, Verdict};
+pub use scm_memory::fault::FaultSite;
+pub use scm_memory::workload::{AddressPattern, Op, Workload};

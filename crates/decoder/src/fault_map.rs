@@ -1,0 +1,166 @@
+//! Mapping decoder fault sites to the paper's analytical parameters.
+//!
+//! The paper's detection-latency computation characterises every stuck-at
+//! fault in the decoder by three numbers:
+//!
+//! * `i` — how many address bits the affected decoding block decodes,
+//! * `j` — the bit offset of that field within the address,
+//! * `m1` — the field value decoded by the stuck line.
+//!
+//! A **stuck-at-0** on that line errs exactly when the applied field value
+//! equals `m1` (the selected line drops), collapsing the block — and by
+//! property b the whole decoder — to all-zeros. A **stuck-at-1** errs when
+//! the applied value `m2 ≠ m1`, activating *two* decoder lines whose
+//! addresses differ only in bits `j..j+i`.
+//!
+//! [`fault_sites`] enumerates every block-output signal with its `(block,
+//! m1)` pair, which is the complete stuck-at fault universe of the decoder
+//! up to equivalence (a fault on a gate's *input* is equivalent to a fault
+//! on the driving block output one level down, which is also enumerated).
+
+use crate::{BlockId, DecoderStructure};
+use scm_logic::SignalId;
+
+/// One decoder fault site: a block output line together with the analytical
+/// parameters the latency engine needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderFaultSite {
+    /// The affected signal.
+    pub signal: SignalId,
+    /// The decoding block owning the signal.
+    pub block: BlockId,
+    /// Bits decoded by the block (the paper's `i`).
+    pub bits: u32,
+    /// Bit offset of the decoded field (the paper's `j`).
+    pub offset: u32,
+    /// Field value decoded by this line (the paper's `m1`).
+    pub value: u64,
+}
+
+/// Enumerate every block-output fault site of a decoder.
+///
+/// Sites are returned grouped by block in block order, values ascending, so
+/// deterministic campaigns and analytical sweeps line up.
+pub fn fault_sites(decoder: &DecoderStructure) -> Vec<DecoderFaultSite> {
+    let mut sites = Vec::new();
+    for block in decoder.blocks() {
+        for (value, &signal) in block.outputs.iter().enumerate() {
+            sites.push(DecoderFaultSite {
+                signal,
+                block: block.id,
+                bits: block.bits(),
+                offset: block.offset(),
+                value: value as u64,
+            });
+        }
+    }
+    sites
+}
+
+/// Addresses (full decoder-input values) on which a stuck-at-0 at the site
+/// produces an error: those whose field `j..j+i` equals `m1`.
+pub fn sa0_error_addresses(site: &DecoderFaultSite, n: u32) -> impl Iterator<Item = u64> + '_ {
+    let field_mask = ((1u64 << site.bits) - 1) << site.offset;
+    let stuck_field = site.value << site.offset;
+    (0..(1u64 << n)).filter(move |a| a & field_mask == stuck_field)
+}
+
+/// For a stuck-at-1 at the site and an applied address `addr`, the *second*
+/// activated decoder line (or `None` if no error occurs on this address,
+/// i.e. the applied field already equals `m1`).
+///
+/// The erroneous extra line is the applied address with the faulty field
+/// value substituted — the pair of active lines differ exactly in bits
+/// `j..j+i`, as the paper derives.
+pub fn sa1_companion_line(site: &DecoderFaultSite, addr: u64) -> Option<u64> {
+    let field_mask = ((1u64 << site.bits) - 1) << site.offset;
+    let faulty = (addr & !field_mask) | (site.value << site.offset);
+    if faulty == addr {
+        None
+    } else {
+        Some(faulty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_multilevel_decoder;
+    use scm_logic::{Fault, Netlist};
+
+    fn decoder(n: u32) -> (Netlist, DecoderStructure) {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(n as usize);
+        let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+        nl.expose_all(dec.outputs());
+        (nl, dec)
+    }
+
+    #[test]
+    fn site_counts() {
+        // n = 4: blocks of 2+2+2+2 (L0) + 4+4 (L1) + 16 (L2) outputs.
+        let (_, dec) = decoder(4);
+        assert_eq!(fault_sites(&dec).len(), 8 + 8 + 16);
+    }
+
+    #[test]
+    fn sa1_companion_agrees_with_simulation() {
+        let n = 5u32;
+        let (nl, dec) = decoder(n);
+        for site in fault_sites(&dec) {
+            let fault = Fault::stuck_at_1(site.signal);
+            for addr in 0..(1u64 << n) {
+                let eval = nl.eval_word(addr, Some(fault));
+                let active: Vec<u64> = (0..(1u64 << n))
+                    .filter(|&line| eval.value(dec.outputs()[line as usize]))
+                    .collect();
+                match sa1_companion_line(&site, addr) {
+                    None => assert_eq!(active, vec![addr], "site {site:?} addr {addr}"),
+                    Some(extra) => {
+                        let mut expect = vec![addr, extra];
+                        expect.sort_unstable();
+                        assert_eq!(active, expect, "site {site:?} addr {addr}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sa0_collapses_decoder_exactly_on_matching_field() {
+        let n = 5u32;
+        let (nl, dec) = decoder(n);
+        for site in fault_sites(&dec) {
+            let fault = Fault::stuck_at_0(site.signal);
+            let error_addrs: std::collections::HashSet<u64> =
+                sa0_error_addresses(&site, n).collect();
+            for addr in 0..(1u64 << n) {
+                let eval = nl.eval_word(addr, Some(fault));
+                let active: Vec<u64> = (0..(1u64 << n))
+                    .filter(|&line| eval.value(dec.outputs()[line as usize]))
+                    .collect();
+                if error_addrs.contains(&addr) {
+                    // Property b: the whole decoder collapses to all-zeros.
+                    assert!(active.is_empty(), "site {site:?} addr {addr}: {active:?}");
+                } else {
+                    assert_eq!(active, vec![addr], "site {site:?} addr {addr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn companion_line_differs_only_in_block_field() {
+        let (_, dec) = decoder(6);
+        for site in fault_sites(&dec) {
+            for addr in 0..(1u64 << 6) {
+                if let Some(extra) = sa1_companion_line(&site, addr) {
+                    let diff = addr ^ extra;
+                    let field_mask = ((1u64 << site.bits) - 1) << site.offset;
+                    assert_ne!(diff, 0);
+                    assert_eq!(diff & !field_mask, 0, "difference escapes the field");
+                }
+            }
+        }
+    }
+}

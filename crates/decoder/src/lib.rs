@@ -1,0 +1,404 @@
+//! Address decoder generator following the paper's Section III.2 structure.
+//!
+//! The paper computes detection latencies on a *structured* decoder
+//! description:
+//!
+//! * **0-level**: one decoding block per address input, made of one inverter
+//!   — its two outputs are the direct and complementary input values.
+//! * **k-level**: blocks of the previous level are associated into pairs;
+//!   each pair gets a new block of 2-input AND gates, one gate per
+//!   combination of the pair's outputs. A block therefore *decodes* a set of
+//!   address bits and has exactly one active output in the fault-free
+//!   circuit (**property a**).
+//! * **last level**: a single block whose `2^n` outputs are the decoder
+//!   lines.
+//!
+//! When `n` is not a power of two some pairs mix blocks from different
+//! levels; the generator handles any `n` by carrying an odd block forward.
+//! Property **b** (a block forced all-zero forces the decoder lines
+//! all-zero) holds structurally for AND trees and is verified by tests and
+//! by the fault-injection campaigns downstream.
+//!
+//! Two generators are provided:
+//! * [`build_multilevel_decoder`] — the paper's tree construction, with
+//!   configurable pairing arity (`2` reproduces the paper's analysis;
+//!   higher arities model "gates with more inputs", for which the paper's
+//!   analysis is still valid as it considers a superset of fault sites).
+//! * [`build_single_level_decoder`] — the flat one-AND-per-line decoder of
+//!   \[CHE 85\]-era designs, used as an ablation baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use scm_logic::Netlist;
+//! use scm_decoder::build_multilevel_decoder;
+//!
+//! let mut nl = Netlist::new();
+//! let addr = nl.inputs(4);
+//! let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+//! nl.expose_all(dec.outputs());
+//!
+//! // Fault-free: exactly line 0b1010 fires for address 10.
+//! let eval = nl.eval_word(0b1010, None);
+//! let active: Vec<usize> = (0..16)
+//!     .filter(|&k| eval.value(dec.outputs()[k]))
+//!     .collect();
+//! assert_eq!(active, vec![10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault_map;
+pub mod properties;
+
+use scm_logic::{Netlist, SignalId};
+
+pub use fault_map::DecoderFaultSite;
+
+/// Identifier of a decoding block within one decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// One decoding block of the Section III.2 structure.
+#[derive(Debug, Clone)]
+pub struct DecodingBlock {
+    /// This block's id.
+    pub id: BlockId,
+    /// Level in the tree (0 = inverter blocks).
+    pub level: u32,
+    /// The block decodes address bits `lo..hi` (LSB-first, contiguous).
+    pub lo: u32,
+    /// Exclusive upper bit index.
+    pub hi: u32,
+    /// Output signals, indexed by the decoded value of bits `lo..hi`.
+    pub outputs: Vec<SignalId>,
+    /// Child blocks combined by this block (empty for 0-level).
+    pub children: Vec<BlockId>,
+}
+
+impl DecodingBlock {
+    /// Number of address bits this block decodes (the paper's `i`).
+    pub fn bits(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Bit offset of the decoded field (the paper's `j`).
+    pub fn offset(&self) -> u32 {
+        self.lo
+    }
+
+    /// Number of outputs, `2^bits`.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+}
+
+/// A generated decoder: netlist signals plus the block structure that the
+/// analytical latency engine consumes.
+#[derive(Debug, Clone)]
+pub struct DecoderStructure {
+    n: u32,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+    blocks: Vec<DecodingBlock>,
+    flat: bool,
+}
+
+impl DecoderStructure {
+    /// Number of address bits.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of decoder output lines, `2^n`.
+    pub fn num_outputs(&self) -> u64 {
+        1u64 << self.n
+    }
+
+    /// Address input signals (LSB first).
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Decoder line signals; index = decoded address value.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// All decoding blocks, 0-level first.
+    pub fn blocks(&self) -> &[DecodingBlock] {
+        &self.blocks
+    }
+
+    /// A block by id.
+    pub fn block(&self, id: BlockId) -> &DecodingBlock {
+        &self.blocks[id.0]
+    }
+
+    /// The last-level block (whose outputs are the decoder lines).
+    pub fn last_block(&self) -> &DecodingBlock {
+        self.blocks.last().expect("decoder always has blocks")
+    }
+
+    /// Whether this is the flat single-level variant.
+    pub fn is_single_level(&self) -> bool {
+        self.flat
+    }
+}
+
+/// Build the paper's multilevel decoder over existing address signals.
+///
+/// `arity` is the number of *child blocks* combined per new block (the
+/// paper's `t`-tuples of decoding blocks); `2` reproduces the structure the
+/// paper's latency computation assumes.
+///
+/// # Panics
+/// Panics if `address` is empty or longer than 24 bits (2^24 lines — beyond
+/// any embedded RAM decoder, and a memory guard for `Vec` sizing), or if
+/// `arity < 2`.
+pub fn build_multilevel_decoder(
+    netlist: &mut Netlist,
+    address: &[SignalId],
+    arity: usize,
+) -> DecoderStructure {
+    let n = address.len() as u32;
+    assert!(n >= 1, "decoder needs at least one address bit");
+    assert!(n <= 24, "decoder with {n} address bits is unreasonably large");
+    assert!(arity >= 2, "pairing arity must be at least 2");
+
+    let mut blocks: Vec<DecodingBlock> = Vec::new();
+
+    // 0-level: one inverter block per input. The direct line is buffered so
+    // that it is a fault site *distinct* from the raw address input: a
+    // stuck-at on the direct line must not propagate into the inverter
+    // (the paper's model treats the two block outputs as separate lines;
+    // a fault on the shared input is an *address* fault, outside the
+    // decoder-checking scheme's coverage claims).
+    for (i, &a) in address.iter().enumerate() {
+        let na = netlist.inv(a);
+        let direct = netlist.buf(a);
+        blocks.push(DecodingBlock {
+            id: BlockId(blocks.len()),
+            level: 0,
+            lo: i as u32,
+            hi: i as u32 + 1,
+            outputs: vec![na, direct], // value 0 → complemented, value 1 → direct
+            children: Vec::new(),
+        });
+    }
+
+    // Higher levels: combine `arity` adjacent blocks at a time.
+    let mut current: Vec<BlockId> = blocks.iter().map(|b| b.id).collect();
+    let mut level = 1u32;
+    while current.len() > 1 {
+        let mut next: Vec<BlockId> = Vec::with_capacity(current.len().div_ceil(arity));
+        for chunk in current.chunks(arity) {
+            if chunk.len() == 1 {
+                // Odd block carries forward unchanged (mixed-level pairing).
+                next.push(chunk[0]);
+                continue;
+            }
+            let lo = blocks[chunk[0].0].lo;
+            let hi = blocks[chunk[chunk.len() - 1].0].hi;
+            // Contiguity invariant: chunks are adjacent ranges by construction.
+            debug_assert!(chunk
+                .windows(2)
+                .all(|w| blocks[w[0].0].hi == blocks[w[1].0].lo));
+            let bits = hi - lo;
+            let mut outputs = Vec::with_capacity(1usize << bits);
+            for value in 0u64..(1u64 << bits) {
+                let mut literals = Vec::with_capacity(chunk.len());
+                for &cid in chunk {
+                    let child = &blocks[cid.0];
+                    let sub = (value >> (child.lo - lo)) & ((1u64 << child.bits()) - 1);
+                    literals.push(child.outputs[sub as usize]);
+                }
+                let g = if literals.len() == 2 {
+                    netlist.and2(literals[0], literals[1])
+                } else {
+                    netlist.and_n(&literals)
+                };
+                outputs.push(g);
+            }
+            let id = BlockId(blocks.len());
+            blocks.push(DecodingBlock {
+                id,
+                level,
+                lo,
+                hi,
+                outputs,
+                children: chunk.to_vec(),
+            });
+            next.push(id);
+        }
+        current = next;
+        level += 1;
+    }
+
+    let outputs = if n == 1 {
+        // Degenerate single-bit decoder: the 0-level block is the last level.
+        blocks[0].outputs.clone()
+    } else {
+        blocks[current[0].0].outputs.clone()
+    };
+
+    DecoderStructure { n, inputs: address.to_vec(), outputs, blocks, flat: false }
+}
+
+/// Build the flat single-level decoder: inverters plus one `n`-input AND
+/// gate per line.
+///
+/// # Panics
+/// Same limits as [`build_multilevel_decoder`].
+pub fn build_single_level_decoder(netlist: &mut Netlist, address: &[SignalId]) -> DecoderStructure {
+    let n = address.len() as u32;
+    assert!(n >= 1, "decoder needs at least one address bit");
+    assert!(n <= 24, "decoder with {n} address bits is unreasonably large");
+
+    let mut blocks: Vec<DecodingBlock> = Vec::new();
+    for (i, &a) in address.iter().enumerate() {
+        let na = netlist.inv(a);
+        let direct = netlist.buf(a); // same separation as the multilevel build
+        blocks.push(DecodingBlock {
+            id: BlockId(blocks.len()),
+            level: 0,
+            lo: i as u32,
+            hi: i as u32 + 1,
+            outputs: vec![na, direct],
+            children: Vec::new(),
+        });
+    }
+
+    let children: Vec<BlockId> = blocks.iter().map(|b| b.id).collect();
+    let mut outputs = Vec::with_capacity(1usize << n);
+    for value in 0u64..(1u64 << n) {
+        let literals: Vec<SignalId> = (0..n)
+            .map(|i| blocks[i as usize].outputs[((value >> i) & 1) as usize])
+            .collect();
+        outputs.push(netlist.and_n(&literals));
+    }
+    let id = BlockId(blocks.len());
+    blocks.push(DecodingBlock {
+        id,
+        level: 1,
+        lo: 0,
+        hi: n,
+        outputs: outputs.clone(),
+        children,
+    });
+
+    DecoderStructure { n, inputs: address.to_vec(), outputs, blocks, flat: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot_check(n: u32, arity: usize) {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(n as usize);
+        let dec = build_multilevel_decoder(&mut nl, &addr, arity);
+        nl.expose_all(dec.outputs());
+        for a in 0..(1u64 << n) {
+            let eval = nl.eval_word(a, None);
+            for (line, &sig) in dec.outputs().iter().enumerate() {
+                assert_eq!(
+                    eval.value(sig),
+                    line as u64 == a,
+                    "n={n} arity={arity} addr={a} line={line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_all_small_sizes_arity2() {
+        for n in 1..=8u32 {
+            one_hot_check(n, 2);
+        }
+    }
+
+    #[test]
+    fn one_hot_higher_arities() {
+        for arity in [3usize, 4] {
+            for n in [2u32, 4, 5, 7] {
+                one_hot_check(n, arity);
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_matches_multilevel() {
+        for n in 1..=7u32 {
+            let mut nl1 = Netlist::new();
+            let a1 = nl1.inputs(n as usize);
+            let d1 = build_multilevel_decoder(&mut nl1, &a1, 2);
+            let mut nl2 = Netlist::new();
+            let a2 = nl2.inputs(n as usize);
+            let d2 = build_single_level_decoder(&mut nl2, &a2);
+            for a in 0..(1u64 << n) {
+                let e1 = nl1.eval_word(a, None);
+                let e2 = nl2.eval_word(a, None);
+                for line in 0..(1usize << n) {
+                    assert_eq!(
+                        e1.value(d1.outputs()[line]),
+                        e2.value(d2.outputs()[line]),
+                        "n={n} addr={a} line={line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_structure_power_of_two() {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(4);
+        let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+        // 0-level: 4 blocks of 1 bit; level 1: two blocks of 2 bits;
+        // level 2: one block of 4 bits.
+        let sizes: Vec<(u32, u32)> = dec.blocks().iter().map(|b| (b.level, b.bits())).collect();
+        assert_eq!(
+            sizes,
+            vec![(0, 1), (0, 1), (0, 1), (0, 1), (1, 2), (1, 2), (2, 4)]
+        );
+        assert_eq!(dec.last_block().num_outputs(), 16);
+    }
+
+    #[test]
+    fn block_structure_mixed_levels_n5() {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(5);
+        let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+        // L1 pairs bits {0,1} and {2,3}, carries bit 4; L2 pairs the two
+        // 2-bit blocks; L3 pairs the 4-bit block with the carried 1-bit one.
+        let last = dec.last_block();
+        assert_eq!(last.bits(), 5);
+        assert_eq!(last.num_outputs(), 32);
+        let child_bits: Vec<u32> =
+            last.children.iter().map(|&c| dec.block(c).bits()).collect();
+        assert_eq!(child_bits, vec![4, 1]);
+    }
+
+    #[test]
+    fn degenerate_one_bit_decoder() {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(1);
+        let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+        nl.expose_all(dec.outputs());
+        assert_eq!(nl.eval(&[false]).outputs(), vec![true, false]);
+        assert_eq!(nl.eval(&[true]).outputs(), vec![false, true]);
+    }
+
+    #[test]
+    fn gate_counts_match_structure() {
+        // For n = 4, arity 2: 4 inverters + 2*4 + 16 AND gates.
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(4);
+        let _ = build_multilevel_decoder(&mut nl, &addr, 2);
+        let stats = scm_logic::stats::gate_stats(&nl);
+        assert_eq!(stats.by_kind["inv"], 4);
+        assert_eq!(stats.by_kind["and2"], 8 + 16);
+    }
+}

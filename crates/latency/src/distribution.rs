@@ -1,0 +1,278 @@
+//! Fault-universe latency distributions.
+//!
+//! The paper reports only a worst-case bound; this module computes the full
+//! picture over every stuck-at-1 site of a generated decoder:
+//!
+//! * `paper_escape_bound` — the paper's governing quantity: the largest
+//!   unconditional collision ratio `⌈2^i/a⌉/2^i` over blocks that *can*
+//!   collide at all (zero-latency sites excluded, exactly as the paper
+//!   excludes blocks with `2^i ≤ a`). Raising it to the `c` gives the
+//!   published `Pndc` bound.
+//! * `worst_error_escape` — the exact error-conditional worst case, always
+//!   ≤ the paper bound.
+//! * zero-latency fraction, mean escape, per-block summaries (the
+//!   uniformity the final code mapping is constructed for) and cumulative
+//!   detection curves — the data behind the area-vs-latency trade-off.
+
+use crate::escape::SiteEscape;
+use scm_codes::mapping::MappingKind;
+use scm_decoder::{fault_map::fault_sites, DecoderStructure};
+
+/// Per-block aggregate of stuck-at-1 escape probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSummary {
+    /// Block index in the decoder's block list.
+    pub block_index: usize,
+    /// Bits decoded by the block (`i`).
+    pub bits: u32,
+    /// Field offset (`j`).
+    pub offset: u32,
+    /// Number of fault sites (block outputs).
+    pub sites: usize,
+    /// Worst unconditional per-cycle escape over the block's sites.
+    pub worst_escape: f64,
+    /// Mean unconditional per-cycle escape over the block's sites.
+    pub mean_escape: f64,
+    /// Worst error-conditional escape over the block's sites.
+    pub worst_error_escape: f64,
+}
+
+/// Whole-decoder latency report for a given mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderLatencyReport {
+    /// Mapping analysed.
+    pub kind: MappingKind,
+    /// Total stuck-at-1 fault sites.
+    pub sites: usize,
+    /// Sites whose every error is caught the same cycle.
+    pub zero_latency_sites: usize,
+    /// The paper's bound: worst unconditional escape over sites that can
+    /// collide (`collisions > 1`); `0` when every site is zero-latency.
+    pub paper_escape_bound: f64,
+    /// Exact worst error-conditional escape over all sites.
+    pub worst_error_escape: f64,
+    /// Mean unconditional per-cycle escape over all sites.
+    pub mean_escape: f64,
+    /// Worst expected cycles from fault onset to detection (unconditional
+    /// geometric; `INFINITY` when some fault is undetectable).
+    pub worst_expected_cycles: f64,
+    /// Per-block summaries (0-level first).
+    pub per_block: Vec<BlockSummary>,
+}
+
+impl DecoderLatencyReport {
+    /// The paper's `Pndc` bound after `c` cycles.
+    pub fn paper_bound_after(&self, cycles: u32) -> f64 {
+        self.paper_escape_bound.powi(cycles as i32)
+    }
+
+    /// Fraction of sites with zero detection latency.
+    pub fn zero_latency_fraction(&self) -> f64 {
+        if self.sites == 0 {
+            1.0
+        } else {
+            self.zero_latency_sites as f64 / self.sites as f64
+        }
+    }
+
+    /// Cumulative worst-fault detection probability curve under the paper
+    /// bound: `P[detected within k cycles]` for `k = 1..=cycles`.
+    pub fn detection_curve(&self, cycles: u32) -> Vec<f64> {
+        (1..=cycles)
+            .map(|k| 1.0 - self.paper_escape_bound.powi(k as i32))
+            .collect()
+    }
+}
+
+/// Analyse every stuck-at-1 fault site of a decoder under a mapping.
+pub fn analyze_decoder(decoder: &DecoderStructure, kind: MappingKind) -> DecoderLatencyReport {
+    let sites = fault_sites(decoder);
+    let mut per_block: Vec<BlockSummary> = decoder
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(block_index, b)| BlockSummary {
+            block_index,
+            bits: b.bits(),
+            offset: b.offset(),
+            sites: 0,
+            worst_escape: 0.0,
+            mean_escape: 0.0,
+            worst_error_escape: 0.0,
+        })
+        .collect();
+
+    let mut paper_bound = 0.0f64;
+    let mut worst_cond = 0.0f64;
+    let mut worst_uncond = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut zero = 0usize;
+    for site in &sites {
+        let e = SiteEscape::of(site, kind);
+        let b = &mut per_block[site.block.0];
+        b.sites += 1;
+        b.worst_escape = b.worst_escape.max(e.sa1_per_cycle_escape);
+        b.worst_error_escape = b.worst_error_escape.max(e.sa1_escape_per_error_cycle);
+        b.mean_escape += e.sa1_per_cycle_escape;
+        if e.collisions > 1 {
+            paper_bound = paper_bound.max(e.sa1_per_cycle_escape);
+            worst_uncond = worst_uncond.max(e.sa1_per_cycle_escape);
+        }
+        worst_cond = worst_cond.max(e.sa1_escape_per_error_cycle);
+        sum += e.sa1_per_cycle_escape;
+        if e.sa1_zero_latency() {
+            zero += 1;
+        }
+    }
+    for b in &mut per_block {
+        if b.sites > 0 {
+            b.mean_escape /= b.sites as f64;
+        }
+    }
+
+    let worst_expected = if paper_bound >= 1.0 {
+        f64::INFINITY
+    } else {
+        // Expected cycles to detect, for the worst colliding site; the
+        // all-zero-latency case still needs the error to *occur*, governed
+        // by the site-level unconditional escape, capped here by the worst
+        // small block (escape 1/2 ⇒ 2 cycles).
+        let worst_noncolliding = sites
+            .iter()
+            .map(|s| SiteEscape::of(s, kind).sa1_per_cycle_escape)
+            .fold(0.0, f64::max);
+        1.0 / (1.0 - worst_noncolliding.max(paper_bound))
+    };
+    DecoderLatencyReport {
+        kind,
+        sites: sites.len(),
+        zero_latency_sites: zero,
+        paper_escape_bound: paper_bound,
+        worst_error_escape: worst_cond,
+        mean_escape: if sites.is_empty() { 0.0 } else { sum / sites.len() as f64 },
+        worst_expected_cycles: worst_expected,
+        per_block,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_decoder::build_multilevel_decoder;
+    use scm_logic::Netlist;
+
+    fn decoder(n: u32) -> DecoderStructure {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(n as usize);
+        build_multilevel_decoder(&mut nl, &addr, 2)
+    }
+
+    #[test]
+    fn paper_bound_matches_paper_formula_for_mod_a() {
+        // Paper: governing block is the smallest i with 2^i > a, escape
+        // ⌈2^i/a⌉/2^i. For n = 8 and a = 9 the governing block has i = 4
+        // (blocks are 1, 2, 4, 8 bits): ⌈16/9⌉/16 = 1/8.
+        let dec = decoder(8);
+        let report = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
+        assert!((report.paper_escape_bound - 0.125).abs() < 1e-12);
+        // Pndc after 10 cycles ≈ 9.3e-10 ≤ 1e-9: the worked example's claim.
+        assert!(report.paper_bound_after(10) <= 1e-9);
+        // The exact conditional worst case is below the paper bound.
+        assert!(report.worst_error_escape <= report.paper_escape_bound + 1e-12);
+        assert!(report.worst_error_escape > 0.10, "got {}", report.worst_error_escape);
+    }
+
+    #[test]
+    fn conditional_escape_never_exceeds_paper_bound() {
+        for n in [4u32, 5, 6, 8] {
+            let dec = decoder(n);
+            for a in [3u64, 5, 9, 35] {
+                let r = analyze_decoder(&dec, MappingKind::ModA { a });
+                assert!(
+                    r.worst_error_escape <= r.paper_escape_bound + 1e-12,
+                    "n={n} a={a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parity_mapping_bound_is_half() {
+        let dec = decoder(8);
+        let report = analyze_decoder(&dec, MappingKind::InputParity);
+        assert_eq!(report.paper_escape_bound, 0.5);
+        // Every multi-bit block has unconditional escape exactly 1/2; only
+        // 1-bit blocks are zero-latency.
+        for b in &report.per_block {
+            if b.bits >= 2 {
+                assert_eq!(b.worst_escape, 0.5, "block {b:?}");
+            } else {
+                assert_eq!(b.worst_error_escape, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn berger_mapping_is_zero_latency_everywhere() {
+        let dec = decoder(6);
+        let report = analyze_decoder(&dec, MappingKind::Berger);
+        assert_eq!(report.zero_latency_sites, report.sites);
+        assert_eq!(report.paper_escape_bound, 0.0);
+        assert_eq!(report.worst_error_escape, 0.0);
+        // The worst 1-bit block errs only half the cycles, so detection
+        // still takes 2 expected cycles from fault onset.
+        assert!((report.worst_expected_cycles - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_a_yields_undetectable_faults() {
+        // a = 8 (even): blocks at offset ≥ 3 become undetectable; both
+        // metrics saturate at 1.0 — the quantitative version of the paper's
+        // odd-a rule.
+        let dec = decoder(8);
+        let report = analyze_decoder(&dec, MappingKind::ModA { a: 8 });
+        assert_eq!(report.paper_escape_bound, 1.0);
+        assert_eq!(report.worst_error_escape, 1.0);
+        assert_eq!(report.worst_expected_cycles, f64::INFINITY);
+        // The odd neighbour is fine.
+        let report9 = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
+        assert!(report9.paper_escape_bound < 0.2);
+    }
+
+    #[test]
+    fn zero_latency_fraction_grows_with_a() {
+        let dec = decoder(8);
+        let mut prev = 0.0;
+        for a in [3u64, 9, 35, 125, 251] {
+            let r = analyze_decoder(&dec, MappingKind::ModA { a });
+            let frac = r.zero_latency_fraction();
+            assert!(frac >= prev, "a={a}: fraction {frac} < {prev}");
+            prev = frac;
+        }
+        // a ≥ 2^n: everything is distinct — full zero latency.
+        let r = analyze_decoder(&dec, MappingKind::ModA { a: 257 });
+        assert_eq!(r.zero_latency_fraction(), 1.0);
+    }
+
+    #[test]
+    fn detection_curve_is_monotone_to_one() {
+        let dec = decoder(6);
+        let r = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
+        let curve = r.detection_curve(40);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(curve.last().unwrap() > &0.999);
+    }
+
+    #[test]
+    fn block_summaries_cover_all_sites() {
+        let dec = decoder(7);
+        let r = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
+        let total: usize = r.per_block.iter().map(|b| b.sites).sum();
+        assert_eq!(total, r.sites);
+        // Every block output is a site: 2 per 0-level block, 2^i per higher.
+        let expected: usize = dec.blocks().iter().map(|b| b.num_outputs()).sum();
+        assert_eq!(r.sites, expected);
+    }
+}

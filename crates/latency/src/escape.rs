@@ -1,0 +1,305 @@
+//! Exact per-fault escape probabilities.
+//!
+//! A stuck-at-1 on the line decoding value `m1` of a block that decodes `i`
+//! address bits at offset `j` escapes detection on a cycle iff the applied
+//! field value `m2` maps to the same codeword as `m1`. With the `B = A mod
+//! a` mapping that means `(m2 − m1)·2^j ≡ 0 (mod a)`, i.e. `m2 ≡ m1 (mod
+//! a/gcd(2^j, a))`. Counting those `m2 ∈ [0, 2^i)` *exactly* — rather than
+//! the paper's `⌈2^i/a⌉` worst case — yields the full latency distribution,
+//! and makes the `gcd` degradation for even `a` (the reason the paper
+//! requires odd `a`) quantitative.
+
+use scm_codes::mapping::MappingKind;
+use scm_decoder::DecoderFaultSite;
+
+/// Number of field values `m2 ∈ [0, 2^bits)` that map to the same codeword
+/// as `m1` (including `m1` itself) for a block at bit offset `offset`.
+///
+/// # Panics
+/// Panics if `m1 >= 2^bits`, `bits == 0`… `bits = 0` is impossible for real
+/// blocks; `bits ≤ 63` is required.
+pub fn collision_count(kind: MappingKind, bits: u32, offset: u32, m1: u64) -> u64 {
+    assert!(bits >= 1 && bits <= 63, "block bit count {bits} out of range");
+    let span = 1u64 << bits;
+    assert!(m1 < span, "m1 = {m1} outside the block's {span} values");
+    match kind {
+        MappingKind::ModA { a } => {
+            // gcd(2^offset, a) = 2^min(offset, trailing_zeros(a)).
+            let g_log = offset.min(a.trailing_zeros());
+            let d = a >> g_log;
+            if d <= 1 {
+                // Every value collides: detection impossible (even `a` at
+                // offset ≥ its 2-adic valuation — the paper's catastrophe).
+                return span;
+            }
+            // Count m2 ≡ m1 (mod d) within [0, span).
+            (span - 1 - m1 % d) / d + 1
+        }
+        MappingKind::InputParity => {
+            // Same parity class: half the field values (all of them for a
+            // 1-bit block, where only m2 = m1 matches).
+            if bits == 1 {
+                1
+            } else {
+                span / 2
+            }
+        }
+        MappingKind::Berger => 1, // unique codeword per address
+    }
+}
+
+/// Exact escape analysis for one decoder fault site under a mapping.
+///
+/// Two views coexist in the paper and both are computed here:
+///
+/// * **unconditional** (`sa1_per_cycle_escape`): probability a uniformly
+///   random cycle does *not* detect the fault — error-free cycles count as
+///   non-detecting. This is the `⌈2^i/a⌉ / 2^i` quantity whose worst block
+///   the paper's `Pndc` bound uses. For tiny blocks it is dominated by
+///   cycles producing no error at all (e.g. `1/2` for a 1-bit block).
+/// * **error-conditional** (`sa1_escape_per_error_cycle`): probability an
+///   *erroneous* cycle goes undetected. This is the fault-secure view under
+///   which the paper's "blocks with `2^i ≤ a` have zero detection latency"
+///   claim holds, and it is bounded above by the unconditional view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteEscape {
+    /// Field values colliding with the stuck line (incl. itself).
+    pub collisions: u64,
+    /// Total field values, `2^bits`.
+    pub span: u64,
+    /// Unconditional per-cycle non-detection probability,
+    /// `collisions / 2^bits`.
+    pub sa1_per_cycle_escape: f64,
+    /// Error-conditional per-cycle escape,
+    /// `(collisions − 1) / (2^bits − 1)`.
+    pub sa1_escape_per_error_cycle: f64,
+    /// Per-cycle probability that an undetected *error* occurs,
+    /// `(collisions − 1) / 2^bits`.
+    pub sa1_undetected_error_per_cycle: f64,
+    /// Per-cycle probability a stuck-at-0 on the same line is not detected
+    /// (it is detected exactly on the cycles selecting the stuck line).
+    pub sa0_per_cycle_escape: f64,
+}
+
+impl SiteEscape {
+    /// Analyse one site under a mapping.
+    pub fn of(site: &DecoderFaultSite, kind: MappingKind) -> SiteEscape {
+        let collisions = collision_count(kind, site.bits, site.offset, site.value);
+        let span = 1u64 << site.bits;
+        SiteEscape {
+            collisions,
+            span,
+            sa1_per_cycle_escape: collisions as f64 / span as f64,
+            sa1_escape_per_error_cycle: (collisions - 1) as f64 / (span - 1) as f64,
+            sa1_undetected_error_per_cycle: (collisions - 1) as f64 / span as f64,
+            sa0_per_cycle_escape: (span - 1) as f64 / span as f64,
+        }
+    }
+
+    /// `Pndc` for the stuck-at-1 after `c` uniform random cycles.
+    pub fn sa1_escape_after(&self, cycles: u32) -> f64 {
+        self.sa1_per_cycle_escape.powi(cycles as i32)
+    }
+
+    /// `Pndc` for the stuck-at-0 after `c` cycles.
+    pub fn sa0_escape_after(&self, cycles: u32) -> f64 {
+        self.sa0_per_cycle_escape.powi(cycles as i32)
+    }
+
+    /// Whether every *error* this stuck-at-1 produces is detected on the
+    /// same cycle (zero detection latency in the fault-secure sense).
+    pub fn sa1_zero_latency(&self) -> bool {
+        self.collisions == 1
+    }
+
+    /// Expected number of cycles until detection of the stuck-at-1
+    /// (geometric; `f64::INFINITY` if undetectable).
+    pub fn sa1_expected_cycles(&self) -> f64 {
+        let p_detect = 1.0 - self.sa1_per_cycle_escape;
+        if p_detect <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / p_detect
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn collision_count_matches_paper_worst_case_for_odd_a() {
+        // For odd a and any offset: worst m1 collides ⌈2^i/a⌉ times.
+        for a in [3u64, 5, 9, 35, 125] {
+            for bits in 1..=12u32 {
+                for offset in [0u32, 1, 3, 7] {
+                    let span = 1u64 << bits;
+                    let worst = (0..span.min(4096))
+                        .map(|m1| collision_count(MappingKind::ModA { a }, bits, offset, m1))
+                        .max()
+                        .unwrap();
+                    assert_eq!(worst, span.div_ceil(a), "a={a} bits={bits} offset={offset}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_a_collapses_at_high_offsets() {
+        // a = 8: for offsets ≥ 3 every field value collides — detection is
+        // impossible. This is the paper's argument for odd a.
+        for offset in 3..8u32 {
+            assert_eq!(collision_count(MappingKind::ModA { a: 8 }, 4, offset, 5), 16);
+        }
+        // At offset 0 the mapping still works.
+        assert_eq!(collision_count(MappingKind::ModA { a: 8 }, 4, 0, 5), 2);
+        // Intermediate offsets degrade by the gcd factor f = 2^offset.
+        assert_eq!(collision_count(MappingKind::ModA { a: 8 }, 4, 1, 1), 4); // d = 4
+        assert_eq!(collision_count(MappingKind::ModA { a: 8 }, 4, 2, 1), 8); // d = 2
+    }
+
+    #[test]
+    fn collision_count_brute_force_cross_check() {
+        // Exact count must equal brute-force enumeration of colliding m2.
+        for a in [3u64, 5, 6, 9, 10, 35] {
+            for bits in 1..=8u32 {
+                for offset in 0..=4u32 {
+                    let span = 1u64 << bits;
+                    for m1 in 0..span {
+                        let brute = (0..span)
+                            .filter(|&m2| {
+                                let x1 = (m1 << offset) % a;
+                                let x2 = (m2 << offset) % a;
+                                x1 == x2
+                            })
+                            .count() as u64;
+                        let fast = collision_count(MappingKind::ModA { a }, bits, offset, m1);
+                        assert_eq!(fast, brute, "a={a} bits={bits} offset={offset} m1={m1}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_mapping_collisions() {
+        assert_eq!(collision_count(MappingKind::InputParity, 1, 0, 0), 1);
+        assert_eq!(collision_count(MappingKind::InputParity, 1, 5, 1), 1);
+        assert_eq!(collision_count(MappingKind::InputParity, 4, 2, 7), 8);
+        assert_eq!(collision_count(MappingKind::InputParity, 6, 0, 0), 32);
+    }
+
+    #[test]
+    fn berger_mapping_always_unique() {
+        for bits in 1..=10u32 {
+            assert_eq!(collision_count(MappingKind::Berger, bits, 3, 0), 1);
+        }
+    }
+
+    #[test]
+    fn site_escape_quantities() {
+        use scm_decoder::BlockId;
+        use scm_logic::SignalId;
+        let site = DecoderFaultSite {
+            signal: SignalId::from_index(0),
+            block: BlockId(0),
+            bits: 4,
+            offset: 0,
+            value: 0,
+        };
+        // a = 9 over a 4-bit block: value 0 collides with 9 → 2 collisions.
+        let e = SiteEscape::of(&site, MappingKind::ModA { a: 9 });
+        assert_eq!(e.collisions, 2);
+        assert_eq!(e.span, 16);
+        assert!((e.sa1_per_cycle_escape - 2.0 / 16.0).abs() < 1e-12);
+        assert!((e.sa1_undetected_error_per_cycle - 1.0 / 16.0).abs() < 1e-12);
+        assert!(!e.sa1_zero_latency());
+        // Pndc after 10 cycles: (1/8)^10 — the paper's worked example bound.
+        assert!((e.sa1_escape_after(10) - 8f64.powi(-10)).abs() < 1e-18);
+        // Expected cycles: 1 / (1 − 1/8).
+        assert!((e.sa1_expected_cycles() - 8.0 / 7.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_collision_classes_partition_the_span(
+            a_seed in any::<u64>(),
+            bits in 1u32..=12,
+            offset in 0u32..=6,
+        ) {
+            // Summing collisions over one representative per residue class
+            // must recover the whole span exactly — the counter partitions
+            // the field values.
+            let a = 3 + 2 * (a_seed % 500); // odd a in [3, 1001]
+            let span = 1u64 << bits;
+            let kind = MappingKind::ModA { a };
+            let d = {
+                let g_log = offset.min(a.trailing_zeros());
+                (a >> g_log).max(1)
+            };
+            let mut total = 0u64;
+            for class in 0..d.min(span) {
+                total += collision_count(kind, bits, offset, class);
+            }
+            // Representatives 0..min(d, span) cover every class present in
+            // the span exactly once.
+            prop_assert_eq!(total, span, "a={} bits={} offset={}", a, bits, offset);
+        }
+
+        #[test]
+        fn prop_escape_relations_hold(
+            a_seed in any::<u64>(),
+            bits in 1u32..=12,
+            offset in 0u32..=6,
+            m1_seed in any::<u64>(),
+        ) {
+            use scm_decoder::BlockId;
+            use scm_logic::SignalId;
+            let a = 3 + 2 * (a_seed % 500);
+            let span = 1u64 << bits;
+            let site = DecoderFaultSite {
+                signal: SignalId::from_index(0),
+                block: BlockId(0),
+                bits,
+                offset,
+                value: m1_seed % span,
+            };
+            let e = SiteEscape::of(&site, MappingKind::ModA { a });
+            // Conditional never exceeds unconditional.
+            prop_assert!(e.sa1_escape_per_error_cycle <= e.sa1_per_cycle_escape + 1e-15);
+            // Undetected-error rate = escape − P[no error].
+            prop_assert!((e.sa1_undetected_error_per_cycle
+                - (e.sa1_per_cycle_escape - 1.0 / span as f64)).abs() < 1e-12);
+            // Everything is a probability.
+            for p in [e.sa1_per_cycle_escape, e.sa1_escape_per_error_cycle,
+                      e.sa1_undetected_error_per_cycle, e.sa0_per_cycle_escape] {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            // The paper's ceiling bound dominates the exact count.
+            prop_assert!(e.collisions <= span.div_ceil((a >> offset.min(a.trailing_zeros())).max(1)));
+        }
+    }
+
+    #[test]
+    fn small_blocks_have_zero_latency() {
+        use scm_decoder::BlockId;
+        use scm_logic::SignalId;
+        // 2^i ≤ a ⇒ no collisions ⇒ every error detected instantly.
+        for bits in 1..=3u32 {
+            for value in 0..(1u64 << bits) {
+                let site = DecoderFaultSite {
+                    signal: SignalId::from_index(0),
+                    block: BlockId(0),
+                    bits,
+                    offset: 0,
+                    value,
+                };
+                let e = SiteEscape::of(&site, MappingKind::ModA { a: 9 });
+                assert!(e.sa1_zero_latency(), "bits={bits} value={value}");
+                assert_eq!(e.sa1_undetected_error_per_cycle, 0.0);
+            }
+        }
+    }
+}

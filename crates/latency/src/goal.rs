@@ -1,0 +1,126 @@
+//! Classification against the self-checking goal hierarchy.
+//!
+//! The paper's introduction frames the design space through the classical
+//! definitions: the **TSC goal** (first erroneous output raises an
+//! indication), **fault secure** / **self-testing** circuits (\[AND 71\]),
+//! **SFS** (\[SMI 78\]) and **SCD** checkers (\[NIC 84\]). The scheme's
+//! whole point is a *graded relaxation*: instead of zero latency
+//! everywhere, decoder faults get a bounded latency with a chosen escape
+//! probability. This module names where a configured design lands.
+
+use crate::distribution::DecoderLatencyReport;
+
+/// Protection grade of the decoder-checking configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtectionGrade {
+    /// Some faults are *never* detectable (e.g. even `a` with collisions):
+    /// the scheme is broken for them.
+    Unprotected,
+    /// Every fault is eventually detected under uniform addressing, with
+    /// bounded escape probability per cycle (the paper's tunable regime).
+    BoundedLatency,
+    /// Every *error* is detected on the cycle it occurs (fault-secure /
+    /// TSC-goal behaviour), i.e. zero detection latency in the paper's
+    /// sense.
+    ZeroLatency,
+}
+
+/// Classify a decoder latency report.
+pub fn classify(report: &DecoderLatencyReport) -> ProtectionGrade {
+    if report.worst_error_escape >= 1.0 {
+        ProtectionGrade::Unprotected
+    } else if report.worst_error_escape == 0.0 {
+        ProtectionGrade::ZeroLatency
+    } else {
+        ProtectionGrade::BoundedLatency
+    }
+}
+
+/// Assessment of a design against an explicit `(c, Pndc)` requirement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoalAssessment {
+    /// The grade of the configuration.
+    pub grade: ProtectionGrade,
+    /// The paper-bound `Pndc` the configuration achieves after `c` cycles.
+    pub achieved_pndc: f64,
+    /// Whether the requirement is met.
+    pub meets: bool,
+    /// Multiplicative margin (`required / achieved`; > 1 means headroom,
+    /// `INFINITY` for zero-latency configurations).
+    pub margin: f64,
+}
+
+/// Assess a report against a requirement.
+pub fn assess(report: &DecoderLatencyReport, cycles: u32, required_pndc: f64) -> GoalAssessment {
+    let achieved = report.paper_bound_after(cycles);
+    let grade = classify(report);
+    let meets = grade != ProtectionGrade::Unprotected && achieved <= required_pndc;
+    let margin = if achieved == 0.0 { f64::INFINITY } else { required_pndc / achieved };
+    GoalAssessment { grade, achieved_pndc: achieved, meets, margin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::analyze_decoder;
+    use scm_codes::mapping::MappingKind;
+    use scm_decoder::build_multilevel_decoder;
+    use scm_logic::Netlist;
+
+    fn report(n: u32, kind: MappingKind) -> DecoderLatencyReport {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(n as usize);
+        let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+        analyze_decoder(&dec, kind)
+    }
+
+    #[test]
+    fn grades_of_the_three_regimes() {
+        // Berger identity mapping: zero latency.
+        assert_eq!(
+            classify(&report(6, MappingKind::Berger)),
+            ProtectionGrade::ZeroLatency
+        );
+        // mod-9 on an 8-bit decoder: bounded latency.
+        assert_eq!(
+            classify(&report(8, MappingKind::ModA { a: 9 })),
+            ProtectionGrade::BoundedLatency
+        );
+        // Even a = 8: undetectable faults exist.
+        assert_eq!(
+            classify(&report(8, MappingKind::ModA { a: 8 })),
+            ProtectionGrade::Unprotected
+        );
+        // a ≥ lines: identity: zero latency again.
+        assert_eq!(
+            classify(&report(4, MappingKind::ModA { a: 17 })),
+            ProtectionGrade::ZeroLatency
+        );
+    }
+
+    #[test]
+    fn assessment_of_worked_example() {
+        // 3-out-of-5 / a = 9 on an 8-bit decoder, c = 10, required 1e-9.
+        let r = report(8, MappingKind::ModA { a: 9 });
+        let a = assess(&r, 10, 1e-9);
+        assert_eq!(a.grade, ProtectionGrade::BoundedLatency);
+        assert!(a.meets);
+        assert!(a.margin > 1.0 && a.margin < 1.2, "margin {}", a.margin);
+        // The same design fails a 10× tighter requirement.
+        let tight = assess(&r, 10, 1e-10);
+        assert!(!tight.meets);
+    }
+
+    #[test]
+    fn unprotected_never_meets() {
+        let r = report(8, MappingKind::ModA { a: 8 });
+        let a = assess(&r, 1000, 0.999);
+        assert!(!a.meets);
+    }
+
+    #[test]
+    fn grades_are_ordered() {
+        assert!(ProtectionGrade::Unprotected < ProtectionGrade::BoundedLatency);
+        assert!(ProtectionGrade::BoundedLatency < ProtectionGrade::ZeroLatency);
+    }
+}

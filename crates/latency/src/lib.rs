@@ -1,0 +1,29 @@
+//! Analytical detection-latency engine (paper, Section III.2).
+//!
+//! For every stuck-at fault site in a generated decoder, this crate computes
+//! *exactly* the quantities the paper derives or approximates:
+//!
+//! * the per-cycle non-detection probability under uniformly random
+//!   addresses (the paper's `⌈2^i/a⌉/2^i` worst-case, here exact per site
+//!   including the `gcd(2^j, a)` degradation that motivates odd `a`);
+//! * the probability that an *erroneous* cycle goes undetected (the
+//!   fault-secure view: zero for every stuck-at-0, and for stuck-at-1 in
+//!   blocks small enough that distinct field values cannot collide mod `a`);
+//! * `Pndc` after `c` cycles and expected cycles-to-detection;
+//! * distributions of all of the above over the complete fault universe
+//!   ([`distribution`]), which is the data behind the paper's trade-off;
+//! * the Section II safety/MTBF model ([`safety`]) quantifying why decoder
+//!   coverage matters at the system level.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod escape;
+pub mod goal;
+pub mod safety;
+
+pub use distribution::{analyze_decoder, BlockSummary, DecoderLatencyReport};
+pub use goal::{assess, classify, GoalAssessment, ProtectionGrade};
+pub use escape::{collision_count, SiteEscape};
+pub use safety::SafetyModel;

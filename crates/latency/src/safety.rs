@@ -1,0 +1,95 @@
+//! The Section II safety/MTBF model.
+//!
+//! The paper motivates decoder checking with a system-level argument:
+//! even if decoders are only ~10 % of the memory area, leaving them
+//! unchecked dominates the *undetectable*-fault rate. With a memory fault
+//! rate of `1e-5` faults/hour and a scheme missing only `1e-4` of all
+//! faults, safety is `1e-9` undetectable faults/hour; checking the word
+//! array alone yields `1e-1·1e-5 + 9e-1·1e-5·1e-4 ≈ 1e-6` — three orders of
+//! magnitude worse.
+
+/// System-level safety model for a self-checking memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetyModel {
+    /// Total memory fault rate, faults per hour (the paper's `1e-5`).
+    pub fault_rate_per_hour: f64,
+    /// Fraction of faults striking the decoders (≈ area share, `0.1`).
+    pub decoder_fault_share: f64,
+    /// Fraction of *covered*-part faults that still escape detection
+    /// (the paper's `1e-4`).
+    pub escape_fraction: f64,
+}
+
+impl SafetyModel {
+    /// The paper's Section II example parameters.
+    pub fn paper_example() -> Self {
+        SafetyModel {
+            fault_rate_per_hour: 1e-5,
+            decoder_fault_share: 0.1,
+            escape_fraction: 1e-4,
+        }
+    }
+
+    /// Undetectable-fault rate when the scheme covers the whole memory
+    /// (decoders included): `rate × escape`.
+    pub fn undetectable_rate_full_coverage(&self) -> f64 {
+        self.fault_rate_per_hour * self.escape_fraction
+    }
+
+    /// Undetectable-fault rate when only the word array is checked:
+    /// decoder faults are fully undetectable, array faults escape with the
+    /// residual fraction.
+    pub fn undetectable_rate_array_only(&self) -> f64 {
+        let decoder = self.fault_rate_per_hour * self.decoder_fault_share;
+        let array = self.fault_rate_per_hour * (1.0 - self.decoder_fault_share) * self.escape_fraction;
+        decoder + array
+    }
+
+    /// Safety degradation factor from skipping decoder coverage.
+    pub fn degradation_factor(&self) -> f64 {
+        self.undetectable_rate_array_only() / self.undetectable_rate_full_coverage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numbers() {
+        let m = SafetyModel::paper_example();
+        // Full coverage: 1e-9 undetectable faults/hour.
+        assert!((m.undetectable_rate_full_coverage() - 1e-9).abs() < 1e-15);
+        // Array-only: ≈ 1e-6 (the paper rounds 1.0009e-6 to 1e-6).
+        let array_only = m.undetectable_rate_array_only();
+        assert!((array_only - 1.0009e-6).abs() < 1e-10);
+        // "Reduced by three orders": factor ≈ 1000.
+        let factor = m.degradation_factor();
+        assert!((900.0..1100.0).contains(&factor), "factor = {factor}");
+    }
+
+    #[test]
+    fn degradation_grows_with_decoder_share() {
+        let mut prev = 0.0;
+        for share in [0.01, 0.05, 0.1, 0.2, 0.5] {
+            let m = SafetyModel {
+                fault_rate_per_hour: 1e-5,
+                decoder_fault_share: share,
+                escape_fraction: 1e-4,
+            };
+            let f = m.degradation_factor();
+            assert!(f > prev, "share {share}: factor {f} not increasing");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn no_decoders_no_degradation() {
+        let m = SafetyModel {
+            fault_rate_per_hour: 1e-5,
+            decoder_fault_share: 0.0,
+            escape_fraction: 1e-4,
+        };
+        assert!((m.degradation_factor() - 1.0).abs() < 1e-12);
+    }
+}

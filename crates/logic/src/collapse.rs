@@ -1,0 +1,231 @@
+//! Structural fault collapsing.
+//!
+//! Classical equivalence rules shrink the stuck-at universe before
+//! expensive campaigns:
+//!
+//! * AND/NAND gate: SA0 on any input ≡ SA0 (NAND: SA1) on the output;
+//! * OR/NOR gate: SA1 on any input ≡ SA1 (NOR: SA0) on the output;
+//! * buffer/inverter: input faults ≡ (possibly inverted) output faults.
+//!
+//! Because this crate models faults on *signals* (a fault on a gate input
+//! is represented by the fault on its driving signal), input-fault
+//! equivalence collapses across gates only when the driving signal has
+//! **fan-out 1** — with fan-out, the driver's fault reaches other gates and
+//! is not equivalent to the single gate's output fault. The collapser
+//! honours that.
+
+use crate::fault::{Fault, StuckAt};
+use crate::netlist::{GateKind, Netlist, SignalId};
+
+/// Compute fan-out counts for every signal.
+fn fanout(netlist: &Netlist) -> Vec<u32> {
+    let mut counts = vec![0u32; netlist.num_signals()];
+    for gate in netlist.gates() {
+        for s in &gate.inputs {
+            counts[s.index()] += 1;
+        }
+    }
+    for s in netlist.primary_outputs() {
+        counts[s.index()] += 1;
+    }
+    counts
+}
+
+/// A collapsed fault universe: representative faults plus the total size of
+/// the uncollapsed universe they stand for.
+#[derive(Debug, Clone)]
+pub struct CollapsedUniverse {
+    /// Representative faults (one per equivalence class).
+    pub representatives: Vec<Fault>,
+    /// Size of the full (uncollapsed) universe.
+    pub full_size: usize,
+}
+
+impl CollapsedUniverse {
+    /// Collapse ratio (`representatives / full`), the standard figure of
+    /// merit.
+    pub fn ratio(&self) -> f64 {
+        self.representatives.len() as f64 / self.full_size as f64
+    }
+}
+
+/// Collapse the single stuck-at universe of a netlist by structural
+/// equivalence.
+pub fn collapse(netlist: &Netlist) -> CollapsedUniverse {
+    let full = crate::fault::fault_universe(netlist);
+    let fan = fanout(netlist);
+    let mut dominated = vec![[false; 2]; netlist.num_signals()];
+
+    // Mark input-side faults equivalent to an output fault of the gate that
+    // consumes them, when the driver has fan-out exactly 1.
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        let out = SignalId(idx as u32);
+        let _ = out;
+        let mark = |dominated: &mut Vec<[bool; 2]>, s: SignalId, stuck: StuckAt| {
+            if fan[s.index()] == 1 {
+                dominated[s.index()][matches!(stuck, StuckAt::One) as usize] = true;
+            }
+        };
+        match gate.kind {
+            GateKind::And2 | GateKind::AndN => {
+                for &s in &gate.inputs {
+                    mark(&mut dominated, s, StuckAt::Zero); // ≡ output SA0
+                }
+            }
+            GateKind::Nand2 => {
+                for &s in &gate.inputs {
+                    mark(&mut dominated, s, StuckAt::Zero); // ≡ output SA1
+                }
+            }
+            GateKind::Or2 | GateKind::OrN => {
+                for &s in &gate.inputs {
+                    mark(&mut dominated, s, StuckAt::One); // ≡ output SA1
+                }
+            }
+            GateKind::Nor2 | GateKind::NorN => {
+                for &s in &gate.inputs {
+                    mark(&mut dominated, s, StuckAt::One); // ≡ output SA0
+                }
+            }
+            GateKind::Buf => {
+                for &s in &gate.inputs {
+                    mark(&mut dominated, s, StuckAt::Zero);
+                    mark(&mut dominated, s, StuckAt::One);
+                }
+            }
+            GateKind::Inv => {
+                for &s in &gate.inputs {
+                    mark(&mut dominated, s, StuckAt::Zero); // ≡ output SA1
+                    mark(&mut dominated, s, StuckAt::One); // ≡ output SA0
+                }
+            }
+            // XOR-family and inputs/constants collapse nothing.
+            _ => {}
+        }
+    }
+
+    let representatives = full
+        .iter()
+        .copied()
+        .filter(|f| !dominated[f.signal.index()][matches!(f.stuck, StuckAt::One) as usize])
+        .collect::<Vec<_>>();
+    CollapsedUniverse { representatives, full_size: full.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// Every representative set must remain *detection-complete*: a test
+    /// set detecting all representatives detects the full universe.
+    /// Verified here by exhaustive simulation on small circuits.
+    fn detection_equivalent(netlist: &Netlist) {
+        let collapsed = collapse(netlist);
+        let n = netlist.primary_inputs().len();
+        let full = crate::fault::fault_universe(netlist);
+        // For every collapsed-away fault there must exist a representative
+        // with the *same* detection set (equivalence, not just dominance).
+        let detect_set = |f: Fault| -> Vec<u64> {
+            (0..(1u64 << n))
+                .filter(|&p| {
+                    netlist.eval_word(p, Some(f)).outputs()
+                        != netlist.eval_word(p, None).outputs()
+                })
+                .collect()
+        };
+        let rep_sets: Vec<Vec<u64>> =
+            collapsed.representatives.iter().map(|&f| detect_set(f)).collect();
+        for &f in &full {
+            if collapsed.representatives.contains(&f) {
+                continue;
+            }
+            let set = detect_set(f);
+            assert!(
+                rep_sets.iter().any(|r| *r == set),
+                "collapsed fault {f} has no equivalent representative"
+            );
+        }
+    }
+
+    #[test]
+    fn and_chain_collapses_and_stays_complete() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.input();
+        let ab = nl.and2(a, b);
+        let abc = nl.and2(ab, c);
+        nl.expose(abc);
+        let col = collapse(&nl);
+        assert!(col.representatives.len() < col.full_size);
+        detection_equivalent(&nl);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let x = nl.inv(a);
+        let y = nl.inv(x);
+        nl.expose(y);
+        let col = collapse(&nl);
+        // a's two faults fold into x's, which fold into y's: only 2 remain.
+        assert_eq!(col.representatives.len(), 2);
+        detection_equivalent(&nl);
+    }
+
+    #[test]
+    fn fanout_blocks_collapsing() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.and2(a, b);
+        let y = nl.or2(a, b); // a and b fan out to two gates
+        nl.expose(x);
+        nl.expose(y);
+        let col = collapse(&nl);
+        // No input may be collapsed: all 8 faults remain.
+        assert_eq!(col.representatives.len(), col.full_size);
+        detection_equivalent(&nl);
+    }
+
+    #[test]
+    fn wide_and_tree_collapses_strongly() {
+        // Fan-out-free internal nodes: every intermediate AND output folds
+        // into the root's SA0 class chain.
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(16);
+        let root = nl.and_tree(&ins, 2);
+        nl.expose(root);
+        let col = collapse(&nl);
+        assert!(col.ratio() < 0.6, "expected strong collapse, got {}", col.ratio());
+        // Equivalence check would be 2^16 patterns; use an 8-input tree.
+        let mut nl8 = Netlist::new();
+        let ins8 = nl8.inputs(8);
+        let root8 = nl8.and_tree(&ins8, 2);
+        nl8.expose(root8);
+        detection_equivalent(&nl8);
+    }
+
+    #[test]
+    fn single_level_decoder_does_not_collapse() {
+        // Every literal fans out to many AND gates, so no input fault is
+        // equivalent to any single gate-output fault: ratio must be 1.
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(4);
+        let inv: Vec<_> = addr.iter().map(|&a| nl.inv(a)).collect();
+        let outs: Vec<_> = (0..16u64)
+            .map(|v| {
+                let lits: Vec<_> = (0..4)
+                    .map(|i| if v >> i & 1 == 1 { addr[i] } else { inv[i] })
+                    .collect();
+                nl.and_n(&lits)
+            })
+            .collect();
+        nl.expose_all(&outs);
+        let col = collapse(&nl);
+        assert_eq!(col.ratio(), 1.0);
+        detection_equivalent(&nl);
+    }
+}

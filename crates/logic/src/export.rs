@@ -1,0 +1,178 @@
+//! Netlist export: structural Verilog and Graphviz DOT.
+//!
+//! The generated decoders, NOR matrices and checkers are real hardware
+//! structures; exporting them lets users drop the scheme into an actual
+//! flow (synthesis sanity checks, visualisation, equivalence checking
+//! against an RTL rewrite). The Verilog writer emits a self-contained
+//! structural module using only `not`/`buf`/`and`/`or`/`nand`/`nor`/`xor`/
+//! `xnor` primitives, so any tool can ingest it.
+
+use crate::netlist::{GateKind, Netlist, SignalId};
+use std::fmt::Write;
+
+fn wire(s: SignalId) -> String {
+    format!("n{}", s.index())
+}
+
+/// Emit a structural Verilog module for the netlist.
+///
+/// Primary inputs become module inputs `pi0, pi1, …` (in creation order),
+/// primary outputs become `po0, po1, …` (in exposure order).
+pub fn to_verilog(netlist: &Netlist, module_name: &str) -> String {
+    let mut v = String::new();
+    let n_in = netlist.primary_inputs().len();
+    let n_out = netlist.primary_outputs().len();
+    let ins: Vec<String> = (0..n_in).map(|k| format!("pi{k}")).collect();
+    let outs: Vec<String> = (0..n_out).map(|k| format!("po{k}")).collect();
+    let ports: Vec<String> = ins.iter().chain(outs.iter()).cloned().collect();
+    writeln!(v, "module {module_name} ({});", ports.join(", ")).unwrap();
+    for i in &ins {
+        writeln!(v, "  input {i};").unwrap();
+    }
+    for o in &outs {
+        writeln!(v, "  output {o};").unwrap();
+    }
+
+    // Internal wires.
+    for s in netlist.signal_ids() {
+        writeln!(v, "  wire {};", wire(s)).unwrap();
+    }
+
+    // Tie primary inputs to their nets.
+    let mut next_input = 0usize;
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        let out = wire(SignalId(idx as u32));
+        let args = |gate: &crate::netlist::Gate| -> String {
+            gate.inputs
+                .iter()
+                .map(|&s| wire(s))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match gate.kind {
+            GateKind::Input => {
+                writeln!(v, "  buf g{idx} ({out}, pi{next_input});").unwrap();
+                next_input += 1;
+            }
+            GateKind::Const(c) => {
+                writeln!(v, "  assign {out} = 1'b{};", c as u8).unwrap();
+            }
+            GateKind::Buf => writeln!(v, "  buf g{idx} ({out}, {});", args(gate)).unwrap(),
+            GateKind::Inv => writeln!(v, "  not g{idx} ({out}, {});", args(gate)).unwrap(),
+            GateKind::And2 | GateKind::AndN => {
+                writeln!(v, "  and g{idx} ({out}, {});", args(gate)).unwrap()
+            }
+            GateKind::Or2 | GateKind::OrN => {
+                writeln!(v, "  or g{idx} ({out}, {});", args(gate)).unwrap()
+            }
+            GateKind::Nand2 => writeln!(v, "  nand g{idx} ({out}, {});", args(gate)).unwrap(),
+            GateKind::Nor2 | GateKind::NorN => {
+                writeln!(v, "  nor g{idx} ({out}, {});", args(gate)).unwrap()
+            }
+            GateKind::Xor2 => writeln!(v, "  xor g{idx} ({out}, {});", args(gate)).unwrap(),
+            GateKind::Xnor2 => writeln!(v, "  xnor g{idx} ({out}, {});", args(gate)).unwrap(),
+        }
+    }
+
+    // Tie primary outputs.
+    for (k, &s) in netlist.primary_outputs().iter().enumerate() {
+        writeln!(v, "  buf o{k} (po{k}, {});", wire(s)).unwrap();
+    }
+    writeln!(v, "endmodule").unwrap();
+    v
+}
+
+/// Emit a Graphviz DOT digraph of the netlist (gates as nodes, nets as
+/// edges), suitable for `dot -Tsvg`.
+pub fn to_dot(netlist: &Netlist, graph_name: &str) -> String {
+    let mut d = String::new();
+    writeln!(d, "digraph {graph_name} {{").unwrap();
+    writeln!(d, "  rankdir=LR;").unwrap();
+    for (idx, gate) in netlist.gates().iter().enumerate() {
+        let shape = match gate.kind {
+            GateKind::Input => "triangle",
+            GateKind::Const(_) => "plaintext",
+            _ => "box",
+        };
+        writeln!(
+            d,
+            "  n{idx} [label=\"{}#{idx}\", shape={shape}];",
+            gate.kind.mnemonic()
+        )
+        .unwrap();
+        for s in &gate.inputs {
+            writeln!(d, "  n{} -> n{idx};", s.index()).unwrap();
+        }
+    }
+    for (k, s) in netlist.primary_outputs().iter().enumerate() {
+        writeln!(d, "  po{k} [shape=doublecircle, label=\"po{k}\"];").unwrap();
+        writeln!(d, "  n{} -> po{k};", s.index()).unwrap();
+    }
+    writeln!(d, "}}").unwrap();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.constant(true);
+        let x = nl.xor2(a, b);
+        let w = nl.nor_n(&[a, b, x]);
+        let y = nl.and_n(&[x, w, c]);
+        nl.expose(y);
+        nl
+    }
+
+    #[test]
+    fn verilog_is_structurally_complete() {
+        let v = to_verilog(&sample(), "sample");
+        assert!(v.starts_with("module sample"));
+        assert!(v.contains("input pi0;"));
+        assert!(v.contains("input pi1;"));
+        assert!(v.contains("output po0;"));
+        assert!(v.contains("xor"));
+        assert!(v.contains("nor"));
+        assert!(v.contains("assign n2 = 1'b1;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+        // One gate instance per netlist gate + output ties.
+        let instances = v.matches("g").count();
+        assert!(instances >= 6);
+    }
+
+    #[test]
+    fn dot_mentions_every_gate_and_edge() {
+        let nl = sample();
+        let d = to_dot(&nl, "g");
+        assert!(d.starts_with("digraph g {"));
+        for idx in 0..nl.num_signals() {
+            assert!(d.contains(&format!("n{idx} [label=")), "missing node n{idx}");
+        }
+        assert!(d.contains("-> po0;"));
+        assert!(d.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn decoder_exports_without_panic() {
+        // A realistic structure: 6-bit decoder netlist → both formats.
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(6);
+        let inv: Vec<_> = addr.iter().map(|&a| nl.inv(a)).collect();
+        for v in 0..64u64 {
+            let lits: Vec<_> = (0..6)
+                .map(|i| if v >> i & 1 == 1 { addr[i] } else { inv[i] })
+                .collect();
+            let line = nl.and_n(&lits);
+            nl.expose(line);
+        }
+        let verilog = to_verilog(&nl, "decoder6");
+        assert!(verilog.matches("and g").count() == 64);
+        let dot = to_dot(&nl, "decoder6");
+        assert!(dot.len() > 1000);
+    }
+}

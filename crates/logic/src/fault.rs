@@ -1,0 +1,129 @@
+//! The single stuck-at fault model.
+//!
+//! A stuck-at fault pins one signal to a constant regardless of the logic
+//! driving it. This is the fault model of the entire self-checking memory
+//! literature the paper builds on (\[SMI 78\], \[NIC 84\], \[NIC 94\]), and
+//! the model under which the paper's two key claims hold:
+//!
+//! * stuck-at-0 anywhere in a decoder ⇒ all-zero decoder outputs on the
+//!   erroneous cycle ⇒ all-ones NOR-matrix word ⇒ detected immediately;
+//! * stuck-at-1 ⇒ exactly two decoder lines selected ⇒ detected iff their
+//!   codewords differ.
+
+use crate::netlist::{GateKind, Netlist, SignalId};
+
+/// Stuck-at polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// Signal pinned to logic 0.
+    Zero,
+    /// Signal pinned to logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// The pinned logic value.
+    pub fn value(self) -> bool {
+        matches!(self, StuckAt::One)
+    }
+
+    /// Both polarities, for enumeration.
+    pub const BOTH: [StuckAt; 2] = [StuckAt::Zero, StuckAt::One];
+}
+
+/// A single stuck-at fault on one signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The affected signal.
+    pub signal: SignalId,
+    /// The stuck polarity.
+    pub stuck: StuckAt,
+}
+
+impl Fault {
+    /// Stuck-at-0 on `signal`.
+    pub fn stuck_at_0(signal: SignalId) -> Self {
+        Fault { signal, stuck: StuckAt::Zero }
+    }
+
+    /// Stuck-at-1 on `signal`.
+    pub fn stuck_at_1(signal: SignalId) -> Self {
+        Fault { signal, stuck: StuckAt::One }
+    }
+
+    /// Apply the fault to a computed signal value.
+    pub fn apply(self, target: SignalId, value: bool) -> bool {
+        if target == self.signal {
+            self.stuck.value()
+        } else {
+            value
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.stuck {
+            StuckAt::Zero => write!(f, "{}/SA0", self.signal),
+            StuckAt::One => write!(f, "{}/SA1", self.signal),
+        }
+    }
+}
+
+/// Enumerate the complete single stuck-at fault universe of a netlist:
+/// both polarities on every signal except constant drivers (a constant
+/// stuck at its own value is not a fault; the opposite polarity is kept).
+pub fn fault_universe(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::with_capacity(netlist.num_signals() * 2);
+    for s in netlist.signal_ids() {
+        match netlist.gate(s).kind {
+            GateKind::Const(v) => {
+                // Only the polarity that changes behaviour.
+                faults.push(Fault { signal: s, stuck: if v { StuckAt::Zero } else { StuckAt::One } });
+            }
+            _ => {
+                faults.push(Fault::stuck_at_0(s));
+                faults.push(Fault::stuck_at_1(s));
+            }
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn universe_counts() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let k = nl.constant(true);
+        let ab = nl.and2(a, b);
+        let f = nl.or2(ab, k);
+        nl.expose(f);
+        // 4 non-const signals × 2 + 1 const × 1 = 9.
+        assert_eq!(fault_universe(&nl).len(), 9);
+    }
+
+    #[test]
+    fn apply_only_hits_target() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let fault = Fault::stuck_at_1(a);
+        assert!(fault.apply(a, false));
+        assert!(!fault.apply(b, false));
+        let _ = nl; // netlist only used for ids
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Fault::stuck_at_0(SignalId(3));
+        assert_eq!(f.to_string(), "s3/SA0");
+        let f = Fault::stuck_at_1(SignalId(7));
+        assert_eq!(f.to_string(), "s7/SA1");
+    }
+}

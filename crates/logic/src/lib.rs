@@ -1,0 +1,56 @@
+//! Gate-level combinational netlist substrate.
+//!
+//! The paper's analysis (Section III.2) is phrased at the single stuck-at
+//! gate level: decoders are trees of 2-input AND gates, the ROM encoder is a
+//! NOR matrix, checkers are small gate networks. This crate provides exactly
+//! that substrate:
+//!
+//! * [`netlist::Netlist`] — a growable combinational netlist whose signals
+//!   are created in topological order (every gate may only reference
+//!   already-created signals), so evaluation is a single forward sweep.
+//! * [`fault::Fault`] — the classical single stuck-at fault model
+//!   (stuck-at-0 / stuck-at-1 on any signal).
+//! * [`sim`] — single-pattern evaluation with an optional injected fault.
+//! * [`parallel`] — 64-way bit-parallel evaluation: one `u64` lane per
+//!   signal carries 64 input patterns at once, the workhorse for Monte-Carlo
+//!   fault campaigns.
+//! * [`stats`] — gate counts and gate-equivalent area figures consumed by
+//!   the area model.
+//! * [`collapse`] — structural stuck-at fault collapsing (equivalence
+//!   classes across fan-out-free gate inputs) to shrink campaign universes.
+//!
+//! # Example
+//!
+//! ```
+//! use scm_logic::netlist::Netlist;
+//! use scm_logic::fault::Fault;
+//!
+//! // f = a AND (NOT b)
+//! let mut nl = Netlist::new();
+//! let a = nl.input();
+//! let b = nl.input();
+//! let nb = nl.inv(b);
+//! let f = nl.and2(a, nb);
+//! nl.expose(f);
+//!
+//! assert_eq!(nl.eval(&[true, false]).outputs(), vec![true]);
+//! // Stuck-at-0 on the AND output masks everything:
+//! let faulty = nl.eval_with_fault(&[true, false], Some(Fault::stuck_at_0(f)));
+//! assert_eq!(faulty.outputs(), vec![false]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collapse;
+pub mod coverage;
+pub mod export;
+pub mod fault;
+pub mod netlist;
+pub mod parallel;
+pub mod sim;
+pub mod stats;
+
+pub use fault::{Fault, StuckAt};
+pub use netlist::{GateKind, Netlist, SignalId};
+pub use sim::Evaluation;

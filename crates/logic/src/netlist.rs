@@ -1,0 +1,400 @@
+//! Netlist construction and the gate vocabulary.
+
+use std::fmt;
+
+/// Identifier of a signal (the output net of one gate or primary input).
+///
+/// Signals are dense indices into the netlist's gate array, assigned in
+/// creation order; that order is by construction a topological order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Raw index (useful for dense side tables keyed by signal).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Useful for tables and synthetic fault
+    /// sites; evaluating a netlist with a dangling id panics, so misuse is
+    /// caught loudly.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index as u32)
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The gate vocabulary.
+///
+/// Wide (`N`-ary) gates model ROM matrix lines and wide decoder gates
+/// directly; the builder also offers balanced trees of fixed-arity gates for
+/// the paper's "several levels of t-input gates" implementation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// Buffer (identity).
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// N-input AND.
+    AndN,
+    /// N-input OR.
+    OrN,
+    /// N-input NOR (ROM matrix line).
+    NorN,
+}
+
+impl GateKind {
+    /// Short mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Input => "in",
+            GateKind::Const(false) => "lo",
+            GateKind::Const(true) => "hi",
+            GateKind::Buf => "buf",
+            GateKind::Inv => "inv",
+            GateKind::And2 => "and2",
+            GateKind::Or2 => "or2",
+            GateKind::Nand2 => "nand2",
+            GateKind::Nor2 => "nor2",
+            GateKind::Xor2 => "xor2",
+            GateKind::Xnor2 => "xnor2",
+            GateKind::AndN => "andN",
+            GateKind::OrN => "orN",
+            GateKind::NorN => "norN",
+        }
+    }
+}
+
+/// One gate: a kind plus its input signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Gate function.
+    pub kind: GateKind,
+    /// Input signals (empty for [`GateKind::Input`] / [`GateKind::Const`]).
+    pub inputs: Vec<SignalId>,
+}
+
+/// A combinational netlist under construction or evaluation.
+///
+/// Signals are created in topological order; every builder method asserts
+/// that referenced inputs already exist, so a single forward sweep evaluates
+/// the whole circuit.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    primary_inputs: Vec<SignalId>,
+    primary_outputs: Vec<SignalId>,
+}
+
+impl Netlist {
+    /// Empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: GateKind, inputs: Vec<SignalId>) -> SignalId {
+        for s in &inputs {
+            assert!(
+                s.index() < self.gates.len(),
+                "gate input {s} does not exist yet (topological construction violated)"
+            );
+        }
+        let id = SignalId(self.gates.len() as u32);
+        self.gates.push(Gate { kind, inputs });
+        id
+    }
+
+    /// Create a new primary input.
+    pub fn input(&mut self) -> SignalId {
+        let id = self.push(GateKind::Input, Vec::new());
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Create `n` primary inputs.
+    pub fn inputs(&mut self, n: usize) -> Vec<SignalId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Constant driver.
+    pub fn constant(&mut self, v: bool) -> SignalId {
+        self.push(GateKind::Const(v), Vec::new())
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: SignalId) -> SignalId {
+        self.push(GateKind::Buf, vec![a])
+    }
+
+    /// Inverter.
+    pub fn inv(&mut self, a: SignalId) -> SignalId {
+        self.push(GateKind::Inv, vec![a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateKind::And2, vec![a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateKind::Or2, vec![a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateKind::Nand2, vec![a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateKind::Nor2, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateKind::Xor2, vec![a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        self.push(GateKind::Xnor2, vec![a, b])
+    }
+
+    /// Wide AND gate (single gate, arbitrary fan-in ≥ 1).
+    ///
+    /// # Panics
+    /// Panics on empty input slice.
+    pub fn and_n(&mut self, sigs: &[SignalId]) -> SignalId {
+        assert!(!sigs.is_empty(), "and_n needs at least one input");
+        if sigs.len() == 1 {
+            return self.buf(sigs[0]);
+        }
+        self.push(GateKind::AndN, sigs.to_vec())
+    }
+
+    /// Wide OR gate.
+    ///
+    /// # Panics
+    /// Panics on empty input slice.
+    pub fn or_n(&mut self, sigs: &[SignalId]) -> SignalId {
+        assert!(!sigs.is_empty(), "or_n needs at least one input");
+        if sigs.len() == 1 {
+            return self.buf(sigs[0]);
+        }
+        self.push(GateKind::OrN, sigs.to_vec())
+    }
+
+    /// Wide NOR gate — one ROM matrix column.
+    ///
+    /// # Panics
+    /// Panics on empty input slice.
+    pub fn nor_n(&mut self, sigs: &[SignalId]) -> SignalId {
+        assert!(!sigs.is_empty(), "nor_n needs at least one input");
+        self.push(GateKind::NorN, sigs.to_vec())
+    }
+
+    /// Balanced tree of `arity`-input AND gates (the paper's
+    /// "one or more levels of t-input AND gates").
+    ///
+    /// # Panics
+    /// Panics if `arity < 2` or `sigs` is empty.
+    pub fn and_tree(&mut self, sigs: &[SignalId], arity: usize) -> SignalId {
+        assert!(arity >= 2, "tree arity must be at least 2");
+        assert!(!sigs.is_empty(), "and_tree needs at least one input");
+        let mut layer: Vec<SignalId> = sigs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(arity));
+            for chunk in layer.chunks(arity) {
+                next.push(match chunk.len() {
+                    1 => chunk[0],
+                    2 => self.and2(chunk[0], chunk[1]),
+                    _ => self.and_n(chunk),
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Balanced tree of 2-input XOR gates (parity tree).
+    ///
+    /// # Panics
+    /// Panics if `sigs` is empty.
+    pub fn xor_tree(&mut self, sigs: &[SignalId]) -> SignalId {
+        assert!(!sigs.is_empty(), "xor_tree needs at least one input");
+        let mut layer: Vec<SignalId> = sigs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                next.push(match chunk.len() {
+                    1 => chunk[0],
+                    _ => self.xor2(chunk[0], chunk[1]),
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Mark a signal as a primary output.
+    pub fn expose(&mut self, s: SignalId) {
+        assert!(s.index() < self.gates.len(), "cannot expose unknown signal {s}");
+        self.primary_outputs.push(s);
+    }
+
+    /// Mark several signals as primary outputs, in order.
+    pub fn expose_all(&mut self, sigs: &[SignalId]) {
+        for &s in sigs {
+            self.expose(s);
+        }
+    }
+
+    /// All gates in topological (creation) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Gate driving a signal.
+    pub fn gate(&self, s: SignalId) -> &Gate {
+        &self.gates[s.index()]
+    }
+
+    /// Number of signals (gates + inputs + constants).
+    pub fn num_signals(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of actual gates (excluding primary inputs and constants).
+    pub fn num_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Const(_)))
+            .count()
+    }
+
+    /// Primary inputs in creation order.
+    pub fn primary_inputs(&self) -> &[SignalId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in exposure order.
+    pub fn primary_outputs(&self) -> &[SignalId] {
+        &self.primary_outputs
+    }
+
+    /// Iterate over every signal id.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.gates.len() as u32).map(SignalId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_topological_ids() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.and2(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(c.index(), 2);
+        assert_eq!(nl.num_signals(), 3);
+        assert_eq!(nl.num_gates(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_reference_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let ghost = SignalId(42);
+        let _ = nl.and2(a, ghost);
+    }
+
+    #[test]
+    fn and_tree_arities() {
+        for arity in [2usize, 3, 4] {
+            let mut nl = Netlist::new();
+            let ins = nl.inputs(9);
+            let root = nl.and_tree(&ins, arity);
+            nl.expose(root);
+            // All-ones evaluates true, any zero evaluates false.
+            assert_eq!(nl.eval(&[true; 9]).outputs(), vec![true]);
+            let mut pattern = [true; 9];
+            pattern[4] = false;
+            assert_eq!(nl.eval(&pattern).outputs(), vec![false]);
+        }
+    }
+
+    #[test]
+    fn xor_tree_is_parity() {
+        let mut nl = Netlist::new();
+        let ins = nl.inputs(7);
+        let root = nl.xor_tree(&ins);
+        nl.expose(root);
+        for pattern in 0u32..128 {
+            let bits: Vec<bool> = (0..7).map(|k| pattern >> k & 1 == 1).collect();
+            let expect = pattern.count_ones() % 2 == 1;
+            assert_eq!(nl.eval(&bits).outputs(), vec![expect], "pattern {pattern:07b}");
+        }
+    }
+
+    #[test]
+    fn single_input_wide_gates_degrade_to_buffer() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let w = nl.and_n(&[a]);
+        nl.expose(w);
+        assert_eq!(nl.eval(&[true]).outputs(), vec![true]);
+        assert_eq!(nl.eval(&[false]).outputs(), vec![false]);
+    }
+
+    #[test]
+    fn gate_kind_mnemonics_unique_enough() {
+        let kinds = [
+            GateKind::Input,
+            GateKind::Const(true),
+            GateKind::Const(false),
+            GateKind::Buf,
+            GateKind::Inv,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::AndN,
+            GateKind::OrN,
+            GateKind::NorN,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+        }
+    }
+}

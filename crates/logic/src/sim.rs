@@ -1,0 +1,225 @@
+//! Single-pattern evaluation, with optional fault injection.
+
+use crate::fault::Fault;
+use crate::netlist::{GateKind, Netlist, SignalId};
+
+/// The value of every signal after one evaluation sweep.
+#[derive(Debug, Clone)]
+pub struct Evaluation<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+}
+
+impl Evaluation<'_> {
+    /// Value of an arbitrary internal signal.
+    pub fn value(&self, s: SignalId) -> bool {
+        self.values[s.index()]
+    }
+
+    /// Primary output values, in exposure order.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|s| self.values[s.index()])
+            .collect()
+    }
+
+    /// Primary outputs packed into a word (output 0 = bit 0).
+    ///
+    /// # Panics
+    /// Panics if there are more than 64 primary outputs.
+    pub fn outputs_word(&self) -> u64 {
+        let outs = self.netlist.primary_outputs();
+        assert!(outs.len() <= 64, "too many outputs for a u64 word");
+        outs.iter()
+            .enumerate()
+            .fold(0u64, |acc, (k, s)| acc | ((self.values[s.index()] as u64) << k))
+    }
+}
+
+fn eval_gate(kind: GateKind, inputs: &[SignalId], values: &[bool], ext: Option<bool>) -> bool {
+    let v = |s: SignalId| values[s.index()];
+    match kind {
+        GateKind::Input => ext.expect("primary input requires an external value"),
+        GateKind::Const(c) => c,
+        GateKind::Buf => v(inputs[0]),
+        GateKind::Inv => !v(inputs[0]),
+        GateKind::And2 => v(inputs[0]) && v(inputs[1]),
+        GateKind::Or2 => v(inputs[0]) || v(inputs[1]),
+        GateKind::Nand2 => !(v(inputs[0]) && v(inputs[1])),
+        GateKind::Nor2 => !(v(inputs[0]) || v(inputs[1])),
+        GateKind::Xor2 => v(inputs[0]) ^ v(inputs[1]),
+        GateKind::Xnor2 => !(v(inputs[0]) ^ v(inputs[1])),
+        GateKind::AndN => inputs.iter().all(|&s| values[s.index()]),
+        GateKind::OrN => inputs.iter().any(|&s| values[s.index()]),
+        GateKind::NorN => !inputs.iter().any(|&s| values[s.index()]),
+    }
+}
+
+impl Netlist {
+    /// Evaluate the fault-free netlist on one input pattern.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn eval(&self, inputs: &[bool]) -> Evaluation<'_> {
+        self.eval_with_fault(inputs, None)
+    }
+
+    /// Evaluate with an optional injected stuck-at fault.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn eval_with_fault(&self, inputs: &[bool], fault: Option<Fault>) -> Evaluation<'_> {
+        assert_eq!(
+            inputs.len(),
+            self.primary_inputs().len(),
+            "input pattern width mismatch"
+        );
+        let mut values = vec![false; self.num_signals()];
+        let mut next_input = 0usize;
+        for (idx, gate) in self.gates().iter().enumerate() {
+            let sid = SignalId(idx as u32);
+            let ext = if matches!(gate.kind, GateKind::Input) {
+                let v = inputs[next_input];
+                next_input += 1;
+                Some(v)
+            } else {
+                None
+            };
+            let mut v = eval_gate(gate.kind, &gate.inputs, &values, ext);
+            if let Some(f) = fault {
+                v = f.apply(sid, v);
+            }
+            values[idx] = v;
+        }
+        Evaluation { netlist: self, values }
+    }
+
+    /// Evaluate taking the input pattern from the low bits of a word
+    /// (input 0 = bit 0).
+    pub fn eval_word(&self, word: u64, fault: Option<Fault>) -> Evaluation<'_> {
+        let n = self.primary_inputs().len();
+        assert!(n <= 64, "too many inputs for a u64 pattern");
+        let bits: Vec<bool> = (0..n).map(|k| word >> k & 1 == 1).collect();
+        self.eval_with_fault(&bits, fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{fault_universe, Fault};
+
+    fn mux2() -> Netlist {
+        // out = sel ? b : a — classic 2:1 mux from primitive gates.
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let sel = nl.input();
+        let nsel = nl.inv(sel);
+        let t0 = nl.and2(a, nsel);
+        let t1 = nl.and2(b, sel);
+        let out = nl.or2(t0, t1);
+        nl.expose(out);
+        nl
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let nl = mux2();
+        for a in [false, true] {
+            for b in [false, true] {
+                for sel in [false, true] {
+                    let expect = if sel { b } else { a };
+                    assert_eq!(nl.eval(&[a, b, sel]).outputs(), vec![expect]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_gate_kind_evaluates() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let c = nl.constant(true);
+        let gates = vec![
+            nl.buf(a),
+            nl.inv(a),
+            nl.and2(a, b),
+            nl.or2(a, b),
+            nl.nand2(a, b),
+            nl.nor2(a, b),
+            nl.xor2(a, b),
+            nl.xnor2(a, b),
+        ];
+        let wide_and = nl.and_n(&[a, b, c]);
+        let wide_or = nl.or_n(&[a, b, c]);
+        let wide_nor = nl.nor_n(&[a, b]);
+        nl.expose_all(&gates);
+        nl.expose_all(&[wide_and, wide_or, wide_nor]);
+        let e = nl.eval(&[true, false]);
+        assert_eq!(
+            e.outputs(),
+            vec![
+                true,  // buf a
+                false, // inv a
+                false, // and
+                true,  // or
+                true,  // nand
+                false, // nor
+                true,  // xor
+                false, // xnor
+                false, // wide and (a&b&1)
+                true,  // wide or
+                false, // wide nor !(a|b)
+            ]
+        );
+    }
+
+    #[test]
+    fn outputs_word_packs_in_order() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let na = nl.inv(a);
+        nl.expose(a);
+        nl.expose(na);
+        assert_eq!(nl.eval(&[true]).outputs_word(), 0b01);
+        assert_eq!(nl.eval(&[false]).outputs_word(), 0b10);
+    }
+
+    #[test]
+    fn fault_on_input_propagates() {
+        let nl = mux2();
+        let sel = nl.primary_inputs()[2];
+        // Force sel stuck-at-1: output follows b regardless of applied sel.
+        let e = nl.eval_with_fault(&[true, false, false], Some(Fault::stuck_at_1(sel)));
+        assert_eq!(e.outputs(), vec![false]);
+    }
+
+    #[test]
+    fn some_fault_is_detectable_for_each_site() {
+        // In the mux every stuck-at fault is detectable by some pattern
+        // (the circuit is irredundant).
+        let nl = mux2();
+        for fault in fault_universe(&nl) {
+            let mut detected = false;
+            for pattern in 0u64..8 {
+                let good = nl.eval_word(pattern, None).outputs();
+                let bad = nl.eval_word(pattern, Some(fault)).outputs();
+                if good != bad {
+                    detected = true;
+                    break;
+                }
+            }
+            assert!(detected, "fault {fault} undetectable — mux should be irredundant");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        mux2().eval(&[true, false]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Gate statistics and gate-equivalent area figures.
+//!
+//! The area model in `scm-area` prices the checking hardware from structure;
+//! for gate networks (checkers, parity trees) the convention here is the
+//! usual *gate equivalent* (GE): a 2-input NAND counts as 1 GE, and an
+//! `n`-input gate costs `n/2` GE (one GE per two transistor pairs).
+
+use crate::netlist::{GateKind, Netlist};
+use std::collections::BTreeMap;
+
+/// Gate census of a netlist.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateStats {
+    /// Count per gate mnemonic.
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Number of logic gates (inputs/constants excluded).
+    pub gates: usize,
+    /// Total fan-in over all logic gates.
+    pub total_fanin: usize,
+    /// Gate-equivalent area (NAND2 = 1 GE; n-input gate = n/2 GE;
+    /// inverter/buffer = 0.5 GE).
+    pub gate_equivalents: f64,
+}
+
+/// Compute the census of a netlist.
+pub fn gate_stats(netlist: &Netlist) -> GateStats {
+    let mut stats = GateStats::default();
+    for gate in netlist.gates() {
+        *stats.by_kind.entry(gate.kind.mnemonic()).or_insert(0) += 1;
+        match gate.kind {
+            GateKind::Input | GateKind::Const(_) => {}
+            GateKind::Buf | GateKind::Inv => {
+                stats.gates += 1;
+                stats.total_fanin += 1;
+                stats.gate_equivalents += 0.5;
+            }
+            GateKind::Xor2 | GateKind::Xnor2 => {
+                stats.gates += 1;
+                stats.total_fanin += 2;
+                // XOR costs about 2.5 NAND2 in standard-cell libraries.
+                stats.gate_equivalents += 2.5;
+            }
+            GateKind::And2 | GateKind::Or2 | GateKind::Nand2 | GateKind::Nor2 => {
+                stats.gates += 1;
+                stats.total_fanin += 2;
+                stats.gate_equivalents += 1.0;
+            }
+            GateKind::AndN | GateKind::OrN | GateKind::NorN => {
+                let n = gate.inputs.len();
+                stats.gates += 1;
+                stats.total_fanin += n;
+                stats.gate_equivalents += n as f64 / 2.0;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut nl = Netlist::new();
+        let a = nl.input();
+        let b = nl.input();
+        let x = nl.xor2(a, b);
+        let n = nl.inv(x);
+        let w = nl.nor_n(&[a, b, x, n]);
+        nl.expose(w);
+        let s = gate_stats(&nl);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.by_kind["in"], 2);
+        assert_eq!(s.by_kind["xor2"], 1);
+        assert_eq!(s.by_kind["inv"], 1);
+        assert_eq!(s.by_kind["norN"], 1);
+        assert_eq!(s.total_fanin, 2 + 1 + 4);
+        assert!((s.gate_equivalents - (2.5 + 0.5 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_stats() {
+        let s = gate_stats(&Netlist::new());
+        assert_eq!(s.gates, 0);
+        assert_eq!(s.gate_equivalents, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Architectural extension: **re-encode-and-compare** decoder checking.
+//!
+//! The paper's scheme checks the ROM word for *code membership* — cheap,
+//! but blind to stuck-at-1 faults whose two selected lines share a
+//! codeword. An alternative is to *recompute* the expected codeword from
+//! the address register with a small encoder and compare it against the
+//! NOR-matrix output:
+//!
+//! * any two-line selection is caught (the AND of two codewords differs
+//!   from the expected word even if both lines share it — the shared word
+//!   has weight `q`, but so does the expectation… in fact the AND equals
+//!   the expectation exactly when the codewords are identical, so the
+//!   colliding blind spot *remains for equal codewords*); however
+//! * a *wrong single line* whose codeword differs from the expected one is
+//!   caught too — this covers **address-register faults** the membership
+//!   check architecturally cannot see, and it makes every ROM-bit fault
+//!   zero-latency;
+//! * the cost is the encoder (`≈ r` gates of `mod a` logic over `n` bits)
+//!   and an `r`-bit comparator, versus the `q`-out-of-`r` checker.
+//!
+//! The module quantifies exactly which faults each strategy catches, so
+//! the comparison is measurable (see `tests` and the workspace
+//! integration tests).
+
+use scm_codes::CodewordMap;
+
+/// Which checking strategy observes the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStrategy {
+    /// The paper's scheme: the ROM word must be a codeword.
+    Membership,
+    /// Re-encode the applied address and require equality with the ROM
+    /// word.
+    Compare,
+}
+
+/// Does a cycle with the given *applied* address and *actually selected*
+/// line set raise an error under the strategy?
+///
+/// `selected` carries the (up to two) active decoder lines.
+pub fn flags_error(
+    strategy: CheckStrategy,
+    map: &CodewordMap,
+    applied: u64,
+    selected: &[u64],
+) -> bool {
+    let all_ones = (1u64 << map.width()) - 1;
+    let rom_word = selected
+        .iter()
+        .fold(all_ones, |acc, &line| acc & map.codeword_for(line));
+    match strategy {
+        CheckStrategy::Membership => !map.is_codeword(rom_word),
+        CheckStrategy::Compare => rom_word != map.codeword_for(applied),
+    }
+}
+
+/// Coverage comparison over every single-line substitution (the
+/// address-register / wrong-line fault class): fraction of (applied,
+/// wrong-line) pairs each strategy flags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrongLineCoverage {
+    /// Pairs flagged by the membership check.
+    pub membership: f64,
+    /// Pairs flagged by the compare check.
+    pub compare: f64,
+    /// Pairs examined.
+    pub pairs: u64,
+}
+
+/// Exhaustively compare the two strategies on wrong-single-line faults.
+pub fn wrong_line_coverage(map: &CodewordMap) -> WrongLineCoverage {
+    let n = map.num_lines();
+    let mut membership = 0u64;
+    let mut compare = 0u64;
+    let mut pairs = 0u64;
+    for applied in 0..n {
+        for wrong in 0..n {
+            if wrong == applied {
+                continue;
+            }
+            pairs += 1;
+            if flags_error(CheckStrategy::Membership, map, applied, &[wrong]) {
+                membership += 1;
+            }
+            if flags_error(CheckStrategy::Compare, map, applied, &[wrong]) {
+                compare += 1;
+            }
+        }
+    }
+    WrongLineCoverage {
+        membership: membership as f64 / pairs as f64,
+        compare: compare as f64 / pairs as f64,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_codes::MOutOfN;
+
+    fn map() -> CodewordMap {
+        CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, 32).unwrap()
+    }
+
+    #[test]
+    fn membership_never_flags_wrong_single_line() {
+        // The paper's check is architecturally blind to consistent wrong
+        // selections: a single wrong line still emits a valid codeword.
+        let m = map();
+        let cov = wrong_line_coverage(&m);
+        assert_eq!(cov.membership, 0.0);
+    }
+
+    #[test]
+    fn compare_catches_most_wrong_lines() {
+        // The compare check catches every wrong line whose codeword
+        // differs: all but the ~1/a colliding fraction.
+        let m = map();
+        let cov = wrong_line_coverage(&m);
+        assert!(cov.compare > 0.85, "compare coverage {}", cov.compare);
+        assert!(cov.compare < 1.0, "collisions must remain blind");
+    }
+
+    #[test]
+    fn berger_identity_compare_is_complete() {
+        let m = CodewordMap::berger(5, 32).unwrap();
+        let cov = wrong_line_coverage(&m);
+        assert_eq!(cov.compare, 1.0, "unique codewords leave no blind pair");
+        assert_eq!(cov.membership, 0.0);
+    }
+
+    #[test]
+    fn both_catch_double_selection_with_distinct_words() {
+        let m = map();
+        // Lines 3 and 4 differ mod 9 → AND is a non-codeword and differs
+        // from any single expectation.
+        assert!(flags_error(CheckStrategy::Membership, &m, 3, &[3, 4]));
+        assert!(flags_error(CheckStrategy::Compare, &m, 3, &[3, 4]));
+        // Colliding pair 1 and 10: both remain blind (shared codeword AND
+        // equals the expectation).
+        assert!(!flags_error(CheckStrategy::Membership, &m, 1, &[1, 10]));
+        assert!(!flags_error(CheckStrategy::Compare, &m, 1, &[1, 10]));
+    }
+
+    #[test]
+    fn both_catch_empty_selection() {
+        let m = map();
+        assert!(flags_error(CheckStrategy::Membership, &m, 5, &[]));
+        assert!(flags_error(CheckStrategy::Compare, &m, 5, &[]));
+    }
+}

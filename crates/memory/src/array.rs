@@ -1,0 +1,126 @@
+//! The memory cell array.
+//!
+//! `2^p` rows × `cols` physical columns of single-bit cells, with optional
+//! stuck-at faults on individual cells. Each cell feeds exactly one memory
+//! output (through the column MUX), which is why single-cell faults are
+//! parity-detectable — the classical SFS argument the paper builds on.
+
+use std::collections::HashMap;
+
+/// A rows × cols bit array with per-cell stuck-at faults.
+#[derive(Debug, Clone)]
+pub struct CellArray {
+    rows: usize,
+    cols: usize,
+    /// Row-major bit storage, one u64 lane per 64 columns.
+    bits: Vec<u64>,
+    lanes_per_row: usize,
+    stuck: HashMap<(usize, usize), bool>,
+}
+
+impl CellArray {
+    /// All-zero array.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        let lanes_per_row = cols.div_ceil(64);
+        CellArray {
+            rows,
+            cols,
+            bits: vec![0u64; rows * lanes_per_row],
+            lanes_per_row,
+            stuck: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of physical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Pin a cell to a stuck value.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn inject_stuck(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        self.stuck.insert((row, col), value);
+    }
+
+    /// Remove all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.stuck.clear();
+    }
+
+    /// Read one cell (through any stuck fault).
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        if let Some(&v) = self.stuck.get(&(row, col)) {
+            return v;
+        }
+        let lane = self.bits[row * self.lanes_per_row + col / 64];
+        lane >> (col % 64) & 1 == 1
+    }
+
+    /// Write one cell (a stuck cell ignores writes).
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        let lane = &mut self.bits[row * self.lanes_per_row + col / 64];
+        if value {
+            *lane |= 1u64 << (col % 64);
+        } else {
+            *lane &= !(1u64 << (col % 64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut a = CellArray::new(4, 100);
+        a.set(0, 0, true);
+        a.set(3, 99, true);
+        a.set(2, 63, true);
+        a.set(2, 64, true);
+        assert!(a.get(0, 0));
+        assert!(a.get(3, 99));
+        assert!(a.get(2, 63));
+        assert!(a.get(2, 64));
+        assert!(!a.get(1, 1));
+        a.set(0, 0, false);
+        assert!(!a.get(0, 0));
+    }
+
+    #[test]
+    fn stuck_cell_dominates() {
+        let mut a = CellArray::new(2, 8);
+        a.inject_stuck(1, 3, true);
+        assert!(a.get(1, 3));
+        a.set(1, 3, false);
+        assert!(a.get(1, 3), "stuck-at-1 must survive writes");
+        a.clear_faults();
+        assert!(!a.get(1, 3), "underlying cell was written 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_get_panics() {
+        CellArray::new(2, 2).get(2, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Behavioural decoder with exact gate-level fault semantics.
+//!
+//! A decoder fault in the paper's model is fully characterised by the
+//! decoding block it strikes — `(bits i, offset j, value m1)` — and the
+//! stuck polarity. The behavioural consequences, proven equivalent to the
+//! gate-level netlist by the exhaustive tests in `scm-decoder::fault_map`,
+//! are:
+//!
+//! * **fault-free** — exactly line `v` is active for applied value `v`;
+//! * **stuck-at-0** — no line at all when the applied field equals `m1`
+//!   (property b collapse), otherwise just line `v`;
+//! * **stuck-at-1** — lines `v` *and* the companion (field replaced by
+//!   `m1`) when they differ, otherwise just `v`.
+//!
+//! Running this model instead of the netlist makes campaign cycles O(1)
+//! per decoder instead of O(gates).
+
+/// The blocks of the Section III.2 multilevel decoder for `n` inputs with
+/// pairing arity 2, as `(bits, offset)` pairs — mirrors
+/// `scm_decoder::build_multilevel_decoder` (carried odd blocks included
+/// once at their final position).
+pub fn multilevel_blocks(n: u32) -> Vec<(u32, u32)> {
+    assert!(n >= 1, "decoder needs at least one input");
+    let mut blocks: Vec<(u32, u32)> = (0..n).map(|i| (1u32, i)).collect();
+    let mut all = blocks.clone();
+    while blocks.len() > 1 {
+        let mut next = Vec::with_capacity(blocks.len().div_ceil(2));
+        for chunk in blocks.chunks(2) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let merged = (chunk[0].0 + chunk[1].0, chunk[0].1);
+            all.push(merged);
+            next.push(merged);
+        }
+        blocks = next;
+    }
+    all
+}
+
+/// An injected decoder fault in block terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderFault {
+    /// Bits decoded by the struck block (`i`).
+    pub bits: u32,
+    /// Field offset within this decoder's input value (`j`).
+    pub offset: u32,
+    /// Field value decoded by the stuck line (`m1`).
+    pub value: u64,
+    /// Stuck polarity: `true` = stuck-at-1.
+    pub stuck_one: bool,
+}
+
+/// The set of active decoder lines on one cycle: behavioural decoders
+/// produce at most two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveLines {
+    /// No line active (stuck-at-0 collapse).
+    None,
+    /// The normal single line.
+    One(u64),
+    /// Two lines (stuck-at-1 double selection); ordered (applied, companion).
+    Two(u64, u64),
+}
+
+impl ActiveLines {
+    /// Iterate over the active line indices.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        let (a, b) = match *self {
+            ActiveLines::None => (None, None),
+            ActiveLines::One(x) => (Some(x), None),
+            ActiveLines::Two(x, y) => (Some(x), Some(y)),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Number of active lines.
+    pub fn count(&self) -> usize {
+        match self {
+            ActiveLines::None => 0,
+            ActiveLines::One(_) => 1,
+            ActiveLines::Two(..) => 2,
+        }
+    }
+}
+
+/// Behavioural decoder over `n` input bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BehavioralDecoder {
+    n: u32,
+    fault: Option<DecoderFault>,
+}
+
+impl BehavioralDecoder {
+    /// Fault-free decoder with `n` inputs.
+    ///
+    /// # Panics
+    /// Panics if `n = 0` or `n > 32`.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1 && n <= 32, "decoder input count {n} out of range");
+        BehavioralDecoder { n, fault: None }
+    }
+
+    /// Number of input bits.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of output lines, `2^n`.
+    pub fn num_lines(&self) -> u64 {
+        1u64 << self.n
+    }
+
+    /// Inject (or replace) a fault.
+    ///
+    /// # Panics
+    /// Panics if the fault's block does not fit inside this decoder.
+    pub fn inject(&mut self, fault: DecoderFault) {
+        assert!(fault.bits >= 1 && fault.offset + fault.bits <= self.n, "fault block outside decoder");
+        assert!(fault.value < (1u64 << fault.bits), "fault value outside block");
+        self.fault = Some(fault);
+    }
+
+    /// Remove any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// The injected fault, if any.
+    pub fn fault(&self) -> Option<DecoderFault> {
+        self.fault
+    }
+
+    /// Decode an applied value into the set of active lines.
+    ///
+    /// # Panics
+    /// Panics if `value` exceeds `2^n`.
+    pub fn decode(&self, value: u64) -> ActiveLines {
+        assert!(value < self.num_lines(), "applied value outside decoder range");
+        let Some(f) = self.fault else {
+            return ActiveLines::One(value);
+        };
+        let field_mask = ((1u64 << f.bits) - 1) << f.offset;
+        let applied_field = (value & field_mask) >> f.offset;
+        if f.stuck_one {
+            if applied_field == f.value {
+                ActiveLines::One(value)
+            } else {
+                let companion = (value & !field_mask) | (f.value << f.offset);
+                ActiveLines::Two(value, companion)
+            }
+        } else if applied_field == f.value {
+            ActiveLines::None
+        } else {
+            ActiveLines::One(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_decoder::{build_multilevel_decoder, fault_map::fault_sites};
+    use scm_logic::{Fault, Netlist};
+
+    #[test]
+    fn fault_free_is_identity() {
+        let d = BehavioralDecoder::new(5);
+        for v in 0..32u64 {
+            assert_eq!(d.decode(v), ActiveLines::One(v));
+        }
+    }
+
+    #[test]
+    fn behavioural_matches_gate_level_for_all_faults() {
+        // The load-bearing equivalence: every (site, polarity, address)
+        // produces the same active-line set in both models.
+        let n = 5u32;
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(n as usize);
+        let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+        for site in fault_sites(&dec) {
+            for stuck_one in [false, true] {
+                let gate_fault = if stuck_one {
+                    Fault::stuck_at_1(site.signal)
+                } else {
+                    Fault::stuck_at_0(site.signal)
+                };
+                let mut beh = BehavioralDecoder::new(n);
+                beh.inject(DecoderFault {
+                    bits: site.bits,
+                    offset: site.offset,
+                    value: site.value,
+                    stuck_one,
+                });
+                for a in 0..(1u64 << n) {
+                    let eval = nl.eval_word(a, Some(gate_fault));
+                    let mut gate_active: Vec<u64> = (0..(1u64 << n))
+                        .filter(|&line| eval.value(dec.outputs()[line as usize]))
+                        .collect();
+                    gate_active.sort_unstable();
+                    let mut beh_active: Vec<u64> = beh.decode(a).iter().collect();
+                    beh_active.sort_unstable();
+                    assert_eq!(beh_active, gate_active, "site {site:?} stuck1={stuck_one} addr={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multilevel_blocks_match_generator() {
+        for n in 1..=10u32 {
+            let mut nl = Netlist::new();
+            let addr = nl.inputs(n as usize);
+            let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+            let expect: Vec<(u32, u32)> =
+                dec.blocks().iter().map(|b| (b.bits(), b.offset())).collect();
+            assert_eq!(multilevel_blocks(n), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn active_lines_iter() {
+        assert_eq!(ActiveLines::None.iter().count(), 0);
+        assert_eq!(ActiveLines::One(3).iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(ActiveLines::Two(3, 7).iter().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside decoder")]
+    fn fault_block_must_fit() {
+        let mut d = BehavioralDecoder::new(4);
+        d.inject(DecoderFault { bits: 3, offset: 2, value: 0, stuck_one: true });
+    }
+}

@@ -1,0 +1,102 @@
+//! The unified fault universe of the self-checking memory.
+//!
+//! Single-fault assumption, as throughout the self-checking literature: one
+//! fault at a time, anywhere in the design — storage cells, either decoder,
+//! either NOR matrix, or the data register.
+
+use crate::decoder_unit::DecoderFault;
+
+/// Every place a single stuck-at fault can strike the design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A storage cell pinned to a value.
+    Cell {
+        /// Physical row.
+        row: usize,
+        /// Physical column (including the parity column group).
+        col: usize,
+        /// Stuck value.
+        stuck: bool,
+    },
+    /// A fault inside the row decoder.
+    RowDecoder(DecoderFault),
+    /// A fault inside the column decoder.
+    ColDecoder(DecoderFault),
+    /// One programmed position of the row-decoder ROM flipped
+    /// (missing/extra transistor): affects the emitted word only while the
+    /// line is active.
+    RowRomBit {
+        /// Decoder line (row index).
+        line: u64,
+        /// Output bit position.
+        bit: u32,
+    },
+    /// One programmed position of the column-decoder ROM flipped.
+    ColRomBit {
+        /// Decoder line (column-select index).
+        line: u64,
+        /// Output bit position.
+        bit: u32,
+    },
+    /// A ROM output column stuck (broken pull-up / shorted column) on the
+    /// row-decoder ROM.
+    RowRomColumn {
+        /// Output bit position.
+        bit: u32,
+        /// Stuck value.
+        stuck: bool,
+    },
+    /// A ROM output column stuck on the column-decoder ROM.
+    ColRomColumn {
+        /// Output bit position.
+        bit: u32,
+        /// Stuck value.
+        stuck: bool,
+    },
+    /// A data-register bit stuck (covers the read path after the MUX).
+    DataRegisterBit {
+        /// Bit position within the `m`-bit word.
+        bit: u32,
+        /// Stuck value.
+        stuck: bool,
+    },
+}
+
+impl FaultSite {
+    /// Short class name for reporting.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultSite::Cell { .. } => "cell",
+            FaultSite::RowDecoder(_) => "row-decoder",
+            FaultSite::ColDecoder(_) => "col-decoder",
+            FaultSite::RowRomBit { .. } => "row-rom-bit",
+            FaultSite::ColRomBit { .. } => "col-rom-bit",
+            FaultSite::RowRomColumn { .. } => "row-rom-col",
+            FaultSite::ColRomColumn { .. } => "col-rom-col",
+            FaultSite::DataRegisterBit { .. } => "data-register",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_distinct() {
+        let sites = [
+            FaultSite::Cell { row: 0, col: 0, stuck: false },
+            FaultSite::RowDecoder(DecoderFault { bits: 1, offset: 0, value: 0, stuck_one: true }),
+            FaultSite::ColDecoder(DecoderFault { bits: 1, offset: 0, value: 0, stuck_one: false }),
+            FaultSite::RowRomBit { line: 0, bit: 0 },
+            FaultSite::ColRomBit { line: 0, bit: 0 },
+            FaultSite::RowRomColumn { bit: 0, stuck: true },
+            FaultSite::ColRomColumn { bit: 0, stuck: false },
+            FaultSite::DataRegisterBit { bit: 0, stuck: true },
+        ];
+        let mut names: Vec<&str> = sites.iter().map(|s| s.class()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), sites.len());
+    }
+}

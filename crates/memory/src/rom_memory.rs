@@ -1,0 +1,264 @@
+//! Self-checking **read-only** memory — the paper's closing claim
+//! ("Similar trade-offs can be obtained if the self-checking scheme is
+//! implemented on memory types other than RAMs, such as ROMs, CAMs,
+//! etc."), made concrete.
+//!
+//! A ROM shares the RAM's address path (row/column decoders + MUX), so the
+//! decoder-checking NOR matrices apply unchanged. The data path differs:
+//! contents are fixed at build time, so the parity column is *programmed*
+//! rather than written, and cell faults are modelled as fixed-content bit
+//! flips. [CHE 85]'s concern — concurrent error detection in ROMs — is the
+//! direct ancestor of this arrangement.
+
+use crate::decoder_unit::{ActiveLines, BehavioralDecoder, DecoderFault};
+use crate::design::Verdict;
+use scm_codes::CodewordMap;
+use scm_rom::RomMatrix;
+
+/// Faults specific to the read-only memory variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RomFaultSite {
+    /// One stored content bit flipped (including the parity column:
+    /// `bit == word_bits` addresses it).
+    ContentBit {
+        /// Word address.
+        addr: u64,
+        /// Bit position (0..=word_bits, the top one being parity).
+        bit: u32,
+    },
+    /// Row-decoder fault (same model as the RAM).
+    RowDecoder(DecoderFault),
+    /// Column-decoder fault.
+    ColDecoder(DecoderFault),
+}
+
+/// Result of one ROM read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RomReadOutcome {
+    /// Data word.
+    pub data: u64,
+    /// Parity bit as stored.
+    pub parity_bit: bool,
+    /// Checker verdicts for the cycle.
+    pub verdict: Verdict,
+}
+
+/// A self-checking ROM: fixed contents, checked decoders, parity-coded
+/// data path.
+#[derive(Debug, Clone)]
+pub struct SelfCheckingRom {
+    word_bits: u32,
+    row_bits: u32,
+    col_bits: u32,
+    contents: Vec<u64>, // data | parity << word_bits, per address
+    row_dec: BehavioralDecoder,
+    col_dec: BehavioralDecoder,
+    row_rom: RomMatrix,
+    col_rom: RomMatrix,
+    row_map: CodewordMap,
+    col_map: CodewordMap,
+    fault: Option<RomFaultSite>,
+}
+
+impl SelfCheckingRom {
+    /// Build from contents (one `word_bits`-bit word per address) and the
+    /// two decoder mappings.
+    ///
+    /// # Panics
+    /// Panics if contents length is not `2^(row_bits + col_bits)`, if maps
+    /// disagree with the decoder sizes, or `word_bits` is 0 or > 63.
+    pub fn new(
+        contents: &[u64],
+        word_bits: u32,
+        row_bits: u32,
+        col_bits: u32,
+        row_map: CodewordMap,
+        col_map: CodewordMap,
+    ) -> Self {
+        assert!(word_bits >= 1 && word_bits <= 63, "word width out of range");
+        let words = 1u64 << (row_bits + col_bits);
+        assert_eq!(contents.len() as u64, words, "contents length mismatch");
+        assert_eq!(row_map.num_lines(), 1u64 << row_bits, "row map mismatch");
+        assert_eq!(col_map.num_lines(), 1u64 << col_bits.max(1), "column map mismatch");
+        let mask = (1u64 << word_bits) - 1;
+        let stored: Vec<u64> = contents
+            .iter()
+            .map(|&w| {
+                let data = w & mask;
+                let parity = (data.count_ones() % 2 == 1) as u64; // even code
+                data | (parity << word_bits)
+            })
+            .collect();
+        SelfCheckingRom {
+            word_bits,
+            row_bits,
+            col_bits,
+            contents: stored,
+            row_dec: BehavioralDecoder::new(row_bits),
+            col_dec: BehavioralDecoder::new(col_bits.max(1)),
+            row_rom: RomMatrix::from_map(&row_map),
+            col_rom: RomMatrix::from_map(&col_map),
+            row_map,
+            col_map,
+            fault: None,
+        }
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u64 {
+        1u64 << (self.row_bits + self.col_bits)
+    }
+
+    /// Inject a fault (replacing any previous one).
+    pub fn inject(&mut self, fault: RomFaultSite) {
+        self.row_dec.clear_fault();
+        self.col_dec.clear_fault();
+        match fault {
+            RomFaultSite::RowDecoder(f) => self.row_dec.inject(f),
+            RomFaultSite::ColDecoder(f) => self.col_dec.inject(f),
+            RomFaultSite::ContentBit { addr, bit } => {
+                assert!(addr < self.words(), "address out of range");
+                assert!(bit <= self.word_bits, "bit out of range");
+            }
+        }
+        self.fault = Some(fault);
+    }
+
+    /// Remove any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.row_dec.clear_fault();
+        self.col_dec.clear_fault();
+        self.fault = None;
+    }
+
+    fn stored(&self, addr: u64) -> u64 {
+        let mut w = self.contents[addr as usize];
+        if let Some(RomFaultSite::ContentBit { addr: fa, bit }) = self.fault {
+            if fa == addr {
+                w ^= 1u64 << bit;
+            }
+        }
+        w
+    }
+
+    /// Read with full checking.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    pub fn read(&self, addr: u64) -> RomReadOutcome {
+        assert!(addr < self.words(), "address out of range");
+        let col_mask = (1u64 << self.col_bits) - 1;
+        let rv = addr >> self.col_bits;
+        let cv = addr & col_mask;
+        let rows = self.row_dec.decode(rv);
+        let cols = self.col_dec.decode(cv);
+
+        // Wired-OR across all selected words; precharge-ones on none.
+        let width = self.word_bits + 1;
+        let all_ones = (1u64 << width) - 1;
+        let word = if rows.count() == 0 || cols.count() == 0 {
+            all_ones
+        } else {
+            let mut acc = 0u64;
+            for r in rows.iter() {
+                for c in cols.iter() {
+                    acc |= self.stored((r << self.col_bits) | c);
+                }
+            }
+            acc
+        };
+        let data = word & ((1u64 << self.word_bits) - 1);
+        let parity_bit = word >> self.word_bits & 1 == 1;
+
+        let row_word = rows
+            .iter()
+            .fold((1u64 << self.row_rom.width()) - 1, |acc, l| acc & self.row_rom.word(l as usize));
+        let col_word = cols
+            .iter()
+            .fold((1u64 << self.col_rom.width()) - 1, |acc, l| acc & self.col_rom.word(l as usize));
+        let verdict = Verdict {
+            row_code_error: !self.row_map.is_codeword(row_word),
+            col_code_error: !self.col_map.is_codeword(col_word),
+            parity_error: (data.count_ones() + parity_bit as u32) % 2 == 1,
+        };
+        RomReadOutcome { data, parity_bit, verdict }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_codes::MOutOfN;
+
+    fn rom() -> SelfCheckingRom {
+        let code = MOutOfN::new(3, 5).unwrap();
+        let contents: Vec<u64> = (0..64u64).map(|a| a.wrapping_mul(0x35) & 0xFF).collect();
+        SelfCheckingRom::new(
+            &contents,
+            8,
+            4,
+            2,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    #[test]
+    fn contents_read_back_clean() {
+        let r = rom();
+        for addr in 0..64u64 {
+            let out = r.read(addr);
+            assert_eq!(out.data, addr.wrapping_mul(0x35) & 0xFF);
+            assert!(!out.verdict.any_error(), "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn content_bit_flip_caught_by_parity() {
+        let mut r = rom();
+        r.inject(RomFaultSite::ContentBit { addr: 17, bit: 3 });
+        let out = r.read(17);
+        assert!(out.verdict.parity_error);
+        assert!(!r.read(16).verdict.any_error());
+        // Parity-bit flip is equally caught.
+        r.inject(RomFaultSite::ContentBit { addr: 5, bit: 8 });
+        assert!(r.read(5).verdict.parity_error);
+    }
+
+    #[test]
+    fn decoder_faults_behave_like_ram_case() {
+        let mut r = rom();
+        r.inject(RomFaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 2,
+            stuck_one: false,
+        }));
+        // SA0: all-ones on every checker → flagged on the stuck row.
+        let out = r.read(2 << 2);
+        assert!(out.verdict.row_code_error);
+        // SA1 collision structure identical to the RAM: rows 1 and 10.
+        r.inject(RomFaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 1,
+            stuck_one: true,
+        }));
+        assert!(!r.read(10 << 2).verdict.row_code_error, "colliding pair escapes");
+        assert!(r.read(5 << 2).verdict.row_code_error, "distinct pair caught");
+    }
+
+    #[test]
+    fn no_selection_reads_all_ones_and_flags() {
+        let mut r = rom();
+        r.inject(RomFaultSite::ColDecoder(DecoderFault {
+            bits: 2,
+            offset: 0,
+            value: 1,
+            stuck_one: false,
+        }));
+        let out = r.read(1);
+        assert!(out.verdict.col_code_error);
+        assert_eq!(out.data, 0xFF, "precharged bus reads ones");
+    }
+}

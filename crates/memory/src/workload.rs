@@ -1,0 +1,187 @@
+//! Workload generators: the address/operation streams driving detection
+//! latency.
+//!
+//! The paper's analysis assumes **uniformly random addresses each cycle**;
+//! [`AddressPattern::UniformRandom`] realises exactly that. The other
+//! patterns probe how real access behaviour (sequential scans, tight loops,
+//! hot spots) changes empirical latency — an analysis the paper does not
+//! attempt, included here as an extension experiment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Read the word at the address.
+    Read(u64),
+    /// Write a value at the address.
+    Write(u64, u64),
+}
+
+impl Op {
+    /// The address touched.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            Op::Read(a) | Op::Write(a, _) => a,
+        }
+    }
+}
+
+/// Address-sequence shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AddressPattern {
+    /// Fresh uniform address every cycle (the paper's model).
+    UniformRandom,
+    /// `0, 1, 2, …` wrapping.
+    Sequential,
+    /// `0, k, 2k, …` wrapping (stride in words).
+    Strided {
+        /// Stride between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniform within a window of the given size starting at 0 (models a
+    /// hot working set that never touches most rows).
+    HotSpot {
+        /// Window size in words.
+        window: u64,
+    },
+}
+
+/// A deterministic, seeded operation stream.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pattern: AddressPattern,
+    words: u64,
+    word_mask: u64,
+    write_fraction: f64,
+    rng: SmallRng,
+    counter: u64,
+}
+
+impl Workload {
+    /// New workload over a `words`-word memory with `word_bits`-bit data.
+    ///
+    /// `write_fraction` in `[0, 1]` selects the probability a cycle is a
+    /// write (with random data).
+    ///
+    /// # Panics
+    /// Panics if `words == 0` or `write_fraction` is outside `[0, 1]`.
+    pub fn new(
+        pattern: AddressPattern,
+        words: u64,
+        word_bits: u32,
+        write_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(words > 0, "empty memory");
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction {write_fraction} outside [0, 1]"
+        );
+        let word_mask = if word_bits >= 64 { u64::MAX } else { (1u64 << word_bits) - 1 };
+        Workload {
+            pattern,
+            words,
+            word_mask,
+            write_fraction,
+            rng: SmallRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// The paper's model: uniform random addresses, read-heavy (10 % writes).
+    pub fn uniform(words: u64, word_bits: u32, seed: u64) -> Self {
+        Workload::new(AddressPattern::UniformRandom, words, word_bits, 0.1, seed)
+    }
+
+    fn next_addr(&mut self) -> u64 {
+        let a = match self.pattern {
+            AddressPattern::UniformRandom => self.rng.gen_range(0..self.words),
+            AddressPattern::Sequential => self.counter % self.words,
+            AddressPattern::Strided { stride } => (self.counter * stride) % self.words,
+            AddressPattern::HotSpot { window } => {
+                let w = window.clamp(1, self.words);
+                self.rng.gen_range(0..w)
+            }
+        };
+        self.counter += 1;
+        a
+    }
+
+    /// Produce the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let addr = self.next_addr();
+        if self.rng.gen_bool(self.write_fraction) {
+            Op::Write(addr, self.rng.gen::<u64>() & self.word_mask)
+        } else {
+            Op::Read(addr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut w1 = Workload::uniform(256, 16, 42);
+        let mut w2 = Workload::uniform(256, 16, 42);
+        for _ in 0..100 {
+            assert_eq!(w1.next_op(), w2.next_op());
+        }
+    }
+
+    #[test]
+    fn addresses_in_range() {
+        for pattern in [
+            AddressPattern::UniformRandom,
+            AddressPattern::Sequential,
+            AddressPattern::Strided { stride: 7 },
+            AddressPattern::HotSpot { window: 16 },
+        ] {
+            let mut w = Workload::new(pattern, 100, 8, 0.5, 1);
+            for _ in 0..500 {
+                let op = w.next_op();
+                assert!(op.addr() < 100, "{pattern:?}: {op:?}");
+                if let Op::Write(_, v) = op {
+                    assert!(v < 256);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut w = Workload::new(AddressPattern::Sequential, 4, 8, 0.0, 0);
+        let addrs: Vec<u64> = (0..8).map(|_| w.next_op().addr()).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hotspot_confined_to_window() {
+        let mut w = Workload::new(AddressPattern::HotSpot { window: 4 }, 1024, 8, 0.0, 7);
+        for _ in 0..1000 {
+            assert!(w.next_op().addr() < 4);
+        }
+    }
+
+    #[test]
+    fn write_fraction_zero_means_reads_only() {
+        let mut w = Workload::new(AddressPattern::UniformRandom, 64, 8, 0.0, 3);
+        for _ in 0..200 {
+            assert!(matches!(w.next_op(), Op::Read(_)));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_address_space() {
+        let mut w = Workload::uniform(16, 8, 9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(w.next_op().addr());
+        }
+        assert_eq!(seen.len(), 16, "uniform stream should reach every word");
+    }
+}

@@ -1,0 +1,272 @@
+//! The NOR-matrix (ROM) encoder attached to the decoder outputs.
+//!
+//! The paper's scheme (Figure 3) checks each decoder *after* its outputs
+//! have crossed the memory cell array: a NOR matrix receives the `N` decoder
+//! lines and emits an `r`-bit word. Line `A` is *programmed* so that, when
+//! it is the only active line, the matrix emits codeword `W(A)`:
+//!
+//! * matrix column `j` is a NOR over the lines whose codeword has a **0** in
+//!   bit `j` (a connected transistor pulls the column down);
+//! * with a single active line `A`, column `j` reads `W(A)[j]`;
+//! * with **no** active line (decoder stuck-at-0 error) every column floats
+//!   to **1** — the all-ones word, a non-codeword of any unordered code;
+//! * with **two** active lines `A`, `B` (stuck-at-1 error) each column reads
+//!   `W(A)[j] ∧ W(B)[j]` — the bitwise AND, covered by both codewords and
+//!   therefore a non-codeword whenever `W(A) ≠ W(B)`.
+//!
+//! [`RomMatrix`] is the behavioural model (used by the fast memory
+//! simulator); [`RomMatrix::build_netlist`] emits the equivalent gate-level
+//! NOR structure for fault-injection campaigns; programmed-bit counts feed
+//! the area model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scm_codes::CodewordMap;
+use scm_logic::{Netlist, SignalId};
+
+/// A programmed NOR matrix: one codeword per decoder line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RomMatrix {
+    width: usize,
+    words: Vec<u64>,
+}
+
+impl RomMatrix {
+    /// Program a matrix from an explicit per-line codeword table.
+    ///
+    /// # Panics
+    /// Panics if `width > 64`, the table is empty, or any word has bits
+    /// above `width`.
+    pub fn new(words: Vec<u64>, width: usize) -> Self {
+        assert!(width >= 1 && width <= 64, "ROM width {width} out of 1..=64");
+        assert!(!words.is_empty(), "ROM must have at least one line");
+        if width < 64 {
+            for (i, w) in words.iter().enumerate() {
+                assert!(w >> width == 0, "line {i} word {w:#x} exceeds width {width}");
+            }
+        }
+        RomMatrix { width, words }
+    }
+
+    /// Program a matrix from an address → codeword mapping.
+    pub fn from_map(map: &CodewordMap) -> Self {
+        RomMatrix::new(map.table(), map.width())
+    }
+
+    /// Output word width `r`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of input lines `N`.
+    pub fn num_lines(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The codeword programmed on a line.
+    ///
+    /// # Panics
+    /// Panics if `line` is out of range.
+    pub fn word(&self, line: usize) -> u64 {
+        self.words[line]
+    }
+
+    /// Behavioural evaluation from the set of active lines: NOR semantics,
+    /// i.e. the bitwise AND of the active lines' codewords, all-ones when no
+    /// line is active.
+    ///
+    /// # Panics
+    /// Panics if any line index is out of range.
+    pub fn eval<I>(&self, active_lines: I) -> u64
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let all_ones = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        active_lines
+            .into_iter()
+            .fold(all_ones, |acc, line| acc & self.words[line])
+    }
+
+    /// Number of programmed connections (pull-down transistors): the zeros
+    /// in the codeword table. This is the quantity the dense-macro area
+    /// formula of Section IV prices; the standard-cell model prices the full
+    /// `r × N` bit positions instead.
+    pub fn programmed_bits(&self) -> u64 {
+        let per_line_zeros =
+            |w: &u64| self.width as u64 - (w & self.mask()).count_ones() as u64;
+        self.words.iter().map(per_line_zeros).sum()
+    }
+
+    /// Total bit positions, `r × N`.
+    pub fn total_bits(&self) -> u64 {
+        self.width as u64 * self.words.len() as u64
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Render the programming image as an ASCII hex dump, one line per
+    /// decoder line — the artifact a mask-programming flow consumes.
+    ///
+    /// # Example
+    /// ```
+    /// use scm_rom::RomMatrix;
+    /// let rom = RomMatrix::new(vec![0b00111, 0b01011], 5);
+    /// assert_eq!(rom.hex_image(), "00: 07\n01: 0b\n");
+    /// ```
+    pub fn hex_image(&self) -> String {
+        use std::fmt::Write;
+        let digits = (self.width + 3) / 4;
+        let addr_digits = format!("{:x}", self.words.len().saturating_sub(1)).len().max(2);
+        let mut out = String::new();
+        for (line, w) in self.words.iter().enumerate() {
+            writeln!(out, "{line:0addr_digits$x}: {w:0digits$x}").unwrap();
+        }
+        out
+    }
+
+    /// Emit the gate-level NOR matrix over existing decoder-line signals:
+    /// one wide NOR per output column over the connected lines. Columns with
+    /// no connected line become constant-1 drivers (a column with no
+    /// pull-down transistor). Returns the `r` output signals, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `lines.len()` differs from the matrix line count.
+    pub fn build_netlist(&self, netlist: &mut Netlist, lines: &[SignalId]) -> Vec<SignalId> {
+        assert_eq!(lines.len(), self.words.len(), "decoder line count mismatch");
+        let mut outputs = Vec::with_capacity(self.width);
+        for col in 0..self.width {
+            let connected: Vec<SignalId> = self
+                .words
+                .iter()
+                .zip(lines)
+                .filter(|(w, _)| (**w >> col) & 1 == 0)
+                .map(|(_, &s)| s)
+                .collect();
+            let sig = if connected.is_empty() {
+                netlist.constant(true)
+            } else {
+                netlist.nor_n(&connected)
+            };
+            outputs.push(sig);
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_codes::{CodewordMap, MOutOfN};
+    use proptest::prelude::*;
+
+    fn paper_rom(lines: u64) -> RomMatrix {
+        let map = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, lines).unwrap();
+        RomMatrix::from_map(&map)
+    }
+
+    #[test]
+    fn single_line_emits_programmed_codeword() {
+        let rom = paper_rom(32);
+        for line in 0..32usize {
+            assert_eq!(rom.eval([line]), rom.word(line));
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_all_ones() {
+        let rom = paper_rom(32);
+        assert_eq!(rom.eval([]), 0b11111);
+    }
+
+    #[test]
+    fn two_lines_emit_bitwise_and() {
+        let rom = paper_rom(32);
+        for l1 in 0..32usize {
+            for l2 in 0..32usize {
+                assert_eq!(rom.eval([l1, l2]), rom.word(l1) & rom.word(l2));
+            }
+        }
+    }
+
+    #[test]
+    fn programmed_bits_counts_zeros() {
+        // 3-out-of-5 codewords have exactly two zeros each.
+        let rom = paper_rom(32);
+        assert_eq!(rom.programmed_bits(), 2 * 32);
+        assert_eq!(rom.total_bits(), 5 * 32);
+    }
+
+    #[test]
+    fn netlist_matches_behavioral_with_onehot_and_two_hot() {
+        let rom = paper_rom(16);
+        let mut nl = Netlist::new();
+        let lines = nl.inputs(16);
+        let outs = rom.build_netlist(&mut nl, &lines);
+        nl.expose_all(&outs);
+
+        // One-hot patterns.
+        for line in 0..16usize {
+            let pattern = 1u64 << line;
+            assert_eq!(nl.eval_word(pattern, None).outputs_word(), rom.eval([line]));
+        }
+        // Two-hot patterns.
+        for l1 in 0..16usize {
+            for l2 in (l1 + 1)..16usize {
+                let pattern = (1u64 << l1) | (1u64 << l2);
+                assert_eq!(
+                    nl.eval_word(pattern, None).outputs_word(),
+                    rom.eval([l1, l2]),
+                    "lines {l1},{l2}"
+                );
+            }
+        }
+        // All-zero pattern.
+        assert_eq!(nl.eval_word(0, None).outputs_word(), 0b11111);
+    }
+
+    #[test]
+    fn berger_rom_roundtrip() {
+        let map = CodewordMap::berger(4, 16).unwrap();
+        let rom = RomMatrix::from_map(&map);
+        assert_eq!(rom.width(), 7); // 4 info + 3 check
+        for line in 0..16usize {
+            assert_eq!(rom.eval([line]), map.codeword_for(line as u64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn oversized_word_rejected() {
+        let _ = RomMatrix::new(vec![0b100], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eval_is_and_semilattice(lines in proptest::collection::vec(0usize..32, 0..6)) {
+            let rom = paper_rom(32);
+            // Order and duplicates never matter.
+            let mut shuffled = lines.clone();
+            shuffled.reverse();
+            shuffled.extend(lines.iter().copied());
+            prop_assert_eq!(rom.eval(lines.iter().copied()), rom.eval(shuffled));
+        }
+
+        #[test]
+        fn prop_netlist_matches_behavioral_random_sets(pattern in 0u64..(1u64 << 16)) {
+            let rom = paper_rom(16);
+            let mut nl = Netlist::new();
+            let lines = nl.inputs(16);
+            let outs = rom.build_netlist(&mut nl, &lines);
+            nl.expose_all(&outs);
+            let active: Vec<usize> = (0..16).filter(|k| pattern >> k & 1 == 1).collect();
+            prop_assert_eq!(nl.eval_word(pattern, None).outputs_word(), rom.eval(active));
+        }
+    }
+}

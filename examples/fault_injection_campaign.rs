@@ -1,0 +1,51 @@
+//! A full fault-injection campaign on a self-checking RAM: inject every
+//! decoder fault plus sampled cell/ROM/register faults, run seeded random
+//! workloads, and summarise detection behaviour by fault class.
+//!
+//! This is the experiment a verification team would run before taping out
+//! the scheme — it shows the coverage structure the paper argues for:
+//! parity owns the data path, the NOR matrices own the decoders, and the
+//! only escapes are stuck-at-1 codeword collisions, at the predicted rate.
+//!
+//! Run: `cargo run --release --example fault_injection_campaign`
+
+use scm_core::prelude::*;
+use scm_memory::campaign::{run_campaign, standard_fault_universe, CampaignConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = SelfCheckingRamBuilder::new(256, 8)
+        .mux_factor(4)
+        .latency_budget(10, 1e-5)?
+        .build()?;
+    println!("{}", design.report());
+
+    let config = design.config();
+    let faults = standard_fault_universe(config, 24, 0xFEED);
+    println!("fault universe: {} faults", faults.len());
+
+    let result = run_campaign(
+        config,
+        &faults,
+        CampaignConfig { cycles: 10, trials: 48, seed: 42, write_fraction: 0.15 },
+    );
+
+    println!();
+    println!(
+        "{:<14} | {:>6} | {:>14} | {:>16}",
+        "class", "faults", "mean escape", "(not detected in c)"
+    );
+    println!("{}", "-".repeat(60));
+    for (class, (count, mean_escape)) in result.by_class() {
+        println!("{class:<14} | {count:>6} | {mean_escape:>14.4} |");
+    }
+    println!();
+    println!("worst per-fault escape (paper's Pndc sense): {:.4}", result.worst_escape());
+    println!("worst per-fault ERROR escape (safety sense): {:.4}", result.worst_error_escape());
+    println!("faults never detected in any trial:          {:.1}%", 100.0 * result.never_detected_fraction());
+    println!();
+    println!("notes: 'never detected' is dominated by stuck-at-0 faults on large");
+    println!("blocks — they are harmless until their line is addressed, and their");
+    println!("errors are caught the same cycle (error escape 0). The safety-relevant");
+    println!("column is the error escape, bounded by the selected code's guarantee.");
+    Ok(())
+}

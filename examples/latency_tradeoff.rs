@@ -1,0 +1,59 @@
+//! The paper's headline trade-off, interactively: sweep the tolerated
+//! detection latency for *your* RAM and see what each step costs.
+//!
+//! The scenario: an automotive controller with a 4K×32 working RAM. Safety
+//! analysis allows decoder faults to stay latent for at most `c` cycles
+//! with escape probability 1e-9 — but `c` is negotiable between 2 (almost
+//! TSC) and 50 (background scrubbing picks it up). This prints the
+//! area/latency menu the paper's scheme offers.
+//!
+//! Run: `cargo run --example latency_tradeoff`
+
+use scm_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("4Kx32 RAM, Pndc = 1e-9, worst-block-exact policy");
+    println!();
+    println!(
+        "{:>3} | {:<12} | {:>4} | {:>14} | {:>12} | {:>10}",
+        "c", "code", "a", "escape/cycle", "dec-check %", "total %"
+    );
+    println!("{}", "-".repeat(72));
+    for c in [2u32, 3, 5, 8, 10, 15, 20, 30, 40, 50] {
+        let design = SelfCheckingRamBuilder::new(4096, 32)
+            .mux_factor(8)
+            .latency_budget(c, 1e-9)?
+            .build()?;
+        let r = design.report();
+        let plan = design.plan().expect("budget-driven design has a plan");
+        println!(
+            "{c:>3} | {:<12} | {:>4} | {:>14.6} | {:>12.2} | {:>10.2}",
+            r.row_code,
+            plan.a(),
+            plan.escape_per_cycle(),
+            r.decoder_checking_percent(),
+            r.total_percent()
+        );
+    }
+    println!();
+    println!("the two published endpoints for comparison:");
+    let zero = SelfCheckingRamBuilder::new(4096, 32)
+        .mux_factor(8)
+        .zero_latency()
+        .build()?;
+    println!(
+        "  zero latency ([NIC 94]):      {} on rows, {:.2}% decoder-checking area",
+        zero.report().row_code,
+        zero.report().decoder_checking_percent()
+    );
+    let parity = SelfCheckingRamBuilder::new(4096, 32)
+        .mux_factor(8)
+        .input_parity_only()
+        .build()?;
+    println!(
+        "  input parity ([CHE 85]):      {} on rows, {:.2}% decoder-checking area",
+        parity.report().row_code,
+        parity.report().decoder_checking_percent()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! System-level safety budgeting (paper, Section II): given a memory's
+//! fault rate and the fraction of faults striking its decoders, how much
+//! does decoder checking buy — and what detection latency can the system
+//! afford?
+//!
+//! The scenario: a railway interlocking controller. Its certification
+//! demands fewer than 1e-9 undetected faults/hour from the 2K×16 state
+//! memory, and its voting window tolerates a 20-cycle detection delay.
+//!
+//! Run: `cargo run --example safety_analysis`
+
+use scm_core::prelude::*;
+use scm_latency::safety::SafetyModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Section II arithmetic with the paper's numbers.
+    let model = SafetyModel::paper_example();
+    println!("Section II model (paper numbers):");
+    println!(
+        "  full coverage:   {:.2e} undetectable faults/hour",
+        model.undetectable_rate_full_coverage()
+    );
+    println!(
+        "  array-only:      {:.2e} undetectable faults/hour",
+        model.undetectable_rate_array_only()
+    );
+    println!("  degradation:     {:.0}x\n", model.degradation_factor());
+
+    // Now our controller: what escape probability must the decoder scheme
+    // deliver for the 1e-9/hour certification target?
+    let fault_rate: f64 = 2e-6; // faults/hour for the 2Kx16 macro
+    let target_rate: f64 = 1e-9;
+    let required_escape = target_rate / fault_rate;
+    println!("controller budget:");
+    println!("  memory fault rate:   {fault_rate:.1e} /hour");
+    println!("  certified limit:     {target_rate:.1e} undetected/hour");
+    println!("  required Pndc:       {required_escape:.2e}");
+
+    // Build the design against that requirement at the tolerated latency.
+    let design = SelfCheckingRamBuilder::new(2048, 16)
+        .mux_factor(8)
+        .latency_budget(20, required_escape)?
+        .build()?;
+    let report = design.report();
+    println!();
+    println!("selected scheme: {} (a = {})", report.row_code, design.plan().unwrap().a());
+    println!("achieved Pndc bound after 20 cycles: {:.2e}", report.pndc_after(20));
+    println!("decoder-checking area: {:.2}% of the RAM", report.decoder_checking_percent());
+    println!("everything included:   {:.2}%", report.total_percent());
+    println!();
+
+    // And the sensitivity: what would skipping decoder checks cost?
+    let skipped = SafetyModel {
+        fault_rate_per_hour: fault_rate,
+        decoder_fault_share: 0.1,
+        escape_fraction: required_escape,
+    };
+    println!(
+        "if decoders were left unchecked instead: {:.2e} undetected/hour ({:.0}x over budget)",
+        skipped.undetectable_rate_array_only(),
+        skipped.undetectable_rate_array_only() / target_rate
+    );
+    Ok(())
+}

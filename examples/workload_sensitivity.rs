@@ -1,0 +1,77 @@
+//! Extension experiment: how does the *address pattern* change empirical
+//! detection latency? The paper's analysis assumes uniformly random
+//! addresses; real workloads are sequential scans, strided loops or hot
+//! spots. This example measures the same injected decoder fault under each
+//! pattern.
+//!
+//! Run: `cargo run --release --example workload_sensitivity`
+
+use scm_core::prelude::*;
+use scm_memory::decoder_unit::DecoderFault;
+use scm_memory::sim::measure_detection;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = SelfCheckingRamBuilder::new(1024, 16)
+        .mux_factor(8)
+        .latency_budget(10, 1e-9)?
+        .build()?;
+
+    // Prefill a golden RAM.
+    let mut golden = design.instantiate();
+    for a in 0..1024u64 {
+        golden.write(a, a.wrapping_mul(0x1234) & 0xFFFF);
+    }
+
+    // The injected fault: SA1 on the row line of value 5 in the last-level
+    // 7-bit block — the paper's analysis gives per-cycle escape ≈ 15/128.
+    let fault = FaultSite::RowDecoder(DecoderFault {
+        bits: 7,
+        offset: 0,
+        value: 5,
+        stuck_one: true,
+    });
+
+    let patterns: [(&str, AddressPattern); 4] = [
+        ("uniform (paper model)", AddressPattern::UniformRandom),
+        ("sequential scan", AddressPattern::Sequential),
+        ("stride-8 loop", AddressPattern::Strided { stride: 8 }),
+        ("hot spot (32 words)", AddressPattern::HotSpot { window: 32 }),
+    ];
+
+    println!("SA1 decoder fault, 40 trials each, up to 10k cycles:");
+    println!();
+    println!(
+        "{:<22} | {:>9} | {:>10} | {:>12}",
+        "pattern", "detected", "mean lat.", "worst lat."
+    );
+    println!("{}", "-".repeat(62));
+    for (name, pattern) in patterns {
+        let mut detected = 0u32;
+        let mut sum = 0u64;
+        let mut worst = 0u64;
+        let trials = 40u64;
+        for seed in 0..trials {
+            let mut g = golden.clone();
+            let mut f = golden.clone();
+            f.inject(fault);
+            let mut w = Workload::new(pattern, 1024, 16, 0.1, seed);
+            let out = measure_detection(&mut f, &mut g, &mut w, 10_000);
+            if let Some(d) = out.first_detection {
+                detected += 1;
+                sum += d;
+                worst = worst.max(d);
+            }
+        }
+        let mean = if detected > 0 { sum as f64 / detected as f64 } else { f64::NAN };
+        println!(
+            "{name:<22} | {detected:>6}/{trials} | {mean:>10.1} | {worst:>12}",
+        );
+    }
+    println!();
+    println!("reading: uniform addressing detects almost immediately (most random rows");
+    println!("differ from the stuck line's codeword). A hot spot that never leaves the");
+    println!("faulty row's collision class is the worst case — the paper's uniform-");
+    println!("address assumption is the right design-time model but not a guarantee");
+    println!("under adversarial locality.");
+    Ok(())
+}

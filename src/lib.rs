@@ -1,0 +1,39 @@
+//! Umbrella crate for the self-checking memory reproduction.
+//!
+//! This package hosts the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`), and re-exports every substrate crate so
+//! downstream code can depend on one name:
+//!
+//! ```
+//! use self_checking_memory_repro::core::prelude::*;
+//!
+//! let design = SelfCheckingRamBuilder::new(2048, 16)
+//!     .latency_budget(10, 1e-9)?
+//!     .build()?;
+//! assert_eq!(design.report().row_code, "3-out-of-5");
+//! # Ok::<(), self_checking_memory_repro::core::BuildError>(())
+//! ```
+//!
+//! Crate map (see DESIGN.md for the full inventory):
+//!
+//! * [`codes`] — coding theory + the Section III.2 selection algorithm
+//! * [`logic`] — gate-level netlists, stuck-at faults, fault simulation
+//! * [`decoder`] — the paper's multilevel decoder generator
+//! * [`rom`] — the NOR-matrix encoder
+//! * [`checkers`] — two-rail / parity / q-out-of-r / Berger checkers
+//! * [`memory`] — the assembled self-checking RAM & ROM, campaigns
+//! * [`latency`] — analytical escape probabilities and the safety model
+//! * [`area`] — calibrated area models and the paper's tables
+//! * [`core`] — the facade builder
+
+#![forbid(unsafe_code)]
+
+pub use scm_area as area;
+pub use scm_checkers as checkers;
+pub use scm_codes as codes;
+pub use scm_core as core;
+pub use scm_decoder as decoder;
+pub use scm_latency as latency;
+pub use scm_logic as logic;
+pub use scm_memory as memory;
+pub use scm_rom as rom;

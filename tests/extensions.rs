@@ -1,0 +1,164 @@
+//! Integration coverage for the extension modules: re-encode-and-compare
+//! checking, deterministic scrubbing, netlist export and the self-checking
+//! ROM, working together on real designs.
+
+use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+use scm_logic::export::{to_dot, to_verilog};
+use scm_logic::Netlist;
+use scm_memory::address_check::{wrong_line_coverage, CheckStrategy};
+use scm_memory::decoder_unit::DecoderFault;
+use scm_memory::rom_memory::{RomFaultSite, SelfCheckingRom};
+use scm_memory::scrub::{sweep_bound, SweepBound};
+
+fn plan(pndc: f64) -> scm_codes::selection::CodePlan {
+    select_code(LatencyBudget::new(10, pndc).unwrap(), SelectionPolicy::InverseA).unwrap()
+}
+
+#[test]
+fn compare_strategy_dominates_membership_on_wrong_lines() {
+    // Across the table codes, the compare strategy catches the wrong-line
+    // class the membership check is blind to, at a rate ≥ 1 − 1/a-ish.
+    for pndc in [1e-5, 1e-9, 1e-15] {
+        let p = plan(pndc);
+        let map = p.mapping(128).unwrap();
+        let cov = wrong_line_coverage(&map);
+        assert_eq!(cov.membership, 0.0, "membership is architecturally blind");
+        let expected_floor = 1.0 - 2.5 / p.a() as f64;
+        assert!(
+            cov.compare >= expected_floor.max(0.4),
+            "a = {}: compare coverage {} below floor {expected_floor}",
+            p.a(),
+            cov.compare
+        );
+    }
+}
+
+#[test]
+fn stronger_codes_shrink_the_compare_blind_spot() {
+    let mut prev = 0.0;
+    for pndc in [1e-2, 1e-5, 1e-9, 1e-15, 1e-20] {
+        let p = plan(pndc);
+        let map = p.mapping(128).unwrap();
+        let cov = wrong_line_coverage(&map);
+        assert!(
+            cov.compare >= prev,
+            "a = {}: coverage {} regressed below {prev}",
+            p.a(),
+            cov.compare
+        );
+        prev = cov.compare;
+    }
+    assert!(prev > 0.97, "strongest code should be nearly blind-spot-free: {prev}");
+}
+
+#[test]
+fn scrub_bounds_tighten_with_code_strength_on_sa1() {
+    // Undetectable count is zero for all odd moduli; the SA0/SA1 structural
+    // bounds are geometry-driven and identical across codes.
+    let mut bounds: Vec<SweepBound> = Vec::new();
+    for pndc in [1e-2, 1e-9, 1e-20] {
+        let p = plan(pndc);
+        let map = p.mapping(64).unwrap();
+        bounds.push(sweep_bound(6, &map));
+    }
+    for b in &bounds {
+        assert_eq!(b.undetectable, 0);
+        assert_eq!(b.worst_sa0, 64);
+        assert_eq!(b.worst_sa1, 33);
+    }
+}
+
+#[test]
+fn full_checking_path_exports_to_verilog_and_dot() {
+    // Decoder + NOR matrix + checker as one synthesizable module.
+    use scm_checkers::{Checker, MOutOfNChecker};
+    use scm_codes::MOutOfN;
+    use scm_rom::RomMatrix;
+
+    let code = MOutOfN::new(3, 5).unwrap();
+    let map = scm_codes::CodewordMap::mod_a(code, 9, 32).unwrap();
+    let mut nl = Netlist::new();
+    let addr = nl.inputs(5);
+    let dec = scm_decoder::build_multilevel_decoder(&mut nl, &addr, 2);
+    let rom = RomMatrix::from_map(&map);
+    let rom_out = rom.build_netlist(&mut nl, dec.outputs());
+    let rails = MOutOfNChecker::new(code).build_netlist(&mut nl, &rom_out);
+    nl.expose(rails.0);
+    nl.expose(rails.1);
+
+    let verilog = to_verilog(&nl, "decoder_check_path");
+    assert!(verilog.contains("module decoder_check_path (pi0, pi1, pi2, pi3, pi4, po0, po1);"));
+    assert!(verilog.contains("nor"));
+    assert!(verilog.matches('\n').count() > nl.num_signals());
+
+    let dot = to_dot(&nl, "path");
+    assert!(dot.contains("po1"));
+
+    // And the ROM image is exportable for programming.
+    let image = rom.hex_image();
+    assert_eq!(image.lines().count(), 32);
+    assert!(image.lines().all(|l| l.contains(": ")));
+}
+
+#[test]
+fn rom_and_ram_decoder_checks_agree() {
+    // Same decoder fault on the ROM variant and the RAM variant must yield
+    // the same row-checker verdict on every address.
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+    use scm_memory::design::{RamConfig, SelfCheckingRam};
+    use scm_memory::fault::FaultSite;
+
+    let code = MOutOfN::new(3, 5).unwrap();
+    let row_map = CodewordMap::mod_a(code, 9, 16).unwrap();
+    let col_map = CodewordMap::mod_a(code, 9, 4).unwrap();
+
+    let contents: Vec<u64> = (0..64u64).map(|a| a * 3 & 0xFF).collect();
+    let mut rom = SelfCheckingRom::new(&contents, 8, 4, 2, row_map.clone(), col_map.clone());
+    let mut ram = SelfCheckingRam::new(RamConfig::new(
+        RamOrganization::new(64, 8, 4),
+        row_map,
+        col_map,
+    ));
+    for a in 0..64u64 {
+        ram.write(a, a * 3 & 0xFF);
+    }
+
+    let fault = DecoderFault { bits: 4, offset: 0, value: 6, stuck_one: true };
+    rom.inject(RomFaultSite::RowDecoder(fault));
+    ram.inject(FaultSite::RowDecoder(fault));
+    for addr in 0..64u64 {
+        assert_eq!(
+            rom.read(addr).verdict.row_code_error,
+            ram.read(addr).verdict.row_code_error,
+            "addr {addr}"
+        );
+    }
+}
+
+#[test]
+fn membership_and_compare_strategies_on_live_cycles() {
+    // Run the address_check strategies against the behavioural decoder's
+    // active-line sets across an injected SA1, cross-validating the two
+    // views of "what the checker sees".
+    use scm_memory::address_check::flags_error;
+    use scm_memory::decoder_unit::BehavioralDecoder;
+
+    let p = plan(1e-9);
+    let map = p.mapping(64).unwrap();
+    let mut dec = BehavioralDecoder::new(6);
+    dec.inject(DecoderFault { bits: 6, offset: 0, value: 9, stuck_one: true });
+    let mut membership_catches = 0u32;
+    let mut compare_catches = 0u32;
+    for v in 0..64u64 {
+        let selected: Vec<u64> = dec.decode(v).iter().collect();
+        if flags_error(CheckStrategy::Membership, &map, v, &selected) {
+            membership_catches += 1;
+        }
+        if flags_error(CheckStrategy::Compare, &map, v, &selected) {
+            compare_catches += 1;
+        }
+    }
+    assert!(compare_catches >= membership_catches);
+    assert!(membership_catches > 48, "SA1 should be caught on most addresses");
+}

@@ -1,0 +1,163 @@
+//! Workspace-level property tests: invariants that must hold across random
+//! geometries, codes, mappings and workloads.
+
+use proptest::prelude::*;
+use scm_area::RamOrganization;
+use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
+use scm_codes::{Code, CodewordMap, MOutOfN};
+use scm_core::prelude::*;
+use scm_memory::design::{RamConfig, SelfCheckingRam};
+
+fn arb_geometry() -> impl Strategy<Value = (u64, u32, u32)> {
+    // (words, word_bits, mux) — kept small so exhaustive-ish sims stay fast.
+    (3u32..=9, 1u32..=16, 1u32..=3).prop_map(|(wlog, bits, slog)| {
+        let words = 1u64 << wlog;
+        let mux = 1u32 << slog.min(wlog - 1); // keep at least one row bit
+        (words, bits, mux)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_fault_free_memory_is_silent((words, bits, mux) in arb_geometry(), seed in any::<u64>()) {
+        let design = SelfCheckingRamBuilder::new(words, bits)
+            .mux_factor(mux)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut ram = design.instantiate();
+        let mut w = Workload::uniform(words, bits, seed);
+        for _ in 0..200 {
+            match w.next_op() {
+                Op::Read(a) => prop_assert!(!ram.read(a).verdict.any_error()),
+                Op::Write(a, v) => prop_assert!(!ram.write(a, v).any_error()),
+            }
+        }
+    }
+
+    #[test]
+    fn prop_written_data_reads_back((words, bits, mux) in arb_geometry(), seed in any::<u64>()) {
+        let design = SelfCheckingRamBuilder::new(words, bits)
+            .mux_factor(mux)
+            .input_parity_only()
+            .build()
+            .unwrap();
+        let mut ram = design.instantiate();
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut model = std::collections::HashMap::new();
+        let mut rng_state = seed;
+        for _ in 0..300 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = (rng_state >> 20) % words;
+            let val = rng_state & mask;
+            ram.write(addr, val);
+            model.insert(addr, val);
+        }
+        for (addr, val) in model {
+            prop_assert_eq!(ram.read(addr).data, val);
+        }
+    }
+
+    #[test]
+    fn prop_single_cell_fault_caught_on_affected_word(
+        (words, bits, mux) in arb_geometry(),
+        row_seed in any::<u64>(),
+        bit_seed in any::<u32>(),
+        stuck in any::<bool>(),
+    ) {
+        let org = RamOrganization::new(words, bits, mux);
+        let design = SelfCheckingRamBuilder::new(words, bits)
+            .mux_factor(mux)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut ram = design.instantiate();
+        // Fill with the complement of the stuck value so the fault bites.
+        let fill = if stuck { 0u64 } else { u64::MAX };
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        for a in 0..words {
+            ram.write(a, fill & mask);
+        }
+        let row = (row_seed % org.rows()) as usize;
+        let bit_group = bit_seed % bits; // data bits only (not parity)
+        let col_sel = (row_seed >> 32) % mux as u64;
+        let col = (bit_group * mux) as usize + col_sel as usize;
+        ram.inject(FaultSite::Cell { row, col, stuck });
+        let addr = (row as u64) * mux as u64 + col_sel;
+        let out = ram.read(addr);
+        // The cell now differs from what parity was computed over.
+        prop_assert!(out.verdict.parity_error, "cell fault invisible at {addr}");
+    }
+
+    #[test]
+    fn prop_selected_plans_meet_budget(c in 1u32..=200, exp in 1u32..=25, policy_idx in 0usize..2) {
+        let pndc = 10f64.powi(-(exp as i32));
+        let policy = SelectionPolicy::ALL[policy_idx];
+        let budget = LatencyBudget::new(c, pndc).unwrap();
+        if let Ok(plan) = select_code(budget, policy) {
+            prop_assert!(plan.pndc_after(c) <= pndc * (1.0 + 1e-6));
+            // And the modulus is legal: 2 (parity) or odd.
+            prop_assert!(plan.a() == 2 || plan.a() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn prop_rom_words_always_codewords_and_ands_noncode(
+        r in 3u32..=9,
+        lines_log in 2u32..=8,
+        a_seed in any::<u64>(),
+    ) {
+        let code = MOutOfN::centered(r).unwrap();
+        let count = code.count() as u64;
+        let lines = 1u64 << lines_log;
+        // Random odd modulus in [3, count].
+        let a = 3 + 2 * (a_seed % ((count.saturating_sub(3)) / 2 + 1));
+        prop_assume!(a >= 3 && a <= count);
+        let map = CodewordMap::mod_a(code, a, lines).unwrap();
+        for addr in 0..lines.min(64) {
+            prop_assert!(map.is_codeword(map.codeword_for(addr)));
+        }
+        for a1 in 0..lines.min(16) {
+            for a2 in 0..lines.min(16) {
+                let and = map.codeword_for(a1) & map.codeword_for(a2);
+                if map.codeword_for(a1) != map.codeword_for(a2) {
+                    prop_assert!(!map.is_codeword(and));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_verdicts_deterministic((words, bits, mux) in arb_geometry(), seed in any::<u64>()) {
+        // Reading is const: the same read twice gives identical outcomes.
+        let code = MOutOfN::new(3, 5).unwrap();
+        let org = RamOrganization::new(words, bits, mux);
+        let rows = org.rows();
+        prop_assume!(rows >= 3); // need a <= count for mod_a? a=9 needs nothing from rows
+        let row_map = CodewordMap::mod_a(code, 9, rows).unwrap();
+        let col_map = CodewordMap::mod_a(code, 9, mux as u64).unwrap();
+        let mut ram = SelfCheckingRam::new(RamConfig::new(org, row_map, col_map));
+        let addr = seed % words;
+        ram.write(addr, seed);
+        let a = ram.read(addr);
+        let b = ram.read(addr);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn unordered_property_of_every_table_code() {
+    // Deterministic companion to the proptests: all published codes are
+    // unordered and their pairwise ANDs are non-codewords.
+    for r in [2u32, 3, 4, 5, 7, 9, 13, 18] {
+        let code = MOutOfN::centered(r).unwrap();
+        let words: Vec<u64> = code.iter().collect();
+        assert!(scm_codes::unordered::is_unordered_set(&words), "r = {r}");
+        let all_ones = (1u64 << r) - 1;
+        assert!(!code.is_codeword(all_ones), "all-ones must be non-code for r = {r}");
+    }
+}
