@@ -21,8 +21,7 @@ use crate::tech::TechnologyParams;
 /// The dense-macro ROM overhead fraction (not percent):
 /// `k(r1·2^s + r2·2^p) / (m·2^n)`.
 pub fn dense_rom_overhead(org: RamOrganization, r_col: u32, r_row: u32, k: f64) -> f64 {
-    let numerator = k
-        * (r_col as f64 * org.mux_factor() as f64 + r_row as f64 * org.rows() as f64);
+    let numerator = k * (r_col as f64 * org.mux_factor() as f64 + r_row as f64 * org.rows() as f64);
     numerator / org.bits() as f64
 }
 
@@ -83,7 +82,11 @@ mod tests {
     #[test]
     fn k045_reproduces_quoted_value() {
         let ex = section4_example();
-        assert!((ex.rom_percent_k045 - 1.9).abs() < 0.05, "got {}", ex.rom_percent_k045);
+        assert!(
+            (ex.rom_percent_k045 - 1.9).abs() < 0.05,
+            "got {}",
+            ex.rom_percent_k045
+        );
     }
 
     #[test]
@@ -91,11 +94,17 @@ mod tests {
         let ex = section4_example();
         assert!((ex.parity_bit_percent - 6.25).abs() < 1e-12);
         // Paper: 0.15 % for the parity checker.
-        assert!((ex.parity_checker_percent - 0.15).abs() < 0.25,
-            "got {}", ex.parity_checker_percent);
+        assert!(
+            (ex.parity_checker_percent - 0.15).abs() < 0.25,
+            "got {}",
+            ex.parity_checker_percent
+        );
         // Paper total: 8.3 %.
-        assert!((ex.total_percent_paper_style - 8.3).abs() < 0.3,
-            "got {}", ex.total_percent_paper_style);
+        assert!(
+            (ex.total_percent_paper_style - 8.3).abs() < 0.3,
+            "got {}",
+            ex.total_percent_paper_style
+        );
     }
 
     #[test]

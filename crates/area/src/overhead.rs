@@ -60,7 +60,10 @@ impl OverheadBreakdown {
     /// Everything together.
     pub fn total_percent(&self) -> f64 {
         100.0
-            * (self.rom_row + self.rom_col + self.code_checkers + self.parity_storage
+            * (self.rom_row
+                + self.rom_col
+                + self.code_checkers
+                + self.parity_storage
                 + self.parity_checker)
             / self.ram
     }
@@ -160,8 +163,12 @@ mod tests {
         // on the smallest RAM (worst case for the claim).
         let tech = TechnologyParams::default();
         let b = scheme_overhead(paper_rams()[0], code(3, 5), code(3, 5), &tech);
-        assert!(b.code_checkers < 0.1 * (b.rom_row + b.rom_col),
-            "checkers {} vs roms {}", b.code_checkers, b.rom_row + b.rom_col);
+        assert!(
+            b.code_checkers < 0.1 * (b.rom_row + b.rom_col),
+            "checkers {} vs roms {}",
+            b.code_checkers,
+            b.rom_row + b.rom_col
+        );
     }
 
     #[test]
@@ -170,7 +177,10 @@ mod tests {
         let org = paper_rams()[1];
         let p5 = scheme_overhead(org, code(3, 5), code(3, 5), &tech).decoder_checking_percent();
         let p9 = scheme_overhead(org, code(5, 9), code(5, 9), &tech).decoder_checking_percent();
-        assert!((p9 / p5 - 9.0 / 5.0).abs() < 1e-9, "ROM headline must be linear in r");
+        assert!(
+            (p9 / p5 - 9.0 / 5.0).abs() < 1e-9,
+            "ROM headline must be linear in r"
+        );
     }
 
     #[test]

@@ -27,10 +27,20 @@ impl RamOrganization {
     /// bit), and `word_bits ≥ 1`.
     pub fn new(words: u64, word_bits: u32, mux_factor: u32) -> Self {
         assert!(words.is_power_of_two(), "word count must be a power of two");
-        assert!(mux_factor.is_power_of_two(), "mux factor must be a power of two");
-        assert!((mux_factor as u64) < words, "mux factor exceeds word count (need at least two rows)");
+        assert!(
+            mux_factor.is_power_of_two(),
+            "mux factor must be a power of two"
+        );
+        assert!(
+            (mux_factor as u64) < words,
+            "mux factor exceeds word count (need at least two rows)"
+        );
         assert!(word_bits >= 1, "word width must be at least 1");
-        RamOrganization { words, word_bits, mux_factor }
+        RamOrganization {
+            words,
+            word_bits,
+            mux_factor,
+        }
     }
 
     /// The paper's style: 1-out-of-8 column multiplexing.
@@ -85,7 +95,7 @@ impl RamOrganization {
 
     /// Short name like `16x2K`.
     pub fn name(&self) -> String {
-        let words = if self.words % 1024 == 0 {
+        let words = if self.words.is_multiple_of(1024) {
             format!("{}K", self.words / 1024)
         } else {
             self.words.to_string()

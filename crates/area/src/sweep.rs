@@ -96,7 +96,11 @@ mod tests {
             ..TechnologyParams::default()
         };
         let best = best_mux_for_checking(4096, 16, code(), &tech);
-        assert_eq!(best.row_bits, 6, "n = 12 should split 6/6, got p = {}", best.row_bits);
+        assert_eq!(
+            best.row_bits, 6,
+            "n = 12 should split 6/6, got p = {}",
+            best.row_bits
+        );
     }
 
     #[test]

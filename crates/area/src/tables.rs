@@ -28,22 +28,94 @@ pub struct PaperRow {
 
 /// The paper's Table 1 as published.
 pub const PAPER_TABLE1: [PaperRow; 6] = [
-    PaperRow { c: 2, pndc: 1e-9, code: "9-out-of-18", r: 18, percents: [88.7, 49.35, 26.28] },
-    PaperRow { c: 5, pndc: 1e-9, code: "5-out-of-9", r: 9, percents: [44.35, 24.6, 13.14] },
-    PaperRow { c: 10, pndc: 1e-9, code: "3-out-of-5", r: 5, percents: [24.8, 13.7, 7.3] },
-    PaperRow { c: 20, pndc: 1e-9, code: "2-out-of-4", r: 4, percents: [19.5, 9.67, 5.84] },
-    PaperRow { c: 30, pndc: 1e-9, code: "2-out-of-3", r: 3, percents: [15.0, 8.2, 4.38] },
-    PaperRow { c: 40, pndc: 1e-9, code: "1-out-of-2", r: 2, percents: [9.7, 5.48, 2.92] },
+    PaperRow {
+        c: 2,
+        pndc: 1e-9,
+        code: "9-out-of-18",
+        r: 18,
+        percents: [88.7, 49.35, 26.28],
+    },
+    PaperRow {
+        c: 5,
+        pndc: 1e-9,
+        code: "5-out-of-9",
+        r: 9,
+        percents: [44.35, 24.6, 13.14],
+    },
+    PaperRow {
+        c: 10,
+        pndc: 1e-9,
+        code: "3-out-of-5",
+        r: 5,
+        percents: [24.8, 13.7, 7.3],
+    },
+    PaperRow {
+        c: 20,
+        pndc: 1e-9,
+        code: "2-out-of-4",
+        r: 4,
+        percents: [19.5, 9.67, 5.84],
+    },
+    PaperRow {
+        c: 30,
+        pndc: 1e-9,
+        code: "2-out-of-3",
+        r: 3,
+        percents: [15.0, 8.2, 4.38],
+    },
+    PaperRow {
+        c: 40,
+        pndc: 1e-9,
+        code: "1-out-of-2",
+        r: 2,
+        percents: [9.7, 5.48, 2.92],
+    },
 ];
 
 /// The paper's Table 2 as published.
 pub const PAPER_TABLE2: [PaperRow; 6] = [
-    PaperRow { c: 10, pndc: 1e-2, code: "1-out-of-2", r: 2, percents: [9.7, 5.4, 2.92] },
-    PaperRow { c: 10, pndc: 1e-5, code: "2-out-of-4", r: 4, percents: [19.5, 9.6, 5.84] },
-    PaperRow { c: 10, pndc: 1e-9, code: "3-out-of-5", r: 5, percents: [24.8, 13.7, 7.3] },
-    PaperRow { c: 10, pndc: 1e-15, code: "4-out-of-7", r: 7, percents: [34.2, 19.1, 10.2] },
-    PaperRow { c: 10, pndc: 1e-20, code: "5-out-of-9", r: 9, percents: [44.35, 24.67, 13.14] },
-    PaperRow { c: 10, pndc: 1e-30, code: "7-out-of-13", r: 13, percents: [63.5, 35.6, 18.9] },
+    PaperRow {
+        c: 10,
+        pndc: 1e-2,
+        code: "1-out-of-2",
+        r: 2,
+        percents: [9.7, 5.4, 2.92],
+    },
+    PaperRow {
+        c: 10,
+        pndc: 1e-5,
+        code: "2-out-of-4",
+        r: 4,
+        percents: [19.5, 9.6, 5.84],
+    },
+    PaperRow {
+        c: 10,
+        pndc: 1e-9,
+        code: "3-out-of-5",
+        r: 5,
+        percents: [24.8, 13.7, 7.3],
+    },
+    PaperRow {
+        c: 10,
+        pndc: 1e-15,
+        code: "4-out-of-7",
+        r: 7,
+        percents: [34.2, 19.1, 10.2],
+    },
+    PaperRow {
+        c: 10,
+        pndc: 1e-20,
+        code: "5-out-of-9",
+        r: 9,
+        percents: [44.35, 24.67, 13.14],
+    },
+    PaperRow {
+        c: 10,
+        pndc: 1e-30,
+        code: "7-out-of-13",
+        r: 13,
+        percents: [63.5, 35.6, 18.9],
+    },
 ];
 
 /// One regenerated row: our selection + our area model next to the paper's.
@@ -99,16 +171,24 @@ pub fn percents_for_width(r: u32, tech: &TechnologyParams) -> [f64; 3] {
     ]
 }
 
-fn rows_for(paper: &[PaperRow], policy: SelectionPolicy, tech: &TechnologyParams)
-    -> Result<Vec<TableRow>, CodeError>
-{
+fn rows_for(
+    paper: &[PaperRow],
+    policy: SelectionPolicy,
+    tech: &TechnologyParams,
+) -> Result<Vec<TableRow>, CodeError> {
     paper
         .iter()
         .map(|row| {
             let budget = LatencyBudget::new(row.c, row.pndc)?;
             let plan = select_code(budget, policy)?;
             let percents = percents_for_width(plan.r(), tech);
-            Ok(TableRow { c: row.c, pndc: row.pndc, plan, percents, paper: *row })
+            Ok(TableRow {
+                c: row.c,
+                pndc: row.pndc,
+                plan,
+                percents,
+                paper: *row,
+            })
         })
         .collect()
 }
@@ -117,9 +197,10 @@ fn rows_for(paper: &[PaperRow], policy: SelectionPolicy, tech: &TechnologyParams
 ///
 /// # Errors
 /// Propagates selection errors (none occur for the published parameters).
-pub fn table1_rows(policy: SelectionPolicy, tech: &TechnologyParams)
-    -> Result<Vec<TableRow>, CodeError>
-{
+pub fn table1_rows(
+    policy: SelectionPolicy,
+    tech: &TechnologyParams,
+) -> Result<Vec<TableRow>, CodeError> {
     rows_for(&PAPER_TABLE1, policy, tech)
 }
 
@@ -127,9 +208,10 @@ pub fn table1_rows(policy: SelectionPolicy, tech: &TechnologyParams)
 ///
 /// # Errors
 /// Propagates selection errors (none occur for the published parameters).
-pub fn table2_rows(policy: SelectionPolicy, tech: &TechnologyParams)
-    -> Result<Vec<TableRow>, CodeError>
-{
+pub fn table2_rows(
+    policy: SelectionPolicy,
+    tech: &TechnologyParams,
+) -> Result<Vec<TableRow>, CodeError> {
     rows_for(&PAPER_TABLE2, policy, tech)
 }
 
@@ -148,9 +230,13 @@ mod tests {
         let tech = TechnologyParams::default();
         for row in PAPER_TABLE1.iter().chain(&PAPER_TABLE2) {
             let ours = percents_for_width(row.r, &tech);
-            for col in 0..3 {
-                let rel = (ours[col] - row.percents[col]).abs() / row.percents[col];
-                let tol = if is_known_outlier(row, col) { 0.15 } else { 0.025 };
+            for (col, our_percent) in ours.iter().enumerate() {
+                let rel = (our_percent - row.percents[col]).abs() / row.percents[col];
+                let tol = if is_known_outlier(row, col) {
+                    0.15
+                } else {
+                    0.025
+                };
                 assert!(
                     rel < tol,
                     "r={} col={col}: ours {:.2} vs paper {:.2} (rel {:.3})",

@@ -1,0 +1,46 @@
+//! Campaign-engine scaling baseline: fault-campaign throughput
+//! (fault-trials per second) at 1/2/4/8 rayon threads, so future PRs have
+//! a perf number to beat.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let org = RamOrganization::new(256, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    let config = RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, 64).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    );
+    let faults: Vec<FaultSite> = decoder_fault_universe(6)
+        .into_iter()
+        .map(FaultSite::RowDecoder)
+        .collect();
+    let campaign = CampaignConfig {
+        cycles: 10,
+        trials: 16,
+        seed: 0xBA5E,
+        write_fraction: 0.1,
+    };
+    let grid = faults.len() as u64 * campaign.trials as u64;
+
+    let mut g = c.benchmark_group("campaign-scaling");
+    g.throughput(Throughput::Elements(grid));
+    for threads in [1usize, 2, 4, 8] {
+        let engine = CampaignEngine::new(campaign).threads(threads);
+        g.bench_function(&format!("{threads}-threads"), |b| {
+            b.iter(|| black_box(engine.run(black_box(&config), black_box(&faults))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -3,13 +3,13 @@
 //! full Monte-Carlo campaign step on a small RAM.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
 use scm_decoder::build_multilevel_decoder;
 use scm_logic::{Fault, Netlist};
 use scm_memory::campaign::{decoder_fault_universe, run_campaign, CampaignConfig};
 use scm_memory::design::RamConfig;
 use scm_memory::fault::FaultSite;
-use scm_area::RamOrganization;
-use scm_codes::{CodewordMap, MOutOfN};
 use std::hint::black_box;
 
 fn bench_gate_sim(c: &mut Criterion) {
@@ -57,7 +57,12 @@ fn bench_campaign(c: &mut Criterion) {
             black_box(run_campaign(
                 &config,
                 &faults,
-                CampaignConfig { cycles: 10, trials: 8, seed: 1, write_fraction: 0.1 },
+                CampaignConfig {
+                    cycles: 10,
+                    trials: 8,
+                    seed: 1,
+                    write_fraction: 0.1,
+                },
             ))
         })
     });

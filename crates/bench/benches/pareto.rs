@@ -11,8 +11,12 @@ fn sweep(policy: SelectionPolicy, tech: &TechnologyParams) -> (usize, f64) {
     let mut area_sum = 0.0f64;
     for pndc in [1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30] {
         for c in [1u32, 2, 4, 8, 10, 16, 20, 30, 40, 64] {
-            let Ok(budget) = LatencyBudget::new(c, pndc) else { continue };
-            let Ok(plan) = select_code(budget, policy) else { continue };
+            let Ok(budget) = LatencyBudget::new(c, pndc) else {
+                continue;
+            };
+            let Ok(plan) = select_code(budget, policy) else {
+                continue;
+            };
             points += 1;
             area_sum += percents_for_width(plan.r(), tech)[0];
         }

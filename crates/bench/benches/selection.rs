@@ -7,9 +7,9 @@ use std::hint::black_box;
 fn bench_selection(c: &mut Criterion) {
     let budgets: Vec<LatencyBudget> = [
         (10u32, 1e-9f64),
-        (2, 1e-9),     // widest table code (9-out-of-18)
-        (2, 1e-30),    // a ≈ 1e15: stress the binomial search
-        (1000, 1e-2),  // trivially loose
+        (2, 1e-9),    // widest table code (9-out-of-18)
+        (2, 1e-30),   // a ≈ 1e15: stress the binomial search
+        (1000, 1e-2), // trivially loose
     ]
     .into_iter()
     .map(|(cy, p)| LatencyBudget::new(cy, p).unwrap())

@@ -13,13 +13,18 @@
 //!
 //! Run: `cargo run -p scm-bench --bin ablations`
 
+use scm_area::RamOrganization;
 use scm_codes::mapping::MappingKind;
 use scm_codes::{CodewordMap, MOutOfN};
 use scm_decoder::build_multilevel_decoder;
 use scm_latency::distribution::analyze_decoder;
-use scm_latency::goal::{classify, ProtectionGrade};
+use scm_latency::goal::classify;
 use scm_logic::stats::gate_stats;
 use scm_logic::Netlist;
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
 
 fn main() {
     ablation_odd_a();
@@ -30,15 +35,46 @@ fn main() {
 fn ablation_odd_a() {
     println!("## Ablation 1 — the odd-a rule (8-bit decoder)");
     println!();
-    println!("{:>4} | {:>12} | {:>14} | {:>10} | grade", "a", "paper bound", "err-escape", "zero-lat %");
-    println!("{}", "-".repeat(64));
+    println!(
+        "{:>4} | {:>12} | {:>14} | {:>14} | {:>10} | grade",
+        "a", "paper bound", "err-escape", "empirical", "zero-lat %"
+    );
+    println!("{}", "-".repeat(82));
     let mut nl = Netlist::new();
     let addr = nl.inputs(8);
     let dec = build_multilevel_decoder(&mut nl, &addr, 2);
+    // Empirical companion: a 1K×8 RAM whose row decoder is exactly this
+    // 8-bit structure, campaigned over every row-decoder stuck-at-1 on the
+    // parallel engine. The mapping layer rejects even moduli below the line
+    // count outright (the rule is structural, not advisory), so those rows
+    // print "rejected".
+    let org = RamOrganization::new(1024, 8, 4);
+    let code = MOutOfN::centered(7).expect("7-wide centred code exists");
+    let col_map = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, 4).unwrap();
+    let sa1: Vec<FaultSite> = decoder_fault_universe(8)
+        .into_iter()
+        .filter(|f| f.stuck_one)
+        .map(FaultSite::RowDecoder)
+        .collect();
+    let campaign = CampaignConfig {
+        cycles: 10,
+        trials: 24,
+        seed: 0xA0DD,
+        write_fraction: 0.1,
+    };
+    let engine = CampaignEngine::new(campaign);
     for a in [7u64, 8, 9, 10, 11, 12, 13] {
         let report = analyze_decoder(&dec, MappingKind::ModA { a });
+        let empirical = match CodewordMap::mod_a(code, a, org.rows()) {
+            Ok(row_map) => {
+                let config = RamConfig::new(org, row_map, col_map.clone());
+                let result = engine.run(&config, &sa1);
+                format!("{:>14.4}", result.worst_error_escape())
+            }
+            Err(_) => format!("{:>14}", "rejected"),
+        };
         println!(
-            "{a:>4} | {:>12.4} | {:>14.4} | {:>10.1} | {:?}",
+            "{a:>4} | {:>12.4} | {:>14.4} | {empirical} | {:>10.1} | {:?}",
             report.paper_escape_bound,
             report.worst_error_escape,
             100.0 * report.zero_latency_fraction(),
@@ -46,14 +82,22 @@ fn ablation_odd_a() {
         );
     }
     println!();
-    println!("even moduli are Unprotected: some faults become undetectable.");
+    println!("even moduli are Unprotected: some faults become undetectable — the");
+    println!("mapping constructor refuses them, and the analytical row shows why.");
+    println!("'empirical' is the engine's worst per-fault trial-escape frequency over");
+    println!("all ~320 SA1 row-decoder faults at c = 10 (24 trials/fault); as a max");
+    println!("over the whole universe it rides sampling noise a couple of sigma above");
+    println!("the per-cycle 'err-escape', and collapses onto it as trials grow.");
     println!();
 }
 
 fn ablation_arity() {
     println!("## Ablation 2 — decoder pairing arity (8-bit decoder, a = 9)");
     println!();
-    println!("{:>5} | {:>7} | {:>9} | {:>12} | {:>14}", "arity", "gates", "GEs", "paper bound", "err-escape");
+    println!(
+        "{:>5} | {:>7} | {:>9} | {:>12} | {:>14}",
+        "arity", "gates", "GEs", "paper bound", "err-escape"
+    );
     println!("{}", "-".repeat(60));
     for arity in [2usize, 3, 4, 8] {
         let mut nl = Netlist::new();
@@ -63,7 +107,10 @@ fn ablation_arity() {
         let report = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
         println!(
             "{arity:>5} | {:>7} | {:>9.1} | {:>12.4} | {:>14.4}",
-            stats.gates, stats.gate_equivalents, report.paper_escape_bound, report.worst_error_escape
+            stats.gates,
+            stats.gate_equivalents,
+            report.paper_escape_bound,
+            report.worst_error_escape
         );
     }
     println!();
@@ -84,8 +131,16 @@ fn ablation_completion_fix() {
     let distinct_without: std::collections::HashSet<u64> = (0..128u64)
         .map(|addr| code.word_at((addr % 9) as u128).unwrap())
         .collect();
-    println!("  distinct ROM codewords with fix:    {}/{}", distinct_with.len(), code.count());
-    println!("  distinct ROM codewords without fix: {}/{}", distinct_without.len(), code.count());
+    println!(
+        "  distinct ROM codewords with fix:    {}/{}",
+        distinct_with.len(),
+        code.count()
+    );
+    println!(
+        "  distinct ROM codewords without fix: {}/{}",
+        distinct_without.len(),
+        code.count()
+    );
     println!();
     println!("the fix makes the q-out-of-r checker see its complete codeword set");
     println!("during normal operation (the self-testing requirement); detection");

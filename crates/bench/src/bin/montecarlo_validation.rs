@@ -16,26 +16,56 @@
 //! Stuck-at-0 faults must show **zero** error escapes (the paper's
 //! zero-latency claim); the binary verifies that explicitly.
 //!
+//! Campaigns run on the parallel [`CampaignEngine`]; the binary first
+//! times the identical fault universe single-threaded and at full width
+//! and prints the speedup, then verifies the two runs agreed bit-for-bit
+//! (the engine's determinism contract).
+//!
 //! Run: `cargo run --release -p scm-bench --bin montecarlo_validation`
+//! (set `SCM_THREADS` to pin the parallel width).
 
 use scm_codes::mapping::MappingKind;
 use scm_core::prelude::*;
 use scm_latency::distribution::analyze_decoder;
 use scm_logic::Netlist;
-use scm_memory::campaign::{decoder_fault_universe, run_campaign, CampaignConfig};
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
 use scm_memory::design::RamConfig;
 use scm_memory::fault::FaultSite;
+use std::time::Instant;
+
+fn threads_from_env() -> usize {
+    std::env::var("SCM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
 
 fn main() {
     let c = 10u32;
     let trials = 128u32;
-    println!("Monte-Carlo validation on 1Kx16 (p = 7, s = 3), c = {c}, {trials} trials/fault");
+    let threads = threads_from_env();
+    println!(
+        "Monte-Carlo validation on 1Kx16 (p = 7, s = 3), c = {c}, {trials} trials/fault, \
+         {threads} threads"
+    );
     println!();
     println!(
-        "{:<12} | {:>4} | {:>13} | {:>13} | {:>14} | {:>8} | {:>8}",
-        "code", "a", "paper bound", "analytic e-esc", "empirical e-esc", "sa0-esc", "faults"
+        "{:<12} | {:>4} | {:>13} | {:>13} | {:>14} | {:>8} | {:>8} | {:>9}",
+        "code",
+        "a",
+        "paper bound",
+        "analytic e-esc",
+        "empirical e-esc",
+        "sa0-esc",
+        "faults",
+        "speedup"
     );
-    println!("{}", "-".repeat(92));
+    println!("{}", "-".repeat(104));
 
     for pndc in [1e-2, 1e-5, 1e-9, 1e-15] {
         let design = SelfCheckingRamBuilder::new(1024, 16)
@@ -53,7 +83,7 @@ fn main() {
         let dec = scm_decoder::build_multilevel_decoder(&mut nl, &addr, 2);
         let report = analyze_decoder(&dec, config.row_map().kind());
 
-        // Empirical: every row-decoder fault.
+        // Empirical: every row-decoder fault, on the parallel engine.
         let all = decoder_fault_universe(7);
         let sa1: Vec<FaultSite> = all
             .iter()
@@ -65,12 +95,31 @@ fn main() {
             .filter(|f| !f.stuck_one)
             .map(|&f| FaultSite::RowDecoder(f))
             .collect();
-        let cfg = CampaignConfig { cycles: c as u64, trials, seed: 0xDECAF, write_fraction: 0.1 };
-        let sa1_result = run_campaign(config, &sa1, cfg);
-        let sa0_result = run_campaign(config, &sa0, cfg);
+        let cfg = CampaignConfig {
+            cycles: c as u64,
+            trials,
+            seed: 0xDECAF,
+            write_fraction: 0.1,
+        };
+
+        let serial_start = Instant::now();
+        let sa1_serial = CampaignEngine::new(cfg).threads(1).run(config, &sa1);
+        let serial_time = serial_start.elapsed();
+
+        let parallel_start = Instant::now();
+        let sa1_result = CampaignEngine::new(cfg).threads(threads).run(config, &sa1);
+        let parallel_time = parallel_start.elapsed();
+
+        assert_eq!(
+            sa1_serial.determinism_profile(),
+            sa1_result.determinism_profile(),
+            "engine must be bit-identical across thread counts"
+        );
+        let sa0_result = CampaignEngine::new(cfg).threads(threads).run(config, &sa0);
+        let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
 
         println!(
-            "{:<12} | {:>4} | {:>13.4} | {:>14.4} | {:>15.4} | {:>8.4} | {:>8}",
+            "{:<12} | {:>4} | {:>13.4} | {:>14.4} | {:>15.4} | {:>8.4} | {:>8} | {:>8.2}x",
             design.report().row_code,
             match config.row_map().kind() {
                 MappingKind::ModA { a } => a,
@@ -81,6 +130,7 @@ fn main() {
             sa1_result.worst_error_escape(),
             sa0_result.worst_error_escape(),
             sa1.len() + sa0.len(),
+            speedup,
         );
         assert_eq!(
             sa0_result.worst_error_escape(),
@@ -92,4 +142,6 @@ fn main() {
     println!("reading: 'empirical e-esc' must sit at or below 'paper bound' (within");
     println!("~1/trials noise) and track 'analytic e-esc'; 'sa0-esc' must be exactly 0,");
     println!("confirming the zero-latency claim for stuck-at-0 decoder faults.");
+    println!("'speedup' compares the same campaign at 1 vs {threads} threads; the");
+    println!("profiles are asserted bit-identical before the numbers are printed.");
 }

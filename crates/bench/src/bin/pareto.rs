@@ -18,11 +18,15 @@ fn main() {
 
     println!("# area-vs-latency Pareto sweep, policy = {}", policy.name());
     println!("c,pndc,code,r,a,escape_per_cycle,pct_16x2K,pct_32x4K,pct_64x8K");
-    let cs = [1u32, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 30, 40, 50, 64, 100];
+    let cs = [
+        1u32, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 30, 40, 50, 64, 100,
+    ];
     let pndcs = [1e-2, 1e-5, 1e-9, 1e-12, 1e-15, 1e-20, 1e-30];
     for &pndc in &pndcs {
         for &c in &cs {
-            let Ok(budget) = LatencyBudget::new(c, pndc) else { continue };
+            let Ok(budget) = LatencyBudget::new(c, pndc) else {
+                continue;
+            };
             let Ok(plan) = select_code(budget, policy) else {
                 // Infeasible corner (e.g. c = 1, Pndc = 1e-30): skip.
                 continue;

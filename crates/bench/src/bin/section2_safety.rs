@@ -8,8 +8,14 @@ use scm_latency::safety::SafetyModel;
 fn main() {
     let m = SafetyModel::paper_example();
     println!("Section II safety example (MTBF arithmetic)");
-    println!("  memory fault rate:        {:.1e} faults/hour", m.fault_rate_per_hour);
-    println!("  decoder fault share:      {:.0} %", 100.0 * m.decoder_fault_share);
+    println!(
+        "  memory fault rate:        {:.1e} faults/hour",
+        m.fault_rate_per_hour
+    );
+    println!(
+        "  decoder fault share:      {:.0} %",
+        100.0 * m.decoder_fault_share
+    );
     println!("  scheme escape fraction:   {:.1e}", m.escape_fraction);
     println!();
     println!(
@@ -28,7 +34,10 @@ fn main() {
     println!("sensitivity (decoder share sweep at the same rates):");
     println!("  share |  array-only rate | degradation");
     for share in [0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
-        let m = SafetyModel { decoder_fault_share: share, ..SafetyModel::paper_example() };
+        let m = SafetyModel {
+            decoder_fault_share: share,
+            ..SafetyModel::paper_example()
+        };
         println!(
             "  {share:>5.2} |     {:.3e} | {:>8.0}x",
             m.undetectable_rate_array_only(),

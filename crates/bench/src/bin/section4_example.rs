@@ -10,13 +10,34 @@ fn main() {
     let ex = section4_example();
     println!("Section IV worked example — 1K x 16 RAM, 1-of-8 mux, 3-out-of-5 codes");
     println!();
-    println!("  ROM overhead, printed formula (k = 0.30): {:>6.3} %", ex.rom_percent_formula);
-    println!("  ROM overhead, k = 0.45:                   {:>6.3} %", ex.rom_percent_k045);
-    println!("  ROM overhead, paper quote:                {:>6.3} %", ex.rom_percent_paper);
-    println!("  parity storage bit (1/m):                 {:>6.3} %   (paper: 6.25 %)", ex.parity_bit_percent);
-    println!("  parity checker:                           {:>6.3} %   (paper: 0.15 %)", ex.parity_checker_percent);
-    println!("  total (paper-style ROM figure):           {:>6.3} %   (paper: 8.3 %)", ex.total_percent_paper_style);
-    println!("  total (printed-formula ROM figure):       {:>6.3} %", ex.total_percent_formula);
+    println!(
+        "  ROM overhead, printed formula (k = 0.30): {:>6.3} %",
+        ex.rom_percent_formula
+    );
+    println!(
+        "  ROM overhead, k = 0.45:                   {:>6.3} %",
+        ex.rom_percent_k045
+    );
+    println!(
+        "  ROM overhead, paper quote:                {:>6.3} %",
+        ex.rom_percent_paper
+    );
+    println!(
+        "  parity storage bit (1/m):                 {:>6.3} %   (paper: 6.25 %)",
+        ex.parity_bit_percent
+    );
+    println!(
+        "  parity checker:                           {:>6.3} %   (paper: 0.15 %)",
+        ex.parity_checker_percent
+    );
+    println!(
+        "  total (paper-style ROM figure):           {:>6.3} %   (paper: 8.3 %)",
+        ex.total_percent_paper_style
+    );
+    println!(
+        "  total (printed-formula ROM figure):       {:>6.3} %",
+        ex.total_percent_formula
+    );
     println!();
     println!("note: the printed formula with the printed k = 0.3 yields 1.245 %, not the");
     println!("quoted 1.9 % — k ≈ 0.45 reproduces the quote. Recorded in EXPERIMENTS.md.");

@@ -49,7 +49,11 @@ impl Checker for BergerChecker {
     }
 
     fn build_netlist(&self, netlist: &mut Netlist, inputs: &[SignalId]) -> (SignalId, SignalId) {
-        assert_eq!(inputs.len(), self.input_width(), "berger checker width mismatch");
+        assert_eq!(
+            inputs.len(),
+            self.input_width(),
+            "berger checker width mismatch"
+        );
         let k = self.code.info_bits() as usize;
         let (info, check) = inputs.split_at(k);
 
@@ -111,7 +115,10 @@ mod tests {
             nl.expose(rails.1);
             for word in 0u64..(1 << code.width()) {
                 let out = nl.eval_word(word, None).outputs();
-                let pair = TwoRail { t: out[0], f: out[1] };
+                let pair = TwoRail {
+                    t: out[0],
+                    f: out[1],
+                };
                 assert_eq!(
                     pair.is_valid(),
                     code.is_codeword(word),

@@ -32,7 +32,10 @@ pub fn half_adder(netlist: &mut Netlist, a: SignalId, b: SignalId) -> (SignalId,
 /// # Panics
 /// Panics if either operand is empty.
 pub fn ripple_add(netlist: &mut Netlist, a: &[SignalId], b: &[SignalId]) -> Vec<SignalId> {
-    assert!(!a.is_empty() && !b.is_empty(), "ripple_add needs nonempty operands");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "ripple_add needs nonempty operands"
+    );
     let width = a.len().max(b.len());
     let mut out = Vec::with_capacity(width + 1);
     let mut carry: Option<SignalId> = None;
@@ -125,7 +128,11 @@ mod tests {
         let mut nl = Netlist::new();
         let ins = nl.inputs(18); // widest code in the paper's tables
         let outs = popcount_network(&mut nl, &ins);
-        assert!(outs.len() <= 5, "popcount(18) needs ≤ 5 bits, got {}", outs.len());
+        assert!(
+            outs.len() <= 5,
+            "popcount(18) needs ≤ 5 bits, got {}",
+            outs.len()
+        );
     }
 
     #[test]

@@ -74,10 +74,16 @@ pub fn code_disjoint_violation<F>(
 where
     F: Fn(u64) -> bool,
 {
-    assert!(width <= 24, "exhaustive check over {width} bits is too large");
+    assert!(
+        width <= 24,
+        "exhaustive check over {width} bits is too large"
+    );
     for word in 0..(1u64 << width) {
         let eval = netlist.eval_word(word, None);
-        let pair = TwoRail { t: eval.value(rails.0), f: eval.value(rails.1) };
+        let pair = TwoRail {
+            t: eval.value(rails.0),
+            f: eval.value(rails.1),
+        };
         if pair.is_valid() != is_codeword(word) {
             return Some(word);
         }

@@ -42,7 +42,7 @@ impl MOutOfNChecker {
     }
 
     fn group_a_size(&self) -> usize {
-        (self.code.width() + 1) / 2
+        self.code.width().div_ceil(2)
     }
 }
 
@@ -77,14 +77,21 @@ impl Checker for MOutOfNChecker {
         let s_a = (word & mask_a).count_ones();
         let s_b = ((word >> a_size) & ((1u64 << (r - a_size)) - 1)).count_ones();
         if s_a + s_b == self.code.weight() {
-            TwoRail { t: s_a % 2 == 0, f: s_a % 2 == 1 }
+            TwoRail {
+                t: s_a.is_multiple_of(2),
+                f: s_a % 2 == 1,
+            }
         } else {
             TwoRail { t: false, f: false }
         }
     }
 
     fn build_netlist(&self, netlist: &mut Netlist, inputs: &[SignalId]) -> (SignalId, SignalId) {
-        assert_eq!(inputs.len(), self.input_width(), "m-out-of-n checker width mismatch");
+        assert_eq!(
+            inputs.len(),
+            self.input_width(),
+            "m-out-of-n checker width mismatch"
+        );
         let q = self.code.weight() as usize;
         let a_size = self.group_a_size();
         let (group_a, group_b) = inputs.split_at(a_size);

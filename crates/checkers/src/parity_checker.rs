@@ -36,7 +36,7 @@ impl ParityChecker {
     fn split_point(&self) -> usize {
         // Halve the *total* width (data + check); both halves non-empty for
         // data_width >= 1.
-        (self.code.data_width() + 1) / 2
+        self.code.data_width().div_ceil(2)
     }
 }
 
@@ -53,14 +53,24 @@ impl Checker for ParityChecker {
         let hi_par = ((word >> split) & ((1u64 << (w - split)) - 1)).count_ones() % 2 == 1;
         match self.code.sense() {
             // Odd code: halves are complementary on codewords.
-            ParitySense::Odd => TwoRail { t: lo_par, f: hi_par },
+            ParitySense::Odd => TwoRail {
+                t: lo_par,
+                f: hi_par,
+            },
             // Even code: halves agree on codewords; invert one rail.
-            ParitySense::Even => TwoRail { t: lo_par, f: !hi_par },
+            ParitySense::Even => TwoRail {
+                t: lo_par,
+                f: !hi_par,
+            },
         }
     }
 
     fn build_netlist(&self, netlist: &mut Netlist, inputs: &[SignalId]) -> (SignalId, SignalId) {
-        assert_eq!(inputs.len(), self.input_width(), "parity checker width mismatch");
+        assert_eq!(
+            inputs.len(),
+            self.input_width(),
+            "parity checker width mismatch"
+        );
         let split = self.split_point();
         let t = netlist.xor_tree(&inputs[..split]);
         let hi = netlist.xor_tree(&inputs[split..]);
@@ -86,7 +96,11 @@ mod tests {
     #[test]
     fn behavioral_code_disjoint_both_senses() {
         for sense_even in [false, true] {
-            let code = if sense_even { ParityCode::even(8) } else { ParityCode::odd(8) };
+            let code = if sense_even {
+                ParityCode::even(8)
+            } else {
+                ParityCode::odd(8)
+            };
             let chk = ParityChecker::new(code);
             for word in 0u64..(1 << 9) {
                 assert_eq!(

@@ -59,7 +59,10 @@ where
         let mut detected = false;
         for &w in &words {
             let eval = netlist.eval_word(w, Some(*fault));
-            let pair = TwoRail { t: eval.value(rails.0), f: eval.value(rails.1) };
+            let pair = TwoRail {
+                t: eval.value(rails.0),
+                f: eval.value(rails.1),
+            };
             if pair.is_error() {
                 detected = true;
                 break;
@@ -71,7 +74,11 @@ where
     }
     let total = universe.len();
     let tested = total - untestable.len();
-    SelfTestReport { total, tested, untestable }
+    SelfTestReport {
+        total,
+        tested,
+        untestable,
+    }
 }
 
 #[cfg(test)]
@@ -111,11 +118,11 @@ mod tests {
         let a = nl.input();
         let na = nl.inv(a);
         let report = self_testing_report(&nl, (a, na), [0u64, 1]);
-        let untestable_on_a: Vec<_> = report
-            .untestable
-            .iter()
-            .filter(|f| f.signal == a)
-            .collect();
-        assert_eq!(untestable_on_a.len(), 2, "faults on the shared cone must be untestable");
+        let untestable_on_a: Vec<_> = report.untestable.iter().filter(|f| f.signal == a).collect();
+        assert_eq!(
+            untestable_on_a.len(),
+            2,
+            "faults on the shared cone must be untestable"
+        );
     }
 }

@@ -92,7 +92,10 @@ mod tests {
         let (nl, _, _) = tree(3);
         for raw in 0u64..(1 << 6) {
             let pairs: Vec<TwoRail> = (0..3)
-                .map(|k| TwoRail { t: raw >> (2 * k) & 1 == 1, f: raw >> (2 * k + 1) & 1 == 1 })
+                .map(|k| TwoRail {
+                    t: raw >> (2 * k) & 1 == 1,
+                    f: raw >> (2 * k + 1) & 1 == 1,
+                })
                 .collect();
             let expect = two_rail_tree_behavioral(&pairs);
             let out = nl.eval_word(raw, None).outputs();
@@ -117,7 +120,10 @@ mod tests {
             for &w in &codewords {
                 let eval = nl.eval_word(w, Some(fault));
                 let out = eval.outputs();
-                let pair = TwoRail { t: out[0], f: out[1] };
+                let pair = TwoRail {
+                    t: out[0],
+                    f: out[1],
+                };
                 if pair.is_error() {
                     detected = true;
                     break;

@@ -38,7 +38,10 @@ impl BergerCode {
             return Err(CodeError::InvalidBergerWidth { info_bits });
         }
         let check_bits = 32 - (info_bits).leading_zeros(); // ⌈log2(k+1)⌉
-        Ok(BergerCode { info_bits, check_bits })
+        Ok(BergerCode {
+            info_bits,
+            check_bits,
+        })
     }
 
     /// Number of information bits.
@@ -159,11 +162,17 @@ mod tests {
             for subset in 1u64..(1 << width) {
                 let ones_only = enc | subset; // 0→1 flips
                 if ones_only != enc {
-                    assert!(!c.is_codeword(ones_only), "0→1 escape info={info:b} subset={subset:b}");
+                    assert!(
+                        !c.is_codeword(ones_only),
+                        "0→1 escape info={info:b} subset={subset:b}"
+                    );
                 }
                 let zeros_only = enc & !subset; // 1→0 flips
                 if zeros_only != enc {
-                    assert!(!c.is_codeword(zeros_only), "1→0 escape info={info:b} subset={subset:b}");
+                    assert!(
+                        !c.is_codeword(zeros_only),
+                        "1→0 escape info={info:b} subset={subset:b}"
+                    );
                 }
             }
         }

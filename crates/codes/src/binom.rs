@@ -158,7 +158,7 @@ mod tests {
         assert_eq!(smallest_central_width(33).unwrap().0, 7); // 4-out-of-7
         assert_eq!(smallest_central_width(101).unwrap().0, 9); // 5-out-of-9
         assert_eq!(smallest_central_width(1001).unwrap().0, 13); // 7-out-of-13
-        // Table 1, c = 2: a = 31623 → 9-out-of-18.
+                                                                 // Table 1, c = 2: a = 31623 → 9-out-of-18.
         assert_eq!(smallest_central_width(31623).unwrap().0, 18);
     }
 

@@ -129,19 +129,28 @@ impl fmt::Display for CodeError {
                 write!(f, "invalid {weight}-out-of-{width} code parameters")
             }
             CodeError::RankOutOfRange { rank, count } => {
-                write!(f, "codeword rank {rank} out of range for code with {count} codewords")
+                write!(
+                    f,
+                    "codeword rank {rank} out of range for code with {count} codewords"
+                )
             }
             CodeError::InvalidBudget { cycles, pndc } => {
                 write!(f, "invalid latency budget: c = {cycles}, Pndc = {pndc}")
             }
             CodeError::InvalidModulus { a } => {
-                write!(f, "invalid codeword-map modulus a = {a} (must be 2 or odd ≥ 3)")
+                write!(
+                    f,
+                    "invalid codeword-map modulus a = {a} (must be 2 or odd ≥ 3)"
+                )
             }
             CodeError::CodeTooLarge { required } => {
                 write!(f, "no q-out-of-r code with r ≤ 64 has {required} codewords")
             }
             CodeError::InvalidBergerWidth { info_bits } => {
-                write!(f, "Berger code information width {info_bits} outside supported range 1..=57")
+                write!(
+                    f,
+                    "Berger code information width {info_bits} outside supported range 1..=57"
+                )
             }
         }
     }
@@ -159,7 +168,11 @@ impl Error for CodeError {}
 /// ```
 pub fn weight_of(word: u64, width: usize) -> u32 {
     debug_assert!(width <= 64);
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     (word & mask).count_ones()
 }
 
@@ -178,11 +191,19 @@ mod tests {
     #[test]
     fn errors_display_is_nonempty() {
         let samples: Vec<CodeError> = vec![
-            CodeError::InvalidMOutOfN { weight: 5, width: 3 },
+            CodeError::InvalidMOutOfN {
+                weight: 5,
+                width: 3,
+            },
             CodeError::RankOutOfRange { rank: 10, count: 5 },
-            CodeError::InvalidBudget { cycles: 0, pndc: 2.0 },
+            CodeError::InvalidBudget {
+                cycles: 0,
+                pndc: 2.0,
+            },
             CodeError::InvalidModulus { a: 4 },
-            CodeError::CodeTooLarge { required: u128::MAX },
+            CodeError::CodeTooLarge {
+                required: u128::MAX,
+            },
             CodeError::InvalidBergerWidth { info_bits: 99 },
         ];
         for e in samples {

@@ -99,12 +99,15 @@ impl CodewordMap {
     /// * [`CodeError::RankOutOfRange`] if `a` exceeds the code's codeword
     ///   count.
     pub fn mod_a(code: MOutOfN, a: u64, num_lines: u64) -> Result<Self, CodeError> {
-        if a < 2 || a == 2 || (a % 2 == 0 && a < num_lines) {
+        if a <= 2 || (a.is_multiple_of(2) && a < num_lines) {
             return Err(CodeError::InvalidModulus { a });
         }
         let count = code.count();
         if (a as u128) > count {
-            return Err(CodeError::RankOutOfRange { rank: a as u128, count });
+            return Err(CodeError::RankOutOfRange {
+                rank: a as u128,
+                count,
+            });
         }
         // Completion fix: if exactly the top codeword-space is unused and the
         // address space has collisions anyway, re-map address `a` (a duplicate
@@ -116,7 +119,12 @@ impl CodewordMap {
         } else {
             None
         };
-        Ok(CodewordMap { kind: MappingKind::ModA { a }, code: MapCode::MOutOfN(code), num_lines, remapped })
+        Ok(CodewordMap {
+            kind: MappingKind::ModA { a },
+            code: MapCode::MOutOfN(code),
+            num_lines,
+            remapped,
+        })
     }
 
     /// Build the 1-out-of-2 decoder-input-parity mapping.
@@ -136,7 +144,12 @@ impl CodewordMap {
     /// [`CodeError::InvalidBergerWidth`] for unsupported address widths.
     pub fn berger(address_bits: u32, num_lines: u64) -> Result<Self, CodeError> {
         let code = BergerCode::new(address_bits)?;
-        Ok(CodewordMap { kind: MappingKind::Berger, code: MapCode::Berger(code), num_lines, remapped: None })
+        Ok(CodewordMap {
+            kind: MappingKind::Berger,
+            code: MapCode::Berger(code),
+            num_lines,
+            remapped: None,
+        })
     }
 
     /// Zero-latency `q`-out-of-`r` identity mapping (`a = num_lines`): every
@@ -146,8 +159,11 @@ impl CodewordMap {
     /// # Errors
     /// [`CodeError::CodeTooLarge`] if no `r ≤ 64` suffices.
     pub fn identity_mofn(num_lines: u64) -> Result<Self, CodeError> {
-        let (r, _count) = crate::binom::smallest_central_width(num_lines as u128)
-            .ok_or(CodeError::CodeTooLarge { required: num_lines as u128 })?;
+        let (r, _count) = crate::binom::smallest_central_width(num_lines as u128).ok_or(
+            CodeError::CodeTooLarge {
+                required: num_lines as u128,
+            },
+        )?;
         let code = MOutOfN::centered(r)?;
         Ok(CodewordMap {
             kind: MappingKind::ModA { a: num_lines },
@@ -199,7 +215,11 @@ impl CodewordMap {
     /// # Panics
     /// Panics if `address >= num_lines`.
     pub fn rank_for(&self, address: u64) -> u128 {
-        assert!(address < self.num_lines, "address {address} out of {} lines", self.num_lines);
+        assert!(
+            address < self.num_lines,
+            "address {address} out of {} lines",
+            self.num_lines
+        );
         if let Some((remap_addr, rank)) = self.remapped {
             if address == remap_addr {
                 return rank;
@@ -294,7 +314,11 @@ mod tests {
                 assert_eq!(map.rank_for(addr), (addr % 9) as u128, "addr {addr}");
             }
         }
-        assert_eq!(map.rank_for(9), 9, "completion fix must use the spare codeword");
+        assert_eq!(
+            map.rank_for(9),
+            9,
+            "completion fix must use the spare codeword"
+        );
         assert_eq!(map.distinct_codewords(), 10);
     }
 

@@ -124,7 +124,11 @@ impl MOutOfN {
     /// the centred codes with `r ≤ 64` used by the scheme would be fine, but
     /// guarded anyway).
     pub fn iter(&self) -> CodewordIter {
-        CodewordIter { code: *self, next_rank: 0, count: self.count() }
+        CodewordIter {
+            code: *self,
+            next_rank: 0,
+            count: self.count(),
+        }
     }
 }
 
@@ -239,7 +243,10 @@ mod tests {
         let c = MOutOfN::new(3, 5).unwrap();
         assert_eq!(
             c.word_at(10),
-            Err(CodeError::RankOutOfRange { rank: 10, count: 10 })
+            Err(CodeError::RankOutOfRange {
+                rank: 10,
+                count: 10
+            })
         );
     }
 

@@ -45,8 +45,14 @@ impl ParityCode {
     /// Panics if `width == 0` or `width > 63` (the check bit must also fit
     /// in the `u64` transport used throughout this crate).
     pub fn even(width: usize) -> Self {
-        assert!(width >= 1 && width <= 63, "parity width {width} out of 1..=63");
-        ParityCode { width, sense: ParitySense::Even }
+        assert!(
+            (1..=63).contains(&width),
+            "parity width {width} out of 1..=63"
+        );
+        ParityCode {
+            width,
+            sense: ParitySense::Even,
+        }
     }
 
     /// Odd-parity code over `width` data bits.
@@ -54,8 +60,14 @@ impl ParityCode {
     /// # Panics
     /// Panics if `width == 0` or `width > 63`.
     pub fn odd(width: usize) -> Self {
-        assert!(width >= 1 && width <= 63, "parity width {width} out of 1..=63");
-        ParityCode { width, sense: ParitySense::Odd }
+        assert!(
+            (1..=63).contains(&width),
+            "parity width {width} out of 1..=63"
+        );
+        ParityCode {
+            width,
+            sense: ParitySense::Odd,
+        }
     }
 
     /// Data width (excluding the check bit).
@@ -72,8 +84,8 @@ impl ParityCode {
     pub fn check_bit(&self, data: u64) -> bool {
         let odd = parity_bit_of(data, self.width);
         match self.sense {
-            ParitySense::Even => odd,         // make total even
-            ParitySense::Odd => !odd,         // make total odd
+            ParitySense::Even => odd, // make total even
+            ParitySense::Odd => !odd, // make total odd
         }
     }
 
@@ -144,7 +156,10 @@ mod tests {
             let enc = p.encode(data);
             for bit in 0..17 {
                 let corrupted = enc ^ (1u64 << bit);
-                assert!(!p.is_codeword(corrupted), "flip {bit} of {data:#x} undetected");
+                assert!(
+                    !p.is_codeword(corrupted),
+                    "flip {bit} of {data:#x} undetected"
+                );
             }
         }
     }

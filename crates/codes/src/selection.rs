@@ -295,7 +295,7 @@ fn minimal_modulus(budget: LatencyBudget, policy: SelectionPolicy) -> Option<u64
             for i in 2u32..=120 {
                 let ln_escape = (1.0 - i as f64) * std::f64::consts::LN_2;
                 if (budget.cycles() as f64) * ln_escape <= budget.pndc().ln() + LN_TOL {
-                    if i - 1 >= 64 {
+                    if i > 64 {
                         return None; // modulus would overflow u64
                     }
                     return Some(1u64 << (i - 1));
@@ -328,8 +328,9 @@ fn minimal_modulus(budget: LatencyBudget, policy: SelectionPolicy) -> Option<u64
 /// # Ok::<(), scm_codes::CodeError>(())
 /// ```
 pub fn select_code(budget: LatencyBudget, policy: SelectionPolicy) -> Result<CodePlan, CodeError> {
-    let a_search = minimal_modulus(budget, policy)
-        .ok_or(CodeError::CodeTooLarge { required: u128::MAX })?;
+    let a_search = minimal_modulus(budget, policy).ok_or(CodeError::CodeTooLarge {
+        required: u128::MAX,
+    })?;
 
     if a_search <= 2 {
         return Ok(CodePlan {
@@ -343,14 +344,23 @@ pub fn select_code(budget: LatencyBudget, policy: SelectionPolicy) -> Result<Cod
 
     // Odd adjustment ("if the value of a found as above is even, this value
     // is increased by 1").
-    let a_required = if a_search % 2 == 0 { a_search + 1 } else { a_search };
+    let a_required = if a_search % 2 == 0 {
+        a_search + 1
+    } else {
+        a_search
+    };
 
-    let (r, count) = smallest_central_width(a_required as u128)
-        .ok_or(CodeError::CodeTooLarge { required: a_required as u128 })?;
+    let (r, count) = smallest_central_width(a_required as u128).ok_or(CodeError::CodeTooLarge {
+        required: a_required as u128,
+    })?;
     let code = MOutOfN::centered(r)?;
     // Final modulus: C(q,r) if odd, else C(q,r) − 1. Oddness of a_required
     // guarantees the result still covers it.
-    let a_final = if count % 2 == 1 { count as u64 } else { (count - 1) as u64 };
+    let a_final = if count % 2 == 1 {
+        count as u64
+    } else {
+        (count - 1) as u64
+    };
     debug_assert!(a_final >= a_required);
 
     Ok(CodePlan {
@@ -368,8 +378,9 @@ pub fn select_code(budget: LatencyBudget, policy: SelectionPolicy) -> Result<Cod
 /// # Errors
 /// [`CodeError::CodeTooLarge`] if `num_lines > C(32, 64)`.
 pub fn zero_latency_code(num_lines: u64) -> Result<MOutOfN, CodeError> {
-    let (r, _count) = smallest_central_width(num_lines as u128)
-        .ok_or(CodeError::CodeTooLarge { required: num_lines as u128 })?;
+    let (r, _count) = smallest_central_width(num_lines as u128).ok_or(CodeError::CodeTooLarge {
+        required: num_lines as u128,
+    })?;
     MOutOfN::centered(r)
 }
 
@@ -445,10 +456,10 @@ mod tests {
         // rows; c = 5 and c = 30 admit cheaper codes (see DESIGN.md §5).
         let rows: [(u32, &str); 6] = [
             (2, "9-out-of-18"),
-            (5, "4-out-of-8"),   // paper: 5-out-of-9 (over-provisioned)
+            (5, "4-out-of-8"), // paper: 5-out-of-9 (over-provisioned)
             (10, "3-out-of-5"),
             (20, "2-out-of-4"),
-            (30, "1-out-of-2"),  // paper: 2-out-of-3 (over-provisioned)
+            (30, "1-out-of-2"), // paper: 2-out-of-3 (over-provisioned)
             (40, "1-out-of-2"),
         ];
         for (c, name) in rows {

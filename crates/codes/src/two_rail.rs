@@ -80,7 +80,10 @@ impl TwoRail {
 
     /// Parse from a 2-bit word (bit 0 = `t`, bit 1 = `f`).
     pub fn from_word(word: u64) -> Self {
-        TwoRail { t: word & 1 == 1, f: word & 2 == 2 }
+        TwoRail {
+            t: word & 1 == 1,
+            f: word & 2 == 2,
+        }
     }
 }
 
@@ -111,8 +114,8 @@ mod tests {
     fn encode_is_valid() {
         assert!(TwoRail::encode(true).is_valid());
         assert!(TwoRail::encode(false).is_valid());
-        assert_eq!(TwoRail::encode(true).value(), true);
-        assert_eq!(TwoRail::encode(false).value(), false);
+        assert!(TwoRail::encode(true).value());
+        assert!(!TwoRail::encode(false).value());
     }
 
     #[test]

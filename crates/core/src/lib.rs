@@ -56,7 +56,10 @@ use scm_codes::selection::{select_code, CodePlan, LatencyBudget, SelectionPolicy
 use scm_codes::{CodeError, CodewordMap, MOutOfN};
 use scm_latency::distribution::{analyze_decoder, DecoderLatencyReport};
 use scm_logic::Netlist;
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig, CampaignResult};
 use scm_memory::design::{RamConfig, SelfCheckingRam};
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
 
 /// Errors from [`SelfCheckingRamBuilder::build`].
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +77,10 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Code(e) => write!(f, "code selection failed: {e}"),
             BuildError::MissingRequirement => {
-                write!(f, "no latency budget, explicit code, or zero-latency request supplied")
+                write!(
+                    f,
+                    "no latency budget, explicit code, or zero-latency request supplied"
+                )
             }
             BuildError::Geometry(msg) => write!(f, "invalid geometry: {msg}"),
         }
@@ -228,7 +234,11 @@ impl SelfCheckingRamBuilder {
         let col_map = self.map_for(org.mux_factor() as u64, plan.as_ref())?;
         let config = RamConfig::new(org, row_map, col_map);
         let report = DesignReport::compute(&config, plan.as_ref(), &self.tech);
-        Ok(Design { config, plan, report })
+        Ok(Design {
+            config,
+            plan,
+            report,
+        })
     }
 }
 
@@ -260,6 +270,32 @@ impl Design {
     /// Instantiate a simulatable RAM.
     pub fn instantiate(&self) -> SelfCheckingRam {
         SelfCheckingRam::new(self.config.clone())
+    }
+
+    /// The design's full decoder fault universe (both decoders, both
+    /// polarities) — the standard campaign target. A 1-way mux has no
+    /// column decoder, so no column faults exist for it.
+    pub fn decoder_faults(&self) -> Vec<FaultSite> {
+        let org = self.config.org();
+        let col_faults = if org.col_bits() == 0 {
+            Vec::new()
+        } else {
+            decoder_fault_universe(org.col_bits())
+        };
+        decoder_fault_universe(org.row_bits())
+            .into_iter()
+            .map(FaultSite::RowDecoder)
+            .chain(col_faults.into_iter().map(FaultSite::ColDecoder))
+            .collect()
+    }
+
+    /// Run a Monte-Carlo fault-injection campaign against this design on
+    /// the parallel [`CampaignEngine`].
+    ///
+    /// Results are bit-identical at every thread count; see
+    /// `scm_memory::engine` for the determinism contract.
+    pub fn run_campaign(&self, faults: &[FaultSite], campaign: CampaignConfig) -> CampaignResult {
+        CampaignEngine::new(campaign).run(&self.config, faults)
     }
 }
 
@@ -358,8 +394,16 @@ impl fmt::Display for DesignReport {
             self.org.cols(),
             self.org.mux_factor()
         )?;
-        writeln!(f, "  row decoder:    {} (r = {})", self.row_code, self.row_r)?;
-        writeln!(f, "  column decoder: {} (r = {})", self.col_code, self.col_r)?;
+        writeln!(
+            f,
+            "  row decoder:    {} (r = {})",
+            self.row_code, self.row_r
+        )?;
+        writeln!(
+            f,
+            "  column decoder: {} (r = {})",
+            self.col_code, self.col_r
+        )?;
         writeln!(
             f,
             "  worst per-cycle escape bound: row {:.4e}, col {:.4e}",
@@ -483,14 +527,67 @@ mod tests {
             .build()
             .unwrap();
         assert!(
-            tight.report().decoder_checking_percent()
-                > loose.report().decoder_checking_percent()
+            tight.report().decoder_checking_percent() > loose.report().decoder_checking_percent()
         );
         // And buys a smaller escape bound.
         assert!(
             tight.report().row_latency.paper_escape_bound
                 < loose.report().row_latency.paper_escape_bound
         );
+    }
+
+    #[test]
+    fn design_runs_parallel_campaign() {
+        use scm_memory::campaign::CampaignConfig;
+        let design = SelfCheckingRamBuilder::new(256, 8)
+            .mux_factor(4)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let faults = design.decoder_faults();
+        assert!(!faults.is_empty());
+        let sample = &faults[..8.min(faults.len())];
+        let result = design.run_campaign(
+            sample,
+            CampaignConfig {
+                cycles: 10,
+                trials: 4,
+                seed: 1,
+                write_fraction: 0.1,
+            },
+        );
+        assert_eq!(result.per_fault.len(), sample.len());
+        assert!(result.per_fault.iter().all(|f| f.trials == 4));
+    }
+
+    #[test]
+    fn one_way_mux_campaign_has_no_phantom_column_faults() {
+        use scm_memory::campaign::CampaignConfig;
+        use scm_memory::fault::FaultSite;
+        let design = SelfCheckingRamBuilder::new(256, 8)
+            .mux_factor(1)
+            .latency_budget(10, 1e-9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let faults = design.decoder_faults();
+        assert!(
+            faults.iter().all(|f| matches!(f, FaultSite::RowDecoder(_))),
+            "a 1-way mux has no column decoder to fault"
+        );
+        // And the campaign over the whole universe must run, not panic on
+        // phantom column lines.
+        let result = design.run_campaign(
+            &faults,
+            CampaignConfig {
+                cycles: 5,
+                trials: 2,
+                seed: 13,
+                write_fraction: 0.1,
+            },
+        );
+        assert_eq!(result.per_fault.len(), faults.len());
     }
 
     #[test]

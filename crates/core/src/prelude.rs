@@ -14,6 +14,9 @@ pub use crate::{BuildError, Design, DesignReport, SelfCheckingRamBuilder};
 pub use scm_area::{RamOrganization, TechnologyParams};
 pub use scm_codes::selection::{LatencyBudget, SelectionPolicy};
 pub use scm_codes::{CodewordMap, MOutOfN};
+pub use scm_memory::backend::{BehavioralBackend, FaultSimBackend, GateLevelBackend};
+pub use scm_memory::campaign::{CampaignConfig, CampaignResult};
 pub use scm_memory::design::{ReadOutcome, SelfCheckingRam, Verdict};
+pub use scm_memory::engine::CampaignEngine;
 pub use scm_memory::fault::FaultSite;
 pub use scm_memory::workload::{AddressPattern, Op, Workload};

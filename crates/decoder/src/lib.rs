@@ -164,7 +164,10 @@ pub fn build_multilevel_decoder(
 ) -> DecoderStructure {
     let n = address.len() as u32;
     assert!(n >= 1, "decoder needs at least one address bit");
-    assert!(n <= 24, "decoder with {n} address bits is unreasonably large");
+    assert!(
+        n <= 24,
+        "decoder with {n} address bits is unreasonably large"
+    );
     assert!(arity >= 2, "pairing arity must be at least 2");
 
     let mut blocks: Vec<DecodingBlock> = Vec::new();
@@ -243,7 +246,13 @@ pub fn build_multilevel_decoder(
         blocks[current[0].0].outputs.clone()
     };
 
-    DecoderStructure { n, inputs: address.to_vec(), outputs, blocks, flat: false }
+    DecoderStructure {
+        n,
+        inputs: address.to_vec(),
+        outputs,
+        blocks,
+        flat: false,
+    }
 }
 
 /// Build the flat single-level decoder: inverters plus one `n`-input AND
@@ -254,7 +263,10 @@ pub fn build_multilevel_decoder(
 pub fn build_single_level_decoder(netlist: &mut Netlist, address: &[SignalId]) -> DecoderStructure {
     let n = address.len() as u32;
     assert!(n >= 1, "decoder needs at least one address bit");
-    assert!(n <= 24, "decoder with {n} address bits is unreasonably large");
+    assert!(
+        n <= 24,
+        "decoder with {n} address bits is unreasonably large"
+    );
 
     let mut blocks: Vec<DecodingBlock> = Vec::new();
     for (i, &a) in address.iter().enumerate() {
@@ -288,7 +300,13 @@ pub fn build_single_level_decoder(netlist: &mut Netlist, address: &[SignalId]) -
         children,
     });
 
-    DecoderStructure { n, inputs: address.to_vec(), outputs, blocks, flat: true }
+    DecoderStructure {
+        n,
+        inputs: address.to_vec(),
+        outputs,
+        blocks,
+        flat: true,
+    }
 }
 
 #[cfg(test)]
@@ -376,8 +394,7 @@ mod tests {
         let last = dec.last_block();
         assert_eq!(last.bits(), 5);
         assert_eq!(last.num_outputs(), 32);
-        let child_bits: Vec<u32> =
-            last.children.iter().map(|&c| dec.block(c).bits()).collect();
+        let child_bits: Vec<u32> = last.children.iter().map(|&c| dec.block(c).bits()).collect();
         assert_eq!(child_bits, vec![4, 1]);
     }
 

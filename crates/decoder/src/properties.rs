@@ -22,11 +22,7 @@ pub fn check_property_a(
     for addr in addresses {
         let eval = netlist.eval_word(addr, None);
         for (bidx, block) in decoder.blocks().iter().enumerate() {
-            let active = block
-                .outputs
-                .iter()
-                .filter(|&&s| eval.value(s))
-                .count();
+            let active = block.outputs.iter().filter(|&&s| eval.value(s)).count();
             if active != 1 {
                 return Some((addr, bidx, active));
             }
@@ -44,10 +40,7 @@ pub fn property_a_holds(netlist: &Netlist, decoder: &DecoderStructure) -> bool {
 /// checking that, on every address where the owning block goes all-zero,
 /// the decoder lines are all zero too. Returns the first violation as
 /// `(fault, address)`.
-pub fn check_property_b(
-    netlist: &Netlist,
-    decoder: &DecoderStructure,
-) -> Option<(Fault, u64)> {
+pub fn check_property_b(netlist: &Netlist, decoder: &DecoderStructure) -> Option<(Fault, u64)> {
     for block in decoder.blocks() {
         for &sig in &block.outputs {
             let fault = Fault::stuck_at_0(sig);
@@ -97,7 +90,11 @@ mod tests {
             let mut nl = Netlist::new();
             let addr = nl.inputs(n as usize);
             let dec = build_multilevel_decoder(&mut nl, &addr, 2);
-            assert_eq!(check_property_b(&nl, &dec), None, "property b fails for n={n}");
+            assert_eq!(
+                check_property_b(&nl, &dec),
+                None,
+                "property b fails for n={n}"
+            );
         }
     }
 

@@ -149,7 +149,11 @@ pub fn analyze_decoder(decoder: &DecoderStructure, kind: MappingKind) -> Decoder
         zero_latency_sites: zero,
         paper_escape_bound: paper_bound,
         worst_error_escape: worst_cond,
-        mean_escape: if sites.is_empty() { 0.0 } else { sum / sites.len() as f64 },
+        mean_escape: if sites.is_empty() {
+            0.0
+        } else {
+            sum / sites.len() as f64
+        },
         worst_expected_cycles: worst_expected,
         per_block,
     }
@@ -179,7 +183,11 @@ mod tests {
         assert!(report.paper_bound_after(10) <= 1e-9);
         // The exact conditional worst case is below the paper bound.
         assert!(report.worst_error_escape <= report.paper_escape_bound + 1e-12);
-        assert!(report.worst_error_escape > 0.10, "got {}", report.worst_error_escape);
+        assert!(
+            report.worst_error_escape > 0.10,
+            "got {}",
+            report.worst_error_escape
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ use scm_decoder::DecoderFaultSite;
 /// Panics if `m1 >= 2^bits`, `bits == 0`… `bits = 0` is impossible for real
 /// blocks; `bits ≤ 63` is required.
 pub fn collision_count(kind: MappingKind, bits: u32, offset: u32, m1: u64) -> u64 {
-    assert!(bits >= 1 && bits <= 63, "block bit count {bits} out of range");
+    assert!(
+        (1..=63).contains(&bits),
+        "block bit count {bits} out of range"
+    );
     let span = 1u64 << bits;
     assert!(m1 < span, "m1 = {m1} outside the block's {span} values");
     match kind {
@@ -151,7 +154,10 @@ mod tests {
         // a = 8: for offsets ≥ 3 every field value collides — detection is
         // impossible. This is the paper's argument for odd a.
         for offset in 3..8u32 {
-            assert_eq!(collision_count(MappingKind::ModA { a: 8 }, 4, offset, 5), 16);
+            assert_eq!(
+                collision_count(MappingKind::ModA { a: 8 }, 4, offset, 5),
+                16
+            );
         }
         // At offset 0 the mapping still works.
         assert_eq!(collision_count(MappingKind::ModA { a: 8 }, 4, 0, 5), 2);

@@ -55,8 +55,17 @@ pub fn assess(report: &DecoderLatencyReport, cycles: u32, required_pndc: f64) ->
     let achieved = report.paper_bound_after(cycles);
     let grade = classify(report);
     let meets = grade != ProtectionGrade::Unprotected && achieved <= required_pndc;
-    let margin = if achieved == 0.0 { f64::INFINITY } else { required_pndc / achieved };
-    GoalAssessment { grade, achieved_pndc: achieved, meets, margin }
+    let margin = if achieved == 0.0 {
+        f64::INFINITY
+    } else {
+        required_pndc / achieved
+    };
+    GoalAssessment {
+        grade,
+        achieved_pndc: achieved,
+        meets,
+        margin,
+    }
 }
 
 #[cfg(test)]

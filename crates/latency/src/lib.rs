@@ -24,6 +24,6 @@ pub mod goal;
 pub mod safety;
 
 pub use distribution::{analyze_decoder, BlockSummary, DecoderLatencyReport};
-pub use goal::{assess, classify, GoalAssessment, ProtectionGrade};
 pub use escape::{collision_count, SiteEscape};
+pub use goal::{assess, classify, GoalAssessment, ProtectionGrade};
 pub use safety::SafetyModel;

@@ -41,7 +41,8 @@ impl SafetyModel {
     /// residual fraction.
     pub fn undetectable_rate_array_only(&self) -> f64 {
         let decoder = self.fault_rate_per_hour * self.decoder_fault_share;
-        let array = self.fault_rate_per_hour * (1.0 - self.decoder_fault_share) * self.escape_fraction;
+        let array =
+            self.fault_rate_per_hour * (1.0 - self.decoder_fault_share) * self.escape_fraction;
         decoder + array
     }
 

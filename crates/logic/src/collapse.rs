@@ -109,7 +109,10 @@ pub fn collapse(netlist: &Netlist) -> CollapsedUniverse {
         .copied()
         .filter(|f| !dominated[f.signal.index()][matches!(f.stuck, StuckAt::One) as usize])
         .collect::<Vec<_>>();
-    CollapsedUniverse { representatives, full_size: full.len() }
+    CollapsedUniverse {
+        representatives,
+        full_size: full.len(),
+    }
 }
 
 #[cfg(test)]
@@ -129,20 +132,22 @@ mod tests {
         let detect_set = |f: Fault| -> Vec<u64> {
             (0..(1u64 << n))
                 .filter(|&p| {
-                    netlist.eval_word(p, Some(f)).outputs()
-                        != netlist.eval_word(p, None).outputs()
+                    netlist.eval_word(p, Some(f)).outputs() != netlist.eval_word(p, None).outputs()
                 })
                 .collect()
         };
-        let rep_sets: Vec<Vec<u64>> =
-            collapsed.representatives.iter().map(|&f| detect_set(f)).collect();
+        let rep_sets: Vec<Vec<u64>> = collapsed
+            .representatives
+            .iter()
+            .map(|&f| detect_set(f))
+            .collect();
         for &f in &full {
             if collapsed.representatives.contains(&f) {
                 continue;
             }
             let set = detect_set(f);
             assert!(
-                rep_sets.iter().any(|r| *r == set),
+                rep_sets.contains(&set),
                 "collapsed fault {f} has no equivalent representative"
             );
         }
@@ -199,7 +204,11 @@ mod tests {
         let root = nl.and_tree(&ins, 2);
         nl.expose(root);
         let col = collapse(&nl);
-        assert!(col.ratio() < 0.6, "expected strong collapse, got {}", col.ratio());
+        assert!(
+            col.ratio() < 0.6,
+            "expected strong collapse, got {}",
+            col.ratio()
+        );
         // Equivalence check would be 2^16 patterns; use an 8-input tree.
         let mut nl8 = Netlist::new();
         let ins8 = nl8.inputs(8);

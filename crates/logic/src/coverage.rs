@@ -39,7 +39,11 @@ impl CoverageReport {
 ///
 /// Detection criterion: some pattern produces different primary outputs
 /// under the fault than fault-free.
-pub fn coverage_of(netlist: &Netlist, patterns: &[u64], faults: Option<&[Fault]>) -> CoverageReport {
+pub fn coverage_of(
+    netlist: &Netlist,
+    patterns: &[u64],
+    faults: Option<&[Fault]>,
+) -> CoverageReport {
     let universe: Vec<Fault> = match faults {
         Some(f) => f.to_vec(),
         None => fault_universe(netlist),
@@ -58,7 +62,11 @@ pub fn coverage_of(netlist: &Netlist, patterns: &[u64], faults: Option<&[Fault]>
         for (block_idx, chunk) in patterns.chunks(64).enumerate() {
             let lanes = netlist.pack_patterns(chunk);
             let faulty = netlist.eval64(&lanes, Some(fault)).output_lanes();
-            let used: u64 = if chunk.len() == 64 { u64::MAX } else { (1u64 << chunk.len()) - 1 };
+            let used: u64 = if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
             let differs = golden[block_idx]
                 .iter()
                 .zip(&faulty)
@@ -71,7 +79,11 @@ pub fn coverage_of(netlist: &Netlist, patterns: &[u64], faults: Option<&[Fault]>
     }
     let total = universe.len();
     let detected = total - undetected.len();
-    CoverageReport { total, detected, undetected }
+    CoverageReport {
+        total,
+        detected,
+        undetected,
+    }
 }
 
 /// Coverage-growth curve under a deterministic xorshift random-pattern
@@ -163,7 +175,11 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1, "coverage regressed: {curve:?}");
         }
-        assert_eq!(curve.last().unwrap().1, 1.0, "full adder is random-testable");
+        assert_eq!(
+            curve.last().unwrap().1,
+            1.0,
+            "full adder is random-testable"
+        );
     }
 
     #[test]
@@ -192,8 +208,17 @@ mod tests {
             .collect();
         nl.expose_all(&outs);
         let curve = random_pattern_curve(&nl, 99, 64, 512);
-        assert!(curve[0].1 > 0.75, "decoder coverage after 64 patterns: {}", curve[0].1);
+        assert!(
+            curve[0].1 > 0.75,
+            "decoder coverage after 64 patterns: {}",
+            curve[0].1
+        );
         let last = curve.last().unwrap();
-        assert!(last.1 > 0.97, "decoder coverage after {} patterns: {}", last.0, last.1);
+        assert!(
+            last.1 > 0.97,
+            "decoder coverage after {} patterns: {}",
+            last.0,
+            last.1
+        );
     }
 }

@@ -151,7 +151,10 @@ mod tests {
         let d = to_dot(&nl, "g");
         assert!(d.starts_with("digraph g {"));
         for idx in 0..nl.num_signals() {
-            assert!(d.contains(&format!("n{idx} [label=")), "missing node n{idx}");
+            assert!(
+                d.contains(&format!("n{idx} [label=")),
+                "missing node n{idx}"
+            );
         }
         assert!(d.contains("-> po0;"));
         assert!(d.trim_end().ends_with('}'));

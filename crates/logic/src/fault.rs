@@ -43,12 +43,18 @@ pub struct Fault {
 impl Fault {
     /// Stuck-at-0 on `signal`.
     pub fn stuck_at_0(signal: SignalId) -> Self {
-        Fault { signal, stuck: StuckAt::Zero }
+        Fault {
+            signal,
+            stuck: StuckAt::Zero,
+        }
     }
 
     /// Stuck-at-1 on `signal`.
     pub fn stuck_at_1(signal: SignalId) -> Self {
-        Fault { signal, stuck: StuckAt::One }
+        Fault {
+            signal,
+            stuck: StuckAt::One,
+        }
     }
 
     /// Apply the fault to a computed signal value.
@@ -79,7 +85,10 @@ pub fn fault_universe(netlist: &Netlist) -> Vec<Fault> {
         match netlist.gate(s).kind {
             GateKind::Const(v) => {
                 // Only the polarity that changes behaviour.
-                faults.push(Fault { signal: s, stuck: if v { StuckAt::Zero } else { StuckAt::One } });
+                faults.push(Fault {
+                    signal: s,
+                    stuck: if v { StuckAt::Zero } else { StuckAt::One },
+                });
             }
             _ => {
                 faults.push(Fault::stuck_at_0(s));

@@ -260,7 +260,10 @@ impl Netlist {
 
     /// Mark a signal as a primary output.
     pub fn expose(&mut self, s: SignalId) {
-        assert!(s.index() < self.gates.len(), "cannot expose unknown signal {s}");
+        assert!(
+            s.index() < self.gates.len(),
+            "cannot expose unknown signal {s}"
+        );
         self.primary_outputs.push(s);
     }
 
@@ -360,7 +363,11 @@ mod tests {
         for pattern in 0u32..128 {
             let bits: Vec<bool> = (0..7).map(|k| pattern >> k & 1 == 1).collect();
             let expect = pattern.count_ones() % 2 == 1;
-            assert_eq!(nl.eval(&bits).outputs(), vec![expect], "pattern {pattern:07b}");
+            assert_eq!(
+                nl.eval(&bits).outputs(),
+                vec![expect],
+                "pattern {pattern:07b}"
+            );
         }
     }
 
@@ -394,7 +401,11 @@ mod tests {
         ];
         let mut seen = std::collections::HashSet::new();
         for k in kinds {
-            assert!(seen.insert(k.mnemonic()), "duplicate mnemonic {}", k.mnemonic());
+            assert!(
+                seen.insert(k.mnemonic()),
+                "duplicate mnemonic {}",
+                k.mnemonic()
+            );
         }
     }
 }

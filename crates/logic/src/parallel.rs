@@ -39,9 +39,9 @@ impl ParallelEvaluation<'_> {
         assert!(k < 64, "pattern index {k} out of range");
         let outs = self.netlist.primary_outputs();
         assert!(outs.len() <= 64, "too many outputs for a u64 word");
-        outs.iter()
-            .enumerate()
-            .fold(0u64, |acc, (bit, s)| acc | ((self.lanes[s.index()] >> k & 1) << bit))
+        outs.iter().enumerate().fold(0u64, |acc, (bit, s)| {
+            acc | ((self.lanes[s.index()] >> k & 1) << bit)
+        })
     }
 }
 
@@ -84,9 +84,18 @@ impl Netlist {
                 GateKind::Nor2 => !(v(gate.inputs[0]) | v(gate.inputs[1])),
                 GateKind::Xor2 => v(gate.inputs[0]) ^ v(gate.inputs[1]),
                 GateKind::Xnor2 => !(v(gate.inputs[0]) ^ v(gate.inputs[1])),
-                GateKind::AndN => gate.inputs.iter().fold(u64::MAX, |acc, &s| acc & lanes[s.index()]),
-                GateKind::OrN => gate.inputs.iter().fold(0u64, |acc, &s| acc | lanes[s.index()]),
-                GateKind::NorN => !gate.inputs.iter().fold(0u64, |acc, &s| acc | lanes[s.index()]),
+                GateKind::AndN => gate
+                    .inputs
+                    .iter()
+                    .fold(u64::MAX, |acc, &s| acc & lanes[s.index()]),
+                GateKind::OrN => gate
+                    .inputs
+                    .iter()
+                    .fold(0u64, |acc, &s| acc | lanes[s.index()]),
+                GateKind::NorN => !gate
+                    .inputs
+                    .iter()
+                    .fold(0u64, |acc, &s| acc | lanes[s.index()]),
             };
             if let Some(f) = fault {
                 if f.signal == SignalId(idx as u32) {
@@ -95,7 +104,10 @@ impl Netlist {
             }
             lanes[idx] = out;
         }
-        ParallelEvaluation { netlist: self, lanes }
+        ParallelEvaluation {
+            netlist: self,
+            lanes,
+        }
     }
 
     /// Pack 64 address-style patterns (pattern `k` = `words[k]`, input `i` =

@@ -32,9 +32,9 @@ impl Evaluation<'_> {
     pub fn outputs_word(&self) -> u64 {
         let outs = self.netlist.primary_outputs();
         assert!(outs.len() <= 64, "too many outputs for a u64 word");
-        outs.iter()
-            .enumerate()
-            .fold(0u64, |acc, (k, s)| acc | ((self.values[s.index()] as u64) << k))
+        outs.iter().enumerate().fold(0u64, |acc, (k, s)| {
+            acc | ((self.values[s.index()] as u64) << k)
+        })
     }
 }
 
@@ -93,7 +93,10 @@ impl Netlist {
             }
             values[idx] = v;
         }
-        Evaluation { netlist: self, values }
+        Evaluation {
+            netlist: self,
+            values,
+        }
     }
 
     /// Evaluate taking the input pattern from the low bits of a word
@@ -213,7 +216,10 @@ mod tests {
                     break;
                 }
             }
-            assert!(detected, "fault {fault} undetectable — mux should be irredundant");
+            assert!(
+                detected,
+                "fault {fault} undetectable — mux should be irredundant"
+            );
         }
     }
 

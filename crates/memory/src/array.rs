@@ -50,7 +50,10 @@ impl CellArray {
     /// # Panics
     /// Panics on out-of-range coordinates.
     pub fn inject_stuck(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         self.stuck.insert((row, col), value);
     }
 
@@ -64,7 +67,10 @@ impl CellArray {
     /// # Panics
     /// Panics on out-of-range coordinates.
     pub fn get(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         if let Some(&v) = self.stuck.get(&(row, col)) {
             return v;
         }
@@ -77,7 +83,10 @@ impl CellArray {
     /// # Panics
     /// Panics on out-of-range coordinates.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         let lane = &mut self.bits[row * self.lanes_per_row + col / 64];
         if value {
             *lane |= 1u64 << (col % 64);

@@ -1,0 +1,530 @@
+//! Fault-simulation backends: one interface over the behavioural RAM
+//! simulator and the gate-level netlist simulator.
+//!
+//! Detection-latency measurement ([`crate::sim::measure_detection_on`]),
+//! the Monte-Carlo campaigns ([`crate::engine::CampaignEngine`]) and the
+//! cross-model validation tests all drive a [`FaultSimBackend`]: reset it
+//! to a pre-fault state with a fault injected, feed it the workload's
+//! operation stream, observe per-cycle error/detection behaviour.
+//!
+//! Two implementations ship:
+//!
+//! * [`BehavioralBackend`] — the cycle-level [`SelfCheckingRam`] run
+//!   against a fault-free twin on the same stream. Observes both
+//!   *erroneous outputs* (data/parity differing from the twin) and
+//!   checker indications. This is the campaign workhorse: O(1) per cycle.
+//! * [`GateLevelBackend`] — the actual generated hardware of the checking
+//!   path (multilevel decoder → NOR matrix → `q`-out-of-`r` checker) for
+//!   both address decoders, with the stuck-at injected on the exact
+//!   generated signal. Ground truth for decoder faults; batches cycles
+//!   64-at-a-time through [`Netlist::eval64`] since the path is
+//!   combinational. It does not model the cell array, so it reports
+//!   checker verdicts only (`erroneous` is [`None`]).
+
+use crate::decoder_unit::DecoderFault;
+use crate::design::{RamConfig, SelfCheckingRam, Verdict};
+use crate::fault::FaultSite;
+use crate::workload::Op;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scm_checkers::{Checker, MOutOfNChecker};
+use scm_codes::{CodewordMap, MOutOfN, TwoRail};
+use scm_decoder::fault_map::fault_sites;
+use scm_decoder::{build_multilevel_decoder, DecoderFaultSite};
+use scm_logic::{Fault, Netlist, SignalId};
+use scm_rom::RomMatrix;
+
+/// What a backend observed on one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleObservation {
+    /// Did the cycle deliver an erroneous output to the system?
+    /// [`None`] when the backend cannot observe the data path.
+    pub erroneous: Option<bool>,
+    /// Checker outputs for the cycle (backends that cannot evaluate a
+    /// checker report its field as `false`).
+    pub verdict: Verdict,
+}
+
+impl CycleObservation {
+    /// Any checker raised an error indication this cycle.
+    pub fn detected(&self) -> bool {
+        self.verdict.any_error()
+    }
+}
+
+/// A simulation model that can run fault-injection trials.
+pub trait FaultSimBackend {
+    /// Backend name for reports and test diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The simulated design's configuration (geometry + mappings).
+    fn config(&self) -> &RamConfig;
+
+    /// Can this backend inject the given fault?
+    fn supports(&self, site: &FaultSite) -> bool;
+
+    /// Restore the pre-fault state and inject `fault` (`None` for a
+    /// fault-free run).
+    ///
+    /// # Panics
+    /// Panics if the fault is not [`supported`](Self::supports).
+    fn reset(&mut self, fault: Option<FaultSite>);
+
+    /// Execute one operation and report what happened.
+    fn step(&mut self, op: Op) -> CycleObservation;
+
+    /// Execute a burst of operations.
+    ///
+    /// The default implementation steps serially; combinational backends
+    /// override it with bit-parallel sweeps. Semantics must be identical
+    /// to repeated [`step`](Self::step) calls.
+    fn step_many(&mut self, ops: &[Op]) -> Vec<CycleObservation> {
+        ops.iter().map(|&op| self.step(op)).collect()
+    }
+
+    /// Should measurement drive this backend through
+    /// [`step_many`](Self::step_many) bursts? `false` for stateful
+    /// backends, where the serial loop's early exit at first detection
+    /// saves work; `true` when batched evaluation beats per-op stepping.
+    fn prefers_batching(&self) -> bool {
+        false
+    }
+}
+
+/// Compare one operation on the faulty design against the fault-free twin.
+pub(crate) fn compare_step(
+    faulty: &mut SelfCheckingRam,
+    golden: &mut SelfCheckingRam,
+    op: Op,
+) -> CycleObservation {
+    match op {
+        Op::Read(addr) => {
+            let f = faulty.read(addr);
+            let g = golden.read(addr);
+            CycleObservation {
+                erroneous: Some(f.data != g.data || f.parity_bit != g.parity_bit),
+                verdict: f.verdict,
+            }
+        }
+        Op::Write(addr, value) => {
+            let fv = faulty.write(addr, value);
+            let _ = golden.write(addr, value);
+            // A write delivers no data to the system; only the checkers
+            // speak.
+            CycleObservation {
+                erroneous: Some(false),
+                verdict: fv,
+            }
+        }
+    }
+}
+
+/// The behavioural RAM simulator paired with a fault-free twin.
+#[derive(Debug, Clone)]
+pub struct BehavioralBackend {
+    base: SelfCheckingRam,
+    // Populated lazily: the engine clones the whole backend once per
+    // trial block, and eager twin copies here would triple that cost
+    // only to be overwritten by the first `reset`.
+    faulty: Option<SelfCheckingRam>,
+    golden: Option<SelfCheckingRam>,
+}
+
+impl BehavioralBackend {
+    /// Backend over a zero-initialised RAM.
+    pub fn new(config: &RamConfig) -> Self {
+        Self::from_state(SelfCheckingRam::new(config.clone()))
+    }
+
+    /// Backend whose pre-fault state is a deterministic random fill
+    /// (the campaign convention: every word written once from a seeded
+    /// stream).
+    pub fn prefilled(config: &RamConfig, seed: u64) -> Self {
+        let mut base = SelfCheckingRam::new(config.clone());
+        let org = config.org();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mask = if org.word_bits() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << org.word_bits()) - 1
+        };
+        for addr in 0..org.words() {
+            base.write(addr, rng.gen::<u64>() & mask);
+        }
+        Self::from_state(base)
+    }
+
+    /// Backend whose pre-fault state is an explicitly prepared RAM.
+    pub fn from_state(base: SelfCheckingRam) -> Self {
+        BehavioralBackend {
+            base,
+            faulty: None,
+            golden: None,
+        }
+    }
+
+    /// The faulty design (for instrumentation); the pre-fault state if
+    /// the backend has not stepped since its last reset.
+    pub fn faulty(&self) -> &SelfCheckingRam {
+        self.faulty.as_ref().unwrap_or(&self.base)
+    }
+}
+
+impl FaultSimBackend for BehavioralBackend {
+    fn name(&self) -> &'static str {
+        "behavioral"
+    }
+
+    fn config(&self) -> &RamConfig {
+        self.base.config()
+    }
+
+    fn supports(&self, _site: &FaultSite) -> bool {
+        true
+    }
+
+    fn reset(&mut self, fault: Option<FaultSite>) {
+        let mut faulty = self.base.clone();
+        if let Some(site) = fault {
+            faulty.inject(site);
+        }
+        self.faulty = Some(faulty);
+        self.golden = Some(self.base.clone());
+    }
+
+    fn step(&mut self, op: Op) -> CycleObservation {
+        let faulty = self.faulty.get_or_insert_with(|| self.base.clone());
+        let golden = self.golden.get_or_insert_with(|| self.base.clone());
+        compare_step(faulty, golden, op)
+    }
+}
+
+/// One decoder's gate-level checking path: decoder → NOR matrix → checker.
+#[derive(Debug, Clone)]
+struct CheckingPath {
+    netlist: Netlist,
+    sites: Vec<DecoderFaultSite>,
+    rails: (SignalId, SignalId),
+}
+
+impl CheckingPath {
+    fn build(address_bits: u32, map: &CodewordMap) -> Result<Self, String> {
+        if map.num_lines() != 1u64 << address_bits {
+            return Err(format!(
+                "mapping covers {} lines but a {address_bits}-bit decoder drives {} \
+                 (degenerate geometries like a 1-way mux have no gate-level checking path)",
+                map.num_lines(),
+                1u64 << address_bits
+            ));
+        }
+        // Recover the q-out-of-r code from the mapping: constant-weight
+        // codewords make q observable on any table entry.
+        let r = map.width() as u32;
+        let q = map.codeword_for(0).count_ones();
+        if (0..map.num_lines()).any(|line| map.codeword_for(line).count_ones() != q) {
+            return Err(format!(
+                "gate-level backend needs a constant-weight mapping, got {}",
+                map.code_name()
+            ));
+        }
+        let code = MOutOfN::new(q, r)
+            .map_err(|e| format!("mapping width {r} / weight {q} is not a valid code: {e}"))?;
+        let mut netlist = Netlist::new();
+        let addr = netlist.inputs(address_bits as usize);
+        let dec = build_multilevel_decoder(&mut netlist, &addr, 2);
+        let rom_outputs = RomMatrix::from_map(map).build_netlist(&mut netlist, dec.outputs());
+        let rails = MOutOfNChecker::new(code).build_netlist(&mut netlist, &rom_outputs);
+        netlist.expose(rails.0);
+        netlist.expose(rails.1);
+        let sites = fault_sites(&dec);
+        Ok(CheckingPath {
+            netlist,
+            sites,
+            rails,
+        })
+    }
+
+    fn signal_for(&self, fault: &DecoderFault) -> Option<Fault> {
+        self.sites
+            .iter()
+            .find(|s| s.bits == fault.bits && s.offset == fault.offset && s.value == fault.value)
+            .map(|s| {
+                if fault.stuck_one {
+                    Fault::stuck_at_1(s.signal)
+                } else {
+                    Fault::stuck_at_0(s.signal)
+                }
+            })
+    }
+
+    fn flags(&self, value: u64, fault: Option<Fault>) -> bool {
+        let eval = self.netlist.eval_word(value, fault);
+        TwoRail {
+            t: eval.value(self.rails.0),
+            f: eval.value(self.rails.1),
+        }
+        .is_error()
+    }
+
+    /// Evaluate up to 64 applied values in one bit-parallel sweep.
+    fn flags_batch(&self, values: &[u64], fault: Option<Fault>) -> Vec<bool> {
+        assert!(values.len() <= 64, "at most 64 values per sweep");
+        let lanes = self.netlist.pack_patterns(values);
+        let eval = self.netlist.eval64(&lanes, fault);
+        let t_lane = eval.lane(self.rails.0);
+        let f_lane = eval.lane(self.rails.1);
+        (0..values.len())
+            .map(|k| {
+                TwoRail {
+                    t: t_lane >> k & 1 == 1,
+                    f: f_lane >> k & 1 == 1,
+                }
+                .is_error()
+            })
+            .collect()
+    }
+}
+
+/// The generated checking hardware of both address decoders, simulated at
+/// gate level with stuck-ats on the exact generated signals.
+#[derive(Debug, Clone)]
+pub struct GateLevelBackend {
+    config: RamConfig,
+    row: CheckingPath,
+    col: CheckingPath,
+    row_fault: Option<Fault>,
+    col_fault: Option<Fault>,
+}
+
+impl GateLevelBackend {
+    /// Build the checking path for `config`'s row and column decoders.
+    ///
+    /// # Errors
+    /// Returns a description when the mappings are not constant-weight
+    /// (the `q`-out-of-`r` checker generator cannot realise them).
+    pub fn try_new(config: &RamConfig) -> Result<Self, String> {
+        let org = config.org();
+        let row = CheckingPath::build(org.row_bits(), config.row_map())?;
+        let col = CheckingPath::build(org.col_bits().max(1), config.col_map())?;
+        Ok(GateLevelBackend {
+            config: config.clone(),
+            row,
+            col,
+            row_fault: None,
+            col_fault: None,
+        })
+    }
+
+    /// Gate count of the checking path (both decoders' netlists).
+    pub fn num_gates(&self) -> usize {
+        self.row.netlist.num_gates() + self.col.netlist.num_gates()
+    }
+
+    fn split(&self, addr: u64) -> (u64, u64) {
+        self.config.split_address(addr)
+    }
+
+    fn observe(&self, row_flags: bool, col_flags: bool) -> CycleObservation {
+        CycleObservation {
+            erroneous: None,
+            verdict: Verdict {
+                row_code_error: row_flags,
+                col_code_error: col_flags,
+                parity_error: false,
+            },
+        }
+    }
+}
+
+impl FaultSimBackend for GateLevelBackend {
+    fn name(&self) -> &'static str {
+        "gate-level"
+    }
+
+    fn config(&self) -> &RamConfig {
+        &self.config
+    }
+
+    fn supports(&self, site: &FaultSite) -> bool {
+        match site {
+            FaultSite::RowDecoder(f) => self.row.signal_for(f).is_some(),
+            FaultSite::ColDecoder(f) => self.col.signal_for(f).is_some(),
+            _ => false,
+        }
+    }
+
+    fn reset(&mut self, fault: Option<FaultSite>) {
+        self.row_fault = None;
+        self.col_fault = None;
+        match fault {
+            None => {}
+            Some(FaultSite::RowDecoder(f)) => {
+                self.row_fault = Some(
+                    self.row
+                        .signal_for(&f)
+                        .unwrap_or_else(|| panic!("no gate-level site for {f:?}")),
+                );
+            }
+            Some(FaultSite::ColDecoder(f)) => {
+                self.col_fault = Some(
+                    self.col
+                        .signal_for(&f)
+                        .unwrap_or_else(|| panic!("no gate-level site for {f:?}")),
+                );
+            }
+            Some(other) => panic!("gate-level backend cannot inject {other:?}"),
+        }
+    }
+
+    fn step(&mut self, op: Op) -> CycleObservation {
+        let (rv, cv) = self.split(op.addr());
+        self.observe(
+            self.row.flags(rv, self.row_fault),
+            self.col.flags(cv, self.col_fault),
+        )
+    }
+
+    fn prefers_batching(&self) -> bool {
+        true
+    }
+
+    /// Bit-parallel burst: the checking path is combinational, so 64
+    /// cycles collapse into one [`Netlist::eval64`] sweep per decoder.
+    fn step_many(&mut self, ops: &[Op]) -> Vec<CycleObservation> {
+        let mut out = Vec::with_capacity(ops.len());
+        for chunk in ops.chunks(64) {
+            let (rvs, cvs): (Vec<u64>, Vec<u64>) =
+                chunk.iter().map(|op| self.split(op.addr())).unzip();
+            let row_flags = self.row.flags_batch(&rvs, self.row_fault);
+            let col_flags = self.col.flags_batch(&cvs, self.col_fault);
+            for (r, c) in row_flags.into_iter().zip(col_flags) {
+                out.push(self.observe(r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_area::RamOrganization;
+
+    fn config() -> RamConfig {
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    fn all_decoder_faults() -> Vec<FaultSite> {
+        crate::campaign::decoder_fault_universe(4)
+            .into_iter()
+            .map(FaultSite::RowDecoder)
+            .collect()
+    }
+
+    #[test]
+    fn behavioral_reset_restores_prefill() {
+        let mut b = BehavioralBackend::prefilled(&config(), 7);
+        let before = b.faulty().read(5).data;
+        b.reset(Some(FaultSite::DataRegisterBit {
+            bit: 0,
+            stuck: true,
+        }));
+        let _ = b.step(Op::Write(5, 0));
+        b.reset(None);
+        assert_eq!(b.faulty().read(5).data, before, "reset must undo writes");
+        assert_eq!(b.faulty().fault(), None, "reset(None) must clear the fault");
+    }
+
+    #[test]
+    fn gate_backend_supports_exactly_decoder_faults() {
+        let backend = GateLevelBackend::try_new(&config()).unwrap();
+        for site in all_decoder_faults() {
+            assert!(backend.supports(&site), "{site:?}");
+        }
+        assert!(!backend.supports(&FaultSite::Cell {
+            row: 0,
+            col: 0,
+            stuck: true
+        }));
+        assert!(!backend.supports(&FaultSite::DataRegisterBit {
+            bit: 0,
+            stuck: false
+        }));
+    }
+
+    #[test]
+    fn gate_fault_free_run_is_silent() {
+        let mut backend = GateLevelBackend::try_new(&config()).unwrap();
+        backend.reset(None);
+        for addr in 0..64u64 {
+            assert!(!backend.step(Op::Read(addr)).detected(), "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn gate_step_many_matches_serial_steps() {
+        let mut backend = GateLevelBackend::try_new(&config()).unwrap();
+        let ops: Vec<Op> = (0..64u64).chain(0..64).map(Op::Read).collect();
+        for site in all_decoder_faults() {
+            backend.reset(Some(site));
+            let batched = backend.step_many(&ops);
+            let serial: Vec<CycleObservation> = ops.iter().map(|&op| backend.step(op)).collect();
+            assert_eq!(batched, serial, "{site:?}");
+        }
+    }
+
+    #[test]
+    fn gate_and_behavioral_agree_on_code_verdicts() {
+        let cfg = config();
+        let mut gate = GateLevelBackend::try_new(&cfg).unwrap();
+        let mut beh = BehavioralBackend::prefilled(&cfg, 99);
+        for site in all_decoder_faults() {
+            gate.reset(Some(site));
+            beh.reset(Some(site));
+            for addr in 0..64u64 {
+                let g = gate.step(Op::Read(addr));
+                let b = beh.step(Op::Read(addr));
+                assert_eq!(
+                    g.verdict.row_code_error, b.verdict.row_code_error,
+                    "{site:?} addr {addr}"
+                );
+                assert_eq!(
+                    g.verdict.col_code_error, b.verdict.col_code_error,
+                    "{site:?} addr {addr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_mux_rejected_with_err_not_panic() {
+        // col_bits = 0 degenerates to a 1-bit column decoder driving two
+        // lines, but the column mapping covers only one — the documented
+        // Err contract, not a panic inside netlist construction.
+        let org = RamOrganization::new(64, 8, 1);
+        let code = MOutOfN::new(3, 5).unwrap();
+        let cfg = RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 64).unwrap(),
+            CodewordMap::mod_a(code, 9, 1).unwrap(),
+        );
+        let err = GateLevelBackend::try_new(&cfg).unwrap_err();
+        assert!(err.contains("1-bit decoder"), "{err}");
+    }
+
+    #[test]
+    fn berger_mapping_rejected_with_explanation() {
+        let org = RamOrganization::new(64, 8, 4);
+        let row_map = CodewordMap::berger(4, 16).unwrap();
+        let col_map = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, 4).unwrap();
+        let cfg = RamConfig::new(org, row_map, col_map);
+        let err = GateLevelBackend::try_new(&cfg).unwrap_err();
+        assert!(err.contains("constant-weight"), "{err}");
+    }
+}

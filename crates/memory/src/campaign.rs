@@ -4,13 +4,19 @@
 //! workload against a fault-free twin and record whether the fault was
 //! detected within the budgeted `c` cycles. The aggregated per-fault escape
 //! frequencies are the *empirical* `Pndc` that validates (or falsifies) the
-//! paper's analytical bound — the adjudication DESIGN.md §5 promises.
+//! paper's analytical bound — the adjudication DESIGN.md (§ "Empirical
+//! adjudication") promises.
+//!
+//! This module owns the campaign *vocabulary* — configuration, fault
+//! universes, per-fault and whole-campaign statistics. Execution lives in
+//! [`crate::engine::CampaignEngine`], which spreads the fault × trial grid
+//! over a thread pool; [`run_campaign`] is the single-call convenience
+//! wrapper around it.
 
 use crate::decoder_unit::{multilevel_blocks, DecoderFault};
-use crate::design::{RamConfig, SelfCheckingRam};
+use crate::design::RamConfig;
+use crate::engine::CampaignEngine;
 use crate::fault::FaultSite;
-use crate::sim::{measure_detection, DetectionOutcome};
-use crate::workload::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -30,7 +36,12 @@ pub struct CampaignConfig {
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { cycles: 10, trials: 32, seed: 0xC0FFEE, write_fraction: 0.1 }
+        CampaignConfig {
+            cycles: 10,
+            trials: 32,
+            seed: 0xC0FFEE,
+            write_fraction: 0.1,
+        }
     }
 }
 
@@ -73,6 +84,27 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Every per-fault counter in fault order — the canonical observable
+    /// of the engine's determinism contract. Two runs of the same
+    /// campaign must produce equal profiles at any thread count; every
+    /// determinism assertion (tests, `montecarlo_validation`) compares
+    /// this one projection so the contract cannot drift across copies.
+    pub fn determinism_profile(&self) -> Vec<(FaultSite, u32, u32, u32, u32, u64)> {
+        self.per_fault
+            .iter()
+            .map(|f| {
+                (
+                    f.site,
+                    f.trials,
+                    f.undetected,
+                    f.detected,
+                    f.error_escapes,
+                    f.detection_cycle_sum,
+                )
+            })
+            .collect()
+    }
+
     /// Worst per-fault empirical escape fraction.
     pub fn worst_escape(&self) -> f64 {
         self.per_fault
@@ -99,7 +131,10 @@ impl CampaignResult {
         if self.per_fault.is_empty() {
             return 0.0;
         }
-        self.per_fault.iter().map(|f| f.escape_fraction()).sum::<f64>()
+        self.per_fault
+            .iter()
+            .map(|f| f.escape_fraction())
+            .sum::<f64>()
             / self.per_fault.len() as f64
     }
 
@@ -134,7 +169,12 @@ pub fn decoder_fault_universe(n: u32) -> Vec<DecoderFault> {
     for (bits, offset) in multilevel_blocks(n) {
         for value in 0..(1u64 << bits) {
             for stuck_one in [false, true] {
-                faults.push(DecoderFault { bits, offset, value, stuck_one });
+                faults.push(DecoderFault {
+                    bits,
+                    offset,
+                    value,
+                    stuck_one,
+                });
             }
         }
     }
@@ -150,8 +190,11 @@ pub fn standard_fault_universe(config: &RamConfig, samples: usize, seed: u64) ->
     for f in decoder_fault_universe(org.row_bits()) {
         faults.push(FaultSite::RowDecoder(f));
     }
-    for f in decoder_fault_universe(org.col_bits().max(1)) {
-        faults.push(FaultSite::ColDecoder(f));
+    // A 1-way mux has no column decoder — no column faults exist for it.
+    if org.col_bits() > 0 {
+        for f in decoder_fault_universe(org.col_bits()) {
+            faults.push(FaultSite::ColDecoder(f));
+        }
     }
     let rows = org.rows() as usize;
     let cols = ((org.word_bits() + 1) * org.mux_factor()) as usize;
@@ -173,66 +216,18 @@ pub fn standard_fault_universe(config: &RamConfig, samples: usize, seed: u64) ->
     faults
 }
 
-/// Run a campaign over the given fault universe.
+/// Run a campaign over the given fault universe on the ambient rayon
+/// thread pool.
+///
+/// Convenience wrapper over [`CampaignEngine`]; results are bit-identical
+/// at every thread count (trial seeds are pure functions of the grid
+/// coordinates, never of scheduling).
 pub fn run_campaign(
     config: &RamConfig,
     faults: &[FaultSite],
     campaign: CampaignConfig,
 ) -> CampaignResult {
-    // Prefill once; clone per trial.
-    let mut base = SelfCheckingRam::new(config.clone());
-    let org = config.org();
-    let mut fill_rng = SmallRng::seed_from_u64(campaign.seed ^ 0xF1E1D1);
-    let mask = if org.word_bits() >= 64 { u64::MAX } else { (1u64 << org.word_bits()) - 1 };
-    for addr in 0..org.words() {
-        base.write(addr, fill_rng.gen::<u64>() & mask);
-    }
-
-    let per_fault = faults
-        .iter()
-        .enumerate()
-        .map(|(fidx, &site)| {
-            let mut result = FaultResult {
-                site,
-                trials: campaign.trials,
-                undetected: 0,
-                error_escapes: 0,
-                detection_cycle_sum: 0,
-                detected: 0,
-            };
-            for trial in 0..campaign.trials {
-                let mut golden = base.clone();
-                let mut faulty = base.clone();
-                faulty.inject(site);
-                let seed = campaign
-                    .seed
-                    .wrapping_add((fidx as u64) << 20)
-                    .wrapping_add(trial as u64);
-                let mut workload = Workload::new(
-                    crate::workload::AddressPattern::UniformRandom,
-                    org.words(),
-                    org.word_bits(),
-                    campaign.write_fraction,
-                    seed,
-                );
-                let out: DetectionOutcome =
-                    measure_detection(&mut faulty, &mut golden, &mut workload, campaign.cycles);
-                match out.first_detection {
-                    Some(d) => {
-                        result.detected += 1;
-                        result.detection_cycle_sum += d;
-                    }
-                    None => result.undetected += 1,
-                }
-                if out.error_escaped() {
-                    result.error_escapes += 1;
-                }
-            }
-            result
-        })
-        .collect();
-
-    CampaignResult { per_fault, config: campaign }
+    CampaignEngine::new(campaign).run(config, faults)
 }
 
 #[cfg(test)]
@@ -268,14 +263,23 @@ mod tests {
         let result = run_campaign(
             &cfg,
             &faults,
-            CampaignConfig { cycles: 20, trials: 8, seed: 7, write_fraction: 0.1 },
+            CampaignConfig {
+                cycles: 20,
+                trials: 8,
+                seed: 7,
+                write_fraction: 0.1,
+            },
         );
         assert_eq!(result.per_fault.len(), 64);
         // SA0 faults: detected whenever the stuck line's field is applied;
         // escape only if the field never comes up — possible but should be
         // rare over 20 cycles for 1-bit blocks.
         // Global sanity: most faults detected most of the time.
-        assert!(result.mean_escape() < 0.5, "mean escape {}", result.mean_escape());
+        assert!(
+            result.mean_escape() < 0.5,
+            "mean escape {}",
+            result.mean_escape()
+        );
         // And the class map mentions the row decoder only.
         let classes = result.by_class();
         assert_eq!(classes.len(), 1);
@@ -305,7 +309,12 @@ mod tests {
         let result = run_campaign(
             &cfg,
             &[colliding, clean],
-            CampaignConfig { cycles: 1, trials: 400, seed: 3, write_fraction: 0.0 },
+            CampaignConfig {
+                cycles: 1,
+                trials: 400,
+                seed: 3,
+                write_fraction: 0.0,
+            },
         );
         // Both have one colliding partner; empirical single-cycle escape
         // should be near the analytical 2/16 + no-error 1/16 … simply check
@@ -320,8 +329,7 @@ mod tests {
     fn standard_universe_mixes_classes() {
         let cfg = config();
         let faults = standard_fault_universe(&cfg, 4, 5);
-        let classes: std::collections::HashSet<&str> =
-            faults.iter().map(|f| f.class()).collect();
+        let classes: std::collections::HashSet<&str> = faults.iter().map(|f| f.class()).collect();
         assert!(classes.contains("row-decoder"));
         assert!(classes.contains("col-decoder"));
         assert!(classes.contains("cell"));

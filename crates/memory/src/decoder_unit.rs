@@ -98,7 +98,10 @@ impl BehavioralDecoder {
     /// # Panics
     /// Panics if `n = 0` or `n > 32`.
     pub fn new(n: u32) -> Self {
-        assert!(n >= 1 && n <= 32, "decoder input count {n} out of range");
+        assert!(
+            (1..=32).contains(&n),
+            "decoder input count {n} out of range"
+        );
         BehavioralDecoder { n, fault: None }
     }
 
@@ -117,8 +120,14 @@ impl BehavioralDecoder {
     /// # Panics
     /// Panics if the fault's block does not fit inside this decoder.
     pub fn inject(&mut self, fault: DecoderFault) {
-        assert!(fault.bits >= 1 && fault.offset + fault.bits <= self.n, "fault block outside decoder");
-        assert!(fault.value < (1u64 << fault.bits), "fault value outside block");
+        assert!(
+            fault.bits >= 1 && fault.offset + fault.bits <= self.n,
+            "fault block outside decoder"
+        );
+        assert!(
+            fault.value < (1u64 << fault.bits),
+            "fault value outside block"
+        );
         self.fault = Some(fault);
     }
 
@@ -137,7 +146,10 @@ impl BehavioralDecoder {
     /// # Panics
     /// Panics if `value` exceeds `2^n`.
     pub fn decode(&self, value: u64) -> ActiveLines {
-        assert!(value < self.num_lines(), "applied value outside decoder range");
+        assert!(
+            value < self.num_lines(),
+            "applied value outside decoder range"
+        );
         let Some(f) = self.fault else {
             return ActiveLines::One(value);
         };
@@ -202,7 +214,10 @@ mod tests {
                     gate_active.sort_unstable();
                     let mut beh_active: Vec<u64> = beh.decode(a).iter().collect();
                     beh_active.sort_unstable();
-                    assert_eq!(beh_active, gate_active, "site {site:?} stuck1={stuck_one} addr={a}");
+                    assert_eq!(
+                        beh_active, gate_active,
+                        "site {site:?} stuck1={stuck_one} addr={a}"
+                    );
                 }
             }
         }
@@ -214,8 +229,11 @@ mod tests {
             let mut nl = Netlist::new();
             let addr = nl.inputs(n as usize);
             let dec = build_multilevel_decoder(&mut nl, &addr, 2);
-            let expect: Vec<(u32, u32)> =
-                dec.blocks().iter().map(|b| (b.bits(), b.offset())).collect();
+            let expect: Vec<(u32, u32)> = dec
+                .blocks()
+                .iter()
+                .map(|b| (b.bits(), b.offset()))
+                .collect();
             assert_eq!(multilevel_blocks(n), expect, "n={n}");
         }
     }
@@ -224,13 +242,21 @@ mod tests {
     fn active_lines_iter() {
         assert_eq!(ActiveLines::None.iter().count(), 0);
         assert_eq!(ActiveLines::One(3).iter().collect::<Vec<_>>(), vec![3]);
-        assert_eq!(ActiveLines::Two(3, 7).iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert_eq!(
+            ActiveLines::Two(3, 7).iter().collect::<Vec<_>>(),
+            vec![3, 7]
+        );
     }
 
     #[test]
     #[should_panic(expected = "outside decoder")]
     fn fault_block_must_fit() {
         let mut d = BehavioralDecoder::new(4);
-        d.inject(DecoderFault { bits: 3, offset: 2, value: 0, stuck_one: true });
+        d.inject(DecoderFault {
+            bits: 3,
+            offset: 2,
+            value: 0,
+            stuck_one: true,
+        });
     }
 }

@@ -37,13 +37,21 @@ impl RamConfig {
     /// # Panics
     /// Panics if a mapping's line count disagrees with the geometry.
     pub fn new(org: RamOrganization, row_map: CodewordMap, col_map: CodewordMap) -> Self {
-        assert_eq!(row_map.num_lines(), org.rows(), "row map line count mismatch");
+        assert_eq!(
+            row_map.num_lines(),
+            org.rows(),
+            "row map line count mismatch"
+        );
         assert_eq!(
             col_map.num_lines(),
             org.mux_factor() as u64,
             "column map line count mismatch"
         );
-        RamConfig { org, row_map, col_map }
+        RamConfig {
+            org,
+            row_map,
+            col_map,
+        }
     }
 
     /// Build both mappings from one selected [`CodePlan`] (the tables use
@@ -70,6 +78,22 @@ impl RamConfig {
     /// Column-decoder mapping.
     pub fn col_map(&self) -> &CodewordMap {
         &self.col_map
+    }
+
+    /// Split an address into `(row_value, column_value)` — the Figure 3
+    /// convention shared by every simulation backend: the low `s` bits
+    /// select the column, the high `p` bits the row.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range.
+    pub fn split_address(&self, addr: u64) -> (u64, u64) {
+        assert!(
+            addr < self.org.words(),
+            "address {addr} out of {} words",
+            self.org.words()
+        );
+        let s = self.org.col_bits();
+        (addr >> s, addr & ((1u64 << s) - 1))
     }
 }
 
@@ -126,7 +150,15 @@ impl SelfCheckingRam {
         let col_dec = BehavioralDecoder::new(org.col_bits().max(1));
         let row_rom = RomMatrix::from_map(config.row_map());
         let col_rom = RomMatrix::from_map(config.col_map());
-        SelfCheckingRam { config, array, row_dec, col_dec, row_rom, col_rom, fault: None }
+        SelfCheckingRam {
+            config,
+            array,
+            row_dec,
+            col_dec,
+            row_rom,
+            col_rom,
+            fault: None,
+        }
     }
 
     /// The configuration.
@@ -147,20 +179,38 @@ impl SelfCheckingRam {
             FaultSite::ColDecoder(f) => self.col_dec.inject(f),
             FaultSite::RowRomBit { line, bit } => {
                 assert!(line < self.config.org().rows(), "row ROM line out of range");
-                assert!((bit as usize) < self.row_rom.width(), "row ROM bit out of range");
+                assert!(
+                    (bit as usize) < self.row_rom.width(),
+                    "row ROM bit out of range"
+                );
             }
             FaultSite::ColRomBit { line, bit } => {
-                assert!(line < self.config.org().mux_factor() as u64, "col ROM line out of range");
-                assert!((bit as usize) < self.col_rom.width(), "col ROM bit out of range");
+                assert!(
+                    line < self.config.org().mux_factor() as u64,
+                    "col ROM line out of range"
+                );
+                assert!(
+                    (bit as usize) < self.col_rom.width(),
+                    "col ROM bit out of range"
+                );
             }
             FaultSite::RowRomColumn { bit, .. } => {
-                assert!((bit as usize) < self.row_rom.width(), "row ROM column out of range");
+                assert!(
+                    (bit as usize) < self.row_rom.width(),
+                    "row ROM column out of range"
+                );
             }
             FaultSite::ColRomColumn { bit, .. } => {
-                assert!((bit as usize) < self.col_rom.width(), "col ROM column out of range");
+                assert!(
+                    (bit as usize) < self.col_rom.width(),
+                    "col ROM column out of range"
+                );
             }
             FaultSite::DataRegisterBit { bit, .. } => {
-                assert!(bit < self.config.org().word_bits(), "register bit out of range");
+                assert!(
+                    bit < self.config.org().word_bits(),
+                    "register bit out of range"
+                );
             }
         }
         self.fault = Some(fault);
@@ -184,10 +234,7 @@ impl SelfCheckingRam {
     /// # Panics
     /// Panics if `addr` is out of range.
     pub fn split(&self, addr: u64) -> (u64, u64) {
-        let org = self.config.org();
-        assert!(addr < org.words(), "address {addr} out of {} words", org.words());
-        let s = org.col_bits();
-        (addr >> s, addr & ((1u64 << s) - 1))
+        self.config.split_address(addr)
     }
 
     fn physical_col(&self, bit_group: u32, col_sel: u64) -> usize {
@@ -196,27 +243,33 @@ impl SelfCheckingRam {
 
     fn rom_word(&self, rom: &RomMatrix, lines: ActiveLines, is_row: bool) -> u64 {
         let mask = (1u64 << rom.width()) - 1;
-        let mut word = lines
-            .iter()
-            .fold(mask, |acc, line| {
-                let mut w = rom.word(line as usize);
-                match self.fault {
-                    Some(FaultSite::RowRomBit { line: fl, bit }) if is_row && fl == line => {
-                        w ^= 1u64 << bit;
-                    }
-                    Some(FaultSite::ColRomBit { line: fl, bit }) if !is_row && fl == line => {
-                        w ^= 1u64 << bit;
-                    }
-                    _ => {}
+        let mut word = lines.iter().fold(mask, |acc, line| {
+            let mut w = rom.word(line as usize);
+            match self.fault {
+                Some(FaultSite::RowRomBit { line: fl, bit }) if is_row && fl == line => {
+                    w ^= 1u64 << bit;
                 }
-                acc & w
-            });
+                Some(FaultSite::ColRomBit { line: fl, bit }) if !is_row && fl == line => {
+                    w ^= 1u64 << bit;
+                }
+                _ => {}
+            }
+            acc & w
+        });
         match self.fault {
             Some(FaultSite::RowRomColumn { bit, stuck }) if is_row => {
-                word = if stuck { word | (1u64 << bit) } else { word & !(1u64 << bit) };
+                word = if stuck {
+                    word | (1u64 << bit)
+                } else {
+                    word & !(1u64 << bit)
+                };
             }
             Some(FaultSite::ColRomColumn { bit, stuck }) if !is_row => {
-                word = if stuck { word | (1u64 << bit) } else { word & !(1u64 << bit) };
+                word = if stuck {
+                    word | (1u64 << bit)
+                } else {
+                    word & !(1u64 << bit)
+                };
             }
             _ => {}
         }
@@ -237,7 +290,11 @@ impl SelfCheckingRam {
     pub fn write(&mut self, addr: u64, data: u64) -> Verdict {
         let org = self.config.org();
         let m = org.word_bits();
-        let data = if m == 64 { data } else { data & ((1u64 << m) - 1) };
+        let data = if m == 64 {
+            data
+        } else {
+            data & ((1u64 << m) - 1)
+        };
         let (rv, cv) = self.split(addr);
         let rows = self.row_dec.decode(rv);
         let cols = self.col_dec.decode(cv);
@@ -296,7 +353,11 @@ impl SelfCheckingRam {
         let mut verdict = self.check_decoders(rows, cols);
         let ones = data.count_ones() + parity_bit as u32;
         verdict.parity_error = ones % 2 == 1;
-        ReadOutcome { data, parity_bit, verdict }
+        ReadOutcome {
+            data,
+            parity_bit,
+            verdict,
+        }
     }
 
     /// The raw active-line sets for an address (useful for tests and
@@ -345,11 +406,18 @@ mod tests {
         }
         // Stick data bit 3 of column-select 1 rows high: word bit 3 lives in
         // physical column group 3.
-        ram.inject(FaultSite::Cell { row: 2, col: 3 * 4 + 1, stuck: true });
+        ram.inject(FaultSite::Cell {
+            row: 2,
+            col: 3 * 4 + 1,
+            stuck: true,
+        });
         // The faulted word is (row 2, col 1) → addr = 2·4 + 1.
         let out = ram.read(2 * 4 + 1);
         assert_eq!(out.data, 0b1000);
-        assert!(out.verdict.parity_error, "single-bit cell fault must trip parity");
+        assert!(
+            out.verdict.parity_error,
+            "single-bit cell fault must trip parity"
+        );
         assert!(!out.verdict.row_code_error && !out.verdict.col_code_error);
         // Unrelated words stay clean.
         assert!(!ram.read(0).verdict.any_error());
@@ -370,7 +438,10 @@ mod tests {
         }));
         // Reading any word in row 5 → no line → all-ones ROM word → row error.
         let out = ram.read(5 * 4);
-        assert!(out.verdict.row_code_error, "SA0 must be detected the same cycle");
+        assert!(
+            out.verdict.row_code_error,
+            "SA0 must be detected the same cycle"
+        );
         // Other rows unaffected.
         assert!(!ram.read(3 * 4).verdict.row_code_error);
     }
@@ -392,15 +463,24 @@ mod tests {
         }));
         // Row 10 collides with row 1 modulo 9 → codewords equal → escape.
         let out = ram.read(10 * 4);
-        assert!(!out.verdict.row_code_error, "colliding rows share a codeword");
+        assert!(
+            !out.verdict.row_code_error,
+            "colliding rows share a codeword"
+        );
         // Row 9 was re-mapped, so selecting rows {9, 1} IS caught.
         let out = ram.read(9 * 4);
-        assert!(out.verdict.row_code_error, "completion fix gives row 9 a unique word");
+        assert!(
+            out.verdict.row_code_error,
+            "completion fix gives row 9 a unique word"
+        );
         // Row 5 differs from row 1 mod 9 → detected.
         let out = ram.read(5 * 4);
-        assert!(out.verdict.row_code_error, "distinct codewords must be caught");
+        assert!(
+            out.verdict.row_code_error,
+            "distinct codewords must be caught"
+        );
         // Selecting row 1 itself: no error at all.
-        let out = ram.read(1 * 4);
+        let out = ram.read(4);
         assert!(!out.verdict.any_error());
     }
 
@@ -444,7 +524,10 @@ mod tests {
         for addr in 0..64u64 {
             ram.write(addr, 1);
         }
-        ram.inject(FaultSite::RowRomColumn { bit: 0, stuck: true });
+        ram.inject(FaultSite::RowRomColumn {
+            bit: 0,
+            stuck: true,
+        });
         // Lines whose codeword has bit 0 = 0 now emit weight-4 words.
         let map = ram.config().row_map().clone();
         let mut detected = 0;
@@ -463,7 +546,10 @@ mod tests {
         for addr in 0..64u64 {
             ram.write(addr, addr ^ 0x5A);
         }
-        ram.inject(FaultSite::DataRegisterBit { bit: 0, stuck: true });
+        ram.inject(FaultSite::DataRegisterBit {
+            bit: 0,
+            stuck: true,
+        });
         let mut flagged = 0;
         for addr in 0..64u64 {
             let out = ram.read(addr);

@@ -1,0 +1,334 @@
+//! The parallel fault-injection campaign engine.
+//!
+//! One engine runs the whole fault × trial grid of a Monte-Carlo campaign
+//! through a [`FaultSimBackend`], spreading the grid over a rayon thread
+//! pool with dynamic work stealing. Determinism is a hard contract:
+//!
+//! * every trial's workload RNG is seeded purely from
+//!   `(campaign seed, fault index, trial index)`,
+//! * per-fault statistics are sums of per-trial counters, which commute,
+//!
+//! so the result is **bit-identical at every thread count** — the
+//! single-thread run is the specification, the parallel run is just
+//! faster. The determinism test in `tests/campaign_engine.rs` enforces
+//! this.
+//!
+//! The grid is decomposed fault-major into [`TrialBlock`]s: when the
+//! fault universe is wide (the common case — thousands of collapsed
+//! stuck-ats), each block is one fault's full trial set; when callers
+//! probe few faults with many trials, trial ranges split so every worker
+//! still gets enough blocks to steal. Blocks are the scheduling unit;
+//! workers pull them off a shared queue, so a fault whose trials detect
+//! in one cycle doesn't leave its thread idle while a slow fault finishes.
+
+use crate::backend::{BehavioralBackend, FaultSimBackend};
+use crate::campaign::{CampaignConfig, CampaignResult, FaultResult};
+use crate::design::RamConfig;
+use crate::fault::FaultSite;
+use crate::sim::measure_detection_on;
+use crate::workload::{AddressPattern, Workload};
+use rayon::prelude::*;
+
+/// One schedulable unit: a contiguous trial range of one fault.
+#[derive(Debug, Clone, Copy)]
+struct TrialBlock {
+    fidx: usize,
+    trial_start: u32,
+    trial_end: u32,
+}
+
+/// Parallel campaign runner over any [`FaultSimBackend`].
+#[derive(Debug, Clone)]
+pub struct CampaignEngine {
+    campaign: CampaignConfig,
+    pattern: AddressPattern,
+    threads: usize,
+}
+
+impl CampaignEngine {
+    /// Engine with the given campaign parameters, the paper's uniform
+    /// address pattern, and the ambient rayon thread count.
+    pub fn new(campaign: CampaignConfig) -> Self {
+        CampaignEngine {
+            campaign,
+            pattern: AddressPattern::UniformRandom,
+            threads: 0,
+        }
+    }
+
+    /// Override the workload's address pattern (extension experiments).
+    pub fn pattern(mut self, pattern: AddressPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Pin the thread count (`0` = use the ambient rayon default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The campaign parameters.
+    pub fn campaign(&self) -> &CampaignConfig {
+        &self.campaign
+    }
+
+    /// Threads the engine will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Run over the behavioural backend with the campaign convention's
+    /// random prefill (the classic `run_campaign` entry point).
+    pub fn run(&self, config: &RamConfig, faults: &[FaultSite]) -> CampaignResult {
+        let backend = BehavioralBackend::prefilled(config, self.campaign.seed ^ 0xF1E1D1);
+        self.run_on(&backend, faults)
+    }
+
+    /// Run the full grid on clones of `backend`.
+    ///
+    /// # Panics
+    /// Panics if `backend` does not [support](FaultSimBackend::supports)
+    /// one of the faults.
+    pub fn run_on<B>(&self, backend: &B, faults: &[FaultSite]) -> CampaignResult
+    where
+        B: FaultSimBackend + Clone + Send + Sync,
+    {
+        if let Some(bad) = faults.iter().find(|site| !backend.supports(site)) {
+            panic!("backend '{}' cannot inject {bad:?}", backend.name());
+        }
+        let blocks = self.decompose(faults.len());
+        let dispatch = || -> Vec<FaultResult> {
+            blocks
+                .par_iter()
+                .map(|block| self.run_block(backend.clone(), faults[block.fidx], *block))
+                .collect()
+        };
+        let partials: Vec<FaultResult> = if self.threads == 0 {
+            // Ambient width: no per-call pool, the global default applies.
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        // Blocks are generated fault-major and collected in input order, so
+        // each fault's partials are adjacent; fold them back together.
+        let mut per_fault: Vec<FaultResult> = Vec::with_capacity(faults.len());
+        let mut last_fidx = usize::MAX;
+        for (block, partial) in blocks.iter().zip(partials) {
+            if block.fidx == last_fidx {
+                let acc = per_fault.last_mut().expect("a merge always follows a push");
+                acc.trials += partial.trials;
+                acc.undetected += partial.undetected;
+                acc.error_escapes += partial.error_escapes;
+                acc.detection_cycle_sum += partial.detection_cycle_sum;
+                acc.detected += partial.detected;
+            } else {
+                per_fault.push(partial);
+                last_fidx = block.fidx;
+            }
+        }
+        debug_assert_eq!(per_fault.len(), faults.len());
+        CampaignResult {
+            per_fault,
+            config: self.campaign,
+        }
+    }
+
+    /// Split the grid into schedulable blocks: one per fault when faults
+    /// outnumber workers, trial-splitting otherwise.
+    fn decompose(&self, num_faults: usize) -> Vec<TrialBlock> {
+        let trials = self.campaign.trials;
+        let threads = self.resolved_threads();
+        let target_blocks = threads * 8;
+        let splits_per_fault = if num_faults == 0 || num_faults >= target_blocks {
+            1
+        } else {
+            (target_blocks.div_ceil(num_faults) as u32).clamp(1, trials.max(1))
+        };
+        let block_len = trials.div_ceil(splits_per_fault).max(1);
+        let mut blocks = Vec::with_capacity(num_faults * splits_per_fault as usize);
+        for fidx in 0..num_faults {
+            let mut t0 = 0u32;
+            while t0 < trials {
+                let t1 = (t0 + block_len).min(trials);
+                blocks.push(TrialBlock {
+                    fidx,
+                    trial_start: t0,
+                    trial_end: t1,
+                });
+                t0 = t1;
+            }
+            if trials == 0 {
+                blocks.push(TrialBlock {
+                    fidx,
+                    trial_start: 0,
+                    trial_end: 0,
+                });
+            }
+        }
+        blocks
+    }
+
+    /// Workload seed for one `(fault, trial)` cell — a pure function of
+    /// the campaign seed and grid coordinates, never of scheduling.
+    fn trial_seed(&self, fidx: usize, trial: u32) -> u64 {
+        self.campaign
+            .seed
+            .wrapping_add((fidx as u64) << 20)
+            .wrapping_add(trial as u64)
+    }
+
+    fn run_block<B: FaultSimBackend>(
+        &self,
+        mut backend: B,
+        site: FaultSite,
+        block: TrialBlock,
+    ) -> FaultResult {
+        let org = backend.config().org();
+        let mut result = FaultResult {
+            site,
+            trials: block.trial_end - block.trial_start,
+            undetected: 0,
+            error_escapes: 0,
+            detection_cycle_sum: 0,
+            detected: 0,
+        };
+        for trial in block.trial_start..block.trial_end {
+            backend.reset(Some(site));
+            let mut workload = Workload::new(
+                self.pattern,
+                org.words(),
+                org.word_bits(),
+                self.campaign.write_fraction,
+                self.trial_seed(block.fidx, trial),
+            );
+            let out = measure_detection_on(&mut backend, &mut workload, self.campaign.cycles);
+            match out.first_detection {
+                Some(d) => {
+                    result.detected += 1;
+                    result.detection_cycle_sum += d;
+                }
+                None => result.undetected += 1,
+            }
+            if out.error_escaped() {
+                result.error_escapes += 1;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::decoder_fault_universe;
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+
+    fn config() -> RamConfig {
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    fn row_faults() -> Vec<FaultSite> {
+        decoder_fault_universe(4)
+            .into_iter()
+            .map(FaultSite::RowDecoder)
+            .collect()
+    }
+
+    #[test]
+    fn grid_decomposition_covers_every_cell_once() {
+        for (faults, trials, threads) in [
+            (64usize, 8u32, 4usize),
+            (3, 100, 8),
+            (1, 7, 2),
+            (200, 1, 16),
+        ] {
+            let engine = CampaignEngine::new(CampaignConfig {
+                trials,
+                ..CampaignConfig::default()
+            })
+            .threads(threads);
+            let blocks = engine.decompose(faults);
+            let mut seen = vec![0u32; faults];
+            for b in &blocks {
+                assert!(b.trial_start < b.trial_end, "empty block {b:?}");
+                seen[b.fidx] += b.trial_end - b.trial_start;
+            }
+            assert!(
+                seen.iter().all(|&t| t == trials),
+                "{faults}x{trials}@{threads}: {seen:?}"
+            );
+            // Fault-major ordering: fidx never decreases, trial ranges are
+            // contiguous per fault.
+            for w in blocks.windows(2) {
+                assert!(w[1].fidx >= w[0].fidx);
+                if w[1].fidx == w[0].fidx {
+                    assert_eq!(w[1].trial_start, w[0].trial_end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_across_thread_counts_and_trial_splits() {
+        let cfg = config();
+        let faults = row_faults();
+        // Few faults force trial splitting; the full universe exercises
+        // fault-major blocks. Both must agree with the 1-thread run.
+        for universe in [&faults[..3], &faults[..]] {
+            let campaign = CampaignConfig {
+                cycles: 12,
+                trials: 10,
+                seed: 77,
+                write_fraction: 0.1,
+            };
+            let reference = CampaignEngine::new(campaign).threads(1).run(&cfg, universe);
+            for threads in [2usize, 4, 7] {
+                let result = CampaignEngine::new(campaign)
+                    .threads(threads)
+                    .run(&cfg, universe);
+                assert_eq!(
+                    reference.determinism_profile(),
+                    result.determinism_profile(),
+                    "{} faults, {threads} threads",
+                    universe.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_fault_panics_with_backend_name() {
+        let cfg = config();
+        let backend = crate::backend::GateLevelBackend::try_new(&cfg).unwrap();
+        let engine = CampaignEngine::new(CampaignConfig::default());
+        let err = std::panic::catch_unwind(|| {
+            engine.run_on(
+                &backend,
+                &[FaultSite::Cell {
+                    row: 0,
+                    col: 0,
+                    stuck: true,
+                }],
+            )
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("gate-level"), "{msg}");
+    }
+}

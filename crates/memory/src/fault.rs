@@ -85,14 +85,37 @@ mod tests {
     #[test]
     fn class_names_distinct() {
         let sites = [
-            FaultSite::Cell { row: 0, col: 0, stuck: false },
-            FaultSite::RowDecoder(DecoderFault { bits: 1, offset: 0, value: 0, stuck_one: true }),
-            FaultSite::ColDecoder(DecoderFault { bits: 1, offset: 0, value: 0, stuck_one: false }),
+            FaultSite::Cell {
+                row: 0,
+                col: 0,
+                stuck: false,
+            },
+            FaultSite::RowDecoder(DecoderFault {
+                bits: 1,
+                offset: 0,
+                value: 0,
+                stuck_one: true,
+            }),
+            FaultSite::ColDecoder(DecoderFault {
+                bits: 1,
+                offset: 0,
+                value: 0,
+                stuck_one: false,
+            }),
             FaultSite::RowRomBit { line: 0, bit: 0 },
             FaultSite::ColRomBit { line: 0, bit: 0 },
-            FaultSite::RowRomColumn { bit: 0, stuck: true },
-            FaultSite::ColRomColumn { bit: 0, stuck: false },
-            FaultSite::DataRegisterBit { bit: 0, stuck: true },
+            FaultSite::RowRomColumn {
+                bit: 0,
+                stuck: true,
+            },
+            FaultSite::ColRomColumn {
+                bit: 0,
+                stuck: false,
+            },
+            FaultSite::DataRegisterBit {
+                bit: 0,
+                stuck: true,
+            },
         ];
         let mut names: Vec<&str> = sites.iter().map(|s| s.class()).collect();
         names.sort_unstable();

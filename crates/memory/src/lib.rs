@@ -18,6 +18,8 @@
 //!   first error vs the cycle of first detection,
 //! * Monte-Carlo campaigns ([`campaign`]) producing empirical `Pndc`
 //!   estimates to validate the analytical engine and the paper's bounds,
+//!   executed by a deterministic parallel [`engine`] over pluggable
+//!   behavioural/gate-level [`backend`]s,
 //! * a self-checking **ROM** variant ([`rom_memory`]) realising the paper's
 //!   closing claim that the trade-off carries to other memory types.
 //!
@@ -48,9 +50,11 @@
 
 pub mod address_check;
 pub mod array;
+pub mod backend;
 pub mod campaign;
 pub mod decoder_unit;
 pub mod design;
+pub mod engine;
 pub mod fault;
 pub mod report;
 pub mod rom_memory;
@@ -58,8 +62,10 @@ pub mod scrub;
 pub mod sim;
 pub mod workload;
 
+pub use backend::{BehavioralBackend, CycleObservation, FaultSimBackend, GateLevelBackend};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultResult};
 pub use design::{RamConfig, ReadOutcome, SelfCheckingRam, Verdict};
+pub use engine::CampaignEngine;
 pub use fault::FaultSite;
-pub use sim::{measure_detection, DetectionOutcome};
+pub use sim::{measure_detection, measure_detection_on, DetectionOutcome};
 pub use workload::{AddressPattern, Op, Workload};

@@ -10,10 +10,21 @@ use std::fmt::Write;
 /// Render a campaign summary table.
 pub fn summary(result: &CampaignResult) -> String {
     let mut out = String::new();
-    writeln!(out, "fault-injection campaign: {} faults x {} trials x {} cycles",
-        result.per_fault.len(), result.config.trials, result.config.cycles).unwrap();
+    writeln!(
+        out,
+        "fault-injection campaign: {} faults x {} trials x {} cycles",
+        result.per_fault.len(),
+        result.config.trials,
+        result.config.cycles
+    )
+    .unwrap();
     writeln!(out).unwrap();
-    writeln!(out, "{:<14} | {:>6} | {:>12} | {:>12}", "class", "faults", "mean escape", "max escape").unwrap();
+    writeln!(
+        out,
+        "{:<14} | {:>6} | {:>12} | {:>12}",
+        "class", "faults", "mean escape", "max escape"
+    )
+    .unwrap();
     writeln!(out, "{}", "-".repeat(52)).unwrap();
     for (class, (count, mean)) in result.by_class() {
         let max = result
@@ -25,9 +36,24 @@ pub fn summary(result: &CampaignResult) -> String {
         writeln!(out, "{class:<14} | {count:>6} | {mean:>12.4} | {max:>12.4}").unwrap();
     }
     writeln!(out).unwrap();
-    writeln!(out, "worst Pndc-style escape:  {:.4}", result.worst_escape()).unwrap();
-    writeln!(out, "worst error escape:       {:.4}", result.worst_error_escape()).unwrap();
-    writeln!(out, "never-detected fraction:  {:.4}", result.never_detected_fraction()).unwrap();
+    writeln!(
+        out,
+        "worst Pndc-style escape:  {:.4}",
+        result.worst_escape()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "worst error escape:       {:.4}",
+        result.worst_error_escape()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "never-detected fraction:  {:.4}",
+        result.never_detected_fraction()
+    )
+    .unwrap();
     out
 }
 
@@ -37,7 +63,12 @@ pub fn worst_offenders(result: &CampaignResult, k: usize) -> String {
     let mut ranked: Vec<_> = result.per_fault.iter().collect();
     ranked.sort_by(|a, b| b.escape_fraction().total_cmp(&a.escape_fraction()));
     let mut out = String::new();
-    writeln!(out, "{:<44} | {:>8} | {:>10}", "fault", "escape", "mean det.").unwrap();
+    writeln!(
+        out,
+        "{:<44} | {:>8} | {:>10}",
+        "fault", "escape", "mean det."
+    )
+    .unwrap();
     writeln!(out, "{}", "-".repeat(70)).unwrap();
     for f in ranked.into_iter().take(k) {
         writeln!(
@@ -79,7 +110,12 @@ mod tests {
         run_campaign(
             &cfg,
             &faults,
-            CampaignConfig { cycles: 5, trials: 4, seed: 1, write_fraction: 0.1 },
+            CampaignConfig {
+                cycles: 5,
+                trials: 4,
+                seed: 1,
+                write_fraction: 0.1,
+            },
         )
     }
 

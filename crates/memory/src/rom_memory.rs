@@ -10,7 +10,7 @@
 //! flips. [CHE 85]'s concern — concurrent error detection in ROMs — is the
 //! direct ancestor of this arrangement.
 
-use crate::decoder_unit::{ActiveLines, BehavioralDecoder, DecoderFault};
+use crate::decoder_unit::{BehavioralDecoder, DecoderFault};
 use crate::design::Verdict;
 use scm_codes::CodewordMap;
 use scm_rom::RomMatrix;
@@ -75,11 +75,15 @@ impl SelfCheckingRom {
         row_map: CodewordMap,
         col_map: CodewordMap,
     ) -> Self {
-        assert!(word_bits >= 1 && word_bits <= 63, "word width out of range");
+        assert!((1..=63).contains(&word_bits), "word width out of range");
         let words = 1u64 << (row_bits + col_bits);
         assert_eq!(contents.len() as u64, words, "contents length mismatch");
         assert_eq!(row_map.num_lines(), 1u64 << row_bits, "row map mismatch");
-        assert_eq!(col_map.num_lines(), 1u64 << col_bits.max(1), "column map mismatch");
+        assert_eq!(
+            col_map.num_lines(),
+            1u64 << col_bits.max(1),
+            "column map mismatch"
+        );
         let mask = (1u64 << word_bits) - 1;
         let stored: Vec<u64> = contents
             .iter()
@@ -172,16 +176,24 @@ impl SelfCheckingRom {
 
         let row_word = rows
             .iter()
-            .fold((1u64 << self.row_rom.width()) - 1, |acc, l| acc & self.row_rom.word(l as usize));
+            .fold((1u64 << self.row_rom.width()) - 1, |acc, l| {
+                acc & self.row_rom.word(l as usize)
+            });
         let col_word = cols
             .iter()
-            .fold((1u64 << self.col_rom.width()) - 1, |acc, l| acc & self.col_rom.word(l as usize));
+            .fold((1u64 << self.col_rom.width()) - 1, |acc, l| {
+                acc & self.col_rom.word(l as usize)
+            });
         let verdict = Verdict {
             row_code_error: !self.row_map.is_codeword(row_word),
             col_code_error: !self.col_map.is_codeword(col_word),
             parity_error: (data.count_ones() + parity_bit as u32) % 2 == 1,
         };
-        RomReadOutcome { data, parity_bit, verdict }
+        RomReadOutcome {
+            data,
+            parity_bit,
+            verdict,
+        }
     }
 }
 
@@ -244,8 +256,14 @@ mod tests {
             value: 1,
             stuck_one: true,
         }));
-        assert!(!r.read(10 << 2).verdict.row_code_error, "colliding pair escapes");
-        assert!(r.read(5 << 2).verdict.row_code_error, "distinct pair caught");
+        assert!(
+            !r.read(10 << 2).verdict.row_code_error,
+            "colliding pair escapes"
+        );
+        assert!(
+            r.read(5 << 2).verdict.row_code_error,
+            "distinct pair caught"
+        );
     }
 
     #[test]

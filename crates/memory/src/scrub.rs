@@ -33,11 +33,7 @@ pub enum SweepLatency {
 /// cyclic sequential sweep of all `2^n` decoder values.
 ///
 /// The decoder has `n` input bits; the map assigns codewords to its lines.
-pub fn worst_case_sweep_latency(
-    n: u32,
-    map: &CodewordMap,
-    fault: DecoderFault,
-) -> SweepLatency {
+pub fn worst_case_sweep_latency(n: u32, map: &CodewordMap, fault: DecoderFault) -> SweepLatency {
     let span = 1u64 << n;
     assert_eq!(map.num_lines(), span, "map does not match decoder size");
     let field_mask = ((1u64 << fault.bits) - 1) << fault.offset;
@@ -113,7 +109,12 @@ pub fn sweep_bound(n: u32, map: &CodewordMap) -> SweepBound {
         for value in 0..(1u64 << bits) {
             for stuck_one in [false, true] {
                 total += 1;
-                let fault = DecoderFault { bits, offset, value, stuck_one };
+                let fault = DecoderFault {
+                    bits,
+                    offset,
+                    value,
+                    stuck_one,
+                };
                 match worst_case_sweep_latency(n, map, fault) {
                     SweepLatency::Within(steps) => {
                         worst = worst.max(steps);
@@ -128,7 +129,13 @@ pub fn sweep_bound(n: u32, map: &CodewordMap) -> SweepBound {
             }
         }
     }
-    SweepBound { worst_steps: worst, worst_sa0, worst_sa1, undetectable, total }
+    SweepBound {
+        worst_steps: worst,
+        worst_sa0,
+        worst_sa1,
+        undetectable,
+        total,
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +152,12 @@ mod tests {
         // SA0 on a 2-bit block at offset 1 of a 5-bit decoder: the field
         // repeats every 8 values; worst phase waits just under one period.
         let m = map(9, 5);
-        let fault = DecoderFault { bits: 2, offset: 1, value: 3, stuck_one: false };
+        let fault = DecoderFault {
+            bits: 2,
+            offset: 1,
+            value: 3,
+            stuck_one: false,
+        };
         match worst_case_sweep_latency(5, &m, fault) {
             SweepLatency::Within(steps) => assert!(steps <= 8, "steps {steps}"),
             SweepLatency::Never => panic!("SA0 is always detectable"),
@@ -170,7 +182,12 @@ mod tests {
         // SA1 on the *full-block* line 1 errs only when 10 is addressed —
         // undetectable, sweep or not.
         let m = map(9, 4);
-        let fault = DecoderFault { bits: 4, offset: 0, value: 1, stuck_one: true };
+        let fault = DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 1,
+            stuck_one: true,
+        };
         // Not Never: other swept addresses (2..=8, 11..) also pair with 1
         // and differ in codeword! Companion for v: (v & !mask)|1·… — the
         // whole address is the field here, so companion is always line 1:
@@ -185,7 +202,10 @@ mod tests {
         let bad = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, 16).unwrap();
         let _ = bad; // the odd case has no Never faults:
         let bound = sweep_bound(4, &m);
-        assert_eq!(bound.undetectable, 0, "odd a: every fault detectable under sweep");
+        assert_eq!(
+            bound.undetectable, 0,
+            "odd a: every fault detectable under sweep"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! error indication. The TSC goal is met on a cycle when an error is
 //! accompanied by an indication no later than itself.
 
+use crate::backend::{compare_step, FaultSimBackend};
 use crate::design::SelfCheckingRam;
 use crate::workload::{Op, Workload};
 
@@ -22,9 +23,23 @@ pub struct DetectionOutcome {
 }
 
 impl DetectionOutcome {
-    /// Fault detected within `c` cycles of onset?
+    /// Fault detected within `c` cycles of **onset** — the paper's
+    /// definition, where latency is counted from the first erroneous
+    /// output, not from injection:
+    ///
+    /// * error at `e`, detection at `d` — within budget iff `d ≤ e + c`
+    ///   (boundary included: "within `c` cycles" admits a latency of
+    ///   exactly `c`);
+    /// * detection but no erroneous output — trivially within budget for
+    ///   any `c` (the checkers spoke before the fault ever corrupted an
+    ///   output, the TSC ideal);
+    /// * no detection — not within any budget.
     pub fn detected_within(&self, c: u64) -> bool {
-        self.first_detection.is_some_and(|d| d < c)
+        match (self.first_detection, self.first_error) {
+            (Some(d), Some(e)) => d <= e.saturating_add(c),
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
     }
 
     /// Did an erroneous output reach the system strictly before the first
@@ -46,40 +61,33 @@ impl DetectionOutcome {
     }
 }
 
-/// Run `cycles` operations from `workload` against both designs.
+/// Run `cycles` operations from `workload` against any
+/// [`FaultSimBackend`], recording first-error and first-detection cycles.
 ///
-/// The twin must be in the same pre-fault state as the faulty design
-/// (callers typically clone after prefill, then inject).
-pub fn measure_detection(
-    faulty: &mut SelfCheckingRam,
-    golden: &mut SelfCheckingRam,
+/// The backend must already be [`reset`](FaultSimBackend::reset) into its
+/// faulted (or fault-free) state. Measurement stops at the first
+/// detection: the error indication is latched, so later cycles carry no
+/// information.
+///
+/// The workload is consumed as a source of fresh operations and may be
+/// advanced past `cycles_run` when the backend batches (bursts draw their
+/// ops up front); construct a new seeded [`Workload`] per measurement
+/// rather than relying on where a shared one left off.
+pub fn measure_detection_on<B: FaultSimBackend + ?Sized>(
+    backend: &mut B,
     workload: &mut Workload,
     cycles: u64,
 ) -> DetectionOutcome {
+    if backend.prefers_batching() {
+        return measure_detection_batched(backend, workload, cycles);
+    }
     let mut out = DetectionOutcome::default();
     for cycle in 0..cycles {
-        let op = workload.next_op();
-        let (erroneous, detected) = match op {
-            Op::Read(addr) => {
-                let f = faulty.read(addr);
-                let g = golden.read(addr);
-                (
-                    f.data != g.data || f.parity_bit != g.parity_bit,
-                    f.verdict.any_error(),
-                )
-            }
-            Op::Write(addr, value) => {
-                let fv = faulty.write(addr, value);
-                let _ = golden.write(addr, value);
-                // A write delivers no data to the system; only the checkers
-                // speak.
-                (false, fv.any_error())
-            }
-        };
-        if erroneous && out.first_error.is_none() {
+        let obs = backend.step(workload.next_op());
+        if obs.erroneous.unwrap_or(false) && out.first_error.is_none() {
             out.first_error = Some(cycle);
         }
-        if detected && out.first_detection.is_none() {
+        if obs.detected() && out.first_detection.is_none() {
             out.first_detection = Some(cycle);
         }
         out.cycles_run = cycle + 1;
@@ -88,6 +96,80 @@ pub fn measure_detection(
         }
     }
     out
+}
+
+/// Batched variant for backends whose [`step_many`] is cheaper than
+/// stepping (the gate backend's 64-lane sweeps): drive up to 64 cycles per
+/// burst, then scan the observations in order so the outcome — including
+/// the early stop at first detection — is identical to the serial loop.
+///
+/// [`step_many`]: FaultSimBackend::step_many
+fn measure_detection_batched<B: FaultSimBackend + ?Sized>(
+    backend: &mut B,
+    workload: &mut Workload,
+    cycles: u64,
+) -> DetectionOutcome {
+    let mut out = DetectionOutcome::default();
+    let mut cycle = 0u64;
+    while cycle < cycles {
+        let burst = (cycles - cycle).min(64) as usize;
+        let ops: Vec<Op> = (0..burst).map(|_| workload.next_op()).collect();
+        for obs in backend.step_many(&ops) {
+            if obs.erroneous.unwrap_or(false) && out.first_error.is_none() {
+                out.first_error = Some(cycle);
+            }
+            if obs.detected() && out.first_detection.is_none() {
+                out.first_detection = Some(cycle);
+            }
+            cycle += 1;
+            out.cycles_run = cycle;
+            if out.first_detection.is_some() {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Run `cycles` operations from `workload` against both designs.
+///
+/// The twin must be in the same pre-fault state as the faulty design
+/// (callers typically clone after prefill, then inject). This is the
+/// borrowed-pair convenience form of [`measure_detection_on`] over the
+/// behavioural model.
+pub fn measure_detection(
+    faulty: &mut SelfCheckingRam,
+    golden: &mut SelfCheckingRam,
+    workload: &mut Workload,
+    cycles: u64,
+) -> DetectionOutcome {
+    struct Pair<'a> {
+        faulty: &'a mut SelfCheckingRam,
+        golden: &'a mut SelfCheckingRam,
+    }
+    impl FaultSimBackend for Pair<'_> {
+        fn name(&self) -> &'static str {
+            "behavioral-pair"
+        }
+        fn config(&self) -> &crate::design::RamConfig {
+            self.faulty.config()
+        }
+        fn supports(&self, _site: &crate::fault::FaultSite) -> bool {
+            true
+        }
+        fn reset(&mut self, fault: Option<crate::fault::FaultSite>) {
+            // The borrowed pair owns no pristine copy: callers prepared the
+            // memory state; only the injected fault is resettable.
+            self.faulty.clear_fault();
+            if let Some(site) = fault {
+                self.faulty.inject(site);
+            }
+        }
+        fn step(&mut self, op: Op) -> crate::backend::CycleObservation {
+            compare_step(self.faulty, self.golden, op)
+        }
+    }
+    measure_detection_on(&mut Pair { faulty, golden }, workload, cycles)
 }
 
 #[cfg(test)]
@@ -115,6 +197,74 @@ mod tests {
             ram.write(addr, addr.wrapping_mul(0x9E) & 0xFF);
         }
         ram
+    }
+
+    #[test]
+    fn batched_measurement_identical_to_serial() {
+        use crate::backend::{CycleObservation, GateLevelBackend};
+        use crate::campaign::decoder_fault_universe;
+
+        /// Delegating wrapper that opts out of batching, forcing the
+        /// serial loop over the very same backend.
+        struct Serial<'a>(&'a mut GateLevelBackend);
+        impl FaultSimBackend for Serial<'_> {
+            fn name(&self) -> &'static str {
+                "gate-serial"
+            }
+            fn config(&self) -> &RamConfig {
+                self.0.config()
+            }
+            fn supports(&self, site: &FaultSite) -> bool {
+                self.0.supports(site)
+            }
+            fn reset(&mut self, fault: Option<FaultSite>) {
+                self.0.reset(fault)
+            }
+            fn step(&mut self, op: crate::workload::Op) -> CycleObservation {
+                self.0.step(op)
+            }
+        }
+
+        let mut gate = GateLevelBackend::try_new(&config()).unwrap();
+        assert!(gate.prefers_batching());
+        for fault in decoder_fault_universe(4) {
+            let site = FaultSite::RowDecoder(fault);
+            // Cycle counts straddling the 64-lane burst boundary.
+            for cycles in [1u64, 63, 64, 65, 200] {
+                gate.reset(Some(site));
+                let mut w = Workload::uniform(64, 8, 17);
+                let batched = measure_detection_on(&mut gate, &mut w, cycles);
+                let mut w = Workload::uniform(64, 8, 17);
+                let serial = measure_detection_on(&mut Serial(&mut gate), &mut w, cycles);
+                assert_eq!(batched, serial, "{site:?} over {cycles} cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn detected_within_counts_from_error_onset() {
+        let out = |e: Option<u64>, d: Option<u64>| DetectionOutcome {
+            cycles_run: 100,
+            first_error: e,
+            first_detection: d,
+        };
+        // Error at 5, budget c = 3: detection at 8 (= e + c) is the
+        // boundary and counts as within; 9 does not.
+        assert!(out(Some(5), Some(8)).detected_within(3));
+        assert!(!out(Some(5), Some(9)).detected_within(3));
+        // c = 0 demands same-cycle detection.
+        assert!(out(Some(5), Some(5)).detected_within(0));
+        assert!(!out(Some(5), Some(6)).detected_within(0));
+        // Detection *before* the first error is within any budget —
+        // previously this was (wrongly) judged against cycle 0.
+        assert!(out(Some(50), Some(2)).detected_within(0));
+        // Detection with no error at all: the TSC ideal, within budget.
+        assert!(out(None, Some(99)).detected_within(0));
+        // No detection: never within budget, erroneous or not.
+        assert!(!out(Some(0), None).detected_within(1_000_000));
+        assert!(!out(None, None).detected_within(1_000_000));
+        // Saturation: a huge budget with a late error must not overflow.
+        assert!(out(Some(u64::MAX - 1), Some(u64::MAX)).detected_within(u64::MAX));
     }
 
     #[test]
@@ -170,7 +320,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(out.first_detection, None, "colliding rows are the blind spot");
+        assert_eq!(
+            out.first_detection, None,
+            "colliding rows are the blind spot"
+        );
     }
 
     #[test]
@@ -190,7 +343,9 @@ mod tests {
             }));
             let mut w = Workload::uniform(64, 8, seed);
             let out = measure_detection(&mut faulty, &mut golden, &mut w, 10_000);
-            let d = out.first_detection.expect("should detect under uniform addressing");
+            let d = out
+                .first_detection
+                .expect("should detect under uniform addressing");
             latencies.push(d);
         }
         let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;

@@ -79,7 +79,11 @@ impl Workload {
             (0.0..=1.0).contains(&write_fraction),
             "write fraction {write_fraction} outside [0, 1]"
         );
-        let word_mask = if word_bits >= 64 { u64::MAX } else { (1u64 << word_bits) - 1 };
+        let word_mask = if word_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << word_bits) - 1
+        };
         Workload {
             pattern,
             words,

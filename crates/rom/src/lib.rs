@@ -39,11 +39,14 @@ impl RomMatrix {
     /// Panics if `width > 64`, the table is empty, or any word has bits
     /// above `width`.
     pub fn new(words: Vec<u64>, width: usize) -> Self {
-        assert!(width >= 1 && width <= 64, "ROM width {width} out of 1..=64");
+        assert!((1..=64).contains(&width), "ROM width {width} out of 1..=64");
         assert!(!words.is_empty(), "ROM must have at least one line");
         if width < 64 {
             for (i, w) in words.iter().enumerate() {
-                assert!(w >> width == 0, "line {i} word {w:#x} exceeds width {width}");
+                assert!(
+                    w >> width == 0,
+                    "line {i} word {w:#x} exceeds width {width}"
+                );
             }
         }
         RomMatrix { width, words }
@@ -82,7 +85,11 @@ impl RomMatrix {
     where
         I: IntoIterator<Item = usize>,
     {
-        let all_ones = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let all_ones = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         active_lines
             .into_iter()
             .fold(all_ones, |acc, line| acc & self.words[line])
@@ -93,8 +100,7 @@ impl RomMatrix {
     /// formula of Section IV prices; the standard-cell model prices the full
     /// `r × N` bit positions instead.
     pub fn programmed_bits(&self) -> u64 {
-        let per_line_zeros =
-            |w: &u64| self.width as u64 - (w & self.mask()).count_ones() as u64;
+        let per_line_zeros = |w: &u64| self.width as u64 - (w & self.mask()).count_ones() as u64;
         self.words.iter().map(per_line_zeros).sum()
     }
 
@@ -122,8 +128,10 @@ impl RomMatrix {
     /// ```
     pub fn hex_image(&self) -> String {
         use std::fmt::Write;
-        let digits = (self.width + 3) / 4;
-        let addr_digits = format!("{:x}", self.words.len().saturating_sub(1)).len().max(2);
+        let digits = self.width.div_ceil(4);
+        let addr_digits = format!("{:x}", self.words.len().saturating_sub(1))
+            .len()
+            .max(2);
         let mut out = String::new();
         for (line, w) in self.words.iter().enumerate() {
             writeln!(out, "{line:0addr_digits$x}: {w:0digits$x}").unwrap();
@@ -163,8 +171,8 @@ impl RomMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scm_codes::{CodewordMap, MOutOfN};
     use proptest::prelude::*;
+    use scm_codes::{CodewordMap, MOutOfN};
 
     fn paper_rom(lines: u64) -> RomMatrix {
         let map = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, lines).unwrap();

@@ -14,9 +14,16 @@ use std::fs;
 use std::path::Path;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let plan = select_code(LatencyBudget::new(10, 1e-9)?, SelectionPolicy::WorstBlockExact)?;
+    let plan = select_code(
+        LatencyBudget::new(10, 1e-9)?,
+        SelectionPolicy::WorstBlockExact,
+    )?;
     let map = plan.mapping(64)?; // a p = 6 row decoder
-    println!("exporting the {} checking path (a = {})", plan.code_name(), plan.a());
+    println!(
+        "exporting the {} checking path (a = {})",
+        plan.code_name(),
+        plan.a()
+    );
 
     // Assemble decoder → ROM → checker in one netlist.
     let mut nl = Netlist::new();
@@ -40,11 +47,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let dir = Path::new("target/export");
     fs::create_dir_all(dir)?;
-    fs::write(dir.join("decoder_check_path.v"), to_verilog(&nl, "decoder_check_path"))?;
-    fs::write(dir.join("decoder_check_path.dot"), to_dot(&nl, "decoder_check_path"))?;
+    fs::write(
+        dir.join("decoder_check_path.v"),
+        to_verilog(&nl, "decoder_check_path"),
+    )?;
+    fs::write(
+        dir.join("decoder_check_path.dot"),
+        to_dot(&nl, "decoder_check_path"),
+    )?;
     fs::write(dir.join("row_rom.hex"), rom.hex_image())?;
     println!("wrote target/export/decoder_check_path.v");
     println!("wrote target/export/decoder_check_path.dot");
-    println!("wrote target/export/row_rom.hex ({} lines)", rom.num_lines());
+    println!(
+        "wrote target/export/row_rom.hex ({} lines)",
+        rom.num_lines()
+    );
     Ok(())
 }

@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = run_campaign(
         config,
         &faults,
-        CampaignConfig { cycles: 10, trials: 48, seed: 42, write_fraction: 0.15 },
+        CampaignConfig {
+            cycles: 10,
+            trials: 48,
+            seed: 42,
+            write_fraction: 0.15,
+        },
     );
 
     println!();
@@ -39,9 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{class:<14} | {count:>6} | {mean_escape:>14.4} |");
     }
     println!();
-    println!("worst per-fault escape (paper's Pndc sense): {:.4}", result.worst_escape());
-    println!("worst per-fault ERROR escape (safety sense): {:.4}", result.worst_error_escape());
-    println!("faults never detected in any trial:          {:.1}%", 100.0 * result.never_detected_fraction());
+    println!(
+        "worst per-fault escape (paper's Pndc sense): {:.4}",
+        result.worst_escape()
+    );
+    println!(
+        "worst per-fault ERROR escape (safety sense): {:.4}",
+        result.worst_error_escape()
+    );
+    println!(
+        "faults never detected in any trial:          {:.1}%",
+        100.0 * result.never_detected_fraction()
+    );
     println!();
     println!("notes: 'never detected' is dominated by stuck-at-0 faults on large");
     println!("blocks — they are harmless until their line is addressed, and their");

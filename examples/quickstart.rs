@@ -24,15 +24,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ram.write(addr, addr.wrapping_mul(31) & 0xFFFF);
     }
     let out = ram.read(500);
-    println!("read @500 -> {:#06x}, checkers clean: {}", out.data, !out.verdict.any_error());
+    println!(
+        "read @500 -> {:#06x}, checkers clean: {}",
+        out.data,
+        !out.verdict.any_error()
+    );
 
     // 3. Stuck-at-0 in the row decoder: caught the moment it causes an
     //    error (the all-ones NOR word is never a codeword).
     let mut broken = ram.clone();
     broken.inject(FaultSite::RowDecoder(DecoderFault {
-        bits: 7,      // the last-level block decodes all 7 row bits
+        bits: 7, // the last-level block decodes all 7 row bits
         offset: 0,
-        value: 3,     // the line for row 3 is stuck low
+        value: 3, // the line for row 3 is stuck low
         stuck_one: false,
     }));
     let out = broken.read(3 * 8); // row 3, column 0
@@ -60,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. A single stuck cell: the classical parity catch.
     let mut broken = ram.clone();
-    broken.inject(FaultSite::Cell { row: 10, col: 0, stuck: true });
+    broken.inject(FaultSite::Cell {
+        row: 10,
+        col: 0,
+        stuck: true,
+    });
     let hit = (0..1024u64)
         .map(|a| broken.read(a))
         .filter(|o| o.verdict.parity_error)

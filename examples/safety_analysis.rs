@@ -43,9 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let report = design.report();
     println!();
-    println!("selected scheme: {} (a = {})", report.row_code, design.plan().unwrap().a());
-    println!("achieved Pndc bound after 20 cycles: {:.2e}", report.pndc_after(20));
-    println!("decoder-checking area: {:.2}% of the RAM", report.decoder_checking_percent());
+    println!(
+        "selected scheme: {} (a = {})",
+        report.row_code,
+        design.plan().unwrap().a()
+    );
+    println!(
+        "achieved Pndc bound after 20 cycles: {:.2e}",
+        report.pndc_after(20)
+    );
+    println!(
+        "decoder-checking area: {:.2}% of the RAM",
+        report.decoder_checking_percent()
+    );
     println!("everything included:   {:.2}%", report.total_percent());
     println!();
 

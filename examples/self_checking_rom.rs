@@ -11,19 +11,15 @@ use scm_memory::rom_memory::{RomFaultSite, SelfCheckingRom};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 256-word × 16-bit microcode ROM; detect decoder faults within 10
     // cycles, escape ≤ 1e-9.
-    let plan = select_code(LatencyBudget::new(10, 1e-9)?, SelectionPolicy::WorstBlockExact)?;
+    let plan = select_code(
+        LatencyBudget::new(10, 1e-9)?,
+        SelectionPolicy::WorstBlockExact,
+    )?;
     println!("selected: {} (a = {})", plan.code_name(), plan.a());
 
     // p = 6 row bits, s = 2 column bits.
     let contents: Vec<u64> = (0..256u64).map(|a| (a * 0x2137) & 0xFFFF).collect();
-    let rom = SelfCheckingRom::new(
-        &contents,
-        16,
-        6,
-        2,
-        plan.mapping(64)?,
-        plan.mapping(4)?,
-    );
+    let rom = SelfCheckingRom::new(&contents, 16, 6, 2, plan.mapping(64)?, plan.mapping(4)?);
 
     // Clean reads.
     let ok = (0..256u64).all(|a| {

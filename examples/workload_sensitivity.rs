@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("uniform (paper model)", AddressPattern::UniformRandom),
         ("sequential scan", AddressPattern::Sequential),
         ("stride-8 loop", AddressPattern::Strided { stride: 8 }),
-        ("hot spot (32 words)", AddressPattern::HotSpot { window: 32 }),
+        (
+            "hot spot (32 words)",
+            AddressPattern::HotSpot { window: 32 },
+        ),
     ];
 
     println!("SA1 decoder fault, 40 trials each, up to 10k cycles:");
@@ -62,10 +65,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 worst = worst.max(d);
             }
         }
-        let mean = if detected > 0 { sum as f64 / detected as f64 } else { f64::NAN };
-        println!(
-            "{name:<22} | {detected:>6}/{trials} | {mean:>10.1} | {worst:>12}",
-        );
+        let mean = if detected > 0 {
+            sum as f64 / detected as f64
+        } else {
+            f64::NAN
+        };
+        println!("{name:<22} | {detected:>6}/{trials} | {mean:>10.1} | {worst:>12}",);
     }
     println!();
     println!("reading: uniform addressing detects almost immediately (most random rows");

@@ -37,7 +37,12 @@ fn per_fault_single_cycle_escape_matches_collision_count() {
     let result = run_campaign(
         &cfg,
         &sites,
-        CampaignConfig { cycles: 1, trials, seed: 0xAB, write_fraction: 0.0 },
+        CampaignConfig {
+            cycles: 1,
+            trials,
+            seed: 0xAB,
+            write_fraction: 0.0,
+        },
     );
 
     let mut checked = 0usize;
@@ -49,8 +54,12 @@ fn per_fault_single_cycle_escape_matches_collision_count() {
         // sites whose block contains the remapped line (value 9 ↔ class 0).
         let kind = MappingKind::ModA { a: 9 };
         let span = 1u64 << decoder_fault.bits;
-        let expected = collision_count(kind, decoder_fault.bits, decoder_fault.offset, decoder_fault.value)
-            as f64
+        let expected = collision_count(
+            kind,
+            decoder_fault.bits,
+            decoder_fault.offset,
+            decoder_fault.value,
+        ) as f64
             / span as f64;
         // Completion fix perturbs blocks covering address 9 (the full 6-bit
         // block and the upper blocks containing bit pattern of 9): allow a
@@ -80,7 +89,12 @@ fn error_escape_respects_paper_bound_statistically() {
     let result = run_campaign(
         &cfg,
         &sites,
-        CampaignConfig { cycles: 10, trials: 64, seed: 0xCD, write_fraction: 0.1 },
+        CampaignConfig {
+            cycles: 10,
+            trials: 64,
+            seed: 0xCD,
+            write_fraction: 0.1,
+        },
     );
     // Paper bound for a = 9 on a 6-bit decoder: governing block i = 4 →
     // ⌈16/9⌉/16 = 1/8. Empirical per-fault error escape over 10 cycles must
@@ -108,7 +122,16 @@ fn berger_identity_mapping_has_zero_error_escape() {
     let result = run_campaign(
         &config,
         &sites,
-        CampaignConfig { cycles: 10, trials: 16, seed: 0xEF, write_fraction: 0.1 },
+        CampaignConfig {
+            cycles: 10,
+            trials: 16,
+            seed: 0xEF,
+            write_fraction: 0.1,
+        },
     );
-    assert_eq!(result.worst_error_escape(), 0.0, "zero-latency endpoint leaked an error");
+    assert_eq!(
+        result.worst_error_escape(),
+        0.0,
+        "zero-latency endpoint leaked an error"
+    );
 }

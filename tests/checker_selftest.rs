@@ -2,7 +2,9 @@
 //! self-testing coverage for every checker the paper's tables need.
 
 use scm_checkers::self_testing::self_testing_report;
-use scm_checkers::{code_disjoint_violation, BergerChecker, Checker, MOutOfNChecker, ParityChecker};
+use scm_checkers::{
+    code_disjoint_violation, BergerChecker, Checker, MOutOfNChecker, ParityChecker,
+};
 use scm_codes::parity::ParityCode;
 use scm_codes::{BergerCode, Code, MOutOfN};
 use scm_logic::Netlist;
@@ -10,7 +12,16 @@ use scm_logic::Netlist;
 #[test]
 fn every_table_code_checker_is_code_disjoint() {
     // All q-out-of-r codes appearing in Table 1 or Table 2.
-    for (q, r) in [(1u32, 2u32), (2, 3), (2, 4), (3, 5), (4, 7), (4, 8), (5, 9), (7, 13)] {
+    for (q, r) in [
+        (1u32, 2u32),
+        (2, 3),
+        (2, 4),
+        (3, 5),
+        (4, 7),
+        (4, 8),
+        (5, 9),
+        (7, 13),
+    ] {
         let code = MOutOfN::new(q, r).unwrap();
         let chk = MOutOfNChecker::new(code);
         let mut nl = Netlist::new();
@@ -115,6 +126,9 @@ fn rom_plus_checker_chain_is_code_disjoint_over_line_patterns() {
         let expect_error = !code.is_codeword(word);
         let out = nl.eval_word(pattern, None).outputs();
         let flagged = out[0] == out[1];
-        assert_eq!(flagged, expect_error, "pattern {pattern:016b} word {word:05b}");
+        assert_eq!(
+            flagged, expect_error,
+            "pattern {pattern:016b} word {word:05b}"
+        );
     }
 }

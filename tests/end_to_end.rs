@@ -25,18 +25,26 @@ fn many_geometries_roundtrip() {
         (1024, 16, 8),
         (2048, 16, 8),
         (4096, 32, 8),
-        (256, 1, 4),   // 1-bit words: parity column only storage
-        (64, 64, 2),   // widest words the simulator supports
+        (256, 1, 4), // 1-bit words: parity column only storage
+        (64, 64, 2), // widest words the simulator supports
     ] {
         let design = build(words, bits, mux, 10, 1e-9);
         let mut ram = design.instantiate();
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         for addr in (0..words).step_by(7) {
             ram.write(addr, addr.wrapping_mul(0x9E3779B9) & mask);
         }
         for addr in (0..words).step_by(7) {
             let out = ram.read(addr);
-            assert_eq!(out.data, addr.wrapping_mul(0x9E3779B9) & mask, "{words}x{bits}");
+            assert_eq!(
+                out.data,
+                addr.wrapping_mul(0x9E3779B9) & mask,
+                "{words}x{bits}"
+            );
             assert!(!out.verdict.any_error(), "{words}x{bits} addr {addr}");
         }
     }
@@ -55,7 +63,12 @@ fn every_sa0_decoder_fault_has_zero_error_escape() {
     let result = run_campaign(
         config,
         &faults,
-        CampaignConfig { cycles: 50, trials: 12, seed: 9, write_fraction: 0.2 },
+        CampaignConfig {
+            cycles: 50,
+            trials: 12,
+            seed: 9,
+            write_fraction: 0.2,
+        },
     );
     for f in &result.per_fault {
         assert_eq!(f.error_escapes, 0, "SA0 error escaped for {:?}", f.site);
@@ -82,7 +95,12 @@ fn budget_is_respected_empirically_for_moderate_codes() {
     let result = run_campaign(
         config,
         &faults,
-        CampaignConfig { cycles: 10, trials: 64, seed: 5, write_fraction: 0.1 },
+        CampaignConfig {
+            cycles: 10,
+            trials: 64,
+            seed: 5,
+            write_fraction: 0.1,
+        },
     );
     // Worst error escape must stay within the analytical per-cycle bound
     // (0.5) with generous statistical slack.
@@ -134,13 +152,21 @@ fn detection_latency_scales_with_code_strength() {
         let result = run_campaign(
             config,
             &faults,
-            CampaignConfig { cycles: 5, trials: 24, seed: 77, write_fraction: 0.1 },
+            CampaignConfig {
+                cycles: 5,
+                trials: 24,
+                seed: 77,
+                write_fraction: 0.1,
+            },
         );
         escapes.push((label, result.worst_error_escape()));
     }
     assert!(escapes[0].1 >= escapes[1].1, "{escapes:?}");
     assert!(escapes[1].1 >= escapes[2].1, "{escapes:?}");
-    assert_eq!(escapes[2].1, 0.0, "zero-latency endpoint must never leak an error");
+    assert_eq!(
+        escapes[2].1, 0.0,
+        "zero-latency endpoint must never leak an error"
+    );
 }
 
 #[test]
@@ -151,14 +177,39 @@ fn single_fault_detection_across_all_classes() {
         golden.write(a, a & 0xFF);
     }
     let candidates = [
-        FaultSite::Cell { row: 5, col: 3, stuck: true },
-        FaultSite::RowDecoder(DecoderFault { bits: 6, offset: 0, value: 9, stuck_one: false }),
-        FaultSite::RowDecoder(DecoderFault { bits: 6, offset: 0, value: 9, stuck_one: true }),
-        FaultSite::ColDecoder(DecoderFault { bits: 2, offset: 0, value: 1, stuck_one: true }),
+        FaultSite::Cell {
+            row: 5,
+            col: 3,
+            stuck: true,
+        },
+        FaultSite::RowDecoder(DecoderFault {
+            bits: 6,
+            offset: 0,
+            value: 9,
+            stuck_one: false,
+        }),
+        FaultSite::RowDecoder(DecoderFault {
+            bits: 6,
+            offset: 0,
+            value: 9,
+            stuck_one: true,
+        }),
+        FaultSite::ColDecoder(DecoderFault {
+            bits: 2,
+            offset: 0,
+            value: 1,
+            stuck_one: true,
+        }),
         FaultSite::RowRomBit { line: 11, bit: 1 },
         FaultSite::ColRomBit { line: 2, bit: 0 },
-        FaultSite::RowRomColumn { bit: 3, stuck: false },
-        FaultSite::DataRegisterBit { bit: 4, stuck: true },
+        FaultSite::RowRomColumn {
+            bit: 3,
+            stuck: false,
+        },
+        FaultSite::DataRegisterBit {
+            bit: 4,
+            stuck: true,
+        },
     ];
     for fault in candidates {
         let mut faulty = golden.clone();

@@ -11,7 +11,11 @@ use scm_memory::rom_memory::{RomFaultSite, SelfCheckingRom};
 use scm_memory::scrub::{sweep_bound, SweepBound};
 
 fn plan(pndc: f64) -> scm_codes::selection::CodePlan {
-    select_code(LatencyBudget::new(10, pndc).unwrap(), SelectionPolicy::InverseA).unwrap()
+    select_code(
+        LatencyBudget::new(10, pndc).unwrap(),
+        SelectionPolicy::InverseA,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -48,7 +52,10 @@ fn stronger_codes_shrink_the_compare_blind_spot() {
         );
         prev = cov.compare;
     }
-    assert!(prev > 0.97, "strongest code should be nearly blind-spot-free: {prev}");
+    assert!(
+        prev > 0.97,
+        "strongest code should be nearly blind-spot-free: {prev}"
+    );
 }
 
 #[test]
@@ -113,7 +120,7 @@ fn rom_and_ram_decoder_checks_agree() {
     let row_map = CodewordMap::mod_a(code, 9, 16).unwrap();
     let col_map = CodewordMap::mod_a(code, 9, 4).unwrap();
 
-    let contents: Vec<u64> = (0..64u64).map(|a| a * 3 & 0xFF).collect();
+    let contents: Vec<u64> = (0..64u64).map(|a| (a * 3) & 0xFF).collect();
     let mut rom = SelfCheckingRom::new(&contents, 8, 4, 2, row_map.clone(), col_map.clone());
     let mut ram = SelfCheckingRam::new(RamConfig::new(
         RamOrganization::new(64, 8, 4),
@@ -121,10 +128,15 @@ fn rom_and_ram_decoder_checks_agree() {
         col_map,
     ));
     for a in 0..64u64 {
-        ram.write(a, a * 3 & 0xFF);
+        ram.write(a, (a * 3) & 0xFF);
     }
 
-    let fault = DecoderFault { bits: 4, offset: 0, value: 6, stuck_one: true };
+    let fault = DecoderFault {
+        bits: 4,
+        offset: 0,
+        value: 6,
+        stuck_one: true,
+    };
     rom.inject(RomFaultSite::RowDecoder(fault));
     ram.inject(FaultSite::RowDecoder(fault));
     for addr in 0..64u64 {
@@ -147,7 +159,12 @@ fn membership_and_compare_strategies_on_live_cycles() {
     let p = plan(1e-9);
     let map = p.mapping(64).unwrap();
     let mut dec = BehavioralDecoder::new(6);
-    dec.inject(DecoderFault { bits: 6, offset: 0, value: 9, stuck_one: true });
+    dec.inject(DecoderFault {
+        bits: 6,
+        offset: 0,
+        value: 9,
+        stuck_one: true,
+    });
     let mut membership_catches = 0u32;
     let mut compare_catches = 0u32;
     for v in 0..64u64 {
@@ -160,5 +177,8 @@ fn membership_and_compare_strategies_on_live_cycles() {
         }
     }
     assert!(compare_catches >= membership_catches);
-    assert!(membership_catches > 48, "SA1 should be caught on most addresses");
+    assert!(
+        membership_catches > 48,
+        "SA1 should be caught on most addresses"
+    );
 }

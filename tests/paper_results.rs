@@ -51,8 +51,8 @@ fn all_36_percent_cells_within_tolerance() {
     let mut checked = 0;
     for row in PAPER_TABLE1.iter().chain(&PAPER_TABLE2) {
         let ours = percents_for_width(row.r, &tech);
-        for col in 0..3 {
-            let rel = (ours[col] - row.percents[col]).abs() / row.percents[col];
+        for (col, our_percent) in ours.iter().enumerate() {
+            let rel = (our_percent - row.percents[col]).abs() / row.percents[col];
             let tol = if row.r == 4 && col == 1 { 0.15 } else { 0.025 };
             assert!(
                 rel < tol,
@@ -99,7 +99,10 @@ fn section2_safety_numbers() {
     assert!((m.undetectable_rate_full_coverage() - 1e-9).abs() < 1e-12);
     assert!((m.undetectable_rate_array_only() - 1e-6).abs() < 5e-8);
     let factor = m.degradation_factor();
-    assert!((900.0..1100.0).contains(&factor), "three orders of magnitude, got {factor}");
+    assert!(
+        (900.0..1100.0).contains(&factor),
+        "three orders of magnitude, got {factor}"
+    );
 }
 
 #[test]

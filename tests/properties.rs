@@ -158,6 +158,9 @@ fn unordered_property_of_every_table_code() {
         let words: Vec<u64> = code.iter().collect();
         assert!(scm_codes::unordered::is_unordered_set(&words), "r = {r}");
         let all_ones = (1u64 << r) - 1;
-        assert!(!code.is_codeword(all_ones), "all-ones must be non-code for r = {r}");
+        assert!(
+            !code.is_codeword(all_ones),
+            "all-ones must be non-code for r = {r}"
+        );
     }
 }

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each routine is calibrated to a
+//! target wall-clock budget, timed over several samples, and reported as
+//! median ns/iteration (plus derived throughput when declared). There are
+//! no HTML reports, statistics beyond min/median/max, or baseline
+//! comparisons — the numbers are for relative, same-machine comparisons,
+//! which is all the workspace's perf gates need.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration workload, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Iterations the measurement loop will run.
+    iters: u64,
+    /// Total elapsed time across all measured iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(target: Duration, samples: usize, mut f: impl FnMut(&mut Bencher)) -> BenchStats {
+    // Calibrate: grow the iteration count until one sample costs ~1/samples
+    // of the target budget.
+    let mut iters = 1u64;
+    let per_sample = target / samples as u32;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample || iters >= 1 << 40 {
+            let mut times: Vec<f64> = Vec::with_capacity(samples);
+            times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            for _ in 1..samples {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            }
+            times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+            return BenchStats {
+                min: times[0],
+                median: times[times.len() / 2],
+                max: times[times.len() - 1],
+                iters,
+            };
+        }
+        // Scale towards the budget, at least doubling.
+        let grow = (per_sample.as_nanos() as u64 / b.elapsed.as_nanos().max(1) as u64).max(2);
+        iters = iters.saturating_mul(grow.min(100));
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BenchStats {
+    min: f64,
+    median: f64,
+    max: f64,
+    iters: u64,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(id: &str, stats: BenchStats, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{id:<48} time: [{} {} {}]  ({} iters/sample)",
+        format_time(stats.min),
+        format_time(stats.median),
+        format_time(stats.max),
+        stats.iters
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (stats.median * 1e-9);
+        line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    target: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Quick-but-stable defaults; override with CRITERION_TARGET_MS.
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            target: Duration::from_millis(ms),
+            samples: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmark one routine.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let stats = run_one(self.target, self.samples, f);
+        report(id, stats, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration workload for derived throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark one routine within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let stats = run_one(self.criterion.target, self.criterion.samples, f);
+        report(&format!("{}/{id}", self.name), stats, self.throughput);
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions into one named runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_terminates_and_reports() {
+        let mut c = Criterion {
+            target: Duration::from_millis(5),
+            samples: 3,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}

@@ -1,0 +1,350 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of rayon's API the workspace uses — slice
+//! `par_iter().map(..).collect::<Vec<_>>()`, [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], and [`current_num_threads`] — on top of
+//! `std::thread::scope`.
+//!
+//! Scheduling is dynamic: workers pull index chunks from a shared atomic
+//! cursor, so uneven per-item cost balances across threads (the property
+//! the campaign engine needs, since fault trials differ wildly in how
+//! early detection latches). Unlike upstream rayon there is no persistent
+//! global pool — each `collect` spawns scoped workers — which keeps the
+//! implementation tiny and `forbid(unsafe_code)`-clean while preserving
+//! the documented semantics: item order in the collected output matches
+//! input order regardless of execution order.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<NonZeroUsize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Number of threads parallel iterators will use in the current context.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(|t| t.get())
+        .map(NonZeroUsize::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (infallible here; kept for
+/// API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine-sized) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Fix the thread count (0 = machine default, like upstream).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in this implementation; the `Result` mirrors upstream.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self.num_threads.unwrap_or_else(default_threads).max(1);
+        Ok(ThreadPool {
+            threads: NonZeroUsize::new(n).expect("clamped above"),
+        })
+    }
+}
+
+/// A scoped thread-count context mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: NonZeroUsize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Run `op` with this pool's thread count governing any parallel
+    /// iterators it creates.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|t| {
+            let prev = t.replace(Some(self.threads));
+            let result = op();
+            t.set(prev);
+            result
+        })
+    }
+}
+
+/// Run `items.len()` tasks with dynamic chunked scheduling, preserving
+/// input order in the output.
+fn parallel_map_indexed<'a, T: Sync, R: Send>(
+    items: &'a [T],
+    f: &(impl Fn(usize, &'a T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // Chunks small enough to balance, large enough to amortise the cursor.
+    let chunk = (n / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let bins: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let local: Vec<R> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, item)| f(start + k, item))
+                    .collect();
+                bins.lock()
+                    .expect("worker panicked holding bin lock")
+                    .push((start, local));
+            });
+        }
+    });
+    let mut bins = bins.into_inner().expect("worker panicked holding bin lock");
+    bins.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut local) in bins.drain(..) {
+        out.append(&mut local);
+    }
+    out
+}
+
+/// A parallel iterator over borrowed slice items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator.
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// An enumerated parallel iterator.
+pub struct Enumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> Map<'a, T, F> {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> Enumerate<'a, T> {
+        Enumerate { items: self.items }
+    }
+
+    /// Hint accepted for API compatibility (chunking is automatic here).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> Map<'a, T, F> {
+    /// Execute and collect in input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_vec(parallel_map_indexed(self.items, &|_, item| (self.f)(item)))
+    }
+
+    /// Execute for side effects only.
+    pub fn for_each(self, sink: impl Fn(R) + Sync) {
+        parallel_map_indexed(self.items, &|_, item| sink((self.f)(item)));
+    }
+
+    /// Sum the mapped values.
+    pub fn sum<S: std::iter::Sum<R> + Send>(self) -> S {
+        parallel_map_indexed(self.items, &|_, item| (self.f)(item))
+            .into_iter()
+            .sum()
+    }
+}
+
+impl<'a, T: Sync> Enumerate<'a, T> {
+    /// Apply `f` to every `(index, item)` pair in parallel and collect.
+    pub fn map<R: Send, F: Fn((usize, &'a T)) -> R + Sync>(self, f: F) -> EnumerateMap<'a, T, F> {
+        EnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped, enumerated parallel iterator.
+pub struct EnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn((usize, &'a T)) -> R + Sync> EnumerateMap<'a, T, F> {
+    /// Execute and collect in input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_vec(parallel_map_indexed(self.items, &|i, item| {
+            (self.f)((i, item))
+        }))
+    }
+}
+
+/// Collection target for parallel collects (only `Vec` is needed here).
+pub trait FromParallel<R> {
+    /// Build from the ordered result vector.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Borrowing conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Sync + 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ThreadPool, ThreadPoolBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..997).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..997).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_indices_match() {
+        let input = vec!["a", "b", "c", "d"];
+        let tagged: Vec<(usize, &str)> =
+            input.par_iter().enumerate().map(|(i, &s)| (i, s)).collect();
+        assert_eq!(tagged, vec![(0, "a"), (1, "b"), (2, "c"), (3, "d")]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Outside install, back to the default.
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let input: Vec<u64> = (0..501).collect();
+        let serial: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par: Vec<u64> =
+                pool.install(|| input.par_iter().map(|&x| x.wrapping_mul(0x9E37)).collect());
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<u64> = (0..256).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            input
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                })
+                .for_each(|()| {});
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "work must spread across threads"
+        );
+    }
+}
