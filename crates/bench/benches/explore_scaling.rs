@@ -1,0 +1,60 @@
+//! Frontier-search scaling baseline: design-space evaluation throughput
+//! (points per second, adjudicated) at 1/2/4/8 threads, alongside the
+//! `campaign_scaling` engine baseline.
+//!
+//! A fresh `Evaluator` is built per iteration so memo caches never carry
+//! over between measured runs — the number is cold-cache evaluation, the
+//! honest cost of a new exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::selection::SelectionPolicy;
+use scm_explore::{pareto_front, Adjudication, Evaluator, ExplorationSpace, ScrubPolicy};
+use scm_memory::campaign::CampaignConfig;
+use std::hint::black_box;
+
+fn space() -> ExplorationSpace {
+    ExplorationSpace {
+        geometries: vec![RamOrganization::new(256, 8, 4)],
+        cycles: vec![2, 5, 10, 20, 30, 40],
+        pndcs: vec![1e-2, 1e-5, 1e-9, 1e-15],
+        policies: SelectionPolicy::ALL.to_vec(),
+        scrubs: vec![ScrubPolicy::Off],
+        workloads: vec!["uniform".to_owned()],
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let space = space();
+    let adjudication = Adjudication {
+        campaign: CampaignConfig {
+            cycles: 10,
+            trials: 4,
+            seed: 0xF207,
+            write_fraction: 0.1,
+        },
+        max_faults: 16,
+    };
+
+    let mut g = c.benchmark_group("explore-scaling");
+    g.throughput(Throughput::Elements(space.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("{threads}-threads"), |b| {
+            b.iter(|| {
+                let evaluator = Evaluator::default()
+                    .adjudicate(adjudication)
+                    .threads(threads);
+                let evals: Vec<_> = evaluator
+                    .evaluate_space(black_box(&space))
+                    .into_iter()
+                    .filter_map(Result::ok)
+                    .collect();
+                black_box(pareto_front(&evals))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -19,7 +19,10 @@
 //! Campaigns run on the parallel [`CampaignEngine`]; the binary first
 //! times the identical fault universe single-threaded and at full width
 //! and prints the speedup, then verifies the two runs agreed bit-for-bit
-//! (the engine's determinism contract).
+//! (the engine's determinism contract). The speedup column is purely
+//! informational — on a single-core runner it prints `n/a` instead of a
+//! meaningless (and flaky) timing ratio, and nothing ever asserts on it;
+//! only the determinism comparison can fail the run.
 //!
 //! Run: `cargo run --release -p scm-bench --bin montecarlo_validation`
 //! (set `SCM_THREADS` to pin the parallel width).
@@ -110,16 +113,31 @@ fn main() {
         let sa1_result = CampaignEngine::new(cfg).threads(threads).run(config, &sa1);
         let parallel_time = parallel_start.elapsed();
 
+        // The determinism assertion is the contract; it runs first and
+        // unconditionally, so no timing quirk can mask a real divergence.
         assert_eq!(
             sa1_serial.determinism_profile(),
             sa1_result.determinism_profile(),
             "engine must be bit-identical across thread counts"
         );
         let sa0_result = CampaignEngine::new(cfg).threads(threads).run(config, &sa0);
-        let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+        // Informational only: with one worker (or one core) the 1-vs-N
+        // ratio is pure scheduling noise, so print n/a rather than a
+        // number nobody should read.
+        let multi_core = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        let speedup = if threads > 1 && multi_core {
+            format!(
+                "{:>7.2}x",
+                serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9)
+            )
+        } else {
+            format!("{:>8}", "n/a")
+        };
 
         println!(
-            "{:<12} | {:>4} | {:>13.4} | {:>14.4} | {:>15.4} | {:>8.4} | {:>8} | {:>8.2}x",
+            "{:<12} | {:>4} | {:>13.4} | {:>14.4} | {:>15.4} | {:>8.4} | {:>8} | {speedup}",
             design.report().row_code,
             match config.row_map().kind() {
                 MappingKind::ModA { a } => a,
@@ -130,7 +148,6 @@ fn main() {
             sa1_result.worst_error_escape(),
             sa0_result.worst_error_escape(),
             sa1.len() + sa0.len(),
-            speedup,
         );
         assert_eq!(
             sa0_result.worst_error_escape(),
@@ -142,6 +159,7 @@ fn main() {
     println!("reading: 'empirical e-esc' must sit at or below 'paper bound' (within");
     println!("~1/trials noise) and track 'analytic e-esc'; 'sa0-esc' must be exactly 0,");
     println!("confirming the zero-latency claim for stuck-at-0 decoder faults.");
-    println!("'speedup' compares the same campaign at 1 vs {threads} threads; the");
-    println!("profiles are asserted bit-identical before the numbers are printed.");
+    println!("'speedup' compares the same campaign at 1 vs {threads} threads (informational");
+    println!("only — 'n/a' on single-core runners); the profiles are asserted");
+    println!("bit-identical before the numbers are printed.");
 }

@@ -1,0 +1,30 @@
+//! The unified experiment driver: `scm <subcommand>`.
+//!
+//! One binary over the `scm-explore` engine replaces the former
+//! per-experiment mains (`pareto`, `table1`, `table2`, `ablations`) and
+//! adds free exploration (`explore`) and workload-selectable campaigns
+//! (`campaign`). Run `scm help` for the full surface.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match scm_bench::cli::run(&args) {
+        Ok(stdout) => {
+            print!("{stdout}");
+            match args.first().map(String::as_str) {
+                Some("pareto") => {
+                    eprintln!("# rows are the achievable (latency, area) points; the Pareto front");
+                    eprintln!("# is monotone: tighter budgets never select narrower codes.");
+                }
+                Some("explore") => {
+                    eprintln!("# tip: --workload all sweeps every workload model; --adjudicate");
+                    eprintln!("# runs Monte-Carlo campaigns per point on the parallel engine.");
+                }
+                _ => {}
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,711 @@
+//! The `scm` command-line interface: every exploration-backed experiment
+//! behind one binary.
+//!
+//! ```text
+//! scm table1                      regenerate the paper's Table 1
+//! scm table2                      regenerate the paper's Table 2
+//! scm pareto [--policy P]         area-vs-latency sweep, CSV on stdout
+//! scm ablations                   design-choice ablations
+//! scm explore [options]           free design-space exploration
+//! scm campaign [options]          fault campaign under a chosen workload
+//! ```
+//!
+//! Subcommands are thin wrappers over `scm-explore`'s [`Evaluator`]; the
+//! `table1`/`table2`/`pareto` stdout is byte-stable (pinned by
+//! `tests/cli_fixtures.rs`) so recorded experiment outputs never drift
+//! silently.
+
+use scm_area::ram_area::paper_rams;
+use scm_area::RamOrganization;
+use scm_codes::mapping::MappingKind;
+use scm_codes::selection::SelectionPolicy;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_core::SelfCheckingRamBuilder;
+use scm_explore::{
+    pareto_front, Adjudication, DesignPoint, Evaluator, ExplorationSpace, ScrubPolicy,
+};
+use scm_latency::distribution::analyze_decoder;
+use scm_latency::goal::classify;
+use scm_logic::stats::gate_stats;
+use scm_logic::Netlist;
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
+use scm_memory::report::{summary, worst_offenders};
+use scm_memory::workload::{model_by_name, MODEL_NAMES};
+use std::fmt::Write;
+
+/// Run a parsed command line (program name stripped); returns the stdout
+/// text to print. Errors carry a user-facing message (usage included for
+/// unknown commands).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let flags = Flags(&args[1..]);
+    match command.as_str() {
+        "table1" => {
+            flags.validate(&[], &[])?;
+            Ok(table1_stdout())
+        }
+        "table2" => {
+            flags.validate(&[], &[])?;
+            Ok(table2_stdout())
+        }
+        "pareto" => {
+            flags.validate(&["--policy"], &[])?;
+            Ok(pareto_stdout(
+                flags.policy_or(SelectionPolicy::WorstBlockExact)?,
+            ))
+        }
+        "ablations" => {
+            flags.validate(&[], &[])?;
+            Ok(ablations_stdout())
+        }
+        "explore" => {
+            flags.validate(
+                &["--policy", "--workload", "--scrub", "--trials", "--threads"],
+                &["--adjudicate"],
+            )?;
+            explore_stdout(&flags)
+        }
+        "campaign" => {
+            flags.validate(
+                &["--workload", "--trials", "--cycles", "--seed", "--threads"],
+                &[],
+            )?;
+            campaign_stdout(&flags)
+        }
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    format!(
+        "scm — self-checking-memory experiment driver\n\
+         \n\
+         subcommands:\n\
+         \x20 table1                     regenerate the paper's Table 1 (both policies)\n\
+         \x20 table2                     regenerate the paper's Table 2 (both policies)\n\
+         \x20 pareto [--policy P]        area-vs-latency sweep, CSV on stdout\n\
+         \x20 ablations                  design-choice ablations (odd-a, arity, completion fix)\n\
+         \x20 explore [--policy P|both] [--workload W|all] [--scrub S]\n\
+         \x20         [--adjudicate] [--trials N (implies --adjudicate)] [--threads N]\n\
+         \x20                            design-space exploration + Pareto front\n\
+         \x20 campaign [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
+         \x20                            fault campaign on the 1Kx16 worked example\n\
+         \n\
+         policies:  worst-block-exact | inverse-a\n\
+         scrubs:    off | sequential-sweep\n\
+         workloads: {}\n",
+        MODEL_NAMES.join(" | ")
+    )
+}
+
+struct Flags<'a>(&'a [String]);
+
+impl Flags<'_> {
+    /// Reject typos loudly: every token must be a recognised value flag
+    /// (followed by its value) or boolean flag — otherwise the run would
+    /// silently proceed on defaults.
+    fn validate(&self, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+        let mut i = 0;
+        while i < self.0.len() {
+            let token = self.0[i].as_str();
+            if value_flags.contains(&token) {
+                if i + 1 >= self.0.len() {
+                    return Err(format!("flag {token} is missing its value"));
+                }
+                i += 2;
+            } else if bool_flags.contains(&token) {
+                i += 1;
+            } else {
+                return Err(format!("unrecognised argument '{token}'\n\n{}", usage()));
+            }
+        }
+        Ok(())
+    }
+
+    fn value_of(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value_of(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag {name}: cannot parse '{v}'")),
+        }
+    }
+
+    fn policy_or(&self, default: SelectionPolicy) -> Result<SelectionPolicy, String> {
+        match self.value_of("--policy") {
+            None => Ok(default),
+            Some(name) => SelectionPolicy::parse(name)
+                .ok_or_else(|| format!("unknown policy '{name}' (worst-block-exact | inverse-a)")),
+        }
+    }
+}
+
+/// `scm table1` stdout: the regenerated table plus the reading notes.
+pub fn table1_stdout() -> String {
+    let mut out = crate::table1_report();
+    out.push_str("notes:\n");
+    out.push_str("  'CHEAPER' rows: our policy proves a smaller code already meets the\n");
+    out.push_str("  budget (see DESIGN.md §5 — the paper's two tables are internally\n");
+    out.push_str("  inconsistent about the selection formula; both policies shown).\n");
+    out
+}
+
+/// `scm table2` stdout: the regenerated table plus the worked example.
+pub fn table2_stdout() -> String {
+    let mut out = crate::table2_report();
+    out.push_str("worked example (Section III.2): c = 10, Pndc = 1e-9 ->\n");
+    let plan = Evaluator::default()
+        .goal_solve(paper_rams()[0], 10, 1e-9, SelectionPolicy::WorstBlockExact)
+        .expect("the worked example is feasible")
+        .plan;
+    let _ = writeln!(
+        out,
+        "  a_search = {}, a_required = {}, code = {}, final a = {}",
+        plan.a_search(),
+        plan.a_required(),
+        plan.code_name(),
+        plan.a()
+    );
+    out.push_str("  paper: a = 8 -> C >= 9 -> 3-out-of-5 -> a = 10 - 1 = 9\n");
+    out
+}
+
+/// `scm pareto` stdout: the title trade-off as CSV — the latency-budget
+/// grid evaluated through the exploration engine, three paper RAMs per
+/// row.
+pub fn pareto_stdout(policy: SelectionPolicy) -> String {
+    let cs = [
+        1u32, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 30, 40, 50, 64, 100,
+    ];
+    let pndcs = [1e-2, 1e-5, 1e-9, 1e-12, 1e-15, 1e-20, 1e-30];
+    let rams = paper_rams();
+
+    let mut points = Vec::with_capacity(cs.len() * pndcs.len() * rams.len());
+    for &pndc in &pndcs {
+        for &c in &cs {
+            for &ram in &rams {
+                points.push(DesignPoint::paper(ram, c, pndc, policy));
+            }
+        }
+    }
+    let evaluations = Evaluator::default().evaluate_points(&points);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# area-vs-latency Pareto sweep, policy = {}",
+        policy.name()
+    );
+    out.push_str("c,pndc,code,r,a,escape_per_cycle,pct_16x2K,pct_32x4K,pct_64x8K\n");
+    for (budget_idx, chunk) in evaluations.chunks(rams.len()).enumerate() {
+        // The CSV schema hard-codes the paper's three RAM columns; a
+        // different geometry count must fail loudly, not emit an empty
+        // sweep through the infeasibility skip below.
+        assert_eq!(chunk.len(), 3, "pareto CSV expects the 3 paper RAMs");
+        // Selection is geometry-independent: a budget is feasible for all
+        // three RAMs or none. Infeasible corners are skipped, as before.
+        let [Ok(a), Ok(b), Ok(c_eval)] = chunk else {
+            continue;
+        };
+        let pndc = pndcs[budget_idx / cs.len()];
+        let c = cs[budget_idx % cs.len()];
+        let plan = &a.plan;
+        let _ = writeln!(
+            out,
+            "{c},{pndc:.0e},{},{},{},{:.6},{:.3},{:.3},{:.3}",
+            plan.code_name(),
+            plan.r(),
+            plan.a(),
+            a.escape_per_cycle,
+            a.area_percent(),
+            b.area_percent(),
+            c_eval.area_percent(),
+        );
+    }
+    out
+}
+
+/// `scm explore` — evaluate a configurable slice of the design space and
+/// print the grid plus its Pareto front.
+fn explore_stdout(flags: &Flags) -> Result<String, String> {
+    let policies = match flags.value_of("--policy") {
+        None | Some("both") => SelectionPolicy::ALL.to_vec(),
+        Some(name) => vec![SelectionPolicy::parse(name)
+            .ok_or_else(|| format!("unknown policy '{name}' (worst-block-exact | inverse-a)"))?],
+    };
+    let workloads: Vec<String> = match flags.value_of("--workload") {
+        None => vec!["uniform".to_owned()],
+        Some("all") => MODEL_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+        Some(name) => {
+            if model_by_name(name).is_none() {
+                return Err(format!(
+                    "unknown workload '{name}' (one of: {})",
+                    MODEL_NAMES.join(", ")
+                ));
+            }
+            vec![name.to_owned()]
+        }
+    };
+    let scrub = match flags.value_of("--scrub") {
+        None => ScrubPolicy::Off,
+        Some(name) => ScrubPolicy::parse(name)
+            .ok_or_else(|| format!("unknown scrub policy '{name}' (off | sequential-sweep)"))?,
+    };
+    let threads: usize = flags.parsed("--threads", 0)?;
+    let trials: u32 = flags.parsed("--trials", 16)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
+
+    let geometry = RamOrganization::with_mux8(1024, 16);
+    let space = ExplorationSpace {
+        geometries: vec![geometry],
+        cycles: vec![2, 5, 10, 20, 30, 40],
+        pndcs: vec![1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30],
+        policies,
+        scrubs: vec![scrub],
+        workloads,
+    };
+
+    let mut evaluator = Evaluator::default().threads(threads);
+    // --trials only means something to the empirical stage, so asking for
+    // it switches adjudication on rather than being silently ignored.
+    let adjudicated = flags.has("--adjudicate") || flags.value_of("--trials").is_some();
+    if adjudicated {
+        evaluator = evaluator.adjudicate(Adjudication {
+            campaign: CampaignConfig {
+                cycles: 10, // overridden per point
+                trials,
+                seed: 0xE7,
+                write_fraction: 0.1,
+            },
+            max_faults: 64,
+        });
+    }
+
+    let results = evaluator.evaluate_space(&space);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "design-space exploration: {} RAM, {} candidate points{}",
+        geometry.name(),
+        space.len(),
+        if adjudicated {
+            format!(" (empirically adjudicated, {trials} trials/fault)")
+        } else {
+            String::new()
+        }
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<44} | {:<12} | {:>5} | {:>12} | {:>9} | {:>8}{}{}",
+        "point",
+        "code",
+        "a",
+        "escape/cycle",
+        "dec-chk %",
+        "meets",
+        if adjudicated { " | wrst-err-esc" } else { "" },
+        if scrub == ScrubPolicy::SequentialSweep {
+            " | sweep-SA1"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    let mut infeasible = 0usize;
+    let mut feasible = Vec::new();
+    for result in results {
+        match result {
+            Err(_) => infeasible += 1,
+            Ok(e) => {
+                let mut line = format!(
+                    "{:<44} | {:<12} | {:>5} | {:>12.6} | {:>9.2} | {:>8}",
+                    e.point.label(),
+                    e.plan.code_name(),
+                    e.plan.a(),
+                    e.escape_per_cycle,
+                    e.area_percent(),
+                    if e.meets_goal { "yes" } else { "NO" },
+                );
+                if let Some(emp) = &e.empirical {
+                    let _ = write!(line, " | {:>12.4}", emp.worst_error_escape);
+                }
+                if let Some(bound) = &e.scrub_bound {
+                    let _ = write!(line, " | {:>9}", bound.worst_sa1);
+                }
+                let _ = writeln!(out, "{line}");
+                feasible.push(e);
+            }
+        }
+    }
+    out.push('\n');
+    let front = pareto_front(&feasible);
+    let _ = writeln!(
+        out,
+        "Pareto front (minimise dec-chk %, latency c, achieved Pndc): {} of {} feasible points",
+        front.len(),
+        feasible.len()
+    );
+    for e in &front {
+        let _ = writeln!(
+            out,
+            "  {:<44} | {:<12} | {:>9.2} % | achieved Pndc {:.3e}",
+            e.point.label(),
+            e.plan.code_name(),
+            e.area_percent(),
+            e.achieved_pndc
+        );
+    }
+    let stats = evaluator.cache_stats();
+    let _ = writeln!(
+        out,
+        "\n{} infeasible points skipped; memo: {} hits / {} misses",
+        infeasible, stats.hits, stats.misses
+    );
+    Ok(out)
+}
+
+/// `scm campaign` — a Monte-Carlo decoder-fault campaign on the worked
+/// example under any registered workload model.
+fn campaign_stdout(flags: &Flags) -> Result<String, String> {
+    let workload = flags.value_of("--workload").unwrap_or("uniform");
+    let model = model_by_name(workload).ok_or_else(|| {
+        format!(
+            "unknown workload '{workload}' (one of: {})",
+            MODEL_NAMES.join(", ")
+        )
+    })?;
+    let trials: u32 = flags.parsed("--trials", 32)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
+    let cycles: u64 = flags.parsed("--cycles", 10)?;
+    let seed: u64 = flags.parsed("--seed", 0xC0FFEE)?;
+    let threads: usize = flags.parsed("--threads", 0)?;
+
+    let design = SelfCheckingRamBuilder::new(1024, 16)
+        .mux_factor(8)
+        .latency_budget(10, 1e-9)
+        .map_err(|e| e.to_string())?
+        .build()
+        .map_err(|e| e.to_string())?;
+    let faults = design.decoder_faults();
+    let campaign = CampaignConfig {
+        cycles,
+        trials,
+        seed,
+        write_fraction: 0.1,
+    };
+    let result = CampaignEngine::new(campaign)
+        .workload_model(model)
+        .threads(threads)
+        .run(design.config(), &faults);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign: 1Kx16 worked example (3-out-of-5, a = 9), workload = {workload}"
+    );
+    out.push('\n');
+    out.push_str(&summary(&result));
+    out.push('\n');
+    out.push_str(&worst_offenders(&result, 5));
+    Ok(out)
+}
+
+/// `scm ablations` stdout — the design-choice ablations (odd-`a` rule,
+/// decoder pairing arity, completion fix).
+pub fn ablations_stdout() -> String {
+    let mut out = String::new();
+    ablation_odd_a(&mut out);
+    ablation_arity(&mut out);
+    ablation_completion_fix(&mut out);
+    out
+}
+
+fn ablation_odd_a(out: &mut String) {
+    let _ = writeln!(out, "## Ablation 1 — the odd-a rule (8-bit decoder)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>4} | {:>12} | {:>14} | {:>14} | {:>10} | grade",
+        "a", "paper bound", "err-escape", "empirical", "zero-lat %"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(82));
+    let mut nl = Netlist::new();
+    let addr = nl.inputs(8);
+    let dec = scm_decoder::build_multilevel_decoder(&mut nl, &addr, 2);
+    // Empirical companion: a 1K×8 RAM whose row decoder is exactly this
+    // 8-bit structure, campaigned over every row-decoder stuck-at-1 on the
+    // parallel engine. The mapping layer rejects even moduli below the line
+    // count outright (the rule is structural, not advisory), so those rows
+    // print "rejected".
+    let org = RamOrganization::new(1024, 8, 4);
+    let code = MOutOfN::centered(7).expect("7-wide centred code exists");
+    let col_map = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 9, 4).unwrap();
+    let sa1: Vec<FaultSite> = decoder_fault_universe(8)
+        .into_iter()
+        .filter(|f| f.stuck_one)
+        .map(FaultSite::RowDecoder)
+        .collect();
+    let campaign = CampaignConfig {
+        cycles: 10,
+        trials: 24,
+        seed: 0xA0DD,
+        write_fraction: 0.1,
+    };
+    let engine = CampaignEngine::new(campaign);
+    for a in [7u64, 8, 9, 10, 11, 12, 13] {
+        let report = analyze_decoder(&dec, MappingKind::ModA { a });
+        let empirical = match CodewordMap::mod_a(code, a, org.rows()) {
+            Ok(row_map) => {
+                let config = RamConfig::new(org, row_map, col_map.clone());
+                let result = engine.run(&config, &sa1);
+                format!("{:>14.4}", result.worst_error_escape())
+            }
+            Err(_) => format!("{:>14}", "rejected"),
+        };
+        let _ = writeln!(
+            out,
+            "{a:>4} | {:>12.4} | {:>14.4} | {empirical} | {:>10.1} | {:?}",
+            report.paper_escape_bound,
+            report.worst_error_escape,
+            100.0 * report.zero_latency_fraction(),
+            classify(&report)
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "even moduli are Unprotected: some faults become undetectable — the"
+    );
+    let _ = writeln!(
+        out,
+        "mapping constructor refuses them, and the analytical row shows why."
+    );
+    let _ = writeln!(
+        out,
+        "'empirical' is the engine's worst per-fault trial-escape frequency over"
+    );
+    let _ = writeln!(
+        out,
+        "all ~320 SA1 row-decoder faults at c = 10 (24 trials/fault); as a max"
+    );
+    let _ = writeln!(
+        out,
+        "over the whole universe it rides sampling noise a couple of sigma above"
+    );
+    let _ = writeln!(
+        out,
+        "the per-cycle 'err-escape', and collapses onto it as trials grow."
+    );
+    let _ = writeln!(out);
+}
+
+fn ablation_arity(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "## Ablation 2 — decoder pairing arity (8-bit decoder, a = 9)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>5} | {:>7} | {:>9} | {:>12} | {:>14}",
+        "arity", "gates", "GEs", "paper bound", "err-escape"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(60));
+    for arity in [2usize, 3, 4, 8] {
+        let mut nl = Netlist::new();
+        let addr = nl.inputs(8);
+        let dec = scm_decoder::build_multilevel_decoder(&mut nl, &addr, arity);
+        let stats = gate_stats(&nl);
+        let report = analyze_decoder(&dec, MappingKind::ModA { a: 9 });
+        let _ = writeln!(
+            out,
+            "{arity:>5} | {:>7} | {:>9.1} | {:>12.4} | {:>14.4}",
+            stats.gates,
+            stats.gate_equivalents,
+            report.paper_escape_bound,
+            report.worst_error_escape
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "wider gates shrink the tree but merge levels: fewer intermediate"
+    );
+    let _ = writeln!(
+        out,
+        "blocks can only *remove* colliding fault sites, so the 2-input"
+    );
+    let _ = writeln!(
+        out,
+        "analysis upper-bounds every arity — exactly the paper's claim."
+    );
+    let _ = writeln!(out);
+}
+
+fn ablation_completion_fix(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "## Ablation 3 — the completion fix (3-out-of-5, a = 9, 128 lines)"
+    );
+    let _ = writeln!(out);
+    let code = MOutOfN::new(3, 5).unwrap();
+    let with_fix = CodewordMap::mod_a(code, 9, 128).unwrap();
+    let distinct_with: std::collections::HashSet<u64> = with_fix.table().into_iter().collect();
+    // Without the fix: simulate by mapping through a = 9 with exactly 9
+    // ranks (drop the spare-word remap) — reconstruct via rank_for modulo.
+    let distinct_without: std::collections::HashSet<u64> = (0..128u64)
+        .map(|addr| code.word_at((addr % 9) as u128).unwrap())
+        .collect();
+    let _ = writeln!(
+        out,
+        "  distinct ROM codewords with fix:    {}/{}",
+        distinct_with.len(),
+        code.count()
+    );
+    let _ = writeln!(
+        out,
+        "  distinct ROM codewords without fix: {}/{}",
+        distinct_without.len(),
+        code.count()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "the fix makes the q-out-of-r checker see its complete codeword set"
+    );
+    let _ = writeln!(
+        out,
+        "during normal operation (the self-testing requirement); detection"
+    );
+    let _ = writeln!(
+        out,
+        "probabilities are otherwise unchanged except on the one re-mapped line."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_subcommand_and_help() {
+        let err = run(&["frobnicate".to_owned()]).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(err.contains("table1"));
+        let help = run(&["help".to_owned()]).unwrap();
+        assert!(help.contains("campaign"));
+        for name in MODEL_NAMES {
+            assert!(help.contains(name), "usage must list workload '{name}'");
+        }
+    }
+
+    #[test]
+    fn pareto_policy_flag_switches_the_sweep() {
+        let default = run(&["pareto".to_owned()]).unwrap();
+        assert!(default.contains("policy = worst-block-exact"));
+        let inverse = run(&[
+            "pareto".to_owned(),
+            "--policy".to_owned(),
+            "inverse-a".to_owned(),
+        ])
+        .unwrap();
+        assert!(inverse.contains("policy = inverse-a"));
+        assert!(run(&[
+            "pareto".to_owned(),
+            "--policy".to_owned(),
+            "bogus".to_owned()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn explore_runs_for_every_workload_name() {
+        for name in MODEL_NAMES {
+            let out = run(&[
+                "explore".to_owned(),
+                "--workload".to_owned(),
+                (*name).to_owned(),
+                "--policy".to_owned(),
+                "inverse-a".to_owned(),
+            ])
+            .unwrap();
+            assert!(out.contains("Pareto front"), "{name}");
+            assert!(out.contains(name), "{name} missing from point labels");
+        }
+    }
+
+    #[test]
+    fn misspelled_and_valueless_flags_are_rejected_not_defaulted() {
+        let err = run(&[
+            "campaign".to_owned(),
+            "--cycels".to_owned(),
+            "1000".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unrecognised argument '--cycels'"), "{err}");
+        let err = run(&["explore".to_owned(), "--trials".to_owned()]).unwrap_err();
+        assert!(err.contains("missing its value"), "{err}");
+        let err = run(&["explore".to_owned(), "--trials".to_owned(), "0".to_owned()]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(&["table1".to_owned(), "--policy".to_owned(), "x".to_owned()]).unwrap_err();
+        assert!(err.contains("unrecognised argument"), "{err}");
+    }
+
+    #[test]
+    fn trials_flag_implies_adjudication_in_explore() {
+        let out = run(&[
+            "explore".to_owned(),
+            "--trials".to_owned(),
+            "2".to_owned(),
+            "--policy".to_owned(),
+            "inverse-a".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("empirically adjudicated, 2 trials/fault"));
+        assert!(out.contains("wrst-err-esc"));
+    }
+
+    #[test]
+    fn campaign_selects_models_and_rejects_unknowns() {
+        let out = run(&[
+            "campaign".to_owned(),
+            "--workload".to_owned(),
+            "hotspot".to_owned(),
+            "--trials".to_owned(),
+            "2".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("workload = hotspot"));
+        assert!(out.contains("fault-injection campaign"));
+        assert!(run(&[
+            "campaign".to_owned(),
+            "--workload".to_owned(),
+            "bogus".to_owned()
+        ])
+        .is_err());
+    }
+}

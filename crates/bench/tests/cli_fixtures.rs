@@ -1,0 +1,28 @@
+//! Byte-compatibility fixtures for the `scm` CLI.
+//!
+//! The fixtures were recorded from the pre-refactor standalone binaries
+//! (`table1`, `table2`, `pareto`); the unified CLI must reproduce their
+//! stdout **byte for byte**, so EXPERIMENTS.md's recorded outputs never
+//! drift when the machinery underneath is refactored.
+
+use scm_bench::cli;
+
+fn run(args: &[&str]) -> String {
+    let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    cli::run(&owned).expect("fixture commands succeed")
+}
+
+#[test]
+fn table1_stdout_is_byte_identical_to_pre_refactor_output() {
+    assert_eq!(run(&["table1"]), include_str!("fixtures/table1.stdout"));
+}
+
+#[test]
+fn table2_stdout_is_byte_identical_to_pre_refactor_output() {
+    assert_eq!(run(&["table2"]), include_str!("fixtures/table2.stdout"));
+}
+
+#[test]
+fn pareto_stdout_is_byte_identical_to_pre_refactor_output() {
+    assert_eq!(run(&["pareto"]), include_str!("fixtures/pareto.stdout"));
+}

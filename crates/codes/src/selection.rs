@@ -71,6 +71,11 @@ impl SelectionPolicy {
             SelectionPolicy::InverseA => "inverse-a",
         }
     }
+
+    /// Inverse of [`name`](Self::name), for CLI/config parsing.
+    pub fn parse(name: &str) -> Option<SelectionPolicy> {
+        SelectionPolicy::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 /// A detection-latency requirement: the fault must be detected within

@@ -1,0 +1,547 @@
+//! The evaluation pipeline: one [`DesignPoint`] in, one [`Evaluation`] out.
+//!
+//! Three stages, each pure in the point:
+//!
+//! 1. **Selection** — the paper's Section III.2 algorithm picks the
+//!    cheapest code meeting the point's `(c, Pndc)` budget under its
+//!    policy. Memoised on `(c, Pndc, policy)` — every geometry and
+//!    workload shares the plan.
+//! 2. **Analytics** — the calibrated area model prices the scheme on the
+//!    point's geometry (memoised on `(geometry, r)`), and the latency
+//!    model grades the guarantee ([`scm_latency::goal::assess_escape`]).
+//!    A [`ScrubPolicy::SequentialSweep`] point additionally gets the hard
+//!    worst-case sweep bound (memoised on `(rows, r, a)`).
+//! 3. **Empirical adjudication** (optional) — a Monte-Carlo campaign on
+//!    the deterministic parallel [`CampaignEngine`], driven by the
+//!    point's workload model, over the row-decoder fault universe.
+//!
+//! Every stage is a pure function of the point (campaign seeds are pure
+//! in the grid coordinates), so [`Evaluator::evaluate_space`] is
+//! bit-identical at every thread count — the same contract the campaign
+//! engine makes, lifted to the whole design space.
+
+use crate::space::{DesignPoint, ExplorationSpace, ScrubPolicy};
+use rayon::prelude::*;
+use scm_area::{scheme_overhead, OverheadBreakdown, RamOrganization, TechnologyParams};
+use scm_codes::selection::{select_code, CodePlan, LatencyBudget, SelectionPolicy};
+use scm_codes::{CodeError, MOutOfN};
+use scm_latency::goal::{assess_escape, ProtectionGrade};
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
+use scm_memory::scrub::{sweep_bound, SweepBound};
+use scm_memory::workload::{builtin_models, WorkloadModel};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Why a point could not be evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// The budget is malformed or no `r ≤ 64` code satisfies it.
+    Selection(CodeError),
+    /// The point names a workload model the evaluator does not know.
+    UnknownWorkload(String),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Selection(e) => write!(f, "code selection failed: {e}"),
+            ExploreError::UnknownWorkload(name) => {
+                write!(f, "unknown workload model '{name}'")
+            }
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Selection(e) => Some(e),
+            ExploreError::UnknownWorkload(_) => None,
+        }
+    }
+}
+
+impl From<CodeError> for ExploreError {
+    fn from(e: CodeError) -> Self {
+        ExploreError::Selection(e)
+    }
+}
+
+/// Empirical campaign figures of an adjudicated evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalFigures {
+    /// Row-decoder faults campaigned.
+    pub faults: usize,
+    /// Trials per fault.
+    pub trials_per_fault: u32,
+    /// Worst per-fault fraction of trials not detected within budget.
+    pub worst_escape: f64,
+    /// Worst per-fault fraction of trials where an erroneous output
+    /// escaped detection — the safety-relevant quantity.
+    pub worst_error_escape: f64,
+    /// Mean escape fraction over the universe.
+    pub mean_escape: f64,
+}
+
+/// Everything the pipeline established about one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The evaluated point.
+    pub point: DesignPoint,
+    /// The selected code plan.
+    pub plan: CodePlan,
+    /// Area breakdown on the point's geometry.
+    pub area: OverheadBreakdown,
+    /// Analytical per-cycle worst-fault escape probability.
+    pub escape_per_cycle: f64,
+    /// Analytical `Pndc` after the point's `c` cycles.
+    pub achieved_pndc: f64,
+    /// Whether the analytical guarantee meets the point's budget.
+    pub meets_goal: bool,
+    /// Protection grade of the configuration.
+    pub grade: ProtectionGrade,
+    /// Hard sweep bound (present iff the point scrubs).
+    pub scrub_bound: Option<SweepBound>,
+    /// Campaign figures (present iff the evaluator adjudicates).
+    pub empirical: Option<EmpiricalFigures>,
+}
+
+impl Evaluation {
+    /// The headline cost objective: decoder-checking area overhead (%).
+    pub fn area_percent(&self) -> f64 {
+        self.area.decoder_checking_percent()
+    }
+}
+
+/// Empirical-adjudication stage configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Adjudication {
+    /// Campaign grid parameters (`cycles` is overridden per point to the
+    /// point's latency budget `c`; seed/trials/write mix apply as given).
+    pub campaign: CampaignConfig,
+    /// Cap on row-decoder faults per campaign, subsampled evenly and
+    /// deterministically from the universe (`0` = the whole universe).
+    pub max_faults: usize,
+}
+
+/// Memoisation cache hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Sub-results served from the memo.
+    pub hits: usize,
+    /// Sub-results computed.
+    pub misses: usize,
+}
+
+type PlanKey = (u32, u64, SelectionPolicy);
+type AreaKey = (RamOrganization, u32);
+type ScrubKey = (u64, u32, u64);
+
+/// The memoised, rayon-parallel design-space evaluator.
+///
+/// Construct once, feed it points or whole spaces. Caches are shared
+/// across calls and across worker threads; results never depend on cache
+/// state (memoised sub-results are pure), only the work saved does.
+#[derive(Debug)]
+pub struct Evaluator {
+    tech: TechnologyParams,
+    adjudicate: Option<Adjudication>,
+    threads: usize,
+    registry: HashMap<String, Arc<dyn WorkloadModel>>,
+    plans: Mutex<HashMap<PlanKey, Result<CodePlan, CodeError>>>,
+    areas: Mutex<HashMap<AreaKey, OverheadBreakdown>>,
+    scrub_bounds: Mutex<HashMap<ScrubKey, SweepBound>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::new(TechnologyParams::default())
+    }
+}
+
+impl Evaluator {
+    /// Evaluator under the given technology, analytics-only (no
+    /// adjudication), ambient thread count, built-in workload registry.
+    pub fn new(tech: TechnologyParams) -> Self {
+        let registry = builtin_models()
+            .into_iter()
+            .map(|m| (m.name().to_owned(), m))
+            .collect();
+        Evaluator {
+            tech,
+            adjudicate: None,
+            threads: 0,
+            registry,
+            plans: Mutex::new(HashMap::new()),
+            areas: Mutex::new(HashMap::new()),
+            scrub_bounds: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Switch on the empirical adjudication stage.
+    pub fn adjudicate(mut self, adjudication: Adjudication) -> Self {
+        self.adjudicate = Some(adjudication);
+        self
+    }
+
+    /// Pin the search's thread count (`0` = ambient rayon default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Register (or replace) a workload model under its own name.
+    pub fn register_workload(mut self, model: Arc<dyn WorkloadModel>) -> Self {
+        self.registry.insert(model.name().to_owned(), model);
+        self
+    }
+
+    /// Memo hit/miss counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn memoised<K, V, F>(&self, cache: &Mutex<HashMap<K, V>>, key: K, compute: F) -> V
+    where
+        K: std::hash::Hash + Eq + Clone,
+        V: Clone,
+        F: FnOnce() -> V,
+    {
+        if let Some(v) = cache.lock().expect("memo lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        // Computed outside the lock: selection/area math never blocks other
+        // workers. Racing threads may compute the same value once each;
+        // both arrive at the identical pure result.
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cache
+            .lock()
+            .expect("memo lock")
+            .entry(key)
+            .or_insert(v)
+            .clone()
+    }
+
+    fn plan_for(
+        &self,
+        cycles: u32,
+        pndc: f64,
+        policy: SelectionPolicy,
+    ) -> Result<CodePlan, CodeError> {
+        self.memoised(&self.plans, (cycles, pndc.to_bits(), policy), || {
+            select_code(LatencyBudget::new(cycles, pndc)?, policy)
+        })
+    }
+
+    fn area_for(&self, geometry: RamOrganization, r: u32) -> OverheadBreakdown {
+        self.memoised(&self.areas, (geometry, r), || {
+            let code = MOutOfN::centered(r).expect("selected widths are ≤ 64");
+            scheme_overhead(geometry, code, code, &self.tech)
+        })
+    }
+
+    fn scrub_bound_for(
+        &self,
+        geometry: RamOrganization,
+        plan: &CodePlan,
+    ) -> Result<SweepBound, CodeError> {
+        let key = (geometry.rows(), plan.r(), plan.a());
+        // The O(rows) mapping table is only worth building on a miss, so
+        // the memo is probed before `memoised`'s compute path runs;
+        // mapping errors propagate instead of being cached.
+        if let Some(v) = self.scrub_bounds.lock().expect("memo lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(*v);
+        }
+        let map = plan.mapping(geometry.rows())?;
+        Ok(self.memoised(&self.scrub_bounds, key, || {
+            sweep_bound(geometry.row_bits(), &map)
+        }))
+    }
+
+    fn adjudicate_point(
+        &self,
+        point: &DesignPoint,
+        plan: &CodePlan,
+        adjudication: &Adjudication,
+    ) -> Result<EmpiricalFigures, ExploreError> {
+        let model = self
+            .registry
+            .get(&point.workload)
+            .cloned()
+            .ok_or_else(|| ExploreError::UnknownWorkload(point.workload.clone()))?;
+        let config = RamConfig::from_plan(point.geometry, plan)?;
+        let universe: Vec<FaultSite> = decoder_fault_universe(point.geometry.row_bits())
+            .into_iter()
+            .map(FaultSite::RowDecoder)
+            .collect();
+        let faults = subsample(&universe, adjudication.max_faults);
+        let campaign = CampaignConfig {
+            cycles: point.cycles as u64,
+            ..adjudication.campaign
+        };
+        // Ambient threads: the engine's grid rides the same rayon pool as
+        // the outer point sweep (work stealing balances both levels).
+        let result = CampaignEngine::new(campaign)
+            .workload_model(model)
+            .run(&config, &faults);
+        Ok(EmpiricalFigures {
+            faults: faults.len(),
+            trials_per_fault: campaign.trials,
+            worst_escape: result.worst_escape(),
+            worst_error_escape: result.worst_error_escape(),
+            mean_escape: result.mean_escape(),
+        })
+    }
+
+    /// Run the full pipeline on one point.
+    ///
+    /// # Errors
+    /// [`ExploreError::Selection`] for infeasible budgets,
+    /// [`ExploreError::UnknownWorkload`] for unregistered model names.
+    pub fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, ExploreError> {
+        // Workload names are validated even when no campaign runs, so a
+        // typo fails loudly rather than silently skipping adjudication.
+        if !self.registry.contains_key(&point.workload) {
+            return Err(ExploreError::UnknownWorkload(point.workload.clone()));
+        }
+        let plan = self.plan_for(point.cycles, point.pndc, point.policy)?;
+        let area = self.area_for(point.geometry, plan.r());
+        let escape = plan.escape_per_cycle();
+        let assessment = assess_escape(escape, point.cycles, point.pndc);
+        let scrub_bound = match point.scrub {
+            ScrubPolicy::Off => None,
+            ScrubPolicy::SequentialSweep => Some(self.scrub_bound_for(point.geometry, &plan)?),
+        };
+        let empirical = match &self.adjudicate {
+            None => None,
+            Some(adjudication) => Some(self.adjudicate_point(point, &plan, adjudication)?),
+        };
+        Ok(Evaluation {
+            point: point.clone(),
+            plan,
+            area,
+            escape_per_cycle: escape,
+            achieved_pndc: assessment.achieved_pndc,
+            meets_goal: assessment.meets,
+            grade: assessment.grade,
+            scrub_bound,
+            empirical,
+        })
+    }
+
+    /// Solve a goal: the cheapest scheme for a geometry meeting `(c, Pndc)`
+    /// under a policy — selection minimality makes one evaluation the
+    /// solve.
+    ///
+    /// # Errors
+    /// Propagates [`Self::evaluate`] errors.
+    pub fn goal_solve(
+        &self,
+        geometry: RamOrganization,
+        cycles: u32,
+        pndc: f64,
+        policy: SelectionPolicy,
+    ) -> Result<Evaluation, ExploreError> {
+        self.evaluate(&DesignPoint::paper(geometry, cycles, pndc, policy))
+    }
+
+    /// Evaluate one budget axis over fixed geometries — the shape of the
+    /// paper's tables: one row per `(c, Pndc)` budget, one evaluation per
+    /// geometry inside it.
+    ///
+    /// # Errors
+    /// Fails on the first infeasible budget (table slices are meant for
+    /// known-feasible published parameters).
+    pub fn table_slice(
+        &self,
+        geometries: &[RamOrganization],
+        budgets: &[(u32, f64)],
+        policy: SelectionPolicy,
+    ) -> Result<Vec<Vec<Evaluation>>, ExploreError> {
+        budgets
+            .iter()
+            .map(|&(cycles, pndc)| {
+                geometries
+                    .iter()
+                    .map(|&g| self.evaluate(&DesignPoint::paper(g, cycles, pndc, policy)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Evaluate every point of a space in parallel, preserving the
+    /// space's enumeration order. Infeasible points come back as `Err`
+    /// entries rather than aborting the sweep.
+    ///
+    /// Bit-identical at every thread count: each evaluation is a pure
+    /// function of its point, and order is by input position, never by
+    /// completion.
+    pub fn evaluate_space(
+        &self,
+        space: &ExplorationSpace,
+    ) -> Vec<Result<Evaluation, ExploreError>> {
+        self.evaluate_points(&space.points())
+    }
+
+    /// Parallel evaluation of an explicit point list (input order kept).
+    pub fn evaluate_points(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, ExploreError>> {
+        let dispatch = || points.par_iter().map(|p| self.evaluate(p)).collect();
+        if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        }
+    }
+}
+
+/// Deterministic even subsample: every k-th element so the cap is met.
+fn subsample(universe: &[FaultSite], max_faults: usize) -> Vec<FaultSite> {
+    if max_faults == 0 || universe.len() <= max_faults {
+        return universe.to_vec();
+    }
+    let stride = universe.len().div_ceil(max_faults);
+    universe.iter().copied().step_by(stride).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_geometry() -> RamOrganization {
+        RamOrganization::new(256, 8, 4)
+    }
+
+    #[test]
+    fn worked_example_evaluates() {
+        let ev = Evaluator::default();
+        let e = ev
+            .goal_solve(
+                RamOrganization::with_mux8(1024, 16),
+                10,
+                1e-9,
+                SelectionPolicy::WorstBlockExact,
+            )
+            .unwrap();
+        assert_eq!(e.plan.code_name(), "3-out-of-5");
+        assert!(e.meets_goal);
+        assert_eq!(e.grade, ProtectionGrade::BoundedLatency);
+        assert!(e.area_percent() > 0.0);
+        assert!(e.scrub_bound.is_none() && e.empirical.is_none());
+    }
+
+    #[test]
+    fn unknown_workload_rejected_even_without_adjudication() {
+        let ev = Evaluator::default();
+        let mut p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+        p.workload = "martian".to_owned();
+        assert_eq!(
+            ev.evaluate(&p),
+            Err(ExploreError::UnknownWorkload("martian".to_owned()))
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_is_an_err_entry_not_a_panic() {
+        let ev = Evaluator::default();
+        let space = ExplorationSpace {
+            geometries: vec![small_geometry()],
+            cycles: vec![1],
+            pndcs: vec![1e-30],
+            policies: vec![SelectionPolicy::WorstBlockExact],
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+        };
+        let results = ev.evaluate_space(&space);
+        assert_eq!(results.len(), 1);
+        assert!(matches!(results[0], Err(ExploreError::Selection(_))));
+    }
+
+    #[test]
+    fn memoisation_collapses_repeated_subproblems() {
+        let ev = Evaluator::default();
+        let space = ExplorationSpace {
+            geometries: vec![small_geometry(), RamOrganization::new(512, 16, 4)],
+            cycles: vec![10, 20],
+            pndcs: vec![1e-9],
+            policies: SelectionPolicy::ALL.to_vec(),
+            scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
+            workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+        };
+        let results = ev.evaluate_space(&space);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let stats = ev.cache_stats();
+        // 32 points share 4 plans, ≤ 8 area cells and ≤ 8 scrub bounds:
+        // most lookups must be hits.
+        assert!(
+            stats.hits > stats.misses,
+            "hits {} misses {}",
+            stats.hits,
+            stats.misses
+        );
+    }
+
+    #[test]
+    fn scrub_stage_reports_hard_bounds() {
+        let ev = Evaluator::default();
+        let mut p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+        p.scrub = ScrubPolicy::SequentialSweep;
+        let e = ev.evaluate(&p).unwrap();
+        let bound = e.scrub_bound.expect("scrubbed point carries a bound");
+        assert!(bound.worst_sa0 <= p.geometry.rows() * 2);
+        assert!(bound.total > 0);
+    }
+
+    #[test]
+    fn adjudication_respects_workload_and_fault_cap() {
+        let ev = Evaluator::default().adjudicate(Adjudication {
+            campaign: CampaignConfig {
+                cycles: 10,
+                trials: 4,
+                seed: 7,
+                write_fraction: 0.1,
+            },
+            max_faults: 12,
+        });
+        for workload in ["uniform", "write-mostly"] {
+            let mut p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+            p.workload = workload.to_owned();
+            let e = ev.evaluate(&p).unwrap();
+            let emp = e.empirical.expect("adjudicated");
+            assert!(emp.faults <= 12, "{workload}: {} faults", emp.faults);
+            assert_eq!(emp.trials_per_fault, 4);
+            assert!(emp.worst_escape <= 1.0);
+        }
+    }
+
+    #[test]
+    fn subsample_even_and_capped() {
+        let universe: Vec<FaultSite> = decoder_fault_universe(4)
+            .into_iter()
+            .map(FaultSite::RowDecoder)
+            .collect();
+        assert_eq!(subsample(&universe, 0).len(), universe.len());
+        let capped = subsample(&universe, 10);
+        assert!(capped.len() <= 10 && capped.len() >= 8, "{}", capped.len());
+        assert_eq!(subsample(&universe, 1000).len(), universe.len());
+    }
+}

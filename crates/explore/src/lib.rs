@@ -1,0 +1,44 @@
+//! # Design-space exploration for self-checking memories
+//!
+//! The paper's contribution is a *trade-off*: for every memory
+//! organisation it selects a code/checker pair meeting a detection-latency
+//! goal at minimal area, and its Tables 1–2 are slices of that design
+//! space. This crate makes the space itself the object:
+//!
+//! * [`DesignPoint`] — geometry × `(c, Pndc)` budget × selection policy ×
+//!   scrub policy × workload model;
+//! * [`Evaluator`] — a memoised, rayon-parallel pipeline of analytic area,
+//!   analytic latency/escape grading, optional hard scrub bounds, and
+//!   optional Monte-Carlo adjudication on the campaign engine;
+//! * [`pareto_front`] — the non-dominated set over (area, latency,
+//!   escape).
+//!
+//! Pareto sweeps, the paper's table slices and single goal-solves all run
+//! through the same engine, so a new scenario is a new
+//! [`ExplorationSpace`] value — config, not a new binary. Every result is
+//! a pure function of its point; parallel sweeps are **bit-identical at
+//! every thread count**, the campaign engine's contract lifted to the
+//! whole space.
+//!
+//! ```
+//! use scm_explore::{Evaluator, ExplorationSpace, pareto_front};
+//!
+//! let evaluator = Evaluator::default();
+//! let results = evaluator.evaluate_space(&ExplorationSpace::paper_defaults());
+//! let feasible: Vec<_> = results.into_iter().filter_map(Result::ok).collect();
+//! let front = pareto_front(&feasible);
+//! assert!(!front.is_empty() && front.len() <= feasible.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod pareto;
+pub mod space;
+
+pub use evaluate::{
+    Adjudication, CacheStats, EmpiricalFigures, Evaluation, Evaluator, ExploreError,
+};
+pub use pareto::{dominates, pareto_front};
+pub use space::{DesignPoint, ExplorationSpace, ScrubPolicy};

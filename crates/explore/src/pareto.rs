@@ -1,0 +1,132 @@
+//! Pareto-frontier extraction over evaluated design points.
+//!
+//! The paper's title trade-off made first-class: the objectives are
+//! **minimise area** (decoder-checking overhead %), **minimise latency**
+//! (the tolerated `c`), and **minimise escape** (the achieved `Pndc`). A
+//! point is on the frontier when no other evaluated point is at least as
+//! good on all three and strictly better on one.
+
+use crate::evaluate::Evaluation;
+
+/// Objective vector of an evaluation.
+fn objectives(e: &Evaluation) -> [f64; 3] {
+    [e.area_percent(), e.point.cycles as f64, e.achieved_pndc]
+}
+
+/// Does `a` dominate `b` (no worse everywhere, better somewhere)?
+pub fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
+    let (oa, ob) = (objectives(a), objectives(b));
+    let no_worse = oa.iter().zip(&ob).all(|(x, y)| x <= y);
+    let better = oa.iter().zip(&ob).any(|(x, y)| x < y);
+    no_worse && better
+}
+
+/// Non-dominated subset of `evaluations`, sorted by ascending area then
+/// latency then escape — a deterministic presentation order.
+///
+/// Duplicate objective vectors keep their first (input-order)
+/// representative, so the frontier itself is deterministic too.
+pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
+    let mut front: Vec<Evaluation> = Vec::new();
+    for candidate in evaluations {
+        if front.iter().any(|kept| dominates(kept, candidate)) {
+            continue;
+        }
+        if front
+            .iter()
+            .any(|kept| objectives(kept) == objectives(candidate))
+        {
+            continue; // objective-identical twin already kept
+        }
+        front.retain(|kept| !dominates(candidate, kept));
+        front.push(candidate.clone());
+    }
+    front.sort_by(|a, b| {
+        objectives(a)
+            .iter()
+            .zip(objectives(b))
+            .map(|(x, y)| x.total_cmp(&y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::Evaluator;
+    use crate::space::{ExplorationSpace, ScrubPolicy};
+    use scm_area::RamOrganization;
+    use scm_codes::selection::SelectionPolicy;
+
+    fn evaluations() -> Vec<Evaluation> {
+        let ev = Evaluator::default();
+        let space = ExplorationSpace {
+            geometries: vec![RamOrganization::with_mux8(2048, 16)],
+            cycles: vec![2, 5, 10, 20, 40],
+            pndcs: vec![1e-2, 1e-9, 1e-20],
+            policies: vec![SelectionPolicy::WorstBlockExact],
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+        };
+        ev.evaluate_space(&space)
+            .into_iter()
+            .filter_map(Result::ok)
+            .collect()
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominated_and_sorted() {
+        let evals = evaluations();
+        let front = pareto_front(&evals);
+        assert!(!front.is_empty() && front.len() < evals.len());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !dominates(a, b),
+                        "{} dominates {}",
+                        a.point.label(),
+                        b.point.label()
+                    );
+                }
+            }
+        }
+        for w in front.windows(2) {
+            assert!(w[0].area_percent() <= w[1].area_percent());
+        }
+    }
+
+    #[test]
+    fn every_dropped_point_is_dominated_or_duplicated() {
+        let evals = evaluations();
+        let front = pareto_front(&evals);
+        for e in &evals {
+            let on_front = front.iter().any(|f| objectives(f) == objectives(e));
+            let dominated = front.iter().any(|f| dominates(f, e));
+            assert!(
+                on_front || dominated,
+                "{} neither kept nor dominated",
+                e.point.label()
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_latency_at_fixed_escape_never_costs_less() {
+        // The paper's monotonicity, visible on the frontier: walking the
+        // front from cheap to expensive, achieved escape never improves
+        // for free.
+        let front = pareto_front(&evaluations());
+        for w in front.windows(2) {
+            let cheaper = &w[0];
+            let costlier = &w[1];
+            assert!(
+                costlier.point.cycles as f64 <= cheaper.point.cycles as f64
+                    || costlier.achieved_pndc <= cheaper.achieved_pndc,
+                "paying more area must buy latency or escape"
+            );
+        }
+    }
+}

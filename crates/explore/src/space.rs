@@ -1,0 +1,214 @@
+//! The exploration vocabulary: design points and the axis grids that
+//! enumerate them.
+//!
+//! A [`DesignPoint`] is one fully specified candidate — geometry × latency
+//! requirement × selection policy × scrub policy × workload model. An
+//! [`ExplorationSpace`] is the cartesian product of axis value lists; its
+//! [`points`](ExplorationSpace::points) enumeration order is deterministic,
+//! which is what lets the parallel evaluator return bit-identical result
+//! vectors at every thread count.
+
+use scm_area::RamOrganization;
+use scm_codes::selection::SelectionPolicy;
+
+/// Background-scrub policy of a design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScrubPolicy {
+    /// No scrubber: detection latency is probabilistic (the paper's model).
+    Off,
+    /// A background sequential sweep, one scrub read per slot: the
+    /// evaluator additionally reports the *hard* worst-case
+    /// steps-to-detection bound of `scm_memory::scrub`.
+    SequentialSweep,
+}
+
+impl ScrubPolicy {
+    /// Short CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScrubPolicy::Off => "off",
+            ScrubPolicy::SequentialSweep => "sequential-sweep",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<ScrubPolicy> {
+        match name {
+            "off" => Some(ScrubPolicy::Off),
+            "sequential-sweep" => Some(ScrubPolicy::SequentialSweep),
+            _ => None,
+        }
+    }
+}
+
+/// One fully specified candidate in the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// RAM geometry (words × word bits, column mux).
+    pub geometry: RamOrganization,
+    /// Tolerated detection latency `c` in cycles.
+    pub cycles: u32,
+    /// Tolerated escape probability `Pndc` after `c` cycles.
+    pub pndc: f64,
+    /// Escape-formula policy driving code selection.
+    pub policy: SelectionPolicy,
+    /// Background scrub policy.
+    pub scrub: ScrubPolicy,
+    /// Workload model name (resolved through the evaluator's registry).
+    pub workload: String,
+}
+
+impl DesignPoint {
+    /// A point with the paper's defaults: no scrub, uniform workload.
+    pub fn paper(
+        geometry: RamOrganization,
+        cycles: u32,
+        pndc: f64,
+        policy: SelectionPolicy,
+    ) -> Self {
+        DesignPoint {
+            geometry,
+            cycles,
+            pndc,
+            policy,
+            scrub: ScrubPolicy::Off,
+            workload: "uniform".to_owned(),
+        }
+    }
+
+    /// Compact label for reports, e.g. `1Kx16/c=10/1e-9/inverse-a`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/c={}/{:.0e}/{}/{}/{}",
+            self.geometry.name(),
+            self.cycles,
+            self.pndc,
+            self.policy.name(),
+            self.scrub.name(),
+            self.workload
+        )
+    }
+}
+
+/// Axis lists whose cartesian product is the candidate set.
+#[derive(Debug, Clone)]
+pub struct ExplorationSpace {
+    /// Geometries to cover.
+    pub geometries: Vec<RamOrganization>,
+    /// Latency budgets `c`.
+    pub cycles: Vec<u32>,
+    /// Escape budgets `Pndc`.
+    pub pndcs: Vec<f64>,
+    /// Selection policies.
+    pub policies: Vec<SelectionPolicy>,
+    /// Scrub policies.
+    pub scrubs: Vec<ScrubPolicy>,
+    /// Workload model names.
+    pub workloads: Vec<String>,
+}
+
+impl ExplorationSpace {
+    /// The paper's slice: its three published RAMs, both tables' budget
+    /// axes, the exact worst-block policy, no scrub, uniform workload.
+    pub fn paper_defaults() -> Self {
+        ExplorationSpace {
+            geometries: scm_area::ram_area::paper_rams().to_vec(),
+            cycles: vec![2, 5, 10, 20, 30, 40],
+            pndcs: vec![1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30],
+            policies: vec![SelectionPolicy::WorstBlockExact],
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+        }
+    }
+
+    /// Number of candidate points.
+    pub fn len(&self) -> usize {
+        self.geometries.len()
+            * self.cycles.len()
+            * self.pndcs.len()
+            * self.policies.len()
+            * self.scrubs.len()
+            * self.workloads.len()
+    }
+
+    /// Whether the product is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate every point, in a fixed deterministic order (workload,
+    /// scrub, policy, geometry, pndc, cycles — innermost last).
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for workload in &self.workloads {
+            for &scrub in &self.scrubs {
+                for &policy in &self.policies {
+                    for &geometry in &self.geometries {
+                        for &pndc in &self.pndcs {
+                            for &cycles in &self.cycles {
+                                out.push(DesignPoint {
+                                    geometry,
+                                    cycles,
+                                    pndc,
+                                    policy,
+                                    scrub,
+                                    workload: workload.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_size_and_order_are_deterministic() {
+        let space = ExplorationSpace {
+            geometries: vec![RamOrganization::new(64, 8, 4)],
+            cycles: vec![2, 10],
+            pndcs: vec![1e-2, 1e-9],
+            policies: SelectionPolicy::ALL.to_vec(),
+            scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
+            workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+        };
+        assert_eq!(space.len(), 32);
+        let a = space.points();
+        let b = space.points();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        // Innermost axis varies fastest.
+        assert_eq!(a[0].cycles, 2);
+        assert_eq!(a[1].cycles, 10);
+        assert_eq!(a[0].pndc, 1e-2);
+        assert_eq!(a[2].pndc, 1e-9);
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for scrub in [ScrubPolicy::Off, ScrubPolicy::SequentialSweep] {
+            assert_eq!(ScrubPolicy::parse(scrub.name()), Some(scrub));
+        }
+        assert_eq!(ScrubPolicy::parse("nope"), None);
+        for policy in SelectionPolicy::ALL {
+            assert_eq!(SelectionPolicy::parse(policy.name()), Some(policy));
+        }
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let p = DesignPoint::paper(
+            RamOrganization::with_mux8(1024, 16),
+            10,
+            1e-9,
+            SelectionPolicy::InverseA,
+        );
+        assert_eq!(p.label(), "16x1K/c=10/1e-9/inverse-a/off/uniform");
+    }
+}

@@ -50,6 +50,37 @@ pub struct GoalAssessment {
     pub margin: f64,
 }
 
+/// Assess a bare per-cycle escape probability against a `(c, Pndc)`
+/// requirement — the evaluation-friendly form the exploration layer uses,
+/// where the escape comes straight from a selected `CodePlan` rather than
+/// a decoder-structure report.
+pub fn assess_escape(escape_per_cycle: f64, cycles: u32, required_pndc: f64) -> GoalAssessment {
+    let grade = if escape_per_cycle >= 1.0 {
+        ProtectionGrade::Unprotected
+    } else if escape_per_cycle <= 0.0 {
+        ProtectionGrade::ZeroLatency
+    } else {
+        ProtectionGrade::BoundedLatency
+    };
+    let achieved = if escape_per_cycle <= 0.0 {
+        0.0
+    } else {
+        escape_per_cycle.powi(cycles as i32)
+    };
+    let meets = grade != ProtectionGrade::Unprotected && achieved <= required_pndc;
+    let margin = if achieved == 0.0 {
+        f64::INFINITY
+    } else {
+        required_pndc / achieved
+    };
+    GoalAssessment {
+        grade,
+        achieved_pndc: achieved,
+        meets,
+        margin,
+    }
+}
+
 /// Assess a report against a requirement.
 pub fn assess(report: &DecoderLatencyReport, cycles: u32, required_pndc: f64) -> GoalAssessment {
     let achieved = report.paper_bound_after(cycles);
@@ -125,6 +156,29 @@ mod tests {
         let r = report(8, MappingKind::ModA { a: 8 });
         let a = assess(&r, 1000, 0.999);
         assert!(!a.meets);
+    }
+
+    #[test]
+    fn escape_assessment_matches_report_assessment() {
+        // The worked example's worst per-cycle bound is 1/8; the bare-escape
+        // form must agree with the report-driven one.
+        let r = report(8, MappingKind::ModA { a: 9 });
+        let via_report = assess(&r, 10, 1e-9);
+        let via_escape = assess_escape(r.paper_escape_bound, 10, 1e-9);
+        assert_eq!(via_report.grade, via_escape.grade);
+        assert_eq!(via_report.meets, via_escape.meets);
+        assert!((via_report.achieved_pndc - via_escape.achieved_pndc).abs() < 1e-18);
+        // Endpoints.
+        assert_eq!(
+            assess_escape(0.0, 5, 1e-9).grade,
+            ProtectionGrade::ZeroLatency
+        );
+        assert!(assess_escape(0.0, 5, 1e-9).meets);
+        assert_eq!(
+            assess_escape(1.0, 5, 0.999).grade,
+            ProtectionGrade::Unprotected
+        );
+        assert!(!assess_escape(1.0, 5, 0.999).meets);
     }
 
     #[test]

@@ -68,4 +68,7 @@ pub use design::{RamConfig, ReadOutcome, SelfCheckingRam, Verdict};
 pub use engine::CampaignEngine;
 pub use fault::FaultSite;
 pub use sim::{measure_detection, measure_detection_on, DetectionOutcome};
-pub use workload::{AddressPattern, Op, Workload};
+pub use workload::{
+    builtin_models, model_by_name, AddressPattern, Op, OpSource, OpStream, Workload, WorkloadModel,
+    WorkloadSpec, MODEL_NAMES,
+};

@@ -8,7 +8,7 @@
 
 use crate::backend::{compare_step, FaultSimBackend};
 use crate::design::SelfCheckingRam;
-use crate::workload::{Op, Workload};
+use crate::workload::{Op, OpSource, Workload};
 
 /// Outcome of one measurement run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,13 +69,15 @@ impl DetectionOutcome {
 /// detection: the error indication is latched, so later cycles carry no
 /// information.
 ///
-/// The workload is consumed as a source of fresh operations and may be
-/// advanced past `cycles_run` when the backend batches (bursts draw their
-/// ops up front); construct a new seeded [`Workload`] per measurement
-/// rather than relying on where a shared one left off.
-pub fn measure_detection_on<B: FaultSimBackend + ?Sized>(
+/// Any [`OpSource`] drives the measurement — a concrete [`Workload`] or a
+/// stream fabricated by a [`crate::workload::WorkloadModel`]. The source
+/// is consumed as fresh operations and may be advanced past `cycles_run`
+/// when the backend batches (bursts draw their ops up front); construct a
+/// new seeded stream per measurement rather than relying on where a
+/// shared one left off.
+pub fn measure_detection_on<B: FaultSimBackend + ?Sized, S: OpSource + ?Sized>(
     backend: &mut B,
-    workload: &mut Workload,
+    workload: &mut S,
     cycles: u64,
 ) -> DetectionOutcome {
     if backend.prefers_batching() {
@@ -104,9 +106,9 @@ pub fn measure_detection_on<B: FaultSimBackend + ?Sized>(
 /// the early stop at first detection — is identical to the serial loop.
 ///
 /// [`step_many`]: FaultSimBackend::step_many
-fn measure_detection_batched<B: FaultSimBackend + ?Sized>(
+fn measure_detection_batched<B: FaultSimBackend + ?Sized, S: OpSource + ?Sized>(
     backend: &mut B,
-    workload: &mut Workload,
+    workload: &mut S,
     cycles: u64,
 ) -> DetectionOutcome {
     let mut out = DetectionOutcome::default();

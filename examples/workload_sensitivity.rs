@@ -1,26 +1,21 @@
-//! Extension experiment: how does the *address pattern* change empirical
+//! Extension experiment: how does the *workload model* change empirical
 //! detection latency? The paper's analysis assumes uniformly random
-//! addresses; real workloads are sequential scans, strided loops or hot
-//! spots. This example measures the same injected decoder fault under each
-//! pattern.
+//! addresses; real workloads are sequential scans, bursts, skewed hot
+//! spots, or lopsided read/write mixes. This example measures the same
+//! injected decoder fault under every built-in [`WorkloadModel`].
 //!
 //! Run: `cargo run --release --example workload_sensitivity`
 
 use scm_core::prelude::*;
 use scm_memory::decoder_unit::DecoderFault;
-use scm_memory::sim::measure_detection;
+use scm_memory::sim::measure_detection_on;
+use scm_memory::workload::{builtin_models, WorkloadSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = SelfCheckingRamBuilder::new(1024, 16)
         .mux_factor(8)
         .latency_budget(10, 1e-9)?
         .build()?;
-
-    // Prefill a golden RAM.
-    let mut golden = design.instantiate();
-    for a in 0..1024u64 {
-        golden.write(a, a.wrapping_mul(0x1234) & 0xFFFF);
-    }
 
     // The injected fault: SA1 on the row line of value 5 in the last-level
     // 7-bit block — the paper's analysis gives per-cycle escape ≈ 15/128.
@@ -30,35 +25,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         value: 5,
         stuck_one: true,
     });
-
-    let patterns: [(&str, AddressPattern); 4] = [
-        ("uniform (paper model)", AddressPattern::UniformRandom),
-        ("sequential scan", AddressPattern::Sequential),
-        ("stride-8 loop", AddressPattern::Strided { stride: 8 }),
-        (
-            "hot spot (32 words)",
-            AddressPattern::HotSpot { window: 32 },
-        ),
-    ];
+    let spec = WorkloadSpec {
+        words: 1024,
+        word_bits: 16,
+        write_fraction: 0.1,
+    };
 
     println!("SA1 decoder fault, 40 trials each, up to 10k cycles:");
     println!();
     println!(
         "{:<22} | {:>9} | {:>10} | {:>12}",
-        "pattern", "detected", "mean lat.", "worst lat."
+        "model", "detected", "mean lat.", "worst lat."
     );
     println!("{}", "-".repeat(62));
-    for (name, pattern) in patterns {
+    for model in builtin_models() {
+        let mut backend = BehavioralBackend::prefilled(design.config(), 0x1234);
         let mut detected = 0u32;
         let mut sum = 0u64;
         let mut worst = 0u64;
         let trials = 40u64;
         for seed in 0..trials {
-            let mut g = golden.clone();
-            let mut f = golden.clone();
-            f.inject(fault);
-            let mut w = Workload::new(pattern, 1024, 16, 0.1, seed);
-            let out = measure_detection(&mut f, &mut g, &mut w, 10_000);
+            backend.reset(Some(fault));
+            let mut stream = model.stream(spec, seed);
+            let out = measure_detection_on(&mut backend, stream.as_mut(), 10_000);
             if let Some(d) = out.first_detection {
                 detected += 1;
                 sum += d;
@@ -70,13 +59,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             f64::NAN
         };
-        println!("{name:<22} | {detected:>6}/{trials} | {mean:>10.1} | {worst:>12}",);
+        println!(
+            "{:<22} | {detected:>6}/{trials} | {mean:>10.1} | {worst:>12}",
+            model.name()
+        );
     }
     println!();
     println!("reading: uniform addressing detects almost immediately (most random rows");
-    println!("differ from the stuck line's codeword). A hot spot that never leaves the");
-    println!("faulty row's collision class is the worst case — the paper's uniform-");
+    println!("differ from the stuck line's codeword). Skewed and scanning models change");
+    println!("how often the colliding row pair is exercised — the paper's uniform-");
     println!("address assumption is the right design-time model but not a guarantee");
-    println!("under adversarial locality.");
+    println!("under adversarial locality; `scm campaign --workload <model>` runs the");
+    println!("full fault universe under any of these.");
     Ok(())
 }

@@ -21,9 +21,12 @@
 //! * [`decoder`] — the paper's multilevel decoder generator
 //! * [`rom`] — the NOR-matrix encoder
 //! * [`checkers`] — two-rail / parity / q-out-of-r / Berger checkers
-//! * [`memory`] — the assembled self-checking RAM & ROM, campaigns
+//! * [`memory`] — the assembled self-checking RAM & ROM, campaigns,
+//!   pluggable workload models
 //! * [`latency`] — analytical escape probabilities and the safety model
 //! * [`area`] — calibrated area models and the paper's tables
+//! * [`explore`] — parallel design-space exploration (Pareto fronts,
+//!   table slices, goal-solves)
 //! * [`core`] — the facade builder
 
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@ pub use scm_checkers as checkers;
 pub use scm_codes as codes;
 pub use scm_core as core;
 pub use scm_decoder as decoder;
+pub use scm_explore as explore;
 pub use scm_latency as latency;
 pub use scm_logic as logic;
 pub use scm_memory as memory;
