@@ -21,6 +21,8 @@ fn space() -> ExplorationSpace {
         policies: SelectionPolicy::ALL.to_vec(),
         scrubs: vec![ScrubPolicy::Off],
         workloads: vec!["uniform".to_owned()],
+        banks: vec![1],
+        checkpoints: vec![0],
     }
 }
 

@@ -8,6 +8,7 @@
 //! scm ablations                   design-choice ablations
 //! scm explore [options]           free design-space exploration
 //! scm campaign [options]          fault campaign under a chosen workload
+//! scm system [options]            sharded multi-bank system campaign
 //! ```
 //!
 //! Subcommands are thin wrappers over `scm-explore`'s [`Evaluator`]; the
@@ -34,6 +35,7 @@ use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::FaultSite;
 use scm_memory::report::{summary, worst_offenders};
 use scm_memory::workload::{model_by_name, MODEL_NAMES};
+use scm_system::{system_report, Interleaving, SystemCampaign, SystemConfig};
 use std::fmt::Write;
 
 /// Run a parsed command line (program name stripped); returns the stdout
@@ -77,9 +79,70 @@ pub fn run(args: &[String]) -> Result<String, String> {
             )?;
             campaign_stdout(&flags)
         }
+        "system" => {
+            flags.validate(
+                &[
+                    "--workload",
+                    "--trials",
+                    "--cycles",
+                    "--seed",
+                    "--threads",
+                    "--interleave",
+                    "--scrub-period",
+                    "--checkpoint",
+                ],
+                &[],
+            )?;
+            system_stdout(&flags)
+        }
         "--help" | "-h" | "help" => Ok(usage()),
-        other => Err(format!("unknown subcommand '{other}'\n\n{}", usage())),
+        other => {
+            let hint = match suggest_subcommand(other) {
+                Some(known) => format!(" (did you mean '{known}'?)"),
+                None => String::new(),
+            };
+            Err(format!("unknown subcommand '{other}'{hint}\n\n{}", usage()))
+        }
     }
+}
+
+/// Every dispatchable subcommand, for the did-you-mean hint.
+const SUBCOMMANDS: [&str; 8] = [
+    "table1",
+    "table2",
+    "pareto",
+    "ablations",
+    "explore",
+    "campaign",
+    "system",
+    "help",
+];
+
+/// Closest known subcommand within a small edit distance, so a typo like
+/// `sytem` points at `system` instead of a bare usage dump.
+fn suggest_subcommand(input: &str) -> Option<&'static str> {
+    SUBCOMMANDS
+        .iter()
+        .map(|&known| (edit_distance(input, known), known))
+        .filter(|&(d, known)| d <= 2.min(known.len().saturating_sub(1)))
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, known)| known)
+}
+
+/// Levenshtein distance (inserts, deletes, substitutions all cost 1).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row.push(subst.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 /// Usage text.
@@ -97,10 +160,15 @@ pub fn usage() -> String {
          \x20                            design-space exploration + Pareto front\n\
          \x20 campaign [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
          \x20                            fault campaign on the 1Kx16 worked example\n\
+         \x20 system [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
+         \x20        [--interleave I] [--scrub-period P] [--checkpoint K]\n\
+         \x20                            sharded multi-bank system campaign (scrubs +\n\
+         \x20                            checkpoints competing with live traffic)\n\
          \n\
-         policies:  worst-block-exact | inverse-a\n\
-         scrubs:    off | sequential-sweep\n\
-         workloads: {}\n",
+         policies:    worst-block-exact | inverse-a\n\
+         scrubs:      off | sequential-sweep\n\
+         interleave:  low-order | high-order\n\
+         workloads:   {}\n",
         MODEL_NAMES.join(" | ")
     )
 }
@@ -284,6 +352,8 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         policies,
         scrubs: vec![scrub],
         workloads,
+        banks: vec![1],
+        checkpoints: vec![0],
     };
 
     let mut evaluator = Evaluator::default().threads(threads);
@@ -431,6 +501,77 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     out.push_str(&summary(&result));
     out.push('\n');
     out.push_str(&worst_offenders(&result, 5));
+    Ok(out)
+}
+
+/// `scm system` — a sharded multi-bank system campaign: four
+/// heterogeneous banks behind an address interleaver, scrub reads and
+/// checkpoints scheduled against live traffic, detection measured on the
+/// global clock. Stdout is byte-stable at every thread count (pinned by
+/// `tests/system_fixture.rs`).
+fn system_stdout(flags: &Flags) -> Result<String, String> {
+    let workload = flags.value_of("--workload").unwrap_or("uniform");
+    let model = model_by_name(workload).ok_or_else(|| {
+        format!(
+            "unknown workload '{workload}' (one of: {})",
+            MODEL_NAMES.join(", ")
+        )
+    })?;
+    let trials: u32 = flags.parsed("--trials", 8)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
+    let cycles: u64 = flags.parsed("--cycles", 240)?;
+    let seed: u64 = flags.parsed("--seed", 0x5E5)?;
+    let threads: usize = flags.parsed("--threads", 0)?;
+    let scrub_period: u64 = flags.parsed("--scrub-period", 4)?;
+    let checkpoint: u64 = flags.parsed("--checkpoint", 64)?;
+    let interleaving = match flags.value_of("--interleave") {
+        None => Interleaving::LowOrder,
+        Some(name) => Interleaving::parse(name)
+            .ok_or_else(|| format!("unknown interleaving '{name}' (low-order | high-order)"))?,
+    };
+
+    // Four heterogeneous banks: a big code-store, two mid-size working
+    // banks (one on a cheaper modulus) and a small hot bank.
+    let code = MOutOfN::new(3, 5).expect("3-out-of-5 exists");
+    let bank = |words: u64, word_bits: u32, mux: u32, a: u64| -> Result<RamConfig, String> {
+        let org = RamOrganization::new(words, word_bits, mux);
+        let row_map = CodewordMap::mod_a(code, a, org.rows()).map_err(|e| e.to_string())?;
+        let col_map =
+            CodewordMap::mod_a(code, a, org.mux_factor() as u64).map_err(|e| e.to_string())?;
+        Ok(RamConfig::new(org, row_map, col_map))
+    };
+    let system = SystemConfig {
+        banks: vec![
+            bank(1024, 16, 8, 9)?,
+            bank(512, 8, 4, 9)?,
+            bank(256, 8, 4, 7)?,
+            bank(64, 8, 4, 9)?,
+        ],
+        interleaving,
+        scrub: scm_system::ScrubSchedule {
+            period: scrub_period,
+        },
+        checkpoint: scm_system::CheckpointSchedule {
+            interval: checkpoint,
+        },
+    };
+    let campaign = CampaignConfig {
+        cycles,
+        trials,
+        seed,
+        write_fraction: 0.1,
+    };
+    let engine = SystemCampaign::new(system, campaign)
+        .workload_model(model)
+        .threads(threads);
+    let universe = engine.decoder_universe(12);
+    let result = engine.run(&universe);
+
+    let mut out = String::new();
+    out.push_str("sharded self-checking memory system: 4 heterogeneous banks\n\n");
+    out.push_str(&system_report(engine.system(), &result, workload));
     Ok(out)
 }
 
@@ -687,6 +828,66 @@ mod tests {
         .unwrap();
         assert!(out.contains("empirically adjudicated, 2 trials/fault"));
         assert!(out.contains("wrst-err-esc"));
+    }
+
+    #[test]
+    fn did_you_mean_suggests_only_close_subcommands() {
+        assert_eq!(suggest_subcommand("sytem"), Some("system"));
+        assert_eq!(suggest_subcommand("tabel1"), Some("table1"));
+        assert_eq!(suggest_subcommand("campain"), Some("campaign"));
+        assert_eq!(suggest_subcommand("frobnicate"), None);
+        assert_eq!(suggest_subcommand(""), None, "empty input has no hint");
+        let err = run(&["sytem".to_owned()]).unwrap_err();
+        assert!(err.contains("did you mean 'system'?"), "{err}");
+        let err = run(&["frobnicate".to_owned()]).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_is_the_levenshtein_metric() {
+        assert_eq!(edit_distance("system", "system"), 0);
+        assert_eq!(edit_distance("sytem", "system"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn system_subcommand_validates_flags_and_workloads() {
+        let err = run(&[
+            "system".to_owned(),
+            "--interleave".to_owned(),
+            "diagonal".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown interleaving"), "{err}");
+        let err = run(&[
+            "system".to_owned(),
+            "--workload".to_owned(),
+            "bogus".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        let err = run(&["system".to_owned(), "--trials".to_owned(), "0".to_owned()]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(&["system".to_owned(), "--banks".to_owned(), "2".to_owned()]).unwrap_err();
+        assert!(err.contains("unrecognised argument '--banks'"), "{err}");
+    }
+
+    #[test]
+    fn system_subcommand_reports_every_bank() {
+        let out = run(&[
+            "system".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--cycles".to_owned(),
+            "60".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("memory system: 4 banks"));
+        for bank in ["16x1K", "8x512", "8x256", "8x64"] {
+            assert!(out.contains(bank), "missing bank {bank}:\n{out}");
+        }
+        assert!(out.contains("expected lost work"));
     }
 
     #[test]

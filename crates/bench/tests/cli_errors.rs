@@ -1,0 +1,69 @@
+//! Error-path contract of the `scm` binary: a misspelled subcommand must
+//! print usage plus a did-you-mean hint on stderr and exit non-zero —
+//! asserted on the real process, not just the library layer.
+
+use std::process::Command;
+
+fn scm(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scm"))
+        .args(args)
+        .output()
+        .expect("scm binary runs")
+}
+
+#[test]
+fn misspelled_subcommand_exits_nonzero_with_a_hint() {
+    let out = scm(&["sytem"]);
+    assert_eq!(out.status.code(), Some(2), "misspellings must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown subcommand 'sytem'"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("did you mean 'system'?"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("subcommands:"),
+        "usage must follow the hint"
+    );
+    assert!(out.stdout.is_empty(), "errors go to stderr only");
+}
+
+#[test]
+fn close_typos_of_other_subcommands_are_suggested() {
+    for (typo, suggestion) in [
+        ("tabel1", "table1"),
+        ("pareo", "pareto"),
+        ("campain", "campaign"),
+        ("explor", "explore"),
+    ] {
+        let out = scm(&[typo]);
+        assert_eq!(out.status.code(), Some(2), "{typo}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("did you mean '{suggestion}'?")),
+            "{typo}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn distant_garbage_gets_usage_but_no_bogus_hint() {
+    let out = scm(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand 'frobnicate'"));
+    assert!(
+        !stderr.contains("did you mean"),
+        "no hint for unrelated input: {stderr}"
+    );
+}
+
+#[test]
+fn valid_subcommand_exits_zero() {
+    let out = scm(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("subcommands:"));
+}

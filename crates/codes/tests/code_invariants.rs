@@ -1,0 +1,218 @@
+//! Encode → corrupt → check invariants of the code layer.
+//!
+//! The self-checking argument rests on what each code *provably* detects:
+//! every single-bit error, and every unidirectional multi-bit error (all
+//! flipped bits in the same direction — the NOR-matrix failure mode), is
+//! either **detected** (the corrupted word is no codeword) or **provably
+//! code-silent** (the corruption law says the word is a codeword again,
+//! and we can name exactly which corruptions those are):
+//!
+//! * Berger and `q`-out-of-`r` are unordered: the silent set is empty —
+//!   any unidirectional corruption that changes the word is detected.
+//! * single-bit parity: a corruption is silent exactly when it flips an
+//!   even number of bits (parity is preserved); every odd — in
+//!   particular every single-bit — corruption is detected.
+//! * two-rail: any unidirectional change of a rail pair lands on
+//!   `(0,0)`/`(1,1)`, both error states, so the silent set is empty.
+
+use proptest::prelude::*;
+use scm_codes::parity::ParityCode;
+use scm_codes::{BergerCode, Code, MOutOfN, TwoRail};
+
+/// Apply a unidirectional corruption: set (or clear) every bit of `mask`.
+/// Returns the corrupted word and the number of bits actually flipped.
+fn unidirectional(word: u64, mask: u64, to_one: bool) -> (u64, u32) {
+    if to_one {
+        (word | mask, (mask & !word).count_ones())
+    } else {
+        (word & !mask, (mask & word).count_ones())
+    }
+}
+
+fn width_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// `q`-out-of-`r` codes small enough to exercise exhaustive ranks.
+const MOFN: [(u32, u32); 5] = [(1, 2), (2, 4), (3, 5), (2, 5), (4, 8)];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_berger_detects_every_single_bit_error(
+        info_bits in 1u32..=16,
+        info in any::<u64>(),
+    ) {
+        let code = BergerCode::new(info_bits).unwrap();
+        let stored = code.encode(info & width_mask(info_bits));
+        prop_assert!(code.is_codeword(stored));
+        for bit in 0..code.width() as u32 {
+            prop_assert!(
+                !code.is_codeword(stored ^ (1u64 << bit)),
+                "k={info_bits} info={info:#x} bit {bit} escaped"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_berger_unidirectional_errors_never_silent(
+        info_bits in 1u32..=16,
+        info in any::<u64>(),
+        mask in any::<u64>(),
+        to_one in any::<bool>(),
+    ) {
+        let code = BergerCode::new(info_bits).unwrap();
+        let stored = code.encode(info & width_mask(info_bits));
+        let mask = mask & width_mask(code.width() as u32);
+        let (corrupt, flipped) = unidirectional(stored, mask, to_one);
+        if flipped == 0 {
+            prop_assert!(code.is_codeword(corrupt), "no flip must stay valid");
+        } else {
+            prop_assert!(
+                !code.is_codeword(corrupt),
+                "k={info_bits} info={info:#x} mask={mask:#x} to_one={to_one}: \
+                 unidirectional {flipped}-bit error escaped the Berger check"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_mofn_detects_every_single_bit_error(
+        code_idx in 0usize..MOFN.len(),
+        rank_raw in any::<u64>(),
+    ) {
+        let (q, r) = MOFN[code_idx];
+        let code = MOutOfN::new(q, r).unwrap();
+        let rank = (rank_raw as u128) % code.count();
+        let stored = code.word_at(rank).unwrap();
+        prop_assert!(code.is_codeword(stored));
+        for bit in 0..r {
+            prop_assert!(
+                !code.is_codeword(stored ^ (1u64 << bit)),
+                "{q}-of-{r} rank {rank} bit {bit} escaped"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_mofn_unidirectional_errors_never_silent(
+        code_idx in 0usize..MOFN.len(),
+        rank_raw in any::<u64>(),
+        mask in any::<u64>(),
+        to_one in any::<bool>(),
+    ) {
+        let (q, r) = MOFN[code_idx];
+        let code = MOutOfN::new(q, r).unwrap();
+        let rank = (rank_raw as u128) % code.count();
+        let stored = code.word_at(rank).unwrap();
+        let mask = mask & width_mask(r);
+        let (corrupt, flipped) = unidirectional(stored, mask, to_one);
+        if flipped == 0 {
+            prop_assert!(code.is_codeword(corrupt));
+        } else {
+            // Constant weight: a unidirectional error strictly changes the
+            // weight, so the corrupted word cannot be a codeword.
+            prop_assert!(
+                !code.is_codeword(corrupt),
+                "{q}-of-{r} rank {rank} mask={mask:#x} to_one={to_one} escaped"
+            );
+        }
+    }
+
+    #[test]
+    fn prop_parity_detects_odd_flips_and_is_provably_silent_on_even(
+        width in 1u64..=20,
+        data in any::<u64>(),
+        mask in any::<u64>(),
+        to_one in any::<bool>(),
+        odd_sense in any::<bool>(),
+    ) {
+        let code = if odd_sense {
+            ParityCode::odd(width as usize)
+        } else {
+            ParityCode::even(width as usize)
+        };
+        let stored = code.encode(data);
+        prop_assert!(code.is_codeword(stored));
+        // Every single-bit error — data bits and the check bit alike — is
+        // detected.
+        for bit in 0..code.width() as u32 {
+            prop_assert!(
+                !code.is_codeword(stored ^ (1u64 << bit)),
+                "width {width} bit {bit} escaped"
+            );
+        }
+        // A unidirectional multi-bit error is silent exactly when it flips
+        // an even number of bits: that is the provable silent set.
+        let mask = mask & width_mask(code.width() as u32);
+        let (corrupt, flipped) = unidirectional(stored, mask, to_one);
+        prop_assert_eq!(
+            code.is_codeword(corrupt),
+            flipped % 2 == 0,
+            "width {} mask {:#x} to_one {}: {} flips must be {} by parity",
+            width, mask, to_one, flipped,
+            if flipped % 2 == 0 { "silent" } else { "detected" }
+        );
+    }
+
+    #[test]
+    fn prop_two_rail_unidirectional_errors_never_silent(
+        value in any::<bool>(),
+        flip_t in any::<bool>(),
+        flip_f in any::<bool>(),
+        to_one in any::<bool>(),
+    ) {
+        let stored = TwoRail::encode(value);
+        prop_assert!(stored.is_valid());
+        // Apply the unidirectional corruption to the pair's 2-bit word.
+        let mask = (flip_t as u64) | ((flip_f as u64) << 1);
+        let (corrupt, flipped) = unidirectional(stored.to_word(), mask, to_one);
+        let corrupt = TwoRail::from_word(corrupt);
+        if flipped == 0 {
+            prop_assert!(corrupt.is_valid());
+        } else {
+            // A valid pair holds exactly one 1; setting any subset of its
+            // 0-bits or clearing any subset of its 1-bits always lands on
+            // (0,0) or (1,1) — both error states.
+            prop_assert!(
+                corrupt.is_error(),
+                "value {value}, mask {mask:#b}, to_one {to_one} escaped"
+            );
+        }
+    }
+}
+
+/// Exhaustive companion: for every codeword of every listed small code,
+/// every 1-bit error is detected — no sampling, the complete statement.
+#[test]
+fn every_single_bit_error_on_every_small_codeword_is_detected() {
+    for (q, r) in MOFN {
+        let code = MOutOfN::new(q, r).unwrap();
+        for rank in 0..code.count() {
+            let word = code.word_at(rank).unwrap();
+            for bit in 0..r {
+                assert!(
+                    !code.is_codeword(word ^ (1u64 << bit)),
+                    "{q}-of-{r} rank {rank} bit {bit}"
+                );
+            }
+        }
+    }
+    for info_bits in 1u32..=8 {
+        let code = BergerCode::new(info_bits).unwrap();
+        for info in 0..(1u64 << info_bits) {
+            let word = code.encode(info);
+            for bit in 0..code.width() as u32 {
+                assert!(
+                    !code.is_codeword(word ^ (1u64 << bit)),
+                    "berger k={info_bits} info={info} bit {bit}"
+                );
+            }
+        }
+    }
+}

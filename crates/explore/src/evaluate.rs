@@ -14,6 +14,12 @@
 //! 3. **Empirical adjudication** (optional) — a Monte-Carlo campaign on
 //!    the deterministic parallel [`CampaignEngine`], driven by the
 //!    point's workload model, over the row-decoder fault universe.
+//! 4. **System stage** (optional) — the point's scheme composed into a
+//!    homogeneous `point.banks`-wide sharded system
+//!    (`scm_system::SystemCampaign`) with the point's scrub policy and
+//!    checkpoint interval mapped onto the system schedules; yields
+//!    [`SystemFigures`] for the system-level Pareto view
+//!    ([`crate::pareto::system_pareto_front`]).
 //!
 //! Every stage is a pure function of the point (campaign seeds are pure
 //! in the grid coordinates), so [`Evaluator::evaluate_space`] is
@@ -32,6 +38,7 @@ use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::FaultSite;
 use scm_memory::scrub::{sweep_bound, SweepBound};
 use scm_memory::workload::{builtin_models, WorkloadModel};
+use scm_system::{Interleaving, SystemCampaign, SystemConfig};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -89,6 +96,64 @@ pub struct EmpiricalFigures {
     pub mean_escape: f64,
 }
 
+/// System-level figures of a point evaluated through the sharded
+/// multi-bank stage (a homogeneous `banks`-wide system of the point's
+/// selected scheme, driven by its workload under the evaluator's system
+/// schedules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemFigures {
+    /// Banks composed.
+    pub banks: u32,
+    /// Mean detection latency across banks (system cycles, censored at
+    /// the horizon for banks that never detected).
+    pub mean_latency: f64,
+    /// Worst per-bank mean detection latency (same censoring).
+    pub worst_latency: f64,
+    /// Expected lost work per failure (Aupy-style, system cycles).
+    pub expected_lost_work: f64,
+    /// Scrub bandwidth overhead (fraction of system cycles).
+    pub scrub_overhead: f64,
+    /// Fraction of all trials detected within the horizon.
+    pub detected_fraction: f64,
+}
+
+/// System-stage configuration: how the evaluator composes and campaigns
+/// the sharded view of each point.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemAdjudication {
+    /// Per-trial horizon in system cycles.
+    pub horizon: u64,
+    /// Trials per `(bank, fault)` cell.
+    pub trials: u32,
+    /// Campaign seed (trial seeds derive purely from it and the grid
+    /// coordinates).
+    pub seed: u64,
+    /// Traffic write fraction.
+    pub write_fraction: f64,
+    /// Address interleaving of the composed system.
+    pub interleaving: Interleaving,
+    /// Scrub period applied when the point's scrub policy is
+    /// [`ScrubPolicy::SequentialSweep`] (`Off` points never scrub).
+    pub scrub_period: u64,
+    /// Cap on row-decoder faults campaigned per bank (`0` = whole
+    /// universe).
+    pub max_faults_per_bank: usize,
+}
+
+impl Default for SystemAdjudication {
+    fn default() -> Self {
+        SystemAdjudication {
+            horizon: 200,
+            trials: 4,
+            seed: 0x5E5,
+            write_fraction: 0.1,
+            interleaving: Interleaving::LowOrder,
+            scrub_period: 4,
+            max_faults_per_bank: 12,
+        }
+    }
+}
+
 /// Everything the pipeline established about one point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
@@ -110,6 +175,9 @@ pub struct Evaluation {
     pub scrub_bound: Option<SweepBound>,
     /// Campaign figures (present iff the evaluator adjudicates).
     pub empirical: Option<EmpiricalFigures>,
+    /// Sharded-system figures (present iff the evaluator runs the
+    /// system stage).
+    pub system: Option<SystemFigures>,
 }
 
 impl Evaluation {
@@ -152,6 +220,7 @@ type ScrubKey = (u64, u32, u64);
 pub struct Evaluator {
     tech: TechnologyParams,
     adjudicate: Option<Adjudication>,
+    system: Option<SystemAdjudication>,
     threads: usize,
     registry: HashMap<String, Arc<dyn WorkloadModel>>,
     plans: Mutex<HashMap<PlanKey, Result<CodePlan, CodeError>>>,
@@ -178,6 +247,7 @@ impl Evaluator {
         Evaluator {
             tech,
             adjudicate: None,
+            system: None,
             threads: 0,
             registry,
             plans: Mutex::new(HashMap::new()),
@@ -191,6 +261,15 @@ impl Evaluator {
     /// Switch on the empirical adjudication stage.
     pub fn adjudicate(mut self, adjudication: Adjudication) -> Self {
         self.adjudicate = Some(adjudication);
+        self
+    }
+
+    /// Switch on the sharded-system stage: every point is additionally
+    /// composed into a homogeneous `point.banks`-wide system and
+    /// campaigned on the system clock (scrub and checkpoint schedules
+    /// from the point's axes).
+    pub fn system_stage(mut self, system: SystemAdjudication) -> Self {
+        self.system = Some(system);
         self
     }
 
@@ -309,6 +388,47 @@ impl Evaluator {
         })
     }
 
+    fn system_point(
+        &self,
+        point: &DesignPoint,
+        plan: &CodePlan,
+        stage: &SystemAdjudication,
+    ) -> Result<SystemFigures, ExploreError> {
+        let model = self
+            .registry
+            .get(&point.workload)
+            .cloned()
+            .ok_or_else(|| ExploreError::UnknownWorkload(point.workload.clone()))?;
+        let bank = RamConfig::from_plan(point.geometry, plan)?;
+        let scrub_period = match point.scrub {
+            ScrubPolicy::Off => 0,
+            ScrubPolicy::SequentialSweep => stage.scrub_period,
+        };
+        let system =
+            SystemConfig::homogeneous(bank, point.banks.max(1) as usize, stage.interleaving)
+                .scrubbed(scrub_period)
+                .checkpointed(point.checkpoint);
+        let campaign = CampaignConfig {
+            cycles: stage.horizon,
+            trials: stage.trials,
+            seed: stage.seed,
+            write_fraction: stage.write_fraction,
+        };
+        // Ambient threads: the system grid rides the same rayon pool as
+        // the outer point sweep, like the adjudication stage.
+        let engine = SystemCampaign::new(system, campaign).workload_model(model);
+        let universe = engine.decoder_universe(stage.max_faults_per_bank);
+        let result = engine.run(&universe);
+        Ok(SystemFigures {
+            banks: point.banks.max(1),
+            mean_latency: result.mean_latency_across_banks(),
+            worst_latency: result.worst_latency_across_banks(),
+            expected_lost_work: result.expected_lost_work(),
+            scrub_overhead: result.scrub_overhead,
+            detected_fraction: result.detected_fraction(),
+        })
+    }
+
     /// Run the full pipeline on one point.
     ///
     /// # Errors
@@ -332,6 +452,10 @@ impl Evaluator {
             None => None,
             Some(adjudication) => Some(self.adjudicate_point(point, &plan, adjudication)?),
         };
+        let system = match &self.system {
+            None => None,
+            Some(stage) => Some(self.system_point(point, &plan, stage)?),
+        };
         Ok(Evaluation {
             point: point.clone(),
             plan,
@@ -342,6 +466,7 @@ impl Evaluator {
             grade: assessment.grade,
             scrub_bound,
             empirical,
+            system,
         })
     }
 
@@ -470,6 +595,8 @@ mod tests {
             policies: vec![SelectionPolicy::WorstBlockExact],
             scrubs: vec![ScrubPolicy::Off],
             workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
         };
         let results = ev.evaluate_space(&space);
         assert_eq!(results.len(), 1);
@@ -486,6 +613,8 @@ mod tests {
             policies: SelectionPolicy::ALL.to_vec(),
             scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
             workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
         };
         let results = ev.evaluate_space(&space);
         assert!(results.iter().all(|r| r.is_ok()));

@@ -11,7 +11,10 @@
 //!   analytic latency/escape grading, optional hard scrub bounds, and
 //!   optional Monte-Carlo adjudication on the campaign engine;
 //! * [`pareto_front`] — the non-dominated set over (area, latency,
-//!   escape).
+//!   escape);
+//! * [`system_pareto_front`] — the sharded-system view's frontier over
+//!   (area, system detection latency, expected lost work), fed by the
+//!   evaluator's optional system stage ([`SystemAdjudication`]).
 //!
 //! Pareto sweeps, the paper's table slices and single goal-solves all run
 //! through the same engine, so a new scenario is a new
@@ -39,6 +42,7 @@ pub mod space;
 
 pub use evaluate::{
     Adjudication, CacheStats, EmpiricalFigures, Evaluation, Evaluator, ExploreError,
+    SystemAdjudication, SystemFigures,
 };
-pub use pareto::{dominates, pareto_front};
+pub use pareto::{dominates, pareto_front, system_pareto_front};
 pub use space::{DesignPoint, ExplorationSpace, ScrubPolicy};

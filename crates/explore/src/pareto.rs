@@ -5,6 +5,12 @@
 //! (the tolerated `c`), and **minimise escape** (the achieved `Pndc`). A
 //! point is on the frontier when no other evaluated point is at least as
 //! good on all three and strictly better on one.
+//!
+//! The sharded-system view has its own frontier
+//! ([`system_pareto_front`]): **minimise area**, **minimise system
+//! detection latency** (mean across banks, global clock) and **minimise
+//! expected lost work** — the joint objective Aupy et al. show cannot be
+//! optimised one memory at a time.
 
 use crate::evaluate::Evaluation;
 
@@ -13,32 +19,39 @@ fn objectives(e: &Evaluation) -> [f64; 3] {
     [e.area_percent(), e.point.cycles as f64, e.achieved_pndc]
 }
 
+/// System-view objective vector; `None` when the evaluation carries no
+/// system figures.
+fn system_objectives(e: &Evaluation) -> Option<[f64; 3]> {
+    e.system
+        .map(|s| [e.area_percent(), s.mean_latency, s.expected_lost_work])
+}
+
 /// Does `a` dominate `b` (no worse everywhere, better somewhere)?
 pub fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
-    let (oa, ob) = (objectives(a), objectives(b));
+    dominates_by(objectives(a), objectives(b))
+}
+
+fn dominates_by(oa: [f64; 3], ob: [f64; 3]) -> bool {
     let no_worse = oa.iter().zip(&ob).all(|(x, y)| x <= y);
     let better = oa.iter().zip(&ob).any(|(x, y)| x < y);
     no_worse && better
 }
 
-/// Non-dominated subset of `evaluations`, sorted by ascending area then
-/// latency then escape — a deterministic presentation order.
-///
-/// Duplicate objective vectors keep their first (input-order)
-/// representative, so the frontier itself is deterministic too.
-pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
+/// Shared frontier extraction over an explicit objective function.
+fn front_by(
+    evaluations: &[Evaluation],
+    objectives: impl Fn(&Evaluation) -> [f64; 3],
+) -> Vec<Evaluation> {
     let mut front: Vec<Evaluation> = Vec::new();
     for candidate in evaluations {
-        if front.iter().any(|kept| dominates(kept, candidate)) {
+        let oc = objectives(candidate);
+        if front.iter().any(|kept| dominates_by(objectives(kept), oc)) {
             continue;
         }
-        if front
-            .iter()
-            .any(|kept| objectives(kept) == objectives(candidate))
-        {
+        if front.iter().any(|kept| objectives(kept) == oc) {
             continue; // objective-identical twin already kept
         }
-        front.retain(|kept| !dominates(candidate, kept));
+        front.retain(|kept| !dominates_by(oc, objectives(kept)));
         front.push(candidate.clone());
     }
     front.sort_by(|a, b| {
@@ -50,6 +63,30 @@ pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     front
+}
+
+/// Non-dominated subset of `evaluations`, sorted by ascending area then
+/// latency then escape — a deterministic presentation order.
+///
+/// Duplicate objective vectors keep their first (input-order)
+/// representative, so the frontier itself is deterministic too.
+pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
+    front_by(evaluations, objectives)
+}
+
+/// Non-dominated subset under the **system** objectives — (area, mean
+/// system detection latency, expected lost work) — over the evaluations
+/// that carry system figures. Evaluations without a system stage are
+/// ignored; the result is empty when none have one.
+pub fn system_pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
+    let with_figures: Vec<Evaluation> = evaluations
+        .iter()
+        .filter(|e| e.system.is_some())
+        .cloned()
+        .collect();
+    front_by(&with_figures, |e| {
+        system_objectives(e).expect("filtered to evaluations with system figures")
+    })
 }
 
 #[cfg(test)]
@@ -69,6 +106,8 @@ mod tests {
             policies: vec![SelectionPolicy::WorstBlockExact],
             scrubs: vec![ScrubPolicy::Off],
             workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
         };
         ev.evaluate_space(&space)
             .into_iter()

@@ -44,7 +44,8 @@ impl ScrubPolicy {
 /// One fully specified candidate in the design space.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
-    /// RAM geometry (words × word bits, column mux).
+    /// RAM geometry (words × word bits, column mux). With `banks > 1`
+    /// this is the **per-bank** geometry of a homogeneous system.
     pub geometry: RamOrganization,
     /// Tolerated detection latency `c` in cycles.
     pub cycles: u32,
@@ -56,10 +57,18 @@ pub struct DesignPoint {
     pub scrub: ScrubPolicy,
     /// Workload model name (resolved through the evaluator's registry).
     pub workload: String,
+    /// Banks in the sharded system view (`1` = the paper's single
+    /// memory; `> 1` makes the evaluator's system stage compose that
+    /// many copies behind an interleaver).
+    pub banks: u32,
+    /// Checkpoint interval in system cycles for the lost-work axis
+    /// (`0` = only the initial state is recoverable).
+    pub checkpoint: u64,
 }
 
 impl DesignPoint {
-    /// A point with the paper's defaults: no scrub, uniform workload.
+    /// A point with the paper's defaults: no scrub, uniform workload,
+    /// one bank, no periodic checkpoints.
     pub fn paper(
         geometry: RamOrganization,
         cycles: u32,
@@ -73,12 +82,17 @@ impl DesignPoint {
             policy,
             scrub: ScrubPolicy::Off,
             workload: "uniform".to_owned(),
+            banks: 1,
+            checkpoint: 0,
         }
     }
 
     /// Compact label for reports, e.g. `1Kx16/c=10/1e-9/inverse-a`.
+    /// System axes appear only when they leave the paper's defaults
+    /// (`/x4b` for four banks, `/ck64` for a 64-cycle checkpoint
+    /// interval), so single-memory labels stay byte-stable.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/c={}/{:.0e}/{}/{}/{}",
             self.geometry.name(),
             self.cycles,
@@ -86,7 +100,14 @@ impl DesignPoint {
             self.policy.name(),
             self.scrub.name(),
             self.workload
-        )
+        );
+        if self.banks > 1 {
+            label.push_str(&format!("/x{}b", self.banks));
+        }
+        if self.checkpoint > 0 {
+            label.push_str(&format!("/ck{}", self.checkpoint));
+        }
+        label
     }
 }
 
@@ -105,6 +126,10 @@ pub struct ExplorationSpace {
     pub scrubs: Vec<ScrubPolicy>,
     /// Workload model names.
     pub workloads: Vec<String>,
+    /// Bank counts for the sharded system view.
+    pub banks: Vec<u32>,
+    /// Checkpoint intervals (system cycles).
+    pub checkpoints: Vec<u64>,
 }
 
 impl ExplorationSpace {
@@ -118,6 +143,8 @@ impl ExplorationSpace {
             policies: vec![SelectionPolicy::WorstBlockExact],
             scrubs: vec![ScrubPolicy::Off],
             workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
         }
     }
 
@@ -129,6 +156,8 @@ impl ExplorationSpace {
             * self.policies.len()
             * self.scrubs.len()
             * self.workloads.len()
+            * self.banks.len()
+            * self.checkpoints.len()
     }
 
     /// Whether the product is empty.
@@ -136,24 +165,31 @@ impl ExplorationSpace {
         self.len() == 0
     }
 
-    /// Enumerate every point, in a fixed deterministic order (workload,
-    /// scrub, policy, geometry, pndc, cycles — innermost last).
+    /// Enumerate every point, in a fixed deterministic order (banks,
+    /// checkpoint, workload, scrub, policy, geometry, pndc, cycles —
+    /// innermost last).
     pub fn points(&self) -> Vec<DesignPoint> {
         let mut out = Vec::with_capacity(self.len());
-        for workload in &self.workloads {
-            for &scrub in &self.scrubs {
-                for &policy in &self.policies {
-                    for &geometry in &self.geometries {
-                        for &pndc in &self.pndcs {
-                            for &cycles in &self.cycles {
-                                out.push(DesignPoint {
-                                    geometry,
-                                    cycles,
-                                    pndc,
-                                    policy,
-                                    scrub,
-                                    workload: workload.clone(),
-                                });
+        for &banks in &self.banks {
+            for &checkpoint in &self.checkpoints {
+                for workload in &self.workloads {
+                    for &scrub in &self.scrubs {
+                        for &policy in &self.policies {
+                            for &geometry in &self.geometries {
+                                for &pndc in &self.pndcs {
+                                    for &cycles in &self.cycles {
+                                        out.push(DesignPoint {
+                                            geometry,
+                                            cycles,
+                                            pndc,
+                                            policy,
+                                            scrub,
+                                            workload: workload.clone(),
+                                            banks,
+                                            checkpoint,
+                                        });
+                                    }
+                                }
                             }
                         }
                     }
@@ -177,17 +213,22 @@ mod tests {
             policies: SelectionPolicy::ALL.to_vec(),
             scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
             workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+            banks: vec![1, 4],
+            checkpoints: vec![0],
         };
-        assert_eq!(space.len(), 32);
+        assert_eq!(space.len(), 64);
         let a = space.points();
         let b = space.points();
         assert_eq!(a, b);
-        assert_eq!(a.len(), 32);
+        assert_eq!(a.len(), 64);
         // Innermost axis varies fastest.
         assert_eq!(a[0].cycles, 2);
         assert_eq!(a[1].cycles, 10);
         assert_eq!(a[0].pndc, 1e-2);
         assert_eq!(a[2].pndc, 1e-9);
+        // The bank axis is outermost.
+        assert_eq!(a[0].banks, 1);
+        assert_eq!(a[32].banks, 4);
     }
 
     #[test]
@@ -210,5 +251,20 @@ mod tests {
             SelectionPolicy::InverseA,
         );
         assert_eq!(p.label(), "16x1K/c=10/1e-9/inverse-a/off/uniform");
+    }
+
+    #[test]
+    fn system_axes_extend_the_label_only_when_set() {
+        let mut p = DesignPoint::paper(
+            RamOrganization::with_mux8(1024, 16),
+            10,
+            1e-9,
+            SelectionPolicy::InverseA,
+        );
+        p.banks = 4;
+        p.checkpoint = 64;
+        assert_eq!(p.label(), "16x1K/c=10/1e-9/inverse-a/off/uniform/x4b/ck64");
+        p.checkpoint = 0;
+        assert_eq!(p.label(), "16x1K/c=10/1e-9/inverse-a/off/uniform/x4b");
     }
 }

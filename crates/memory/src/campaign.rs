@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// Campaign parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
     /// The latency budget `c` in cycles.
     pub cycles: u64,

@@ -13,7 +13,7 @@
 //! faster. The determinism test in `tests/campaign_engine.rs` enforces
 //! this.
 //!
-//! The grid is decomposed fault-major into [`TrialBlock`]s: when the
+//! The grid is decomposed fault-major into trial blocks: when the
 //! fault universe is wide (the common case — thousands of collapsed
 //! stuck-ats), each block is one fault's full trial set; when callers
 //! probe few faults with many trials, trial ranges split so every worker

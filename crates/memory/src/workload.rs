@@ -148,6 +148,12 @@ impl OpSource for Workload {
     }
 }
 
+impl<T: OpSource + ?Sized> OpSource for Box<T> {
+    fn next_op(&mut self) -> Op {
+        (**self).next_op()
+    }
+}
+
 /// A boxed, sendable operation stream — what a [`WorkloadModel`] fabricates
 /// per trial.
 pub type OpStream = Box<dyn OpSource + Send>;

@@ -1,0 +1,645 @@
+//! The parallel system-level fault campaign.
+//!
+//! One engine runs the whole `bank × fault × trial` grid of a multi-bank
+//! system: each trial replays the full system event stream (mission
+//! traffic through the interleaver, scrub reads stealing their slots) and
+//! injects one fault into one bank. Detection is measured in **system
+//! cycles** on the global clock, so a bank that receives little traffic —
+//! because interleaving starves it or scrubbing is off — shows exactly
+//! the longer latency the single-memory analysis cannot see.
+//!
+//! Determinism is the campaign engine's contract, extended one axis:
+//!
+//! * every trial's traffic stream is seeded purely from
+//!   `(campaign seed, bank, fault index within the bank, trial)`,
+//! * every bank's prefill image is seeded purely from
+//!   `(campaign seed, bank)`,
+//! * per-fault statistics are sums of per-trial counters, which commute,
+//!
+//! so results are **bit-identical at every thread count**; the test suite
+//! (`tests/system_engine.rs`, and the byte-pinned `scm system` fixture at
+//! 1/2/4/8 threads) enforces it.
+//!
+//! Only the faulted bank is simulated per trial: under the single-fault
+//! assumption every other bank is fault-free, and a fault-free
+//! behavioural bank is exactly silent ([`MemorySystem::serve`]'s sanity
+//! anchor, re-checked in the integration tests), so skipping its steps
+//! changes nothing observable while cutting the work `N`-fold.
+
+use crate::clock::SystemClock;
+use crate::system::{MemorySystem, SystemConfig};
+use rayon::prelude::*;
+use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::fault::FaultSite;
+use scm_memory::workload::{UniformRandom, WorkloadModel};
+use std::sync::Arc;
+
+/// One cell of the campaign universe: a fault in a specific bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemFault {
+    /// Faulted bank.
+    pub bank: usize,
+    /// Index of this fault within its bank's universe (seeds derive from
+    /// it, so the pair `(bank, index)` — not list position — is the
+    /// fault's identity).
+    pub index: usize,
+    /// The injected fault.
+    pub site: FaultSite,
+}
+
+/// Aggregated trial counters for one system fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemFaultResult {
+    /// The campaign cell.
+    pub fault: SystemFault,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials detected within the horizon.
+    pub detected: u32,
+    /// Trials with no detection within the horizon.
+    pub undetected: u32,
+    /// Trials where an erroneous output preceded the first indication.
+    pub error_escapes: u32,
+    /// Sum over detected trials of the detection cycle (global clock).
+    pub detection_cycle_sum: u64,
+    /// Sum over detected trials of `detection − error onset` (system
+    /// cycles; 0 when the checkers spoke before any erroneous output).
+    pub latency_from_error_sum: u64,
+    /// Sum over all trials of the Aupy-style lost work: cycles from the
+    /// last checkpoint preceding error onset to detection; the full
+    /// horizon for undetected trials (censored, documented).
+    pub lost_work_sum: u64,
+}
+
+impl SystemFaultResult {
+    /// Mean detection latency from error onset, over detected trials
+    /// (the paper's per-memory quantity, usually ~0 for decoder faults:
+    /// the flag rises the cycle the faulted line is finally addressed).
+    pub fn mean_onset_latency(&self) -> Option<f64> {
+        (self.detected > 0).then(|| self.latency_from_error_sum as f64 / self.detected as f64)
+    }
+
+    /// Mean time to detection on the global clock, over detected trials
+    /// — the *system* detection latency, which grows when interleaving
+    /// or scheduling starves the faulted bank of accesses.
+    pub fn mean_time_to_detection(&self) -> Option<f64> {
+        (self.detected > 0).then(|| self.detection_cycle_sum as f64 / self.detected as f64)
+    }
+
+    /// Mean lost work over all trials.
+    pub fn mean_lost_work(&self) -> f64 {
+        self.lost_work_sum as f64 / self.trials.max(1) as f64
+    }
+}
+
+/// Per-bank aggregation of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSummary {
+    /// Bank index.
+    pub bank: usize,
+    /// Faults campaigned in this bank.
+    pub faults: usize,
+    /// Trials over all of them.
+    pub trials: u32,
+    /// Fraction of trials detected within the horizon.
+    pub detected_fraction: f64,
+    /// Mean time to detection on the global clock over detected trials
+    /// (`None` when nothing was detected).
+    pub mean_time_to_detection: Option<f64>,
+    /// Mean lost work over all trials.
+    pub mean_lost_work: f64,
+}
+
+/// Whole-campaign result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemResult {
+    /// Per-fault outcomes, universe order.
+    pub per_fault: Vec<SystemFaultResult>,
+    /// The campaign parameters (`cycles` is the per-trial horizon).
+    pub campaign: CampaignConfig,
+    /// Banks in the system.
+    pub num_banks: usize,
+    /// Scrub slots within one trial horizon.
+    pub scrub_slots: u64,
+    /// Scrub bandwidth overhead (fraction of system cycles).
+    pub scrub_overhead: f64,
+}
+
+impl SystemResult {
+    /// Every per-fault counter, universe order — the canonical observable
+    /// of the determinism contract (mirrors
+    /// `scm_memory::campaign::CampaignResult::determinism_profile`).
+    #[allow(clippy::type_complexity)]
+    pub fn determinism_profile(
+        &self,
+    ) -> Vec<(usize, usize, FaultSite, u32, u32, u32, u64, u64, u64)> {
+        self.per_fault
+            .iter()
+            .map(|f| {
+                (
+                    f.fault.bank,
+                    f.fault.index,
+                    f.fault.site,
+                    f.trials,
+                    f.detected,
+                    f.error_escapes,
+                    f.detection_cycle_sum,
+                    f.latency_from_error_sum,
+                    f.lost_work_sum,
+                )
+            })
+            .collect()
+    }
+
+    /// Per-bank summaries, bank order (banks with no campaigned faults
+    /// are omitted).
+    pub fn bank_summaries(&self) -> Vec<BankSummary> {
+        (0..self.num_banks)
+            .filter_map(|bank| {
+                let faults: Vec<&SystemFaultResult> = self
+                    .per_fault
+                    .iter()
+                    .filter(|f| f.fault.bank == bank)
+                    .collect();
+                if faults.is_empty() {
+                    return None;
+                }
+                let trials: u32 = faults.iter().map(|f| f.trials).sum();
+                let detected: u32 = faults.iter().map(|f| f.detected).sum();
+                let detect_sum: u64 = faults.iter().map(|f| f.detection_cycle_sum).sum();
+                let lost_sum: u64 = faults.iter().map(|f| f.lost_work_sum).sum();
+                Some(BankSummary {
+                    bank,
+                    faults: faults.len(),
+                    trials,
+                    detected_fraction: detected as f64 / trials.max(1) as f64,
+                    mean_time_to_detection: (detected > 0)
+                        .then(|| detect_sum as f64 / detected as f64),
+                    mean_lost_work: lost_sum as f64 / trials.max(1) as f64,
+                })
+            })
+            .collect()
+    }
+
+    /// Mean system detection latency across banks: the mean of the
+    /// per-bank mean times to detection on the global clock (banks that
+    /// never detected contribute the full horizon — censoring, so a
+    /// starved bank cannot hide).
+    pub fn mean_latency_across_banks(&self) -> f64 {
+        let summaries = self.bank_summaries();
+        if summaries.is_empty() {
+            return 0.0;
+        }
+        let horizon = self.campaign.cycles as f64;
+        summaries
+            .iter()
+            .map(|s| s.mean_time_to_detection.unwrap_or(horizon))
+            .sum::<f64>()
+            / summaries.len() as f64
+    }
+
+    /// Worst per-bank mean time to detection (same censoring).
+    pub fn worst_latency_across_banks(&self) -> f64 {
+        let horizon = self.campaign.cycles as f64;
+        self.bank_summaries()
+            .iter()
+            .map(|s| s.mean_time_to_detection.unwrap_or(horizon))
+            .fold(0.0, f64::max)
+    }
+
+    /// Expected lost work per failure: mean lost work over every trial of
+    /// every fault (the Aupy-style joint quantity the checkpoint interval
+    /// trades against detection latency).
+    pub fn expected_lost_work(&self) -> f64 {
+        let trials: u64 = self.per_fault.iter().map(|f| f.trials as u64).sum();
+        if trials == 0 {
+            return 0.0;
+        }
+        let lost: u64 = self.per_fault.iter().map(|f| f.lost_work_sum).sum();
+        lost as f64 / trials as f64
+    }
+
+    /// Fraction of all trials detected within the horizon.
+    pub fn detected_fraction(&self) -> f64 {
+        let trials: u64 = self.per_fault.iter().map(|f| f.trials as u64).sum();
+        let detected: u64 = self.per_fault.iter().map(|f| f.detected as u64).sum();
+        if trials == 0 {
+            0.0
+        } else {
+            detected as f64 / trials as f64
+        }
+    }
+}
+
+/// One schedulable unit: a contiguous trial range of one universe entry.
+#[derive(Debug, Clone, Copy)]
+struct TrialBlock {
+    uidx: usize,
+    trial_start: u32,
+    trial_end: u32,
+}
+
+/// The parallel system campaign runner.
+#[derive(Debug, Clone)]
+pub struct SystemCampaign {
+    system: SystemConfig,
+    campaign: CampaignConfig,
+    model: Arc<dyn WorkloadModel>,
+    threads: usize,
+}
+
+impl SystemCampaign {
+    /// Campaign over `system` with the given grid parameters
+    /// (`campaign.cycles` is the per-trial horizon in system cycles),
+    /// uniform traffic, ambient rayon threads.
+    pub fn new(system: SystemConfig, campaign: CampaignConfig) -> Self {
+        SystemCampaign {
+            system,
+            campaign,
+            model: Arc::new(UniformRandom),
+            threads: 0,
+        }
+    }
+
+    /// Plug in a shared traffic model.
+    pub fn workload_model(mut self, model: Arc<dyn WorkloadModel>) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Pin the thread count (`0` = ambient rayon default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The system under campaign.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The full row-decoder fault universe of every bank, optionally
+    /// evenly subsampled to at most `max_per_bank` faults per bank
+    /// (`0` = no cap). Universe order is `(bank, fault index)`.
+    pub fn decoder_universe(&self, max_per_bank: usize) -> Vec<SystemFault> {
+        let mut universe = Vec::new();
+        for (bank, cfg) in self.system.banks.iter().enumerate() {
+            let faults: Vec<FaultSite> = decoder_fault_universe(cfg.org().row_bits())
+                .into_iter()
+                .map(FaultSite::RowDecoder)
+                .collect();
+            let stride = if max_per_bank == 0 || faults.len() <= max_per_bank {
+                1
+            } else {
+                faults.len().div_ceil(max_per_bank)
+            };
+            for (index, site) in faults.into_iter().step_by(stride).enumerate() {
+                universe.push(SystemFault { bank, index, site });
+            }
+        }
+        universe
+    }
+
+    /// Threads the campaign will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Run the `bank × fault × trial` grid.
+    ///
+    /// # Panics
+    /// Panics if a universe entry names a bank outside the system.
+    pub fn run(&self, universe: &[SystemFault]) -> SystemResult {
+        if let Some(bad) = universe.iter().find(|f| f.bank >= self.system.num_banks()) {
+            panic!(
+                "fault targets bank {} of a {}-bank system",
+                bad.bank,
+                self.system.num_banks()
+            );
+        }
+        // One prefilled template per bank, shared read-only by every
+        // worker; blocks clone only the bank they fault.
+        let template = MemorySystem::new(self.system.clone(), self.campaign.seed);
+        let blocks = self.decompose(universe.len());
+        let dispatch = || -> Vec<SystemFaultResult> {
+            blocks
+                .par_iter()
+                .map(|block| self.run_block(&template, universe[block.uidx], *block))
+                .collect()
+        };
+        let partials: Vec<SystemFaultResult> = if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        // Blocks are universe-major in input order; fold trial splits.
+        let mut per_fault: Vec<SystemFaultResult> = Vec::with_capacity(universe.len());
+        let mut last_uidx = usize::MAX;
+        for (block, partial) in blocks.iter().zip(partials) {
+            if block.uidx == last_uidx {
+                let acc = per_fault.last_mut().expect("a merge always follows a push");
+                acc.trials += partial.trials;
+                acc.detected += partial.detected;
+                acc.undetected += partial.undetected;
+                acc.error_escapes += partial.error_escapes;
+                acc.detection_cycle_sum += partial.detection_cycle_sum;
+                acc.latency_from_error_sum += partial.latency_from_error_sum;
+                acc.lost_work_sum += partial.lost_work_sum;
+            } else {
+                per_fault.push(partial);
+                last_uidx = block.uidx;
+            }
+        }
+        debug_assert_eq!(per_fault.len(), universe.len());
+        SystemResult {
+            per_fault,
+            campaign: self.campaign,
+            num_banks: self.system.num_banks(),
+            scrub_slots: self.system.scrub.slots_within(self.campaign.cycles),
+            scrub_overhead: self.system.scrub.bandwidth_overhead(),
+        }
+    }
+
+    /// Universe-major block decomposition (the campaign engine's shape:
+    /// one block per fault when faults outnumber workers, trial splits
+    /// otherwise).
+    fn decompose(&self, num_faults: usize) -> Vec<TrialBlock> {
+        let trials = self.campaign.trials;
+        let threads = self.resolved_threads();
+        let target_blocks = threads * 8;
+        let splits = if num_faults == 0 || num_faults >= target_blocks {
+            1
+        } else {
+            (target_blocks.div_ceil(num_faults) as u32).clamp(1, trials.max(1))
+        };
+        let block_len = trials.div_ceil(splits).max(1);
+        let mut blocks = Vec::with_capacity(num_faults * splits as usize);
+        for uidx in 0..num_faults {
+            let mut t0 = 0u32;
+            while t0 < trials {
+                let t1 = (t0 + block_len).min(trials);
+                blocks.push(TrialBlock {
+                    uidx,
+                    trial_start: t0,
+                    trial_end: t1,
+                });
+                t0 = t1;
+            }
+            if trials == 0 {
+                blocks.push(TrialBlock {
+                    uidx,
+                    trial_start: 0,
+                    trial_end: 0,
+                });
+            }
+        }
+        blocks
+    }
+
+    /// Traffic seed for one grid cell — pure in
+    /// `(campaign seed, bank, per-bank fault index, trial)`. Each
+    /// coordinate is folded through its own mix round, so no grid size
+    /// makes neighbouring cells alias (a packed-shift scheme would
+    /// collide once `trials` outgrew its bit field).
+    fn trial_seed(&self, fault: SystemFault, trial: u32) -> u64 {
+        crate::system::seed_mix(
+            self.campaign.seed,
+            &[fault.bank as u64, fault.index as u64, trial as u64],
+        )
+    }
+
+    fn run_block(
+        &self,
+        template: &MemorySystem,
+        fault: SystemFault,
+        block: TrialBlock,
+    ) -> SystemFaultResult {
+        let mut result = SystemFaultResult {
+            fault,
+            trials: block.trial_end - block.trial_start,
+            detected: 0,
+            undetected: 0,
+            error_escapes: 0,
+            detection_cycle_sum: 0,
+            latency_from_error_sum: 0,
+            lost_work_sum: 0,
+        };
+        let spec = self.system.workload_spec(self.campaign.write_fraction);
+        let mut backend: BehavioralBackend = template.banks()[fault.bank].clone();
+        for trial in block.trial_start..block.trial_end {
+            backend.reset(Some(fault.site));
+            let traffic = self.model.stream(spec, self.trial_seed(fault, trial));
+            let mut clock = SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
+            let mut first_error: Option<u64> = None;
+            let mut first_detection: Option<u64> = None;
+            for cycle in 0..self.campaign.cycles {
+                let (bank, op) = clock.next_event().target();
+                if bank != fault.bank {
+                    continue; // fault-free banks are exactly silent
+                }
+                let obs = backend.step(op);
+                if obs.erroneous.unwrap_or(false) && first_error.is_none() {
+                    first_error = Some(cycle);
+                }
+                if obs.detected() {
+                    first_detection = Some(cycle);
+                    break; // latched indication: trial complete
+                }
+            }
+            match first_detection {
+                Some(d) => {
+                    result.detected += 1;
+                    result.detection_cycle_sum += d;
+                    let onset = first_error.unwrap_or(d);
+                    result.latency_from_error_sum += d - onset;
+                    let rollback = self.system.checkpoint.last_checkpoint_at_or_before(onset);
+                    result.lost_work_sum += d - rollback + 1;
+                    if onset < d {
+                        result.error_escapes += 1;
+                    }
+                }
+                None => {
+                    result.undetected += 1;
+                    // Censored: the whole horizon is charged as lost.
+                    result.lost_work_sum += self.campaign.cycles;
+                    if first_error.is_some() {
+                        result.error_escapes += 1;
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{CheckpointSchedule, ScrubSchedule};
+    use crate::interleave::Interleaving;
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+    use scm_memory::design::RamConfig;
+
+    fn bank(words: u64) -> RamConfig {
+        let org = RamOrganization::new(words, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    fn config() -> SystemConfig {
+        SystemConfig {
+            banks: vec![bank(64), bank(128), bank(64)],
+            interleaving: Interleaving::LowOrder,
+            scrub: ScrubSchedule { period: 4 },
+            checkpoint: CheckpointSchedule { interval: 32 },
+        }
+    }
+
+    fn campaign() -> CampaignConfig {
+        CampaignConfig {
+            cycles: 120,
+            trials: 6,
+            seed: 0x5E5,
+            write_fraction: 0.1,
+        }
+    }
+
+    #[test]
+    fn universe_covers_every_bank_and_caps_evenly() {
+        let engine = SystemCampaign::new(config(), campaign());
+        let full = engine.decoder_universe(0);
+        assert!(full.iter().any(|f| f.bank == 0));
+        assert!(full.iter().any(|f| f.bank == 1));
+        assert!(full.iter().any(|f| f.bank == 2));
+        let capped = engine.decoder_universe(8);
+        for bank in 0..3 {
+            let n = capped.iter().filter(|f| f.bank == bank).count();
+            assert!((1..=8).contains(&n), "bank {bank}: {n}");
+        }
+        // Indices are per-bank positions, not list positions.
+        assert_eq!(capped.iter().filter(|f| f.index == 0).count(), 3);
+    }
+
+    #[test]
+    fn grid_decomposition_covers_every_cell_once() {
+        let engine = SystemCampaign::new(config(), campaign()).threads(4);
+        let blocks = engine.decompose(5);
+        let mut seen = vec![0u32; 5];
+        for b in &blocks {
+            assert!(b.trial_start < b.trial_end);
+            seen[b.uidx] += b.trial_end - b.trial_start;
+        }
+        assert!(seen.iter().all(|&t| t == campaign().trials), "{seen:?}");
+    }
+
+    #[test]
+    fn campaign_is_bit_identical_at_any_thread_count() {
+        let engine = SystemCampaign::new(config(), campaign());
+        let universe = engine.decoder_universe(6);
+        let reference = engine.clone().threads(1).run(&universe);
+        for threads in [2usize, 4, 8] {
+            let result = engine.clone().threads(threads).run(&universe);
+            assert_eq!(
+                reference.determinism_profile(),
+                result.determinism_profile(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_happens_and_metrics_are_sane() {
+        let engine = SystemCampaign::new(config(), campaign());
+        let universe = engine.decoder_universe(10);
+        let result = engine.run(&universe);
+        assert!(result.detected_fraction() > 0.5, "scrubbed system detects");
+        assert!(result.mean_latency_across_banks() >= 0.0);
+        assert!(result.worst_latency_across_banks() >= result.mean_latency_across_banks() - 1e-9);
+        assert!(result.expected_lost_work() > 0.0);
+        assert!((result.scrub_overhead - 0.25).abs() < 1e-12);
+        assert_eq!(result.scrub_slots, 30);
+        assert_eq!(result.bank_summaries().len(), 3);
+    }
+
+    #[test]
+    fn tighter_checkpoints_lose_less_work() {
+        let mut sparse = config();
+        sparse.checkpoint = CheckpointSchedule { interval: 64 };
+        let mut tight = config();
+        tight.checkpoint = CheckpointSchedule { interval: 8 };
+        let universe = SystemCampaign::new(sparse.clone(), campaign()).decoder_universe(8);
+        let lost_sparse = SystemCampaign::new(sparse, campaign())
+            .run(&universe)
+            .expected_lost_work();
+        let lost_tight = SystemCampaign::new(tight, campaign())
+            .run(&universe)
+            .expected_lost_work();
+        assert!(
+            lost_tight <= lost_sparse,
+            "interval 8 lost {lost_tight}, interval 64 lost {lost_sparse}"
+        );
+    }
+
+    #[test]
+    fn starved_bank_detects_later_without_scrub() {
+        // High-order interleaving under a zipf hotspot starves the last
+        // bank; scrubbing off makes its latency ride traffic alone.
+        let mk = |scrub_period: u64| {
+            let cfg = SystemConfig {
+                banks: vec![bank(64), bank(64), bank(64), bank(64)],
+                interleaving: Interleaving::HighOrder,
+                scrub: ScrubSchedule {
+                    period: scrub_period,
+                },
+                checkpoint: CheckpointSchedule { interval: 32 },
+            };
+            let camp = CampaignConfig {
+                cycles: 600,
+                trials: 6,
+                seed: 0xB0B,
+                write_fraction: 0.1,
+            };
+            let engine = SystemCampaign::new(cfg, camp)
+                .workload_model(scm_memory::workload::model_by_name("hotspot").unwrap());
+            let universe = engine.decoder_universe(6);
+            engine.run(&universe)
+        };
+        let unscrubbed = mk(0);
+        let scrubbed = mk(4);
+        assert!(
+            scrubbed.detected_fraction() >= unscrubbed.detected_fraction(),
+            "scrubbing must not reduce coverage: {} vs {}",
+            scrubbed.detected_fraction(),
+            unscrubbed.detected_fraction()
+        );
+        let cold_unscrubbed = &unscrubbed.bank_summaries()[3];
+        let hot_unscrubbed = &unscrubbed.bank_summaries()[0];
+        assert!(
+            cold_unscrubbed.detected_fraction <= hot_unscrubbed.detected_fraction,
+            "the starved bank cannot out-detect the hot bank"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bank 7")]
+    fn out_of_range_bank_panics() {
+        let engine = SystemCampaign::new(config(), campaign());
+        let mut universe = engine.decoder_universe(2);
+        universe[0].bank = 7;
+        engine.run(&universe);
+    }
+}

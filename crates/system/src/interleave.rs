@@ -1,0 +1,184 @@
+//! Address interleaving: routing one flat system address space over many
+//! banks.
+//!
+//! The system exposes `total_words = Σ bank words` addresses; an
+//! [`Interleaver`] maps each global address to a `(bank, local address)`
+//! pair. Two classic policies ship:
+//!
+//! * [`Interleaving::LowOrder`] — bank = `addr mod N`: consecutive
+//!   addresses stripe across banks, spreading sequential and bursty
+//!   traffic evenly (the throughput-friendly choice).
+//! * [`Interleaving::HighOrder`] — contiguous ranges: each bank owns a
+//!   consecutive slab of the address space, so locality stays within one
+//!   bank (the latency-heterogeneity-friendly choice, and the one that
+//!   starves cold banks of traffic — exactly the effect the system
+//!   campaign measures).
+//!
+//! Banks may be **heterogeneous** in size. Low-order striping then wraps
+//! each bank's local address modulo its own word count (documented, not
+//! hidden: the global space is still `Σ words`, but a small bank folds the
+//! stripe back onto itself).
+
+/// Interleaving policy of a multi-bank system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interleaving {
+    /// Bank = address mod N (striped).
+    LowOrder,
+    /// Contiguous address slab per bank.
+    HighOrder,
+}
+
+impl Interleaving {
+    /// Short CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Interleaving::LowOrder => "low-order",
+            Interleaving::HighOrder => "high-order",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<Interleaving> {
+        match name {
+            "low-order" => Some(Interleaving::LowOrder),
+            "high-order" => Some(Interleaving::HighOrder),
+            _ => None,
+        }
+    }
+}
+
+/// A concrete routing table: policy plus the bank word counts.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    kind: Interleaving,
+    bank_words: Vec<u64>,
+    /// Exclusive prefix sums of `bank_words` (high-order slab starts).
+    starts: Vec<u64>,
+    total: u64,
+}
+
+impl Interleaver {
+    /// Build a router over the given bank sizes.
+    ///
+    /// # Panics
+    /// Panics if there are no banks or a bank is empty.
+    pub fn new(kind: Interleaving, bank_words: &[u64]) -> Self {
+        assert!(!bank_words.is_empty(), "a system needs at least one bank");
+        assert!(
+            bank_words.iter().all(|&w| w > 0),
+            "banks must hold at least one word"
+        );
+        let mut starts = Vec::with_capacity(bank_words.len());
+        let mut total = 0u64;
+        for &w in bank_words {
+            starts.push(total);
+            total += w;
+        }
+        Interleaver {
+            kind,
+            bank_words: bank_words.to_vec(),
+            starts,
+            total,
+        }
+    }
+
+    /// The interleaving policy.
+    pub fn kind(&self) -> Interleaving {
+        self.kind
+    }
+
+    /// Number of banks.
+    pub fn num_banks(&self) -> usize {
+        self.bank_words.len()
+    }
+
+    /// Size of the flat system address space.
+    pub fn total_words(&self) -> u64 {
+        self.total
+    }
+
+    /// Word count of each bank, in bank order.
+    pub fn bank_words(&self) -> &[u64] {
+        &self.bank_words
+    }
+
+    /// Route a global address to its `(bank, local address)`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside the system address space.
+    pub fn route(&self, addr: u64) -> (usize, u64) {
+        assert!(
+            addr < self.total,
+            "address {addr} out of {} system words",
+            self.total
+        );
+        match self.kind {
+            Interleaving::LowOrder => {
+                let n = self.bank_words.len() as u64;
+                let bank = (addr % n) as usize;
+                (bank, (addr / n) % self.bank_words[bank])
+            }
+            Interleaving::HighOrder => {
+                // starts is sorted; partition_point finds the owning slab.
+                let bank = self.starts.partition_point(|&s| s <= addr) - 1;
+                (bank, addr - self.starts[bank])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips() {
+        for kind in [Interleaving::LowOrder, Interleaving::HighOrder] {
+            assert_eq!(Interleaving::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(Interleaving::parse("diagonal"), None);
+    }
+
+    #[test]
+    fn low_order_stripes_across_banks() {
+        let il = Interleaver::new(Interleaving::LowOrder, &[8, 8, 8]);
+        assert_eq!(il.total_words(), 24);
+        assert_eq!(il.route(0), (0, 0));
+        assert_eq!(il.route(1), (1, 0));
+        assert_eq!(il.route(2), (2, 0));
+        assert_eq!(il.route(3), (0, 1));
+        assert_eq!(il.route(23), (2, 7));
+    }
+
+    #[test]
+    fn high_order_assigns_contiguous_slabs() {
+        let il = Interleaver::new(Interleaving::HighOrder, &[4, 8, 2]);
+        assert_eq!(il.total_words(), 14);
+        assert_eq!(il.route(0), (0, 0));
+        assert_eq!(il.route(3), (0, 3));
+        assert_eq!(il.route(4), (1, 0));
+        assert_eq!(il.route(11), (1, 7));
+        assert_eq!(il.route(12), (2, 0));
+        assert_eq!(il.route(13), (2, 1));
+    }
+
+    #[test]
+    fn heterogeneous_low_order_wraps_small_banks() {
+        // Bank 1 holds 2 words; the stripe folds its local addresses mod 2.
+        let il = Interleaver::new(Interleaving::LowOrder, &[8, 2]);
+        assert_eq!(il.route(1), (1, 0));
+        assert_eq!(il.route(3), (1, 1));
+        assert_eq!(il.route(5), (1, 0), "small bank wraps");
+        // Every route stays in range.
+        for addr in 0..il.total_words() {
+            let (bank, local) = il.route(addr);
+            assert!(local < [8, 2][bank], "addr {addr}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_address_panics() {
+        Interleaver::new(Interleaving::LowOrder, &[4]).route(4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Textual system-campaign reports — the byte-stable `scm system` output.
+
+use crate::engine::SystemResult;
+use crate::system::SystemConfig;
+use std::fmt::Write;
+
+/// Render the system campaign the way an availability review expects:
+/// configuration, per-bank detection behaviour, then the joint
+/// latency/lost-work figures. Every number is a pure function of the
+/// campaign inputs, so the rendering is byte-stable (the CLI fixture
+/// pins it).
+pub fn system_report(config: &SystemConfig, result: &SystemResult, workload: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "memory system: {} banks, {} interleaving, scrub period {}, checkpoint interval {}",
+        config.num_banks(),
+        config.interleaving.name(),
+        config.scrub.period,
+        config.checkpoint.interval,
+    );
+    let _ = writeln!(
+        out,
+        "traffic: workload = {workload}, horizon = {} cycles, {} trials/fault, {} system words",
+        result.campaign.cycles,
+        result.campaign.trials,
+        config.total_words(),
+    );
+    // The percentage is the realised slot ratio within the horizon, so
+    // it always agrees with the counts beside it (the asymptotic
+    // 1/period differs whenever the period does not divide the horizon).
+    let realised = if result.campaign.cycles == 0 {
+        0.0
+    } else {
+        100.0 * result.scrub_slots as f64 / result.campaign.cycles as f64
+    };
+    let _ = writeln!(
+        out,
+        "scrub bandwidth overhead: {realised:.2} % ({} of {} cycles)",
+        result.scrub_slots, result.campaign.cycles,
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:>4} | {:<10} | {:<12} | {:>6} | {:>9} | {:>12} | {:>14}",
+        "bank", "geometry", "row code", "faults", "det.frac", "mean detect", "mean lost work"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(86));
+    for summary in result.bank_summaries() {
+        let cfg = &config.banks[summary.bank];
+        let _ = writeln!(
+            out,
+            "{:>4} | {:<10} | {:<12} | {:>6} | {:>9.4} | {:>12} | {:>14.2}",
+            summary.bank,
+            cfg.org().name(),
+            cfg.row_map().code_name(),
+            summary.faults,
+            summary.detected_fraction,
+            summary
+                .mean_time_to_detection
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            summary.mean_lost_work,
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "system detection latency:   mean {:.2} cycles across banks, worst bank {:.2}",
+        result.mean_latency_across_banks(),
+        result.worst_latency_across_banks(),
+    );
+    let _ = writeln!(
+        out,
+        "expected lost work:         {:.2} cycles per failure (checkpoint interval {})",
+        result.expected_lost_work(),
+        config.checkpoint.interval,
+    );
+    let _ = writeln!(
+        out,
+        "detected within horizon:    {:.4} of all trials",
+        result.detected_fraction(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{CheckpointSchedule, ScrubSchedule};
+    use crate::interleave::Interleaving;
+    use crate::SystemCampaign;
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+    use scm_memory::campaign::CampaignConfig;
+    use scm_memory::design::RamConfig;
+
+    #[test]
+    fn report_covers_every_bank_and_is_stable() {
+        let code = MOutOfN::new(3, 5).unwrap();
+        let org = RamOrganization::new(64, 8, 4);
+        let bank = RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        );
+        let config = SystemConfig {
+            banks: vec![bank.clone(), bank],
+            interleaving: Interleaving::LowOrder,
+            scrub: ScrubSchedule { period: 4 },
+            checkpoint: CheckpointSchedule { interval: 32 },
+        };
+        let campaign = CampaignConfig {
+            cycles: 80,
+            trials: 4,
+            seed: 1,
+            write_fraction: 0.1,
+        };
+        let engine = SystemCampaign::new(config.clone(), campaign);
+        let universe = engine.decoder_universe(4);
+        let result = engine.run(&universe);
+        let a = system_report(&config, &result, "uniform");
+        let b = system_report(&config, &engine.run(&universe), "uniform");
+        assert_eq!(a, b, "reports must be byte-stable");
+        assert!(a.contains("memory system: 2 banks"));
+        assert!(a.contains("low-order"));
+        assert!(a.contains("expected lost work"));
+        assert!(a.matches("3-out-of-5").count() == 2);
+    }
+}

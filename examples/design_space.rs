@@ -19,6 +19,8 @@ fn main() {
         policies: vec![SelectionPolicy::WorstBlockExact],
         scrubs: vec![ScrubPolicy::SequentialSweep],
         workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+        banks: vec![1],
+        checkpoints: vec![0],
     };
 
     let evaluator = Evaluator::default().adjudicate(Adjudication {

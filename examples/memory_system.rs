@@ -1,0 +1,70 @@
+//! Sharded multi-bank system walkthrough: compose heterogeneous
+//! self-checking banks behind an interleaver, schedule scrubs and
+//! checkpoints against live traffic, and watch the *system-level*
+//! detection trade-off the single-memory analysis cannot see.
+//!
+//! Run: `cargo run --release --example memory_system`
+
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::campaign::CampaignConfig;
+use scm_memory::design::RamConfig;
+use scm_memory::workload::model_by_name;
+use scm_system::{CheckpointSchedule, Interleaving, ScrubSchedule, SystemCampaign, SystemConfig};
+
+fn bank(words: u64, word_bits: u32, mux: u32, a: u64) -> RamConfig {
+    let org = RamOrganization::new(words, word_bits, mux);
+    let code = MOutOfN::new(3, 5).expect("3-out-of-5 exists");
+    RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, a, org.rows()).expect("odd modulus maps"),
+        CodewordMap::mod_a(code, a, org.mux_factor() as u64).expect("odd modulus maps"),
+    )
+}
+
+fn main() {
+    let banks = vec![
+        bank(1024, 16, 8, 9), // big code store
+        bank(256, 8, 4, 9),   // mid working bank
+        bank(64, 8, 4, 9),    // small hot bank
+    ];
+    let campaign = CampaignConfig {
+        cycles: 400,
+        trials: 6,
+        seed: 0xA11,
+        write_fraction: 0.1,
+    };
+
+    println!("one workload, two interleavings, scrub on/off — system view:\n");
+    for interleaving in [Interleaving::LowOrder, Interleaving::HighOrder] {
+        for scrub_period in [0u64, 4] {
+            let config = SystemConfig {
+                banks: banks.clone(),
+                interleaving,
+                scrub: ScrubSchedule {
+                    period: scrub_period,
+                },
+                checkpoint: CheckpointSchedule { interval: 64 },
+            };
+            let engine = SystemCampaign::new(config, campaign)
+                .workload_model(model_by_name("hotspot").expect("built-in"));
+            let universe = engine.decoder_universe(8);
+            let result = engine.run(&universe);
+            println!(
+                "{:<10} interleave, scrub period {:>2}: detected {:.3}, mean latency {:>6.1} \
+                 cycles, worst bank {:>6.1}, lost work {:>6.1}",
+                interleaving.name(),
+                scrub_period,
+                result.detected_fraction(),
+                result.mean_latency_across_banks(),
+                result.worst_latency_across_banks(),
+                result.expected_lost_work(),
+            );
+        }
+    }
+    println!(
+        "\nhigh-order interleaving starves the cold banks under the zipf hotspot;\n\
+         the scrub sweep is then the only bounded detection path — the joint\n\
+         (latency, recovery-interval) effect the system layer exists to measure."
+    );
+}

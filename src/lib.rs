@@ -27,6 +27,8 @@
 //! * [`area`] — calibrated area models and the paper's tables
 //! * [`explore`] — parallel design-space exploration (Pareto fronts,
 //!   table slices, goal-solves)
+//! * [`system`] — the sharded multi-bank system runtime (interleaving,
+//!   scrub/checkpoint scheduling, system-level campaigns)
 //! * [`core`] — the facade builder
 
 #![forbid(unsafe_code)]
@@ -41,3 +43,4 @@ pub use scm_latency as latency;
 pub use scm_logic as logic;
 pub use scm_memory as memory;
 pub use scm_rom as rom;
+pub use scm_system as system;

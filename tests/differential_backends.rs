@@ -1,0 +1,132 @@
+//! Cross-backend differential oracle: the behavioural twin-pair backend
+//! and the gate-level netlist backend must agree on the **detection
+//! outcome** of every cell of an identical fault × trial grid.
+//!
+//! The behavioural model is the campaign workhorse; the gate-level model
+//! is ground truth for decoder faults (the actual generated decoder →
+//! NOR-matrix → checker hardware with the stuck-at on the exact signal).
+//! Property-testing them against each other over random geometries,
+//! constant-weight codes, moduli and workload models is the oracle that
+//! catches a divergence in either model's fault semantics.
+//!
+//! Agreement is asserted cycle by cycle on the decoder code verdicts
+//! (`row_code_error` / `col_code_error`) — the only checkers both models
+//! evaluate (the gate backend has no cell array, so parity is behavioural
+//! only) — and, derived from them, on the first-detection cycle of every
+//! trial.
+
+use proptest::prelude::*;
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::backend::{BehavioralBackend, FaultSimBackend, GateLevelBackend};
+use scm_memory::campaign::decoder_fault_universe;
+use scm_memory::design::RamConfig;
+use scm_memory::fault::FaultSite;
+use scm_memory::workload::{model_by_name, Op, WorkloadSpec, MODEL_NAMES};
+
+/// Constant-weight codes the gate-level checker generator can realise.
+const CODES: [(u32, u32); 4] = [(2, 3), (3, 5), (2, 5), (3, 6)];
+
+/// Odd moduli for the `B = A mod a` mapping.
+const MODULI: [u64; 4] = [3, 5, 7, 9];
+
+fn mix(seed: u64, fidx: usize, trial: u32) -> u64 {
+    scm_system::seed_mix(seed, &[fidx as u64, trial as u64])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_behavioral_and_gate_level_agree_on_detection(
+        row_bits in 3u32..=6,
+        mux_log in 1u32..=3,
+        word_bits in 4u32..=16,
+        code_idx in 0usize..CODES.len(),
+        a_idx in 0usize..MODULI.len(),
+        model_idx in 0usize..MODEL_NAMES.len(),
+        seed in any::<u64>(),
+        trials in 1u32..=2,
+    ) {
+        let rows = 1u64 << row_bits;
+        let mux = 1u32 << mux_log;
+        let words = rows * mux as u64;
+        let org = RamOrganization::new(words, word_bits, mux);
+        let (q, r) = CODES[code_idx];
+        let code = MOutOfN::new(q, r).expect("listed codes are valid");
+        let a = MODULI[a_idx];
+        // Skip (modulus, code, lines) combinations the mapping layer
+        // rejects (e.g. a modulus exceeding the codeword count).
+        let row_map = CodewordMap::mod_a(code, a, rows);
+        let col_map = CodewordMap::mod_a(code, a, mux as u64);
+        prop_assume!(row_map.is_ok() && col_map.is_ok());
+        let config = RamConfig::new(org, row_map.unwrap(), col_map.unwrap());
+        let mut gate = GateLevelBackend::try_new(&config)
+            .expect("constant-weight mappings always build a gate-level path");
+        let mut beh = BehavioralBackend::prefilled(&config, seed);
+        let model = model_by_name(MODEL_NAMES[model_idx]).expect("registry names resolve");
+        let spec = WorkloadSpec {
+            words,
+            word_bits,
+            write_fraction: 0.15,
+        };
+
+        // The identical fault grid on both backends: row- and
+        // column-decoder universes, evenly subsampled to keep 256 cases
+        // fast without biasing toward either polarity or block size.
+        let mut faults: Vec<FaultSite> = decoder_fault_universe(row_bits)
+            .into_iter()
+            .step_by(5)
+            .map(FaultSite::RowDecoder)
+            .collect();
+        faults.extend(
+            decoder_fault_universe(org.col_bits().max(1))
+                .into_iter()
+                .step_by(3)
+                .map(FaultSite::ColDecoder),
+        );
+
+        for (fidx, &site) in faults.iter().enumerate() {
+            prop_assert!(gate.supports(&site), "{site:?}");
+            for trial in 0..trials {
+                let mut stream = model.stream(spec, mix(seed, fidx, trial));
+                let ops: Vec<Op> = (0..16).map(|_| stream.next_op()).collect();
+                gate.reset(Some(site));
+                beh.reset(Some(site));
+                let mut first_gate = None;
+                let mut first_beh = None;
+                for (cycle, &op) in ops.iter().enumerate() {
+                    let g = gate.step(op);
+                    let b = beh.step(op);
+                    prop_assert_eq!(
+                        g.verdict.row_code_error,
+                        b.verdict.row_code_error,
+                        "{:?} trial {} cycle {} op {:?}: row verdicts diverge",
+                        site, trial, cycle, op
+                    );
+                    prop_assert_eq!(
+                        g.verdict.col_code_error,
+                        b.verdict.col_code_error,
+                        "{:?} trial {} cycle {} op {:?}: col verdicts diverge",
+                        site, trial, cycle, op
+                    );
+                    let code_detected =
+                        |v: scm_memory::design::Verdict| v.row_code_error || v.col_code_error;
+                    if code_detected(g.verdict) && first_gate.is_none() {
+                        first_gate = Some(cycle);
+                    }
+                    if code_detected(b.verdict) && first_beh.is_none() {
+                        first_beh = Some(cycle);
+                    }
+                }
+                prop_assert_eq!(
+                    first_gate,
+                    first_beh,
+                    "{:?} trial {}: detection outcome diverges",
+                    site,
+                    trial
+                );
+            }
+        }
+    }
+}

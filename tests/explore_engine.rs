@@ -6,7 +6,10 @@
 
 use scm_area::RamOrganization;
 use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
-use scm_explore::{pareto_front, Adjudication, Evaluator, ExplorationSpace, ScrubPolicy};
+use scm_explore::{
+    pareto_front, system_pareto_front, Adjudication, Evaluator, ExplorationSpace, ScrubPolicy,
+    SystemAdjudication,
+};
 use scm_memory::campaign::CampaignConfig;
 
 fn adjudicated_space() -> ExplorationSpace {
@@ -20,6 +23,8 @@ fn adjudicated_space() -> ExplorationSpace {
         policies: SelectionPolicy::ALL.to_vec(),
         scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
         workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+        banks: vec![1],
+        checkpoints: vec![0],
     }
 }
 
@@ -65,6 +70,82 @@ fn frontier_is_deterministic_and_survives_reordering_of_threads() {
     let front4 = pareto_front(&collect(4));
     assert_eq!(front1, front4);
     assert!(!front1.is_empty());
+}
+
+fn system_space() -> ExplorationSpace {
+    ExplorationSpace {
+        geometries: vec![RamOrganization::new(256, 8, 4)],
+        cycles: vec![5, 10],
+        pndcs: vec![1e-2, 1e-9],
+        policies: vec![SelectionPolicy::WorstBlockExact],
+        scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
+        workloads: vec!["uniform".to_owned()],
+        banks: vec![1, 4],
+        checkpoints: vec![0, 64],
+    }
+}
+
+fn system_evaluator(threads: usize) -> Evaluator {
+    Evaluator::default()
+        .threads(threads)
+        .system_stage(SystemAdjudication {
+            horizon: 120,
+            trials: 3,
+            seed: 0xCAFE,
+            max_faults_per_bank: 6,
+            ..SystemAdjudication::default()
+        })
+}
+
+#[test]
+fn system_stage_is_bit_identical_at_every_thread_count() {
+    let space = system_space();
+    let reference = system_evaluator(1).evaluate_space(&space);
+    assert!(reference
+        .iter()
+        .any(|r| r.as_ref().is_ok_and(|e| e.system.is_some())));
+    for threads in [2usize, 4] {
+        let result = system_evaluator(threads).evaluate_space(&space);
+        assert_eq!(reference, result, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn system_frontier_trades_area_latency_and_lost_work() {
+    let evaluations: Vec<_> = system_evaluator(0)
+        .evaluate_space(&system_space())
+        .into_iter()
+        .filter_map(Result::ok)
+        .collect();
+    let front = system_pareto_front(&evaluations);
+    assert!(!front.is_empty() && front.len() <= evaluations.len());
+    for e in &front {
+        let figures = e.system.expect("system frontier carries figures");
+        assert!(figures.banks == e.point.banks.max(1));
+        assert!(figures.mean_latency <= figures.worst_latency + 1e-9);
+        assert!(figures.expected_lost_work >= 0.0);
+    }
+    // The classic frontier ignores system figures, so both frontiers are
+    // available side by side.
+    assert!(!pareto_front(&evaluations).is_empty());
+}
+
+#[test]
+fn scrubbed_system_points_carry_their_bandwidth_overhead() {
+    let evaluations: Vec<_> = system_evaluator(0)
+        .evaluate_space(&system_space())
+        .into_iter()
+        .filter_map(Result::ok)
+        .collect();
+    for e in &evaluations {
+        let figures = e.system.expect("system stage ran for every point");
+        match e.point.scrub {
+            ScrubPolicy::Off => assert_eq!(figures.scrub_overhead, 0.0),
+            ScrubPolicy::SequentialSweep => {
+                assert!((figures.scrub_overhead - 0.25).abs() < 1e-12)
+            }
+        }
+    }
 }
 
 #[test]
