@@ -22,11 +22,13 @@
 pub mod analytic;
 pub mod overhead;
 pub mod ram_area;
+pub mod repair_area;
 pub mod sweep;
 pub mod tables;
 pub mod tech;
 
 pub use overhead::{scheme_overhead, OverheadBreakdown};
 pub use ram_area::{RamArea, RamOrganization};
+pub use repair_area::{repair_overhead, RepairOverheadBreakdown};
 pub use tables::{table1_rows, table2_rows, TableRow, PAPER_TABLE1, PAPER_TABLE2};
 pub use tech::TechnologyParams;

@@ -1,0 +1,135 @@
+//! Area cost of the diagnosis/repair additions: spare rows, spare
+//! columns and the March-BIST controller.
+//!
+//! The paper's trade-off stops at detection; the `scm-diag` layer re-opens
+//! it on the cost side. A spare row is one extra physical row of
+//! `(m+1)·2^s` cells plus one line of edge periphery (its driver and the
+//! programmable address-match that steers repaired addresses onto it); a
+//! spare column is `2^p` cells plus one line of column periphery. The BIST
+//! controller is random logic priced in gate equivalents from its
+//! structural inventory:
+//!
+//! * an `n`-bit up/down address counter (~6 GE per bit: flip-flop plus
+//!   increment/decrement mux),
+//! * an `(m+1)`-bit background/expected-data register (~8 GE per bit:
+//!   flip-flop plus invert/select mux for the `w0`/`w1`/`r0`/`r1` data),
+//! * the read comparator — an `(m+1)`-wide XOR rake folded by an OR tree
+//!   (~2 GE per bit),
+//! * the March sequencer FSM (~12 GE per March operation across all
+//!   elements: state register share, op decode, order control).
+//!
+//! These are engineering estimates in the same normalised units as
+//! [`crate::overhead`]; they make repaired designs land on the same
+//! area axis as everything else rather than claiming layout accuracy.
+
+use crate::ram_area::RamOrganization;
+use crate::tech::TechnologyParams;
+
+/// Gate-equivalent estimate of a March BIST controller for a RAM with
+/// `address_bits` address lines and `data_bits`-wide words (+1 parity),
+/// running a test of `march_ops` operations per word.
+pub fn bist_controller_gate_equivalents(address_bits: u32, data_bits: u32, march_ops: u32) -> f64 {
+    let counter = 6.0 * address_bits as f64;
+    let background = 8.0 * (data_bits + 1) as f64;
+    let comparator = 2.0 * (data_bits + 1) as f64;
+    let sequencer = 12.0 * march_ops as f64;
+    counter + background + comparator + sequencer
+}
+
+/// Additive area of the repair additions (normalised RAM-cell units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairOverheadBreakdown {
+    /// Base RAM area the percentages are against (cell array + periphery).
+    pub ram: f64,
+    /// Spare-row storage + per-row periphery/match logic.
+    pub spare_rows: f64,
+    /// Spare-column storage + per-column periphery/steering.
+    pub spare_cols: f64,
+    /// March-BIST controller random logic.
+    pub bist_controller: f64,
+}
+
+impl RepairOverheadBreakdown {
+    /// Spare storage (rows + columns) as a percentage of the base RAM.
+    pub fn spare_percent(&self) -> f64 {
+        100.0 * (self.spare_rows + self.spare_cols) / self.ram
+    }
+
+    /// BIST controller as a percentage of the base RAM.
+    pub fn bist_percent(&self) -> f64 {
+        100.0 * self.bist_controller / self.ram
+    }
+
+    /// Everything the repair layer adds, as a percentage of the base RAM.
+    pub fn total_percent(&self) -> f64 {
+        100.0 * (self.spare_rows + self.spare_cols + self.bist_controller) / self.ram
+    }
+}
+
+/// Price the repair additions for a RAM: `spare_rows`/`spare_cols` spares
+/// and a BIST controller for a March test of `march_ops` operations per
+/// word (`0` = no BIST hardware, diagnosis off).
+pub fn repair_overhead(
+    org: RamOrganization,
+    spare_rows: u32,
+    spare_cols: u32,
+    march_ops: u32,
+    tech: &TechnologyParams,
+) -> RepairOverheadBreakdown {
+    let base = crate::ram_area::ram_area(org, tech);
+    let row_cells = (org.word_bits() + 1) as f64 * org.mux_factor() as f64;
+    let spare_row_area = row_cells * tech.ram_cell_area + tech.periphery_per_line;
+    let spare_col_area = org.rows() as f64 * tech.ram_cell_area + tech.periphery_per_line;
+    let bist = if march_ops == 0 {
+        0.0
+    } else {
+        tech.gate_equivalent_area
+            * bist_controller_gate_equivalents(org.address_bits(), org.word_bits(), march_ops)
+    };
+    RepairOverheadBreakdown {
+        ram: base.total(),
+        spare_rows: spare_rows as f64 * spare_row_area,
+        spare_cols: spare_cols as f64 * spare_col_area,
+        bist_controller: bist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spare_rows_scale_linearly_and_cover_the_parity_group() {
+        let tech = TechnologyParams::default();
+        let org = RamOrganization::new(1024, 16, 8);
+        let one = repair_overhead(org, 1, 0, 0, &tech);
+        let four = repair_overhead(org, 4, 0, 0, &tech);
+        assert!((four.spare_rows - 4.0 * one.spare_rows).abs() < 1e-9);
+        // One spare row stores (m+1)·mux = 17·8 cells plus a periphery line.
+        assert!((one.spare_rows - (17.0 * 8.0 + 26.8)).abs() < 1e-9);
+        assert_eq!(one.bist_controller, 0.0, "no march ops, no controller");
+    }
+
+    #[test]
+    fn repair_overhead_is_small_against_the_paper_headline() {
+        // The economic argument for repair: two spare rows plus a March C−
+        // controller on the 1K×16 worked example cost far less than the
+        // detection ROMs themselves (~25 % headline).
+        let tech = TechnologyParams::default();
+        let org = RamOrganization::with_mux8(1024, 16);
+        let b = repair_overhead(org, 2, 1, 10, &tech);
+        assert!(b.total_percent() > 0.0);
+        assert!(b.total_percent() < 10.0, "got {}", b.total_percent());
+        assert!(b.spare_percent() > 0.0 && b.bist_percent() > 0.0);
+    }
+
+    #[test]
+    fn bist_controller_grows_with_test_complexity() {
+        let mats = bist_controller_gate_equivalents(10, 16, 5);
+        let march_c = bist_controller_gate_equivalents(10, 16, 10);
+        let march_b = bist_controller_gate_equivalents(10, 16, 17);
+        assert!(mats < march_c && march_c < march_b);
+        // Structural floor: counter + registers exist even for a 1-op test.
+        assert!(bist_controller_gate_equivalents(6, 8, 1) > 6.0 * 6.0);
+    }
+}

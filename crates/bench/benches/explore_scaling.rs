@@ -23,6 +23,7 @@ fn space() -> ExplorationSpace {
         workloads: vec!["uniform".to_owned()],
         banks: vec![1],
         checkpoints: vec![0],
+        repairs: vec![scm_explore::RepairPolicy::OFF],
     }
 }
 

@@ -1,0 +1,53 @@
+//! System-campaign scaling baseline: `SystemCampaign` throughput
+//! (bank-fault-trials per second) at 1/2/4/8 rayon threads — the last
+//! parallel engine to get a recorded baseline (`BENCH_system.json`
+//! snapshots the first run), so future PRs have a perf number to beat.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::campaign::CampaignConfig;
+use scm_memory::design::RamConfig;
+use scm_system::{Interleaving, ScrubSchedule, SystemCampaign, SystemConfig};
+use std::hint::black_box;
+
+fn bank(words: u64) -> RamConfig {
+    let org = RamOrganization::new(words, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    )
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let system = SystemConfig {
+        banks: vec![bank(256), bank(128), bank(64), bank(64)],
+        interleaving: Interleaving::LowOrder,
+        scrub: ScrubSchedule { period: 4 },
+        checkpoint: scm_system::CheckpointSchedule { interval: 64 },
+    };
+    let campaign = CampaignConfig {
+        cycles: 200,
+        trials: 8,
+        seed: 0x5CA1E,
+        write_fraction: 0.1,
+    };
+    let probe = SystemCampaign::new(system.clone(), campaign);
+    let universe = probe.decoder_universe(12);
+    let grid = universe.len() as u64 * campaign.trials as u64;
+
+    let mut g = c.benchmark_group("system-scaling");
+    g.throughput(Throughput::Elements(grid));
+    for threads in [1usize, 2, 4, 8] {
+        let engine = SystemCampaign::new(system.clone(), campaign).threads(threads);
+        g.bench_function(&format!("{threads}-threads"), |b| {
+            b.iter(|| black_box(engine.run(black_box(&universe))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

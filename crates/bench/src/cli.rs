@@ -9,6 +9,7 @@
 //! scm explore [options]           free design-space exploration
 //! scm campaign [options]          fault campaign under a chosen workload
 //! scm system [options]            sharded multi-bank system campaign
+//! scm diag [options]              March BIST diagnosis + spare repair
 //! ```
 //!
 //! Subcommands are thin wrappers over `scm-explore`'s [`Evaluator`]; the
@@ -22,6 +23,10 @@ use scm_codes::mapping::MappingKind;
 use scm_codes::selection::SelectionPolicy;
 use scm_codes::{CodewordMap, MOutOfN};
 use scm_core::SelfCheckingRamBuilder;
+use scm_diag::{
+    cell_universe, diag_report, run_session, DiagnosisCampaign, FaultDictionary, MarchTest,
+    SpareBudget,
+};
 use scm_explore::{
     pareto_front, Adjudication, DesignPoint, Evaluator, ExplorationSpace, ScrubPolicy,
 };
@@ -35,6 +40,7 @@ use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::FaultSite;
 use scm_memory::report::{summary, worst_offenders};
 use scm_memory::workload::{model_by_name, MODEL_NAMES};
+use scm_system::diag::{DiagCampaign, DiagPolicy};
 use scm_system::{system_report, Interleaving, SystemCampaign, SystemConfig};
 use std::fmt::Write;
 
@@ -95,6 +101,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
             )?;
             system_stdout(&flags)
         }
+        "diag" => {
+            flags.validate(
+                &[
+                    "--march",
+                    "--spare-rows",
+                    "--spare-cols",
+                    "--trials",
+                    "--cycles",
+                    "--seed",
+                    "--threads",
+                ],
+                &[],
+            )?;
+            diag_stdout(&flags)
+        }
         "--help" | "-h" | "help" => Ok(usage()),
         other => {
             let hint = match suggest_subcommand(other) {
@@ -107,7 +128,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 }
 
 /// Every dispatchable subcommand, for the did-you-mean hint.
-const SUBCOMMANDS: [&str; 8] = [
+const SUBCOMMANDS: [&str; 9] = [
     "table1",
     "table2",
     "pareto",
@@ -115,18 +136,40 @@ const SUBCOMMANDS: [&str; 8] = [
     "explore",
     "campaign",
     "system",
+    "diag",
     "help",
 ];
 
-/// Closest known subcommand within a small edit distance, so a typo like
-/// `sytem` points at `system` instead of a bare usage dump.
-fn suggest_subcommand(input: &str) -> Option<&'static str> {
-    SUBCOMMANDS
-        .iter()
-        .map(|&known| (edit_distance(input, known), known))
+/// Closest candidate within a small edit distance (Levenshtein ≤ 2,
+/// capped below the candidate's own length so short names never match
+/// unrelated garbage) — the shared did-you-mean engine for subcommands,
+/// workload models and March tests.
+fn suggest<'a>(input: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .into_iter()
+        .map(|known| (edit_distance(input, known), known))
         .filter(|&(d, known)| d <= 2.min(known.len().saturating_sub(1)))
         .min_by_key(|&(d, _)| d)
         .map(|(_, known)| known)
+}
+
+/// Closest known subcommand, so a typo like `sytem` points at `system`
+/// instead of a bare usage dump.
+fn suggest_subcommand(input: &str) -> Option<&'static str> {
+    suggest(input, SUBCOMMANDS)
+}
+
+/// The uniform unknown-workload message: did-you-mean hint first (when a
+/// model name is within edit distance 2), the full list always.
+fn unknown_workload(name: &str) -> String {
+    let hint = match suggest(name, MODEL_NAMES) {
+        Some(known) => format!(" (did you mean '{known}'?)"),
+        None => String::new(),
+    };
+    format!(
+        "unknown workload '{name}'{hint} (one of: {})",
+        MODEL_NAMES.join(", ")
+    )
 }
 
 /// Levenshtein distance (inserts, deletes, substitutions all cost 1).
@@ -164,11 +207,17 @@ pub fn usage() -> String {
          \x20        [--interleave I] [--scrub-period P] [--checkpoint K]\n\
          \x20                            sharded multi-bank system campaign (scrubs +\n\
          \x20                            checkpoints competing with live traffic)\n\
+         \x20 diag [--march T] [--spare-rows R] [--spare-cols C] [--trials N]\n\
+         \x20      [--cycles C] [--seed S] [--threads N]\n\
+         \x20                            March-BIST diagnosis, fault localization and\n\
+         \x20                            spare repair, memory and system views\n\
          \n\
          policies:    worst-block-exact | inverse-a\n\
          scrubs:      off | sequential-sweep\n\
          interleave:  low-order | high-order\n\
+         march tests: {}\n\
          workloads:   {}\n",
+        MarchTest::NAMES.join(" | "),
         MODEL_NAMES.join(" | ")
     )
 }
@@ -325,10 +374,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         Some("all") => MODEL_NAMES.iter().map(|s| (*s).to_owned()).collect(),
         Some(name) => {
             if model_by_name(name).is_none() {
-                return Err(format!(
-                    "unknown workload '{name}' (one of: {})",
-                    MODEL_NAMES.join(", ")
-                ));
+                return Err(unknown_workload(name));
             }
             vec![name.to_owned()]
         }
@@ -354,6 +400,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         workloads,
         banks: vec![1],
         checkpoints: vec![0],
+        repairs: vec![scm_explore::RepairPolicy::OFF],
     };
 
     let mut evaluator = Evaluator::default().threads(threads);
@@ -460,12 +507,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
 /// example under any registered workload model.
 fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     let workload = flags.value_of("--workload").unwrap_or("uniform");
-    let model = model_by_name(workload).ok_or_else(|| {
-        format!(
-            "unknown workload '{workload}' (one of: {})",
-            MODEL_NAMES.join(", ")
-        )
-    })?;
+    let model = model_by_name(workload).ok_or_else(|| unknown_workload(workload))?;
     let trials: u32 = flags.parsed("--trials", 32)?;
     if trials == 0 {
         return Err("--trials must be at least 1".to_owned());
@@ -511,12 +553,7 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
 /// `tests/system_fixture.rs`).
 fn system_stdout(flags: &Flags) -> Result<String, String> {
     let workload = flags.value_of("--workload").unwrap_or("uniform");
-    let model = model_by_name(workload).ok_or_else(|| {
-        format!(
-            "unknown workload '{workload}' (one of: {})",
-            MODEL_NAMES.join(", ")
-        )
-    })?;
+    let model = model_by_name(workload).ok_or_else(|| unknown_workload(workload))?;
     let trials: u32 = flags.parsed("--trials", 8)?;
     if trials == 0 {
         return Err("--trials must be at least 1".to_owned());
@@ -572,6 +609,186 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
     let mut out = String::new();
     out.push_str("sharded self-checking memory system: 4 heterogeneous banks\n\n");
     out.push_str(&system_report(engine.system(), &result, workload));
+    Ok(out)
+}
+
+/// `scm diag` — the diagnosis/repair story end to end: a fault
+/// dictionary over the small worked RAM, a per-class
+/// detect→localize→repair campaign, one fully worked cell fault, the
+/// spare/BIST area bill, then the system view with BIST sessions
+/// scheduled against live traffic. Stdout is byte-stable at every thread
+/// count (pinned by `tests/diag_fixture.rs`).
+fn diag_stdout(flags: &Flags) -> Result<String, String> {
+    let march_name = flags.value_of("--march").unwrap_or("march-c-");
+    let test = MarchTest::by_name(march_name).ok_or_else(|| {
+        let hint = match suggest(march_name, MarchTest::NAMES) {
+            Some(known) => format!(" (did you mean '{known}'?)"),
+            None => String::new(),
+        };
+        format!(
+            "unknown March test '{march_name}'{hint} (one of: {})",
+            MarchTest::NAMES.join(", ")
+        )
+    })?;
+    let spare_rows: u32 = flags.parsed("--spare-rows", 1)?;
+    let spare_cols: u32 = flags.parsed("--spare-cols", 1)?;
+    let trials: u32 = flags.parsed("--trials", 2)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
+    let cycles: u64 = flags.parsed("--cycles", 1600)?;
+    let seed: u64 = flags.parsed("--seed", 0xD1A6)?;
+    let threads: usize = flags.parsed("--threads", 0)?;
+
+    // The small worked RAM: 64x8, 1-of-4 mux, the paper's 3-out-of-5
+    // code at a = 9 — big enough for every fault class, small enough for
+    // a full-resolution cell dictionary.
+    let org = RamOrganization::new(64, 8, 4);
+    let code = MOutOfN::new(3, 5).expect("3-out-of-5 exists");
+    let config = RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, org.rows()).map_err(|e| e.to_string())?,
+        CodewordMap::mod_a(code, 9, org.mux_factor() as u64).map_err(|e| e.to_string())?,
+    );
+    let mut candidates = cell_universe(&config);
+    candidates.extend(
+        decoder_fault_universe(org.row_bits())
+            .into_iter()
+            .map(FaultSite::RowDecoder),
+    );
+    let dictionary = FaultDictionary::build(&config, &test, seed, &candidates, threads);
+
+    let budget = SpareBudget {
+        rows: spare_rows,
+        cols: spare_cols,
+    };
+    let mission = CampaignConfig {
+        cycles: 200,
+        trials,
+        seed,
+        write_fraction: 0.1,
+    };
+    // A mixed slice of the dictionary's own candidate set: every 29th
+    // site covers all classes without campaigning all ~1.2K.
+    let universe: Vec<FaultSite> = candidates.iter().copied().step_by(29).collect();
+    let outcomes = DiagnosisCampaign::new(budget, mission)
+        .threads(threads)
+        .run(&dictionary, &universe);
+    // The acceptance walk: one concrete stuck cell, end to end.
+    let walkthrough = run_session(
+        &dictionary,
+        FaultSite::Cell {
+            row: 6,
+            col: 9,
+            stuck: true,
+        },
+        budget,
+        mission,
+        seed ^ 0xF1E1,
+    );
+    let area = scm_area::repair_overhead(
+        org,
+        spare_rows,
+        spare_cols,
+        test.ops_per_word() as u32,
+        &scm_area::TechnologyParams::default(),
+    );
+
+    let mut out = String::new();
+    out.push_str("self-checking memory diagnosis and repair\n\n");
+    out.push_str(&diag_report(
+        &dictionary,
+        budget,
+        mission,
+        &outcomes,
+        &walkthrough,
+        &area,
+    ));
+    out.push('\n');
+    out.push_str(&diag_system_section(
+        &config, &test, budget, trials, cycles, seed, threads,
+    )?);
+    Ok(out)
+}
+
+/// The system view of `scm diag`: two banks behind an interleaver, BIST
+/// sessions stealing slots from live traffic (reactive repair interrupt
+/// + proactive round-robin sweeps), lost work charged to checkpoints.
+fn diag_system_section(
+    bank: &RamConfig,
+    test: &MarchTest,
+    budget: SpareBudget,
+    trials: u32,
+    cycles: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<String, String> {
+    let system = SystemConfig {
+        banks: vec![bank.clone(), bank.clone()],
+        interleaving: Interleaving::LowOrder,
+        scrub: scm_system::ScrubSchedule { period: 4 },
+        checkpoint: scm_system::CheckpointSchedule { interval: 64 },
+    };
+    let period = cycles / 2;
+    let policy = DiagPolicy {
+        period,
+        test: test.clone(),
+        session_seed: seed,
+        budget,
+    };
+    let campaign = CampaignConfig {
+        cycles,
+        trials,
+        seed,
+        write_fraction: 0.1,
+    };
+    let engine = DiagCampaign::new(system, policy, campaign).threads(threads);
+    let universe = engine.diag_universe(6, 4);
+    let result = engine.run(&universe);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "system view: 2 x {} banks, low-order interleaving, scrub period 4, checkpoint interval 64",
+        bank.org().name(),
+    );
+    let _ = writeln!(
+        out,
+        "policy: repair interrupt on indication + proactive {} sessions every {} cycles \
+         ({} cycles/bank session)",
+        test.name(),
+        period,
+        test.session_cycles(bank.org().words()),
+    );
+    let _ = writeln!(
+        out,
+        "campaign: {} faults x {} trials over a {}-cycle horizon",
+        universe.len(),
+        trials,
+        cycles,
+    );
+    let _ = writeln!(
+        out,
+        "  detected {:.4} | localized {:.4} | repaired {:.4} of trials",
+        result.detected_fraction(),
+        result.localized_fraction(),
+        result.repaired_fraction(),
+    );
+    let _ = writeln!(
+        out,
+        "  mean time-to-repair {:.2} cycles (unrepaired censored at horizon)",
+        result.mean_time_to_repair(),
+    );
+    let _ = writeln!(
+        out,
+        "  BIST bandwidth {:.4} of horizon | expected lost work {:.2} cycles",
+        result.bist_overhead(),
+        result.expected_lost_work(),
+    );
+    let _ = writeln!(
+        out,
+        "  post-repair escapes: {} (sound repairs leave zero)",
+        result.post_repair_escapes(),
+    );
     Ok(out)
 }
 
@@ -888,6 +1105,49 @@ mod tests {
             assert!(out.contains(bank), "missing bank {bank}:\n{out}");
         }
         assert!(out.contains("expected lost work"));
+    }
+
+    #[test]
+    fn unknown_workloads_get_did_you_mean_hints() {
+        let err = run(&[
+            "campaign".to_owned(),
+            "--workload".to_owned(),
+            "unifrm".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean 'uniform'?"), "{err}");
+        assert!(err.contains("one of:"), "{err}");
+        let err = run(&[
+            "system".to_owned(),
+            "--workload".to_owned(),
+            "hotpsot".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean 'hotspot'?"), "{err}");
+        // Distant garbage lists the models but offers no bogus hint.
+        let err = run(&[
+            "campaign".to_owned(),
+            "--workload".to_owned(),
+            "adversarial".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("one of:"), "{err}");
+    }
+
+    #[test]
+    fn diag_subcommand_validates_flags_and_march_names() {
+        let err = run(&[
+            "diag".to_owned(),
+            "--march".to_owned(),
+            "march-c".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean 'march-c-'?"), "{err}");
+        let err = run(&["diag".to_owned(), "--trials".to_owned(), "0".to_owned()]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(&["diag".to_owned(), "--budget".to_owned(), "3".to_owned()]).unwrap_err();
+        assert!(err.contains("unrecognised argument '--budget'"), "{err}");
     }
 
     #[test]

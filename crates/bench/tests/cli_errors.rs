@@ -62,6 +62,45 @@ fn distant_garbage_gets_usage_but_no_bogus_hint() {
 }
 
 #[test]
+fn misspelled_workloads_exit_two_with_a_hint() {
+    // The real binary, not just the library layer: `--workload unifrm`
+    // must exit 2 and point at the model the user meant.
+    for (subcommand, typo, suggestion) in [
+        ("campaign", "unifrm", "uniform"),
+        ("campaign", "hotpsot", "hotspot"),
+        ("system", "sequental", "sequential"),
+        ("system", "read-mostl", "read-mostly"),
+    ] {
+        let out = scm(&[subcommand, "--workload", typo]);
+        assert_eq!(out.status.code(), Some(2), "{subcommand} {typo}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("unknown workload '{typo}'")),
+            "{subcommand} {typo}: {stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("did you mean '{suggestion}'?")),
+            "{subcommand} {typo}: {stderr}"
+        );
+        assert!(
+            stderr.contains("one of:"),
+            "the full model list must follow the hint: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "errors go to stderr only");
+    }
+}
+
+#[test]
+fn distant_workload_garbage_lists_models_without_a_bogus_hint() {
+    let out = scm(&["campaign", "--workload", "adversarial"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload 'adversarial'"));
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("one of:"), "{stderr}");
+}
+
+#[test]
 fn valid_subcommand_exits_zero() {
     let out = scm(&["help"]);
     assert_eq!(out.status.code(), Some(0));

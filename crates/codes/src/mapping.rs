@@ -53,6 +53,12 @@ enum MapCode {
 /// A concrete address → codeword mapping for a decoder with `num_lines`
 /// output lines (addresses `0 .. num_lines`).
 ///
+/// Beyond the base strategy, individual lines can be **re-mapped** onto
+/// explicit codeword ranks. The paper's completion fix is the first such
+/// entry (applied automatically by [`CodewordMap::mod_a`]); the
+/// diagnosis/repair layer uses the same machinery to program spare-row
+/// lines with their own codewords ([`CodewordMap::with_remap`]).
+///
 /// # Example
 /// ```
 /// use scm_codes::{CodewordMap, MOutOfN};
@@ -71,9 +77,11 @@ pub struct CodewordMap {
     kind: MappingKind,
     code: MapCode,
     num_lines: u64,
-    /// The paper's completion fix: `(address, rank)` of the one re-mapped
-    /// line, when `a = C(q,r) − 1` leaves a codeword unused.
-    remapped: Option<(u64, u128)>,
+    /// `(address, rank)` re-map entries, looked up before the base
+    /// strategy. Entry 0 is the paper's completion fix when `a = C(q,r) − 1`
+    /// leaves a codeword unused; later entries come from
+    /// [`CodewordMap::with_remap`] (spare-line programming).
+    remapped: Vec<(u64, u128)>,
 }
 
 impl std::fmt::Debug for CodewordMap {
@@ -115,9 +123,9 @@ impl CodewordMap {
         // "one address mapped to some other code word can be mapped to this
         // code word".
         let remapped = if (a as u128) < count && num_lines > a {
-            Some((a, a as u128))
+            vec![(a, a as u128)]
         } else {
-            None
+            Vec::new()
         };
         Ok(CodewordMap {
             kind: MappingKind::ModA { a },
@@ -133,7 +141,7 @@ impl CodewordMap {
             kind: MappingKind::InputParity,
             code: MapCode::OneOutOfTwo,
             num_lines,
-            remapped: None,
+            remapped: Vec::new(),
         }
     }
 
@@ -148,7 +156,7 @@ impl CodewordMap {
             kind: MappingKind::Berger,
             code: MapCode::Berger(code),
             num_lines,
-            remapped: None,
+            remapped: Vec::new(),
         })
     }
 
@@ -169,8 +177,59 @@ impl CodewordMap {
             kind: MappingKind::ModA { a: num_lines },
             code: MapCode::MOutOfN(code),
             num_lines,
-            remapped: None,
+            remapped: Vec::new(),
         })
+    }
+
+    /// Re-map one line onto an explicit codeword rank — the generalised
+    /// spare-codeword machinery. The diagnosis/repair layer uses this to
+    /// program a spare row's decoder line with its own (ideally otherwise
+    /// unused, see [`CodewordMap::spare_rank`]) codeword, and the
+    /// degenerate-map tests use it to construct deliberately colliding
+    /// mappings. Later entries for the same address win.
+    ///
+    /// # Errors
+    /// [`CodeError::RankOutOfRange`] when the address is outside the line
+    /// space, the rank is outside the code, or the mapping is a Berger
+    /// identity map (whose codewords are computed from the address, so no
+    /// rank indirection exists to re-program).
+    pub fn with_remap(mut self, address: u64, rank: u128) -> Result<Self, CodeError> {
+        if address >= self.num_lines {
+            return Err(CodeError::RankOutOfRange {
+                rank: address as u128,
+                count: self.num_lines as u128,
+            });
+        }
+        let count = match &self.code {
+            MapCode::MOutOfN(c) => c.count(),
+            MapCode::OneOutOfTwo => 2,
+            MapCode::Berger(_) => 0, // encode(address) ignores ranks entirely
+        };
+        if rank >= count {
+            return Err(CodeError::RankOutOfRange { rank, count });
+        }
+        self.remapped.push((address, rank));
+        Ok(self)
+    }
+
+    /// The re-map entries in effect, completion fix included.
+    pub fn remaps(&self) -> &[(u64, u128)] {
+        &self.remapped
+    }
+
+    /// The smallest codeword rank no line currently uses — the natural
+    /// codeword for a spare line, keeping the checker's codeword diet
+    /// growing rather than aliasing an existing line. `None` when every
+    /// rank of the code is already in use. O(`num_lines`).
+    pub fn spare_rank(&self) -> Option<u128> {
+        let count = match &self.code {
+            MapCode::MOutOfN(c) => c.count(),
+            MapCode::OneOutOfTwo => 2,
+            MapCode::Berger(_) => return None,
+        };
+        let used: std::collections::BTreeSet<u128> =
+            (0..self.num_lines).map(|a| self.rank_for(a)).collect();
+        (0..count).find(|rank| !used.contains(rank))
     }
 
     /// The mapping strategy in use.
@@ -220,10 +279,8 @@ impl CodewordMap {
             "address {address} out of {} lines",
             self.num_lines
         );
-        if let Some((remap_addr, rank)) = self.remapped {
-            if address == remap_addr {
-                return rank;
-            }
+        if let Some(&(_, rank)) = self.remapped.iter().rev().find(|&&(a, _)| a == address) {
+            return rank;
         }
         match self.kind {
             MappingKind::ModA { a } => (address % a) as u128,
@@ -265,10 +322,23 @@ impl CodewordMap {
 
     /// The effective number of distinct codewords in use.
     pub fn distinct_codewords(&self) -> u64 {
+        // The closed forms below only hold for the constructor-applied
+        // completion fix; arbitrary re-maps can alias or extend the base
+        // set, so count exactly (explicitly re-mapped maps are small).
+        let completion_fix_only = match (self.kind, self.remapped.as_slice()) {
+            (_, []) => true,
+            (MappingKind::ModA { a }, [(addr, rank)]) => *addr == a && *rank == a as u128,
+            _ => false,
+        };
+        if !completion_fix_only {
+            let ranks: std::collections::BTreeSet<u128> =
+                (0..self.num_lines).map(|a| self.rank_for(a)).collect();
+            return ranks.len() as u64;
+        }
         match self.kind {
             MappingKind::ModA { a } => {
                 let base = a.min(self.num_lines);
-                base + if self.remapped.is_some() { 1 } else { 0 }
+                base + if self.remapped.is_empty() { 0 } else { 1 }
             }
             MappingKind::InputParity => 2.min(self.num_lines),
             MappingKind::Berger => self.num_lines,
@@ -393,6 +463,70 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn address_out_of_range_panics() {
         paper_map(8).codeword_for(8);
+    }
+
+    #[test]
+    fn with_remap_overrides_base_strategy_and_completion_fix() {
+        // Re-map address 3 onto rank 7; everything else keeps mod-9 + fix.
+        let map = paper_map(64).with_remap(3, 7).unwrap();
+        assert_eq!(map.rank_for(3), 7);
+        assert_eq!(map.rank_for(9), 9, "completion fix survives");
+        assert_eq!(map.rank_for(12), 3, "other lines keep the residue");
+        assert!(map.is_codeword(map.codeword_for(3)));
+        // Later entries for the same address win.
+        let map = map.with_remap(3, 0).unwrap();
+        assert_eq!(map.rank_for(3), 0);
+        assert_eq!(map.remaps().len(), 3, "fix + both explicit entries");
+    }
+
+    #[test]
+    fn with_remap_validates_address_and_rank() {
+        assert!(matches!(
+            paper_map(8).with_remap(8, 0),
+            Err(CodeError::RankOutOfRange { .. })
+        ));
+        assert!(matches!(
+            paper_map(8).with_remap(0, 10), // C(3,5) = 10 ranks: 0..=9
+            Err(CodeError::RankOutOfRange { .. })
+        ));
+        let berger = CodewordMap::berger(4, 16).unwrap();
+        assert!(
+            berger.with_remap(0, 0).is_err(),
+            "Berger identity maps have no rank indirection"
+        );
+    }
+
+    #[test]
+    fn remap_can_construct_colliding_lines() {
+        // The degenerate case the sweep-bound tests need: two lines forced
+        // onto one codeword, making their SA1 pairing undetectable.
+        let map = paper_map(8).with_remap(1, 0).unwrap();
+        assert!(map.same_codeword(0, 1));
+        assert_eq!(map.codeword_for(0), map.codeword_for(1));
+    }
+
+    #[test]
+    fn spare_rank_finds_the_first_unused_codeword() {
+        // 8 lines under a = 9: ranks 0..=7 used, 8 is the first spare.
+        assert_eq!(paper_map(8).spare_rank(), Some(8));
+        // 64 lines with the completion fix: all 10 ranks used, no spare.
+        assert_eq!(paper_map(64).spare_rank(), None);
+        // Identity map on a code with head-room keeps spares available.
+        let id = CodewordMap::identity_mofn(256).unwrap();
+        assert_eq!(id.spare_rank(), Some(256));
+        assert_eq!(CodewordMap::berger(4, 16).unwrap().spare_rank(), None);
+    }
+
+    #[test]
+    fn distinct_codewords_is_exact_under_remaps() {
+        let base = paper_map(64);
+        assert_eq!(base.distinct_codewords(), 10);
+        // Aliasing remap folds a rank away only if it removes the last use.
+        let aliased = paper_map(8).with_remap(1, 0).unwrap();
+        assert_eq!(aliased.distinct_codewords(), 7);
+        // Spare-rank remap grows the set.
+        let grown = paper_map(8).with_remap(1, 8).unwrap();
+        assert_eq!(grown.distinct_codewords(), 8);
     }
 
     proptest! {

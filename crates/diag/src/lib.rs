@@ -1,0 +1,81 @@
+//! # March-test BIST, fault localization and spare repair
+//!
+//! The paper measures the cost of *detecting* a fault; a production
+//! self-checking memory must also *diagnose* which hardware failed and
+//! *repair* it onto redundancy — and both re-open the paper's central
+//! trade-off: spares and BIST logic cost area, while diagnosis sessions
+//! steal mission cycles. This crate is that fourth pillar
+//! (detect → explore → systemize → **repair**), in three layers:
+//!
+//! * [`march`] — MATS+, March C− and March B as seed-pure operation
+//!   generators running against any `scm_memory` fault-sim backend, with
+//!   per-element observation logs in March-local coordinates;
+//! * [`dictionary`] — fault-dictionary localization in the spirit of
+//!   Wang, Wu & Ivanov's fast small-SRAM diagnosis: candidate sites from
+//!   the `scm_memory::fault::FaultSite` universe are filed under their
+//!   March signatures, and an observed log looks up its **ambiguity
+//!   set** plus the diagnosis latency in cycles;
+//! * [`repair`] — ambiguity-set-aware spare-row/spare-column allocation,
+//!   with spare decoder lines programmed through the generalised
+//!   `CodewordMap` remap machinery, and [`RepairedRam`]: the post-repair
+//!   design as a first-class backend so every existing oracle re-measures
+//!   it on the same axes.
+//!
+//! [`session`] composes the three into the end-to-end walk
+//! (detect → localize → repair → re-verify) and [`campaign`] fans that
+//! walk over whole fault universes on a rayon pool, bit-identical at
+//! every thread count. The `scm diag` subcommand renders [`report`]'s
+//! byte-stable summary; `scm-system` schedules these sessions on the
+//! system clock (`DiagPolicy`), and `scm-explore` prices the spare/BIST
+//! hardware onto the paper's area axis.
+//!
+//! ```
+//! use scm_diag::{cell_universe, run_session, FaultDictionary, MarchTest, SpareBudget};
+//! use scm_memory::campaign::CampaignConfig;
+//! use scm_memory::design::RamConfig;
+//! use scm_memory::fault::FaultSite;
+//! use scm_area::RamOrganization;
+//! use scm_codes::{CodewordMap, MOutOfN};
+//!
+//! let org = RamOrganization::new(64, 8, 4);
+//! let code = MOutOfN::new(3, 5)?;
+//! let config = RamConfig::new(
+//!     org,
+//!     CodewordMap::mod_a(code, 9, org.rows())?,
+//!     CodewordMap::mod_a(code, 9, 4)?,
+//! );
+//! let dictionary = FaultDictionary::build(
+//!     &config,
+//!     &MarchTest::march_c_minus(),
+//!     5,
+//!     &cell_universe(&config),
+//!     0,
+//! );
+//! let site = FaultSite::Cell { row: 3, col: 7, stuck: true };
+//! let mission = CampaignConfig { cycles: 100, trials: 4, seed: 1, write_fraction: 0.1 };
+//! let outcome = run_session(&dictionary, site, SpareBudget { rows: 1, cols: 0 }, mission, 7);
+//! assert!(outcome.fully_repaired());
+//! # Ok::<(), scm_codes::CodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod dictionary;
+pub mod march;
+pub mod repair;
+pub mod report;
+pub mod session;
+
+pub use campaign::{by_class, ClassSummary, DiagnosisCampaign};
+pub use dictionary::{cell_universe, Diagnosis, DictionaryStats, FaultDictionary, Signature};
+pub use march::{
+    background, run_march, MarchElement, MarchLog, MarchOp, MarchSession, MarchStream, MarchTest,
+    Order, SyndromeEvent,
+};
+pub use repair::{
+    repaired_row_map, RepairOutcome, RepairPlan, RepairedRam, RowMove, SpareAllocator, SpareBudget,
+};
+pub use report::diag_report;
+pub use session::{run_session, SessionOutcome};

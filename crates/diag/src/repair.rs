@@ -1,0 +1,719 @@
+//! Spare-row / spare-column repair.
+//!
+//! Repair closes the loop the paper leaves open: a localized fault is
+//! *remapped* onto redundant hardware so the design returns to service.
+//! Two mechanisms, mirroring embedded-SRAM practice:
+//!
+//! * **spare row** — a full extra physical row with a programmable
+//!   address match. Repairing row `R` steers every access of `R` onto the
+//!   spare; the spare's decoder line is programmed with its own codeword
+//!   through the generalised [`CodewordMap::with_remap`] machinery
+//!   (preferring a previously unused rank, [`CodewordMap::spare_rank`],
+//!   so the checker's codeword diet grows rather than aliasing a mission
+//!   line);
+//! * **spare column** — an extra physical column; the faulty column's bit
+//!   is steered onto it for every row.
+//!
+//! The allocator works on **ambiguity sets**, not single sites: a repair
+//! is only sound when one spare covers *every* candidate the diagnosis
+//! could not distinguish. Same-word cell candidates always share a
+//! physical row, so row repair handles the common ambiguity shape; a
+//! full-block stuck-at-0 row-decoder line (which kills exactly one row)
+//! is row-repairable too. Everything else — multi-row stuck-at-0 blocks,
+//! stuck-at-1 double selections, ROM and data-register faults — is
+//! honestly `Unrepairable` by spares: those need the checking path itself
+//! replaced, not the storage.
+//!
+//! [`RepairedRam`] is the post-repair design as a [`FaultSimBackend`]:
+//! the same campaign engines, March runners and differential oracles that
+//! measured the faulty design re-measure the repaired one on identical
+//! axes. Spare content is recovered from the pre-fault image on every
+//! reset — the model's analogue of restoring from the last checkpoint
+//! after a repair interrupt, whose cycle cost the system layer charges.
+
+use crate::dictionary::Diagnosis;
+use scm_codes::CodewordMap;
+use scm_memory::backend::{CycleObservation, FaultSimBackend};
+use scm_memory::design::{RamConfig, SelfCheckingRam, Verdict};
+use scm_memory::fault::FaultSite;
+use scm_memory::workload::Op;
+use std::collections::BTreeMap;
+
+/// Redundant hardware available to the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpareBudget {
+    /// Spare rows.
+    pub rows: u32,
+    /// Spare columns.
+    pub cols: u32,
+}
+
+impl SpareBudget {
+    /// No redundancy: every diagnosis is `OutOfSpares` or `Unrepairable`.
+    pub const NONE: SpareBudget = SpareBudget { rows: 0, cols: 0 };
+}
+
+/// One committed spare-row assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMove {
+    /// The replaced (faulty) row.
+    pub row: u64,
+    /// Codeword rank programmed on the spare line.
+    pub rank: u128,
+}
+
+/// The committed repair state: which rows and physical columns have been
+/// moved onto spares.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairPlan {
+    /// Spare-row assignments, allocation order.
+    pub row_moves: Vec<RowMove>,
+    /// Replaced physical columns, allocation order.
+    pub col_moves: Vec<u64>,
+}
+
+impl RepairPlan {
+    /// Is anything repaired at all?
+    pub fn is_empty(&self) -> bool {
+        self.row_moves.is_empty() && self.col_moves.is_empty()
+    }
+}
+
+/// What one allocation attempt concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The ambiguity set is covered by a spare row replacing `row`.
+    RepairedRow {
+        /// The replaced row.
+        row: u64,
+    },
+    /// The ambiguity set is covered by a spare column replacing `col`.
+    RepairedColumn {
+        /// The replaced physical column.
+        col: u64,
+    },
+    /// Structurally repairable, but the budget is exhausted.
+    OutOfSpares,
+    /// No spare assignment can cover the ambiguity set.
+    Unrepairable {
+        /// Why (stable strings, used in reports).
+        reason: &'static str,
+    },
+}
+
+impl RepairOutcome {
+    /// Did the attempt commit a repair?
+    pub fn repaired(&self) -> bool {
+        matches!(
+            self,
+            RepairOutcome::RepairedRow { .. } | RepairOutcome::RepairedColumn { .. }
+        )
+    }
+}
+
+/// The row a candidate fault confines itself to, when it has one.
+fn affected_row(config: &RamConfig, site: &FaultSite) -> Option<u64> {
+    match site {
+        FaultSite::Cell { row, .. } => Some(*row as u64),
+        FaultSite::RowDecoder(f)
+            if !f.stuck_one && f.offset == 0 && f.bits == config.org().row_bits() =>
+        {
+            // Full-block stuck-at-0: exactly the one last-level line is
+            // dead, so replacing that row's storage *and* steering its
+            // address onto the spare line bypasses the dead driver.
+            Some(f.value)
+        }
+        _ => None,
+    }
+}
+
+/// The physical column a candidate confines itself to, when it has one.
+fn affected_col(site: &FaultSite) -> Option<u64> {
+    match site {
+        FaultSite::Cell { col, .. } => Some(*col as u64),
+        _ => None,
+    }
+}
+
+/// Stateful spare allocator: tracks the committed plan against a budget.
+#[derive(Debug, Clone)]
+pub struct SpareAllocator {
+    budget: SpareBudget,
+    plan: RepairPlan,
+}
+
+impl SpareAllocator {
+    /// Fresh allocator over a budget.
+    pub fn new(budget: SpareBudget) -> Self {
+        SpareAllocator {
+            budget,
+            plan: RepairPlan::default(),
+        }
+    }
+
+    /// The committed plan so far.
+    pub fn plan(&self) -> &RepairPlan {
+        &self.plan
+    }
+
+    /// Try to cover a diagnosis with one spare. Row repair is preferred
+    /// (it covers every same-row ambiguity shape); column repair is the
+    /// fallback when rows are exhausted and the set shares one physical
+    /// column.
+    pub fn allocate(&mut self, config: &RamConfig, diagnosis: &Diagnosis) -> RepairOutcome {
+        if diagnosis.candidates.is_empty() {
+            return RepairOutcome::Unrepairable {
+                reason: "empty ambiguity set",
+            };
+        }
+        let rows: Option<Vec<u64>> = diagnosis
+            .candidates
+            .iter()
+            .map(|c| affected_row(config, c))
+            .collect();
+        let shared_row = rows.and_then(|rows| {
+            let first = rows[0];
+            rows.iter().all(|&r| r == first).then_some(first)
+        });
+        let cols: Option<Vec<u64>> = diagnosis.candidates.iter().map(affected_col).collect();
+        let shared_col = cols.and_then(|cols| {
+            let first = cols[0];
+            cols.iter().all(|&c| c == first).then_some(first)
+        });
+        if shared_row.is_none() && shared_col.is_none() {
+            return RepairOutcome::Unrepairable {
+                reason: "ambiguity set not confined to one row or column",
+            };
+        }
+        if let Some(row) = shared_row {
+            if self.plan.row_moves.iter().any(|m| m.row == row) {
+                return RepairOutcome::RepairedRow { row };
+            }
+            if (self.plan.row_moves.len() as u32) < self.budget.rows {
+                let rank = self.spare_line_rank(config, row);
+                self.plan.row_moves.push(RowMove { row, rank });
+                return RepairOutcome::RepairedRow { row };
+            }
+        }
+        if let Some(col) = shared_col {
+            if self.plan.col_moves.contains(&col) {
+                return RepairOutcome::RepairedColumn { col };
+            }
+            if (self.plan.col_moves.len() as u32) < self.budget.cols {
+                self.plan.col_moves.push(col);
+                return RepairOutcome::RepairedColumn { col };
+            }
+        }
+        RepairOutcome::OutOfSpares
+    }
+
+    /// The codeword rank to program on the next spare line: the first
+    /// rank unused by the map *including previously committed spares*,
+    /// falling back to the replaced line's own rank when the code is
+    /// exhausted (the spare then inherits the mission codeword — still a
+    /// codeword, detection properties unchanged).
+    fn spare_line_rank(&self, config: &RamConfig, row: u64) -> u128 {
+        let map = repaired_row_map(config.row_map(), &self.plan.row_moves);
+        map.spare_rank().unwrap_or_else(|| map.rank_for(row))
+    }
+}
+
+/// The row map with every committed spare line programmed through
+/// [`CodewordMap::with_remap`].
+pub fn repaired_row_map(base: &CodewordMap, row_moves: &[RowMove]) -> CodewordMap {
+    row_moves.iter().fold(base.clone(), |map, m| {
+        map.with_remap(m.row, m.rank)
+            .expect("committed moves carry validated ranks")
+    })
+}
+
+/// The post-repair design: the faulty RAM with its committed spares, as
+/// a [`FaultSimBackend`].
+///
+/// Accesses to a repaired row are served by the spare row (its line
+/// checked through the re-programmed row map); reads crossing a repaired
+/// physical column take that bit from the spare column, with the parity
+/// check re-evaluated on the steered word. Everything else behaves as
+/// the underlying twin-pair behavioural model. Valid under the
+/// single-fault assumption for the repaired fault — the spare access
+/// path is its own (fault-free) hardware.
+#[derive(Debug, Clone)]
+pub struct RepairedRam {
+    base: SelfCheckingRam,
+    plan: RepairPlan,
+    row_map: CodewordMap,
+    faulty: SelfCheckingRam,
+    golden: SelfCheckingRam,
+    /// Per repaired row: `(data, parity)` per column select.
+    spare_rows: BTreeMap<u64, Vec<(u64, bool)>>,
+    /// Per repaired physical column: one bit per row.
+    spare_cols: BTreeMap<u64, Vec<bool>>,
+}
+
+impl RepairedRam {
+    /// Repaired design over an explicitly prepared pre-fault state.
+    pub fn new(base: SelfCheckingRam, plan: RepairPlan) -> Self {
+        let row_map = repaired_row_map(base.config().row_map(), &plan.row_moves);
+        let mut ram = RepairedRam {
+            faulty: base.clone(),
+            golden: base.clone(),
+            base,
+            plan,
+            row_map,
+            spare_rows: BTreeMap::new(),
+            spare_cols: BTreeMap::new(),
+        };
+        ram.recover();
+        ram
+    }
+
+    /// Repaired design whose pre-fault state is the campaign convention's
+    /// deterministic random fill — **bit-identical** to
+    /// `BehavioralBackend::prefilled` with the same seed, by reusing it:
+    /// the system scheduler hands a repaired bank exactly the image the
+    /// plain bank was instantiated from.
+    pub fn prefilled(config: &RamConfig, seed: u64, plan: RepairPlan) -> Self {
+        let backend = scm_memory::backend::BehavioralBackend::prefilled(config, seed);
+        // `faulty()` before any reset/step is the pristine prefill image.
+        RepairedRam::new(backend.faulty().clone(), plan)
+    }
+
+    /// The committed plan.
+    pub fn plan(&self) -> &RepairPlan {
+        &self.plan
+    }
+
+    /// The re-programmed row map (spare lines included).
+    pub fn row_map(&self) -> &CodewordMap {
+        &self.row_map
+    }
+
+    /// Restore spare content from the pre-fault image — the model's
+    /// checkpoint-recovery step after a repair interrupt.
+    fn recover(&mut self) {
+        let org = self.base.config().org();
+        let mux = org.mux_factor() as u64;
+        let m = org.word_bits();
+        self.spare_rows = self
+            .plan
+            .row_moves
+            .iter()
+            .map(|mv| {
+                let slots = (0..mux)
+                    .map(|col_sel| {
+                        let out = self.base.read(mv.row * mux + col_sel);
+                        (out.data, out.parity_bit)
+                    })
+                    .collect();
+                (mv.row, slots)
+            })
+            .collect();
+        self.spare_cols = self
+            .plan
+            .col_moves
+            .iter()
+            .map(|&col| {
+                let col_sel = col % mux;
+                let bit_group = (col / mux) as u32;
+                let bits = (0..org.rows())
+                    .map(|row| {
+                        let out = self.base.read(row * mux + col_sel);
+                        if bit_group == m {
+                            out.parity_bit
+                        } else {
+                            out.data >> bit_group & 1 == 1
+                        }
+                    })
+                    .collect();
+                (col, bits)
+            })
+            .collect();
+    }
+
+    fn word_mask(&self) -> u64 {
+        let m = self.base.config().org().word_bits();
+        if m >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << m) - 1
+        }
+    }
+
+    /// Verdict of a spare-row access: the spare line's word comes from
+    /// the re-programmed map, so the row check is evaluated for real —
+    /// it reads clean because the programmed word *is* a codeword.
+    fn spare_row_verdict(&self, row: u64) -> Verdict {
+        Verdict {
+            row_code_error: !self.row_map.is_codeword(self.row_map.codeword_for(row)),
+            col_code_error: false,
+            parity_error: false,
+        }
+    }
+
+    fn step_spare_row(&mut self, row: u64, col_sel: u64, op: Op) -> CycleObservation {
+        let mask = self.word_mask();
+        match op {
+            Op::Write(addr, value) => {
+                let data = value & mask;
+                let parity = data.count_ones() % 2 == 1;
+                self.spare_rows.get_mut(&row).expect("repaired row")[col_sel as usize] =
+                    (data, parity);
+                let _ = self.golden.write(addr, value);
+                CycleObservation {
+                    erroneous: Some(false),
+                    verdict: self.spare_row_verdict(row),
+                }
+            }
+            Op::Read(addr) => {
+                let (data, parity) = self.spare_rows[&row][col_sel as usize];
+                let g = self.golden.read(addr);
+                let mut verdict = self.spare_row_verdict(row);
+                verdict.parity_error = (data.count_ones() + parity as u32) % 2 == 1;
+                CycleObservation {
+                    erroneous: Some(data != g.data || parity != g.parity_bit),
+                    verdict,
+                }
+            }
+        }
+    }
+
+    fn step_main(&mut self, row: u64, col_sel: u64, op: Op) -> CycleObservation {
+        let org = self.base.config().org();
+        let mux = org.mux_factor() as u64;
+        let m = org.word_bits();
+        match op {
+            Op::Write(addr, value) => {
+                let verdict = self.faulty.write(addr, value);
+                let _ = self.golden.write(addr, value);
+                let data = value & self.word_mask();
+                for (&col, bits) in self.spare_cols.iter_mut() {
+                    if col % mux != col_sel {
+                        continue;
+                    }
+                    let bit_group = (col / mux) as u32;
+                    bits[row as usize] = if bit_group == m {
+                        data.count_ones() % 2 == 1
+                    } else {
+                        data >> bit_group & 1 == 1
+                    };
+                }
+                CycleObservation {
+                    erroneous: Some(false),
+                    verdict,
+                }
+            }
+            Op::Read(addr) => {
+                let f = self.faulty.read(addr);
+                let g = self.golden.read(addr);
+                let mut data = f.data;
+                let mut parity = f.parity_bit;
+                let mut steered = false;
+                for (&col, bits) in self.spare_cols.iter() {
+                    if col % mux != col_sel {
+                        continue;
+                    }
+                    let bit_group = (col / mux) as u32;
+                    let bit = bits[row as usize];
+                    if bit_group == m {
+                        parity = bit;
+                    } else if bit {
+                        data |= 1u64 << bit_group;
+                    } else {
+                        data &= !(1u64 << bit_group);
+                    }
+                    steered = true;
+                }
+                let mut verdict = f.verdict;
+                if steered {
+                    verdict.parity_error = (data.count_ones() + parity as u32) % 2 == 1;
+                }
+                CycleObservation {
+                    erroneous: Some(data != g.data || parity != g.parity_bit),
+                    verdict,
+                }
+            }
+        }
+    }
+}
+
+impl FaultSimBackend for RepairedRam {
+    fn name(&self) -> &'static str {
+        "repaired-behavioral"
+    }
+
+    fn config(&self) -> &RamConfig {
+        self.base.config()
+    }
+
+    fn supports(&self, _site: &FaultSite) -> bool {
+        true
+    }
+
+    fn reset(&mut self, fault: Option<FaultSite>) {
+        self.faulty = self.base.clone();
+        if let Some(site) = fault {
+            self.faulty.inject(site);
+        }
+        self.golden = self.base.clone();
+        self.recover();
+    }
+
+    fn step(&mut self, op: Op) -> CycleObservation {
+        let (row, col_sel) = self.base.config().split_address(op.addr());
+        if self.spare_rows.contains_key(&row) {
+            self.step_spare_row(row, col_sel, op)
+        } else {
+            self.step_main(row, col_sel, op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::{cell_universe, FaultDictionary};
+    use crate::march::{run_march, MarchTest};
+    use scm_area::RamOrganization;
+    use scm_codes::MOutOfN;
+    use scm_memory::backend::BehavioralBackend;
+    use scm_memory::decoder_unit::DecoderFault;
+
+    fn config() -> RamConfig {
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    fn dictionary() -> &'static FaultDictionary {
+        static DICT: std::sync::OnceLock<FaultDictionary> = std::sync::OnceLock::new();
+        DICT.get_or_init(|| {
+            let cfg = config();
+            let mut candidates = cell_universe(&cfg);
+            candidates.extend(
+                scm_memory::campaign::decoder_fault_universe(4)
+                    .into_iter()
+                    .map(FaultSite::RowDecoder),
+            );
+            FaultDictionary::build(&cfg, &MarchTest::march_c_minus(), 5, &candidates, 0)
+        })
+    }
+
+    fn diagnose(site: FaultSite) -> (&'static FaultDictionary, Diagnosis) {
+        let dict = dictionary();
+        let mut backend = BehavioralBackend::new(dict.config());
+        backend.reset(Some(site));
+        let d = dict.diagnose_session(&mut backend);
+        (dict, d)
+    }
+
+    #[test]
+    fn cell_fault_allocates_a_row_spare_with_a_fresh_codeword() {
+        let cfg = config();
+        let site = FaultSite::Cell {
+            row: 6,
+            col: 9,
+            stuck: true,
+        };
+        let (_, diagnosis) = diagnose(site);
+        assert!(diagnosis.contains(&site));
+        let mut alloc = SpareAllocator::new(SpareBudget { rows: 2, cols: 1 });
+        let outcome = alloc.allocate(&cfg, &diagnosis);
+        assert_eq!(outcome, RepairOutcome::RepairedRow { row: 6 });
+        let mv = alloc.plan().row_moves[0];
+        // 16 lines under a = 9 + completion fix use ranks {0..=9}\{...}:
+        // the spare must take the first genuinely unused rank.
+        let map = repaired_row_map(cfg.row_map(), alloc.plan().row_moves.as_slice());
+        assert!(map.is_codeword(map.codeword_for(mv.row)));
+        assert_eq!(map.rank_for(6), mv.rank);
+    }
+
+    #[test]
+    fn budget_exhaustion_and_foreign_classes_are_reported() {
+        let cfg = config();
+        let (_, d1) = diagnose(FaultSite::Cell {
+            row: 1,
+            col: 0,
+            stuck: true,
+        });
+        let (_, d2) = diagnose(FaultSite::Cell {
+            row: 2,
+            col: 0,
+            stuck: true,
+        });
+        let mut alloc = SpareAllocator::new(SpareBudget { rows: 1, cols: 0 });
+        assert!(alloc.allocate(&cfg, &d1).repaired());
+        assert_eq!(alloc.allocate(&cfg, &d2), RepairOutcome::OutOfSpares);
+        // A stuck-at-1 double selection is not spare-repairable.
+        let (_, d3) = diagnose(FaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 3,
+            stuck_one: true,
+        }));
+        assert!(matches!(
+            alloc.allocate(&cfg, &d3),
+            RepairOutcome::Unrepairable { .. }
+        ));
+    }
+
+    #[test]
+    fn full_block_sa0_row_line_is_row_repairable() {
+        let cfg = config();
+        let site = FaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 11,
+            stuck_one: false,
+        });
+        let (_, diagnosis) = diagnose(site);
+        assert!(diagnosis.contains(&site), "{:?}", diagnosis.candidates);
+        let mut alloc = SpareAllocator::new(SpareBudget { rows: 1, cols: 0 });
+        assert_eq!(
+            alloc.allocate(&cfg, &diagnosis),
+            RepairOutcome::RepairedRow { row: 11 }
+        );
+    }
+
+    #[test]
+    fn repaired_row_serves_reads_and_writes_cleanly() {
+        let cfg = config();
+        let site = FaultSite::Cell {
+            row: 6,
+            col: 9,
+            stuck: true,
+        };
+        let plan = RepairPlan {
+            row_moves: vec![RowMove { row: 6, rank: 9 }],
+            col_moves: vec![],
+        };
+        let mut ram = RepairedRam::prefilled(&cfg, 0xF00D, plan);
+        ram.reset(Some(site));
+        // The repaired row round-trips through the spare.
+        for col_sel in 0..4u64 {
+            let addr = 6 * 4 + col_sel;
+            let obs = ram.step(Op::Write(addr, 0xA5 ^ col_sel));
+            assert!(!obs.detected());
+            let obs = ram.step(Op::Read(addr));
+            assert_eq!(obs.erroneous, Some(false), "col {col_sel}");
+            assert!(!obs.detected());
+        }
+        // Unrelated rows still behave like the plain twin pair.
+        let obs = ram.step(Op::Read(3));
+        assert_eq!(obs.erroneous, Some(false));
+        assert!(!obs.detected());
+    }
+
+    #[test]
+    fn post_repair_march_is_clean_and_mission_oracle_sees_no_escapes() {
+        let cfg = config();
+        let site = FaultSite::Cell {
+            row: 6,
+            col: 9,
+            stuck: true,
+        };
+        let plan = RepairPlan {
+            row_moves: vec![RowMove { row: 6, rank: 9 }],
+            col_moves: vec![],
+        };
+        let mut ram = RepairedRam::prefilled(&cfg, 0xF00D, plan);
+        ram.reset(Some(site));
+        let log = run_march(&mut ram, &MarchTest::march_c_minus(), 17);
+        assert!(log.clean(), "{:?}", log.events.first());
+        // The original mission differential oracle: zero error escapes.
+        let campaign = scm_memory::campaign::CampaignConfig {
+            cycles: 200,
+            trials: 4,
+            seed: 3,
+            write_fraction: 0.1,
+        };
+        let result = scm_memory::engine::CampaignEngine::new(campaign).run_on(&ram, &[site]);
+        assert_eq!(result.per_fault[0].error_escapes, 0);
+        assert_eq!(result.per_fault[0].detected, 0, "repaired design is silent");
+    }
+
+    #[test]
+    fn column_repair_steers_the_faulty_bit() {
+        let cfg = config();
+        // Stuck-at-0 cell in physical column 9 = bit group 2, col-select 1.
+        let site = FaultSite::Cell {
+            row: 6,
+            col: 9,
+            stuck: false,
+        };
+        let plan = RepairPlan {
+            row_moves: vec![],
+            col_moves: vec![9],
+        };
+        let mut ram = RepairedRam::prefilled(&cfg, 0xF00D, plan);
+        ram.reset(Some(site));
+        let addr = 6 * 4 + 1;
+        let obs = ram.step(Op::Write(addr, 0xFF));
+        assert!(!obs.detected());
+        let obs = ram.step(Op::Read(addr));
+        assert_eq!(
+            obs.erroneous,
+            Some(false),
+            "spare column must mask the cell"
+        );
+        assert!(!obs.detected());
+        // Full March stays clean too.
+        ram.reset(Some(site));
+        let log = run_march(&mut ram, &MarchTest::mats_plus(), 8);
+        assert!(log.clean(), "{:?}", log.events.first());
+    }
+
+    #[test]
+    fn reset_restores_spare_content_from_the_recovery_image() {
+        let cfg = config();
+        let plan = RepairPlan {
+            row_moves: vec![RowMove { row: 2, rank: 9 }],
+            col_moves: vec![],
+        };
+        let mut ram = RepairedRam::prefilled(&cfg, 0xBEE, plan);
+        ram.reset(None);
+        let obs = ram.step(Op::Read(2 * 4));
+        assert_eq!(obs.erroneous, Some(false));
+        let before = ram.spare_rows[&2][0];
+        let _ = ram.step(Op::Write(2 * 4, 0x5A));
+        ram.reset(None);
+        assert_eq!(ram.spare_rows[&2][0], before, "reset must undo writes");
+    }
+
+    #[test]
+    fn repaired_ram_keeps_the_engine_determinism_contract() {
+        let cfg = config();
+        let site = FaultSite::Cell {
+            row: 1,
+            col: 3,
+            stuck: true,
+        };
+        let plan = RepairPlan {
+            row_moves: vec![RowMove { row: 1, rank: 9 }],
+            col_moves: vec![],
+        };
+        let ram = RepairedRam::prefilled(&cfg, 7, plan);
+        let campaign = scm_memory::campaign::CampaignConfig {
+            cycles: 40,
+            trials: 8,
+            seed: 21,
+            write_fraction: 0.1,
+        };
+        let reference = scm_memory::engine::CampaignEngine::new(campaign)
+            .threads(1)
+            .run_on(&ram, &[site]);
+        for threads in [2usize, 4] {
+            let result = scm_memory::engine::CampaignEngine::new(campaign)
+                .threads(threads)
+                .run_on(&ram, &[site]);
+            assert_eq!(
+                reference.determinism_profile(),
+                result.determinism_profile(),
+                "{threads} threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Textual diagnosis reports — the byte-stable `scm diag` output.
+
+use crate::campaign::by_class;
+use crate::dictionary::FaultDictionary;
+use crate::repair::{RepairOutcome, SpareBudget};
+use crate::session::SessionOutcome;
+use scm_area::RepairOverheadBreakdown;
+use scm_memory::campaign::CampaignConfig;
+use scm_memory::fault::FaultSite;
+use std::fmt::Write;
+
+/// Render a whole diagnosis campaign the way a repair review expects:
+/// dictionary shape, per-class detect/localize/repair rates, one fully
+/// worked end-to-end fault, then the area bill. Every number is a pure
+/// function of the campaign inputs, so the rendering is byte-stable (the
+/// CLI fixture pins it).
+pub fn diag_report(
+    dictionary: &FaultDictionary,
+    budget: SpareBudget,
+    mission: CampaignConfig,
+    outcomes: &[SessionOutcome],
+    walkthrough: &SessionOutcome,
+    area: &RepairOverheadBreakdown,
+) -> String {
+    let mut out = String::new();
+    let config = dictionary.config();
+    let org = config.org();
+    let test = dictionary.test();
+    let _ = writeln!(
+        out,
+        "design: {} RAM, row code {}, March test {} = {}",
+        org.name(),
+        config.row_map().code_name(),
+        test.name(),
+        test.notation(),
+    );
+    let stats = dictionary.stats();
+    let _ = writeln!(
+        out,
+        "dictionary: {} candidates -> {} distinct signatures, {} March-silent, \
+         mean ambiguity {:.2}, max {}",
+        stats.candidates,
+        stats.distinct_signatures,
+        stats.silent,
+        dictionary.mean_ambiguity(),
+        stats.max_ambiguity,
+    );
+    let _ = writeln!(
+        out,
+        "session: {} cycles ({}n); spares: {} rows, {} cols; mission oracle: {} cycles x {} trials",
+        test.session_cycles(org.words()),
+        test.ops_per_word(),
+        budget.rows,
+        budget.cols,
+        mission.cycles,
+        mission.trials,
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<14} | {:>5} | {:>8} | {:>9} | {:>10} | {:>11} | {:>8} | {:>8}",
+        "class",
+        "sites",
+        "detected",
+        "localized",
+        "mean-ambig",
+        "mean-detect",
+        "repaired",
+        "verified"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(94));
+    for (class, summary) in by_class(outcomes) {
+        let _ = writeln!(
+            out,
+            "{:<14} | {:>5} | {:>8} | {:>9} | {:>10.2} | {:>11.1} | {:>8} | {:>8}",
+            class,
+            summary.sites,
+            summary.detected,
+            summary.localized,
+            summary.mean_ambiguity(),
+            summary.mean_syndrome_cycle(),
+            summary.repaired,
+            summary.verified,
+        );
+    }
+    out.push('\n');
+    out.push_str(&walkthrough_section(walkthrough));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "repair area overhead: spares {:.2} % + BIST controller {:.2} % = {:.2} % of base RAM",
+        area.spare_percent(),
+        area.bist_percent(),
+        area.total_percent(),
+    );
+    out
+}
+
+fn site_label(site: &FaultSite) -> String {
+    match site {
+        FaultSite::Cell { row, col, stuck } => {
+            format!("cell (row {row}, col {col}, stuck-at-{})", *stuck as u8)
+        }
+        other => format!("{} {other:?}", other.class()),
+    }
+}
+
+fn walkthrough_section(w: &SessionOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "end-to-end walkthrough: {}", site_label(&w.site));
+    let detected = match w.diagnosis.first_syndrome {
+        Some(cycle) => format!("yes, first syndrome at session cycle {cycle}"),
+        None => "NO".to_owned(),
+    };
+    let _ = writeln!(out, "  detected:  {detected}");
+    let _ = writeln!(
+        out,
+        "  localized: ambiguity set of {} candidate(s), true site contained: {}",
+        w.diagnosis.candidates.len(),
+        if w.contains_truth { "yes" } else { "NO" },
+    );
+    let repaired = match w.outcome {
+        RepairOutcome::RepairedRow { row } => {
+            let rank = w
+                .plan
+                .row_moves
+                .iter()
+                .find(|m| m.row == row)
+                .map(|m| m.rank.to_string())
+                .unwrap_or_else(|| "?".to_owned());
+            format!("spare row covers row {row} (spare line programmed to rank {rank})")
+        }
+        RepairOutcome::RepairedColumn { col } => {
+            format!("spare column covers physical column {col}")
+        }
+        RepairOutcome::OutOfSpares => "NO - out of spares".to_owned(),
+        RepairOutcome::Unrepairable { reason } => format!("NO - unrepairable ({reason})"),
+    };
+    let _ = writeln!(out, "  repaired:  {repaired}");
+    let reverify = match (
+        w.post_repair_clean,
+        w.mission_error_escapes,
+        w.mission_detections,
+    ) {
+        (Some(clean), Some(escapes), Some(detections)) => format!(
+            "March re-run clean: {}; mission oracle: {} error escapes, {} indications",
+            if clean { "yes" } else { "NO" },
+            escapes,
+            detections,
+        ),
+        _ => "skipped (not repaired)".to_owned(),
+    };
+    let _ = writeln!(out, "  re-verify: {reverify}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::DiagnosisCampaign;
+    use crate::dictionary::cell_universe;
+    use crate::march::MarchTest;
+    use crate::session::run_session;
+    use scm_area::{repair_overhead, RamOrganization, TechnologyParams};
+    use scm_codes::{CodewordMap, MOutOfN};
+    use scm_memory::design::RamConfig;
+
+    #[test]
+    fn report_is_stable_and_covers_every_section() {
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        let cfg = RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        );
+        let candidates = cell_universe(&cfg);
+        let dict = FaultDictionary::build(&cfg, &MarchTest::mats_plus(), 3, &candidates, 0);
+        let budget = SpareBudget { rows: 1, cols: 0 };
+        let mission = CampaignConfig {
+            cycles: 40,
+            trials: 2,
+            seed: 5,
+            write_fraction: 0.1,
+        };
+        let universe: Vec<_> = candidates.iter().copied().step_by(131).collect();
+        let outcomes = DiagnosisCampaign::new(budget, mission).run(&dict, &universe);
+        let walkthrough = run_session(&dict, universe[0], budget, mission, 1);
+        let area = repair_overhead(org, 1, 0, 5, &TechnologyParams::default());
+        let a = diag_report(&dict, budget, mission, &outcomes, &walkthrough, &area);
+        let b = diag_report(&dict, budget, mission, &outcomes, &walkthrough, &area);
+        assert_eq!(a, b, "report must be byte-stable");
+        for needle in [
+            "dictionary:",
+            "end-to-end walkthrough:",
+            "repair area overhead:",
+            "MATS+",
+            "cell",
+        ] {
+            assert!(a.contains(needle), "missing '{needle}':\n{a}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The end-to-end story for one fault: detect → localize → repair →
+//! re-verify.
+//!
+//! [`run_session`] is the single-memory composition of the three layers:
+//! a March session on the faulted design produces a log; the dictionary
+//! turns the log into an ambiguity set; the allocator tries to cover the
+//! set with a spare; and when it can, the repaired design is re-verified
+//! two ways — a full March C−-style clean run of the *diagnosing* test,
+//! and the original mission differential oracle (the campaign engine)
+//! which must report zero error escapes for the repaired site. This is
+//! exactly the acceptance walk of the diagnosis layer, and the unit the
+//! parallel [`crate::campaign::DiagnosisCampaign`] fans out over.
+
+use crate::dictionary::{Diagnosis, FaultDictionary};
+use crate::march::run_march;
+use crate::repair::{RepairOutcome, SpareAllocator, SpareBudget};
+use crate::RepairedRam;
+use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
+use scm_memory::campaign::CampaignConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
+
+/// Everything one session established about one fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// The injected (true) fault.
+    pub site: FaultSite,
+    /// What the diagnosing March session concluded.
+    pub diagnosis: Diagnosis,
+    /// Whether the true site is inside the ambiguity set — the
+    /// localization soundness criterion.
+    pub contains_truth: bool,
+    /// What the allocator did with the ambiguity set.
+    pub outcome: RepairOutcome,
+    /// The committed plan (empty unless repaired).
+    pub plan: crate::repair::RepairPlan,
+    /// Present iff repaired: the diagnosing test re-run on the repaired
+    /// design stayed clean.
+    pub post_repair_clean: Option<bool>,
+    /// Present iff repaired: error escapes the mission differential
+    /// oracle saw on the repaired design (must be 0).
+    pub mission_error_escapes: Option<u32>,
+    /// Present iff repaired: mission trials on which the repaired design
+    /// raised any indication (must be 0 — the repaired design is silent).
+    pub mission_detections: Option<u32>,
+}
+
+impl SessionOutcome {
+    /// The full success criterion: detected, soundly localized, repaired,
+    /// and both re-verifications clean.
+    pub fn fully_repaired(&self) -> bool {
+        self.diagnosis.detected()
+            && self.contains_truth
+            && self.outcome.repaired()
+            && self.post_repair_clean == Some(true)
+            && self.mission_error_escapes == Some(0)
+            && self.mission_detections == Some(0)
+    }
+}
+
+/// Run the detect → localize → repair → re-verify pipeline for one fault.
+///
+/// `budget` is this session's redundancy (each session allocates from a
+/// fresh allocator — sessions are independent what-if scenarios);
+/// `mission` parameterises the post-repair differential campaign;
+/// `prefill_seed` fixes the pre-fault image of both the mission campaign
+/// and the spare recovery content.
+pub fn run_session(
+    dictionary: &FaultDictionary,
+    site: FaultSite,
+    budget: SpareBudget,
+    mission: CampaignConfig,
+    prefill_seed: u64,
+) -> SessionOutcome {
+    let config = dictionary.config().clone();
+    let mut backend = BehavioralBackend::new(&config);
+    backend.reset(Some(site));
+    let diagnosis = dictionary.diagnose_session(&mut backend);
+    let contains_truth = diagnosis.contains(&site);
+    let mut allocator = SpareAllocator::new(budget);
+    let outcome = allocator.allocate(&config, &diagnosis);
+    let (post_repair_clean, mission_error_escapes, mission_detections) = if outcome.repaired() {
+        let mut repaired = RepairedRam::prefilled(&config, prefill_seed, allocator.plan().clone());
+        repaired.reset(Some(site));
+        let log = run_march(&mut repaired, dictionary.test(), dictionary.seed());
+        let result = CampaignEngine::new(mission).run_on(&repaired, &[site]);
+        (
+            Some(log.clean()),
+            Some(result.per_fault[0].error_escapes),
+            Some(result.per_fault[0].detected),
+        )
+    } else {
+        (None, None, None)
+    };
+    SessionOutcome {
+        site,
+        diagnosis,
+        contains_truth,
+        outcome,
+        plan: allocator.plan().clone(),
+        post_repair_clean,
+        mission_error_escapes,
+        mission_detections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::cell_universe;
+    use crate::march::MarchTest;
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+    use scm_memory::design::RamConfig;
+
+    fn dictionary() -> FaultDictionary {
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        let cfg = RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        );
+        let candidates = cell_universe(&cfg);
+        FaultDictionary::build(&cfg, &MarchTest::march_c_minus(), 5, &candidates, 0)
+    }
+
+    fn mission() -> CampaignConfig {
+        CampaignConfig {
+            cycles: 120,
+            trials: 4,
+            seed: 9,
+            write_fraction: 0.1,
+        }
+    }
+
+    #[test]
+    fn acceptance_walk_single_cell_fault() {
+        let dict = dictionary();
+        let site = FaultSite::Cell {
+            row: 9,
+            col: 21,
+            stuck: false,
+        };
+        let outcome = run_session(&dict, site, SpareBudget { rows: 1, cols: 0 }, mission(), 77);
+        assert!(outcome.diagnosis.detected());
+        assert!(outcome.contains_truth);
+        assert!(outcome.outcome.repaired());
+        assert_eq!(outcome.post_repair_clean, Some(true));
+        assert_eq!(outcome.mission_error_escapes, Some(0));
+        assert_eq!(outcome.mission_detections, Some(0));
+        assert!(outcome.fully_repaired());
+    }
+
+    #[test]
+    fn zero_budget_reports_out_of_spares_without_verification() {
+        let dict = dictionary();
+        let site = FaultSite::Cell {
+            row: 2,
+            col: 0,
+            stuck: true,
+        };
+        let outcome = run_session(&dict, site, SpareBudget::NONE, mission(), 77);
+        assert!(outcome.diagnosis.detected());
+        assert_eq!(outcome.outcome, RepairOutcome::OutOfSpares);
+        assert_eq!(outcome.post_repair_clean, None);
+        assert!(!outcome.fully_repaired());
+    }
+}

@@ -28,9 +28,12 @@
 
 use crate::space::{DesignPoint, ExplorationSpace, ScrubPolicy};
 use rayon::prelude::*;
+use scm_area::repair_overhead;
 use scm_area::{scheme_overhead, OverheadBreakdown, RamOrganization, TechnologyParams};
 use scm_codes::selection::{select_code, CodePlan, LatencyBudget, SelectionPolicy};
 use scm_codes::{CodeError, MOutOfN};
+use scm_diag::march::MarchTest;
+use scm_diag::repair::SpareBudget;
 use scm_latency::goal::{assess_escape, ProtectionGrade};
 use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
 use scm_memory::design::RamConfig;
@@ -38,7 +41,7 @@ use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::FaultSite;
 use scm_memory::scrub::{sweep_bound, SweepBound};
 use scm_memory::workload::{builtin_models, WorkloadModel};
-use scm_system::{Interleaving, SystemCampaign, SystemConfig};
+use scm_system::{DiagCampaign, DiagPolicy, Interleaving, SystemCampaign, SystemConfig};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -52,6 +55,17 @@ pub enum ExploreError {
     Selection(CodeError),
     /// The point names a workload model the evaluator does not know.
     UnknownWorkload(String),
+    /// The repair stage's horizon is shorter than one March session on
+    /// the point's geometry: no diagnosing session could ever complete,
+    /// so every repair figure would be silently degenerate (zero
+    /// repairs, fully censored time-to-repair).
+    RepairHorizonTooShort {
+        /// The configured per-trial horizon.
+        horizon: u64,
+        /// One full session of the configured test on the point's
+        /// geometry.
+        session_cycles: u64,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -61,6 +75,14 @@ impl fmt::Display for ExploreError {
             ExploreError::UnknownWorkload(name) => {
                 write!(f, "unknown workload model '{name}'")
             }
+            ExploreError::RepairHorizonTooShort {
+                horizon,
+                session_cycles,
+            } => write!(
+                f,
+                "repair-stage horizon ({horizon} cycles) is shorter than one March \
+                 session ({session_cycles} cycles): no diagnosis could ever complete"
+            ),
         }
     }
 }
@@ -69,7 +91,7 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Selection(e) => Some(e),
-            ExploreError::UnknownWorkload(_) => None,
+            ExploreError::UnknownWorkload(_) | ExploreError::RepairHorizonTooShort { .. } => None,
         }
     }
 }
@@ -115,6 +137,74 @@ pub struct SystemFigures {
     pub scrub_overhead: f64,
     /// Fraction of all trials detected within the horizon.
     pub detected_fraction: f64,
+}
+
+/// Repair figures of a point evaluated through the diagnosis/repair
+/// stage: the point's scheme composed into its system view, campaigned
+/// under its [`crate::space::RepairPolicy`] over sampled stuck-cell
+/// faults, with the spare/BIST hardware priced onto the area axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairFigures {
+    /// Spare rows per bank the point carries.
+    pub spare_rows: u32,
+    /// Decoder-checking area **plus** spare/BIST overhead, % of base RAM
+    /// — the repair-aware cost axis.
+    pub area_with_repair_percent: f64,
+    /// Mean time to repair over all trials (global cycles; unrepaired
+    /// trials censored at the horizon).
+    pub mean_time_to_repair: f64,
+    /// Fraction of trials detected within the horizon.
+    pub detected_fraction: f64,
+    /// Fraction of trials repaired back to service.
+    pub repaired_fraction: f64,
+    /// Mean fraction of the horizon stolen by BIST sessions.
+    pub bist_overhead: f64,
+    /// Post-repair erroneous outputs over the whole campaign (sound
+    /// repairs leave this at 0).
+    pub post_repair_escapes: u32,
+}
+
+impl RepairFigures {
+    /// The residual-escape objective of the repair-aware Pareto view:
+    /// the fraction of trials whose fault was never even detected.
+    pub fn escape(&self) -> f64 {
+        1.0 - self.detected_fraction
+    }
+}
+
+/// Repair-stage configuration: how the evaluator campaigns each
+/// repair-enabled point through `scm_system::DiagCampaign`.
+#[derive(Debug, Clone)]
+pub struct RepairAdjudication {
+    /// Per-trial horizon in system cycles (must comfortably exceed one
+    /// March session or no diagnosis can complete).
+    pub horizon: u64,
+    /// Trials per fault.
+    pub trials: u32,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Traffic write fraction.
+    pub write_fraction: f64,
+    /// Address interleaving of the composed system.
+    pub interleaving: Interleaving,
+    /// The March test BIST sessions run.
+    pub test: MarchTest,
+    /// Stuck-cell faults campaigned per bank (evenly sampled).
+    pub cells_per_bank: usize,
+}
+
+impl Default for RepairAdjudication {
+    fn default() -> Self {
+        RepairAdjudication {
+            horizon: 4096,
+            trials: 2,
+            seed: 0xD1A6,
+            write_fraction: 0.1,
+            interleaving: Interleaving::LowOrder,
+            test: MarchTest::mats_plus(),
+            cells_per_bank: 4,
+        }
+    }
 }
 
 /// System-stage configuration: how the evaluator composes and campaigns
@@ -178,6 +268,9 @@ pub struct Evaluation {
     /// Sharded-system figures (present iff the evaluator runs the
     /// system stage).
     pub system: Option<SystemFigures>,
+    /// Diagnosis/repair figures (present iff the evaluator runs the
+    /// repair stage *and* the point's repair policy is enabled).
+    pub repair: Option<RepairFigures>,
 }
 
 impl Evaluation {
@@ -221,6 +314,7 @@ pub struct Evaluator {
     tech: TechnologyParams,
     adjudicate: Option<Adjudication>,
     system: Option<SystemAdjudication>,
+    repair: Option<RepairAdjudication>,
     threads: usize,
     registry: HashMap<String, Arc<dyn WorkloadModel>>,
     plans: Mutex<HashMap<PlanKey, Result<CodePlan, CodeError>>>,
@@ -248,6 +342,7 @@ impl Evaluator {
             tech,
             adjudicate: None,
             system: None,
+            repair: None,
             threads: 0,
             registry,
             plans: Mutex::new(HashMap::new()),
@@ -270,6 +365,15 @@ impl Evaluator {
     /// from the point's axes).
     pub fn system_stage(mut self, system: SystemAdjudication) -> Self {
         self.system = Some(system);
+        self
+    }
+
+    /// Switch on the diagnosis/repair stage: every point whose repair
+    /// policy is enabled is campaigned through `scm_system::DiagCampaign`
+    /// (BIST sessions on the system clock, spare-row repair) and its
+    /// spare/BIST hardware priced onto the area axis.
+    pub fn repair_stage(mut self, repair: RepairAdjudication) -> Self {
+        self.repair = Some(repair);
         self
     }
 
@@ -429,6 +533,78 @@ impl Evaluator {
         })
     }
 
+    fn repair_point(
+        &self,
+        point: &DesignPoint,
+        plan: &CodePlan,
+        area: &OverheadBreakdown,
+        stage: &RepairAdjudication,
+    ) -> Result<RepairFigures, ExploreError> {
+        let session_cycles = stage.test.session_cycles(point.geometry.words());
+        if stage.horizon < session_cycles {
+            // Fail loudly: with sessions truncated at the horizon no
+            // diagnosis can complete, and the stage would quietly report
+            // zero repairs for every point.
+            return Err(ExploreError::RepairHorizonTooShort {
+                horizon: stage.horizon,
+                session_cycles,
+            });
+        }
+        let model = self
+            .registry
+            .get(&point.workload)
+            .cloned()
+            .ok_or_else(|| ExploreError::UnknownWorkload(point.workload.clone()))?;
+        let bank = RamConfig::from_plan(point.geometry, plan)?;
+        let scrub_period = match point.scrub {
+            ScrubPolicy::Off => 0,
+            ScrubPolicy::SequentialSweep => self
+                .system
+                .map(|s| s.scrub_period)
+                .unwrap_or_else(|| SystemAdjudication::default().scrub_period),
+        };
+        let system =
+            SystemConfig::homogeneous(bank, point.banks.max(1) as usize, stage.interleaving)
+                .scrubbed(scrub_period)
+                .checkpointed(point.checkpoint);
+        let policy = DiagPolicy {
+            period: point.repair.diag_period,
+            test: stage.test.clone(),
+            session_seed: stage.seed ^ 0x5E55,
+            budget: SpareBudget {
+                rows: point.repair.spare_rows,
+                cols: 0,
+            },
+        };
+        let campaign = CampaignConfig {
+            cycles: stage.horizon,
+            trials: stage.trials,
+            seed: stage.seed,
+            write_fraction: stage.write_fraction,
+        };
+        // Ambient threads: the diag grid rides the same rayon pool as
+        // the outer point sweep, like the other optional stages.
+        let engine = DiagCampaign::new(system, policy, campaign).workload_model(model);
+        let universe = engine.diag_universe(stage.cells_per_bank, 0);
+        let result = engine.run(&universe);
+        let hardware = repair_overhead(
+            point.geometry,
+            point.repair.spare_rows,
+            0,
+            stage.test.ops_per_word() as u32,
+            &self.tech,
+        );
+        Ok(RepairFigures {
+            spare_rows: point.repair.spare_rows,
+            area_with_repair_percent: area.decoder_checking_percent() + hardware.total_percent(),
+            mean_time_to_repair: result.mean_time_to_repair(),
+            detected_fraction: result.detected_fraction(),
+            repaired_fraction: result.repaired_fraction(),
+            bist_overhead: result.bist_overhead(),
+            post_repair_escapes: result.post_repair_escapes(),
+        })
+    }
+
     /// Run the full pipeline on one point.
     ///
     /// # Errors
@@ -456,6 +632,12 @@ impl Evaluator {
             None => None,
             Some(stage) => Some(self.system_point(point, &plan, stage)?),
         };
+        let repair = match &self.repair {
+            Some(stage) if point.repair.enabled() => {
+                Some(self.repair_point(point, &plan, &area, stage)?)
+            }
+            _ => None,
+        };
         Ok(Evaluation {
             point: point.clone(),
             plan,
@@ -467,6 +649,7 @@ impl Evaluator {
             scrub_bound,
             empirical,
             system,
+            repair,
         })
     }
 
@@ -597,6 +780,7 @@ mod tests {
             workloads: vec!["uniform".to_owned()],
             banks: vec![1],
             checkpoints: vec![0],
+            repairs: vec![crate::space::RepairPolicy::OFF],
         };
         let results = ev.evaluate_space(&space);
         assert_eq!(results.len(), 1);
@@ -615,6 +799,7 @@ mod tests {
             workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
             banks: vec![1],
             checkpoints: vec![0],
+            repairs: vec![crate::space::RepairPolicy::OFF],
         };
         let results = ev.evaluate_space(&space);
         assert!(results.iter().all(|r| r.is_ok()));
@@ -660,6 +845,73 @@ mod tests {
             assert_eq!(emp.trials_per_fault, 4);
             assert!(emp.worst_escape <= 1.0);
         }
+    }
+
+    #[test]
+    fn repair_stage_runs_only_for_enabled_policies_and_prices_spares() {
+        use crate::space::RepairPolicy;
+        let ev = Evaluator::default().repair_stage(RepairAdjudication {
+            horizon: 1600,
+            trials: 1,
+            cells_per_bank: 3,
+            ..RepairAdjudication::default()
+        });
+        let geometry = RamOrganization::new(64, 8, 4);
+        let mut off = DesignPoint::paper(geometry, 10, 1e-9, SelectionPolicy::InverseA);
+        let e = ev.evaluate(&off).unwrap();
+        assert!(e.repair.is_none(), "OFF policy must skip the stage");
+        off.repair = RepairPolicy {
+            spare_rows: 1,
+            diag_period: 500,
+        };
+        let e = ev.evaluate(&off).unwrap();
+        let figures = e.repair.expect("enabled policy carries figures");
+        assert_eq!(figures.spare_rows, 1);
+        assert!(
+            figures.area_with_repair_percent > e.area_percent(),
+            "spares and BIST must cost area: {} vs {}",
+            figures.area_with_repair_percent,
+            e.area_percent()
+        );
+        assert!(figures.detected_fraction > 0.0);
+        assert!(figures.repaired_fraction > 0.0);
+        assert_eq!(figures.post_repair_escapes, 0, "repairs must be sound");
+        assert!(figures.mean_time_to_repair > 0.0);
+        assert!((0.0..=1.0).contains(&figures.escape()));
+    }
+
+    #[test]
+    fn repair_stage_rejects_horizons_shorter_than_one_session() {
+        use crate::space::RepairPolicy;
+        // MATS+ on 1024 words = 5120 cycles > the 1600-cycle horizon: no
+        // diagnosing session could complete, so the stage must fail
+        // loudly instead of reporting zero repairs everywhere.
+        let ev = Evaluator::default().repair_stage(RepairAdjudication {
+            horizon: 1600,
+            ..RepairAdjudication::default()
+        });
+        let mut p = DesignPoint::paper(
+            RamOrganization::with_mux8(1024, 16),
+            10,
+            1e-9,
+            SelectionPolicy::InverseA,
+        );
+        p.repair = RepairPolicy {
+            spare_rows: 1,
+            diag_period: 500,
+        };
+        let err = ev.evaluate(&p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExploreError::RepairHorizonTooShort {
+                    horizon: 1600,
+                    session_cycles: 5120
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("no diagnosis could ever complete"));
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   escape);
 //! * [`system_pareto_front`] — the sharded-system view's frontier over
 //!   (area, system detection latency, expected lost work), fed by the
-//!   evaluator's optional system stage ([`SystemAdjudication`]).
+//!   evaluator's optional system stage ([`SystemAdjudication`]);
+//! * [`repair_pareto_front`] — the repair view's frontier over (area
+//!   including spares and the BIST controller, mean time to repair,
+//!   residual escape), fed by the optional repair stage
+//!   ([`RepairAdjudication`]) which campaigns each repair-enabled point
+//!   through `scm_system::DiagCampaign`.
 //!
 //! Pareto sweeps, the paper's table slices and single goal-solves all run
 //! through the same engine, so a new scenario is a new
@@ -42,7 +47,7 @@ pub mod space;
 
 pub use evaluate::{
     Adjudication, CacheStats, EmpiricalFigures, Evaluation, Evaluator, ExploreError,
-    SystemAdjudication, SystemFigures,
+    RepairAdjudication, RepairFigures, SystemAdjudication, SystemFigures,
 };
-pub use pareto::{dominates, pareto_front, system_pareto_front};
-pub use space::{DesignPoint, ExplorationSpace, ScrubPolicy};
+pub use pareto::{dominates, pareto_front, repair_pareto_front, system_pareto_front};
+pub use space::{DesignPoint, ExplorationSpace, RepairPolicy, ScrubPolicy};

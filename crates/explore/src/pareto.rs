@@ -11,6 +11,13 @@
 //! detection latency** (mean across banks, global clock) and **minimise
 //! expected lost work** — the joint objective Aupy et al. show cannot be
 //! optimised one memory at a time.
+//!
+//! The repair view closes the loop ([`repair_pareto_front`]): **minimise
+//! area including spares and the BIST controller**, **minimise mean time
+//! to repair** (horizon-censored) and **minimise residual escape** (the
+//! fraction of trials never even detected) — spares and diagnosis
+//! sessions re-open the paper's area-versus-latency trade-off on the
+//! repair axis.
 
 use crate::evaluate::Evaluation;
 
@@ -24,6 +31,18 @@ fn objectives(e: &Evaluation) -> [f64; 3] {
 fn system_objectives(e: &Evaluation) -> Option<[f64; 3]> {
     e.system
         .map(|s| [e.area_percent(), s.mean_latency, s.expected_lost_work])
+}
+
+/// Repair-view objective vector; `None` when the evaluation carries no
+/// repair figures.
+fn repair_objectives(e: &Evaluation) -> Option<[f64; 3]> {
+    e.repair.map(|r| {
+        [
+            r.area_with_repair_percent,
+            r.mean_time_to_repair,
+            r.escape(),
+        ]
+    })
 }
 
 /// Does `a` dominate `b` (no worse everywhere, better somewhere)?
@@ -89,6 +108,21 @@ pub fn system_pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
     })
 }
 
+/// Non-dominated subset under the **repair** objectives — (area incl.
+/// spares and BIST, mean time to repair, residual escape) — over the
+/// evaluations that carry repair figures. Evaluations without a repair
+/// stage are ignored; the result is empty when none have one.
+pub fn repair_pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
+    let with_figures: Vec<Evaluation> = evaluations
+        .iter()
+        .filter(|e| e.repair.is_some())
+        .cloned()
+        .collect();
+    front_by(&with_figures, |e| {
+        repair_objectives(e).expect("filtered to evaluations with repair figures")
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +142,7 @@ mod tests {
             workloads: vec!["uniform".to_owned()],
             banks: vec![1],
             checkpoints: vec![0],
+            repairs: vec![crate::space::RepairPolicy::OFF],
         };
         ev.evaluate_space(&space)
             .into_iter()
@@ -149,6 +184,55 @@ mod tests {
                 "{} neither kept nor dominated",
                 e.point.label()
             );
+        }
+    }
+
+    #[test]
+    fn repair_front_covers_exactly_the_repair_enabled_points() {
+        use crate::evaluate::RepairAdjudication;
+        use crate::space::RepairPolicy;
+        let ev = Evaluator::default().repair_stage(RepairAdjudication {
+            horizon: 1200,
+            trials: 1,
+            cells_per_bank: 2,
+            ..RepairAdjudication::default()
+        });
+        let space = ExplorationSpace {
+            geometries: vec![RamOrganization::new(64, 8, 4)],
+            cycles: vec![10],
+            pndcs: vec![1e-9],
+            policies: vec![SelectionPolicy::WorstBlockExact],
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
+            repairs: vec![
+                RepairPolicy::OFF,
+                RepairPolicy {
+                    spare_rows: 1,
+                    diag_period: 400,
+                },
+                RepairPolicy {
+                    spare_rows: 2,
+                    diag_period: 400,
+                },
+            ],
+        };
+        let evals: Vec<Evaluation> = ev
+            .evaluate_space(&space)
+            .into_iter()
+            .filter_map(Result::ok)
+            .collect();
+        assert_eq!(evals.len(), 3);
+        let front = repair_pareto_front(&evals);
+        assert!(!front.is_empty() && front.len() <= 2, "{}", front.len());
+        assert!(front.iter().all(|e| e.repair.is_some()));
+        // More spares cost more area; the front keeps the cheaper policy
+        // unless the extra spare buys repair latency or escape.
+        for w in front.windows(2) {
+            let a = w[0].repair.unwrap();
+            let b = w[1].repair.unwrap();
+            assert!(a.area_with_repair_percent <= b.area_with_repair_percent);
         }
     }
 

@@ -41,6 +41,32 @@ impl ScrubPolicy {
     }
 }
 
+/// Repair axis of a design point: how much redundancy the design carries
+/// and how BIST diagnosis is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RepairPolicy {
+    /// Spare rows per bank (`0` with `diag_period = 0` = the paper's
+    /// detection-only design).
+    pub spare_rows: u32,
+    /// Proactive BIST session period in system cycles (`0` = reactive
+    /// only: sessions fire on checker indications).
+    pub diag_period: u64,
+}
+
+impl RepairPolicy {
+    /// Detection-only: no spares, no diagnosis scheduling — the paper's
+    /// baseline.
+    pub const OFF: RepairPolicy = RepairPolicy {
+        spare_rows: 0,
+        diag_period: 0,
+    };
+
+    /// Does this policy add any repair machinery at all?
+    pub fn enabled(&self) -> bool {
+        *self != RepairPolicy::OFF
+    }
+}
+
 /// One fully specified candidate in the design space.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
@@ -64,6 +90,9 @@ pub struct DesignPoint {
     /// Checkpoint interval in system cycles for the lost-work axis
     /// (`0` = only the initial state is recoverable).
     pub checkpoint: u64,
+    /// Repair axis: spare budget × BIST diagnosis scheduling
+    /// ([`RepairPolicy::OFF`] = the paper's detection-only design).
+    pub repair: RepairPolicy,
 }
 
 impl DesignPoint {
@@ -84,13 +113,15 @@ impl DesignPoint {
             workload: "uniform".to_owned(),
             banks: 1,
             checkpoint: 0,
+            repair: RepairPolicy::OFF,
         }
     }
 
     /// Compact label for reports, e.g. `1Kx16/c=10/1e-9/inverse-a`.
     /// System axes appear only when they leave the paper's defaults
     /// (`/x4b` for four banks, `/ck64` for a 64-cycle checkpoint
-    /// interval), so single-memory labels stay byte-stable.
+    /// interval, `/sp2+dg512` for two spare rows with a 512-cycle BIST
+    /// period), so single-memory labels stay byte-stable.
     pub fn label(&self) -> String {
         let mut label = format!(
             "{}/c={}/{:.0e}/{}/{}/{}",
@@ -106,6 +137,12 @@ impl DesignPoint {
         }
         if self.checkpoint > 0 {
             label.push_str(&format!("/ck{}", self.checkpoint));
+        }
+        if self.repair.enabled() {
+            label.push_str(&format!(
+                "/sp{}+dg{}",
+                self.repair.spare_rows, self.repair.diag_period
+            ));
         }
         label
     }
@@ -130,6 +167,8 @@ pub struct ExplorationSpace {
     pub banks: Vec<u32>,
     /// Checkpoint intervals (system cycles).
     pub checkpoints: Vec<u64>,
+    /// Repair policies (spare budget × diagnosis scheduling).
+    pub repairs: Vec<RepairPolicy>,
 }
 
 impl ExplorationSpace {
@@ -145,6 +184,7 @@ impl ExplorationSpace {
             workloads: vec!["uniform".to_owned()],
             banks: vec![1],
             checkpoints: vec![0],
+            repairs: vec![RepairPolicy::OFF],
         }
     }
 
@@ -158,6 +198,7 @@ impl ExplorationSpace {
             * self.workloads.len()
             * self.banks.len()
             * self.checkpoints.len()
+            * self.repairs.len()
     }
 
     /// Whether the product is empty.
@@ -165,29 +206,32 @@ impl ExplorationSpace {
         self.len() == 0
     }
 
-    /// Enumerate every point, in a fixed deterministic order (banks,
-    /// checkpoint, workload, scrub, policy, geometry, pndc, cycles —
-    /// innermost last).
+    /// Enumerate every point, in a fixed deterministic order (repair,
+    /// banks, checkpoint, workload, scrub, policy, geometry, pndc,
+    /// cycles — innermost last).
     pub fn points(&self) -> Vec<DesignPoint> {
         let mut out = Vec::with_capacity(self.len());
-        for &banks in &self.banks {
-            for &checkpoint in &self.checkpoints {
-                for workload in &self.workloads {
-                    for &scrub in &self.scrubs {
-                        for &policy in &self.policies {
-                            for &geometry in &self.geometries {
-                                for &pndc in &self.pndcs {
-                                    for &cycles in &self.cycles {
-                                        out.push(DesignPoint {
-                                            geometry,
-                                            cycles,
-                                            pndc,
-                                            policy,
-                                            scrub,
-                                            workload: workload.clone(),
-                                            banks,
-                                            checkpoint,
-                                        });
+        for &repair in &self.repairs {
+            for &banks in &self.banks {
+                for &checkpoint in &self.checkpoints {
+                    for workload in &self.workloads {
+                        for &scrub in &self.scrubs {
+                            for &policy in &self.policies {
+                                for &geometry in &self.geometries {
+                                    for &pndc in &self.pndcs {
+                                        for &cycles in &self.cycles {
+                                            out.push(DesignPoint {
+                                                geometry,
+                                                cycles,
+                                                pndc,
+                                                policy,
+                                                scrub,
+                                                workload: workload.clone(),
+                                                banks,
+                                                checkpoint,
+                                                repair,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -215,6 +259,7 @@ mod tests {
             workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
             banks: vec![1, 4],
             checkpoints: vec![0],
+            repairs: vec![RepairPolicy::OFF],
         };
         assert_eq!(space.len(), 64);
         let a = space.points();
@@ -266,5 +311,40 @@ mod tests {
         assert_eq!(p.label(), "16x1K/c=10/1e-9/inverse-a/off/uniform/x4b/ck64");
         p.checkpoint = 0;
         assert_eq!(p.label(), "16x1K/c=10/1e-9/inverse-a/off/uniform/x4b");
+        p.repair = RepairPolicy {
+            spare_rows: 2,
+            diag_period: 512,
+        };
+        assert_eq!(
+            p.label(),
+            "16x1K/c=10/1e-9/inverse-a/off/uniform/x4b/sp2+dg512"
+        );
+    }
+
+    #[test]
+    fn repair_axis_multiplies_the_space_and_sits_outermost() {
+        let space = ExplorationSpace {
+            geometries: vec![RamOrganization::new(64, 8, 4)],
+            cycles: vec![2, 10],
+            pndcs: vec![1e-2],
+            policies: vec![SelectionPolicy::WorstBlockExact],
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
+            repairs: vec![
+                RepairPolicy::OFF,
+                RepairPolicy {
+                    spare_rows: 1,
+                    diag_period: 256,
+                },
+            ],
+        };
+        assert_eq!(space.len(), 4);
+        let points = space.points();
+        assert!(!points[0].repair.enabled());
+        assert!(!points[1].repair.enabled());
+        assert!(points[2].repair.enabled());
+        assert_eq!(points[3].repair.spare_rows, 1);
     }
 }

@@ -224,6 +224,68 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_one_bit_decoder_two_rows() {
+        // The smallest legal decoder: n = 1 (a 2-row array, or the
+        // column decoder of a small mux). Both SA0s are caught within
+        // the 2-step sweep; both SA1s pair the two lines, whose
+        // codewords differ under any sane 2-line map.
+        let m = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 3, 2).unwrap();
+        let bound = sweep_bound(1, &m);
+        assert_eq!(
+            bound.total, 4,
+            "one 1-bit block, two values, two polarities"
+        );
+        assert_eq!(bound.undetectable, 0);
+        assert!(bound.worst_sa0 <= 2, "{bound:?}");
+        assert!(bound.worst_sa1 <= 2, "{bound:?}");
+        assert!(bound.worst_steps <= 2);
+    }
+
+    #[test]
+    fn degenerate_single_column_parity_map() {
+        // The single-column-select shape: a 1-bit decoder under the
+        // 1-out-of-2 input-parity map (what a mux-2 column path uses).
+        // Addresses 0 and 1 differ in parity, so every fault is caught
+        // within one full sweep of the 2-entry space.
+        let m = CodewordMap::input_parity(2);
+        let bound = sweep_bound(1, &m);
+        assert_eq!(bound.undetectable, 0);
+        assert_eq!(bound.worst_sa0, 2, "SA0 needs the full (2-step) sweep");
+        assert!(bound.worst_sa1 <= 2);
+    }
+
+    #[test]
+    fn all_undetectable_map_reports_never_not_a_bogus_bound() {
+        // A deliberately broken map — both lines re-mapped onto one
+        // codeword via the generalised remap machinery — makes every
+        // stuck-at-1 pairing collide: the sweep must report them as
+        // undetectable rather than fabricating a finite bound, while
+        // stuck-at-0 collapses (all-ones ROM word) stay catchable.
+        let m = CodewordMap::mod_a(MOutOfN::new(3, 5).unwrap(), 3, 2)
+            .unwrap()
+            .with_remap(1, 0)
+            .unwrap();
+        assert!(m.same_codeword(0, 1), "the map must actually collide");
+        for value in 0..2u64 {
+            let fault = DecoderFault {
+                bits: 1,
+                offset: 0,
+                value,
+                stuck_one: true,
+            };
+            assert_eq!(
+                worst_case_sweep_latency(1, &m, fault),
+                SweepLatency::Never,
+                "colliding SA1 on value {value}"
+            );
+        }
+        let bound = sweep_bound(1, &m);
+        assert_eq!(bound.undetectable, 2, "exactly the two SA1s are blind");
+        assert_eq!(bound.worst_sa1, 0, "no detectable SA1 exists");
+        assert_eq!(bound.worst_sa0, 2);
+    }
+
+    #[test]
     fn parity_mapping_under_sweep() {
         // 1-out-of-2 with the parity mapping: consecutive addresses differ
         // in parity, so every SA1 with a non-degenerate companion is caught

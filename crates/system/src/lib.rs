@@ -16,7 +16,11 @@
 //! * [`SystemCampaign`] — the parallel `bank × fault × trial` campaign,
 //!   bit-identical at every thread count (traffic seeds pure in
 //!   `(seed, bank, fault, trial)`, prefill seeds pure in `(seed, bank)`);
-//! * [`system_report`] — the byte-stable rendering behind `scm system`.
+//! * [`system_report`] — the byte-stable rendering behind `scm system`;
+//! * [`DiagPolicy`] / [`DiagCampaign`] — March-BIST diagnosis sessions
+//!   scheduled on the same clock (stealing slots like scrubs, but in
+//!   session-length bursts), with spare repair and time-to-repair /
+//!   lost-work accounting ([`diag`]).
 //!
 //! Detection latency is measured on the **global clock**: a bank starved
 //! of traffic by the interleaving (or left unscrubbed) detects late even
@@ -52,12 +56,14 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod diag;
 pub mod engine;
 pub mod interleave;
 pub mod report;
 pub mod system;
 
 pub use clock::{CheckpointSchedule, ScrubSchedule, SystemClock, SystemEvent};
+pub use diag::{DiagCampaign, DiagFaultResult, DiagPolicy, DiagSystemResult};
 pub use engine::{BankSummary, SystemCampaign, SystemFault, SystemFaultResult, SystemResult};
 pub use interleave::{Interleaver, Interleaving};
 pub use report::system_report;

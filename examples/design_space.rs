@@ -21,6 +21,7 @@ fn main() {
         workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
         banks: vec![1],
         checkpoints: vec![0],
+        repairs: vec![scm_explore::RepairPolicy::OFF],
     };
 
     let evaluator = Evaluator::default().adjudicate(Adjudication {

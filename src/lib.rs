@@ -28,7 +28,10 @@
 //! * [`explore`] — parallel design-space exploration (Pareto fronts,
 //!   table slices, goal-solves)
 //! * [`system`] — the sharded multi-bank system runtime (interleaving,
-//!   scrub/checkpoint scheduling, system-level campaigns)
+//!   scrub/checkpoint scheduling, system-level campaigns, BIST
+//!   diagnosis policies)
+//! * [`diag`] — March-test BIST, fault-dictionary localization and
+//!   spare-row/column repair
 //! * [`core`] — the facade builder
 
 #![forbid(unsafe_code)]
@@ -38,6 +41,7 @@ pub use scm_checkers as checkers;
 pub use scm_codes as codes;
 pub use scm_core as core;
 pub use scm_decoder as decoder;
+pub use scm_diag as diag;
 pub use scm_explore as explore;
 pub use scm_latency as latency;
 pub use scm_logic as logic;

@@ -1,0 +1,96 @@
+//! The repair soundness property, end to end (ISSUE 4 acceptance):
+//! for **any** localized single cell fault with a spare available, the
+//! post-repair memory passes a full March C− clean run, and the original
+//! mission differential oracle (the campaign engine that measured the
+//! faulty design) reports zero escapes for that site.
+//!
+//! The dictionary is built once over the full cell universe plus every
+//! row-decoder fault, then each generated case walks the whole
+//! detect → localize → repair → re-verify pipeline. Cells the March
+//! cannot see at all (the documented even-width parity-background blind
+//! spot) are asserted to be exactly that blind spot, never a silent
+//! localization failure.
+
+use proptest::prelude::*;
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_diag::{background, cell_universe, run_session, FaultDictionary, MarchTest, SpareBudget};
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::fault::FaultSite;
+use std::sync::OnceLock;
+
+const MARCH_SEED: u64 = 0xD1A6;
+
+fn config() -> RamConfig {
+    let org = RamOrganization::new(64, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    )
+}
+
+fn dictionary() -> &'static FaultDictionary {
+    static DICT: OnceLock<FaultDictionary> = OnceLock::new();
+    DICT.get_or_init(|| {
+        let cfg = config();
+        let mut candidates = cell_universe(&cfg);
+        candidates.extend(
+            decoder_fault_universe(cfg.org().row_bits())
+                .into_iter()
+                .map(FaultSite::RowDecoder),
+        );
+        FaultDictionary::build(
+            &cfg,
+            &MarchTest::march_c_minus(),
+            MARCH_SEED,
+            &candidates,
+            0,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_localized_cell_fault_repairs_to_a_clean_march_and_zero_escapes(
+        row in 0usize..16,
+        col in 0usize..36,
+        stuck in proptest::prelude::any::<bool>(),
+        mission_seed in 0u64..1 << 32,
+    ) {
+        let site = FaultSite::Cell { row, col, stuck };
+        let mission = CampaignConfig {
+            cycles: 160,
+            trials: 3,
+            seed: mission_seed,
+            write_fraction: 0.1,
+        };
+        let outcome = run_session(
+            dictionary(),
+            site,
+            SpareBudget { rows: 1, cols: 1 },
+            mission,
+            mission_seed ^ 0xF1E1,
+        );
+        if outcome.diagnosis.detected() {
+            // Localized: the ambiguity set must contain the truth, the
+            // spare must cover it, and both re-verifications must pass.
+            prop_assert!(outcome.contains_truth, "{site:?}: {:?}", outcome.diagnosis);
+            prop_assert!(outcome.outcome.repaired(), "{site:?}: {:?}", outcome.outcome);
+            prop_assert_eq!(outcome.post_repair_clean, Some(true), "{site:?}");
+            prop_assert_eq!(outcome.mission_error_escapes, Some(0), "{site:?}");
+            prop_assert_eq!(outcome.mission_detections, Some(0), "{site:?}");
+            prop_assert!(outcome.fully_repaired());
+        } else {
+            // The only March-silent cells are parity-group cells stuck
+            // at the shared background parity (even word width).
+            let parity = background(MARCH_SEED, 8).count_ones() % 2 == 1;
+            prop_assert!((32..36).contains(&col), "{site:?} silently undiagnosed");
+            prop_assert_eq!(stuck, parity, "{site:?} silently undiagnosed");
+        }
+    }
+}

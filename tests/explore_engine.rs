@@ -25,6 +25,7 @@ fn adjudicated_space() -> ExplorationSpace {
         workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
         banks: vec![1],
         checkpoints: vec![0],
+        repairs: vec![scm_explore::RepairPolicy::OFF],
     }
 }
 
@@ -82,6 +83,7 @@ fn system_space() -> ExplorationSpace {
         workloads: vec!["uniform".to_owned()],
         banks: vec![1, 4],
         checkpoints: vec![0, 64],
+        repairs: vec![scm_explore::RepairPolicy::OFF],
     }
 }
 
