@@ -63,6 +63,14 @@ impl RamOrganization {
         self.mux_factor
     }
 
+    /// Physical columns of the cell array: `(m + 1) · 2^s` — every word
+    /// bit plus the parity bit, each fanned over the column mux. The one
+    /// formula every cell-coordinate universe (array construction, cell
+    /// fault universes, SEU targeting) must agree on.
+    pub fn physical_cols(&self) -> u32 {
+        (self.word_bits + 1) * self.mux_factor
+    }
+
     /// Column-decoder address bits `s`.
     pub fn col_bits(&self) -> u32 {
         self.mux_factor.trailing_zeros()

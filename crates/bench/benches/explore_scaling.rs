@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scm_area::RamOrganization;
 use scm_codes::selection::SelectionPolicy;
-use scm_explore::{pareto_front, Adjudication, Evaluator, ExplorationSpace, ScrubPolicy};
+use scm_explore::{pareto_front, Adjudication, Evaluator, ExplorationSpace, FaultMix, ScrubPolicy};
 use scm_memory::campaign::CampaignConfig;
 use std::hint::black_box;
 
@@ -24,6 +24,7 @@ fn space() -> ExplorationSpace {
         banks: vec![1],
         checkpoints: vec![0],
         repairs: vec![scm_explore::RepairPolicy::OFF],
+        fault_mixes: vec![FaultMix::Permanent],
     }
 }
 
@@ -37,6 +38,7 @@ fn bench_scaling(c: &mut Criterion) {
             write_fraction: 0.1,
         },
         max_faults: 16,
+        scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
     };
 
     let mut g = c.benchmark_group("explore-scaling");

@@ -1,0 +1,50 @@
+//! Temporal-fault-process campaign baseline: `CampaignEngine` throughput
+//! (scenario-trials per second) over a mixed transient/intermittent/
+//! permanent universe with the background scrubber merged in, at 1/2/4/8
+//! rayon threads (`BENCH_faults.json` snapshots the first run). The mixed
+//! grid stresses exactly the paths the permanent-only baseline
+//! (`campaign_scaling`) never exercises: per-cycle activation sync,
+//! one-shot state flips, detect-and-restore, and the scrub interleaver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::campaign::{mixed_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use std::hint::black_box;
+
+fn config() -> RamConfig {
+    let org = RamOrganization::new(256, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    )
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = config();
+    let campaign = CampaignConfig {
+        cycles: 100,
+        trials: 8,
+        seed: 0xFA17,
+        write_fraction: 0.1,
+    };
+    let universe = mixed_universe(&cfg, 32, campaign.cycles, campaign.seed);
+    let grid = universe.len() as u64 * campaign.trials as u64;
+
+    let mut g = c.benchmark_group("fault-process-scaling");
+    g.throughput(Throughput::Elements(grid));
+    for threads in [1usize, 2, 4, 8] {
+        let engine = CampaignEngine::new(campaign).scrub(4).threads(threads);
+        g.bench_function(&format!("{threads}-threads"), |b| {
+            b.iter(|| black_box(engine.run_scenarios(black_box(&cfg), black_box(&universe))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -28,20 +28,23 @@ use scm_diag::{
     SpareBudget,
 };
 use scm_explore::{
-    pareto_front, Adjudication, DesignPoint, Evaluator, ExplorationSpace, ScrubPolicy,
+    pareto_front, Adjudication, DesignPoint, Evaluator, ExplorationSpace, FaultMix, ScrubPolicy,
 };
 use scm_latency::distribution::analyze_decoder;
 use scm_latency::goal::classify;
 use scm_logic::stats::gate_stats;
 use scm_logic::Netlist;
-use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::campaign::{
+    decoder_fault_universe, intermittent_universe, mixed_universe, transient_universe,
+    CampaignConfig,
+};
 use scm_memory::design::RamConfig;
 use scm_memory::engine::CampaignEngine;
-use scm_memory::fault::FaultSite;
+use scm_memory::fault::{FaultScenario, FaultSite};
 use scm_memory::report::{summary, worst_offenders};
 use scm_memory::workload::{model_by_name, MODEL_NAMES};
 use scm_system::diag::{DiagCampaign, DiagPolicy};
-use scm_system::{system_report, Interleaving, SystemCampaign, SystemConfig};
+use scm_system::{system_report, Interleaving, SeuProcess, SystemCampaign, SystemConfig};
 use std::fmt::Write;
 
 /// Run a parsed command line (program name stripped); returns the stdout
@@ -73,14 +76,29 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         "explore" => {
             flags.validate(
-                &["--policy", "--workload", "--scrub", "--trials", "--threads"],
+                &[
+                    "--policy",
+                    "--workload",
+                    "--scrub",
+                    "--trials",
+                    "--threads",
+                    "--fault-mix",
+                ],
                 &["--adjudicate"],
             )?;
             explore_stdout(&flags)
         }
         "campaign" => {
             flags.validate(
-                &["--workload", "--trials", "--cycles", "--seed", "--threads"],
+                &[
+                    "--workload",
+                    "--trials",
+                    "--cycles",
+                    "--seed",
+                    "--threads",
+                    "--fault-model",
+                    "--scrub-period",
+                ],
                 &[],
             )?;
             campaign_stdout(&flags)
@@ -96,6 +114,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--interleave",
                     "--scrub-period",
                     "--checkpoint",
+                    "--fault-model",
+                    "--seu-mean",
                 ],
                 &[],
             )?;
@@ -111,6 +131,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--cycles",
                     "--seed",
                     "--threads",
+                    "--fault-model",
                 ],
                 &[],
             )?;
@@ -159,6 +180,26 @@ fn suggest_subcommand(input: &str) -> Option<&'static str> {
     suggest(input, SUBCOMMANDS)
 }
 
+/// Temporal fault models the `campaign` subcommand injects.
+const FAULT_MODELS: [&str; 4] = ["permanent", "transient", "intermittent", "mix"];
+
+/// Resolve `--fault-model` against an allowed subset of [`FAULT_MODELS`],
+/// with the shared did-you-mean hint.
+fn fault_model_or_default<'a>(flags: &'a Flags, allowed: &[&'a str]) -> Result<&'a str, String> {
+    let name = flags.value_of("--fault-model").unwrap_or("permanent");
+    if allowed.contains(&name) {
+        return Ok(name);
+    }
+    let hint = match suggest(name, allowed.iter().copied()) {
+        Some(known) => format!(" (did you mean '{known}'?)"),
+        None => String::new(),
+    };
+    Err(format!(
+        "unknown fault model '{name}'{hint} (one of: {})",
+        allowed.join(", ")
+    ))
+}
+
 /// The uniform unknown-workload message: did-you-mean hint first (when a
 /// model name is within edit distance 2), the full list always.
 fn unknown_workload(name: &str) -> String {
@@ -198,25 +239,28 @@ pub fn usage() -> String {
          \x20 table2                     regenerate the paper's Table 2 (both policies)\n\
          \x20 pareto [--policy P]        area-vs-latency sweep, CSV on stdout\n\
          \x20 ablations                  design-choice ablations (odd-a, arity, completion fix)\n\
-         \x20 explore [--policy P|both] [--workload W|all] [--scrub S]\n\
+         \x20 explore [--policy P|both] [--workload W|all] [--scrub S] [--fault-mix M|all]\n\
          \x20         [--adjudicate] [--trials N (implies --adjudicate)] [--threads N]\n\
-         \x20                            design-space exploration + Pareto front\n\
+         \x20                            design-space exploration + Pareto front(s)\n\
          \x20 campaign [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
+         \x20          [--fault-model M] [--scrub-period P]\n\
          \x20                            fault campaign on the 1Kx16 worked example\n\
          \x20 system [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
          \x20        [--interleave I] [--scrub-period P] [--checkpoint K]\n\
+         \x20        [--fault-model permanent|transient] [--seu-mean G]\n\
          \x20                            sharded multi-bank system campaign (scrubs +\n\
          \x20                            checkpoints competing with live traffic)\n\
          \x20 diag [--march T] [--spare-rows R] [--spare-cols C] [--trials N]\n\
-         \x20      [--cycles C] [--seed S] [--threads N]\n\
+         \x20      [--cycles C] [--seed S] [--threads N] [--fault-model permanent|transient]\n\
          \x20                            March-BIST diagnosis, fault localization and\n\
          \x20                            spare repair, memory and system views\n\
          \n\
-         policies:    worst-block-exact | inverse-a\n\
-         scrubs:      off | sequential-sweep\n\
-         interleave:  low-order | high-order\n\
-         march tests: {}\n\
-         workloads:   {}\n",
+         policies:     worst-block-exact | inverse-a\n\
+         scrubs:       off | sequential-sweep\n\
+         interleave:   low-order | high-order\n\
+         fault models: permanent | transient | intermittent | mix\n\
+         march tests:  {}\n\
+         workloads:    {}\n",
         MarchTest::NAMES.join(" | "),
         MODEL_NAMES.join(" | ")
     )
@@ -384,6 +428,15 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         Some(name) => ScrubPolicy::parse(name)
             .ok_or_else(|| format!("unknown scrub policy '{name}' (off | sequential-sweep)"))?,
     };
+    let fault_mixes = match flags.value_of("--fault-mix") {
+        None => vec![FaultMix::Permanent],
+        Some("all") => FaultMix::ALL.to_vec(),
+        Some(name) => vec![FaultMix::parse(name).ok_or_else(|| {
+            format!(
+                "unknown fault mix '{name}' (one of: permanent, transient, intermittent, mix, all)"
+            )
+        })?],
+    };
     let threads: usize = flags.parsed("--threads", 0)?;
     let trials: u32 = flags.parsed("--trials", 16)?;
     if trials == 0 {
@@ -401,12 +454,16 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         banks: vec![1],
         checkpoints: vec![0],
         repairs: vec![scm_explore::RepairPolicy::OFF],
+        fault_mixes: fault_mixes.clone(),
     };
 
     let mut evaluator = Evaluator::default().threads(threads);
-    // --trials only means something to the empirical stage, so asking for
-    // it switches adjudication on rather than being silently ignored.
-    let adjudicated = flags.has("--adjudicate") || flags.value_of("--trials").is_some();
+    // --trials and --fault-mix only mean something to the empirical
+    // stage, so asking for either switches adjudication on rather than
+    // being silently ignored.
+    let adjudicated = flags.has("--adjudicate")
+        || flags.value_of("--trials").is_some()
+        || flags.value_of("--fault-mix").is_some();
     if adjudicated {
         evaluator = evaluator.adjudicate(Adjudication {
             campaign: CampaignConfig {
@@ -416,6 +473,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
                 write_fraction: 0.1,
             },
             max_faults: 64,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         });
     }
 
@@ -494,6 +552,33 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
             e.achieved_pndc
         );
     }
+    if fault_mixes.len() > 1 {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "per-mix Pareto fronts (minimise dec-chk %, latency c, empirical escape):"
+        );
+        for (mix, front) in scm_explore::mix_pareto_fronts(&feasible) {
+            let _ = writeln!(
+                out,
+                "  fault mix = {}: {} point(s)",
+                mix.name(),
+                front.len()
+            );
+            for e in &front {
+                let escape = e
+                    .empirical
+                    .map(|emp| emp.mean_escape)
+                    .unwrap_or(e.achieved_pndc);
+                let _ = writeln!(
+                    out,
+                    "    {:<52} | {:>9.2} % | escape {escape:.4}",
+                    e.point.label(),
+                    e.area_percent(),
+                );
+            }
+        }
+    }
     let stats = evaluator.cache_stats();
     let _ = writeln!(
         out,
@@ -503,11 +588,16 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
     Ok(out)
 }
 
-/// `scm campaign` — a Monte-Carlo decoder-fault campaign on the worked
-/// example under any registered workload model.
+/// `scm campaign` — a Monte-Carlo fault campaign on the worked example
+/// under any registered workload model and temporal fault model
+/// (`--fault-model transient` injects one-shot cell flips; a
+/// `--scrub-period` sweep is what makes those detectable at all when
+/// mission traffic misses them).
 fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     let workload = flags.value_of("--workload").unwrap_or("uniform");
     let model = model_by_name(workload).ok_or_else(|| unknown_workload(workload))?;
+    let fault_model = fault_model_or_default(flags, &FAULT_MODELS)?;
+    let scrub_period: u64 = flags.parsed("--scrub-period", 0)?;
     let trials: u32 = flags.parsed("--trials", 32)?;
     if trials == 0 {
         return Err("--trials must be at least 1".to_owned());
@@ -522,7 +612,16 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
         .map_err(|e| e.to_string())?
         .build()
         .map_err(|e| e.to_string())?;
-    let faults = design.decoder_faults();
+    let scenarios: Vec<FaultScenario> = match fault_model {
+        "transient" => transient_universe(design.config(), 64, cycles, seed),
+        "intermittent" => intermittent_universe(design.config(), 8, 2, seed),
+        "mix" => mixed_universe(design.config(), 48, cycles, seed),
+        _ => design
+            .decoder_faults()
+            .into_iter()
+            .map(FaultScenario::permanent)
+            .collect(),
+    };
     let campaign = CampaignConfig {
         cycles,
         trials,
@@ -532,13 +631,27 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     let result = CampaignEngine::new(campaign)
         .workload_model(model)
         .threads(threads)
-        .run(design.config(), &faults);
+        .scrub(scrub_period)
+        .run_scenarios(design.config(), &scenarios);
 
     let mut out = String::new();
     let _ = writeln!(
         out,
         "campaign: 1Kx16 worked example (3-out-of-5, a = 9), workload = {workload}"
     );
+    // Non-default temporal settings announce themselves; the classical
+    // permanent/unscrubbed output stays byte-for-byte what it always was.
+    if fault_model != "permanent" || scrub_period > 0 {
+        let _ = writeln!(
+            out,
+            "fault model = {fault_model}, scrub period = {}",
+            if scrub_period == 0 {
+                "off".to_owned()
+            } else {
+                scrub_period.to_string()
+            }
+        );
+    }
     out.push('\n');
     out.push_str(&summary(&result));
     out.push('\n');
@@ -600,14 +713,29 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
         seed,
         write_fraction: 0.1,
     };
+    let fault_model = fault_model_or_default(flags, &["permanent", "transient"])?;
+    let seu_mean: f64 = flags.parsed("--seu-mean", 40.0)?;
+    if seu_mean < 1.0 {
+        return Err("--seu-mean must be at least 1 cycle".to_owned());
+    }
     let engine = SystemCampaign::new(system, campaign)
         .workload_model(model)
         .threads(threads);
-    let universe = engine.decoder_universe(12);
+    let universe = match fault_model {
+        "transient" => engine.seu_universe(12, &SeuProcess::new(seu_mean)),
+        _ => engine.decoder_universe(12),
+    };
     let result = engine.run(&universe);
 
     let mut out = String::new();
     out.push_str("sharded self-checking memory system: 4 heterogeneous banks\n\n");
+    if fault_model == "transient" {
+        let _ = writeln!(
+            out,
+            "fault model: transient SEUs, geometric inter-arrival (mean {seu_mean} cycles), \
+             12 arrivals/bank; latency and lost work anchored at each strike\n"
+        );
+    }
     out.push_str(&system_report(engine.system(), &result, workload));
     Ok(out)
 }
@@ -650,6 +778,7 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
         CodewordMap::mod_a(code, 9, org.rows()).map_err(|e| e.to_string())?,
         CodewordMap::mod_a(code, 9, org.mux_factor() as u64).map_err(|e| e.to_string())?,
     );
+    let fault_model = fault_model_or_default(flags, &["permanent", "transient"])?;
     let mut candidates = cell_universe(&config);
     candidates.extend(
         decoder_fault_universe(org.row_bits())
@@ -668,6 +797,52 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
         seed,
         write_fraction: 0.1,
     };
+    if fault_model == "transient" {
+        // The triage view: the repeat-and-compare policy on a one-shot
+        // flip (no spare burned) next to the same cell as a hard fault
+        // (confirmed and repaired) — the side-by-side the policy exists
+        // for.
+        let soft = FaultScenario::transient(
+            FaultSite::Cell {
+                row: 6,
+                col: 9,
+                stuck: false,
+            },
+            200,
+        );
+        let hard = FaultScenario::permanent(FaultSite::Cell {
+            row: 6,
+            col: 9,
+            stuck: true,
+        });
+        let outcomes: Vec<scm_diag::TriageOutcome> = [soft, hard]
+            .into_iter()
+            .map(|s| scm_diag::triage_session(&dictionary, s, budget, mission, seed ^ 0xF1E1))
+            .collect();
+        let mut out = String::new();
+        out.push_str("self-checking memory diagnosis and repair — transient triage view\n\n");
+        let _ = writeln!(
+            out,
+            "design: {} RAM, row code {}, March test {} = {}",
+            org.name(),
+            config.row_map().code_name(),
+            test.name(),
+            test.notation(),
+        );
+        // The Ord-keyed reverse dictionary: confirmation compares the
+        // observed log against the signature filed for the suspect site.
+        let index = dictionary.site_index();
+        let _ = writeln!(
+            out,
+            "dictionary: {} diagnosable sites indexed; filed signature for {}: {} event(s)",
+            index.len(),
+            hard.site,
+            index.get(&hard.site).map(|s| s.0.len()).unwrap_or(0),
+        );
+        out.push('\n');
+        out.push_str(&scm_diag::triage_report(&outcomes));
+        return Ok(out);
+    }
     // A mixed slice of the dictionary's own candidate set: every 29th
     // site covers all classes without campaigning all ~1.2K.
     let universe: Vec<FaultSite> = candidates.iter().copied().step_by(29).collect();
@@ -1148,6 +1323,138 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         let err = run(&["diag".to_owned(), "--budget".to_owned(), "3".to_owned()]).unwrap_err();
         assert!(err.contains("unrecognised argument '--budget'"), "{err}");
+    }
+
+    #[test]
+    fn campaign_fault_models_select_universes_and_reject_unknowns() {
+        let base = |model: &str| {
+            run(&[
+                "campaign".to_owned(),
+                "--fault-model".to_owned(),
+                model.to_owned(),
+                "--trials".to_owned(),
+                "2".to_owned(),
+                "--cycles".to_owned(),
+                "6".to_owned(),
+            ])
+            .unwrap()
+        };
+        let transient = base("transient");
+        assert!(transient.contains("fault model = transient"), "{transient}");
+        assert!(transient.contains("transient"), "{transient}");
+        let mixed = base("mix");
+        // The per-process split only renders for mixed campaigns.
+        assert!(mixed.contains("process"), "{mixed}");
+        assert!(mixed.contains("permanent"), "{mixed}");
+        assert!(mixed.contains("intermittent"), "{mixed}");
+        // Permanent + no scrub stays exactly the classical rendering.
+        let classical =
+            run(&["campaign".to_owned(), "--trials".to_owned(), "2".to_owned()]).unwrap();
+        assert!(!classical.contains("fault model ="), "{classical}");
+        let err = run(&[
+            "campaign".to_owned(),
+            "--fault-model".to_owned(),
+            "transiet".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean 'transient'?"), "{err}");
+    }
+
+    #[test]
+    fn campaign_scrubbing_reduces_transient_escapes() {
+        // The acceptance experiment: under one-shot flips, a background
+        // scrub sweep strictly helps — impossible to show under the old
+        // permanent-only model, where the defect never heals and mission
+        // traffic eventually finds it either way.
+        let run_with = |scrub: &str| {
+            run(&[
+                "campaign".to_owned(),
+                "--fault-model".to_owned(),
+                "transient".to_owned(),
+                "--cycles".to_owned(),
+                "600".to_owned(),
+                "--trials".to_owned(),
+                "4".to_owned(),
+                "--scrub-period".to_owned(),
+                scrub.to_owned(),
+            ])
+            .unwrap()
+        };
+        // The cell class's mean escape fraction from the summary table.
+        let grab = |out: &str| -> f64 {
+            out.lines()
+                .find(|l| l.starts_with("cell "))
+                .and_then(|l| l.split('|').nth(2))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("summary carries the cell class row")
+        };
+        let unscrubbed = grab(&run_with("0"));
+        let scrubbed = grab(&run_with("8"));
+        assert!(
+            scrubbed < unscrubbed,
+            "scrubbing must reduce transient escapes: {scrubbed} vs {unscrubbed}"
+        );
+    }
+
+    #[test]
+    fn system_and_diag_accept_the_transient_fault_model() {
+        let out = run(&[
+            "system".to_owned(),
+            "--fault-model".to_owned(),
+            "transient".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--cycles".to_owned(),
+            "120".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("transient SEUs"), "{out}");
+        assert!(out.contains("memory system: 4 banks"), "{out}");
+        // The system view rejects mixes its scheduler cannot realise.
+        let err = run(&[
+            "system".to_owned(),
+            "--fault-model".to_owned(),
+            "mix".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("one of: permanent, transient"), "{err}");
+        let out = run(&[
+            "diag".to_owned(),
+            "--fault-model".to_owned(),
+            "transient".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("transient triage view"), "{out}");
+        assert!(out.contains("NO spare burned"), "{out}");
+        assert!(out.contains("hard defect confirmed"), "{out}");
+    }
+
+    #[test]
+    fn explore_fault_mix_implies_adjudication_and_prints_per_mix_fronts() {
+        let out = run(&[
+            "explore".to_owned(),
+            "--fault-mix".to_owned(),
+            "all".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--policy".to_owned(),
+            "inverse-a".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("empirically adjudicated"), "{out}");
+        assert!(out.contains("per-mix Pareto fronts"), "{out}");
+        for mix in ["permanent", "transient", "intermittent", "mix"] {
+            assert!(out.contains(&format!("fault mix = {mix}")), "{mix}\n{out}");
+        }
+        let err = run(&[
+            "explore".to_owned(),
+            "--fault-mix".to_owned(),
+            "bogus".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown fault mix"), "{err}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub type Signature = (Vec<SyndromeEvent>, bool);
 /// both polarities` (the parity column group included).
 pub fn cell_universe(config: &RamConfig) -> Vec<FaultSite> {
     let org = config.org();
-    let cols = ((org.word_bits() + 1) * org.mux_factor()) as usize;
+    let cols = org.physical_cols() as usize;
     let mut sites = Vec::with_capacity(org.rows() as usize * cols * 2);
     for row in 0..org.rows() as usize {
         for col in 0..cols {
@@ -128,7 +128,7 @@ impl FaultDictionary {
         let template = BehavioralBackend::new(config);
         let simulate = |site: &FaultSite| -> Signature {
             let mut backend = template.clone();
-            backend.reset(Some(*site));
+            backend.reset_site(Some(*site));
             let log = run_march(&mut backend, test, seed);
             (log.events, log.truncated)
         };
@@ -210,6 +210,20 @@ impl FaultDictionary {
             first_syndrome: log.first_syndrome,
             session_cycles: log.cycles,
         }
+    }
+
+    /// The site-keyed reverse index: every diagnosable candidate mapped
+    /// to the signature it is filed under (possible since [`FaultSite`]
+    /// is totally ordered; the map iterates in site order, which is what
+    /// keys deterministic per-site listings in reports and the CLI).
+    pub fn site_index(&self) -> BTreeMap<FaultSite, &Signature> {
+        let mut index = BTreeMap::new();
+        for (signature, sites) in &self.entries {
+            for site in sites {
+                index.insert(*site, signature);
+            }
+        }
+        index
     }
 
     /// Aggregate shape, for reports.
@@ -296,7 +310,7 @@ mod tests {
             stuck: true,
         };
         let mut backend = BehavioralBackend::new(&cfg);
-        backend.reset(Some(site));
+        backend.reset_site(Some(site));
         let diagnosis = dict.diagnose_session(&mut backend);
         assert!(diagnosis.detected());
         assert!(diagnosis.contains(&site), "{:?}", diagnosis.candidates);
@@ -329,6 +343,23 @@ mod tests {
             assert_eq!(reference.entries, parallel.entries, "{threads} threads");
             assert_eq!(reference.silent, parallel.silent);
         }
+    }
+
+    #[test]
+    fn site_index_inverts_the_signature_map() {
+        let dict = dictionary(0);
+        let index = dict.site_index();
+        let stats = dict.stats();
+        assert_eq!(index.len(), stats.candidates - stats.silent);
+        // Every indexed site's signature contains it.
+        let site = *index.keys().next().unwrap();
+        let signature = index[&site];
+        assert!(dict.entries[signature].contains(&site));
+        // Iteration is in site order (FaultSite: Ord).
+        let keys: Vec<FaultSite> = index.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

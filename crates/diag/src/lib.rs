@@ -77,5 +77,5 @@ pub use march::{
 pub use repair::{
     repaired_row_map, RepairOutcome, RepairPlan, RepairedRam, RowMove, SpareAllocator, SpareBudget,
 };
-pub use report::diag_report;
-pub use session::{run_session, SessionOutcome};
+pub use report::{diag_report, triage_report};
+pub use session::{run_session, triage_session, IndicationClass, SessionOutcome, TriageOutcome};

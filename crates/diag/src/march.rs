@@ -542,7 +542,7 @@ mod tests {
     fn stuck_cell_is_caught_with_bit_level_syndromes() {
         // Stuck-at-1 on word bit 3 of word (row 2, col-select 1).
         let mut backend = BehavioralBackend::new(&config());
-        backend.reset(Some(FaultSite::Cell {
+        backend.reset_site(Some(FaultSite::Cell {
             row: 2,
             col: 3 * 4 + 1,
             stuck: true,
@@ -571,9 +571,9 @@ mod tests {
             stuck: false,
         };
         let mut backend = BehavioralBackend::new(&config());
-        backend.reset(Some(site));
+        backend.reset_site(Some(site));
         let a = run_march(&mut backend, &test, 33);
-        backend.reset(Some(site));
+        backend.reset_site(Some(site));
         let b = run_march(&mut backend, &test, 33);
         assert_eq!(a, b);
     }
@@ -582,7 +582,7 @@ mod tests {
     fn row_decoder_sa0_syndrome_carries_the_row_checker() {
         use scm_memory::decoder_unit::DecoderFault;
         let mut backend = BehavioralBackend::new(&config());
-        backend.reset(Some(FaultSite::RowDecoder(DecoderFault {
+        backend.reset_site(Some(FaultSite::RowDecoder(DecoderFault {
             bits: 4,
             offset: 0,
             value: 5,

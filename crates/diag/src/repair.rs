@@ -445,14 +445,26 @@ impl FaultSimBackend for RepairedRam {
         self.base.config()
     }
 
-    fn supports(&self, _site: &FaultSite) -> bool {
-        true
+    fn supports(&self, scenario: &scm_memory::fault::FaultScenario) -> bool {
+        // Repaired designs are re-verified under the classical model:
+        // repair addresses hard defects, so the mission oracle replays
+        // exactly the injected-at-reset contract.
+        matches!(
+            scenario.process,
+            scm_memory::fault::FaultProcess::Permanent { onset: 0 }
+        )
     }
 
-    fn reset(&mut self, fault: Option<FaultSite>) {
+    fn reset(&mut self, scenario: Option<&scm_memory::fault::FaultScenario>) {
+        if let Some(s) = scenario {
+            assert!(
+                self.supports(s),
+                "RepairedRam realises only permanent injected-at-reset faults"
+            );
+        }
         self.faulty = self.base.clone();
-        if let Some(site) = fault {
-            self.faulty.inject(site);
+        if let Some(s) = scenario {
+            self.faulty.inject(s.site);
         }
         self.golden = self.base.clone();
         self.recover();
@@ -505,7 +517,7 @@ mod tests {
     fn diagnose(site: FaultSite) -> (&'static FaultDictionary, Diagnosis) {
         let dict = dictionary();
         let mut backend = BehavioralBackend::new(dict.config());
-        backend.reset(Some(site));
+        backend.reset_site(Some(site));
         let d = dict.diagnose_session(&mut backend);
         (dict, d)
     }
@@ -591,7 +603,7 @@ mod tests {
             col_moves: vec![],
         };
         let mut ram = RepairedRam::prefilled(&cfg, 0xF00D, plan);
-        ram.reset(Some(site));
+        ram.reset_site(Some(site));
         // The repaired row round-trips through the spare.
         for col_sel in 0..4u64 {
             let addr = 6 * 4 + col_sel;
@@ -620,7 +632,7 @@ mod tests {
             col_moves: vec![],
         };
         let mut ram = RepairedRam::prefilled(&cfg, 0xF00D, plan);
-        ram.reset(Some(site));
+        ram.reset_site(Some(site));
         let log = run_march(&mut ram, &MarchTest::march_c_minus(), 17);
         assert!(log.clean(), "{:?}", log.events.first());
         // The original mission differential oracle: zero error escapes.
@@ -649,7 +661,7 @@ mod tests {
             col_moves: vec![9],
         };
         let mut ram = RepairedRam::prefilled(&cfg, 0xF00D, plan);
-        ram.reset(Some(site));
+        ram.reset_site(Some(site));
         let addr = 6 * 4 + 1;
         let obs = ram.step(Op::Write(addr, 0xFF));
         assert!(!obs.detected());
@@ -661,7 +673,7 @@ mod tests {
         );
         assert!(!obs.detected());
         // Full March stays clean too.
-        ram.reset(Some(site));
+        ram.reset_site(Some(site));
         let log = run_march(&mut ram, &MarchTest::mats_plus(), 8);
         assert!(log.clean(), "{:?}", log.events.first());
     }

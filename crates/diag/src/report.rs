@@ -4,9 +4,9 @@ use crate::campaign::by_class;
 use crate::dictionary::FaultDictionary;
 use crate::repair::{RepairOutcome, SpareBudget};
 use crate::session::SessionOutcome;
+use crate::session::TriageOutcome;
 use scm_area::RepairOverheadBreakdown;
 use scm_memory::campaign::CampaignConfig;
-use scm_memory::fault::FaultSite;
 use std::fmt::Write;
 
 /// Render a whole diagnosis campaign the way a repair review expects:
@@ -96,18 +96,11 @@ pub fn diag_report(
     out
 }
 
-fn site_label(site: &FaultSite) -> String {
-    match site {
-        FaultSite::Cell { row, col, stuck } => {
-            format!("cell (row {row}, col {col}, stuck-at-{})", *stuck as u8)
-        }
-        other => format!("{} {other:?}", other.class()),
-    }
-}
-
 fn walkthrough_section(w: &SessionOutcome) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "end-to-end walkthrough: {}", site_label(&w.site));
+    // `FaultSite: Display` is the one shared human-readable spelling —
+    // the ad hoc labels this report used to re-derive live there now.
+    let _ = writeln!(out, "end-to-end walkthrough: {}", w.site);
     let detected = match w.diagnosis.first_syndrome {
         Some(cycle) => format!("yes, first syndrome at session cycle {cycle}"),
         None => "NO".to_owned(),
@@ -151,6 +144,50 @@ fn walkthrough_section(w: &SessionOutcome) -> String {
         _ => "skipped (not repaired)".to_owned(),
     };
     let _ = writeln!(out, "  re-verify: {reverify}");
+    out
+}
+
+/// Render a repeat-and-compare triage walk: classification first, the
+/// repair pipeline only when the indication was confirmed hard.
+pub fn triage_report(outcomes: &[TriageOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "repeat-and-compare triage: {} scenario(s) (indication -> confirming March re-run)",
+        outcomes.len()
+    );
+    for o in outcomes {
+        let _ = writeln!(out, "  scenario: {}", o.scenario);
+        let detected = match o.first.first_syndrome {
+            Some(cycle) => format!("yes, first syndrome at session cycle {cycle}"),
+            None => "no".to_owned(),
+        };
+        let _ = writeln!(out, "    first session flagged: {detected}");
+        let repeat = match o.repeat_clean {
+            None => "not spent (nothing to confirm)".to_owned(),
+            Some(true) => "clean -> soft error, NO spare burned".to_owned(),
+            Some(false) => "dirty -> hard defect confirmed".to_owned(),
+        };
+        let _ = writeln!(out, "    repeat session:        {repeat}");
+        let _ = writeln!(out, "    classified:            {}", o.class.name());
+        if let Some(session) = &o.repair {
+            let _ = writeln!(
+                out,
+                "    repair: {} candidate(s), repaired: {}, re-verified clean: {}",
+                session.diagnosis.candidates.len(),
+                if session.outcome.repaired() {
+                    "yes"
+                } else {
+                    "NO"
+                },
+                match session.post_repair_clean {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "skipped",
+                },
+            );
+        }
+    }
     out
 }
 

@@ -18,7 +18,7 @@ use crate::RepairedRam;
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
 use scm_memory::campaign::CampaignConfig;
 use scm_memory::engine::CampaignEngine;
-use scm_memory::fault::FaultSite;
+use scm_memory::fault::{FaultScenario, FaultSite};
 
 /// Everything one session established about one fault.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,16 +72,32 @@ pub fn run_session(
     mission: CampaignConfig,
     prefill_seed: u64,
 ) -> SessionOutcome {
-    let config = dictionary.config().clone();
-    let mut backend = BehavioralBackend::new(&config);
-    backend.reset(Some(site));
+    let mut backend = BehavioralBackend::new(dictionary.config());
+    backend.reset_site(Some(site));
     let diagnosis = dictionary.diagnose_session(&mut backend);
+    repair_and_verify(dictionary, site, diagnosis, budget, mission, prefill_seed)
+}
+
+/// The localize → repair → re-verify tail shared by [`run_session`] and
+/// [`triage_session`]: cover `diagnosis` with a spare and, when covered,
+/// re-verify the repaired design both ways (March re-run + mission
+/// differential oracle) under the classical permanent model — repair
+/// addresses hard defects, so that is the model the oracle replays.
+fn repair_and_verify(
+    dictionary: &FaultDictionary,
+    site: FaultSite,
+    diagnosis: Diagnosis,
+    budget: SpareBudget,
+    mission: CampaignConfig,
+    prefill_seed: u64,
+) -> SessionOutcome {
+    let config = dictionary.config();
     let contains_truth = diagnosis.contains(&site);
     let mut allocator = SpareAllocator::new(budget);
-    let outcome = allocator.allocate(&config, &diagnosis);
+    let outcome = allocator.allocate(config, &diagnosis);
     let (post_repair_clean, mission_error_escapes, mission_detections) = if outcome.repaired() {
-        let mut repaired = RepairedRam::prefilled(&config, prefill_seed, allocator.plan().clone());
-        repaired.reset(Some(site));
+        let mut repaired = RepairedRam::prefilled(config, prefill_seed, allocator.plan().clone());
+        repaired.reset_site(Some(site));
         let log = run_march(&mut repaired, dictionary.test(), dictionary.seed());
         let result = CampaignEngine::new(mission).run_on(&repaired, &[site]);
         (
@@ -101,6 +117,122 @@ pub fn run_session(
         post_repair_clean,
         mission_error_escapes,
         mission_detections,
+    }
+}
+
+/// What the repeat-and-compare policy concluded about an indication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndicationClass {
+    /// The diagnosing session stayed clean: nothing to triage (the fault
+    /// is March-silent, healed before the session, or not yet active).
+    Silent,
+    /// The first session flagged but the repeat ran clean: the
+    /// corruption was state-resident and the March's own rewrites healed
+    /// it — a soft error. **No spare is burned.**
+    Transient,
+    /// Both sessions flagged: a hard defect; the repair pipeline runs.
+    Permanent,
+}
+
+impl IndicationClass {
+    /// Report spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndicationClass::Silent => "silent",
+            IndicationClass::Transient => "transient",
+            IndicationClass::Permanent => "permanent",
+        }
+    }
+}
+
+/// Everything one triaged session established about one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageOutcome {
+    /// The injected scenario.
+    pub scenario: FaultScenario,
+    /// What the first diagnosing session concluded.
+    pub first: Diagnosis,
+    /// Whether the confirming repeat session ran clean
+    /// ([`None`] when the first session never flagged, so no repeat was
+    /// spent).
+    pub repeat_clean: Option<bool>,
+    /// The verdict of the repeat-and-compare policy.
+    pub class: IndicationClass,
+    /// The localize → repair → re-verify pipeline, run only for
+    /// [`IndicationClass::Permanent`] — transients burn no spare.
+    pub repair: Option<SessionOutcome>,
+}
+
+impl TriageOutcome {
+    /// Did triage avoid burning a spare on a soft error?
+    pub fn spared_a_spare(&self) -> bool {
+        self.class == IndicationClass::Transient && self.repair.is_none()
+    }
+}
+
+/// The repeat-and-compare session policy: run the diagnosing March; on
+/// any syndrome, run it **again** on the same (un-reset) design. A March
+/// rewrites every cell it visits, so state-resident corruption — a
+/// transient flip, a coupling deposit — is healed by the first pass and
+/// the repeat runs clean: the indication is classified *transient* and
+/// no spare is allocated. A hard defect replays its signature (stuck-ats
+/// are time-invariant and the background is pinned by the dictionary
+/// seed), so a dirty repeat classifies *permanent* and the classical
+/// localize → repair → re-verify pipeline runs on the confirmed
+/// signature.
+///
+/// Honest limitation: an intermittent whose active windows miss the
+/// entire repeat session is indistinguishable from a transient under any
+/// two-session policy — it will be caught (and re-triaged) by the next
+/// indication.
+pub fn triage_session(
+    dictionary: &FaultDictionary,
+    scenario: FaultScenario,
+    budget: SpareBudget,
+    mission: CampaignConfig,
+    prefill_seed: u64,
+) -> TriageOutcome {
+    let mut backend = BehavioralBackend::new(dictionary.config());
+    backend.reset(Some(&scenario));
+    let first = dictionary.diagnose_session(&mut backend);
+    if !first.detected() {
+        return TriageOutcome {
+            scenario,
+            first,
+            repeat_clean: None,
+            class: IndicationClass::Silent,
+            repair: None,
+        };
+    }
+    // The confirming repeat, on the same design: the activation clock
+    // keeps running, so a one-shot flip cannot re-fire and a pinned
+    // defect cannot hide.
+    let repeat = dictionary.diagnose_session(&mut backend);
+    if !repeat.detected() {
+        return TriageOutcome {
+            scenario,
+            first,
+            repeat_clean: Some(true),
+            class: IndicationClass::Transient,
+            repair: None,
+        };
+    }
+    // Confirmed hard: localize from the repeat's (confirmed) signature
+    // and run the shared repair pipeline.
+    let session = repair_and_verify(
+        dictionary,
+        scenario.site,
+        repeat,
+        budget,
+        mission,
+        prefill_seed,
+    );
+    TriageOutcome {
+        scenario,
+        first,
+        repeat_clean: Some(false),
+        class: IndicationClass::Permanent,
+        repair: Some(session),
     }
 }
 
@@ -150,6 +282,82 @@ mod tests {
         assert_eq!(outcome.mission_error_escapes, Some(0));
         assert_eq!(outcome.mission_detections, Some(0));
         assert!(outcome.fully_repaired());
+    }
+
+    #[test]
+    fn triage_classifies_a_transient_flip_and_burns_no_spare() {
+        let dict = dictionary();
+        // Strike late enough that the first March has already written the
+        // background over the cell (so the flip survives to be read).
+        let scenario = FaultScenario::transient(
+            FaultSite::Cell {
+                row: 9,
+                col: 21,
+                stuck: false,
+            },
+            200,
+        );
+        let outcome = triage_session(
+            &dict,
+            scenario,
+            SpareBudget { rows: 1, cols: 0 },
+            mission(),
+            77,
+        );
+        assert!(outcome.first.detected(), "the flip must be read");
+        assert_eq!(outcome.repeat_clean, Some(true));
+        assert_eq!(outcome.class, IndicationClass::Transient);
+        assert!(outcome.repair.is_none(), "no spare on a soft error");
+        assert!(outcome.spared_a_spare());
+    }
+
+    #[test]
+    fn triage_confirms_a_hard_fault_and_repairs_it() {
+        let dict = dictionary();
+        let site = FaultSite::Cell {
+            row: 9,
+            col: 21,
+            stuck: false,
+        };
+        let outcome = triage_session(
+            &dict,
+            FaultScenario::permanent(site),
+            SpareBudget { rows: 1, cols: 0 },
+            mission(),
+            77,
+        );
+        assert_eq!(outcome.repeat_clean, Some(false));
+        assert_eq!(outcome.class, IndicationClass::Permanent);
+        let session = outcome.repair.expect("hard faults run the pipeline");
+        assert!(session.fully_repaired());
+        // The triaged pipeline agrees with the classical single-session
+        // walk on the same fault.
+        let classical = run_session(&dict, site, SpareBudget { rows: 1, cols: 0 }, mission(), 77);
+        assert_eq!(session.outcome, classical.outcome);
+        assert_eq!(session.diagnosis.candidates, classical.diagnosis.candidates);
+    }
+
+    #[test]
+    fn triage_reports_silent_when_the_flip_never_survives_to_a_read() {
+        let dict = dictionary();
+        // A flip beyond the session horizon never fires during diagnosis.
+        let scenario = FaultScenario::transient(
+            FaultSite::Cell {
+                row: 0,
+                col: 0,
+                stuck: false,
+            },
+            1_000_000,
+        );
+        let outcome = triage_session(
+            &dict,
+            scenario,
+            SpareBudget { rows: 1, cols: 0 },
+            mission(),
+            77,
+        );
+        assert_eq!(outcome.class, IndicationClass::Silent);
+        assert_eq!(outcome.repeat_clean, None, "no repeat session spent");
     }
 
     #[test]

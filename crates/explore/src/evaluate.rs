@@ -26,7 +26,7 @@
 //! bit-identical at every thread count — the same contract the campaign
 //! engine makes, lifted to the whole design space.
 
-use crate::space::{DesignPoint, ExplorationSpace, ScrubPolicy};
+use crate::space::{DesignPoint, ExplorationSpace, FaultMix, ScrubPolicy};
 use rayon::prelude::*;
 use scm_area::repair_overhead;
 use scm_area::{scheme_overhead, OverheadBreakdown, RamOrganization, TechnologyParams};
@@ -35,10 +35,13 @@ use scm_codes::{CodeError, MOutOfN};
 use scm_diag::march::MarchTest;
 use scm_diag::repair::SpareBudget;
 use scm_latency::goal::{assess_escape, ProtectionGrade};
-use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::campaign::{
+    decoder_fault_universe, intermittent_universe, mixed_universe, transient_universe,
+    CampaignConfig,
+};
 use scm_memory::design::RamConfig;
 use scm_memory::engine::CampaignEngine;
-use scm_memory::fault::FaultSite;
+use scm_memory::fault::{FaultScenario, FaultSite};
 use scm_memory::scrub::{sweep_bound, SweepBound};
 use scm_memory::workload::{builtin_models, WorkloadModel};
 use scm_system::{DiagCampaign, DiagPolicy, Interleaving, SystemCampaign, SystemConfig};
@@ -225,9 +228,12 @@ pub struct SystemAdjudication {
     /// Scrub period applied when the point's scrub policy is
     /// [`ScrubPolicy::SequentialSweep`] (`Off` points never scrub).
     pub scrub_period: u64,
-    /// Cap on row-decoder faults campaigned per bank (`0` = whole
-    /// universe).
+    /// Cap on faults campaigned per bank (`0` = whole universe for the
+    /// permanent mix; stochastic mixes sample exactly their cap).
     pub max_faults_per_bank: usize,
+    /// Mean SEU inter-arrival time in system cycles for points graded
+    /// against the transient mix.
+    pub seu_mean: f64,
 }
 
 impl Default for SystemAdjudication {
@@ -240,6 +246,7 @@ impl Default for SystemAdjudication {
             interleaving: Interleaving::LowOrder,
             scrub_period: 4,
             max_faults_per_bank: 12,
+            seu_mean: 40.0,
         }
     }
 }
@@ -286,9 +293,18 @@ pub struct Adjudication {
     /// Campaign grid parameters (`cycles` is overridden per point to the
     /// point's latency budget `c`; seed/trials/write mix apply as given).
     pub campaign: CampaignConfig,
-    /// Cap on row-decoder faults per campaign, subsampled evenly and
-    /// deterministically from the universe (`0` = the whole universe).
+    /// Cap on scenarios per campaign, subsampled evenly and
+    /// deterministically (`0` = the whole permanent universe / a default
+    /// sample for stochastic mixes).
     pub max_faults: usize,
+    /// Scrub period applied when the point's scrub policy is
+    /// [`ScrubPolicy::SequentialSweep`] (`Off` points never scrub).
+    pub scrub_period: u64,
+}
+
+impl Adjudication {
+    /// The default scrub period a sweeping point adjudicates with.
+    pub const DEFAULT_SCRUB_PERIOD: u64 = 4;
 }
 
 /// Memoisation cache hit/miss counters.
@@ -457,6 +473,36 @@ impl Evaluator {
         }))
     }
 
+    /// The scenario universe a point's fault mix adjudicates against,
+    /// capped at `max` entries (0 = uncapped permanents; stochastic
+    /// classes sample exactly their cap).
+    fn mix_universe(
+        config: &RamConfig,
+        point: &DesignPoint,
+        max: usize,
+        seed: u64,
+    ) -> Vec<FaultScenario> {
+        let samples = if max == 0 { 64 } else { max };
+        let horizon = (point.cycles as u64).max(2);
+        match point.fault_mix {
+            FaultMix::Permanent => {
+                let universe: Vec<FaultSite> = decoder_fault_universe(point.geometry.row_bits())
+                    .into_iter()
+                    .map(FaultSite::RowDecoder)
+                    .collect();
+                subsample(&universe, max)
+                    .into_iter()
+                    .map(FaultScenario::permanent)
+                    .collect()
+            }
+            FaultMix::Transient => transient_universe(config, samples, horizon, seed),
+            FaultMix::Intermittent => subsample(&intermittent_universe(config, 8, 2, seed), max),
+            FaultMix::Mix => {
+                subsample(&mixed_universe(config, samples / 3 + 1, horizon, seed), max)
+            }
+        }
+    }
+
     fn adjudicate_point(
         &self,
         point: &DesignPoint,
@@ -469,22 +515,31 @@ impl Evaluator {
             .cloned()
             .ok_or_else(|| ExploreError::UnknownWorkload(point.workload.clone()))?;
         let config = RamConfig::from_plan(point.geometry, plan)?;
-        let universe: Vec<FaultSite> = decoder_fault_universe(point.geometry.row_bits())
-            .into_iter()
-            .map(FaultSite::RowDecoder)
-            .collect();
-        let faults = subsample(&universe, adjudication.max_faults);
+        let scenarios = Self::mix_universe(
+            &config,
+            point,
+            adjudication.max_faults,
+            adjudication.campaign.seed,
+        );
         let campaign = CampaignConfig {
             cycles: point.cycles as u64,
             ..adjudication.campaign
+        };
+        // A scrubbed point adjudicates with its scrubber live: every
+        // `scrub_period`-th cycle becomes a sweep read — the knob that
+        // makes transient escapes actually shrink.
+        let scrub_period = match point.scrub {
+            ScrubPolicy::Off => 0,
+            ScrubPolicy::SequentialSweep => adjudication.scrub_period,
         };
         // Ambient threads: the engine's grid rides the same rayon pool as
         // the outer point sweep (work stealing balances both levels).
         let result = CampaignEngine::new(campaign)
             .workload_model(model)
-            .run(&config, &faults);
+            .scrub(scrub_period)
+            .run_scenarios(&config, &scenarios);
         Ok(EmpiricalFigures {
-            faults: faults.len(),
+            faults: scenarios.len(),
             trials_per_fault: campaign.trials,
             worst_escape: result.worst_escape(),
             worst_error_escape: result.worst_error_escape(),
@@ -521,7 +576,46 @@ impl Evaluator {
         // Ambient threads: the system grid rides the same rayon pool as
         // the outer point sweep, like the adjudication stage.
         let engine = SystemCampaign::new(system, campaign).workload_model(model);
-        let universe = engine.decoder_universe(stage.max_faults_per_bank);
+        // The system grid is graded against the point's fault mix: the
+        // permanent decoder universe, SEU arrival streams, or the same
+        // decoder sites under duty-cycled intermittent windows (phases
+        // pure in the per-bank fault index).
+        let intermittent = |mut f: scm_system::SystemFault| {
+            f.process = scm_memory::fault::FaultProcess::Intermittent {
+                onset: f.index as u64 % 8,
+                period: 8,
+                duty: 2,
+            };
+            f
+        };
+        let universe = match point.fault_mix {
+            FaultMix::Permanent => engine.decoder_universe(stage.max_faults_per_bank),
+            FaultMix::Transient => engine.seu_universe(
+                stage.max_faults_per_bank.max(1),
+                &scm_system::SeuProcess::new(stage.seu_mean),
+            ),
+            FaultMix::Intermittent => engine
+                .decoder_universe(stage.max_faults_per_bank)
+                .into_iter()
+                .map(intermittent)
+                .collect(),
+            FaultMix::Mix => {
+                let cap = stage.max_faults_per_bank.div_ceil(2).max(1);
+                let mut universe = engine.decoder_universe(cap);
+                // Offset SEU indices past the decoder entries so every
+                // (bank, index) seeding identity stays unique.
+                universe.extend(
+                    engine
+                        .seu_universe(cap, &scm_system::SeuProcess::new(stage.seu_mean))
+                        .into_iter()
+                        .map(|mut f| {
+                            f.index += cap;
+                            f
+                        }),
+                );
+                universe
+            }
+        };
         let result = engine.run(&universe);
         Ok(SystemFigures {
             banks: point.banks.max(1),
@@ -632,8 +726,13 @@ impl Evaluator {
             None => None,
             Some(stage) => Some(self.system_point(point, &plan, stage)?),
         };
+        // The repair stage grades the permanent model only: DiagCampaign
+        // schedules permanent faults (rollback restarts activation
+        // clocks), and transient indications are triaged without burning
+        // spares — so non-permanent mixes skip the stage rather than
+        // re-running a byte-identical permanent campaign per mix.
         let repair = match &self.repair {
-            Some(stage) if point.repair.enabled() => {
+            Some(stage) if point.repair.enabled() && point.fault_mix == FaultMix::Permanent => {
                 Some(self.repair_point(point, &plan, &area, stage)?)
             }
             _ => None,
@@ -723,7 +822,7 @@ impl Evaluator {
 }
 
 /// Deterministic even subsample: every k-th element so the cap is met.
-fn subsample(universe: &[FaultSite], max_faults: usize) -> Vec<FaultSite> {
+fn subsample<T: Copy>(universe: &[T], max_faults: usize) -> Vec<T> {
     if max_faults == 0 || universe.len() <= max_faults {
         return universe.to_vec();
     }
@@ -781,6 +880,7 @@ mod tests {
             banks: vec![1],
             checkpoints: vec![0],
             repairs: vec![crate::space::RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
         };
         let results = ev.evaluate_space(&space);
         assert_eq!(results.len(), 1);
@@ -800,6 +900,7 @@ mod tests {
             banks: vec![1],
             checkpoints: vec![0],
             repairs: vec![crate::space::RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
         };
         let results = ev.evaluate_space(&space);
         assert!(results.iter().all(|r| r.is_ok()));
@@ -835,6 +936,7 @@ mod tests {
                 write_fraction: 0.1,
             },
             max_faults: 12,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         });
         for workload in ["uniform", "write-mostly"] {
             let mut p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
@@ -845,6 +947,55 @@ mod tests {
             assert_eq!(emp.trials_per_fault, 4);
             assert!(emp.worst_escape <= 1.0);
         }
+    }
+
+    #[test]
+    fn system_stage_grades_the_points_fault_mix() {
+        use crate::space::FaultMix;
+        let ev = Evaluator::default().system_stage(SystemAdjudication {
+            horizon: 400,
+            trials: 2,
+            max_faults_per_bank: 6,
+            ..SystemAdjudication::default()
+        });
+        let geometry = RamOrganization::new(64, 8, 4);
+        let mut p = DesignPoint::paper(geometry, 10, 1e-9, SelectionPolicy::InverseA);
+        p.banks = 2;
+        let permanent = ev.evaluate(&p).unwrap().system.unwrap();
+        p.fault_mix = FaultMix::Transient;
+        let transient = ev.evaluate(&p).unwrap().system.unwrap();
+        // Different fault physics must yield different system figures —
+        // silently re-running the permanent campaign per mix is exactly
+        // what this guards against.
+        assert_ne!(permanent, transient);
+        assert!(transient.detected_fraction > 0.0, "some SEU is caught");
+    }
+
+    #[test]
+    fn repair_stage_skips_non_permanent_mixes() {
+        use crate::space::{FaultMix, RepairPolicy};
+        let ev = Evaluator::default().repair_stage(RepairAdjudication {
+            horizon: 1600,
+            trials: 1,
+            cells_per_bank: 2,
+            ..RepairAdjudication::default()
+        });
+        let mut p = DesignPoint::paper(
+            RamOrganization::new(64, 8, 4),
+            10,
+            1e-9,
+            SelectionPolicy::InverseA,
+        );
+        p.repair = RepairPolicy {
+            spare_rows: 1,
+            diag_period: 500,
+        };
+        assert!(ev.evaluate(&p).unwrap().repair.is_some());
+        p.fault_mix = FaultMix::Transient;
+        assert!(
+            ev.evaluate(&p).unwrap().repair.is_none(),
+            "repair grades hard defects only; non-permanent mixes skip the stage"
+        );
     }
 
     #[test]

@@ -49,5 +49,7 @@ pub use evaluate::{
     Adjudication, CacheStats, EmpiricalFigures, Evaluation, Evaluator, ExploreError,
     RepairAdjudication, RepairFigures, SystemAdjudication, SystemFigures,
 };
-pub use pareto::{dominates, pareto_front, repair_pareto_front, system_pareto_front};
-pub use space::{DesignPoint, ExplorationSpace, RepairPolicy, ScrubPolicy};
+pub use pareto::{
+    dominates, mix_pareto_fronts, pareto_front, repair_pareto_front, system_pareto_front,
+};
+pub use space::{DesignPoint, ExplorationSpace, FaultMix, RepairPolicy, ScrubPolicy};

@@ -20,6 +20,7 @@
 //! repair axis.
 
 use crate::evaluate::Evaluation;
+use crate::space::FaultMix;
 
 /// Objective vector of an evaluation.
 fn objectives(e: &Evaluation) -> [f64; 3] {
@@ -93,6 +94,38 @@ pub fn pareto_front(evaluations: &[Evaluation]) -> Vec<Evaluation> {
     front_by(evaluations, objectives)
 }
 
+/// Per-fault-mix frontiers over (area, latency, escape): the evaluations
+/// are grouped by their point's [`FaultMix`] and a frontier extracted
+/// inside each group, so a scheme that wins against permanents can be
+/// compared with — but never dominates — one graded against transients.
+/// The escape objective is the **empirical** mean escape when the
+/// evaluation was adjudicated (the only meaningful figure for stochastic
+/// mixes) and the analytic achieved `Pndc` otherwise. Groups appear in
+/// [`FaultMix::ALL`] order; mixes with no evaluations are omitted.
+pub fn mix_pareto_fronts(evaluations: &[Evaluation]) -> Vec<(FaultMix, Vec<Evaluation>)> {
+    FaultMix::ALL
+        .into_iter()
+        .filter_map(|mix| {
+            let group: Vec<Evaluation> = evaluations
+                .iter()
+                .filter(|e| e.point.fault_mix == mix)
+                .cloned()
+                .collect();
+            if group.is_empty() {
+                return None;
+            }
+            let front = front_by(&group, |e| {
+                let escape = e
+                    .empirical
+                    .map(|emp| emp.mean_escape)
+                    .unwrap_or(e.achieved_pndc);
+                [e.area_percent(), e.point.cycles as f64, escape]
+            });
+            Some((mix, front))
+        })
+        .collect()
+}
+
 /// Non-dominated subset under the **system** objectives — (area, mean
 /// system detection latency, expected lost work) — over the evaluations
 /// that carry system figures. Evaluations without a system stage are
@@ -143,6 +176,7 @@ mod tests {
             banks: vec![1],
             checkpoints: vec![0],
             repairs: vec![crate::space::RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
         };
         ev.evaluate_space(&space)
             .into_iter()
@@ -217,6 +251,7 @@ mod tests {
                     diag_period: 400,
                 },
             ],
+            fault_mixes: vec![FaultMix::Permanent],
         };
         let evals: Vec<Evaluation> = ev
             .evaluate_space(&space)
@@ -233,6 +268,58 @@ mod tests {
             let a = w[0].repair.unwrap();
             let b = w[1].repair.unwrap();
             assert!(a.area_with_repair_percent <= b.area_with_repair_percent);
+        }
+    }
+
+    #[test]
+    fn mix_fronts_group_by_fault_mix_in_presentation_order() {
+        use crate::evaluate::Adjudication;
+        use scm_memory::campaign::CampaignConfig;
+        let ev = Evaluator::default().adjudicate(Adjudication {
+            campaign: CampaignConfig {
+                cycles: 10,
+                trials: 3,
+                seed: 0xF00,
+                write_fraction: 0.1,
+            },
+            max_faults: 8,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+        });
+        let space = ExplorationSpace {
+            geometries: vec![RamOrganization::new(256, 8, 4)],
+            cycles: vec![5, 10],
+            pndcs: vec![1e-2, 1e-9],
+            policies: vec![SelectionPolicy::WorstBlockExact],
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
+            repairs: vec![crate::space::RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent, FaultMix::Transient, FaultMix::Mix],
+        };
+        let evals: Vec<Evaluation> = ev
+            .evaluate_space(&space)
+            .into_iter()
+            .filter_map(Result::ok)
+            .collect();
+        assert_eq!(evals.len(), 12);
+        let fronts = mix_pareto_fronts(&evals);
+        let mixes: Vec<FaultMix> = fronts.iter().map(|(m, _)| *m).collect();
+        assert_eq!(
+            mixes,
+            vec![FaultMix::Permanent, FaultMix::Transient, FaultMix::Mix],
+            "ALL order, intermittent omitted (no evaluations)"
+        );
+        for (mix, front) in &fronts {
+            assert!(!front.is_empty(), "{mix:?}");
+            assert!(front.iter().all(|e| e.point.fault_mix == *mix));
+            // Non-permanent points carry the mix in their label.
+            if *mix != FaultMix::Permanent {
+                assert!(front[0]
+                    .point
+                    .label()
+                    .contains(&format!("fm={}", mix.name())));
+            }
         }
     }
 

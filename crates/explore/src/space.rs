@@ -67,6 +67,48 @@ impl RepairPolicy {
     }
 }
 
+/// Temporal fault mix a design point is graded against: which
+/// [`scm_memory::fault::FaultProcess`] classes the empirical
+/// adjudication injects. Detection effectiveness must be evaluated
+/// across fault-type mixes, not a single model (Papadopoulos et al.) —
+/// this is that axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultMix {
+    /// Permanent stuck-ats injected at reset — the paper's model.
+    Permanent,
+    /// One-shot transient cell flips with seed-pure arrival times.
+    Transient,
+    /// Duty-cycled intermittent decoder contacts.
+    Intermittent,
+    /// All three classes side by side.
+    Mix,
+}
+
+impl FaultMix {
+    /// Every mix, presentation order.
+    pub const ALL: [FaultMix; 4] = [
+        FaultMix::Permanent,
+        FaultMix::Transient,
+        FaultMix::Intermittent,
+        FaultMix::Mix,
+    ];
+
+    /// Short CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultMix::Permanent => "permanent",
+            FaultMix::Transient => "transient",
+            FaultMix::Intermittent => "intermittent",
+            FaultMix::Mix => "mix",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn parse(name: &str) -> Option<FaultMix> {
+        FaultMix::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
 /// One fully specified candidate in the design space.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
@@ -93,6 +135,9 @@ pub struct DesignPoint {
     /// Repair axis: spare budget × BIST diagnosis scheduling
     /// ([`RepairPolicy::OFF`] = the paper's detection-only design).
     pub repair: RepairPolicy,
+    /// Temporal fault mix the empirical adjudication grades against
+    /// ([`FaultMix::Permanent`] = the paper's model).
+    pub fault_mix: FaultMix,
 }
 
 impl DesignPoint {
@@ -114,6 +159,7 @@ impl DesignPoint {
             banks: 1,
             checkpoint: 0,
             repair: RepairPolicy::OFF,
+            fault_mix: FaultMix::Permanent,
         }
     }
 
@@ -121,7 +167,8 @@ impl DesignPoint {
     /// System axes appear only when they leave the paper's defaults
     /// (`/x4b` for four banks, `/ck64` for a 64-cycle checkpoint
     /// interval, `/sp2+dg512` for two spare rows with a 512-cycle BIST
-    /// period), so single-memory labels stay byte-stable.
+    /// period, `/fm=transient` for a non-permanent fault mix), so
+    /// single-memory labels stay byte-stable.
     pub fn label(&self) -> String {
         let mut label = format!(
             "{}/c={}/{:.0e}/{}/{}/{}",
@@ -143,6 +190,9 @@ impl DesignPoint {
                 "/sp{}+dg{}",
                 self.repair.spare_rows, self.repair.diag_period
             ));
+        }
+        if self.fault_mix != FaultMix::Permanent {
+            label.push_str(&format!("/fm={}", self.fault_mix.name()));
         }
         label
     }
@@ -169,6 +219,8 @@ pub struct ExplorationSpace {
     pub checkpoints: Vec<u64>,
     /// Repair policies (spare budget × diagnosis scheduling).
     pub repairs: Vec<RepairPolicy>,
+    /// Temporal fault mixes the adjudication grades against.
+    pub fault_mixes: Vec<FaultMix>,
 }
 
 impl ExplorationSpace {
@@ -185,6 +237,7 @@ impl ExplorationSpace {
             banks: vec![1],
             checkpoints: vec![0],
             repairs: vec![RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
         }
     }
 
@@ -199,6 +252,7 @@ impl ExplorationSpace {
             * self.banks.len()
             * self.checkpoints.len()
             * self.repairs.len()
+            * self.fault_mixes.len()
     }
 
     /// Whether the product is empty.
@@ -206,31 +260,34 @@ impl ExplorationSpace {
         self.len() == 0
     }
 
-    /// Enumerate every point, in a fixed deterministic order (repair,
-    /// banks, checkpoint, workload, scrub, policy, geometry, pndc,
-    /// cycles — innermost last).
+    /// Enumerate every point, in a fixed deterministic order (fault mix,
+    /// repair, banks, checkpoint, workload, scrub, policy, geometry,
+    /// pndc, cycles — innermost last).
     pub fn points(&self) -> Vec<DesignPoint> {
         let mut out = Vec::with_capacity(self.len());
-        for &repair in &self.repairs {
-            for &banks in &self.banks {
-                for &checkpoint in &self.checkpoints {
-                    for workload in &self.workloads {
-                        for &scrub in &self.scrubs {
-                            for &policy in &self.policies {
-                                for &geometry in &self.geometries {
-                                    for &pndc in &self.pndcs {
-                                        for &cycles in &self.cycles {
-                                            out.push(DesignPoint {
-                                                geometry,
-                                                cycles,
-                                                pndc,
-                                                policy,
-                                                scrub,
-                                                workload: workload.clone(),
-                                                banks,
-                                                checkpoint,
-                                                repair,
-                                            });
+        for &fault_mix in &self.fault_mixes {
+            for &repair in &self.repairs {
+                for &banks in &self.banks {
+                    for &checkpoint in &self.checkpoints {
+                        for workload in &self.workloads {
+                            for &scrub in &self.scrubs {
+                                for &policy in &self.policies {
+                                    for &geometry in &self.geometries {
+                                        for &pndc in &self.pndcs {
+                                            for &cycles in &self.cycles {
+                                                out.push(DesignPoint {
+                                                    geometry,
+                                                    cycles,
+                                                    pndc,
+                                                    policy,
+                                                    scrub,
+                                                    workload: workload.clone(),
+                                                    banks,
+                                                    checkpoint,
+                                                    repair,
+                                                    fault_mix,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -260,6 +317,7 @@ mod tests {
             banks: vec![1, 4],
             checkpoints: vec![0],
             repairs: vec![RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
         };
         assert_eq!(space.len(), 64);
         let a = space.points();
@@ -339,6 +397,7 @@ mod tests {
                     diag_period: 256,
                 },
             ],
+            fault_mixes: vec![FaultMix::Permanent],
         };
         assert_eq!(space.len(), 4);
         let points = space.points();

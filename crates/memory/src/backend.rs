@@ -4,8 +4,13 @@
 //! Detection-latency measurement ([`crate::sim::measure_detection_on`]),
 //! the Monte-Carlo campaigns ([`crate::engine::CampaignEngine`]) and the
 //! cross-model validation tests all drive a [`FaultSimBackend`]: reset it
-//! to a pre-fault state with a fault injected, feed it the workload's
-//! operation stream, observe per-cycle error/detection behaviour.
+//! to a pre-fault state with a [`FaultScenario`] loaded, feed it the
+//! workload's operation stream, observe per-cycle error/detection
+//! behaviour. A scenario is a **site × temporal process**: the classical
+//! injected-at-reset stuck-at is `FaultProcess::Permanent { onset: 0 }`,
+//! and the backends additionally realise delayed-onset permanents,
+//! one-shot transient flips, duty-cycled intermittents and cell-coupling
+//! defects, all indexed on the cycle clock that restarts at `reset`.
 //!
 //! Two implementations ship:
 //!
@@ -13,17 +18,25 @@
 //!   against a fault-free twin on the same stream. Observes both
 //!   *erroneous outputs* (data/parity differing from the twin) and
 //!   checker indications. This is the campaign workhorse: O(1) per cycle.
+//!   State-resident corruption (a transient flip in a cell, a coupling
+//!   victim) additionally heals on **detect-and-restore**: the cycle a
+//!   read raises an indication, the addressed word is restored from the
+//!   reference image — the recovery step the system context performs on
+//!   detection, which is what lets scrub reads genuinely clear soft
+//!   errors.
 //! * [`GateLevelBackend`] — the actual generated hardware of the checking
 //!   path (multilevel decoder → NOR matrix → `q`-out-of-`r` checker) for
 //!   both address decoders, with the stuck-at injected on the exact
-//!   generated signal. Ground truth for decoder faults; batches cycles
-//!   64-at-a-time through [`Netlist::eval64`] since the path is
-//!   combinational. It does not model the cell array, so it reports
-//!   checker verdicts only (`erroneous` is [`None`]).
+//!   generated signal only while the scenario's process pins it. Ground
+//!   truth for decoder faults; batches cycles 64-at-a-time through
+//!   [`Netlist::eval64`] since the path is combinational, splitting
+//!   bursts at activation-window boundaries so batching honours the
+//!   temporal process exactly. It does not model the cell array, so it
+//!   reports checker verdicts only (`erroneous` is [`None`]).
 
 use crate::decoder_unit::DecoderFault;
 use crate::design::{RamConfig, SelfCheckingRam, Verdict};
-use crate::fault::FaultSite;
+use crate::fault::{CellRef, FaultProcess, FaultScenario, FaultSite};
 use crate::workload::Op;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -60,18 +73,37 @@ pub trait FaultSimBackend {
     /// The simulated design's configuration (geometry + mappings).
     fn config(&self) -> &RamConfig;
 
-    /// Can this backend inject the given fault?
-    fn supports(&self, site: &FaultSite) -> bool;
+    /// Can this backend realise the given scenario?
+    fn supports(&self, scenario: &FaultScenario) -> bool;
 
-    /// Restore the pre-fault state and inject `fault` (`None` for a
-    /// fault-free run).
+    /// Restore the pre-fault state, load `scenario` (`None` for a
+    /// fault-free run) and restart the activation clock at cycle 0.
     ///
     /// # Panics
-    /// Panics if the fault is not [`supported`](Self::supports).
-    fn reset(&mut self, fault: Option<FaultSite>);
+    /// Panics if the scenario is not [supported](Self::supports).
+    fn reset(&mut self, scenario: Option<&FaultScenario>);
+
+    /// Convenience for the classical model: reset with `fault` pinned
+    /// from cycle 0 (`FaultProcess::Permanent { onset: 0 }`) — the exact
+    /// semantics of the historical `Option<FaultSite>` contract.
+    fn reset_site(&mut self, fault: Option<FaultSite>) {
+        let scenario = fault.map(FaultScenario::permanent);
+        self.reset(scenario.as_ref());
+    }
 
     /// Execute one operation and report what happened.
     fn step(&mut self, op: Op) -> CycleObservation;
+
+    /// Advance the activation clock by `cycles` without executing an
+    /// operation — how a multi-bank scheduler keeps a bank's temporal
+    /// process on the *global* clock while other banks consume the
+    /// cycles. A one-shot flip whose instant falls inside the skipped
+    /// window is applied before the next observation (observationally
+    /// identical, since nothing reads the bank in between). The default
+    /// is a no-op, correct for purely permanent backends.
+    fn advance(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
 
     /// Execute a burst of operations.
     ///
@@ -128,6 +160,12 @@ pub struct BehavioralBackend {
     // only to be overwritten by the first `reset`.
     faulty: Option<SelfCheckingRam>,
     golden: Option<SelfCheckingRam>,
+    scenario: Option<FaultScenario>,
+    cycle: u64,
+    /// The scenario's site is currently injected into `faulty`.
+    pinned: bool,
+    /// The one-shot state flip already happened.
+    fired: bool,
 }
 
 impl BehavioralBackend {
@@ -160,6 +198,10 @@ impl BehavioralBackend {
             base,
             faulty: None,
             golden: None,
+            scenario: None,
+            cycle: 0,
+            pinned: false,
+            fired: false,
         }
     }
 
@@ -167,6 +209,56 @@ impl BehavioralBackend {
     /// the backend has not stepped since its last reset.
     pub fn faulty(&self) -> &SelfCheckingRam {
         self.faulty.as_ref().unwrap_or(&self.base)
+    }
+
+    /// The fault-free twin (for instrumentation and differential tests);
+    /// the pre-fault state if the backend has not stepped since reset.
+    pub fn golden(&self) -> &SelfCheckingRam {
+        self.golden.as_ref().unwrap_or(&self.base)
+    }
+
+    /// Cycles stepped (or skipped via [`advance`]) since the last reset —
+    /// the activation clock temporal processes index.
+    ///
+    /// [`advance`]: FaultSimBackend::advance
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Bring the faulty design's fault state in line with the scenario's
+    /// activation window for the current cycle.
+    fn sync_activation(&mut self) {
+        let Some(scenario) = self.scenario else {
+            return;
+        };
+        let faulty = self.faulty.get_or_insert_with(|| self.base.clone());
+        // A transient on a storage cell is state corruption, not a pinned
+        // line: flip the stored bit once the instant is reached (a window
+        // skipped by `advance` fires here, before the next observation).
+        if let (FaultProcess::TransientFlip { at }, FaultSite::Cell { row, col, .. }) =
+            (scenario.process, scenario.site)
+        {
+            if !self.fired && self.cycle >= at {
+                faulty.flip_cell(row, col);
+                self.fired = true;
+            }
+            return;
+        }
+        // Coupling is installed once at reset; corruption rides aggressor
+        // writes, never the clock.
+        if matches!(scenario.process, FaultProcess::Coupling { .. }) {
+            return;
+        }
+        // Every remaining process pins the site inside its window.
+        let pin = scenario.process.pins_site_at(self.cycle);
+        if pin != self.pinned {
+            if pin {
+                faulty.inject(scenario.site);
+            } else {
+                faulty.clear_fault();
+            }
+            self.pinned = pin;
+        }
     }
 }
 
@@ -179,23 +271,71 @@ impl FaultSimBackend for BehavioralBackend {
         self.base.config()
     }
 
-    fn supports(&self, _site: &FaultSite) -> bool {
-        true
+    fn supports(&self, scenario: &FaultScenario) -> bool {
+        match scenario.process {
+            FaultProcess::Coupling { aggressor, .. } => {
+                matches!(scenario.site, FaultSite::Cell { row, col, .. }
+                    if CellRef { row, col } != aggressor)
+            }
+            _ => true,
+        }
     }
 
-    fn reset(&mut self, fault: Option<FaultSite>) {
+    fn reset(&mut self, scenario: Option<&FaultScenario>) {
+        self.scenario = scenario.copied();
+        self.cycle = 0;
+        self.pinned = false;
+        self.fired = false;
         let mut faulty = self.base.clone();
-        if let Some(site) = fault {
-            faulty.inject(site);
+        if let Some(s) = self.scenario {
+            match s.process {
+                // The classical model injects eagerly, so the pre-step
+                // state is inspectable exactly as it always was.
+                FaultProcess::Permanent { onset: 0 } => {
+                    faulty.inject(s.site);
+                    self.pinned = true;
+                }
+                FaultProcess::Coupling { aggressor, kind } => {
+                    let FaultSite::Cell { row, col, .. } = s.site else {
+                        panic!("coupling victim must be a cell, got {}", s.site);
+                    };
+                    faulty.inject_coupling(CellRef { row, col }, aggressor, kind);
+                }
+                // Delayed processes activate on the cycle clock.
+                _ => {}
+            }
         }
         self.faulty = Some(faulty);
         self.golden = Some(self.base.clone());
     }
 
     fn step(&mut self, op: Op) -> CycleObservation {
-        let faulty = self.faulty.get_or_insert_with(|| self.base.clone());
-        let golden = self.golden.get_or_insert_with(|| self.base.clone());
-        compare_step(faulty, golden, op)
+        self.sync_activation();
+        if self.faulty.is_none() {
+            self.faulty = Some(self.base.clone());
+        }
+        if self.golden.is_none() {
+            self.golden = Some(self.base.clone());
+        }
+        let faulty = self.faulty.as_mut().expect("populated above");
+        let golden = self.golden.as_mut().expect("populated above");
+        let obs = compare_step(faulty, golden, op);
+        // Detect-and-restore: an indication on a read of state-resident
+        // corruption triggers the recovery the system context performs
+        // (the word is restored from the reference image). Pinned-defect
+        // scenarios never restore — the defect would immediately
+        // re-corrupt, and pretending otherwise would hide it.
+        if obs.detected() && self.scenario.is_some_and(|s| s.corrupts_state()) {
+            if let Op::Read(addr) = op {
+                faulty.restore_word_from(golden, addr);
+            }
+        }
+        self.cycle += 1;
+        obs
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        self.cycle = self.cycle.saturating_add(cycles);
     }
 }
 
@@ -294,6 +434,8 @@ pub struct GateLevelBackend {
     col: CheckingPath,
     row_fault: Option<Fault>,
     col_fault: Option<Fault>,
+    process: FaultProcess,
+    cycle: u64,
 }
 
 impl GateLevelBackend {
@@ -312,6 +454,8 @@ impl GateLevelBackend {
             col,
             row_fault: None,
             col_fault: None,
+            process: FaultProcess::PERMANENT,
+            cycle: 0,
         })
     }
 
@@ -322,6 +466,12 @@ impl GateLevelBackend {
 
     fn split(&self, addr: u64) -> (u64, u64) {
         self.config.split_address(addr)
+    }
+
+    /// Is the loaded fault realised on `cycle`? Combinational sites have
+    /// no state, so every process reduces to its activation window.
+    fn active_at(&self, cycle: u64) -> bool {
+        (self.row_fault.is_some() || self.col_fault.is_some()) && self.process.pins_site_at(cycle)
     }
 
     fn observe(&self, row_flags: bool, col_flags: bool) -> CycleObservation {
@@ -345,61 +495,102 @@ impl FaultSimBackend for GateLevelBackend {
         &self.config
     }
 
-    fn supports(&self, site: &FaultSite) -> bool {
-        match site {
+    fn supports(&self, scenario: &FaultScenario) -> bool {
+        let site_ok = match &scenario.site {
             FaultSite::RowDecoder(f) => self.row.signal_for(f).is_some(),
             FaultSite::ColDecoder(f) => self.col.signal_for(f).is_some(),
             _ => false,
-        }
+        };
+        // Coupling needs a cell victim, which the site check already
+        // excludes; every clock-windowed process is realisable.
+        site_ok && !matches!(scenario.process, FaultProcess::Coupling { .. })
     }
 
-    fn reset(&mut self, fault: Option<FaultSite>) {
+    fn reset(&mut self, scenario: Option<&FaultScenario>) {
         self.row_fault = None;
         self.col_fault = None;
-        match fault {
+        self.process = FaultProcess::PERMANENT;
+        self.cycle = 0;
+        match scenario {
             None => {}
-            Some(FaultSite::RowDecoder(f)) => {
-                self.row_fault = Some(
-                    self.row
-                        .signal_for(&f)
-                        .unwrap_or_else(|| panic!("no gate-level site for {f:?}")),
+            Some(s) => {
+                match s.site {
+                    FaultSite::RowDecoder(f) => {
+                        self.row_fault = Some(
+                            self.row
+                                .signal_for(&f)
+                                .unwrap_or_else(|| panic!("no gate-level site for {f:?}")),
+                        );
+                    }
+                    FaultSite::ColDecoder(f) => {
+                        self.col_fault = Some(
+                            self.col
+                                .signal_for(&f)
+                                .unwrap_or_else(|| panic!("no gate-level site for {f:?}")),
+                        );
+                    }
+                    other => panic!("gate-level backend cannot inject {other:?}"),
+                }
+                assert!(
+                    !matches!(s.process, FaultProcess::Coupling { .. }),
+                    "gate-level backend cannot realise coupling processes"
                 );
+                self.process = s.process;
             }
-            Some(FaultSite::ColDecoder(f)) => {
-                self.col_fault = Some(
-                    self.col
-                        .signal_for(&f)
-                        .unwrap_or_else(|| panic!("no gate-level site for {f:?}")),
-                );
-            }
-            Some(other) => panic!("gate-level backend cannot inject {other:?}"),
         }
     }
 
     fn step(&mut self, op: Op) -> CycleObservation {
         let (rv, cv) = self.split(op.addr());
-        self.observe(
-            self.row.flags(rv, self.row_fault),
-            self.col.flags(cv, self.col_fault),
-        )
+        let (rf, cf) = if self.active_at(self.cycle) {
+            (self.row_fault, self.col_fault)
+        } else {
+            (None, None)
+        };
+        self.cycle += 1;
+        self.observe(self.row.flags(rv, rf), self.col.flags(cv, cf))
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        self.cycle = self.cycle.saturating_add(cycles);
     }
 
     fn prefers_batching(&self) -> bool {
         true
     }
 
-    /// Bit-parallel burst: the checking path is combinational, so 64
-    /// cycles collapse into one [`Netlist::eval64`] sweep per decoder.
+    /// Bit-parallel burst: the checking path is combinational, so up to
+    /// 64 cycles collapse into one [`Netlist::eval64`] sweep per decoder.
+    /// Bursts split at activation-window boundaries, so a temporal
+    /// process (delayed onset, transient glitch, intermittent duty
+    /// cycle) is honoured bit-exactly by the batched path.
     fn step_many(&mut self, ops: &[Op]) -> Vec<CycleObservation> {
         let mut out = Vec::with_capacity(ops.len());
-        for chunk in ops.chunks(64) {
+        let mut i = 0usize;
+        while i < ops.len() {
+            let active = self.active_at(self.cycle);
+            let mut len = 1usize;
+            while len < 64
+                && i + len < ops.len()
+                && self.active_at(self.cycle + len as u64) == active
+            {
+                len += 1;
+            }
+            let chunk = &ops[i..i + len];
             let (rvs, cvs): (Vec<u64>, Vec<u64>) =
                 chunk.iter().map(|op| self.split(op.addr())).unzip();
-            let row_flags = self.row.flags_batch(&rvs, self.row_fault);
-            let col_flags = self.col.flags_batch(&cvs, self.col_fault);
+            let (rf, cf) = if active {
+                (self.row_fault, self.col_fault)
+            } else {
+                (None, None)
+            };
+            let row_flags = self.row.flags_batch(&rvs, rf);
+            let col_flags = self.col.flags_batch(&cvs, cf);
             for (r, c) in row_flags.into_iter().zip(col_flags) {
                 out.push(self.observe(r, c));
             }
+            self.cycle += len as u64;
+            i += len;
         }
         out
     }
@@ -408,6 +599,7 @@ impl FaultSimBackend for GateLevelBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::CouplingKind;
     use scm_area::RamOrganization;
 
     fn config() -> RamConfig {
@@ -431,7 +623,7 @@ mod tests {
     fn behavioral_reset_restores_prefill() {
         let mut b = BehavioralBackend::prefilled(&config(), 7);
         let before = b.faulty().read(5).data;
-        b.reset(Some(FaultSite::DataRegisterBit {
+        b.reset_site(Some(FaultSite::DataRegisterBit {
             bit: 0,
             stuck: true,
         }));
@@ -445,17 +637,23 @@ mod tests {
     fn gate_backend_supports_exactly_decoder_faults() {
         let backend = GateLevelBackend::try_new(&config()).unwrap();
         for site in all_decoder_faults() {
-            assert!(backend.supports(&site), "{site:?}");
+            assert!(backend.supports(&site.into()), "{site:?}");
         }
-        assert!(!backend.supports(&FaultSite::Cell {
-            row: 0,
-            col: 0,
-            stuck: true
-        }));
-        assert!(!backend.supports(&FaultSite::DataRegisterBit {
-            bit: 0,
-            stuck: false
-        }));
+        assert!(!backend.supports(
+            &FaultSite::Cell {
+                row: 0,
+                col: 0,
+                stuck: true
+            }
+            .into()
+        ));
+        assert!(!backend.supports(
+            &FaultSite::DataRegisterBit {
+                bit: 0,
+                stuck: false
+            }
+            .into()
+        ));
     }
 
     #[test]
@@ -472,10 +670,37 @@ mod tests {
         let mut backend = GateLevelBackend::try_new(&config()).unwrap();
         let ops: Vec<Op> = (0..64u64).chain(0..64).map(Op::Read).collect();
         for site in all_decoder_faults() {
-            backend.reset(Some(site));
+            backend.reset_site(Some(site));
             let batched = backend.step_many(&ops);
+            backend.reset_site(Some(site));
             let serial: Vec<CycleObservation> = ops.iter().map(|&op| backend.step(op)).collect();
             assert_eq!(batched, serial, "{site:?}");
+        }
+    }
+
+    #[test]
+    fn gate_step_many_honours_activation_windows() {
+        // Windows that straddle and subdivide the 64-lane bursts: the
+        // batched path must split at every boundary and agree with the
+        // serial loop bit-exactly.
+        let mut backend = GateLevelBackend::try_new(&config()).unwrap();
+        let ops: Vec<Op> = (0..64u64).chain(0..64).chain(0..32).map(Op::Read).collect();
+        let site = all_decoder_faults()[3];
+        for process in [
+            FaultProcess::Permanent { onset: 70 },
+            FaultProcess::TransientFlip { at: 65 },
+            FaultProcess::Intermittent {
+                onset: 3,
+                period: 7,
+                duty: 2,
+            },
+        ] {
+            let scenario = FaultScenario { site, process };
+            backend.reset(Some(&scenario));
+            let batched = backend.step_many(&ops);
+            backend.reset(Some(&scenario));
+            let serial: Vec<CycleObservation> = ops.iter().map(|&op| backend.step(op)).collect();
+            assert_eq!(batched, serial, "{scenario}");
         }
     }
 
@@ -485,8 +710,8 @@ mod tests {
         let mut gate = GateLevelBackend::try_new(&cfg).unwrap();
         let mut beh = BehavioralBackend::prefilled(&cfg, 99);
         for site in all_decoder_faults() {
-            gate.reset(Some(site));
-            beh.reset(Some(site));
+            gate.reset_site(Some(site));
+            beh.reset_site(Some(site));
             for addr in 0..64u64 {
                 let g = gate.step(Op::Read(addr));
                 let b = beh.step(Op::Read(addr));
@@ -500,6 +725,173 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn delayed_onset_pins_nothing_before_its_cycle() {
+        let cfg = config();
+        let site = FaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 5,
+            stuck_one: false,
+        });
+        let mut b = BehavioralBackend::prefilled(&cfg, 3);
+        b.reset(Some(&FaultScenario {
+            site,
+            process: FaultProcess::Permanent { onset: 4 },
+        }));
+        // Reading the stuck row before onset is clean; from onset the SA0
+        // collapse flags the same cycle.
+        for cycle in 0..8u64 {
+            let obs = b.step(Op::Read(5 * 4));
+            assert_eq!(obs.detected(), cycle >= 4, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn transient_cell_flip_corrupts_heals_on_detection_and_stays_healed() {
+        let cfg = config();
+        let mut b = BehavioralBackend::prefilled(&cfg, 11);
+        // Word (row 2, col-select 1): bit group 0 lives at physical
+        // column 0*4 + 1.
+        let addr = 2 * 4 + 1;
+        let clean = b.faulty().read(addr).data;
+        b.reset(Some(&FaultScenario::transient(
+            FaultSite::Cell {
+                row: 2,
+                col: 1,
+                stuck: false,
+            },
+            3,
+        )));
+        // Before the flip: differentially silent.
+        for _ in 0..3 {
+            let obs = b.step(Op::Read(addr));
+            assert_eq!(obs.erroneous, Some(false));
+            assert!(!obs.detected());
+        }
+        // The flip cycle: wrong data *and* a parity indication, which
+        // triggers detect-and-restore.
+        let obs = b.step(Op::Read(addr));
+        assert_eq!(obs.erroneous, Some(true));
+        assert!(obs.verdict.parity_error, "single-bit flip trips parity");
+        // Healed: the word matches the twin again, cycle by cycle.
+        for _ in 0..4 {
+            let obs = b.step(Op::Read(addr));
+            assert_eq!(obs.erroneous, Some(false));
+            assert!(!obs.detected());
+        }
+        assert_eq!(b.faulty().read(addr).data, clean);
+    }
+
+    #[test]
+    fn transient_flip_cleared_by_rewrite_without_any_read() {
+        let cfg = config();
+        let mut b = BehavioralBackend::prefilled(&cfg, 11);
+        let addr = 2 * 4 + 1;
+        b.reset(Some(&FaultScenario::transient(
+            FaultSite::Cell {
+                row: 2,
+                col: 1,
+                stuck: false,
+            },
+            0,
+        )));
+        let _ = b.step(Op::Write(addr, 0x5A));
+        let obs = b.step(Op::Read(addr));
+        assert_eq!(obs.erroneous, Some(false), "a rewrite clears the flip");
+        assert!(!obs.detected());
+    }
+
+    #[test]
+    fn intermittent_cell_flags_only_inside_active_windows() {
+        let cfg = config();
+        let mut b = BehavioralBackend::prefilled(&cfg, 5);
+        let addr = 2 * 4 + 1;
+        // Pick the polarity opposite to the stored bit so every active
+        // window genuinely corrupts the read.
+        let stored = b.faulty().read(addr).data & 1 == 1;
+        b.reset(Some(&FaultScenario {
+            site: FaultSite::Cell {
+                row: 2,
+                col: 1,
+                stuck: !stored,
+            },
+            process: FaultProcess::Intermittent {
+                onset: 2,
+                period: 4,
+                duty: 2,
+            },
+        }));
+        for cycle in 0..12u64 {
+            let obs = b.step(Op::Read(addr));
+            let active = cycle >= 2 && (cycle - 2) % 4 < 2;
+            assert_eq!(obs.detected(), active, "cycle {cycle}");
+            assert_eq!(obs.erroneous, Some(active), "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn coupling_victim_corrupts_on_aggressor_transition_only() {
+        let cfg = config();
+        let mut b = BehavioralBackend::prefilled(&cfg, 21);
+        // Victim word (row 1, col-select 0) bit 0 = physical col 0;
+        // aggressor word (row 3, col-select 2) bit 0 = physical col 2.
+        let victim_addr = 4;
+        let aggressor_addr = 3 * 4 + 2;
+        let scenario = FaultScenario {
+            site: FaultSite::Cell {
+                row: 1,
+                col: 0,
+                stuck: false,
+            },
+            process: FaultProcess::Coupling {
+                aggressor: CellRef { row: 3, col: 2 },
+                kind: CouplingKind::Inversion,
+            },
+        };
+        assert!(b.supports(&scenario));
+        b.reset(Some(&scenario));
+        let current = b.faulty().read(aggressor_addr).data;
+        let before = current & 1;
+        // Rewriting the aggressor's current value is not a transition.
+        let _ = b.step(Op::Write(aggressor_addr, current));
+        let obs = b.step(Op::Read(victim_addr));
+        assert_eq!(obs.erroneous, Some(false), "no transition, no corruption");
+        // A genuine transition flips the victim, caught by parity on the
+        // victim's next read (and then detect-and-restore heals it).
+        let _ = b.step(Op::Write(aggressor_addr, (before ^ 1) & 1));
+        let obs = b.step(Op::Read(victim_addr));
+        assert_eq!(obs.erroneous, Some(true));
+        assert!(obs.verdict.parity_error);
+        let obs = b.step(Op::Read(victim_addr));
+        assert_eq!(obs.erroneous, Some(false), "restored after detection");
+    }
+
+    #[test]
+    fn advance_keeps_the_activation_clock_global() {
+        let cfg = config();
+        let addr = 2 * 4 + 1;
+        let mut b = BehavioralBackend::prefilled(&cfg, 11);
+        b.reset(Some(&FaultScenario::transient(
+            FaultSite::Cell {
+                row: 2,
+                col: 1,
+                stuck: false,
+            },
+            10,
+        )));
+        // Five stepped cycles, five skipped: the flip instant (10) falls
+        // in the skipped window and must fire before the next read.
+        for _ in 0..5 {
+            let obs = b.step(Op::Read(addr));
+            assert!(!obs.detected());
+        }
+        b.advance(5);
+        assert_eq!(b.cycle(), 10);
+        let obs = b.step(Op::Read(addr));
+        assert_eq!(obs.erroneous, Some(true), "flip fired during the skip");
     }
 
     #[test]

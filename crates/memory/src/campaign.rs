@@ -16,7 +16,7 @@
 use crate::decoder_unit::{multilevel_blocks, DecoderFault};
 use crate::design::RamConfig;
 use crate::engine::CampaignEngine;
-use crate::fault::FaultSite;
+use crate::fault::{FaultProcess, FaultScenario, FaultSite};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -45,11 +45,14 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Aggregated result for one fault.
+/// Aggregated result for one fault scenario.
 #[derive(Debug, Clone)]
 pub struct FaultResult {
-    /// The injected fault.
+    /// The injected fault site.
     pub site: FaultSite,
+    /// The temporal process the site was driven by
+    /// ([`FaultProcess::PERMANENT`] for the classical grids).
+    pub process: FaultProcess,
     /// Trials run.
     pub trials: u32,
     /// Trials with no detection within the budget.
@@ -58,11 +61,24 @@ pub struct FaultResult {
     pub error_escapes: u32,
     /// Sum of detection cycles over detected trials (for means).
     pub detection_cycle_sum: u64,
+    /// Sum over detected trials of `detection − true onset`: the onset is
+    /// the silent-corruption instant for a transient flip, the first
+    /// erroneous output otherwise (the paper's definition, unchanged for
+    /// permanent faults).
+    pub onset_latency_sum: u64,
     /// Detected trials.
     pub detected: u32,
 }
 
 impl FaultResult {
+    /// The full scenario this row campaigned.
+    pub fn scenario(&self) -> FaultScenario {
+        FaultScenario {
+            site: self.site,
+            process: self.process,
+        }
+    }
+
     /// Empirical `Pndc`: fraction of trials not detected within budget.
     pub fn escape_fraction(&self) -> f64 {
         self.undetected as f64 / self.trials as f64
@@ -71,6 +87,46 @@ impl FaultResult {
     /// Mean cycles to detection over detected trials.
     pub fn mean_detection_cycle(&self) -> Option<f64> {
         (self.detected > 0).then(|| self.detection_cycle_sum as f64 / self.detected as f64)
+    }
+
+    /// Mean detection latency from true onset over detected trials.
+    pub fn mean_onset_latency(&self) -> Option<f64> {
+        (self.detected > 0).then(|| self.onset_latency_sum as f64 / self.detected as f64)
+    }
+}
+
+/// Per-process-class rollup of a campaign: how each temporal fault class
+/// fared, side by side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessClassSummary {
+    /// Scenarios of this class.
+    pub scenarios: usize,
+    /// Trials over all of them.
+    pub trials: u64,
+    /// Detected trials.
+    pub detected: u64,
+    /// Undetected trials (the escapes scrubbing exists to shrink).
+    pub undetected: u64,
+    /// Trials where an erroneous output escaped before detection.
+    pub error_escapes: u64,
+    /// Sum of onset-anchored detection latencies over detected trials.
+    pub onset_latency_sum: u64,
+}
+
+impl ProcessClassSummary {
+    /// Fraction of trials detected within the budget.
+    pub fn detected_fraction(&self) -> f64 {
+        self.detected as f64 / (self.trials.max(1)) as f64
+    }
+
+    /// Fraction of trials not detected within the budget.
+    pub fn escape_fraction(&self) -> f64 {
+        self.undetected as f64 / (self.trials.max(1)) as f64
+    }
+
+    /// Mean detection latency from true onset over detected trials.
+    pub fn mean_onset_latency(&self) -> Option<f64> {
+        (self.detected > 0).then(|| self.onset_latency_sum as f64 / self.detected as f64)
     }
 }
 
@@ -89,17 +145,19 @@ impl CampaignResult {
     /// campaign must produce equal profiles at any thread count; every
     /// determinism assertion (tests, `montecarlo_validation`) compares
     /// this one projection so the contract cannot drift across copies.
-    pub fn determinism_profile(&self) -> Vec<(FaultSite, u32, u32, u32, u32, u64)> {
+    #[allow(clippy::type_complexity)]
+    pub fn determinism_profile(&self) -> Vec<(FaultScenario, u32, u32, u32, u32, u64, u64)> {
         self.per_fault
             .iter()
             .map(|f| {
                 (
-                    f.site,
+                    f.scenario(),
                     f.trials,
                     f.undetected,
                     f.detected,
                     f.error_escapes,
                     f.detection_cycle_sum,
+                    f.onset_latency_sum,
                 )
             })
             .collect()
@@ -160,6 +218,29 @@ impl CampaignResult {
         }
         map
     }
+
+    /// Detection/escape splits aggregated by temporal process class —
+    /// the per-process view a mixed-scenario campaign reports.
+    pub fn by_process_class(&self) -> BTreeMap<&'static str, ProcessClassSummary> {
+        let mut map: BTreeMap<&'static str, ProcessClassSummary> = BTreeMap::new();
+        for f in &self.per_fault {
+            let e = map.entry(f.process.class()).or_insert(ProcessClassSummary {
+                scenarios: 0,
+                trials: 0,
+                detected: 0,
+                undetected: 0,
+                error_escapes: 0,
+                onset_latency_sum: 0,
+            });
+            e.scenarios += 1;
+            e.trials += f.trials as u64;
+            e.detected += f.detected as u64;
+            e.undetected += f.undetected as u64;
+            e.error_escapes += f.error_escapes as u64;
+            e.onset_latency_sum += f.onset_latency_sum;
+        }
+        map
+    }
 }
 
 /// Every stuck-at fault of a multilevel decoder with `n` inputs, in block
@@ -197,7 +278,7 @@ pub fn standard_fault_universe(config: &RamConfig, samples: usize, seed: u64) ->
         }
     }
     let rows = org.rows() as usize;
-    let cols = ((org.word_bits() + 1) * org.mux_factor()) as usize;
+    let cols = org.physical_cols() as usize;
     for _ in 0..samples {
         faults.push(FaultSite::Cell {
             row: rng.gen_range(0..rows),
@@ -214,6 +295,79 @@ pub fn standard_fault_universe(config: &RamConfig, samples: usize, seed: u64) ->
         });
     }
     faults
+}
+
+/// A sampled transient-SEU universe: `samples` one-shot cell flips with
+/// seed-pure targets and strike cycles drawn uniformly from the first
+/// half of `horizon` (so detection within the horizon is possible at
+/// all). Pure in `(config, samples, horizon, seed)`.
+pub fn transient_universe(
+    config: &RamConfig,
+    samples: usize,
+    horizon: u64,
+    seed: u64,
+) -> Vec<FaultScenario> {
+    let org = config.org();
+    let rows = org.rows() as usize;
+    let cols = org.physical_cols() as usize;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5E05);
+    let window = (horizon / 2).max(1);
+    (0..samples)
+        .map(|_| {
+            FaultScenario::transient(
+                FaultSite::Cell {
+                    row: rng.gen_range(0..rows),
+                    col: rng.gen_range(0..cols),
+                    stuck: false, // a flip has no polarity; the field is inert
+                },
+                rng.gen_range(0..window),
+            )
+        })
+        .collect()
+}
+
+/// An intermittent decoder universe: every row-decoder fault driven by a
+/// duty-cycled window whose phase is seed-pure per fault. Pure in
+/// `(config, period, duty, seed)`.
+pub fn intermittent_universe(
+    config: &RamConfig,
+    period: u64,
+    duty: u64,
+    seed: u64,
+) -> Vec<FaultScenario> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x17E2);
+    decoder_fault_universe(config.org().row_bits())
+        .into_iter()
+        .map(|f| FaultScenario {
+            site: FaultSite::RowDecoder(f),
+            process: FaultProcess::Intermittent {
+                onset: rng.gen_range(0..period.max(1)),
+                period,
+                duty,
+            },
+        })
+        .collect()
+}
+
+/// The standard mixed temporal universe: permanent decoder faults,
+/// transient cell flips and intermittent decoder contacts side by side —
+/// the fault-type diversity Papadopoulos et al. argue detection schemes
+/// must be graded against.
+pub fn mixed_universe(
+    config: &RamConfig,
+    samples: usize,
+    horizon: u64,
+    seed: u64,
+) -> Vec<FaultScenario> {
+    let mut universe: Vec<FaultScenario> = decoder_fault_universe(config.org().row_bits())
+        .into_iter()
+        .map(|f| FaultScenario::permanent(FaultSite::RowDecoder(f)))
+        .collect();
+    universe.extend(transient_universe(config, samples, horizon, seed));
+    let intermittent = intermittent_universe(config, 8, 2, seed);
+    let stride = (intermittent.len() / samples.max(1)).max(1);
+    universe.extend(intermittent.into_iter().step_by(stride).take(samples));
+    universe
 }
 
 /// Run a campaign over the given fault universe on the ambient rayon

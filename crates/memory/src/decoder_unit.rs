@@ -40,7 +40,7 @@ pub fn multilevel_blocks(n: u32) -> Vec<(u32, u32)> {
 }
 
 /// An injected decoder fault in block terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DecoderFault {
     /// Bits decoded by the struck block (`i`).
     pub bits: u32,

@@ -16,7 +16,7 @@
 
 use crate::array::CellArray;
 use crate::decoder_unit::{ActiveLines, BehavioralDecoder};
-use crate::fault::FaultSite;
+use crate::fault::{CellRef, CouplingKind, FaultSite};
 use scm_area::RamOrganization;
 use scm_codes::selection::CodePlan;
 use scm_codes::{CodeError, CodewordMap};
@@ -136,16 +136,14 @@ pub struct SelfCheckingRam {
     row_rom: RomMatrix,
     col_rom: RomMatrix,
     fault: Option<FaultSite>,
+    coupling: Option<(CellRef, CellRef, CouplingKind)>,
 }
 
 impl SelfCheckingRam {
     /// Build a fault-free RAM (all cells zero — callers usually prefill).
     pub fn new(config: RamConfig) -> Self {
         let org = config.org();
-        let array = CellArray::new(
-            org.rows() as usize,
-            ((org.word_bits() + 1) * org.mux_factor()) as usize,
-        );
+        let array = CellArray::new(org.rows() as usize, org.physical_cols() as usize);
         let row_dec = BehavioralDecoder::new(org.row_bits());
         let col_dec = BehavioralDecoder::new(org.col_bits().max(1));
         let row_rom = RomMatrix::from_map(config.row_map());
@@ -158,6 +156,7 @@ impl SelfCheckingRam {
             row_rom,
             col_rom,
             fault: None,
+            coupling: None,
         }
     }
 
@@ -216,17 +215,81 @@ impl SelfCheckingRam {
         self.fault = Some(fault);
     }
 
-    /// Remove the injected fault.
+    /// Remove the injected fault (and any coupling defect).
     pub fn clear_fault(&mut self) {
         self.array.clear_faults();
         self.row_dec.clear_fault();
         self.col_dec.clear_fault();
         self.fault = None;
+        self.coupling = None;
     }
 
     /// The injected fault, if any.
     pub fn fault(&self) -> Option<FaultSite> {
         self.fault
+    }
+
+    /// Install a coupling defect: every write transition of `aggressor`
+    /// corrupts `victim` per `kind`. Replaces any pinned fault — the
+    /// single-fault assumption holds across fault kinds.
+    ///
+    /// # Panics
+    /// Panics if either coordinate is outside the array.
+    pub fn inject_coupling(&mut self, victim: CellRef, aggressor: CellRef, kind: CouplingKind) {
+        self.clear_fault();
+        let (rows, cols) = (self.array.rows(), self.array.cols());
+        assert!(
+            victim.row < rows && victim.col < cols,
+            "coupling victim ({}, {}) out of range",
+            victim.row,
+            victim.col
+        );
+        assert!(
+            aggressor.row < rows && aggressor.col < cols,
+            "coupling aggressor ({}, {}) out of range",
+            aggressor.row,
+            aggressor.col
+        );
+        assert!(
+            victim != aggressor,
+            "a cell cannot couple to itself ({}, {})",
+            victim.row,
+            victim.col
+        );
+        self.coupling = Some((victim, aggressor, kind));
+    }
+
+    /// Flip one stored bit in place — the realisation of a one-shot soft
+    /// error ([`crate::fault::FaultProcess::TransientFlip`]) on a storage
+    /// cell: pure state corruption, cleared by any later rewrite.
+    ///
+    /// # Panics
+    /// Panics on out-of-range coordinates.
+    pub fn flip_cell(&mut self, row: usize, col: usize) {
+        let v = self.array.get(row, col);
+        self.array.set(row, col, !v);
+    }
+
+    /// Copy the stored word (data and parity cells) at `addr` from
+    /// `reference` — the detect-and-restore step the behavioural model
+    /// uses to heal state-resident corruption once an indication fires.
+    ///
+    /// # Panics
+    /// Panics if the two designs disagree on geometry or `addr` is out of
+    /// range.
+    pub fn restore_word_from(&mut self, reference: &SelfCheckingRam, addr: u64) {
+        let org = self.config.org();
+        assert_eq!(
+            org.words(),
+            reference.config.org().words(),
+            "geometry mismatch between design and reference"
+        );
+        let (rv, cv) = self.split(addr);
+        for k in 0..=org.word_bits() {
+            let col = self.physical_col(k, cv);
+            self.array
+                .set(rv as usize, col, reference.array.get(rv as usize, col));
+        }
     }
 
     /// Split an address into `(row_value, col_value)`.
@@ -299,14 +362,36 @@ impl SelfCheckingRam {
         let rows = self.row_dec.decode(rv);
         let cols = self.col_dec.decode(cv);
         let parity = data.count_ones() % 2 == 1; // even-parity check bit
+        let coupling = self.coupling;
+        let mut aggressor_toggled = false;
         for row in rows.iter() {
             for col_sel in cols.iter() {
-                for k in 0..m {
+                for k in 0..=m {
                     let col = self.physical_col(k, col_sel);
-                    self.array.set(row as usize, col, data >> k & 1 == 1);
+                    let value = if k == m { parity } else { data >> k & 1 == 1 };
+                    if let Some((_, agg, _)) = coupling {
+                        if agg.row == row as usize
+                            && agg.col == col
+                            && self.array.get(agg.row, agg.col) != value
+                        {
+                            aggressor_toggled = true;
+                        }
+                    }
+                    self.array.set(row as usize, col, value);
                 }
-                let pcol = self.physical_col(m, col_sel);
-                self.array.set(row as usize, pcol, parity);
+            }
+        }
+        // Coupling acts after the write settles: an aggressor transition
+        // corrupts the victim even when the same word write just stored
+        // the victim's cell.
+        if aggressor_toggled {
+            if let Some((victim, _, kind)) = coupling {
+                match kind {
+                    CouplingKind::Inversion => self.flip_cell(victim.row, victim.col),
+                    CouplingKind::Idempotent { value } => {
+                        self.array.set(victim.row, victim.col, value)
+                    }
+                }
             }
         }
         self.check_decoders(rows, cols)

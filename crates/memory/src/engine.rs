@@ -24,9 +24,11 @@
 use crate::backend::{BehavioralBackend, FaultSimBackend};
 use crate::campaign::{CampaignConfig, CampaignResult, FaultResult};
 use crate::design::RamConfig;
-use crate::fault::FaultSite;
+use crate::fault::{FaultScenario, FaultSite};
 use crate::sim::measure_detection_on;
-use crate::workload::{AddressPattern, FixedPattern, UniformRandom, WorkloadModel, WorkloadSpec};
+use crate::workload::{
+    AddressPattern, FixedPattern, ScrubInterleaver, UniformRandom, WorkloadModel, WorkloadSpec,
+};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -44,17 +46,29 @@ pub struct CampaignEngine {
     campaign: CampaignConfig,
     model: Arc<dyn WorkloadModel>,
     threads: usize,
+    scrub_period: u64,
 }
 
 impl CampaignEngine {
     /// Engine with the given campaign parameters, the paper's uniform
-    /// workload model, and the ambient rayon thread count.
+    /// workload model, no scrubbing, and the ambient rayon thread count.
     pub fn new(campaign: CampaignConfig) -> Self {
         CampaignEngine {
             campaign,
             model: Arc::new(UniformRandom),
             threads: 0,
+            scrub_period: 0,
         }
+    }
+
+    /// Merge a background scrubber into every trial's stream: each
+    /// `period`-th cycle becomes a sequential sweep read
+    /// ([`ScrubInterleaver`]; `0` = off, the default — bit-identical to
+    /// the unscrubbed engine). Against transient flips this is the knob
+    /// that turns "maybe never read" into "read within one sweep".
+    pub fn scrub(mut self, period: u64) -> Self {
+        self.scrub_period = period;
+        self
     }
 
     /// Override the workload's address pattern (legacy convenience for the
@@ -103,13 +117,25 @@ impl CampaignEngine {
     }
 
     /// Run over the behavioural backend with the campaign convention's
-    /// random prefill (the classic `run_campaign` entry point).
+    /// random prefill (the classic `run_campaign` entry point; every
+    /// fault pinned from cycle 0).
     pub fn run(&self, config: &RamConfig, faults: &[FaultSite]) -> CampaignResult {
-        let backend = BehavioralBackend::prefilled(config, self.campaign.seed ^ 0xF1E1D1);
-        self.run_on(&backend, faults)
+        let scenarios: Vec<FaultScenario> = faults
+            .iter()
+            .copied()
+            .map(FaultScenario::permanent)
+            .collect();
+        self.run_scenarios(config, &scenarios)
     }
 
-    /// Run the full grid on clones of `backend`.
+    /// Run a temporal-scenario grid over the behavioural backend with the
+    /// campaign convention's random prefill.
+    pub fn run_scenarios(&self, config: &RamConfig, scenarios: &[FaultScenario]) -> CampaignResult {
+        let backend = BehavioralBackend::prefilled(config, self.campaign.seed ^ 0xF1E1D1);
+        self.run_scenarios_on(&backend, scenarios)
+    }
+
+    /// Run the classical permanent grid on clones of `backend`.
     ///
     /// # Panics
     /// Panics if `backend` does not [support](FaultSimBackend::supports)
@@ -118,14 +144,31 @@ impl CampaignEngine {
     where
         B: FaultSimBackend + Clone + Send + Sync,
     {
-        if let Some(bad) = faults.iter().find(|site| !backend.supports(site)) {
+        let scenarios: Vec<FaultScenario> = faults
+            .iter()
+            .copied()
+            .map(FaultScenario::permanent)
+            .collect();
+        self.run_scenarios_on(backend, &scenarios)
+    }
+
+    /// Run the full scenario × trial grid on clones of `backend`.
+    ///
+    /// # Panics
+    /// Panics if `backend` does not [support](FaultSimBackend::supports)
+    /// one of the scenarios.
+    pub fn run_scenarios_on<B>(&self, backend: &B, scenarios: &[FaultScenario]) -> CampaignResult
+    where
+        B: FaultSimBackend + Clone + Send + Sync,
+    {
+        if let Some(bad) = scenarios.iter().find(|s| !backend.supports(s)) {
             panic!("backend '{}' cannot inject {bad:?}", backend.name());
         }
-        let blocks = self.decompose(faults.len());
+        let blocks = self.decompose(scenarios.len());
         let dispatch = || -> Vec<FaultResult> {
             blocks
                 .par_iter()
-                .map(|block| self.run_block(backend.clone(), faults[block.fidx], *block))
+                .map(|block| self.run_block(backend.clone(), scenarios[block.fidx], *block))
                 .collect()
         };
         let partials: Vec<FaultResult> = if self.threads == 0 {
@@ -140,7 +183,7 @@ impl CampaignEngine {
         };
         // Blocks are generated fault-major and collected in input order, so
         // each fault's partials are adjacent; fold them back together.
-        let mut per_fault: Vec<FaultResult> = Vec::with_capacity(faults.len());
+        let mut per_fault: Vec<FaultResult> = Vec::with_capacity(scenarios.len());
         let mut last_fidx = usize::MAX;
         for (block, partial) in blocks.iter().zip(partials) {
             if block.fidx == last_fidx {
@@ -149,13 +192,14 @@ impl CampaignEngine {
                 acc.undetected += partial.undetected;
                 acc.error_escapes += partial.error_escapes;
                 acc.detection_cycle_sum += partial.detection_cycle_sum;
+                acc.onset_latency_sum += partial.onset_latency_sum;
                 acc.detected += partial.detected;
             } else {
                 per_fault.push(partial);
                 last_fidx = block.fidx;
             }
         }
-        debug_assert_eq!(per_fault.len(), faults.len());
+        debug_assert_eq!(per_fault.len(), scenarios.len());
         CampaignResult {
             per_fault,
             config: self.campaign,
@@ -209,16 +253,18 @@ impl CampaignEngine {
     fn run_block<B: FaultSimBackend>(
         &self,
         mut backend: B,
-        site: FaultSite,
+        scenario: FaultScenario,
         block: TrialBlock,
     ) -> FaultResult {
         let org = backend.config().org();
         let mut result = FaultResult {
-            site,
+            site: scenario.site,
+            process: scenario.process,
             trials: block.trial_end - block.trial_start,
             undetected: 0,
             error_escapes: 0,
             detection_cycle_sum: 0,
+            onset_latency_sum: 0,
             detected: 0,
         };
         let spec = WorkloadSpec {
@@ -227,13 +273,30 @@ impl CampaignEngine {
             write_fraction: self.campaign.write_fraction,
         };
         for trial in block.trial_start..block.trial_end {
-            backend.reset(Some(site));
-            let mut workload = self.model.stream(spec, self.trial_seed(block.fidx, trial));
-            let out = measure_detection_on(&mut backend, workload.as_mut(), self.campaign.cycles);
+            backend.reset(Some(&scenario));
+            let workload = self.model.stream(spec, self.trial_seed(block.fidx, trial));
+            let out = if self.scrub_period > 0 {
+                let mut scrubbed = ScrubInterleaver::new(workload, self.scrub_period, org.words());
+                measure_detection_on(&mut backend, &mut scrubbed, self.campaign.cycles)
+            } else {
+                let mut workload = workload;
+                measure_detection_on(&mut backend, workload.as_mut(), self.campaign.cycles)
+            };
             match out.first_detection {
                 Some(d) => {
                     result.detected += 1;
                     result.detection_cycle_sum += d;
+                    // Latency from *true* onset: the silent-corruption
+                    // instant when the process has one (a transient
+                    // flip), the first erroneous output otherwise —
+                    // exactly the paper's definition for permanents.
+                    let onset = scenario
+                        .process
+                        .corruption_onset()
+                        .map(|a| a.min(out.first_error.unwrap_or(d)))
+                        .unwrap_or_else(|| out.first_error.unwrap_or(d))
+                        .min(d);
+                    result.onset_latency_sum += d - onset;
                 }
                 None => result.undetected += 1,
             }

@@ -54,6 +54,32 @@ pub fn summary(result: &CampaignResult) -> String {
         result.never_detected_fraction()
     )
     .unwrap();
+    // The temporal split only appears for mixed-process campaigns, so
+    // classical permanent-only output stays byte-stable.
+    let processes = result.by_process_class();
+    if processes.len() > 1 {
+        writeln!(out).unwrap();
+        writeln!(
+            out,
+            "{:<14} | {:>9} | {:>9} | {:>9} | {:>12}",
+            "process", "scenarios", "detected", "escaped", "onset latency"
+        )
+        .unwrap();
+        writeln!(out, "{}", "-".repeat(66)).unwrap();
+        for (class, s) in processes {
+            writeln!(
+                out,
+                "{class:<14} | {:>9} | {:>9.4} | {:>9.4} | {:>13}",
+                s.scenarios,
+                s.detected_fraction(),
+                s.escape_fraction(),
+                s.mean_onset_latency()
+                    .map(|m| format!("{m:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+            )
+            .unwrap();
+        }
+    }
     out
 }
 
@@ -63,18 +89,20 @@ pub fn worst_offenders(result: &CampaignResult, k: usize) -> String {
     let mut ranked: Vec<_> = result.per_fault.iter().collect();
     ranked.sort_by(|a, b| b.escape_fraction().total_cmp(&a.escape_fraction()));
     let mut out = String::new();
+    // Sized for scenario spellings: a decoder site plus a temporal tag
+    // (e.g. "… stuck-at-0 [intermittent from 3, 2/8]") runs ~70 chars.
     writeln!(
         out,
-        "{:<44} | {:>8} | {:>10}",
+        "{:<70} | {:>8} | {:>10}",
         "fault", "escape", "mean det."
     )
     .unwrap();
-    writeln!(out, "{}", "-".repeat(70)).unwrap();
+    writeln!(out, "{}", "-".repeat(96)).unwrap();
     for f in ranked.into_iter().take(k) {
         writeln!(
             out,
-            "{:<44} | {:>8.4} | {:>10}",
-            format!("{:?}", f.site),
+            "{:<70} | {:>8.4} | {:>10}",
+            f.scenario().to_string(),
             f.escape_fraction(),
             f.mean_detection_cycle()
                 .map(|m| format!("{m:.1}"))

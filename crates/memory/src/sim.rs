@@ -156,15 +156,24 @@ pub fn measure_detection(
         fn config(&self) -> &crate::design::RamConfig {
             self.faulty.config()
         }
-        fn supports(&self, _site: &crate::fault::FaultSite) -> bool {
-            true
+        fn supports(&self, scenario: &crate::fault::FaultScenario) -> bool {
+            // The borrowed pair has no activation clock of its own: only
+            // the classical injected-at-reset model is realisable.
+            matches!(
+                scenario.process,
+                crate::fault::FaultProcess::Permanent { onset: 0 }
+            )
         }
-        fn reset(&mut self, fault: Option<crate::fault::FaultSite>) {
+        fn reset(&mut self, scenario: Option<&crate::fault::FaultScenario>) {
             // The borrowed pair owns no pristine copy: callers prepared the
             // memory state; only the injected fault is resettable.
             self.faulty.clear_fault();
-            if let Some(site) = fault {
-                self.faulty.inject(site);
+            if let Some(s) = scenario {
+                assert!(
+                    self.supports(s),
+                    "the borrowed pair realises only permanent injected-at-reset faults"
+                );
+                self.faulty.inject(s.site);
             }
         }
         fn step(&mut self, op: Op) -> crate::backend::CycleObservation {
@@ -216,11 +225,11 @@ mod tests {
             fn config(&self) -> &RamConfig {
                 self.0.config()
             }
-            fn supports(&self, site: &FaultSite) -> bool {
-                self.0.supports(site)
+            fn supports(&self, scenario: &crate::fault::FaultScenario) -> bool {
+                self.0.supports(scenario)
             }
-            fn reset(&mut self, fault: Option<FaultSite>) {
-                self.0.reset(fault)
+            fn reset(&mut self, scenario: Option<&crate::fault::FaultScenario>) {
+                self.0.reset(scenario)
             }
             fn step(&mut self, op: crate::workload::Op) -> CycleObservation {
                 self.0.step(op)
@@ -233,9 +242,10 @@ mod tests {
             let site = FaultSite::RowDecoder(fault);
             // Cycle counts straddling the 64-lane burst boundary.
             for cycles in [1u64, 63, 64, 65, 200] {
-                gate.reset(Some(site));
+                gate.reset_site(Some(site));
                 let mut w = Workload::uniform(64, 8, 17);
                 let batched = measure_detection_on(&mut gate, &mut w, cycles);
+                gate.reset_site(Some(site));
                 let mut w = Workload::uniform(64, 8, 17);
                 let serial = measure_detection_on(&mut Serial(&mut gate), &mut w, cycles);
                 assert_eq!(batched, serial, "{site:?} over {cycles} cycles");

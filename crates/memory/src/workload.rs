@@ -390,6 +390,52 @@ impl WorkloadModel for WriteMostly {
     }
 }
 
+/// A background scrubber merged into an operation stream: every
+/// `period`-th cycle is claimed by a sequential sweep read (slots sit at
+/// the end of each period, mirroring the system layer's
+/// `ScrubSchedule`), all other cycles drain the wrapped source. This is
+/// the single-memory analogue of the system clock's scrub slots — the
+/// mechanism that turns a one-shot transient flip from
+/// "maybe-never-read" into "read within one sweep".
+#[derive(Debug)]
+pub struct ScrubInterleaver<S> {
+    inner: S,
+    period: u64,
+    words: u64,
+    next_addr: u64,
+    cycle: u64,
+}
+
+impl<S: OpSource> ScrubInterleaver<S> {
+    /// Wrap `inner`, claiming every `period`-th cycle for a sweep read
+    /// over `words` addresses (`period = 0` disables scrubbing — the
+    /// wrapper becomes transparent).
+    pub fn new(inner: S, period: u64, words: u64) -> Self {
+        assert!(words > 0, "empty memory");
+        ScrubInterleaver {
+            inner,
+            period,
+            words,
+            next_addr: 0,
+            cycle: 0,
+        }
+    }
+}
+
+impl<S: OpSource> OpSource for ScrubInterleaver<S> {
+    fn next_op(&mut self) -> Op {
+        let cycle = self.cycle;
+        self.cycle += 1;
+        if self.period > 0 && (cycle + 1).is_multiple_of(self.period) {
+            let addr = self.next_addr;
+            self.next_addr = (addr + 1) % self.words;
+            Op::Read(addr)
+        } else {
+            self.inner.next_op()
+        }
+    }
+}
+
 fn word_mask(word_bits: u32) -> u64 {
     if word_bits >= 64 {
         u64::MAX
@@ -587,6 +633,22 @@ mod tests {
             seen.insert(s.next_op().addr());
         }
         assert_eq!(seen.len(), 8, "skewed, not truncated: {seen:?}");
+    }
+
+    #[test]
+    fn scrub_interleaver_claims_exactly_the_period_slots() {
+        let inner = Workload::new(AddressPattern::Sequential, 100, 8, 0.0, 0);
+        let mut s = ScrubInterleaver::new(inner, 4, 6);
+        let ops: Vec<Op> = (0..12).map(|_| s.next_op()).collect();
+        // Slots at cycles 3, 7, 11 sweep 0, 1, 2; other cycles drain the
+        // sequential mission stream 0, 1, 2, ...
+        let addrs: Vec<u64> = ops.iter().map(Op::addr).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 0, 3, 4, 5, 1, 6, 7, 8, 2]);
+        // Period 0 is transparent.
+        let inner = Workload::new(AddressPattern::Sequential, 100, 8, 0.0, 0);
+        let mut s = ScrubInterleaver::new(inner, 0, 6);
+        let addrs: Vec<u64> = (0..5).map(|_| s.next_op().addr()).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -328,7 +328,7 @@ impl DiagCampaign {
                     .collect();
             sites.extend(subsample(&decoders, max_decoder_per_bank));
             for (index, site) in sites.into_iter().enumerate() {
-                universe.push(SystemFault { bank, index, site });
+                universe.push(SystemFault::permanent(bank, index, site));
             }
         }
         universe
@@ -377,6 +377,20 @@ impl DiagCampaign {
                 "fault targets bank {} of a {}-bank system",
                 bad.bank,
                 self.system.num_banks()
+            );
+        }
+        // Diagnosis sessions roll banks back to the recovery image, which
+        // restarts a backend's activation clock: the scheduler is only
+        // sound for the classical injected-at-reset model. Transient
+        // indications are triaged at the memory level instead
+        // (`scm_diag::triage_session`'s repeat-and-compare policy).
+        if let Some(bad) = universe
+            .iter()
+            .find(|f| f.process != scm_memory::fault::FaultProcess::PERMANENT)
+        {
+            panic!(
+                "DiagCampaign schedules only permanent faults; got {}",
+                bad.scenario()
             );
         }
         let template = MemorySystem::new(self.system.clone(), self.campaign.seed);
@@ -442,7 +456,7 @@ impl DiagCampaign {
                 post_repair_indications: 0,
                 rr_bank: 0,
             };
-            trial_run.plain.reset(Some(fault.site));
+            trial_run.plain.reset_site(Some(fault.site));
             trial_run.run();
             let horizon = self.campaign.cycles;
             match trial_run.detected_at {
@@ -531,8 +545,8 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
     fn rollback(&mut self) {
         let site = Some(self.fault.site);
         match &mut self.repaired {
-            Some(ram) => ram.reset(site),
-            None => self.plain.reset(site),
+            Some(ram) => ram.reset_site(site),
+            None => self.plain.reset_site(site),
         }
     }
 
@@ -640,7 +654,7 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
                 bank_prefill_seed(engine.campaign.seed, self.fault.bank),
                 self.allocator.plan().clone(),
             );
-            ram.reset(Some(self.fault.site));
+            ram.reset_site(Some(self.fault.site));
             self.repaired = Some(ram);
             self.repaired_at = Some(self.cycle);
         } else {
@@ -823,11 +837,7 @@ mod tests {
         };
         let session_len = policy.test.session_cycles(64);
         let engine = DiagCampaign::new(system, policy, campaign);
-        let universe = vec![SystemFault {
-            bank: 0,
-            index: 0,
-            site,
-        }];
+        let universe = vec![SystemFault::permanent(0, 0, site)];
         let result = engine.run(&universe);
         let f = &result.per_fault[0];
         assert!(f.detected > 0, "mission traffic must tickle the cell");

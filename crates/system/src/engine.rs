@@ -27,15 +27,17 @@
 //! changes nothing observable while cutting the work `N`-fold.
 
 use crate::clock::SystemClock;
+use crate::seu::SeuProcess;
 use crate::system::{MemorySystem, SystemConfig};
 use rayon::prelude::*;
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
 use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
-use scm_memory::fault::FaultSite;
+use scm_memory::fault::{FaultProcess, FaultScenario, FaultSite};
 use scm_memory::workload::{UniformRandom, WorkloadModel};
 use std::sync::Arc;
 
-/// One cell of the campaign universe: a fault in a specific bank.
+/// One cell of the campaign universe: a fault scenario in a specific
+/// bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemFault {
     /// Faulted bank.
@@ -44,8 +46,32 @@ pub struct SystemFault {
     /// it, so the pair `(bank, index)` — not list position — is the
     /// fault's identity).
     pub index: usize,
-    /// The injected fault.
+    /// The injected fault site.
     pub site: FaultSite,
+    /// The temporal process driving the site, indexed on the **global**
+    /// system clock ([`FaultProcess::PERMANENT`] for the classical
+    /// grids).
+    pub process: FaultProcess,
+}
+
+impl SystemFault {
+    /// A classical injected-at-reset fault in `bank`.
+    pub fn permanent(bank: usize, index: usize, site: FaultSite) -> Self {
+        SystemFault {
+            bank,
+            index,
+            site,
+            process: FaultProcess::PERMANENT,
+        }
+    }
+
+    /// The scenario a backend realises for this cell.
+    pub fn scenario(&self) -> FaultScenario {
+        FaultScenario {
+            site: self.site,
+            process: self.process,
+        }
+    }
 }
 
 /// Aggregated trial counters for one system fault.
@@ -133,14 +159,14 @@ impl SystemResult {
     #[allow(clippy::type_complexity)]
     pub fn determinism_profile(
         &self,
-    ) -> Vec<(usize, usize, FaultSite, u32, u32, u32, u64, u64, u64)> {
+    ) -> Vec<(usize, usize, FaultScenario, u32, u32, u32, u64, u64, u64)> {
         self.per_fault
             .iter()
             .map(|f| {
                 (
                     f.fault.bank,
                     f.fault.index,
-                    f.fault.site,
+                    f.fault.scenario(),
                     f.trials,
                     f.detected,
                     f.error_escapes,
@@ -295,7 +321,32 @@ impl SystemCampaign {
                 faults.len().div_ceil(max_per_bank)
             };
             for (index, site) in faults.into_iter().step_by(stride).enumerate() {
-                universe.push(SystemFault { bank, index, site });
+                universe.push(SystemFault::permanent(bank, index, site));
+            }
+        }
+        universe
+    }
+
+    /// A transient-SEU universe: `per_bank` one-shot cell flips per bank,
+    /// with strike cycles drawn from `seu`'s geometric inter-arrival
+    /// stream and targets seed-pure in `(campaign seed, bank, arrival
+    /// index)` — the stochastic arrival process the Aupy-style
+    /// checkpoint/lost-work accounting assumes. Universe order is
+    /// `(bank, arrival index)`.
+    pub fn seu_universe(&self, per_bank: usize, seu: &SeuProcess) -> Vec<SystemFault> {
+        let mut universe = Vec::with_capacity(self.system.num_banks() * per_bank);
+        for (bank, cfg) in self.system.banks.iter().enumerate() {
+            for (index, scenario) in seu
+                .scenarios(self.campaign.seed, bank, per_bank, cfg)
+                .into_iter()
+                .enumerate()
+            {
+                universe.push(SystemFault {
+                    bank,
+                    index,
+                    site: scenario.site,
+                    process: scenario.process,
+                });
             }
         }
         universe
@@ -434,9 +485,10 @@ impl SystemCampaign {
             lost_work_sum: 0,
         };
         let spec = self.system.workload_spec(self.campaign.write_fraction);
+        let scenario = fault.scenario();
         let mut backend: BehavioralBackend = template.banks()[fault.bank].clone();
         for trial in block.trial_start..block.trial_end {
-            backend.reset(Some(fault.site));
+            backend.reset(Some(&scenario));
             let traffic = self.model.stream(spec, self.trial_seed(fault, trial));
             let mut clock = SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
             let mut first_error: Option<u64> = None;
@@ -444,7 +496,12 @@ impl SystemCampaign {
             for cycle in 0..self.campaign.cycles {
                 let (bank, op) = clock.next_event().target();
                 if bank != fault.bank {
-                    continue; // fault-free banks are exactly silent
+                    // Fault-free banks are exactly silent, but the
+                    // faulted bank's temporal process rides the *global*
+                    // clock: an SEU strikes whether or not traffic is
+                    // routed to the bank that cycle.
+                    backend.advance(1);
+                    continue;
                 }
                 let obs = backend.step(op);
                 if obs.erroneous.unwrap_or(false) && first_error.is_none() {
@@ -459,11 +516,21 @@ impl SystemCampaign {
                 Some(d) => {
                     result.detected += 1;
                     result.detection_cycle_sum += d;
-                    let onset = first_error.unwrap_or(d);
+                    // The true onset: the silent-corruption instant when
+                    // the process has one (a transient strikes the cell
+                    // silently at its arrival cycle — the Aupy anchor),
+                    // the first erroneous output otherwise.
+                    let observed = first_error.unwrap_or(d);
+                    let onset = scenario
+                        .process
+                        .corruption_onset()
+                        .map(|a| a.min(observed))
+                        .unwrap_or(observed)
+                        .min(d);
                     result.latency_from_error_sum += d - onset;
                     let rollback = self.system.checkpoint.last_checkpoint_at_or_before(onset);
                     result.lost_work_sum += d - rollback + 1;
-                    if onset < d {
+                    if first_error.is_some_and(|e| e < d) {
                         result.error_escapes += 1;
                     }
                 }

@@ -60,6 +60,7 @@ pub mod diag;
 pub mod engine;
 pub mod interleave;
 pub mod report;
+pub mod seu;
 pub mod system;
 
 pub use clock::{CheckpointSchedule, ScrubSchedule, SystemClock, SystemEvent};
@@ -67,4 +68,5 @@ pub use diag::{DiagCampaign, DiagFaultResult, DiagPolicy, DiagSystemResult};
 pub use engine::{BankSummary, SystemCampaign, SystemFault, SystemFaultResult, SystemResult};
 pub use interleave::{Interleaver, Interleaving};
 pub use report::system_report;
+pub use seu::SeuProcess;
 pub use system::{seed_mix, MemorySystem, ServiceSummary, SystemConfig};

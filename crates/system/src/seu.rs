@@ -1,0 +1,187 @@
+//! Seed-pure single-event-upset arrivals on the system clock.
+//!
+//! The Aupy-style checkpoint/lost-work accounting the system campaign
+//! carries only becomes meaningful when silent errors *arrive during
+//! operation* with stochastic timing — a permanent fault injected at
+//! reset makes scrub period, checkpoint interval and detection latency
+//! degenerate to constants. This module supplies that arrival process:
+//! discrete geometric inter-arrival times (the memoryless discrete-time
+//! analogue of Poisson strikes) drawn by **inverse transform** from one
+//! uniform deviate per arrival, so every arrival is a pure function of
+//! `(seed, bank, arrival index)` — no stream state, no scheduling
+//! dependence, bit-identical at every thread count (test-enforced like
+//! the engines).
+
+use crate::system::seed_mix;
+use scm_memory::design::RamConfig;
+use scm_memory::fault::{FaultScenario, FaultSite};
+
+/// Domain-separation tag for SEU draws (distinct from prefill and
+/// traffic seeding).
+const SEU_TAG: u64 = 0x5E0_A001;
+
+/// A geometric SEU arrival process: strikes arrive with probability
+/// `1 / mean_interarrival` per system cycle, independently per bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeuProcess {
+    /// Mean cycles between strikes (must be ≥ 1).
+    pub mean_interarrival: f64,
+}
+
+impl SeuProcess {
+    /// A process with the given mean inter-arrival time in cycles.
+    ///
+    /// # Panics
+    /// Panics unless `mean_interarrival ≥ 1` (sub-cycle rates are not
+    /// representable on a one-op-per-cycle clock).
+    pub fn new(mean_interarrival: f64) -> Self {
+        assert!(
+            mean_interarrival >= 1.0,
+            "mean inter-arrival {mean_interarrival} must be at least one cycle"
+        );
+        SeuProcess { mean_interarrival }
+    }
+
+    /// One uniform deviate in `[0, 1)`, pure in its coordinates.
+    fn uniform(seed: u64, bank: usize, arrival: usize, lane: u64) -> f64 {
+        let z = seed_mix(seed ^ SEU_TAG, &[bank as u64, arrival as u64, lane]);
+        // 53 mantissa bits: the usual u64 → f64 uniform construction.
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The `arrival`-th inter-arrival gap (≥ 1 cycle) for `bank` —
+    /// inverse-transform geometric: `gap = ⌊ln(1−u)/ln(1−p)⌋ + 1`.
+    pub fn gap(&self, seed: u64, bank: usize, arrival: usize) -> u64 {
+        let p = (1.0 / self.mean_interarrival).clamp(f64::MIN_POSITIVE, 1.0);
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = Self::uniform(seed, bank, arrival, 0);
+        let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+        // ln(1-u) ≤ 0 and ln(1-p) < 0, so the ratio is ≥ 0 and finite
+        // for u < 1; clamp defends the u → 1 tail.
+        (gap.min(u64::MAX as f64 / 2.0) as u64) + 1
+    }
+
+    /// Absolute strike cycles of the first `count` arrivals for `bank`
+    /// (cumulative gaps; strictly increasing). Pure in
+    /// `(seed, bank, arrival index)` — arrival `k`'s time never depends
+    /// on how many arrivals were asked for.
+    pub fn arrival_cycles(&self, seed: u64, bank: usize, count: usize) -> Vec<u64> {
+        let mut t = 0u64;
+        (0..count)
+            .map(|k| {
+                t = t.saturating_add(self.gap(seed, bank, k));
+                t
+            })
+            .collect()
+    }
+
+    /// The full scenarios: arrival `k` strikes a seed-pure cell of
+    /// `bank`'s geometry at its arrival cycle (a one-shot
+    /// [`scm_memory::fault::FaultProcess::TransientFlip`]).
+    pub fn scenarios(
+        &self,
+        seed: u64,
+        bank: usize,
+        count: usize,
+        config: &RamConfig,
+    ) -> Vec<FaultScenario> {
+        let org = config.org();
+        let rows = org.rows();
+        let cols = org.physical_cols() as u64;
+        self.arrival_cycles(seed, bank, count)
+            .into_iter()
+            .enumerate()
+            .map(|(k, at)| {
+                let row = (Self::uniform(seed, bank, k, 1) * rows as f64) as u64 % rows;
+                let col = (Self::uniform(seed, bank, k, 2) * cols as f64) as u64 % cols;
+                FaultScenario::transient(
+                    FaultSite::Cell {
+                        row: row as usize,
+                        col: col as usize,
+                        stuck: false,
+                    },
+                    at,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+    use scm_memory::fault::FaultProcess;
+
+    fn config() -> RamConfig {
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    #[test]
+    fn arrivals_are_pure_and_prefix_stable() {
+        let p = SeuProcess::new(40.0);
+        let a = p.arrival_cycles(7, 1, 8);
+        let b = p.arrival_cycles(7, 1, 8);
+        assert_eq!(a, b, "pure in (seed, bank, index)");
+        // Asking for fewer arrivals yields the exact prefix.
+        assert_eq!(p.arrival_cycles(7, 1, 3), a[..3].to_vec());
+        // Strictly increasing, gaps ≥ 1.
+        for w in a.windows(2) {
+            assert!(w[1] > w[0], "{a:?}");
+        }
+        // Distinct banks and seeds draw distinct streams.
+        assert_ne!(p.arrival_cycles(7, 0, 8), a);
+        assert_ne!(p.arrival_cycles(8, 1, 8), a);
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_configured_rate() {
+        let p = SeuProcess::new(25.0);
+        let n = 4000usize;
+        let sum: u64 = (0..n).map(|k| p.gap(99, 0, k)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean - 25.0).abs() < 2.5,
+            "empirical mean gap {mean} vs configured 25"
+        );
+    }
+
+    #[test]
+    fn rate_one_strikes_every_cycle() {
+        let p = SeuProcess::new(1.0);
+        assert_eq!(p.arrival_cycles(3, 0, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scenarios_target_cells_in_range_at_their_arrival_cycles() {
+        let p = SeuProcess::new(30.0);
+        let cfg = config();
+        let scenarios = p.scenarios(11, 2, 16, &cfg);
+        let arrivals = p.arrival_cycles(11, 2, 16);
+        for (s, at) in scenarios.iter().zip(arrivals) {
+            let FaultSite::Cell { row, col, .. } = s.site else {
+                panic!("SEUs strike cells, got {}", s.site);
+            };
+            assert!(row < 16 && col < 36, "({row}, {col})");
+            assert_eq!(s.process, FaultProcess::TransientFlip { at });
+        }
+        // Targets vary (not all arrivals hit one cell).
+        let distinct: std::collections::HashSet<_> = scenarios.iter().map(|s| s.site).collect();
+        assert!(distinct.len() > 4, "{distinct:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn sub_cycle_rates_are_rejected() {
+        let _ = SeuProcess::new(0.5);
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example design_space`
 
-use scm_explore::{pareto_front, Adjudication, Evaluator, ExplorationSpace, ScrubPolicy};
+use scm_explore::{pareto_front, Adjudication, Evaluator, ExplorationSpace, FaultMix, ScrubPolicy};
 use self_checking_memory_repro::area::RamOrganization;
 use self_checking_memory_repro::codes::selection::SelectionPolicy;
 use self_checking_memory_repro::memory::campaign::CampaignConfig;
@@ -22,6 +22,7 @@ fn main() {
         banks: vec![1],
         checkpoints: vec![0],
         repairs: vec![scm_explore::RepairPolicy::OFF],
+        fault_mixes: vec![FaultMix::Permanent],
     };
 
     let evaluator = Evaluator::default().adjudicate(Adjudication {
@@ -32,6 +33,7 @@ fn main() {
             write_fraction: 0.1,
         },
         max_faults: 32,
+        scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
     });
 
     let evaluations: Vec<_> = evaluator

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut worst = 0u64;
         let trials = 40u64;
         for seed in 0..trials {
-            backend.reset(Some(fault));
+            backend.reset_site(Some(fault));
             let mut stream = model.stream(spec, seed);
             let out = measure_detection_on(&mut backend, stream.as_mut(), 10_000);
             if let Some(d) = out.first_detection {

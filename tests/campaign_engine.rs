@@ -120,9 +120,9 @@ fn behavioral_and_gate_backends_agree_on_decoder_verdicts() {
     let mut behavioral = BehavioralBackend::prefilled(&config, 0x5EED);
     let mut gate = GateLevelBackend::try_new(&config).expect("3-out-of-5 is constant weight");
     for site in decoder_faults() {
-        assert!(gate.supports(&site), "{site:?}");
-        behavioral.reset(Some(site));
-        gate.reset(Some(site));
+        assert!(gate.supports(&site.into()), "{site:?}");
+        behavioral.reset_site(Some(site));
+        gate.reset_site(Some(site));
         for addr in 0..64u64 {
             let b = behavioral.step(Op::Read(addr));
             let g = gate.step(Op::Read(addr));
@@ -178,7 +178,7 @@ fn gate_backend_batching_agrees_with_engine_serial_path() {
     let mut gate = GateLevelBackend::try_new(&config).unwrap();
     let ops: Vec<Op> = (0..200u64).map(|i| Op::Read(i % 64)).collect();
     for site in decoder_faults() {
-        gate.reset(Some(site));
+        gate.reset_site(Some(site));
         let batched = gate.step_many(&ops);
         let serial: Vec<_> = ops.iter().map(|&op| gate.step(op)).collect();
         assert_eq!(batched, serial, "{site:?}");

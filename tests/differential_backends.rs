@@ -21,7 +21,7 @@ use scm_codes::{CodewordMap, MOutOfN};
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend, GateLevelBackend};
 use scm_memory::campaign::decoder_fault_universe;
 use scm_memory::design::RamConfig;
-use scm_memory::fault::FaultSite;
+use scm_memory::fault::{FaultProcess, FaultScenario, FaultSite};
 use scm_memory::workload::{model_by_name, Op, WorkloadSpec, MODEL_NAMES};
 
 /// Constant-weight codes the gate-level checker generator can realise.
@@ -87,12 +87,12 @@ proptest! {
         );
 
         for (fidx, &site) in faults.iter().enumerate() {
-            prop_assert!(gate.supports(&site), "{site:?}");
+            prop_assert!(gate.supports(&site.into()), "{site:?}");
             for trial in 0..trials {
                 let mut stream = model.stream(spec, mix(seed, fidx, trial));
                 let ops: Vec<Op> = (0..16).map(|_| stream.next_op()).collect();
-                gate.reset(Some(site));
-                beh.reset(Some(site));
+                gate.reset_site(Some(site));
+                beh.reset_site(Some(site));
                 let mut first_gate = None;
                 let mut first_beh = None;
                 for (cycle, &op) in ops.iter().enumerate() {
@@ -125,6 +125,80 @@ proptest! {
                     "{:?} trial {}: detection outcome diverges",
                     site,
                     trial
+                );
+            }
+        }
+    }
+
+    /// The temporal axis of the oracle: both backends must realise the
+    /// same **activation windows** for any fault process on decoder
+    /// sites — delayed permanents, one-cycle transient glitches,
+    /// duty-cycled intermittents. The gate backend runs its batched
+    /// 64-lane path (which must split bursts at window boundaries), the
+    /// behavioural backend steps serially; code verdicts must agree
+    /// cycle by cycle regardless.
+    #[test]
+    fn prop_backends_agree_on_activation_windows(
+        row_bits in 3u32..=5,
+        mux_log in 1u32..=2,
+        a_idx in 0usize..MODULI.len(),
+        process_kind in 0usize..4,
+        t0 in 0u64..24,
+        period in 2u64..=6,
+        duty in 1u64..=3,
+        seed in any::<u64>(),
+    ) {
+        let rows = 1u64 << row_bits;
+        let mux = 1u32 << mux_log;
+        let words = rows * mux as u64;
+        let org = RamOrganization::new(words, 8, mux);
+        let code = MOutOfN::new(3, 5).expect("3-out-of-5 exists");
+        let a = MODULI[a_idx];
+        let row_map = CodewordMap::mod_a(code, a, rows);
+        let col_map = CodewordMap::mod_a(code, a, mux as u64);
+        prop_assume!(row_map.is_ok() && col_map.is_ok());
+        let config = RamConfig::new(org, row_map.unwrap(), col_map.unwrap());
+        let mut gate = GateLevelBackend::try_new(&config)
+            .expect("constant-weight mappings always build a gate-level path");
+        let mut beh = BehavioralBackend::prefilled(&config, seed);
+        let process = match process_kind {
+            0 => FaultProcess::PERMANENT,
+            1 => FaultProcess::Permanent { onset: t0 },
+            2 => FaultProcess::TransientFlip { at: t0 },
+            _ => FaultProcess::Intermittent { onset: t0 % period, period, duty },
+        };
+        let model = model_by_name("uniform").expect("registry names resolve");
+        let spec = WorkloadSpec { words, word_bits: 8, write_fraction: 0.15 };
+
+        let faults: Vec<FaultSite> = decoder_fault_universe(row_bits)
+            .into_iter()
+            .step_by(7)
+            .map(FaultSite::RowDecoder)
+            .collect();
+        for (fidx, &site) in faults.iter().enumerate() {
+            let scenario = FaultScenario { site, process };
+            prop_assert!(gate.supports(&scenario), "{}", scenario);
+            prop_assert!(beh.supports(&scenario), "{}", scenario);
+            // Cycle counts straddling the 64-lane burst boundary, so the
+            // batched path must split windows inside and across bursts.
+            let mut stream = model.stream(spec, mix(seed, fidx, 0));
+            let ops: Vec<Op> = (0..80).map(|_| stream.next_op()).collect();
+            gate.reset(Some(&scenario));
+            beh.reset(Some(&scenario));
+            let batched = gate.step_many(&ops);
+            for (cycle, (&op, g)) in ops.iter().zip(&batched).enumerate() {
+                let b = beh.step(op);
+                prop_assert_eq!(
+                    g.verdict.row_code_error,
+                    b.verdict.row_code_error,
+                    "{} cycle {} op {:?}: row verdicts diverge",
+                    scenario, cycle, op
+                );
+                prop_assert_eq!(
+                    g.verdict.col_code_error,
+                    b.verdict.col_code_error,
+                    "{} cycle {} op {:?}: col verdicts diverge",
+                    scenario, cycle, op
                 );
             }
         }

@@ -7,8 +7,8 @@
 use scm_area::RamOrganization;
 use scm_codes::selection::{select_code, LatencyBudget, SelectionPolicy};
 use scm_explore::{
-    pareto_front, system_pareto_front, Adjudication, Evaluator, ExplorationSpace, ScrubPolicy,
-    SystemAdjudication,
+    pareto_front, system_pareto_front, Adjudication, Evaluator, ExplorationSpace, FaultMix,
+    ScrubPolicy, SystemAdjudication,
 };
 use scm_memory::campaign::CampaignConfig;
 
@@ -26,6 +26,7 @@ fn adjudicated_space() -> ExplorationSpace {
         banks: vec![1],
         checkpoints: vec![0],
         repairs: vec![scm_explore::RepairPolicy::OFF],
+        fault_mixes: vec![FaultMix::Permanent],
     }
 }
 
@@ -40,6 +41,7 @@ fn evaluator(threads: usize) -> Evaluator {
                 write_fraction: 0.1,
             },
             max_faults: 10,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         })
 }
 
@@ -84,6 +86,7 @@ fn system_space() -> ExplorationSpace {
         banks: vec![1, 4],
         checkpoints: vec![0, 64],
         repairs: vec![scm_explore::RepairPolicy::OFF],
+        fault_mixes: vec![FaultMix::Permanent],
     }
 }
 
@@ -179,6 +182,7 @@ fn adjudicated_figures_stay_within_the_analytic_regime() {
             write_fraction: 0.1,
         },
         max_faults: 0, // whole row-decoder universe
+        scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
     });
     let e = ev
         .goal_solve(

@@ -1,0 +1,218 @@
+//! Temporal-fault-process contracts that cut across layers:
+//!
+//! * **Scrub-heals-transients** (property): under any single
+//!   `TransientFlip` with a background scrub sweep enabled, the memory
+//!   becomes cycle-by-cycle differentially identical to its fault-free
+//!   twin within one full scrub sweep of the flip, and a subsequent
+//!   March C− session runs clean. This is the soft-error story the old
+//!   permanent-only model could not even express: a pinned line never
+//!   heals, so scrubbing could never help.
+//! * **Scrubbing shrinks transient escapes** (engine-level acceptance):
+//!   the same campaign with the scrubber on detects strictly more
+//!   one-shot flips than the unscrubbed twin.
+//! * **Temporal determinism**: scenario campaigns — including the
+//!   stochastic SEU arrival streams of the system layer — stay
+//!   bit-identical at 1/2/4/8 threads, like every other engine.
+
+use proptest::prelude::*;
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_diag::march::{run_march, MarchTest};
+use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
+use scm_memory::campaign::{transient_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::{FaultScenario, FaultSite};
+use scm_memory::workload::{OpSource, ScrubInterleaver, Workload};
+use scm_system::{
+    CheckpointSchedule, Interleaving, ScrubSchedule, SeuProcess, SystemCampaign, SystemConfig,
+};
+
+fn config() -> RamConfig {
+    let org = RamOrganization::new(64, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, 16).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_scrubbed_memory_heals_any_transient_flip_within_one_sweep(
+        row in 0usize..16,
+        col in 0usize..36,
+        at in 0u64..100,
+        period in 1u64..=4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = config();
+        let words = cfg.org().words();
+        let scenario = FaultScenario::transient(FaultSite::Cell { row, col, stuck: false }, at);
+        let mut backend = BehavioralBackend::prefilled(&cfg, seed);
+        backend.reset(Some(&scenario));
+        // Mission traffic with the scrubber merged in: every `period`-th
+        // cycle is a sweep read, so every word is read within
+        // `words * period` cycles of any instant.
+        let mission = Workload::uniform(words, 8, seed ^ 0xA5);
+        let mut stream = ScrubInterleaver::new(mission, period, words);
+        // One full sweep past the flip instant (plus the slot offset).
+        let deadline = at + words * period + period;
+        for _ in 0..deadline {
+            let _ = backend.step(stream.next_op());
+        }
+        // Healed: the whole array matches the twin...
+        for addr in 0..words {
+            let f = backend.faulty().read(addr);
+            let g = backend.golden().read(addr);
+            prop_assert_eq!(f.data, g.data, "addr {} differs after the sweep", addr);
+            prop_assert_eq!(f.parity_bit, g.parity_bit, "parity at addr {}", addr);
+        }
+        // ...and stays differentially identical cycle by cycle.
+        for cycle in 0..2 * words {
+            let obs = backend.step(stream.next_op());
+            prop_assert_eq!(obs.erroneous, Some(false), "cycle {} after heal", cycle);
+            prop_assert!(!obs.detected(), "indication {} cycles after heal", cycle);
+        }
+        // And a subsequent March C− session is clean.
+        let log = run_march(&mut backend, &MarchTest::march_c_minus(), seed ^ 0x3C);
+        prop_assert!(log.clean(), "post-heal March C- must run clean");
+    }
+}
+
+#[test]
+fn scrubbing_reduces_transient_escapes_at_equal_budget() {
+    // The acceptance experiment at engine level: one-shot flips on the
+    // small RAM, 200-cycle horizon. Unscrubbed, a flip in a word mission
+    // traffic never reads is silent forever; with the sweep merged in,
+    // every word is read within one sweep of the strike.
+    let cfg = config();
+    let campaign = CampaignConfig {
+        cycles: 200,
+        trials: 8,
+        seed: 0x7A51,
+        write_fraction: 0.1,
+    };
+    let universe = transient_universe(&cfg, 48, campaign.cycles, campaign.seed);
+    let unscrubbed = CampaignEngine::new(campaign).run_scenarios(&cfg, &universe);
+    let scrubbed = CampaignEngine::new(campaign)
+        .scrub(2)
+        .run_scenarios(&cfg, &universe);
+    assert!(
+        scrubbed.mean_escape() < unscrubbed.mean_escape(),
+        "scrubbing must shrink transient escapes: {} vs {}",
+        scrubbed.mean_escape(),
+        unscrubbed.mean_escape()
+    );
+    // The per-process split sees exactly one class here.
+    let classes = scrubbed.by_process_class();
+    assert_eq!(classes.len(), 1);
+    assert!(classes.contains_key("transient"));
+}
+
+#[test]
+fn scenario_campaigns_are_bit_identical_at_any_thread_count() {
+    let cfg = config();
+    let campaign = CampaignConfig {
+        cycles: 60,
+        trials: 6,
+        seed: 0xBEE,
+        write_fraction: 0.1,
+    };
+    let universe = scm_memory::campaign::mixed_universe(&cfg, 12, campaign.cycles, campaign.seed);
+    assert!(universe.len() > 64, "mixed universe covers all classes");
+    let reference = CampaignEngine::new(campaign)
+        .scrub(4)
+        .threads(1)
+        .run_scenarios(&cfg, &universe);
+    for threads in [2usize, 4, 8] {
+        let result = CampaignEngine::new(campaign)
+            .scrub(4)
+            .threads(threads)
+            .run_scenarios(&cfg, &universe);
+        assert_eq!(
+            reference.determinism_profile(),
+            result.determinism_profile(),
+            "{threads} threads"
+        );
+    }
+    // All three temporal classes campaigned and aggregated.
+    let classes = reference.by_process_class();
+    for class in ["permanent", "transient", "intermittent"] {
+        assert!(classes.contains_key(class), "missing {class}");
+    }
+}
+
+fn seu_system() -> (SystemCampaign, Vec<scm_system::SystemFault>) {
+    let bank = config();
+    let system = SystemConfig {
+        banks: vec![bank.clone(), bank.clone(), bank],
+        interleaving: Interleaving::LowOrder,
+        scrub: ScrubSchedule { period: 4 },
+        checkpoint: CheckpointSchedule { interval: 64 },
+    };
+    let campaign = CampaignConfig {
+        cycles: 1200,
+        trials: 4,
+        seed: 0x5EED,
+        write_fraction: 0.1,
+    };
+    let engine = SystemCampaign::new(system, campaign);
+    let universe = engine.seu_universe(6, &SeuProcess::new(40.0));
+    (engine, universe)
+}
+
+#[test]
+fn seu_arrival_streams_are_bit_identical_at_1_2_4_8_threads() {
+    let (engine, universe) = seu_system();
+    assert_eq!(universe.len(), 18, "6 arrivals x 3 banks");
+    let reference = engine.clone().threads(1).run(&universe);
+    for threads in [2usize, 4, 8] {
+        let result = engine.clone().threads(threads).run(&universe);
+        assert_eq!(
+            reference.determinism_profile(),
+            result.determinism_profile(),
+            "{threads} threads"
+        );
+    }
+    assert!(
+        reference.detected_fraction() > 0.0,
+        "some SEU must be caught"
+    );
+}
+
+#[test]
+fn tighter_checkpoints_still_lose_less_work_under_seu_arrivals() {
+    // The Aupy-style interaction the permanent-only model degenerated:
+    // with stochastic silent strikes, the checkpoint interval genuinely
+    // trades against detection latency.
+    let mk = |interval: u64| {
+        let bank = config();
+        let system = SystemConfig {
+            banks: vec![bank.clone(), bank],
+            interleaving: Interleaving::LowOrder,
+            scrub: ScrubSchedule { period: 4 },
+            checkpoint: CheckpointSchedule { interval },
+        };
+        let campaign = CampaignConfig {
+            cycles: 1200,
+            trials: 4,
+            seed: 0xA0,
+            write_fraction: 0.1,
+        };
+        let engine = SystemCampaign::new(system, campaign);
+        let universe = engine.seu_universe(6, &SeuProcess::new(50.0));
+        engine.run(&universe)
+    };
+    let sparse = mk(512);
+    let tight = mk(16);
+    assert!(
+        tight.expected_lost_work() <= sparse.expected_lost_work(),
+        "interval 16 lost {}, interval 512 lost {}",
+        tight.expected_lost_work(),
+        sparse.expected_lost_work()
+    );
+}

@@ -47,11 +47,11 @@ fn row_checker_verdicts_agree_for_every_decoder_fault_and_address() {
     for fault in decoder_fault_universe(4) {
         let site = FaultSite::RowDecoder(fault);
         assert!(
-            gate.supports(&site),
+            gate.supports(&site.into()),
             "gate backend must map {site:?} to a signal"
         );
-        gate.reset(Some(site));
-        behavioral.reset(Some(site));
+        gate.reset_site(Some(site));
+        behavioral.reset_site(Some(site));
         for row in 0..16u64 {
             // Same interface, same stream: read any address in that row
             // (column 0; the row value is the address' high bits).
