@@ -1,0 +1,59 @@
+//! Scalar vs bit-sliced campaign core, head to head on one grid: the
+//! `CampaignEngine` over the mixed temporal universe, once per backend
+//! and once per lane width. The sliced engine packs 64 scenario lanes
+//! into each `u64` of RAM and checker state, so the single-core ratio
+//! against the scalar rows is the headline number
+//! (`BENCH_bitslice.json` snapshots it). Lane widths 1 and 8 bound the
+//! packing overhead: width 1 is the sliced machinery with none of the
+//! parallelism, width 8 the partially-packed middle.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::campaign::{mixed_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use std::hint::black_box;
+
+fn config() -> RamConfig {
+    let org = RamOrganization::new(256, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    )
+}
+
+fn bench_bitslice(c: &mut Criterion) {
+    let cfg = config();
+    let campaign = CampaignConfig {
+        cycles: 100,
+        trials: 8,
+        seed: 0xFA17,
+        write_fraction: 0.1,
+    };
+    let universe = mixed_universe(&cfg, 32, campaign.cycles, campaign.seed);
+    let grid = universe.len() as u64 * campaign.trials as u64;
+
+    let mut g = c.benchmark_group("bitslice");
+    g.throughput(Throughput::Elements(grid));
+    let scalar = CampaignEngine::new(campaign).scrub(4).threads(1);
+    g.bench_function("scalar-1-thread", |b| {
+        b.iter(|| black_box(scalar.run_scenarios(black_box(&cfg), black_box(&universe))))
+    });
+    for width in [1usize, 8, 64] {
+        let engine = CampaignEngine::new(campaign)
+            .scrub(4)
+            .threads(1)
+            .sliced(true)
+            .lane_width(width);
+        g.bench_function(&format!("sliced-lanes-{width}"), |b| {
+            b.iter(|| black_box(engine.run_scenarios(black_box(&cfg), black_box(&universe))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitslice);
+criterion_main!(benches);

@@ -39,6 +39,7 @@ fn bench_scaling(c: &mut Criterion) {
         },
         max_faults: 16,
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+        sliced: false,
     };
 
     let mut g = c.benchmark_group("explore-scaling");

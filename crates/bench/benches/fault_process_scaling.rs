@@ -43,6 +43,18 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| black_box(engine.run_scenarios(black_box(&cfg), black_box(&universe))))
         });
     }
+    // The same grid on the bit-sliced engine: 64 scenario lanes per
+    // machine word, one shared op stream per trial (`BENCH_bitslice.json`
+    // snapshots the scalar-vs-sliced ratio).
+    for threads in [1usize, 2, 4, 8] {
+        let engine = CampaignEngine::new(campaign)
+            .scrub(4)
+            .threads(threads)
+            .sliced(true);
+        g.bench_function(&format!("sliced-{threads}-threads"), |b| {
+            b.iter(|| black_box(engine.run_scenarios(black_box(&cfg), black_box(&universe))))
+        });
+    }
     g.finish();
 }
 

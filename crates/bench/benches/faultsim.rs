@@ -36,6 +36,15 @@ fn bench_gate_sim(c: &mut Criterion) {
     g.bench_function("parallel-64-patterns", |b| {
         b.iter(|| black_box(nl.eval64(black_box(&lanes), Some(fault)).output_lanes()))
     });
+    // Same sweep, caller-owned lane buffer: what the gate backend's burst
+    // path pays per 64-cycle chunk once the allocation is hoisted out.
+    let mut scratch = Vec::new();
+    g.bench_function("parallel-64-patterns-reused-buffer", |b| {
+        b.iter(|| {
+            nl.eval64_into(black_box(&lanes), Some(fault), &mut scratch);
+            black_box(scratch.last().copied())
+        })
+    });
     g.finish();
 }
 

@@ -46,6 +46,16 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| black_box(engine.run(black_box(&universe))))
         });
     }
+    // The bit-sliced engine on the same grid: all of a bank's faults
+    // share one traffic stream, packed 64 lanes to the machine word.
+    for threads in [1usize, 2, 4, 8] {
+        let engine = SystemCampaign::new(system.clone(), campaign)
+            .threads(threads)
+            .sliced(true);
+        g.bench_function(&format!("sliced-{threads}-threads"), |b| {
+            b.iter(|| black_box(engine.run(black_box(&universe))))
+        });
+    }
     g.finish();
 }
 

@@ -83,6 +83,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--trials",
                     "--threads",
                     "--fault-mix",
+                    "--engine",
                 ],
                 &["--adjudicate"],
             )?;
@@ -98,6 +99,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--threads",
                     "--fault-model",
                     "--scrub-period",
+                    "--engine",
                 ],
                 &[],
             )?;
@@ -116,6 +118,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--checkpoint",
                     "--fault-model",
                     "--seu-mean",
+                    "--engine",
                 ],
                 &[],
             )?;
@@ -132,6 +135,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--seed",
                     "--threads",
                     "--fault-model",
+                    "--engine",
                 ],
                 &[],
             )?;
@@ -200,6 +204,17 @@ fn fault_model_or_default<'a>(flags: &'a Flags, allowed: &[&'a str]) -> Result<&
     ))
 }
 
+/// Resolve `--engine`: `scalar` (the default, byte-pinned fixture path)
+/// or `sliced` (the 64-lane bit-parallel fast path). Returns whether the
+/// sliced engine was requested.
+fn engine_or_default(flags: &Flags) -> Result<bool, String> {
+    match flags.value_of("--engine") {
+        None | Some("scalar") => Ok(false),
+        Some("sliced") => Ok(true),
+        Some(other) => Err(format!("unknown engine '{other}' (scalar | sliced)")),
+    }
+}
+
 /// The uniform unknown-workload message: did-you-mean hint first (when a
 /// model name is within edit distance 2), the full list always.
 fn unknown_workload(name: &str) -> String {
@@ -241,23 +256,26 @@ pub fn usage() -> String {
          \x20 ablations                  design-choice ablations (odd-a, arity, completion fix)\n\
          \x20 explore [--policy P|both] [--workload W|all] [--scrub S] [--fault-mix M|all]\n\
          \x20         [--adjudicate] [--trials N (implies --adjudicate)] [--threads N]\n\
+         \x20         [--engine E]\n\
          \x20                            design-space exploration + Pareto front(s)\n\
          \x20 campaign [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
-         \x20          [--fault-model M] [--scrub-period P]\n\
+         \x20          [--fault-model M] [--scrub-period P] [--engine E]\n\
          \x20                            fault campaign on the 1Kx16 worked example\n\
          \x20 system [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
          \x20        [--interleave I] [--scrub-period P] [--checkpoint K]\n\
-         \x20        [--fault-model permanent|transient] [--seu-mean G]\n\
+         \x20        [--fault-model permanent|transient] [--seu-mean G] [--engine E]\n\
          \x20                            sharded multi-bank system campaign (scrubs +\n\
          \x20                            checkpoints competing with live traffic)\n\
          \x20 diag [--march T] [--spare-rows R] [--spare-cols C] [--trials N]\n\
          \x20      [--cycles C] [--seed S] [--threads N] [--fault-model permanent|transient]\n\
+         \x20      [--engine E]\n\
          \x20                            March-BIST diagnosis, fault localization and\n\
          \x20                            spare repair, memory and system views\n\
          \n\
          policies:     worst-block-exact | inverse-a\n\
          scrubs:       off | sequential-sweep\n\
          interleave:   low-order | high-order\n\
+         engines:      scalar | sliced (64 fault lanes per machine word)\n\
          fault models: permanent | transient | intermittent | mix\n\
          march tests:  {}\n\
          workloads:    {}\n",
@@ -442,6 +460,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
     if trials == 0 {
         return Err("--trials must be at least 1".to_owned());
     }
+    let sliced = engine_or_default(flags)?;
 
     let geometry = RamOrganization::with_mux8(1024, 16);
     let space = ExplorationSpace {
@@ -458,12 +477,13 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
     };
 
     let mut evaluator = Evaluator::default().threads(threads);
-    // --trials and --fault-mix only mean something to the empirical
-    // stage, so asking for either switches adjudication on rather than
-    // being silently ignored.
+    // --trials, --fault-mix, and --engine only mean something to the
+    // empirical stage, so asking for any of them switches adjudication on
+    // rather than being silently ignored.
     let adjudicated = flags.has("--adjudicate")
         || flags.value_of("--trials").is_some()
-        || flags.value_of("--fault-mix").is_some();
+        || flags.value_of("--fault-mix").is_some()
+        || flags.value_of("--engine").is_some();
     if adjudicated {
         evaluator = evaluator.adjudicate(Adjudication {
             campaign: CampaignConfig {
@@ -474,6 +494,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
             },
             max_faults: 64,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced,
         });
     }
 
@@ -597,6 +618,7 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     let workload = flags.value_of("--workload").unwrap_or("uniform");
     let model = model_by_name(workload).ok_or_else(|| unknown_workload(workload))?;
     let fault_model = fault_model_or_default(flags, &FAULT_MODELS)?;
+    let sliced = engine_or_default(flags)?;
     let scrub_period: u64 = flags.parsed("--scrub-period", 0)?;
     let trials: u32 = flags.parsed("--trials", 32)?;
     if trials == 0 {
@@ -632,6 +654,7 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
         .workload_model(model)
         .threads(threads)
         .scrub(scrub_period)
+        .sliced(sliced)
         .run_scenarios(design.config(), &scenarios);
 
     let mut out = String::new();
@@ -639,6 +662,9 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
         out,
         "campaign: 1Kx16 worked example (3-out-of-5, a = 9), workload = {workload}"
     );
+    if sliced {
+        out.push_str("engine = sliced (64 scenario lanes per machine word)\n");
+    }
     // Non-default temporal settings announce themselves; the classical
     // permanent/unscrubbed output stays byte-for-byte what it always was.
     if fault_model != "permanent" || scrub_period > 0 {
@@ -714,13 +740,15 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
         write_fraction: 0.1,
     };
     let fault_model = fault_model_or_default(flags, &["permanent", "transient"])?;
+    let sliced = engine_or_default(flags)?;
     let seu_mean: f64 = flags.parsed("--seu-mean", 40.0)?;
-    if seu_mean < 1.0 {
-        return Err("--seu-mean must be at least 1 cycle".to_owned());
+    if !seu_mean.is_finite() || seu_mean < 1.0 {
+        return Err("--seu-mean must be a finite number of at least 1 cycle".to_owned());
     }
     let engine = SystemCampaign::new(system, campaign)
         .workload_model(model)
-        .threads(threads);
+        .threads(threads)
+        .sliced(sliced);
     let universe = match fault_model {
         "transient" => engine.seu_universe(12, &SeuProcess::new(seu_mean)),
         _ => engine.decoder_universe(12),
@@ -729,6 +757,9 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
 
     let mut out = String::new();
     out.push_str("sharded self-checking memory system: 4 heterogeneous banks\n\n");
+    if sliced {
+        out.push_str("engine: sliced (per-bank fault lanes share one event stream)\n\n");
+    }
     if fault_model == "transient" {
         let _ = writeln!(
             out,
@@ -779,13 +810,21 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
         CodewordMap::mod_a(code, 9, org.mux_factor() as u64).map_err(|e| e.to_string())?,
     );
     let fault_model = fault_model_or_default(flags, &["permanent", "transient"])?;
+    let sliced = engine_or_default(flags)?;
     let mut candidates = cell_universe(&config);
     candidates.extend(
         decoder_fault_universe(org.row_bits())
             .into_iter()
             .map(FaultSite::RowDecoder),
     );
-    let dictionary = FaultDictionary::build(&config, &test, seed, &candidates, threads);
+    // Both builds file identical signatures (the sliced backend is
+    // lane-by-lane bit-identical to the scalar one), so the rendered
+    // output — fixture-pinned — does not depend on the engine choice.
+    let dictionary = if sliced {
+        FaultDictionary::build_sliced(&config, &test, seed, &candidates, threads)
+    } else {
+        FaultDictionary::build(&config, &test, seed, &candidates, threads)
+    };
 
     let budget = SpareBudget {
         rows: spare_rows,
@@ -1220,6 +1259,88 @@ mod tests {
         .unwrap();
         assert!(out.contains("empirically adjudicated, 2 trials/fault"));
         assert!(out.contains("wrst-err-esc"));
+    }
+
+    #[test]
+    fn engine_knob_selects_the_sliced_backend_and_rejects_unknowns() {
+        let sliced = run(&[
+            "campaign".to_owned(),
+            "--trials".to_owned(),
+            "2".to_owned(),
+            "--cycles".to_owned(),
+            "6".to_owned(),
+            "--engine".to_owned(),
+            "sliced".to_owned(),
+        ])
+        .unwrap();
+        assert!(sliced.contains("engine = sliced"), "{sliced}");
+        // `scalar` is the default spelled out: no engine banner, exactly
+        // the byte-pinned rendering.
+        let scalar = run(&[
+            "campaign".to_owned(),
+            "--trials".to_owned(),
+            "2".to_owned(),
+            "--cycles".to_owned(),
+            "6".to_owned(),
+            "--engine".to_owned(),
+            "scalar".to_owned(),
+        ])
+        .unwrap();
+        assert!(!scalar.contains("engine ="), "{scalar}");
+        let system = run(&[
+            "system".to_owned(),
+            "--trials".to_owned(),
+            "1".to_owned(),
+            "--cycles".to_owned(),
+            "60".to_owned(),
+            "--engine".to_owned(),
+            "sliced".to_owned(),
+        ])
+        .unwrap();
+        assert!(system.contains("engine: sliced"), "{system}");
+        let err = run(&[
+            "campaign".to_owned(),
+            "--engine".to_owned(),
+            "warp".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown engine 'warp'"), "{err}");
+    }
+
+    #[test]
+    fn diag_output_is_engine_independent() {
+        // Sliced and scalar dictionary builds file bit-identical
+        // signatures, so the whole rendered report must match byte for
+        // byte — the property that keeps the diag fixture engine-free.
+        let base = |engine: Option<&str>| {
+            let mut args = vec![
+                "diag".to_owned(),
+                "--trials".to_owned(),
+                "1".to_owned(),
+                "--cycles".to_owned(),
+                "1400".to_owned(),
+            ];
+            if let Some(e) = engine {
+                args.push("--engine".to_owned());
+                args.push(e.to_owned());
+            }
+            run(&args).unwrap()
+        };
+        assert_eq!(base(Some("sliced")), base(None));
+    }
+
+    #[test]
+    fn engine_flag_implies_adjudication_in_explore() {
+        let out = run(&[
+            "explore".to_owned(),
+            "--engine".to_owned(),
+            "sliced".to_owned(),
+            "--policy".to_owned(),
+            "inverse-a".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("empirically adjudicated"), "{out}");
+        assert!(out.contains("wrst-err-esc"), "{out}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scm_memory::backend::FaultSimBackend;
+use scm_memory::sliced::{for_each_lane, SlicedBackend};
 use scm_memory::workload::{Op, OpSource};
 
 /// One March operation applied at the current address.
@@ -453,6 +454,62 @@ pub fn run_march<B: FaultSimBackend + ?Sized>(
     session.into_log()
 }
 
+/// Run one March session over **every lane** of a sliced backend at
+/// once, yielding the per-lane logs in lane order.
+///
+/// A March stream depends only on `(test, geometry, seed)` — never on the
+/// fault — so all packed scenarios legitimately share one session; the
+/// bit-identity contract of [`SlicedBackend`] makes each returned log
+/// equal to [`run_march`] on a scalar backend carrying that lane's
+/// scenario alone. The caller resets the backend (the session is as
+/// destructive as the scalar one).
+pub fn run_march_sliced(backend: &mut SlicedBackend, test: &MarchTest, seed: u64) -> Vec<MarchLog> {
+    let org = backend.config().org();
+    let words = org.words();
+    let all = backend.lane_mask();
+    let total = test.session_cycles(words);
+    let mut stream = test.stream(words, org.word_bits(), seed);
+    let mut logs: Vec<MarchLog> = (0..backend.lanes())
+        .map(|_| MarchLog {
+            cycles: total,
+            first_syndrome: None,
+            events: Vec::new(),
+            truncated: false,
+        })
+        .collect();
+    for cycle in 0..total {
+        let element = stream.element as u32;
+        let op_idx = stream.op as u32;
+        let is_read = stream.test.elements[stream.element].ops[stream.op].is_read();
+        let op = OpSource::next_op(&mut stream);
+        let obs = backend.step(op);
+        let read_mismatch = if is_read { obs.erroneous } else { 0 };
+        let flagged =
+            (read_mismatch | obs.row_code_error | obs.col_code_error | obs.parity_error) & all;
+        for_each_lane(flagged, |lane| {
+            let log = &mut logs[lane];
+            if log.first_syndrome.is_none() {
+                log.first_syndrome = Some(cycle);
+            }
+            if log.events.len() < MAX_SYNDROME_EVENTS {
+                let bit = 1u64 << lane;
+                log.events.push(SyndromeEvent {
+                    element,
+                    op: op_idx,
+                    addr: op.addr(),
+                    read_mismatch: read_mismatch & bit != 0,
+                    row_code_error: obs.row_code_error & bit != 0,
+                    col_code_error: obs.col_code_error & bit != 0,
+                    parity_error: obs.parity_error & bit != 0,
+                });
+            } else {
+                log.truncated = true;
+            }
+        });
+    }
+    logs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +633,65 @@ mod tests {
         backend.reset_site(Some(site));
         let b = run_march(&mut backend, &test, 33);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sliced_march_logs_match_scalar_lane_by_lane() {
+        use scm_memory::decoder_unit::DecoderFault;
+        use scm_memory::fault::FaultScenario;
+        // A multi-class lane set: cells of both polarities (one parity
+        // cell), decoder faults, a ROM bit, a register bit.
+        let sites = [
+            FaultSite::Cell {
+                row: 2,
+                col: 13,
+                stuck: true,
+            },
+            FaultSite::Cell {
+                row: 5,
+                col: 7,
+                stuck: false,
+            },
+            FaultSite::Cell {
+                row: 9,
+                col: 33,
+                stuck: true,
+            },
+            FaultSite::RowDecoder(DecoderFault {
+                bits: 4,
+                offset: 0,
+                value: 5,
+                stuck_one: false,
+            }),
+            FaultSite::ColDecoder(DecoderFault {
+                bits: 2,
+                offset: 0,
+                value: 1,
+                stuck_one: true,
+            }),
+            FaultSite::RowRomBit { line: 3, bit: 1 },
+            FaultSite::DataRegisterBit {
+                bit: 2,
+                stuck: true,
+            },
+        ];
+        let scenarios: Vec<FaultScenario> = sites
+            .iter()
+            .copied()
+            .map(FaultScenario::permanent)
+            .collect();
+        for name in MarchTest::NAMES {
+            let test = MarchTest::by_name(name).unwrap();
+            let mut sliced = scm_memory::sliced::SlicedBackend::new(&config(), &scenarios);
+            let logs = run_march_sliced(&mut sliced, &test, 17);
+            assert_eq!(logs.len(), sites.len());
+            for (site, log) in sites.iter().zip(&logs) {
+                let mut backend = BehavioralBackend::new(&config());
+                backend.reset_site(Some(*site));
+                let scalar = run_march(&mut backend, &test, 17);
+                assert_eq!(*log, scalar, "{name}: {site:?} diverges");
+            }
+        }
     }
 
     #[test]

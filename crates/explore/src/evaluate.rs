@@ -234,6 +234,9 @@ pub struct SystemAdjudication {
     /// Mean SEU inter-arrival time in system cycles for points graded
     /// against the transient mix.
     pub seu_mean: f64,
+    /// Run each point's system campaign on the bit-sliced engine (64
+    /// fault lanes per machine word) instead of the scalar backend.
+    pub sliced: bool,
 }
 
 impl Default for SystemAdjudication {
@@ -247,6 +250,7 @@ impl Default for SystemAdjudication {
             scrub_period: 4,
             max_faults_per_bank: 12,
             seu_mean: 40.0,
+            sliced: false,
         }
     }
 }
@@ -300,6 +304,9 @@ pub struct Adjudication {
     /// Scrub period applied when the point's scrub policy is
     /// [`ScrubPolicy::SequentialSweep`] (`Off` points never scrub).
     pub scrub_period: u64,
+    /// Run each point's campaign on the bit-sliced engine (64 scenario
+    /// lanes per machine word) instead of the scalar backend.
+    pub sliced: bool,
 }
 
 impl Adjudication {
@@ -537,6 +544,7 @@ impl Evaluator {
         let result = CampaignEngine::new(campaign)
             .workload_model(model)
             .scrub(scrub_period)
+            .sliced(adjudication.sliced)
             .run_scenarios(&config, &scenarios);
         Ok(EmpiricalFigures {
             faults: scenarios.len(),
@@ -575,7 +583,9 @@ impl Evaluator {
         };
         // Ambient threads: the system grid rides the same rayon pool as
         // the outer point sweep, like the adjudication stage.
-        let engine = SystemCampaign::new(system, campaign).workload_model(model);
+        let engine = SystemCampaign::new(system, campaign)
+            .workload_model(model)
+            .sliced(stage.sliced);
         // The system grid is graded against the point's fault mix: the
         // permanent decoder universe, SEU arrival streams, or the same
         // decoder sites under duty-cycled intermittent windows (phases
@@ -937,6 +947,7 @@ mod tests {
             },
             max_faults: 12,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced: false,
         });
         for workload in ["uniform", "write-mostly"] {
             let mut p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);

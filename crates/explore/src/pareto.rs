@@ -284,6 +284,7 @@ mod tests {
             },
             max_faults: 8,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced: false,
         });
         let space = ExplorationSpace {
             geometries: vec![RamOrganization::new(256, 8, 4)],

@@ -54,12 +54,32 @@ impl Netlist {
     /// Panics if `input_lanes.len()` differs from the number of primary
     /// inputs.
     pub fn eval64(&self, input_lanes: &[u64], fault: Option<Fault>) -> ParallelEvaluation<'_> {
+        let mut lanes = Vec::new();
+        self.eval64_into(input_lanes, fault, &mut lanes);
+        ParallelEvaluation {
+            netlist: self,
+            lanes,
+        }
+    }
+
+    /// The [`eval64`](Self::eval64) sweep into a caller-owned buffer, so
+    /// hot loops reuse one allocation across sweeps instead of paying a
+    /// `num_signals()`-sized allocation per call.
+    ///
+    /// `lanes` is cleared and resized to `num_signals()`; signal `s`'s
+    /// lane lands at `lanes[s.index()]`.
+    ///
+    /// # Panics
+    /// Panics if `input_lanes.len()` differs from the number of primary
+    /// inputs.
+    pub fn eval64_into(&self, input_lanes: &[u64], fault: Option<Fault>, lanes: &mut Vec<u64>) {
         assert_eq!(
             input_lanes.len(),
             self.primary_inputs().len(),
             "input lane count mismatch"
         );
-        let mut lanes = vec![0u64; self.num_signals()];
+        lanes.clear();
+        lanes.resize(self.num_signals(), 0);
         let mut next_input = 0usize;
         for (idx, gate) in self.gates().iter().enumerate() {
             let v = |s: SignalId| lanes[s.index()];
@@ -103,10 +123,6 @@ impl Netlist {
                 }
             }
             lanes[idx] = out;
-        }
-        ParallelEvaluation {
-            netlist: self,
-            lanes,
         }
     }
 

@@ -345,6 +345,9 @@ struct CheckingPath {
     netlist: Netlist,
     sites: Vec<DecoderFaultSite>,
     rails: (SignalId, SignalId),
+    /// Lane buffer reused across [`Netlist::eval64_into`] sweeps — one
+    /// `num_signals()`-sized allocation per path, not per burst.
+    scratch: Vec<u64>,
 }
 
 impl CheckingPath {
@@ -381,6 +384,7 @@ impl CheckingPath {
             netlist,
             sites,
             rails,
+            scratch: Vec::new(),
         })
     }
 
@@ -406,13 +410,15 @@ impl CheckingPath {
         .is_error()
     }
 
-    /// Evaluate up to 64 applied values in one bit-parallel sweep.
-    fn flags_batch(&self, values: &[u64], fault: Option<Fault>) -> Vec<bool> {
+    /// Evaluate up to 64 applied values in one bit-parallel sweep. Takes
+    /// `&mut self` only to reuse the lane scratch buffer; the result is a
+    /// pure function of `(values, fault)`.
+    fn flags_batch(&mut self, values: &[u64], fault: Option<Fault>) -> Vec<bool> {
         assert!(values.len() <= 64, "at most 64 values per sweep");
         let lanes = self.netlist.pack_patterns(values);
-        let eval = self.netlist.eval64(&lanes, fault);
-        let t_lane = eval.lane(self.rails.0);
-        let f_lane = eval.lane(self.rails.1);
+        self.netlist.eval64_into(&lanes, fault, &mut self.scratch);
+        let t_lane = self.scratch[self.rails.0.index()];
+        let f_lane = self.scratch[self.rails.1.index()];
         (0..values.len())
             .map(|k| {
                 TwoRail {

@@ -26,6 +26,7 @@ use crate::campaign::{CampaignConfig, CampaignResult, FaultResult};
 use crate::design::RamConfig;
 use crate::fault::{FaultScenario, FaultSite};
 use crate::sim::measure_detection_on;
+use crate::sliced::{measure_detection_sliced, shared_trial_seed, SlicedBackend};
 use crate::workload::{
     AddressPattern, FixedPattern, ScrubInterleaver, UniformRandom, WorkloadModel, WorkloadSpec,
 };
@@ -47,6 +48,8 @@ pub struct CampaignEngine {
     model: Arc<dyn WorkloadModel>,
     threads: usize,
     scrub_period: u64,
+    sliced: bool,
+    lane_width: usize,
 }
 
 impl CampaignEngine {
@@ -58,6 +61,8 @@ impl CampaignEngine {
             model: Arc::new(UniformRandom),
             threads: 0,
             scrub_period: 0,
+            sliced: false,
+            lane_width: 64,
         }
     }
 
@@ -102,6 +107,29 @@ impl CampaignEngine {
         self
     }
 
+    /// Route [`run_scenarios`](Self::run_scenarios) through the bit-sliced
+    /// backend: up to [`lane_width`](Self::lane_width) scenarios share one
+    /// simulation pass, each riding a bit lane of the packed `u64` state.
+    ///
+    /// The sliced engine keeps the bit-identical-at-any-thread-count
+    /// contract and adds lane-packing invariance: the same grid at lane
+    /// widths 1, 8 and 64 produces the same [`CampaignResult`]. Its
+    /// workload seeding is shared across the lane block (common random
+    /// numbers), so sliced results are *internally* deterministic but not
+    /// numerically equal to the scalar engine's per-fault streams.
+    pub fn sliced(mut self, sliced: bool) -> Self {
+        self.sliced = sliced;
+        self
+    }
+
+    /// Scenarios packed per simulation pass on the sliced path (clamped
+    /// to `1..=64`; default 64). Narrower widths exist for the
+    /// lane-packing-invariance tests — production runs want 64.
+    pub fn lane_width(mut self, width: usize) -> Self {
+        self.lane_width = width.clamp(1, 64);
+        self
+    }
+
     /// The campaign parameters.
     pub fn campaign(&self) -> &CampaignConfig {
         &self.campaign
@@ -129,10 +157,147 @@ impl CampaignEngine {
     }
 
     /// Run a temporal-scenario grid over the behavioural backend with the
-    /// campaign convention's random prefill.
+    /// campaign convention's random prefill — or, when
+    /// [`sliced`](Self::sliced) is on, over the bit-sliced backend with
+    /// the same prefill seed.
     pub fn run_scenarios(&self, config: &RamConfig, scenarios: &[FaultScenario]) -> CampaignResult {
+        if self.sliced {
+            return self.run_scenarios_sliced(config, scenarios);
+        }
         let backend = BehavioralBackend::prefilled(config, self.campaign.seed ^ 0xF1E1D1);
         self.run_scenarios_on(&backend, scenarios)
+    }
+
+    /// Run the scenario × trial grid on the bit-sliced backend: scenarios
+    /// are chunked into lane blocks of [`lane_width`](Self::lane_width),
+    /// every trial advances all lanes of a block through one shared
+    /// op-stream, and per-lane detection cycles come out of the packed
+    /// detection masks. Trial ranges still split across rayon workers
+    /// exactly like the scalar path, so results are bit-identical at any
+    /// thread count *and* at any lane width (the trial stream seed depends
+    /// only on `(campaign seed, trial)`, never on lane geometry).
+    ///
+    /// # Panics
+    /// Panics if the sliced backend does not
+    /// [support](SlicedBackend::supports) one of the scenarios.
+    pub fn run_scenarios_sliced(
+        &self,
+        config: &RamConfig,
+        scenarios: &[FaultScenario],
+    ) -> CampaignResult {
+        if let Some(bad) = scenarios.iter().find(|s| !SlicedBackend::supports(s)) {
+            panic!("backend 'sliced' cannot inject {bad:?}");
+        }
+        let width = self.lane_width.clamp(1, 64);
+        let chunks: Vec<&[FaultScenario]> = scenarios.chunks(width).collect();
+        let blocks = self.decompose(chunks.len());
+        let dispatch = || -> Vec<Vec<FaultResult>> {
+            blocks
+                .par_iter()
+                .map(|block| self.run_sliced_block(config, chunks[block.fidx], *block))
+                .collect()
+        };
+        let partials: Vec<Vec<FaultResult>> = if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        // Fold trial-split partials of the same chunk back together,
+        // lane by lane, then flatten chunk-major — scenario input order.
+        let mut per_chunk: Vec<Vec<FaultResult>> = Vec::with_capacity(chunks.len());
+        let mut last_fidx = usize::MAX;
+        for (block, partial) in blocks.iter().zip(partials) {
+            if block.fidx == last_fidx {
+                let acc = per_chunk.last_mut().expect("a merge always follows a push");
+                for (a, p) in acc.iter_mut().zip(partial) {
+                    a.trials += p.trials;
+                    a.undetected += p.undetected;
+                    a.error_escapes += p.error_escapes;
+                    a.detection_cycle_sum += p.detection_cycle_sum;
+                    a.onset_latency_sum += p.onset_latency_sum;
+                    a.detected += p.detected;
+                }
+            } else {
+                per_chunk.push(partial);
+                last_fidx = block.fidx;
+            }
+        }
+        let per_fault: Vec<FaultResult> = per_chunk.into_iter().flatten().collect();
+        debug_assert_eq!(per_fault.len(), scenarios.len());
+        CampaignResult {
+            per_fault,
+            config: self.campaign,
+        }
+    }
+
+    /// One trial range of one lane block: every trial steps all packed
+    /// scenarios at once, then the per-lane outcomes are scattered back
+    /// into one [`FaultResult`] per lane.
+    fn run_sliced_block(
+        &self,
+        config: &RamConfig,
+        chunk: &[FaultScenario],
+        block: TrialBlock,
+    ) -> Vec<FaultResult> {
+        let mut backend = SlicedBackend::prefilled(config, chunk, self.campaign.seed ^ 0xF1E1D1);
+        let org = config.org();
+        let trials = block.trial_end - block.trial_start;
+        let mut results: Vec<FaultResult> = chunk
+            .iter()
+            .map(|scenario| FaultResult {
+                site: scenario.site,
+                process: scenario.process,
+                trials,
+                undetected: 0,
+                error_escapes: 0,
+                detection_cycle_sum: 0,
+                onset_latency_sum: 0,
+                detected: 0,
+            })
+            .collect();
+        let spec = WorkloadSpec {
+            words: org.words(),
+            word_bits: org.word_bits(),
+            write_fraction: self.campaign.write_fraction,
+        };
+        for trial in block.trial_start..block.trial_end {
+            backend.reset();
+            let workload = self
+                .model
+                .stream(spec, shared_trial_seed(self.campaign.seed, trial));
+            let outcomes = if self.scrub_period > 0 {
+                let mut scrubbed = ScrubInterleaver::new(workload, self.scrub_period, org.words());
+                measure_detection_sliced(&mut backend, &mut scrubbed, self.campaign.cycles)
+            } else {
+                let mut workload = workload;
+                measure_detection_sliced(&mut backend, workload.as_mut(), self.campaign.cycles)
+            };
+            for (lane, out) in outcomes.iter().enumerate() {
+                let result = &mut results[lane];
+                match out.first_detection {
+                    Some(d) => {
+                        result.detected += 1;
+                        result.detection_cycle_sum += d;
+                        let onset = chunk[lane]
+                            .process
+                            .corruption_onset()
+                            .map(|a| a.min(out.first_error.unwrap_or(d)))
+                            .unwrap_or_else(|| out.first_error.unwrap_or(d))
+                            .min(d);
+                        result.onset_latency_sum += d - onset;
+                    }
+                    None => result.undetected += 1,
+                }
+                if out.error_escaped() {
+                    result.error_escapes += 1;
+                }
+            }
+        }
+        results
     }
 
     /// Run the classical permanent grid on clones of `backend`.
@@ -451,6 +616,127 @@ mod tests {
             sequential.determinism_profile(),
             "sequential campaign produced the uniform profile"
         );
+    }
+
+    /// A universe mixing every lane-relevant shape: permanents across
+    /// site classes, delayed onsets, transients, intermittents, couplings.
+    fn mixed_scenarios() -> Vec<FaultScenario> {
+        use crate::fault::{CellRef, CouplingKind, FaultProcess};
+        let mut scenarios: Vec<FaultScenario> = row_faults()
+            .into_iter()
+            .map(FaultScenario::permanent)
+            .collect();
+        scenarios.push(FaultScenario {
+            site: FaultSite::Cell {
+                row: 3,
+                col: 5,
+                stuck: true,
+            },
+            process: FaultProcess::Permanent { onset: 4 },
+        });
+        scenarios.push(FaultScenario {
+            site: FaultSite::Cell {
+                row: 7,
+                col: 2,
+                stuck: false,
+            },
+            process: FaultProcess::TransientFlip { at: 3 },
+        });
+        scenarios.push(FaultScenario {
+            site: FaultSite::DataRegisterBit {
+                bit: 1,
+                stuck: true,
+            },
+            process: FaultProcess::Intermittent {
+                onset: 2,
+                period: 4,
+                duty: 2,
+            },
+        });
+        scenarios.push(FaultScenario {
+            site: FaultSite::Cell {
+                row: 5,
+                col: 9,
+                stuck: false,
+            },
+            process: FaultProcess::Coupling {
+                aggressor: CellRef { row: 2, col: 1 },
+                kind: CouplingKind::Inversion,
+            },
+        });
+        scenarios
+    }
+
+    #[test]
+    fn sliced_engine_is_thread_count_and_lane_width_invariant() {
+        let cfg = config();
+        let scenarios = mixed_scenarios();
+        let campaign = CampaignConfig {
+            cycles: 12,
+            trials: 10,
+            seed: 77,
+            write_fraction: 0.1,
+        };
+        let reference = CampaignEngine::new(campaign)
+            .sliced(true)
+            .threads(1)
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(reference.per_fault.len(), scenarios.len());
+        assert!(
+            reference.per_fault.iter().any(|f| f.detected > 0),
+            "sliced campaign never detected anything"
+        );
+        for threads in [2usize, 4, 8] {
+            let result = CampaignEngine::new(campaign)
+                .sliced(true)
+                .threads(threads)
+                .run_scenarios(&cfg, &scenarios);
+            assert_eq!(
+                reference.determinism_profile(),
+                result.determinism_profile(),
+                "{threads} threads"
+            );
+        }
+        for width in [1usize, 8, 17, 64] {
+            let result = CampaignEngine::new(campaign)
+                .sliced(true)
+                .lane_width(width)
+                .run_scenarios(&cfg, &scenarios);
+            assert_eq!(
+                reference.determinism_profile(),
+                result.determinism_profile(),
+                "lane width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_engine_preserves_scenario_order_and_scrub_contract() {
+        let cfg = config();
+        let scenarios = mixed_scenarios();
+        let campaign = CampaignConfig {
+            cycles: 16,
+            trials: 6,
+            seed: 5150,
+            write_fraction: 0.1,
+        };
+        let result = CampaignEngine::new(campaign)
+            .sliced(true)
+            .scrub(4)
+            .run_scenarios(&cfg, &scenarios);
+        for (scenario, fr) in scenarios.iter().zip(&result.per_fault) {
+            assert_eq!(fr.site, scenario.site, "per_fault order broken");
+            assert_eq!(fr.process, scenario.process, "per_fault order broken");
+            assert_eq!(fr.trials, campaign.trials);
+        }
+        // Scrubbing is part of the shared stream: results must still be
+        // lane-width invariant under it.
+        let narrow = CampaignEngine::new(campaign)
+            .sliced(true)
+            .scrub(4)
+            .lane_width(8)
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(result.determinism_profile(), narrow.determinism_profile());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod report;
 pub mod rom_memory;
 pub mod scrub;
 pub mod sim;
+pub mod sliced;
 pub mod workload;
 
 pub use backend::{BehavioralBackend, CycleObservation, FaultSimBackend, GateLevelBackend};
@@ -68,6 +69,7 @@ pub use design::{RamConfig, ReadOutcome, SelfCheckingRam, Verdict};
 pub use engine::CampaignEngine;
 pub use fault::FaultSite;
 pub use sim::{measure_detection, measure_detection_on, DetectionOutcome};
+pub use sliced::{measure_detection_sliced, SlicedBackend, SlicedObservation, SlicedPrefill};
 pub use workload::{
     builtin_models, model_by_name, AddressPattern, Op, OpSource, OpStream, Workload, WorkloadModel,
     WorkloadSpec, MODEL_NAMES,

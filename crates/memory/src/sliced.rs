@@ -1,0 +1,1225 @@
+//! Bit-sliced scenario-parallel fast path: 64 fault scenarios per `u64`.
+//!
+//! The behavioural backend simulates one `(scenario, trial)` at a time;
+//! the campaign grid multiplies scenarios × trials × cycles, and that
+//! product is the throughput bottleneck of every consumer from the
+//! Monte-Carlo adjudicator to the system campaign. [`SlicedBackend`]
+//! removes it by transposing the problem: every storage cell (and every
+//! derived checker signal) carries a `u64` whose **bit `L` is lane `L`'s
+//! value**, so one operation of a shared seed-pure stream advances up to
+//! 64 scenarios simultaneously.
+//!
+//! # Lane semantics
+//!
+//! * **lane = scenario** (the campaign engine's packing): all lanes share
+//!   one prefill image ([`SlicedPrefill::Shared`]) and one op stream —
+//!   the common-random-numbers Monte-Carlo design. Differences between
+//!   lanes are produced *only* by their fault scenarios.
+//! * **lane = trial** ([`SlicedPrefill::PerLane`]): one scenario
+//!   replicated across lanes, each with its own prefill image, still
+//!   under a shared stream.
+//!
+//! # Exactness contract
+//!
+//! Lane `L` of a sliced run is **bit-identical** to a scalar
+//! [`BehavioralBackend`] run of scenario `L` on the same prefill seed and
+//! op stream — observation by observation, cycle by cycle. Everything
+//! the scalar model does is reproduced lane-masked:
+//!
+//! * decoder faults become precomputed per-address selection/verdict
+//!   tables (no-line precharge, double-selection wired-OR, ROM-word code
+//!   verdicts), applied only while the scenario's [`FaultProcess`] pins
+//!   the site;
+//! * pinned cell faults are read overlays over intact underlying state
+//!   (writes land underneath, exactly like [`CellArray`]'s stuck bits);
+//! * transient cell flips fire once on the activation clock; coupling
+//!   defects ride aggressor write transitions; both heal lane-masked via
+//!   detect-and-restore from the golden image on the cycle a read raises
+//!   an indication.
+//!
+//! The differential proptests in `tests/differential_backends.rs` and the
+//! unit tests below enforce the contract against the scalar backends.
+//!
+//! [`BehavioralBackend`]: crate::backend::BehavioralBackend
+//! [`CellArray`]: crate::array::CellArray
+
+use crate::backend::CycleObservation;
+use crate::decoder_unit::{ActiveLines, BehavioralDecoder};
+use crate::design::{RamConfig, Verdict};
+use crate::fault::{CellRef, CouplingKind, FaultProcess, FaultScenario, FaultSite};
+use crate::sim::DetectionOutcome;
+use crate::workload::{Op, OpSource};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scm_rom::RomMatrix;
+
+/// Domain-separation tag for the shared-stream trial seeding of sliced
+/// campaign runs.
+const SHARED_STREAM_TAG: u64 = 0x51_1CED;
+
+/// What every lane observed on one cycle; bit `L` of each mask is lane
+/// `L`'s flag. Write cycles report `erroneous = 0` and `parity_error = 0`
+/// (only the decoder checkers speak), mirroring the scalar observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlicedObservation {
+    /// Lanes whose read output (data or parity bit) differed from the
+    /// fault-free golden image.
+    pub erroneous: u64,
+    /// Lanes whose row-decoder ROM word failed the code membership check.
+    pub row_code_error: u64,
+    /// Lanes whose column-decoder ROM word failed the membership check.
+    pub col_code_error: u64,
+    /// Lanes whose data-path parity check failed (read cycles only).
+    pub parity_error: u64,
+}
+
+impl SlicedObservation {
+    /// Lanes on which any checker raised an error indication this cycle.
+    pub fn detected(&self) -> u64 {
+        self.row_code_error | self.col_code_error | self.parity_error
+    }
+
+    /// Extract one lane as the scalar backend's observation type — the
+    /// differential tests compare this against [`BehavioralBackend`]
+    /// output directly.
+    ///
+    /// [`BehavioralBackend`]: crate::backend::BehavioralBackend
+    pub fn lane(&self, lane: usize) -> CycleObservation {
+        let bit = 1u64 << lane;
+        CycleObservation {
+            erroneous: Some(self.erroneous & bit != 0),
+            verdict: Verdict {
+                row_code_error: self.row_code_error & bit != 0,
+                col_code_error: self.col_code_error & bit != 0,
+                parity_error: self.parity_error & bit != 0,
+            },
+        }
+    }
+}
+
+/// How the pre-fault memory image of a sliced run is prepared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlicedPrefill {
+    /// All cells zero — the [`BehavioralBackend::new`] convention the
+    /// March dictionary builds on.
+    ///
+    /// [`BehavioralBackend::new`]: crate::backend::BehavioralBackend::new
+    Zeroed,
+    /// Every lane shares one deterministic random fill, bit-identical to
+    /// [`BehavioralBackend::prefilled`] with the same seed (lane =
+    /// scenario packing).
+    ///
+    /// [`BehavioralBackend::prefilled`]: crate::backend::BehavioralBackend::prefilled
+    Shared(u64),
+    /// One independent prefill stream per lane (lane = trial packing);
+    /// lane `L`'s image is [`BehavioralBackend::prefilled`] with
+    /// `seeds[L]`.
+    ///
+    /// [`BehavioralBackend::prefilled`]: crate::backend::BehavioralBackend::prefilled
+    PerLane(Vec<u64>),
+}
+
+/// Iterate the set bit positions of `mask` in ascending order — the
+/// trailing-zero scan that extracts per-lane results from detection
+/// masks.
+pub fn for_each_lane(mut mask: u64, mut f: impl FnMut(usize)) {
+    while mask != 0 {
+        f(mask.trailing_zeros() as usize);
+        mask &= mask - 1;
+    }
+}
+
+/// The all-ones word of a ROM of `width` output bits (the precharged
+/// no-line-selected value).
+fn full_word(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-trial workload seed of the sliced campaign path. Unlike the
+/// scalar engine's per-fault seeding, the stream is shared by every lane
+/// of a pack and therefore must not depend on any fault index — that is
+/// what makes results invariant under lane-packing width (the same trial
+/// replays the same stream no matter how the universe was chunked).
+pub fn shared_trial_seed(seed: u64, trial: u32) -> u64 {
+    splitmix(splitmix(seed ^ SHARED_STREAM_TAG).wrapping_add(trial as u64))
+}
+
+/// A bit-sliced self-checking RAM running up to 64 fault scenarios in
+/// lane-parallel over one shared operation stream.
+#[derive(Debug, Clone)]
+pub struct SlicedBackend {
+    config: RamConfig,
+    scenarios: Vec<FaultScenario>,
+    lanes: usize,
+    all_mask: u64,
+    pcols: usize,
+    mux: usize,
+    m: u32,
+    /// Pre-fault image (bit `L` = lane `L`'s stored value).
+    base: Vec<u64>,
+    /// Faulty underlying state, `rows × physical_cols`, row-major.
+    /// Pinned-cell overlays apply at read time, like [`CellArray`].
+    ///
+    /// [`CellArray`]: crate::array::CellArray
+    cells: Vec<u64>,
+    /// The fault-free golden twin's state.
+    gold: Vec<u64>,
+    cycle: u64,
+    /// Lanes whose one-shot cell flip already fired.
+    fired: u64,
+    /// Union of the one-shot flip lanes (early-out for the firing scan).
+    flips_all: u64,
+    /// Lanes pinned on every cycle (`Permanent { onset: 0 }`).
+    const_active: u64,
+    /// Lanes whose pinning follows a delayed/windowed process.
+    temporal: Vec<(u64, FaultProcess)>,
+    /// One-shot state flips: `(lane mask, row, col, at)`.
+    cell_flips: Vec<(u64, usize, usize, u64)>,
+    /// Pinned cell overlays: `(lane mask, row, col, stuck)`.
+    stuck_cells: Vec<(u64, usize, usize, bool)>,
+    /// Coupling defects: `(lane mask, victim, aggressor, kind)` — always
+    /// live (corruption rides writes, never the clock).
+    couplings: Vec<(u64, CellRef, CellRef, CouplingKind)>,
+    /// Data-register stuck bits: `(lane mask, bit, stuck)`.
+    data_reg: Vec<(u64, u32, bool)>,
+    /// Lanes whose scenario corrupts stored state (eligible for
+    /// detect-and-restore healing).
+    corrupts_state: u64,
+    /// Per applied row value: lanes whose row decoder selects no line.
+    row_none: Vec<u64>,
+    /// Per applied column value: lanes whose column decoder selects none.
+    col_none: Vec<u64>,
+    /// Per applied row value: `(lane mask, companion row)` double
+    /// selections.
+    row_two: Vec<Vec<(u64, u64)>>,
+    /// Per applied column value: `(lane mask, companion column-select)`.
+    col_two: Vec<Vec<(u64, u64)>>,
+    /// Per applied row value: lanes whose ROM word fails the row code
+    /// check *while their fault is active*.
+    row_err: Vec<u64>,
+    /// Per applied column value: lanes failing the column code check.
+    col_err: Vec<u64>,
+}
+
+impl SlicedBackend {
+    /// Sliced backend over a zero-initialised RAM (the dictionary
+    /// convention).
+    ///
+    /// # Panics
+    /// Panics on an empty or >64-scenario pack, on out-of-range fault
+    /// coordinates, or on a coupling scenario whose victim is not a cell.
+    pub fn new(config: &RamConfig, scenarios: &[FaultScenario]) -> Self {
+        Self::with_prefill(config, scenarios, SlicedPrefill::Zeroed)
+    }
+
+    /// Sliced backend whose shared pre-fault state replays
+    /// [`BehavioralBackend::prefilled`] bit-exactly (the campaign
+    /// convention).
+    ///
+    /// # Panics
+    /// As [`SlicedBackend::new`].
+    ///
+    /// [`BehavioralBackend::prefilled`]: crate::backend::BehavioralBackend::prefilled
+    pub fn prefilled(config: &RamConfig, scenarios: &[FaultScenario], seed: u64) -> Self {
+        Self::with_prefill(config, scenarios, SlicedPrefill::Shared(seed))
+    }
+
+    /// Sliced backend with an explicit prefill policy.
+    ///
+    /// # Panics
+    /// As [`SlicedBackend::new`]; additionally if a
+    /// [`SlicedPrefill::PerLane`] seed count disagrees with the scenario
+    /// count.
+    pub fn with_prefill(
+        config: &RamConfig,
+        scenarios: &[FaultScenario],
+        prefill: SlicedPrefill,
+    ) -> Self {
+        assert!(
+            !scenarios.is_empty() && scenarios.len() <= 64,
+            "a sliced backend packs 1..=64 scenarios, got {}",
+            scenarios.len()
+        );
+        let org = config.org();
+        let rows = org.rows() as usize;
+        let pcols = org.physical_cols() as usize;
+        let mux = org.mux_factor() as usize;
+        let m = org.word_bits();
+        let lanes = scenarios.len();
+        let all_mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let row_rom = RomMatrix::from_map(config.row_map());
+        let col_rom = RomMatrix::from_map(config.col_map());
+
+        let mut row_none = vec![0u64; rows];
+        let mut col_none = vec![0u64; mux];
+        let mut row_two: Vec<Vec<(u64, u64)>> = vec![Vec::new(); rows];
+        let mut col_two: Vec<Vec<(u64, u64)>> = vec![Vec::new(); mux];
+        let mut row_err = vec![0u64; rows];
+        let mut col_err = vec![0u64; mux];
+        let mut const_active = 0u64;
+        let mut temporal = Vec::new();
+        let mut cell_flips: Vec<(u64, usize, usize, u64)> = Vec::new();
+        let mut stuck_cells = Vec::new();
+        let mut couplings = Vec::new();
+        let mut data_reg = Vec::new();
+        let mut corrupts_state = 0u64;
+
+        for (lane, s) in scenarios.iter().enumerate() {
+            let mask = 1u64 << lane;
+            // State-corrupting processes first: they install no pinned
+            // site, exactly like the scalar backend's special cases.
+            if let (FaultProcess::TransientFlip { at }, FaultSite::Cell { row, col, .. }) =
+                (s.process, s.site)
+            {
+                assert!(
+                    row < rows && col < pcols,
+                    "cell ({row}, {col}) out of range"
+                );
+                cell_flips.push((mask, row, col, at));
+                corrupts_state |= mask;
+                continue;
+            }
+            if let FaultProcess::Coupling { aggressor, kind } = s.process {
+                let FaultSite::Cell { row, col, .. } = s.site else {
+                    panic!("coupling victim must be a cell, got {}", s.site);
+                };
+                let victim = CellRef { row, col };
+                assert!(
+                    victim.row < rows && victim.col < pcols,
+                    "coupling victim ({}, {}) out of range",
+                    victim.row,
+                    victim.col
+                );
+                assert!(
+                    aggressor.row < rows && aggressor.col < pcols,
+                    "coupling aggressor ({}, {}) out of range",
+                    aggressor.row,
+                    aggressor.col
+                );
+                assert!(
+                    victim != aggressor,
+                    "a cell cannot couple to itself ({}, {})",
+                    victim.row,
+                    victim.col
+                );
+                couplings.push((mask, victim, aggressor, kind));
+                corrupts_state |= mask;
+                continue;
+            }
+            // Every remaining process pins its site inside an activation
+            // window on the cycle clock.
+            match s.process {
+                FaultProcess::Permanent { onset: 0 } => const_active |= mask,
+                p => temporal.push((mask, p)),
+            }
+            match s.site {
+                FaultSite::Cell { row, col, stuck } => {
+                    assert!(
+                        row < rows && col < pcols,
+                        "cell ({row}, {col}) out of range"
+                    );
+                    stuck_cells.push((mask, row, col, stuck));
+                }
+                FaultSite::RowDecoder(f) => {
+                    let mut dec = BehavioralDecoder::new(org.row_bits());
+                    dec.inject(f);
+                    for rv in 0..rows as u64 {
+                        let lines = dec.decode(rv);
+                        match lines {
+                            ActiveLines::None => row_none[rv as usize] |= mask,
+                            ActiveLines::One(_) => {}
+                            ActiveLines::Two(_, companion) => {
+                                row_two[rv as usize].push((mask, companion));
+                            }
+                        }
+                        let word = lines.iter().fold(full_word(row_rom.width()), |acc, line| {
+                            acc & row_rom.word(line as usize)
+                        });
+                        if !config.row_map().is_codeword(word) {
+                            row_err[rv as usize] |= mask;
+                        }
+                    }
+                }
+                FaultSite::ColDecoder(f) => {
+                    let mut dec = BehavioralDecoder::new(org.col_bits().max(1));
+                    dec.inject(f);
+                    for cv in 0..mux as u64 {
+                        let lines = dec.decode(cv);
+                        match lines {
+                            ActiveLines::None => col_none[cv as usize] |= mask,
+                            ActiveLines::One(_) => {}
+                            ActiveLines::Two(_, companion) => {
+                                col_two[cv as usize].push((mask, companion));
+                            }
+                        }
+                        let word = lines.iter().fold(full_word(col_rom.width()), |acc, line| {
+                            acc & col_rom.word(line as usize)
+                        });
+                        if !config.col_map().is_codeword(word) {
+                            col_err[cv as usize] |= mask;
+                        }
+                    }
+                }
+                FaultSite::RowRomBit { line, bit } => {
+                    assert!(line < rows as u64, "row ROM line out of range");
+                    assert!((bit as usize) < row_rom.width(), "row ROM bit out of range");
+                    for rv in 0..rows as u64 {
+                        let flip = if rv == line { 1u64 << bit } else { 0 };
+                        if !config
+                            .row_map()
+                            .is_codeword(row_rom.word(rv as usize) ^ flip)
+                        {
+                            row_err[rv as usize] |= mask;
+                        }
+                    }
+                }
+                FaultSite::ColRomBit { line, bit } => {
+                    assert!(line < mux as u64, "col ROM line out of range");
+                    assert!((bit as usize) < col_rom.width(), "col ROM bit out of range");
+                    for cv in 0..mux as u64 {
+                        let flip = if cv == line { 1u64 << bit } else { 0 };
+                        if !config
+                            .col_map()
+                            .is_codeword(col_rom.word(cv as usize) ^ flip)
+                        {
+                            col_err[cv as usize] |= mask;
+                        }
+                    }
+                }
+                FaultSite::RowRomColumn { bit, stuck } => {
+                    assert!(
+                        (bit as usize) < row_rom.width(),
+                        "row ROM column out of range"
+                    );
+                    for rv in 0..rows as u64 {
+                        let w = row_rom.word(rv as usize);
+                        let word = if stuck {
+                            w | (1u64 << bit)
+                        } else {
+                            w & !(1u64 << bit)
+                        };
+                        if !config.row_map().is_codeword(word) {
+                            row_err[rv as usize] |= mask;
+                        }
+                    }
+                }
+                FaultSite::ColRomColumn { bit, stuck } => {
+                    assert!(
+                        (bit as usize) < col_rom.width(),
+                        "col ROM column out of range"
+                    );
+                    for cv in 0..mux as u64 {
+                        let w = col_rom.word(cv as usize);
+                        let word = if stuck {
+                            w | (1u64 << bit)
+                        } else {
+                            w & !(1u64 << bit)
+                        };
+                        if !config.col_map().is_codeword(word) {
+                            col_err[cv as usize] |= mask;
+                        }
+                    }
+                }
+                FaultSite::DataRegisterBit { bit, stuck } => {
+                    assert!(bit < m, "register bit out of range");
+                    data_reg.push((mask, bit, stuck));
+                }
+            }
+        }
+
+        let base = Self::prefill_image(config, &prefill, lanes);
+        let flips_all = cell_flips.iter().fold(0u64, |acc, f| acc | f.0);
+        SlicedBackend {
+            config: config.clone(),
+            scenarios: scenarios.to_vec(),
+            lanes,
+            all_mask,
+            pcols,
+            mux,
+            m,
+            cells: base.clone(),
+            gold: base.clone(),
+            base,
+            cycle: 0,
+            fired: 0,
+            flips_all,
+            const_active,
+            temporal,
+            cell_flips,
+            stuck_cells,
+            couplings,
+            data_reg,
+            corrupts_state,
+            row_none,
+            col_none,
+            row_two,
+            col_two,
+            row_err,
+            col_err,
+        }
+    }
+
+    /// Can a sliced backend realise `scenario`? Same answer as the
+    /// scalar behavioural backend: everything except a coupling whose
+    /// victim is not a distinct cell.
+    pub fn supports(scenario: &FaultScenario) -> bool {
+        match scenario.process {
+            FaultProcess::Coupling { aggressor, .. } => {
+                matches!(scenario.site, FaultSite::Cell { row, col, .. }
+                    if CellRef { row, col } != aggressor)
+            }
+            _ => true,
+        }
+    }
+
+    fn prefill_image(config: &RamConfig, prefill: &SlicedPrefill, lanes: usize) -> Vec<u64> {
+        let org = config.org();
+        let pcols = org.physical_cols() as usize;
+        let mux = org.mux_factor() as usize;
+        let m = org.word_bits();
+        let value_mask = if m >= 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let mut base = vec![0u64; org.rows() as usize * pcols];
+        let mut fill = |lane_mask: u64, seed: u64| {
+            // Bit-exact replay of BehavioralBackend::prefilled: one
+            // seeded write per word in address order.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for addr in 0..org.words() {
+                let value = rng.gen::<u64>() & value_mask;
+                let parity = value.count_ones() % 2 == 1;
+                let (rv, cv) = config.split_address(addr);
+                for k in 0..=m {
+                    let wbit = if k == m { parity } else { value >> k & 1 == 1 };
+                    let idx = rv as usize * pcols + k as usize * mux + cv as usize;
+                    base[idx] = (base[idx] & !lane_mask) | if wbit { lane_mask } else { 0 };
+                }
+            }
+        };
+        match prefill {
+            SlicedPrefill::Zeroed => {}
+            SlicedPrefill::Shared(seed) => fill(u64::MAX, *seed),
+            SlicedPrefill::PerLane(seeds) => {
+                assert_eq!(seeds.len(), lanes, "one prefill seed per lane");
+                for (lane, &seed) in seeds.iter().enumerate() {
+                    fill(1u64 << lane, seed);
+                }
+            }
+        }
+        base
+    }
+
+    /// Number of packed lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mask with one bit set per packed lane.
+    pub fn lane_mask(&self) -> u64 {
+        self.all_mask
+    }
+
+    /// The packed scenarios, in lane order.
+    pub fn scenarios(&self) -> &[FaultScenario] {
+        &self.scenarios
+    }
+
+    /// The simulated design's configuration.
+    pub fn config(&self) -> &RamConfig {
+        &self.config
+    }
+
+    /// Cycles stepped (or skipped via [`advance`](Self::advance)) since
+    /// the last reset — the activation clock.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Restore the pre-fault image on every lane and restart the
+    /// activation clock at cycle 0.
+    pub fn reset(&mut self) {
+        self.cells.copy_from_slice(&self.base);
+        self.gold.copy_from_slice(&self.base);
+        self.cycle = 0;
+        self.fired = 0;
+    }
+
+    /// Advance the activation clock without executing an operation (the
+    /// multi-bank scheduler's idle cycles). One-shot flips whose instant
+    /// falls inside the skipped window fire before the next observation.
+    pub fn advance(&mut self, cycles: u64) {
+        self.cycle = self.cycle.saturating_add(cycles);
+    }
+
+    /// Execute one operation on every lane and report the per-lane
+    /// observation masks.
+    pub fn step(&mut self, op: Op) -> SlicedObservation {
+        // One-shot cell flips whose instant has been reached fire before
+        // the operation observes the array.
+        if self.fired != self.flips_all {
+            let SlicedBackend {
+                ref cell_flips,
+                ref mut cells,
+                ref mut fired,
+                pcols,
+                cycle,
+                ..
+            } = *self;
+            for &(mask, row, col, at) in cell_flips {
+                if *fired & mask == 0 && cycle >= at {
+                    cells[row * pcols + col] ^= mask;
+                    *fired |= mask;
+                }
+            }
+        }
+        let mut active = self.const_active;
+        for &(mask, p) in &self.temporal {
+            if p.pins_site_at(self.cycle) {
+                active |= mask;
+            }
+        }
+        let obs = match op {
+            Op::Read(addr) => {
+                let obs = self.read(addr, active);
+                // Detect-and-restore, lane-masked: an indication on a
+                // read of state-resident corruption heals the addressed
+                // word from the golden image on exactly those lanes.
+                let restore = obs.detected() & self.corrupts_state;
+                if restore != 0 {
+                    self.restore(addr, restore);
+                }
+                obs
+            }
+            Op::Write(addr, value) => self.write(addr, value, active),
+        };
+        self.cycle += 1;
+        obs
+    }
+
+    fn read(&self, addr: u64, active: u64) -> SlicedObservation {
+        let (rv64, cv64) = self.config.split_address(addr);
+        let (rv, cv) = (rv64 as usize, cv64 as usize);
+        let m = self.m as usize;
+        let mut data = [0u64; 65];
+        let mut goldb = [0u64; 65];
+        for k in 0..=m {
+            let idx = rv * self.pcols + k * self.mux + cv;
+            data[k] = self.cells[idx];
+            goldb[k] = self.gold[idx];
+        }
+        // Pinned-cell overlays replace the stored bit while active.
+        for &(mask, row, col, stuck) in &self.stuck_cells {
+            if active & mask != 0 && row == rv && col % self.mux == cv {
+                let k = col / self.mux;
+                if stuck {
+                    data[k] |= mask;
+                } else {
+                    data[k] &= !mask;
+                }
+            }
+        }
+        // No line selected → precharged all-ones on every bit group.
+        let precharge = (self.row_none[rv] | self.col_none[cv]) & active;
+        if precharge != 0 {
+            for word in data.iter_mut().take(m + 1) {
+                *word |= precharge;
+            }
+        }
+        // Double selection → wired-OR with the companion row / column.
+        for &(mask, companion) in &self.row_two[rv] {
+            if active & mask != 0 {
+                for (k, word) in data.iter_mut().enumerate().take(m + 1) {
+                    *word |= self.cells[companion as usize * self.pcols + k * self.mux + cv] & mask;
+                }
+            }
+        }
+        for &(mask, companion) in &self.col_two[cv] {
+            if active & mask != 0 {
+                for (k, word) in data.iter_mut().enumerate().take(m + 1) {
+                    *word |= self.cells[rv * self.pcols + k * self.mux + companion as usize] & mask;
+                }
+            }
+        }
+        // Data-register stuck bits strike the data word only (after the
+        // mux, before the parity check).
+        for &(mask, bit, stuck) in &self.data_reg {
+            if active & mask != 0 {
+                if stuck {
+                    data[bit as usize] |= mask;
+                } else {
+                    data[bit as usize] &= !mask;
+                }
+            }
+        }
+        let mut err = 0u64;
+        let mut par = 0u64;
+        for k in 0..=m {
+            err |= data[k] ^ goldb[k];
+            par ^= data[k];
+        }
+        SlicedObservation {
+            erroneous: err & self.all_mask,
+            row_code_error: self.row_err[rv] & active,
+            col_code_error: self.col_err[cv] & active,
+            parity_error: par & self.all_mask,
+        }
+    }
+
+    fn write(&mut self, addr: u64, value: u64, active: u64) -> SlicedObservation {
+        let (rv64, cv64) = self.config.split_address(addr);
+        let (rv, cv) = (rv64 as usize, cv64 as usize);
+        let m = self.m;
+        let value = if m == 64 {
+            value
+        } else {
+            value & ((1u64 << m) - 1)
+        };
+        let parity = value.count_ones() % 2 == 1;
+        // Lanes whose decoder selects no line write nothing at all.
+        let none = (self.row_none[rv] | self.col_none[cv]) & active;
+        let wmask = !none;
+        let SlicedBackend {
+            ref mut cells,
+            ref mut gold,
+            ref row_two,
+            ref col_two,
+            ref couplings,
+            ref row_err,
+            ref col_err,
+            pcols,
+            mux,
+            ..
+        } = *self;
+        // The coupling aggressor check precedes the cell update: a write
+        // transitions the aggressor iff the new value differs from the
+        // currently stored one. Coupling lanes always have clean
+        // decoders (single fault per lane), so the selected set is
+        // exactly the nominal word.
+        let mut toggled = 0u64;
+        for &(mask, _, agg, _) in couplings {
+            if agg.row == rv && agg.col % mux == cv {
+                let k = (agg.col / mux) as u32;
+                let wbit = if k == m { parity } else { value >> k & 1 == 1 };
+                let cur = cells[agg.row * pcols + agg.col] & mask != 0;
+                if cur != wbit {
+                    toggled |= mask;
+                }
+            }
+        }
+        for k in 0..=m {
+            let wbit = if k == m { parity } else { value >> k & 1 == 1 };
+            let idx = rv * pcols + k as usize * mux + cv;
+            cells[idx] = (cells[idx] & !wmask) | if wbit { wmask } else { 0 };
+            gold[idx] = if wbit { u64::MAX } else { 0 };
+            // Double selection lands the write in the companion word too.
+            for &(mask, companion) in &row_two[rv] {
+                if active & mask != 0 {
+                    let cidx = companion as usize * pcols + k as usize * mux + cv;
+                    cells[cidx] = (cells[cidx] & !mask) | if wbit { mask } else { 0 };
+                }
+            }
+            for &(mask, companion) in &col_two[cv] {
+                if active & mask != 0 {
+                    let cidx = rv * pcols + k as usize * mux + companion as usize;
+                    cells[cidx] = (cells[cidx] & !mask) | if wbit { mask } else { 0 };
+                }
+            }
+        }
+        // Coupling acts after the write settles.
+        if toggled != 0 {
+            for &(mask, victim, _, kind) in couplings {
+                if toggled & mask != 0 {
+                    let vidx = victim.row * pcols + victim.col;
+                    match kind {
+                        CouplingKind::Inversion => cells[vidx] ^= mask,
+                        CouplingKind::Idempotent { value } => {
+                            cells[vidx] = (cells[vidx] & !mask) | if value { mask } else { 0 };
+                        }
+                    }
+                }
+            }
+        }
+        SlicedObservation {
+            erroneous: 0,
+            row_code_error: row_err[rv] & active,
+            col_code_error: col_err[cv] & active,
+            parity_error: 0,
+        }
+    }
+
+    fn restore(&mut self, addr: u64, mask: u64) {
+        let (rv64, cv64) = self.config.split_address(addr);
+        let (rv, cv) = (rv64 as usize, cv64 as usize);
+        for k in 0..=(self.m as usize) {
+            let idx = rv * self.pcols + k * self.mux + cv;
+            self.cells[idx] = (self.cells[idx] & !mask) | (self.gold[idx] & mask);
+        }
+    }
+}
+
+/// Run `cycles` operations from `workload` against a sliced backend,
+/// recording each lane's first-error and first-detection cycles.
+///
+/// Per lane, the outcome is identical to
+/// [`measure_detection_on`](crate::sim::measure_detection_on) over a
+/// scalar backend of that lane's scenario on the same stream: errors and
+/// detections latch once, nothing after a lane's first detection is
+/// recorded for it, and `cycles_run` is the detection cycle + 1 (or
+/// `cycles` when undetected). The loop exits early once every lane has
+/// detected.
+pub fn measure_detection_sliced<S: OpSource + ?Sized>(
+    backend: &mut SlicedBackend,
+    workload: &mut S,
+    cycles: u64,
+) -> Vec<DetectionOutcome> {
+    let all = backend.lane_mask();
+    let mut out = vec![
+        DetectionOutcome {
+            cycles_run: cycles,
+            first_error: None,
+            first_detection: None,
+        };
+        backend.lanes()
+    ];
+    let mut seen_err = 0u64;
+    let mut seen_det = 0u64;
+    for cycle in 0..cycles {
+        let obs = backend.step(workload.next_op());
+        let pending = !seen_det;
+        let new_err = obs.erroneous & pending & !seen_err;
+        for_each_lane(new_err, |l| out[l].first_error = Some(cycle));
+        seen_err |= new_err;
+        let new_det = obs.detected() & pending & all;
+        for_each_lane(new_det, |l| {
+            out[l].first_detection = Some(cycle);
+            out[l].cycles_run = cycle + 1;
+        });
+        seen_det |= new_det;
+        if seen_det == all {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BehavioralBackend, FaultSimBackend};
+    use crate::campaign::decoder_fault_universe;
+    use crate::decoder_unit::DecoderFault;
+    use crate::sim::measure_detection_on;
+    use crate::workload::{model_by_name, WorkloadSpec};
+    use scm_area::RamOrganization;
+    use scm_codes::{CodewordMap, MOutOfN};
+
+    fn small_config() -> RamConfig {
+        // 64 words × 8 bits, 1-of-4 mux — the geometry every scalar
+        // backend test uses.
+        let org = RamOrganization::new(64, 8, 4);
+        let code = MOutOfN::new(3, 5).unwrap();
+        RamConfig::new(
+            org,
+            CodewordMap::mod_a(code, 9, 16).unwrap(),
+            CodewordMap::mod_a(code, 9, 4).unwrap(),
+        )
+    }
+
+    fn ops(seed: u64, n: usize, write_fraction: f64) -> Vec<Op> {
+        let model = model_by_name("uniform").unwrap();
+        let spec = WorkloadSpec {
+            words: 64,
+            word_bits: 8,
+            write_fraction,
+        };
+        let mut stream = model.stream(spec, seed);
+        (0..n).map(|_| stream.next_op()).collect()
+    }
+
+    /// The exactness contract, asserted wholesale: lane `L` of one
+    /// sliced run must equal a scalar behavioural run of scenario `L`
+    /// on the identical prefill seed and op sequence, observation by
+    /// observation.
+    fn assert_lanes_match(cfg: &RamConfig, scenarios: &[FaultScenario], seed: u64, ops: &[Op]) {
+        let mut sliced = SlicedBackend::prefilled(cfg, scenarios, seed);
+        let per_cycle: Vec<SlicedObservation> = ops.iter().map(|&op| sliced.step(op)).collect();
+        for (lane, s) in scenarios.iter().enumerate() {
+            let mut scalar = BehavioralBackend::prefilled(cfg, seed);
+            scalar.reset(Some(s));
+            for (cycle, &op) in ops.iter().enumerate() {
+                let expect = scalar.step(op);
+                let got = per_cycle[cycle].lane(lane);
+                assert_eq!(got, expect, "lane {lane} {s} cycle {cycle} op {op:?}");
+            }
+        }
+    }
+
+    fn mixed_site_scenarios() -> Vec<FaultScenario> {
+        let mut v: Vec<FaultScenario> = vec![
+            FaultSite::Cell {
+                row: 2,
+                col: 13,
+                stuck: true,
+            }
+            .into(),
+            FaultSite::Cell {
+                row: 7,
+                col: 0,
+                stuck: false,
+            }
+            .into(),
+            // Parity-group cell (group m = 8 → physical cols 32..36).
+            FaultSite::Cell {
+                row: 5,
+                col: 8 * 4 + 2,
+                stuck: true,
+            }
+            .into(),
+            FaultSite::RowRomBit { line: 7, bit: 2 }.into(),
+            FaultSite::ColRomBit { line: 1, bit: 0 }.into(),
+            FaultSite::RowRomColumn {
+                bit: 0,
+                stuck: true,
+            }
+            .into(),
+            FaultSite::ColRomColumn {
+                bit: 3,
+                stuck: false,
+            }
+            .into(),
+            FaultSite::DataRegisterBit {
+                bit: 0,
+                stuck: true,
+            }
+            .into(),
+            FaultSite::DataRegisterBit {
+                bit: 5,
+                stuck: false,
+            }
+            .into(),
+        ];
+        for f in decoder_fault_universe(4).into_iter().step_by(5) {
+            v.push(FaultSite::RowDecoder(f).into());
+        }
+        for f in decoder_fault_universe(2).into_iter().step_by(2) {
+            v.push(FaultSite::ColDecoder(f).into());
+        }
+        v
+    }
+
+    fn temporal_scenarios() -> Vec<FaultScenario> {
+        let cell = |row, col, stuck| FaultSite::Cell { row, col, stuck };
+        let dec = FaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 5,
+            stuck_one: false,
+        });
+        let sa1 = FaultSite::RowDecoder(DecoderFault {
+            bits: 4,
+            offset: 0,
+            value: 0,
+            stuck_one: true,
+        });
+        vec![
+            // Delayed permanents.
+            FaultScenario {
+                site: dec,
+                process: FaultProcess::Permanent { onset: 4 },
+            },
+            FaultScenario {
+                site: cell(3, 9, true),
+                process: FaultProcess::Permanent { onset: 11 },
+            },
+            // One-shot transients: state flips on cells, glitches elsewhere.
+            FaultScenario::transient(cell(2, 1, false), 3),
+            FaultScenario::transient(cell(6, 20, false), 17),
+            FaultScenario::transient(dec, 5),
+            FaultScenario::transient(sa1, 9),
+            FaultScenario::transient(
+                FaultSite::DataRegisterBit {
+                    bit: 2,
+                    stuck: true,
+                },
+                7,
+            ),
+            // Intermittents on a cell and on a decoder line.
+            FaultScenario {
+                site: cell(2, 1, true),
+                process: FaultProcess::Intermittent {
+                    onset: 2,
+                    period: 4,
+                    duty: 2,
+                },
+            },
+            FaultScenario {
+                site: sa1,
+                process: FaultProcess::Intermittent {
+                    onset: 0,
+                    period: 7,
+                    duty: 3,
+                },
+            },
+            // Degenerate intermittent (period 0 → permanent from onset).
+            FaultScenario {
+                site: dec,
+                process: FaultProcess::Intermittent {
+                    onset: 6,
+                    period: 0,
+                    duty: 0,
+                },
+            },
+            // Coupling defects, both kinds.
+            FaultScenario {
+                site: cell(1, 0, false),
+                process: FaultProcess::Coupling {
+                    aggressor: CellRef { row: 3, col: 2 },
+                    kind: CouplingKind::Inversion,
+                },
+            },
+            FaultScenario {
+                site: cell(4, 17, false),
+                process: FaultProcess::Coupling {
+                    aggressor: CellRef { row: 4, col: 16 },
+                    kind: CouplingKind::Idempotent { value: true },
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn permanents_match_scalar_across_all_site_classes() {
+        let cfg = small_config();
+        assert_lanes_match(&cfg, &mixed_site_scenarios(), 7, &ops(101, 120, 0.3));
+    }
+
+    #[test]
+    fn full_decoder_universe_packs_64_lanes() {
+        let cfg = small_config();
+        let scenarios: Vec<FaultScenario> = decoder_fault_universe(4)
+            .into_iter()
+            .map(|f| FaultSite::RowDecoder(f).into())
+            .collect();
+        assert_eq!(scenarios.len(), 64, "the 4-bit universe fills a word");
+        assert_lanes_match(&cfg, &scenarios, 3, &ops(55, 100, 0.25));
+    }
+
+    #[test]
+    fn temporal_processes_match_scalar() {
+        let cfg = small_config();
+        // High write fraction exercises coupling transitions, rewrite
+        // healing and double-selection write corruption.
+        assert_lanes_match(&cfg, &temporal_scenarios(), 21, &ops(77, 160, 0.45));
+    }
+
+    #[test]
+    fn detection_outcomes_match_scalar_lane_by_lane() {
+        let cfg = small_config();
+        let mut scenarios = mixed_site_scenarios();
+        scenarios.extend(temporal_scenarios());
+        let model = model_by_name("uniform").unwrap();
+        let spec = WorkloadSpec {
+            words: 64,
+            word_bits: 8,
+            write_fraction: 0.2,
+        };
+        let mut sliced = SlicedBackend::prefilled(&cfg, &scenarios, 9);
+        let mut stream = model.stream(spec, 31);
+        let outcomes = measure_detection_sliced(&mut sliced, &mut stream, 200);
+        for (lane, s) in scenarios.iter().enumerate() {
+            let mut scalar = BehavioralBackend::prefilled(&cfg, 9);
+            scalar.reset(Some(s));
+            let mut stream = model.stream(spec, 31);
+            let expect = measure_detection_on(&mut scalar, &mut stream, 200);
+            assert_eq!(outcomes[lane], expect, "lane {lane} {s}");
+        }
+    }
+
+    #[test]
+    fn lane_width_does_not_change_outcomes() {
+        let cfg = small_config();
+        let scenarios: Vec<FaultScenario> = decoder_fault_universe(4)
+            .into_iter()
+            .map(|f| FaultSite::RowDecoder(f).into())
+            .collect();
+        let model = model_by_name("uniform").unwrap();
+        let spec = WorkloadSpec {
+            words: 64,
+            word_bits: 8,
+            write_fraction: 0.15,
+        };
+        let run = |width: usize| -> Vec<DetectionOutcome> {
+            let mut all = Vec::new();
+            for chunk in scenarios.chunks(width) {
+                let mut backend = SlicedBackend::prefilled(&cfg, chunk, 5);
+                let mut stream = model.stream(spec, 42);
+                all.extend(measure_detection_sliced(&mut backend, &mut stream, 150));
+            }
+            all
+        };
+        let w64 = run(64);
+        assert_eq!(run(1), w64, "width 1 vs 64");
+        assert_eq!(run(8), w64, "width 8 vs 64");
+    }
+
+    #[test]
+    fn reset_restores_prefill_and_replays_identically() {
+        let cfg = small_config();
+        let scenarios = temporal_scenarios();
+        let stream = ops(13, 90, 0.4);
+        let mut b = SlicedBackend::prefilled(&cfg, &scenarios, 17);
+        let first: Vec<SlicedObservation> = stream.iter().map(|&op| b.step(op)).collect();
+        b.reset();
+        assert_eq!(b.cycle(), 0);
+        let second: Vec<SlicedObservation> = stream.iter().map(|&op| b.step(op)).collect();
+        assert_eq!(first, second, "reset must restore the pre-fault state");
+    }
+
+    #[test]
+    fn per_lane_prefill_matches_scalar_prefills() {
+        let cfg = small_config();
+        let seeds: Vec<u64> = (0..6).map(|k| 1000 + k * 37).collect();
+        // One scenario replicated per lane — the lane = trial packing.
+        let scenario: FaultScenario = FaultSite::DataRegisterBit {
+            bit: 1,
+            stuck: true,
+        }
+        .into();
+        let scenarios = vec![scenario; seeds.len()];
+        let mut sliced =
+            SlicedBackend::with_prefill(&cfg, &scenarios, SlicedPrefill::PerLane(seeds.clone()));
+        let stream = ops(71, 80, 0.2);
+        let per_cycle: Vec<SlicedObservation> = stream.iter().map(|&op| sliced.step(op)).collect();
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut scalar = BehavioralBackend::prefilled(&cfg, seed);
+            scalar.reset(Some(&scenario));
+            for (cycle, &op) in stream.iter().enumerate() {
+                let expect = scalar.step(op);
+                assert_eq!(
+                    per_cycle[cycle].lane(lane),
+                    expect,
+                    "lane {lane} seed {seed} cycle {cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_keeps_the_activation_clock_global() {
+        let cfg = small_config();
+        let addr = 2 * 4 + 1;
+        let scenarios = vec![
+            FaultScenario::transient(
+                FaultSite::Cell {
+                    row: 2,
+                    col: 1,
+                    stuck: false,
+                },
+                10,
+            ),
+            FaultScenario::permanent(FaultSite::RowRomBit { line: 2, bit: 1 }),
+        ];
+        let mut b = SlicedBackend::prefilled(&cfg, &scenarios, 11);
+        for _ in 0..5 {
+            let obs = b.step(Op::Read(addr));
+            assert_eq!(obs.erroneous & 1, 0, "lane 0 silent before the flip");
+        }
+        b.advance(5);
+        assert_eq!(b.cycle(), 10);
+        let obs = b.step(Op::Read(addr));
+        assert_eq!(obs.erroneous & 1, 1, "flip fired during the skip");
+    }
+
+    #[test]
+    fn shared_trial_seed_is_pure_and_spread() {
+        assert_eq!(shared_trial_seed(5, 3), shared_trial_seed(5, 3));
+        assert_ne!(shared_trial_seed(5, 3), shared_trial_seed(5, 4));
+        assert_ne!(shared_trial_seed(5, 3), shared_trial_seed(6, 3));
+    }
+
+    #[test]
+    fn for_each_lane_scans_in_ascending_order() {
+        let mut seen = Vec::new();
+        for_each_lane(0b1010_0110_0001, |l| seen.push(l));
+        assert_eq!(seen, vec![0, 5, 6, 9, 11]);
+        for_each_lane(0, |_| panic!("empty mask must not call back"));
+    }
+
+    #[test]
+    fn supports_mirrors_the_scalar_backend() {
+        let cfg = small_config();
+        let scalar = BehavioralBackend::new(&cfg);
+        let coupled = |row, col| FaultScenario {
+            site: FaultSite::Cell {
+                row,
+                col,
+                stuck: false,
+            },
+            process: FaultProcess::Coupling {
+                aggressor: CellRef { row: 1, col: 1 },
+                kind: CouplingKind::Inversion,
+            },
+        };
+        for s in [
+            FaultScenario::permanent(FaultSite::Cell {
+                row: 0,
+                col: 0,
+                stuck: true,
+            }),
+            coupled(0, 0),
+            coupled(1, 1), // self-coupling: unsupported
+            FaultScenario {
+                site: FaultSite::RowRomBit { line: 0, bit: 0 },
+                process: FaultProcess::Coupling {
+                    aggressor: CellRef { row: 1, col: 1 },
+                    kind: CouplingKind::Inversion,
+                },
+            },
+        ] {
+            assert_eq!(SlicedBackend::supports(&s), scalar.supports(&s), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 scenarios")]
+    fn more_than_64_lanes_rejected() {
+        let cfg = small_config();
+        let scenarios: Vec<FaultScenario> = vec![
+            FaultSite::Cell {
+                row: 0,
+                col: 0,
+                stuck: true
+            }
+            .into();
+            65
+        ];
+        let _ = SlicedBackend::new(&cfg, &scenarios);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling victim must be a cell")]
+    fn coupling_on_non_cell_site_panics() {
+        let cfg = small_config();
+        let scenarios = vec![FaultScenario {
+            site: FaultSite::RowRomBit { line: 0, bit: 0 },
+            process: FaultProcess::Coupling {
+                aggressor: CellRef { row: 1, col: 1 },
+                kind: CouplingKind::Inversion,
+            },
+        }];
+        let _ = SlicedBackend::new(&cfg, &scenarios);
+    }
+}

@@ -28,13 +28,19 @@
 
 use crate::clock::SystemClock;
 use crate::seu::SeuProcess;
-use crate::system::{MemorySystem, SystemConfig};
+use crate::system::{bank_prefill_seed, MemorySystem, SystemConfig};
 use rayon::prelude::*;
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
 use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
 use scm_memory::fault::{FaultProcess, FaultScenario, FaultSite};
+use scm_memory::sliced::{for_each_lane, SlicedBackend};
 use scm_memory::workload::{UniformRandom, WorkloadModel};
 use std::sync::Arc;
+
+/// Domain-separation tag for the sliced engine's shared traffic streams
+/// (seeded per `(bank, trial)`, never per fault index — lane-packing
+/// invariance demands the stream not know how lanes are grouped).
+const SLICED_TRAFFIC_TAG: u64 = 0x51_1CED;
 
 /// One cell of the campaign universe: a fault scenario in a specific
 /// bank.
@@ -266,6 +272,14 @@ struct TrialBlock {
     trial_end: u32,
 }
 
+/// One lane block of the sliced system path: up to 64 universe entries
+/// of the same bank, addressed by their positions in the input universe.
+#[derive(Debug, Clone)]
+struct LaneChunk {
+    bank: usize,
+    positions: Vec<usize>,
+}
+
 /// The parallel system campaign runner.
 #[derive(Debug, Clone)]
 pub struct SystemCampaign {
@@ -273,6 +287,8 @@ pub struct SystemCampaign {
     campaign: CampaignConfig,
     model: Arc<dyn WorkloadModel>,
     threads: usize,
+    sliced: bool,
+    lane_width: usize,
 }
 
 impl SystemCampaign {
@@ -285,7 +301,26 @@ impl SystemCampaign {
             campaign,
             model: Arc::new(UniformRandom),
             threads: 0,
+            sliced: false,
+            lane_width: 64,
         }
+    }
+
+    /// Route [`run`](Self::run) through the bit-sliced backend: faults of
+    /// the same bank pack into lanes of one simulation pass, sharing the
+    /// trial's system event stream. Results stay bit-identical at every
+    /// thread count and lane width, but the shared-stream seeding differs
+    /// from the scalar engine's per-fault streams, so the two engines are
+    /// distinct (both valid) Monte-Carlo estimators.
+    pub fn sliced(mut self, sliced: bool) -> Self {
+        self.sliced = sliced;
+        self
+    }
+
+    /// Scenarios packed per sliced pass (clamped to `1..=64`; default 64).
+    pub fn lane_width(mut self, width: usize) -> Self {
+        self.lane_width = width.clamp(1, 64);
+        self
     }
 
     /// Plug in a shared traffic model.
@@ -373,6 +408,9 @@ impl SystemCampaign {
                 self.system.num_banks()
             );
         }
+        if self.sliced {
+            return self.run_sliced(universe);
+        }
         // One prefilled template per bank, shared read-only by every
         // worker; blocks clone only the bank they fault.
         let template = MemorySystem::new(self.system.clone(), self.campaign.seed);
@@ -418,6 +456,192 @@ impl SystemCampaign {
             scrub_slots: self.system.scrub.slots_within(self.campaign.cycles),
             scrub_overhead: self.system.scrub.bandwidth_overhead(),
         }
+    }
+
+    /// The sliced grid: universe entries grouped bank-major into lane
+    /// chunks of [`lane_width`](Self::lane_width), every chunk advancing
+    /// all its lanes through one shared per-trial system event stream.
+    ///
+    /// # Panics
+    /// Panics if the sliced backend cannot inject a universe entry.
+    fn run_sliced(&self, universe: &[SystemFault]) -> SystemResult {
+        if let Some(bad) = universe
+            .iter()
+            .find(|f| !SlicedBackend::supports(&f.scenario()))
+        {
+            panic!("backend 'sliced' cannot inject {:?}", bad.scenario());
+        }
+        let width = self.lane_width.clamp(1, 64);
+        let mut chunks: Vec<LaneChunk> = Vec::new();
+        for bank in 0..self.system.num_banks() {
+            let positions: Vec<usize> = (0..universe.len())
+                .filter(|&i| universe[i].bank == bank)
+                .collect();
+            for chunk in positions.chunks(width) {
+                chunks.push(LaneChunk {
+                    bank,
+                    positions: chunk.to_vec(),
+                });
+            }
+        }
+        let blocks = self.decompose(chunks.len());
+        let dispatch = || -> Vec<Vec<SystemFaultResult>> {
+            blocks
+                .par_iter()
+                .map(|block| self.run_sliced_block(&chunks[block.uidx], universe, *block))
+                .collect()
+        };
+        let partials: Vec<Vec<SystemFaultResult>> = if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        // Scatter lane results back onto universe positions; the per-trial
+        // counters commute, so trial splits of one chunk just sum.
+        let mut per_fault: Vec<SystemFaultResult> = universe
+            .iter()
+            .map(|&fault| SystemFaultResult {
+                fault,
+                trials: 0,
+                detected: 0,
+                undetected: 0,
+                error_escapes: 0,
+                detection_cycle_sum: 0,
+                latency_from_error_sum: 0,
+                lost_work_sum: 0,
+            })
+            .collect();
+        for (block, partial) in blocks.iter().zip(partials) {
+            for (&pos, lane) in chunks[block.uidx].positions.iter().zip(partial) {
+                let acc = &mut per_fault[pos];
+                acc.trials += lane.trials;
+                acc.detected += lane.detected;
+                acc.undetected += lane.undetected;
+                acc.error_escapes += lane.error_escapes;
+                acc.detection_cycle_sum += lane.detection_cycle_sum;
+                acc.latency_from_error_sum += lane.latency_from_error_sum;
+                acc.lost_work_sum += lane.lost_work_sum;
+            }
+        }
+        SystemResult {
+            per_fault,
+            campaign: self.campaign,
+            num_banks: self.system.num_banks(),
+            scrub_slots: self.system.scrub.slots_within(self.campaign.cycles),
+            scrub_overhead: self.system.scrub.bandwidth_overhead(),
+        }
+    }
+
+    /// One trial range of one lane chunk: all packed faults of one bank
+    /// ride the same global event stream; lanes latch their own first
+    /// error / first detection out of the packed observation masks.
+    fn run_sliced_block(
+        &self,
+        chunk: &LaneChunk,
+        universe: &[SystemFault],
+        block: TrialBlock,
+    ) -> Vec<SystemFaultResult> {
+        let scenarios: Vec<FaultScenario> = chunk
+            .positions
+            .iter()
+            .map(|&p| universe[p].scenario())
+            .collect();
+        let cfg = &self.system.banks[chunk.bank];
+        let mut backend = SlicedBackend::prefilled(
+            cfg,
+            &scenarios,
+            bank_prefill_seed(self.campaign.seed, chunk.bank),
+        );
+        let all = backend.lane_mask();
+        let lanes = scenarios.len();
+        let spec = self.system.workload_spec(self.campaign.write_fraction);
+        let trials = block.trial_end - block.trial_start;
+        let mut results: Vec<SystemFaultResult> = chunk
+            .positions
+            .iter()
+            .map(|&p| SystemFaultResult {
+                fault: universe[p],
+                trials,
+                detected: 0,
+                undetected: 0,
+                error_escapes: 0,
+                detection_cycle_sum: 0,
+                latency_from_error_sum: 0,
+                lost_work_sum: 0,
+            })
+            .collect();
+        let mut err_cycle = vec![0u64; lanes];
+        let mut det_cycle = vec![0u64; lanes];
+        for trial in block.trial_start..block.trial_end {
+            backend.reset();
+            let traffic = self.model.stream(
+                spec,
+                crate::system::seed_mix(
+                    self.campaign.seed ^ SLICED_TRAFFIC_TAG,
+                    &[chunk.bank as u64, trial as u64],
+                ),
+            );
+            let mut clock = SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
+            let mut seen_err = 0u64;
+            let mut seen_det = 0u64;
+            for cycle in 0..self.campaign.cycles {
+                let (bank, op) = clock.next_event().target();
+                if bank != chunk.bank {
+                    backend.advance(1);
+                    continue;
+                }
+                let obs = backend.step(op);
+                // Mirror the scalar trial loop per lane: errors latch
+                // before detection on the same cycle; a detected lane's
+                // trial is over — later cycles no longer touch it.
+                let pending = !seen_det;
+                let new_err = obs.erroneous & pending & !seen_err & all;
+                for_each_lane(new_err, |lane| err_cycle[lane] = cycle);
+                seen_err |= new_err;
+                let new_det = obs.detected() & pending & all;
+                for_each_lane(new_det, |lane| det_cycle[lane] = cycle);
+                seen_det |= new_det;
+                if seen_det == all {
+                    break;
+                }
+            }
+            for (lane, result) in results.iter_mut().enumerate() {
+                let bit = 1u64 << lane;
+                if seen_det & bit != 0 {
+                    let d = det_cycle[lane];
+                    result.detected += 1;
+                    result.detection_cycle_sum += d;
+                    let observed = if seen_err & bit != 0 {
+                        err_cycle[lane]
+                    } else {
+                        d
+                    };
+                    let onset = scenarios[lane]
+                        .process
+                        .corruption_onset()
+                        .map(|a| a.min(observed))
+                        .unwrap_or(observed)
+                        .min(d);
+                    result.latency_from_error_sum += d - onset;
+                    let rollback = self.system.checkpoint.last_checkpoint_at_or_before(onset);
+                    result.lost_work_sum += d - rollback + 1;
+                    if seen_err & bit != 0 && err_cycle[lane] < d {
+                        result.error_escapes += 1;
+                    }
+                } else {
+                    result.undetected += 1;
+                    result.lost_work_sum += self.campaign.cycles;
+                    if seen_err & bit != 0 {
+                        result.error_escapes += 1;
+                    }
+                }
+            }
+        }
+        results
     }
 
     /// Universe-major block decomposition (the campaign engine's shape:
@@ -624,6 +848,64 @@ mod tests {
                 reference.determinism_profile(),
                 result.determinism_profile(),
                 "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_campaign_is_thread_and_lane_width_invariant() {
+        let engine = SystemCampaign::new(config(), campaign()).sliced(true);
+        let mut universe = engine.decoder_universe(10);
+        // A couple of temporal cell faults so lane masking is exercised
+        // beyond pure permanents.
+        universe.push(SystemFault {
+            bank: 1,
+            index: 1000,
+            site: FaultSite::Cell {
+                row: 2,
+                col: 3,
+                stuck: false,
+            },
+            process: FaultProcess::TransientFlip { at: 15 },
+        });
+        universe.push(SystemFault {
+            bank: 2,
+            index: 1001,
+            site: FaultSite::Cell {
+                row: 1,
+                col: 7,
+                stuck: true,
+            },
+            process: FaultProcess::Intermittent {
+                onset: 3,
+                period: 6,
+                duty: 2,
+            },
+        });
+        let reference = engine.clone().threads(1).run(&universe);
+        assert_eq!(reference.per_fault.len(), universe.len());
+        assert!(
+            reference.detected_fraction() > 0.5,
+            "sliced scrubbed system detects"
+        );
+        for (fault, fr) in universe.iter().zip(&reference.per_fault) {
+            assert_eq!(fr.fault, *fault, "universe order broken");
+            assert_eq!(fr.trials, campaign().trials);
+        }
+        for threads in [2usize, 4, 8] {
+            let result = engine.clone().threads(threads).run(&universe);
+            assert_eq!(
+                reference.determinism_profile(),
+                result.determinism_profile(),
+                "{threads} threads"
+            );
+        }
+        for width in [1usize, 8, 64] {
+            let result = engine.clone().lane_width(width).run(&universe);
+            assert_eq!(
+                reference.determinism_profile(),
+                result.determinism_profile(),
+                "lane width {width}"
             );
         }
     }

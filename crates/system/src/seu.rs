@@ -32,12 +32,13 @@ impl SeuProcess {
     /// A process with the given mean inter-arrival time in cycles.
     ///
     /// # Panics
-    /// Panics unless `mean_interarrival ≥ 1` (sub-cycle rates are not
-    /// representable on a one-op-per-cycle clock).
+    /// Panics unless `mean_interarrival` is finite and ≥ 1 (sub-cycle
+    /// rates are not representable on a one-op-per-cycle clock, and an
+    /// infinite or NaN mean has no geometric inverse transform).
     pub fn new(mean_interarrival: f64) -> Self {
         assert!(
-            mean_interarrival >= 1.0,
-            "mean inter-arrival {mean_interarrival} must be at least one cycle"
+            mean_interarrival.is_finite() && mean_interarrival >= 1.0,
+            "mean inter-arrival {mean_interarrival} must be a finite number of at least one cycle"
         );
         SeuProcess { mean_interarrival }
     }
@@ -52,7 +53,11 @@ impl SeuProcess {
     /// The `arrival`-th inter-arrival gap (≥ 1 cycle) for `bank` —
     /// inverse-transform geometric: `gap = ⌊ln(1−u)/ln(1−p)⌋ + 1`.
     pub fn gap(&self, seed: u64, bank: usize, arrival: usize) -> u64 {
-        let p = (1.0 / self.mean_interarrival).clamp(f64::MIN_POSITIVE, 1.0);
+        // The floor at 1e-12 keeps `(1.0 - p).ln()` away from the regime
+        // where `1.0 - p` rounds to exactly 1.0 (p ≲ 1e-17), whose ln of
+        // 0 would collapse every gap to 1 cycle — the opposite of a rare
+        // strike. Means beyond ~1e12 cycles saturate there instead.
+        let p = (1.0 / self.mean_interarrival).clamp(1e-12, 1.0);
         if p >= 1.0 {
             return 1;
         }
@@ -183,5 +188,68 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn sub_cycle_rates_are_rejected() {
         let _ = SeuProcess::new(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_means_are_rejected() {
+        let _ = SeuProcess::new(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_means_are_rejected() {
+        let _ = SeuProcess::new(f64::NAN);
+    }
+
+    #[test]
+    fn astronomical_means_saturate_instead_of_collapsing() {
+        // Regression: with `p` small enough that `1.0 - p` rounds to
+        // exactly 1.0, `ln(1 - p) == 0` drove every gap to 1 cycle —
+        // the maximum strike rate from the rarest configured process.
+        let p = SeuProcess::new(f64::MAX);
+        let gaps: Vec<u64> = (0..32).map(|k| p.gap(5, 0, k)).collect();
+        let sum: u64 = gaps.iter().sum();
+        assert!(
+            sum > 1_000_000_000,
+            "32 gaps at a saturated ~1e12-cycle mean sum to {sum}"
+        );
+        assert!(gaps.iter().all(|&g| g >= 1), "{gaps:?}");
+    }
+
+    mod extreme_means {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Corner-case means mixed in alongside the random draw: the
+        /// saturation regime, the largest finite f64, and the smallest
+        /// mean distinguishable from 1.
+        const CORNERS: [f64; 4] = [1e12, 1e100, f64::MAX, 1.0 + f64::EPSILON];
+
+        proptest! {
+            #[test]
+            fn prop_extreme_means_never_panic_and_arrive_monotonically(
+                pick in 0usize..(CORNERS.len() + 2),
+                raw in any::<u64>(),
+                seed in any::<u64>(),
+                bank in 0usize..4,
+            ) {
+                // The vendored proptest has no float strategies: map a
+                // u64 draw onto [1, 1e6) for the non-corner cases.
+                let mean = CORNERS
+                    .get(pick)
+                    .copied()
+                    .unwrap_or_else(|| 1.0 + (raw as f64 / u64::MAX as f64) * 999_999.0);
+                let p = SeuProcess::new(mean);
+                let arrivals = p.arrival_cycles(seed, bank, 64);
+                prop_assert!(arrivals[0] >= 1, "first strike before cycle 1");
+                for w in arrivals.windows(2) {
+                    // Strictly increasing: every gap is at least one
+                    // cycle, with no overflow wrap anywhere in the
+                    // cumulative sum.
+                    prop_assert!(w[1] > w[0], "{:?}", arrivals);
+                }
+            }
+        }
     }
 }

@@ -34,6 +34,7 @@ fn main() {
         },
         max_faults: 32,
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+        sliced: false,
     });
 
     let evaluations: Vec<_> = evaluator

@@ -21,7 +21,8 @@ use scm_codes::{CodewordMap, MOutOfN};
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend, GateLevelBackend};
 use scm_memory::campaign::decoder_fault_universe;
 use scm_memory::design::RamConfig;
-use scm_memory::fault::{FaultProcess, FaultScenario, FaultSite};
+use scm_memory::fault::{CellRef, CouplingKind, FaultProcess, FaultScenario, FaultSite};
+use scm_memory::sliced::SlicedBackend;
 use scm_memory::workload::{model_by_name, Op, WorkloadSpec, MODEL_NAMES};
 
 /// Constant-weight codes the gate-level checker generator can realise.
@@ -200,6 +201,144 @@ proptest! {
                     "{} cycle {} op {:?}: col verdicts diverge",
                     scenario, cycle, op
                 );
+            }
+        }
+    }
+
+    /// The bit-sliced engine against both scalar oracles on one shared
+    /// op stream: lane `L` of a sliced run over a random scenario pack
+    /// must equal a scalar behavioural run of scenario `L` on the
+    /// identical prefill seed, observation by observation — and, on
+    /// decoder sites, the gate-level hardware must agree with that lane's
+    /// code verdicts cycle by cycle.
+    #[test]
+    fn prop_sliced_lanes_match_scalar_backends(
+        row_bits in 3u32..=5,
+        mux_log in 1u32..=2,
+        word_bits in 4u32..=12,
+        grid in any::<u64>(),
+        process_kind in 0usize..6,
+        knobs in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        // The vendored proptest stops at 8-tuples: the code/modulus/
+        // model pick and the temporal knobs ride packed words.
+        let code_idx = (grid % CODES.len() as u64) as usize;
+        let a_idx = ((grid >> 8) % MODULI.len() as u64) as usize;
+        let model_idx = ((grid >> 16) % MODEL_NAMES.len() as u64) as usize;
+        let t0 = knobs % 20;
+        let period = 2 + (knobs >> 8) % 5;
+        let duty = 1 + (knobs >> 16) % 3;
+        let rows = 1u64 << row_bits;
+        let mux = 1u32 << mux_log;
+        let words = rows * mux as u64;
+        let org = RamOrganization::new(words, word_bits, mux);
+        let (q, r) = CODES[code_idx];
+        let code = MOutOfN::new(q, r).expect("listed codes are valid");
+        let a = MODULI[a_idx];
+        let row_map = CodewordMap::mod_a(code, a, rows);
+        let col_map = CodewordMap::mod_a(code, a, mux as u64);
+        prop_assume!(row_map.is_ok() && col_map.is_ok());
+        let config = RamConfig::new(org, row_map.unwrap(), col_map.unwrap());
+        let process = match process_kind {
+            0 => FaultProcess::PERMANENT,
+            1 => FaultProcess::Permanent { onset: t0 },
+            2 => FaultProcess::TransientFlip { at: t0 },
+            3 => FaultProcess::Intermittent { onset: t0 % period, period, duty },
+            4 => FaultProcess::Coupling {
+                aggressor: CellRef { row: 0, col: 1 },
+                kind: CouplingKind::Inversion,
+            },
+            _ => FaultProcess::Coupling {
+                aggressor: CellRef { row: rows as usize - 1, col: 0 },
+                kind: CouplingKind::Idempotent { value: true },
+            },
+        };
+
+        // A mixed pack across every site class of the random geometry.
+        let mut sites: Vec<FaultSite> = vec![
+            FaultSite::Cell { row: 0, col: 0, stuck: true },
+            FaultSite::Cell {
+                row: rows as usize - 1,
+                col: word_bits as usize - 1,
+                stuck: false,
+            },
+            FaultSite::DataRegisterBit { bit: 0, stuck: true },
+            FaultSite::DataRegisterBit { bit: word_bits - 1, stuck: false },
+            FaultSite::RowRomBit { line: rows - 1, bit: 0 },
+            FaultSite::RowRomColumn { bit: 1, stuck: true },
+        ];
+        sites.extend(
+            decoder_fault_universe(row_bits)
+                .into_iter()
+                .step_by(9)
+                .map(FaultSite::RowDecoder),
+        );
+        sites.extend(
+            decoder_fault_universe(org.col_bits().max(1))
+                .into_iter()
+                .step_by(4)
+                .map(FaultSite::ColDecoder),
+        );
+        sites.truncate(64);
+        // Apply the drawn process wherever the sliced engine can realise
+        // it (coupling needs a cell victim); other sites fall back to the
+        // classical permanent so every lane still carries a scenario.
+        let scenarios: Vec<FaultScenario> = sites
+            .iter()
+            .map(|&site| {
+                let s = FaultScenario { site, process };
+                if SlicedBackend::supports(&s) {
+                    s
+                } else {
+                    FaultScenario { site, process: FaultProcess::PERMANENT }
+                }
+            })
+            .collect();
+
+        let model = model_by_name(MODEL_NAMES[model_idx]).expect("registry names resolve");
+        let spec = WorkloadSpec {
+            words,
+            word_bits,
+            write_fraction: 0.2,
+        };
+        let mut stream = model.stream(spec, seed ^ 0x51_1CED);
+        let ops: Vec<Op> = (0..40).map(|_| stream.next_op()).collect();
+
+        let mut sliced = SlicedBackend::prefilled(&config, &scenarios, seed);
+        let per_cycle: Vec<_> = ops.iter().map(|&op| sliced.step(op)).collect();
+        let mut gate = GateLevelBackend::try_new(&config)
+            .expect("constant-weight mappings always build a gate-level path");
+        for (lane, s) in scenarios.iter().enumerate() {
+            let mut scalar = BehavioralBackend::prefilled(&config, seed);
+            scalar.reset(Some(s));
+            let three_way = gate.supports(s);
+            if three_way {
+                gate.reset(Some(s));
+            }
+            for (cycle, &op) in ops.iter().enumerate() {
+                let expect = scalar.step(op);
+                let got = per_cycle[cycle].lane(lane);
+                prop_assert_eq!(
+                    got, expect,
+                    "lane {} {} cycle {} op {:?}: sliced diverges from scalar",
+                    lane, s, cycle, op
+                );
+                if three_way {
+                    let g = gate.step(op);
+                    prop_assert_eq!(
+                        g.verdict.row_code_error,
+                        got.verdict.row_code_error,
+                        "lane {} {} cycle {}: gate row verdict diverges",
+                        lane, s, cycle
+                    );
+                    prop_assert_eq!(
+                        g.verdict.col_code_error,
+                        got.verdict.col_code_error,
+                        "lane {} {} cycle {}: gate col verdict diverges",
+                        lane, s, cycle
+                    );
+                }
             }
         }
     }

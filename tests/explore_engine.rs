@@ -42,7 +42,46 @@ fn evaluator(threads: usize) -> Evaluator {
             },
             max_faults: 10,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced: false,
         })
+}
+
+fn sliced_evaluator(threads: usize) -> Evaluator {
+    Evaluator::default()
+        .threads(threads)
+        .adjudicate(Adjudication {
+            campaign: CampaignConfig {
+                cycles: 10,
+                trials: 5,
+                seed: 0xD1CE,
+                write_fraction: 0.1,
+            },
+            max_faults: 10,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced: true,
+        })
+}
+
+#[test]
+fn sliced_adjudication_is_bit_identical_at_every_thread_count() {
+    let space = adjudicated_space();
+    let reference = sliced_evaluator(1).evaluate_space(&space);
+    assert!(
+        reference.iter().any(|r| r.is_ok()),
+        "space fully infeasible?"
+    );
+    for threads in [2usize, 4] {
+        let result = sliced_evaluator(threads).evaluate_space(&space);
+        assert_eq!(reference, result, "{threads} threads diverged");
+    }
+    // The sliced engine shares one op stream across all fault lanes, so
+    // its trial estimates legitimately differ from the scalar engine's
+    // per-fault streams — but every point must still adjudicate to a
+    // probability, not a panic or a NaN.
+    for eval in reference.into_iter().flatten() {
+        let emp = eval.empirical.expect("adjudicated");
+        assert!(emp.worst_escape.is_finite() && emp.worst_escape <= 1.0);
+    }
 }
 
 #[test]
@@ -183,6 +222,7 @@ fn adjudicated_figures_stay_within_the_analytic_regime() {
         },
         max_faults: 0, // whole row-decoder universe
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+        sliced: false,
     });
     let e = ev
         .goal_solve(
