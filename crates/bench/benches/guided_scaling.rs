@@ -1,0 +1,113 @@
+//! Guided-search baseline (`BENCH_explore.json`): exhaustive full-fidelity
+//! sweeps against the budget-bounded multi-fidelity climb, on the worked
+//! reference space and on the million-point grid, plus the tiny-grid
+//! serial-fallback crossover rows for `BENCH_system.json`.
+//!
+//! A fresh `Evaluator` is built per iteration so memo caches never carry
+//! over — every number is the cold-cache cost of a new search.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_explore::{
+    exhaustive_front, Adjudication, Evaluator, ExplorationSpace, GuidedConfig, GuidedSearch,
+};
+use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use scm_memory::fault::FaultSite;
+use std::hint::black_box;
+
+fn evaluator() -> Evaluator {
+    Evaluator::default().adjudicate(Adjudication {
+        campaign: CampaignConfig {
+            cycles: 10, // overridden per point
+            trials: 64,
+            seed: 0xE7,
+            write_fraction: 0.1,
+        },
+        max_faults: 64,
+        scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+        sliced: true,
+    })
+}
+
+/// Exhaustive vs guided on the 72-point worked reference: same front,
+/// 12.5 % of the scenario-trial spend — the PR's acceptance figure.
+fn bench_reference(c: &mut Criterion) {
+    let space = ExplorationSpace::worked_reference();
+    let mut g = c.benchmark_group("guided-reference");
+    g.throughput(Throughput::Elements(space.len() as u64));
+    g.bench_function("exhaustive-72pt", |b| {
+        b.iter(|| exhaustive_front(&evaluator(), black_box(&space)).unwrap())
+    });
+    g.bench_function("guided-72pt", |b| {
+        b.iter(|| {
+            GuidedSearch::new(&evaluator(), GuidedConfig::default())
+                .run(black_box(&space))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// The headline scale row: a 1,036,800-point grid under a fixed 400k
+/// scenario-trial budget (stratified sample + mutation climb).
+fn bench_million(c: &mut Criterion) {
+    let space = ExplorationSpace::million_grid();
+    let mut g = c.benchmark_group("guided-million");
+    g.throughput(Throughput::Elements(space.len() as u64));
+    g.bench_function("guided-400k-budget", |b| {
+        b.iter(|| {
+            GuidedSearch::new(&evaluator(), GuidedConfig::with_budget(400_000))
+                .run(black_box(&space))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Serial-fallback crossover: on a tiny grid the inline path must beat
+/// the rayon fan-out it replaces; past the threshold the fan-out wins.
+/// Identical results either way — the threshold is scheduling only.
+fn bench_serial_crossover(c: &mut Criterion) {
+    let org = RamOrganization::new(64, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    let config = RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, 16).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    );
+    let faults: Vec<FaultSite> = decoder_fault_universe(org.row_bits())
+        .into_iter()
+        .map(FaultSite::RowDecoder)
+        .take(8)
+        .collect();
+    let mut g = c.benchmark_group("serial-crossover");
+    for (label, trials) in [("tiny-64-cells", 8u32), ("large-4096-cells", 512)] {
+        let campaign = CampaignConfig {
+            cycles: 10,
+            trials,
+            seed: 0xC0FFEE,
+            write_fraction: 0.1,
+        };
+        g.throughput(Throughput::Elements(faults.len() as u64 * trials as u64));
+        g.bench_function(&format!("{label}-auto"), |b| {
+            let engine = CampaignEngine::new(campaign);
+            b.iter(|| engine.run(black_box(&config), black_box(&faults)))
+        });
+        g.bench_function(&format!("{label}-forced-fanout"), |b| {
+            let engine = CampaignEngine::new(campaign).serial_threshold(0).threads(4);
+            b.iter(|| engine.run(black_box(&config), black_box(&faults)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reference,
+    bench_million,
+    bench_serial_crossover
+);
+criterion_main!(benches);

@@ -28,7 +28,8 @@ use scm_diag::{
     SpareBudget,
 };
 use scm_explore::{
-    pareto_front, Adjudication, DesignPoint, Evaluator, ExplorationSpace, FaultMix, ScrubPolicy,
+    pareto_front, Adjudication, DesignPoint, Evaluator, ExplorationSpace, FaultMix, GuidedConfig,
+    GuidedSearch, ScrubPolicy,
 };
 use scm_latency::distribution::analyze_decoder;
 use scm_latency::goal::classify;
@@ -84,10 +85,22 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--threads",
                     "--fault-mix",
                     "--engine",
+                    "--budget",
+                    "--space",
                 ],
-                &["--adjudicate"],
+                &["--adjudicate", "--guided"],
             )?;
-            explore_stdout(&flags)
+            // --budget and --space only mean something to the guided
+            // search, so either switches it on rather than being
+            // silently ignored.
+            if flags.has("--guided")
+                || flags.value_of("--budget").is_some()
+                || flags.value_of("--space").is_some()
+            {
+                guided_stdout(&flags)
+            } else {
+                explore_stdout(&flags)
+            }
         }
         "campaign" => {
             flags.validate(
@@ -211,7 +224,13 @@ fn engine_or_default(flags: &Flags) -> Result<bool, String> {
     match flags.value_of("--engine") {
         None | Some("scalar") => Ok(false),
         Some("sliced") => Ok(true),
-        Some(other) => Err(format!("unknown engine '{other}' (scalar | sliced)")),
+        Some(other) => {
+            let hint = match suggest(other, ["scalar", "sliced"]) {
+                Some(known) => format!(" (did you mean '{known}'?)"),
+                None => String::new(),
+            };
+            Err(format!("unknown engine '{other}'{hint} (scalar | sliced)"))
+        }
     }
 }
 
@@ -258,6 +277,11 @@ pub fn usage() -> String {
          \x20         [--adjudicate] [--trials N (implies --adjudicate)] [--threads N]\n\
          \x20         [--engine E]\n\
          \x20                            design-space exploration + Pareto front(s)\n\
+         \x20 explore --guided [--budget N] [--space worked|million] [--trials N]\n\
+         \x20         [--threads N] [--engine E]\n\
+         \x20                            budget-bounded multi-fidelity Pareto search\n\
+         \x20                            (successive halving; --budget in scenario-trials,\n\
+         \x20                            0 = unbounded; --budget/--space imply --guided)\n\
          \x20 campaign [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
          \x20          [--fault-model M] [--scrub-period P] [--engine E]\n\
          \x20                            fault campaign on the 1Kx16 worked example\n\
@@ -603,8 +627,158 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
     let stats = evaluator.cache_stats();
     let _ = writeln!(
         out,
-        "\n{} infeasible points skipped; memo: {} hits / {} misses",
-        infeasible, stats.hits, stats.misses
+        "\n{} infeasible points skipped; memo: {} hits / {} misses \
+         (plans {}/{}, areas {}/{}, scrub bounds {}/{})",
+        infeasible,
+        stats.hits(),
+        stats.misses(),
+        stats.plans.hits,
+        stats.plans.misses,
+        stats.areas.hits,
+        stats.areas.misses,
+        stats.scrub_bounds.hits,
+        stats.scrub_bounds.misses,
+    );
+    Ok(out)
+}
+
+/// `scm explore --guided` — budget-bounded multi-fidelity search over a
+/// named space, with rung-level budget accounting on stdout. The output
+/// is a pure function of the flags: bit-identical at every thread count,
+/// which is what lets CI diff two runs at different `--threads`.
+fn guided_stdout(flags: &Flags) -> Result<String, String> {
+    let threads: usize = flags.parsed("--threads", 0)?;
+    let trials: u32 = flags.parsed("--trials", 64)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".to_owned());
+    }
+    let sliced = match flags.value_of("--engine") {
+        None => true, // guided default: the fast path
+        Some(_) => engine_or_default(flags)?,
+    };
+    let budget: u64 = flags.parsed("--budget", 0)?;
+    let space = match flags.value_of("--space") {
+        None | Some("worked") => ExplorationSpace::worked_reference(),
+        Some("million") => ExplorationSpace::million_grid(),
+        Some(other) => {
+            let hint = match suggest(other, ["worked", "million"]) {
+                Some(known) => format!(" (did you mean '{known}'?)"),
+                None => String::new(),
+            };
+            return Err(format!("unknown space '{other}'{hint} (worked | million)"));
+        }
+    };
+
+    let evaluator = Evaluator::default()
+        .threads(threads)
+        .adjudicate(Adjudication {
+            campaign: CampaignConfig {
+                cycles: 10, // overridden per point
+                trials,
+                seed: 0xE7,
+                write_fraction: 0.1,
+            },
+            max_faults: 64,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced,
+        });
+    let config = if budget == 0 {
+        GuidedConfig::default()
+    } else {
+        GuidedConfig::with_budget(budget)
+    };
+    let report = GuidedSearch::new(&evaluator, config)
+        .run(&space)
+        .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "guided design-space search: {} points, budget {} scenario-trials, \
+         {} engine, {} trials/fault at full fidelity",
+        report.space_points,
+        if budget == 0 {
+            "unbounded".to_owned()
+        } else {
+            budget.to_string()
+        },
+        if sliced { "sliced" } else { "scalar" },
+        trials,
+    );
+    if report.sampled {
+        let _ = writeln!(
+            out,
+            "space too large to enumerate: stratified sample + local mutation, \
+             {} candidates screened",
+            report.candidates
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:>3} | {:>6} | {:>7} | {:>9} | {:>10} | {:>9} | {:>10}",
+        "gen", "trials", "entered", "evaluated", "infeasible", "survivors", "spent"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for r in &report.rungs {
+        let _ = writeln!(
+            out,
+            "{:>3} | {:>6} | {:>7} | {:>9} | {:>10} | {:>9} | {:>10}",
+            r.generation, r.trials, r.entered, r.evaluated, r.infeasible, r.survivors, r.spent
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "spent {} of exhaustive-equivalent {} scenario-trials ({:.1} %); saved {}{}",
+        report.spent,
+        report.exhaustive_cost,
+        report.spent_fraction() * 100.0,
+        report.saved(),
+        if report.truncated {
+            " — budget exhausted, cohort truncated"
+        } else {
+            ""
+        },
+    );
+    if report.infeasible > 0 {
+        let _ = writeln!(out, "{} infeasible candidate(s) skipped", report.infeasible);
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "Pareto front (minimise dec-chk %, latency c, empirical escape): {} point(s){}",
+        report.front.len(),
+        if report.provisional {
+            " — PROVISIONAL: the budget died before full fidelity"
+        } else {
+            ""
+        },
+    );
+    for e in &report.front {
+        let emp = e.empirical.as_ref().expect("guided points are adjudicated");
+        let _ = writeln!(
+            out,
+            "  {:<52} | {:<12} | {:>9.2} % | escape {:.4} | latency {:>6.2} c",
+            e.point.label(),
+            e.plan.code_name(),
+            e.area_percent(),
+            emp.mean_escape,
+            emp.mean_latency,
+        );
+    }
+    let stats = evaluator.cache_stats();
+    let _ = writeln!(
+        out,
+        "\nmemo: {} hits / {} misses (plans {}/{}, areas {}/{}, scrub bounds {}/{})",
+        stats.hits(),
+        stats.misses(),
+        stats.plans.hits,
+        stats.plans.misses,
+        stats.areas.hits,
+        stats.areas.misses,
+        stats.scrub_bounds.hits,
+        stats.scrub_bounds.misses,
     );
     Ok(out)
 }
@@ -1550,6 +1724,83 @@ mod tests {
         assert!(out.contains("transient triage view"), "{out}");
         assert!(out.contains("NO spare burned"), "{out}");
         assert!(out.contains("hard defect confirmed"), "{out}");
+    }
+
+    #[test]
+    fn guided_explore_prints_rungs_spend_and_front() {
+        // --budget implies --guided; a tiny full fidelity keeps it fast.
+        let out = run(&[
+            "explore".to_owned(),
+            "--guided".to_owned(),
+            "--trials".to_owned(),
+            "8".to_owned(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("guided design-space search: 72 points"),
+            "{out}"
+        );
+        assert!(out.contains("gen | trials"), "{out}");
+        assert!(out.contains("scenario-trials"), "{out}");
+        assert!(out.contains("Pareto front"), "{out}");
+        assert!(out.contains("memo:"), "{out}");
+        // A budget smaller than even the screening rung truncates loudly.
+        let out = run(&[
+            "explore".to_owned(),
+            "--budget".to_owned(),
+            "100".to_owned(),
+            "--trials".to_owned(),
+            "8".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("budget exhausted"), "{out}");
+    }
+
+    #[test]
+    fn guided_explore_is_thread_count_invariant_modulo_memo_races() {
+        let at = |threads: &str| {
+            run(&[
+                "explore".to_owned(),
+                "--guided".to_owned(),
+                "--trials".to_owned(),
+                "8".to_owned(),
+                "--threads".to_owned(),
+                threads.to_owned(),
+            ])
+            .unwrap()
+        };
+        // The memo line counts scheduling races (two workers may both
+        // miss the same key), so it is the one line allowed to differ.
+        let stable = |out: String| -> String {
+            out.lines()
+                .filter(|l| !l.starts_with("memo:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let reference = stable(at("1"));
+        for threads in ["2", "4", "8"] {
+            assert_eq!(reference, stable(at(threads)), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn guided_flags_get_did_you_mean_hints() {
+        let err = run(&[
+            "explore".to_owned(),
+            "--guided".to_owned(),
+            "--space".to_owned(),
+            "millon".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean 'million'?"), "{err}");
+        let err = run(&[
+            "explore".to_owned(),
+            "--guided".to_owned(),
+            "--engine".to_owned(),
+            "slced".to_owned(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("did you mean 'sliced'?"), "{err}");
     }
 
     #[test]

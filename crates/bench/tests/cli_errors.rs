@@ -101,6 +101,81 @@ fn distant_workload_garbage_lists_models_without_a_bogus_hint() {
 }
 
 #[test]
+fn misspelled_engines_exit_two_with_a_hint() {
+    for (subcommand, typo, suggestion) in [
+        ("campaign", "slced", "sliced"),
+        ("campaign", "scalr", "scalar"),
+        ("explore", "slicd", "sliced"),
+        ("system", "scaler", "scalar"),
+        ("diag", "sliced64", "sliced"),
+    ] {
+        let out = scm(&[subcommand, "--engine", typo]);
+        assert_eq!(out.status.code(), Some(2), "{subcommand} {typo}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("unknown engine '{typo}'")),
+            "{subcommand} {typo}: {stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("did you mean '{suggestion}'?")),
+            "{subcommand} {typo}: {stderr}"
+        );
+        assert!(
+            stderr.contains("(scalar | sliced)"),
+            "the engine list must follow the hint: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "errors go to stderr only");
+    }
+}
+
+#[test]
+fn misspelled_fault_models_exit_two_with_a_hint() {
+    for (subcommand, typo, suggestion) in [
+        ("campaign", "transiet", "transient"),
+        ("campaign", "intermitent", "intermittent"),
+        ("campaign", "permanet", "permanent"),
+        ("system", "transent", "transient"),
+        ("diag", "permanant", "permanent"),
+    ] {
+        let out = scm(&[subcommand, "--fault-model", typo]);
+        assert_eq!(out.status.code(), Some(2), "{subcommand} {typo}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("unknown fault model '{typo}'")),
+            "{subcommand} {typo}: {stderr}"
+        );
+        assert!(
+            stderr.contains(&format!("did you mean '{suggestion}'?")),
+            "{subcommand} {typo}: {stderr}"
+        );
+        assert!(
+            stderr.contains("one of:"),
+            "the model list must follow the hint: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "errors go to stderr only");
+    }
+}
+
+#[test]
+fn distant_engine_garbage_lists_engines_without_a_bogus_hint() {
+    let out = scm(&["campaign", "--engine", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown engine 'warp'"), "{stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("(scalar | sliced)"), "{stderr}");
+}
+
+#[test]
+fn misspelled_guided_space_exits_two_with_a_hint() {
+    let out = scm(&["explore", "--guided", "--space", "millon"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown space 'millon'"), "{stderr}");
+    assert!(stderr.contains("did you mean 'million'?"), "{stderr}");
+}
+
+#[test]
 fn valid_subcommand_exits_zero() {
     let out = scm(&["help"]);
     assert_eq!(out.status.code(), Some(0));

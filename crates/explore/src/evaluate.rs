@@ -69,6 +69,10 @@ pub enum ExploreError {
         /// geometry.
         session_cycles: u64,
     },
+    /// A fidelity-aware operation (guided search, scenario accounting)
+    /// was requested on an evaluator with no adjudication stage — there
+    /// is no Monte-Carlo fidelity to ladder without one.
+    AdjudicationRequired,
 }
 
 impl fmt::Display for ExploreError {
@@ -86,6 +90,11 @@ impl fmt::Display for ExploreError {
                 "repair-stage horizon ({horizon} cycles) is shorter than one March \
                  session ({session_cycles} cycles): no diagnosis could ever complete"
             ),
+            ExploreError::AdjudicationRequired => write!(
+                f,
+                "guided search needs an adjudication stage: there is no \
+                 Monte-Carlo fidelity to ladder without one"
+            ),
         }
     }
 }
@@ -94,7 +103,9 @@ impl Error for ExploreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ExploreError::Selection(e) => Some(e),
-            ExploreError::UnknownWorkload(_) | ExploreError::RepairHorizonTooShort { .. } => None,
+            ExploreError::UnknownWorkload(_)
+            | ExploreError::RepairHorizonTooShort { .. }
+            | ExploreError::AdjudicationRequired => None,
         }
     }
 }
@@ -112,6 +123,11 @@ pub struct EmpiricalFigures {
     pub faults: usize,
     /// Trials per fault.
     pub trials_per_fault: u32,
+    /// Per-trial horizon the campaign ran to (the point's `c`).
+    pub horizon: u64,
+    /// Total scenario-trials spent: `faults × trials_per_fault` — the
+    /// currency every guided-search budget is accounted in.
+    pub scenario_trials: u64,
     /// Worst per-fault fraction of trials not detected within budget.
     pub worst_escape: f64,
     /// Worst per-fault fraction of trials where an erroneous output
@@ -119,6 +135,49 @@ pub struct EmpiricalFigures {
     pub worst_error_escape: f64,
     /// Mean escape fraction over the universe.
     pub mean_escape: f64,
+    /// Mean detection latency in cycles, censored at the horizon
+    /// (undetected trials count the full horizon).
+    pub mean_latency: f64,
+    /// FNV-1a digest of the per-fault outcome counters. Two points that
+    /// share a campaign environment (geometry, horizon, scrub, workload,
+    /// fault mix) face literally the same operation streams — common
+    /// random numbers — so equal digests identify structurally tied
+    /// outcomes, which guided search exploits to resolve escape ties
+    /// that no confidence interval could separate.
+    pub profile_digest: u64,
+}
+
+impl EmpiricalFigures {
+    /// Two-sided Hoeffding half-width for a mean of `samples` bounded
+    /// observations at confidence `1 − delta`:
+    /// `sqrt(ln(2/δ) / (2·samples))`.
+    pub fn hoeffding_half_width(samples: u64, delta: f64) -> f64 {
+        if samples == 0 {
+            return f64::INFINITY;
+        }
+        ((2.0 / delta).ln() / (2.0 * samples as f64)).sqrt()
+    }
+
+    /// Confidence interval on the mean escape fraction at `1 − delta`,
+    /// clamped to `[0, 1]`.
+    pub fn escape_interval(&self, delta: f64) -> (f64, f64) {
+        let hw = Self::hoeffding_half_width(self.scenario_trials, delta);
+        (
+            (self.mean_escape - hw).max(0.0),
+            (self.mean_escape + hw).min(1.0),
+        )
+    }
+
+    /// Confidence interval on the censored mean detection latency at
+    /// `1 − delta`, clamped to `[0, horizon]` (each observation is
+    /// bounded by the horizon, so the Hoeffding width scales with it).
+    pub fn latency_interval(&self, delta: f64) -> (f64, f64) {
+        let hw = Self::hoeffding_half_width(self.scenario_trials, delta) * self.horizon as f64;
+        (
+            (self.mean_latency - hw).max(0.0),
+            (self.mean_latency + hw).min(self.horizon as f64),
+        )
+    }
 }
 
 /// System-level figures of a point evaluated through the sharded
@@ -314,13 +373,52 @@ impl Adjudication {
     pub const DEFAULT_SCRUB_PERIOD: u64 = 4;
 }
 
-/// Memoisation cache hit/miss counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
+/// Hit/miss counters of one memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
     /// Sub-results served from the memo.
     pub hits: usize,
     /// Sub-results computed.
     pub misses: usize,
+}
+
+/// Memoisation counters, broken out per memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Code-selection plans, keyed `(c, Pndc, policy)`.
+    pub plans: MemoStats,
+    /// Area breakdowns, keyed `(geometry, r)`.
+    pub areas: MemoStats,
+    /// Hard sweep bounds, keyed `(rows, r, a)`.
+    pub scrub_bounds: MemoStats,
+}
+
+impl CacheStats {
+    /// Total sub-results served from any memo.
+    pub fn hits(&self) -> usize {
+        self.plans.hits + self.areas.hits + self.scrub_bounds.hits
+    }
+
+    /// Total sub-results computed.
+    pub fn misses(&self) -> usize {
+        self.plans.misses + self.areas.misses + self.scrub_bounds.misses
+    }
+}
+
+/// Thread-safe hit/miss tally backing one memo.
+#[derive(Debug, Default)]
+struct MemoCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MemoCounters {
+    fn snapshot(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 type PlanKey = (u32, u64, SelectionPolicy);
@@ -343,8 +441,9 @@ pub struct Evaluator {
     plans: Mutex<HashMap<PlanKey, Result<CodePlan, CodeError>>>,
     areas: Mutex<HashMap<AreaKey, OverheadBreakdown>>,
     scrub_bounds: Mutex<HashMap<ScrubKey, SweepBound>>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    plan_stats: MemoCounters,
+    area_stats: MemoCounters,
+    scrub_stats: MemoCounters,
 }
 
 impl Default for Evaluator {
@@ -371,8 +470,9 @@ impl Evaluator {
             plans: Mutex::new(HashMap::new()),
             areas: Mutex::new(HashMap::new()),
             scrub_bounds: Mutex::new(HashMap::new()),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            plan_stats: MemoCounters::default(),
+            area_stats: MemoCounters::default(),
+            scrub_stats: MemoCounters::default(),
         }
     }
 
@@ -412,29 +512,41 @@ impl Evaluator {
         self
     }
 
-    /// Memo hit/miss counters accumulated so far.
+    /// Memo hit/miss counters accumulated so far, per memo.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            plans: self.plan_stats.snapshot(),
+            areas: self.area_stats.snapshot(),
+            scrub_bounds: self.scrub_stats.snapshot(),
         }
     }
 
-    fn memoised<K, V, F>(&self, cache: &Mutex<HashMap<K, V>>, key: K, compute: F) -> V
+    /// The adjudication stage configuration, if the evaluator has one.
+    pub fn adjudication(&self) -> Option<&Adjudication> {
+        self.adjudicate.as_ref()
+    }
+
+    fn memoised<K, V, F>(
+        &self,
+        cache: &Mutex<HashMap<K, V>>,
+        stats: &MemoCounters,
+        key: K,
+        compute: F,
+    ) -> V
     where
         K: std::hash::Hash + Eq + Clone,
         V: Clone,
         F: FnOnce() -> V,
     {
         if let Some(v) = cache.lock().expect("memo lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            stats.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         // Computed outside the lock: selection/area math never blocks other
         // workers. Racing threads may compute the same value once each;
         // both arrive at the identical pure result.
         let v = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        stats.misses.fetch_add(1, Ordering::Relaxed);
         cache
             .lock()
             .expect("memo lock")
@@ -449,13 +561,16 @@ impl Evaluator {
         pndc: f64,
         policy: SelectionPolicy,
     ) -> Result<CodePlan, CodeError> {
-        self.memoised(&self.plans, (cycles, pndc.to_bits(), policy), || {
-            select_code(LatencyBudget::new(cycles, pndc)?, policy)
-        })
+        self.memoised(
+            &self.plans,
+            &self.plan_stats,
+            (cycles, pndc.to_bits(), policy),
+            || select_code(LatencyBudget::new(cycles, pndc)?, policy),
+        )
     }
 
     fn area_for(&self, geometry: RamOrganization, r: u32) -> OverheadBreakdown {
-        self.memoised(&self.areas, (geometry, r), || {
+        self.memoised(&self.areas, &self.area_stats, (geometry, r), || {
             let code = MOutOfN::centered(r).expect("selected widths are ≤ 64");
             scheme_overhead(geometry, code, code, &self.tech)
         })
@@ -471,13 +586,15 @@ impl Evaluator {
         // the memo is probed before `memoised`'s compute path runs;
         // mapping errors propagate instead of being cached.
         if let Some(v) = self.scrub_bounds.lock().expect("memo lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.scrub_stats.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(*v);
         }
         let map = plan.mapping(geometry.rows())?;
-        Ok(self.memoised(&self.scrub_bounds, key, || {
-            sweep_bound(geometry.row_bits(), &map)
-        }))
+        Ok(
+            self.memoised(&self.scrub_bounds, &self.scrub_stats, key, || {
+                sweep_bound(geometry.row_bits(), &map)
+            }),
+        )
     }
 
     /// The scenario universe a point's fault mix adjudicates against,
@@ -515,6 +632,7 @@ impl Evaluator {
         point: &DesignPoint,
         plan: &CodePlan,
         adjudication: &Adjudication,
+        trials_override: Option<u32>,
     ) -> Result<EmpiricalFigures, ExploreError> {
         let model = self
             .registry
@@ -528,8 +646,13 @@ impl Evaluator {
             adjudication.max_faults,
             adjudication.campaign.seed,
         );
+        // A fidelity override only changes how many trials are drawn per
+        // fault; trial seeds are pure in the trial index, so trials at a
+        // lower fidelity are a strict prefix of the full-fidelity set and
+        // `trials_override == Some(full)` is bit-identical to no override.
         let campaign = CampaignConfig {
             cycles: point.cycles as u64,
+            trials: trials_override.unwrap_or(adjudication.campaign.trials),
             ..adjudication.campaign
         };
         // A scrubbed point adjudicates with its scrubber live: every
@@ -546,12 +669,27 @@ impl Evaluator {
             .scrub(scrub_period)
             .sliced(adjudication.sliced)
             .run_scenarios(&config, &scenarios);
+        let horizon = campaign.cycles;
+        let (mut latency_sum, mut trial_sum) = (0u64, 0u64);
+        for f in &result.per_fault {
+            // Censored mean: undetected trials count the full horizon.
+            latency_sum += f.detection_cycle_sum + f.undetected as u64 * horizon;
+            trial_sum += f.trials as u64;
+        }
         Ok(EmpiricalFigures {
             faults: scenarios.len(),
             trials_per_fault: campaign.trials,
+            horizon,
+            scenario_trials: scenarios.len() as u64 * campaign.trials as u64,
             worst_escape: result.worst_escape(),
             worst_error_escape: result.worst_error_escape(),
             mean_escape: result.mean_escape(),
+            mean_latency: if trial_sum == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / trial_sum as f64
+            },
+            profile_digest: profile_digest(&result.per_fault),
         })
     }
 
@@ -715,6 +853,35 @@ impl Evaluator {
     /// [`ExploreError::Selection`] for infeasible budgets,
     /// [`ExploreError::UnknownWorkload`] for unregistered model names.
     pub fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, ExploreError> {
+        self.evaluate_with(point, None)
+    }
+
+    /// Run the full pipeline on one point with the adjudication stage's
+    /// trials-per-fault overridden — the fidelity knob guided search
+    /// ladders over. Trial seeds are pure in the trial index, so
+    /// `Some(n)` campaigns a strict prefix of the full-fidelity trial
+    /// set and `Some(full)` is bit-identical to [`Self::evaluate`].
+    ///
+    /// # Errors
+    /// As [`Self::evaluate`], plus
+    /// [`ExploreError::AdjudicationRequired`] when a fidelity is given
+    /// but the evaluator has no adjudication stage.
+    pub fn evaluate_at_fidelity(
+        &self,
+        point: &DesignPoint,
+        trials: Option<u32>,
+    ) -> Result<Evaluation, ExploreError> {
+        if trials.is_some() && self.adjudicate.is_none() {
+            return Err(ExploreError::AdjudicationRequired);
+        }
+        self.evaluate_with(point, trials)
+    }
+
+    fn evaluate_with(
+        &self,
+        point: &DesignPoint,
+        trials_override: Option<u32>,
+    ) -> Result<Evaluation, ExploreError> {
         // Workload names are validated even when no campaign runs, so a
         // typo fails loudly rather than silently skipping adjudication.
         if !self.registry.contains_key(&point.workload) {
@@ -730,7 +897,9 @@ impl Evaluator {
         };
         let empirical = match &self.adjudicate {
             None => None,
-            Some(adjudication) => Some(self.adjudicate_point(point, &plan, adjudication)?),
+            Some(adjudication) => {
+                Some(self.adjudicate_point(point, &plan, adjudication, trials_override)?)
+            }
         };
         let system = match &self.system {
             None => None,
@@ -818,7 +987,24 @@ impl Evaluator {
 
     /// Parallel evaluation of an explicit point list (input order kept).
     pub fn evaluate_points(&self, points: &[DesignPoint]) -> Vec<Result<Evaluation, ExploreError>> {
-        let dispatch = || points.par_iter().map(|p| self.evaluate(p)).collect();
+        self.evaluate_points_at_fidelity(points, None)
+    }
+
+    /// Parallel evaluation of an explicit point list at an adjudication
+    /// fidelity (input order kept) — the batched form of
+    /// [`Self::evaluate_at_fidelity`], with the same purity contract:
+    /// bit-identical at every thread count.
+    pub fn evaluate_points_at_fidelity(
+        &self,
+        points: &[DesignPoint],
+        trials: Option<u32>,
+    ) -> Vec<Result<Evaluation, ExploreError>> {
+        let dispatch = || {
+            points
+                .par_iter()
+                .map(|p| self.evaluate_at_fidelity(p, trials))
+                .collect()
+        };
         if self.threads == 0 {
             dispatch()
         } else {
@@ -829,6 +1015,57 @@ impl Evaluator {
                 .install(dispatch)
         }
     }
+
+    /// How many fault scenarios the adjudication stage would campaign
+    /// for this point — the per-rung cost of one evaluation is
+    /// `scenario_count × trials`, which is what guided search charges
+    /// against its budget *before* spending it.
+    ///
+    /// # Errors
+    /// [`ExploreError::AdjudicationRequired`] without an adjudication
+    /// stage; otherwise the same feasibility errors as
+    /// [`Self::evaluate`].
+    pub fn scenario_count(&self, point: &DesignPoint) -> Result<usize, ExploreError> {
+        let adjudication = self
+            .adjudicate
+            .as_ref()
+            .ok_or(ExploreError::AdjudicationRequired)?;
+        if !self.registry.contains_key(&point.workload) {
+            return Err(ExploreError::UnknownWorkload(point.workload.clone()));
+        }
+        let plan = self.plan_for(point.cycles, point.pndc, point.policy)?;
+        let config = RamConfig::from_plan(point.geometry, &plan)?;
+        Ok(Self::mix_universe(
+            &config,
+            point,
+            adjudication.max_faults,
+            adjudication.campaign.seed,
+        )
+        .len())
+    }
+}
+
+/// FNV-1a digest of the per-fault outcome counters of a campaign, in
+/// universe order — the common-random-numbers fingerprint carried on
+/// [`EmpiricalFigures::profile_digest`].
+fn profile_digest(per_fault: &[scm_memory::campaign::FaultResult]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for f in per_fault {
+        for v in [
+            f.trials as u64,
+            f.detected as u64,
+            f.undetected as u64,
+            f.error_escapes as u64,
+            f.detection_cycle_sum,
+            f.onset_latency_sum,
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 /// Deterministic even subsample: every k-th element so the cap is met.
@@ -916,13 +1153,25 @@ mod tests {
         assert!(results.iter().all(|r| r.is_ok()));
         let stats = ev.cache_stats();
         // 32 points share 4 plans, ≤ 8 area cells and ≤ 8 scrub bounds:
-        // most lookups must be hits.
+        // most lookups must be hits, on every memo individually.
         assert!(
-            stats.hits > stats.misses,
+            stats.hits() > stats.misses(),
             "hits {} misses {}",
-            stats.hits,
-            stats.misses
+            stats.hits(),
+            stats.misses()
         );
+        for (name, memo) in [
+            ("plans", stats.plans),
+            ("areas", stats.areas),
+            ("scrub_bounds", stats.scrub_bounds),
+        ] {
+            assert!(
+                memo.hits > memo.misses,
+                "{name}: hits {} misses {}",
+                memo.hits,
+                memo.misses
+            );
+        }
     }
 
     #[test]
@@ -1074,6 +1323,105 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("no diagnosis could ever complete"));
+    }
+
+    fn adjudicated_evaluator(trials: u32, sliced: bool) -> Evaluator {
+        Evaluator::default().adjudicate(Adjudication {
+            campaign: CampaignConfig {
+                cycles: 10,
+                trials,
+                seed: 0xE7,
+                write_fraction: 0.1,
+            },
+            max_faults: 16,
+            scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
+            sliced,
+        })
+    }
+
+    #[test]
+    fn full_fidelity_override_is_bit_identical_to_evaluate() {
+        for sliced in [false, true] {
+            let ev = adjudicated_evaluator(8, sliced);
+            let p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+            let full = ev.evaluate(&p).unwrap();
+            let overridden = ev.evaluate_at_fidelity(&p, Some(8)).unwrap();
+            assert_eq!(full, overridden, "sliced={sliced}");
+            let low = ev.evaluate_at_fidelity(&p, Some(2)).unwrap();
+            let emp = low.empirical.unwrap();
+            assert_eq!(emp.trials_per_fault, 2);
+            assert_eq!(emp.scenario_trials, emp.faults as u64 * 2);
+            // Everything outside the adjudication stage is fidelity-blind.
+            assert_eq!(low.plan, full.plan);
+            assert_eq!(low.area, full.area);
+        }
+    }
+
+    #[test]
+    fn fidelity_knob_requires_adjudication() {
+        let ev = Evaluator::default();
+        let p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+        assert_eq!(
+            ev.evaluate_at_fidelity(&p, Some(4)),
+            Err(ExploreError::AdjudicationRequired)
+        );
+        assert_eq!(
+            ev.scenario_count(&p),
+            Err(ExploreError::AdjudicationRequired)
+        );
+        // `None` stays the plain pipeline.
+        assert!(ev.evaluate_at_fidelity(&p, None).is_ok());
+    }
+
+    #[test]
+    fn scenario_count_matches_the_campaigned_universe() {
+        let ev = adjudicated_evaluator(4, false);
+        let p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+        let n = ev.scenario_count(&p).unwrap();
+        let emp = ev.evaluate(&p).unwrap().empirical.unwrap();
+        assert_eq!(n, emp.faults);
+        assert!(n > 0 && n <= 16);
+    }
+
+    #[test]
+    fn confidence_intervals_shrink_with_fidelity_and_bracket_the_mean() {
+        let ev = adjudicated_evaluator(16, true);
+        let p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+        let low = ev
+            .evaluate_at_fidelity(&p, Some(2))
+            .unwrap()
+            .empirical
+            .unwrap();
+        let high = ev.evaluate(&p).unwrap().empirical.unwrap();
+        let (llo, lhi) = low.escape_interval(1e-3);
+        let (hlo, hhi) = high.escape_interval(1e-3);
+        assert!(llo <= low.mean_escape && low.mean_escape <= lhi);
+        assert!(lhi - llo >= hhi - hlo, "more trials must not widen the CI");
+        assert!((0.0..=1.0).contains(&llo) && (0.0..=1.0).contains(&lhi));
+        let (tlo, thi) = high.latency_interval(1e-3);
+        assert!(tlo <= high.mean_latency && high.mean_latency <= thi);
+        assert!(thi <= high.horizon as f64);
+        assert!(high.mean_latency > 0.0 && high.mean_latency <= high.horizon as f64);
+        assert_eq!(
+            EmpiricalFigures::hoeffding_half_width(0, 1e-3),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn profile_digest_fingerprints_the_campaign() {
+        let ev = adjudicated_evaluator(8, true);
+        let p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
+        let a = ev.evaluate(&p).unwrap().empirical.unwrap();
+        let b = ev.evaluate(&p).unwrap().empirical.unwrap();
+        assert_eq!(a.profile_digest, b.profile_digest, "digest is pure");
+        let mut longer = p.clone();
+        longer.cycles = 20;
+        let c = ev.evaluate(&longer).unwrap().empirical.unwrap();
+        assert_ne!(
+            a.profile_digest, c.profile_digest,
+            "a different horizon must change the outcome profile"
+        );
     }
 
     #[test]

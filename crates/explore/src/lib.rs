@@ -19,7 +19,12 @@
 //!   including spares and the BIST controller, mean time to repair,
 //!   residual escape), fed by the optional repair stage
 //!   ([`RepairAdjudication`]) which campaigns each repair-enabled point
-//!   through `scm_system::DiagCampaign`.
+//!   through `scm_system::DiagCampaign`;
+//! * [`GuidedSearch`] — budget-bounded multi-fidelity search (successive
+//!   halving over Monte-Carlo fidelity levels with confidence-bound
+//!   pruning) that recovers Pareto fronts over spaces far too large to
+//!   adjudicate exhaustively, with deterministic rung-level budget
+//!   accounting ([`GuidedReport`]).
 //!
 //! Pareto sweeps, the paper's table slices and single goal-solves all run
 //! through the same engine, so a new scenario is a new
@@ -42,12 +47,17 @@
 #![warn(missing_docs)]
 
 pub mod evaluate;
+pub mod guided;
 pub mod pareto;
 pub mod space;
 
 pub use evaluate::{
-    Adjudication, CacheStats, EmpiricalFigures, Evaluation, Evaluator, ExploreError,
+    Adjudication, CacheStats, EmpiricalFigures, Evaluation, Evaluator, ExploreError, MemoStats,
     RepairAdjudication, RepairFigures, SystemAdjudication, SystemFigures,
+};
+pub use guided::{
+    empirical_front, exhaustive_front, ExhaustiveReference, FidelityLadder, GuidedConfig,
+    GuidedReport, GuidedSearch, RungStats,
 };
 pub use pareto::{
     dominates, mix_pareto_fronts, pareto_front, repair_pareto_front, system_pareto_front,

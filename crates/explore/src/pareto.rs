@@ -51,14 +51,14 @@ pub fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
     dominates_by(objectives(a), objectives(b))
 }
 
-fn dominates_by(oa: [f64; 3], ob: [f64; 3]) -> bool {
+pub(crate) fn dominates_by(oa: [f64; 3], ob: [f64; 3]) -> bool {
     let no_worse = oa.iter().zip(&ob).all(|(x, y)| x <= y);
     let better = oa.iter().zip(&ob).any(|(x, y)| x < y);
     no_worse && better
 }
 
 /// Shared frontier extraction over an explicit objective function.
-fn front_by(
+pub(crate) fn front_by(
     evaluations: &[Evaluation],
     objectives: impl Fn(&Evaluation) -> [f64; 3],
 ) -> Vec<Evaluation> {

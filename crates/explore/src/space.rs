@@ -8,6 +8,8 @@
 //! which is what lets the parallel evaluator return bit-identical result
 //! vectors at every thread count.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use scm_area::RamOrganization;
 use scm_codes::selection::SelectionPolicy;
 
@@ -241,6 +243,58 @@ impl ExplorationSpace {
         }
     }
 
+    /// The worked reference space of the CLI's `explore` report and the
+    /// guided-search acceptance benches: the paper's 16×1K RAM, both
+    /// tables' latency/escape budget axes, both selection policies — 72
+    /// points, small enough to adjudicate exhaustively, rich enough that
+    /// most of it is Pareto-dominated.
+    pub fn worked_reference() -> Self {
+        ExplorationSpace {
+            geometries: vec![RamOrganization::with_mux8(1024, 16)],
+            cycles: vec![2, 5, 10, 20, 30, 40],
+            pndcs: vec![1e-2, 1e-5, 1e-9, 1e-15, 1e-20, 1e-30],
+            policies: SelectionPolicy::ALL.to_vec(),
+            scrubs: vec![ScrubPolicy::Off],
+            workloads: vec!["uniform".to_owned()],
+            banks: vec![1],
+            checkpoints: vec![0],
+            repairs: vec![RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
+        }
+    }
+
+    /// A ≥ 10⁶-point grid (36 geometries × 50 latency budgets × 24
+    /// escape budgets × 2 policies × 2 scrub policies × 6 workloads =
+    /// 1 036 800 points) that exhaustive adjudication cannot touch —
+    /// the scale target of budget-bounded guided search.
+    pub fn million_grid() -> Self {
+        let geometries = [256u64, 512, 1024, 2048, 4096, 8192]
+            .into_iter()
+            .flat_map(|words| {
+                [8u32, 16, 32].into_iter().flat_map(move |bits| {
+                    [4u32, 8]
+                        .into_iter()
+                        .map(move |mux| RamOrganization::new(words, bits, mux))
+                })
+            })
+            .collect();
+        ExplorationSpace {
+            geometries,
+            cycles: (1..=50).collect(),
+            pndcs: (1..=24).map(|k| 10f64.powi(-k)).collect(),
+            policies: SelectionPolicy::ALL.to_vec(),
+            scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
+            workloads: scm_memory::workload::MODEL_NAMES
+                .iter()
+                .map(|&w| w.to_owned())
+                .collect(),
+            banks: vec![1],
+            checkpoints: vec![0],
+            repairs: vec![RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent],
+        }
+    }
+
     /// Number of candidate points.
     pub fn len(&self) -> usize {
         self.geometries.len()
@@ -299,6 +353,149 @@ impl ExplorationSpace {
         }
         out
     }
+
+    /// The point at position `index` of the [`points`](Self::points)
+    /// enumeration, decoded directly from the mixed-radix coordinates —
+    /// O(1) in the space size, which is what makes sampling a
+    /// million-point grid possible without materialising it.
+    ///
+    /// # Panics
+    /// Panics if `index ≥ self.len()`.
+    pub fn point_at(&self, index: usize) -> DesignPoint {
+        assert!(
+            index < self.len(),
+            "index {index} outside a {}-point space",
+            self.len()
+        );
+        // points() nests cycles innermost, fault mixes outermost: peel
+        // the radices off in that order.
+        let mut rest = index;
+        let mut digit = |len: usize| {
+            let d = rest % len;
+            rest /= len;
+            d
+        };
+        let cycles = self.cycles[digit(self.cycles.len())];
+        let pndc = self.pndcs[digit(self.pndcs.len())];
+        let geometry = self.geometries[digit(self.geometries.len())];
+        let policy = self.policies[digit(self.policies.len())];
+        let scrub = self.scrubs[digit(self.scrubs.len())];
+        let workload = self.workloads[digit(self.workloads.len())].clone();
+        let checkpoint = self.checkpoints[digit(self.checkpoints.len())];
+        let banks = self.banks[digit(self.banks.len())];
+        let repair = self.repairs[digit(self.repairs.len())];
+        let fault_mix = self.fault_mixes[digit(self.fault_mixes.len())];
+        DesignPoint {
+            geometry,
+            cycles,
+            pndc,
+            policy,
+            scrub,
+            workload,
+            banks,
+            checkpoint,
+            repair,
+            fault_mix,
+        }
+    }
+
+    /// A seed-pure stratified sample of `count` distinct points: every
+    /// axis is covered evenly (each of its values appears `count / len`
+    /// ± 1 times across the sample), while a per-axis Fisher–Yates
+    /// shuffle decorrelates the axes — a Latin-hypercube-style design
+    /// over the discrete grid. Pure in `(self, count, seed)`; duplicate
+    /// index collisions are re-rolled deterministically, and asking for
+    /// at least [`len`](Self::len) points returns the whole space in
+    /// enumeration order.
+    pub fn sample_stratified(&self, count: usize, seed: u64) -> Vec<DesignPoint> {
+        if self.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        if count >= self.len() {
+            return self.points();
+        }
+        // Radices in point_at's peel order, with a distinct RNG stream
+        // per axis so adding an axis value never reshuffles the others.
+        let radices = [
+            self.cycles.len(),
+            self.pndcs.len(),
+            self.geometries.len(),
+            self.policies.len(),
+            self.scrubs.len(),
+            self.workloads.len(),
+            self.checkpoints.len(),
+            self.banks.len(),
+            self.repairs.len(),
+            self.fault_mixes.len(),
+        ];
+        let columns: Vec<Vec<usize>> = radices
+            .iter()
+            .enumerate()
+            .map(|(axis, &len)| {
+                let mut rng = SmallRng::seed_from_u64(
+                    seed ^ (axis as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut column: Vec<usize> = (0..count).map(|slot| slot * len / count).collect();
+                for i in (1..column.len()).rev() {
+                    column.swap(i, rng.gen_range(0..i + 1));
+                }
+                column
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut reroll = SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00_5EED);
+        let mut out = Vec::with_capacity(count);
+        for slot in 0..count {
+            let mut index = 0usize;
+            for (column, &len) in columns.iter().zip(&radices).rev() {
+                index = index * len + column[slot];
+            }
+            // Collisions (two slots decoding to one grid cell) are
+            // re-rolled uniformly; `count < len()` guarantees free cells.
+            while !seen.insert(index) {
+                index = reroll.gen_range(0..self.len());
+            }
+            out.push(self.point_at(index));
+        }
+        out
+    }
+
+    /// The grid neighbours of a point: every point reachable by moving
+    /// one step along exactly one axis (points whose value sits at an
+    /// axis edge have fewer neighbours). This is the local-mutation move
+    /// set guided search expands Pareto-front members with. A point
+    /// whose coordinates are not on the grid has no neighbours.
+    pub fn neighbours(&self, point: &DesignPoint) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        // One arm per axis keeps each move a pure single-coordinate
+        // step; f64 identity is by bit pattern (the grid is finite).
+        macro_rules! axis_steps {
+            ($axis:expr, $field:ident, $eq:expr) => {
+                if let Some(i) = $axis.iter().position($eq) {
+                    for j in [i.wrapping_sub(1), i + 1] {
+                        if let Some(v) = $axis.get(j) {
+                            out.push(DesignPoint {
+                                $field: v.clone(),
+                                ..point.clone()
+                            });
+                        }
+                    }
+                }
+            };
+        }
+        axis_steps!(self.cycles, cycles, |v| *v == point.cycles);
+        axis_steps!(self.pndcs, pndc, |v: &f64| v.to_bits()
+            == point.pndc.to_bits());
+        axis_steps!(self.geometries, geometry, |v| *v == point.geometry);
+        axis_steps!(self.policies, policy, |v| *v == point.policy);
+        axis_steps!(self.scrubs, scrub, |v| *v == point.scrub);
+        axis_steps!(self.workloads, workload, |v| *v == point.workload);
+        axis_steps!(self.banks, banks, |v| *v == point.banks);
+        axis_steps!(self.checkpoints, checkpoint, |v| *v == point.checkpoint);
+        axis_steps!(self.repairs, repair, |v| *v == point.repair);
+        axis_steps!(self.fault_mixes, fault_mix, |v| *v == point.fault_mix);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +529,113 @@ mod tests {
         // The bank axis is outermost.
         assert_eq!(a[0].banks, 1);
         assert_eq!(a[32].banks, 4);
+    }
+
+    fn wide_space() -> ExplorationSpace {
+        ExplorationSpace {
+            geometries: vec![
+                RamOrganization::new(64, 8, 4),
+                RamOrganization::new(256, 8, 4),
+                RamOrganization::with_mux8(1024, 16),
+            ],
+            cycles: vec![2, 5, 10, 20],
+            pndcs: vec![1e-2, 1e-5, 1e-9],
+            policies: SelectionPolicy::ALL.to_vec(),
+            scrubs: vec![ScrubPolicy::Off, ScrubPolicy::SequentialSweep],
+            workloads: vec!["uniform".to_owned(), "hotspot".to_owned()],
+            banks: vec![1, 2],
+            checkpoints: vec![0, 64],
+            repairs: vec![RepairPolicy::OFF],
+            fault_mixes: vec![FaultMix::Permanent, FaultMix::Transient],
+        }
+    }
+
+    #[test]
+    fn point_at_matches_the_enumeration() {
+        let space = wide_space();
+        let all = space.points();
+        assert_eq!(all.len(), space.len());
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(&space.point_at(i), p, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn point_at_rejects_out_of_range_indices() {
+        let space = wide_space();
+        space.point_at(space.len());
+    }
+
+    #[test]
+    fn stratified_sample_is_pure_distinct_and_axis_covering() {
+        let space = wide_space();
+        let sample = space.sample_stratified(96, 0xABCD);
+        assert_eq!(sample.len(), 96);
+        assert_eq!(sample, space.sample_stratified(96, 0xABCD), "seed-pure");
+        assert_ne!(
+            sample,
+            space.sample_stratified(96, 0xABCE),
+            "seed-sensitive"
+        );
+        let labels: std::collections::HashSet<String> = sample.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 96, "points are distinct");
+        // 96 draws over a 4-value axis must hit every value; same for
+        // every other axis (stratification, not luck).
+        for &c in &space.cycles {
+            assert!(sample.iter().any(|p| p.cycles == c), "cycles {c} missed");
+        }
+        for g in &space.geometries {
+            assert!(sample.iter().any(|p| p.geometry == *g));
+        }
+        for w in &space.workloads {
+            assert!(sample.iter().any(|p| p.workload == *w));
+        }
+        assert!(sample.iter().any(|p| p.fault_mix == FaultMix::Transient));
+    }
+
+    #[test]
+    fn oversized_sample_is_the_whole_space() {
+        let space = wide_space();
+        assert_eq!(space.sample_stratified(space.len() + 5, 1), space.points());
+        assert!(space.sample_stratified(0, 1).is_empty());
+    }
+
+    #[test]
+    fn neighbours_step_one_axis_at_a_time() {
+        let space = wide_space();
+        let centre = space.point_at(space.len() / 2);
+        let moves = space.neighbours(&centre);
+        assert!(!moves.is_empty());
+        for n in &moves {
+            let differs = [
+                n.geometry != centre.geometry,
+                n.cycles != centre.cycles,
+                n.pndc.to_bits() != centre.pndc.to_bits(),
+                n.policy != centre.policy,
+                n.scrub != centre.scrub,
+                n.workload != centre.workload,
+                n.banks != centre.banks,
+                n.checkpoint != centre.checkpoint,
+                n.repair != centre.repair,
+                n.fault_mix != centre.fault_mix,
+            ]
+            .into_iter()
+            .filter(|&d| d)
+            .count();
+            assert_eq!(differs, 1, "{} vs {}", n.label(), centre.label());
+        }
+        // A corner point still has a neighbour along every multi-value
+        // axis, just one instead of two.
+        let corner = space.point_at(0);
+        assert!(space.neighbours(&corner).len() >= 9);
+        // Off-grid points have no moves.
+        let mut alien = centre.clone();
+        alien.cycles = 999;
+        assert!(space
+            .neighbours(&alien)
+            .iter()
+            .all(|n| n.cycles == 999 || space.cycles.contains(&n.cycles)));
     }
 
     #[test]

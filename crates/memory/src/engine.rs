@@ -50,7 +50,14 @@ pub struct CampaignEngine {
     scrub_period: u64,
     sliced: bool,
     lane_width: usize,
+    serial_threshold: u64,
 }
+
+/// Grids of at most this many `scenario × trial` cells run serially by
+/// default: below it the rayon fan-out (block construction, work-steal
+/// queues, and — with pinned threads — pool construction) costs more
+/// than it buys (`BENCH_system.json` tiny-grid rows).
+pub const DEFAULT_SERIAL_THRESHOLD: u64 = 256;
 
 impl CampaignEngine {
     /// Engine with the given campaign parameters, the paper's uniform
@@ -63,7 +70,17 @@ impl CampaignEngine {
             scrub_period: 0,
             sliced: false,
             lane_width: 64,
+            serial_threshold: DEFAULT_SERIAL_THRESHOLD,
         }
+    }
+
+    /// Largest `scenario × trial` grid that skips the rayon fan-out and
+    /// runs serially on the calling thread (`0` = always fan out).
+    /// Purely a scheduling knob: block decomposition and the in-order
+    /// merge are unchanged, so results stay bit-identical either way.
+    pub fn serial_threshold(mut self, cells: u64) -> Self {
+        self.serial_threshold = cells;
+        self
     }
 
     /// Merge a background scrubber into every trial's stream: each
@@ -197,7 +214,14 @@ impl CampaignEngine {
                 .map(|block| self.run_sliced_block(config, chunks[block.fidx], *block))
                 .collect()
         };
-        let partials: Vec<Vec<FaultResult>> = if self.threads == 0 {
+        let partials: Vec<Vec<FaultResult>> = if self.runs_serially(scenarios.len()) {
+            // Tiny grid: the fan-out costs more than it buys. Same
+            // blocks, same order, same merge — bit-identical results.
+            blocks
+                .iter()
+                .map(|block| self.run_sliced_block(config, chunks[block.fidx], *block))
+                .collect()
+        } else if self.threads == 0 {
             dispatch()
         } else {
             rayon::ThreadPoolBuilder::new()
@@ -336,7 +360,14 @@ impl CampaignEngine {
                 .map(|block| self.run_block(backend.clone(), scenarios[block.fidx], *block))
                 .collect()
         };
-        let partials: Vec<FaultResult> = if self.threads == 0 {
+        let partials: Vec<FaultResult> = if self.runs_serially(scenarios.len()) {
+            // Tiny grid: the fan-out costs more than it buys. Same
+            // blocks, same order, same merge — bit-identical results.
+            blocks
+                .iter()
+                .map(|block| self.run_block(backend.clone(), scenarios[block.fidx], *block))
+                .collect()
+        } else if self.threads == 0 {
             // Ambient width: no per-call pool, the global default applies.
             dispatch()
         } else {
@@ -369,6 +400,12 @@ impl CampaignEngine {
             per_fault,
             config: self.campaign,
         }
+    }
+
+    /// Is this grid small enough for the serial fast path?
+    fn runs_serially(&self, scenarios: usize) -> bool {
+        self.serial_threshold > 0
+            && scenarios as u64 * self.campaign.trials as u64 <= self.serial_threshold
     }
 
     /// Split the grid into schedulable blocks: one per fault when faults
@@ -537,6 +574,8 @@ mod tests {
         let faults = row_faults();
         // Few faults force trial splitting; the full universe exercises
         // fault-major blocks. Both must agree with the 1-thread run.
+        // serial_threshold(0) keeps these small grids on the parallel
+        // path this test exists to exercise.
         for universe in [&faults[..3], &faults[..]] {
             let campaign = CampaignConfig {
                 cycles: 12,
@@ -544,10 +583,14 @@ mod tests {
                 seed: 77,
                 write_fraction: 0.1,
             };
-            let reference = CampaignEngine::new(campaign).threads(1).run(&cfg, universe);
+            let reference = CampaignEngine::new(campaign)
+                .threads(1)
+                .serial_threshold(0)
+                .run(&cfg, universe);
             for threads in [2usize, 4, 7] {
                 let result = CampaignEngine::new(campaign)
                     .threads(threads)
+                    .serial_threshold(0)
                     .run(&cfg, universe);
                 assert_eq!(
                     reference.determinism_profile(),
@@ -573,10 +616,12 @@ mod tests {
             let reference = CampaignEngine::new(campaign)
                 .workload_model(model.clone())
                 .threads(1)
+                .serial_threshold(0)
                 .run(&cfg, &faults[..6]);
             let parallel = CampaignEngine::new(campaign)
                 .workload_model(model.clone())
                 .threads(4)
+                .serial_threshold(0)
                 .run(&cfg, &faults[..6]);
             assert_eq!(
                 reference.determinism_profile(),
@@ -680,6 +725,7 @@ mod tests {
         let reference = CampaignEngine::new(campaign)
             .sliced(true)
             .threads(1)
+            .serial_threshold(0)
             .run_scenarios(&cfg, &scenarios);
         assert_eq!(reference.per_fault.len(), scenarios.len());
         assert!(
@@ -690,6 +736,7 @@ mod tests {
             let result = CampaignEngine::new(campaign)
                 .sliced(true)
                 .threads(threads)
+                .serial_threshold(0)
                 .run_scenarios(&cfg, &scenarios);
             assert_eq!(
                 reference.determinism_profile(),
@@ -708,6 +755,49 @@ mod tests {
                 "lane width {width}"
             );
         }
+    }
+
+    #[test]
+    fn serial_fallback_is_bit_identical_to_the_fanned_out_grid() {
+        let cfg = config();
+        let scenarios = mixed_scenarios();
+        // Size the grid to sit just under the default threshold: the
+        // plain engine takes the serial path, forcing the threshold to 0
+        // fans the same grid out. Both backends must agree bit for bit.
+        let trials = (DEFAULT_SERIAL_THRESHOLD / scenarios.len() as u64) as u32;
+        assert!(trials >= 1, "universe outgrew the default threshold");
+        let campaign = CampaignConfig {
+            cycles: 12,
+            trials,
+            seed: 77,
+            write_fraction: 0.1,
+        };
+        for sliced in [false, true] {
+            let serial = CampaignEngine::new(campaign)
+                .sliced(sliced)
+                .run_scenarios(&cfg, &scenarios);
+            let fanned = CampaignEngine::new(campaign)
+                .sliced(sliced)
+                .serial_threshold(0)
+                .threads(4)
+                .run_scenarios(&cfg, &scenarios);
+            assert_eq!(
+                serial.determinism_profile(),
+                fanned.determinism_profile(),
+                "sliced={sliced}"
+            );
+        }
+        // Just past the threshold the engine fans out again: identical
+        // results either way, the threshold is scheduling only.
+        let over = CampaignConfig {
+            trials: 300,
+            ..campaign
+        };
+        let a = CampaignEngine::new(over).run_scenarios(&cfg, &scenarios);
+        let b = CampaignEngine::new(over)
+            .serial_threshold(u64::MAX)
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(a.determinism_profile(), b.determinism_profile());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod workload;
 pub use backend::{BehavioralBackend, CycleObservation, FaultSimBackend, GateLevelBackend};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultResult};
 pub use design::{RamConfig, ReadOutcome, SelfCheckingRam, Verdict};
-pub use engine::CampaignEngine;
+pub use engine::{CampaignEngine, DEFAULT_SERIAL_THRESHOLD};
 pub use fault::FaultSite;
 pub use sim::{measure_detection, measure_detection_on, DetectionOutcome};
 pub use sliced::{measure_detection_sliced, SlicedBackend, SlicedObservation, SlicedPrefill};

@@ -289,7 +289,12 @@ pub struct SystemCampaign {
     threads: usize,
     sliced: bool,
     lane_width: usize,
+    serial_threshold: u64,
 }
+
+/// Grids of at most this many `fault × trial` cells run inline on the
+/// calling thread: below it the rayon fan-out costs more than it buys.
+pub const DEFAULT_SERIAL_THRESHOLD: u64 = 256;
 
 impl SystemCampaign {
     /// Campaign over `system` with the given grid parameters
@@ -303,6 +308,7 @@ impl SystemCampaign {
             threads: 0,
             sliced: false,
             lane_width: 64,
+            serial_threshold: DEFAULT_SERIAL_THRESHOLD,
         }
     }
 
@@ -333,6 +339,19 @@ impl SystemCampaign {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Largest `fault × trial` grid still run inline on the calling
+    /// thread (`0` = always fan out). Scheduling only: serial and
+    /// fanned-out runs are bit-identical.
+    pub fn serial_threshold(mut self, cells: u64) -> Self {
+        self.serial_threshold = cells;
+        self
+    }
+
+    fn runs_serially(&self, faults: usize) -> bool {
+        self.serial_threshold > 0
+            && faults as u64 * self.campaign.trials as u64 <= self.serial_threshold
     }
 
     /// The system under campaign.
@@ -421,7 +440,14 @@ impl SystemCampaign {
                 .map(|block| self.run_block(&template, universe[block.uidx], *block))
                 .collect()
         };
-        let partials: Vec<SystemFaultResult> = if self.threads == 0 {
+        let partials: Vec<SystemFaultResult> = if self.runs_serially(universe.len()) {
+            // Tiny grid: same blocks, same order, same merge — the
+            // fan-out is skipped, the result is bit-identical.
+            blocks
+                .iter()
+                .map(|block| self.run_block(&template, universe[block.uidx], *block))
+                .collect()
+        } else if self.threads == 0 {
             dispatch()
         } else {
             rayon::ThreadPoolBuilder::new()
@@ -491,7 +517,13 @@ impl SystemCampaign {
                 .map(|block| self.run_sliced_block(&chunks[block.uidx], universe, *block))
                 .collect()
         };
-        let partials: Vec<Vec<SystemFaultResult>> = if self.threads == 0 {
+        let partials: Vec<Vec<SystemFaultResult>> = if self.runs_serially(universe.len()) {
+            // Tiny grid: same chunks, same order, same scatter.
+            blocks
+                .iter()
+                .map(|block| self.run_sliced_block(&chunks[block.uidx], universe, *block))
+                .collect()
+        } else if self.threads == 0 {
             dispatch()
         } else {
             rayon::ThreadPoolBuilder::new()
@@ -839,7 +871,9 @@ mod tests {
 
     #[test]
     fn campaign_is_bit_identical_at_any_thread_count() {
-        let engine = SystemCampaign::new(config(), campaign());
+        // serial_threshold(0) keeps this small grid on the parallel
+        // path this test exists to exercise.
+        let engine = SystemCampaign::new(config(), campaign()).serial_threshold(0);
         let universe = engine.decoder_universe(6);
         let reference = engine.clone().threads(1).run(&universe);
         for threads in [2usize, 4, 8] {
@@ -854,7 +888,9 @@ mod tests {
 
     #[test]
     fn sliced_campaign_is_thread_and_lane_width_invariant() {
-        let engine = SystemCampaign::new(config(), campaign()).sliced(true);
+        let engine = SystemCampaign::new(config(), campaign())
+            .sliced(true)
+            .serial_threshold(0);
         let mut universe = engine.decoder_universe(10);
         // A couple of temporal cell faults so lane masking is exercised
         // beyond pure permanents.
@@ -906,6 +942,27 @@ mod tests {
                 reference.determinism_profile(),
                 result.determinism_profile(),
                 "lane width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_fallback_matches_the_fanned_out_campaign() {
+        // Under the default threshold the grid runs inline; forcing the
+        // threshold to 0 fans the identical grid out. Scheduling only.
+        let universe_cap = 6;
+        for sliced in [false, true] {
+            let serial = SystemCampaign::new(config(), campaign()).sliced(sliced);
+            let universe = serial.decoder_universe(universe_cap);
+            assert!(
+                universe.len() as u64 * campaign().trials as u64 <= DEFAULT_SERIAL_THRESHOLD,
+                "universe outgrew the default threshold"
+            );
+            let fanned = serial.clone().serial_threshold(0).threads(4);
+            assert_eq!(
+                serial.run(&universe).determinism_profile(),
+                fanned.run(&universe).determinism_profile(),
+                "sliced={sliced}"
             );
         }
     }

@@ -65,7 +65,10 @@ pub mod system;
 
 pub use clock::{CheckpointSchedule, ScrubSchedule, SystemClock, SystemEvent};
 pub use diag::{DiagCampaign, DiagFaultResult, DiagPolicy, DiagSystemResult};
-pub use engine::{BankSummary, SystemCampaign, SystemFault, SystemFaultResult, SystemResult};
+pub use engine::{
+    BankSummary, SystemCampaign, SystemFault, SystemFaultResult, SystemResult,
+    DEFAULT_SERIAL_THRESHOLD,
+};
 pub use interleave::{Interleaver, Interleaving};
 pub use report::system_report;
 pub use seu::SeuProcess;

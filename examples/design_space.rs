@@ -45,7 +45,7 @@ fn main() {
     println!(
         "evaluated {} points ({} sub-results served from the memo)",
         evaluations.len(),
-        evaluator.cache_stats().hits
+        evaluator.cache_stats().hits()
     );
     println!();
     println!("Pareto front (area % / latency c / achieved Pndc):");
