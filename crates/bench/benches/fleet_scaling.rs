@@ -1,0 +1,63 @@
+//! Fleet-driver throughput baseline (`BENCH_fleet.json`): devices per
+//! second through `scm_fleet::FleetDriver` on the small preset rescaled
+//! to a few hundred devices — the single-core number future PRs must
+//! not regress, plus the thread-scaling and checkpoint-overhead rows.
+//!
+//! A fresh driver is built per iteration (dictionary construction
+//! included): the snapshot measures what `scm fleet` actually costs
+//! end to end, not a warm inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scm_fleet::{FleetDriver, FleetOptions, FleetSpec};
+use std::hint::black_box;
+
+const DEVICES: u64 = 200;
+
+fn spec() -> FleetSpec {
+    FleetSpec::preset("small")
+        .expect("small preset exists")
+        .with_devices(DEVICES)
+}
+
+fn options(threads: usize, sliced: bool) -> FleetOptions {
+    FleetOptions {
+        seed: 0xF1EE7,
+        threads,
+        sliced,
+        ..FleetOptions::default()
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet-scaling");
+    g.throughput(Throughput::Elements(DEVICES));
+    for sliced in [false, true] {
+        let engine = if sliced { "sliced" } else { "scalar" };
+        for threads in [1usize, 2, 4] {
+            g.bench_function(&format!("{engine}-{threads}-threads"), |b| {
+                b.iter(|| {
+                    let mut driver =
+                        FleetDriver::new(black_box(spec()), options(threads, sliced)).unwrap();
+                    black_box(driver.run().unwrap())
+                })
+            });
+        }
+    }
+    // Checkpoint overhead: same fleet, a checkpoint written every 32
+    // devices — the cadence cost an operator pays for kill-safety.
+    let path = std::env::temp_dir().join(format!("scm-fleet-bench-{}.ckpt", std::process::id()));
+    g.bench_function("sliced-1-thread-ckpt-every-32", |b| {
+        b.iter(|| {
+            let mut opts = options(1, true);
+            opts.checkpoint_every = 32;
+            opts.checkpoint = Some(path.clone());
+            let mut driver = FleetDriver::new(black_box(spec()), opts).unwrap();
+            black_box(driver.run().unwrap())
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! The fleet tentpole's acceptance test: **really** kill a running
+//! `scm fleet` campaign (SIGKILL, not a mocked cursor), resume it from
+//! the checkpoint it left behind, and require the resumed run's stdout
+//! to be byte-identical to an uninterrupted run — at 1, 2 and 4 worker
+//! threads, resuming under a *different* thread count than the one the
+//! kill landed on.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SCM: &str = env!("CARGO_BIN_EXE_scm");
+
+/// Flags shared by every run of the campaign under test (the checkpoint
+/// binds them: a resume under different ones would be refused).
+fn campaign_flags(devices: u64) -> Vec<String> {
+    vec![
+        "fleet".to_owned(),
+        "--preset".to_owned(),
+        "small".to_owned(),
+        "--devices".to_owned(),
+        devices.to_string(),
+    ]
+}
+
+fn ckpt_path(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("scm-kill-resume-{}-{tag}.ckpt", std::process::id()));
+    path
+}
+
+fn run_to_string(args: &[String]) -> String {
+    let out = Command::new(SCM)
+        .args(args)
+        .output()
+        .expect("scm binary runs");
+    assert!(out.status.success(), "scm {args:?} failed: {out:?}");
+    String::from_utf8(out.stdout).expect("scm stdout is utf-8")
+}
+
+/// Launch the campaign, SIGKILL it as soon as its first checkpoint
+/// lands, and return true if the kill genuinely interrupted it (false
+/// means the run finished first — the caller retries with more work).
+fn kill_mid_campaign(devices: u64, threads: usize, checkpoint: &PathBuf) -> bool {
+    let _ = std::fs::remove_file(checkpoint);
+    let mut args = campaign_flags(devices);
+    args.extend([
+        "--threads".to_owned(),
+        threads.to_string(),
+        "--checkpoint-every".to_owned(),
+        "64".to_owned(),
+        "--checkpoint".to_owned(),
+        checkpoint.display().to_string(),
+    ]);
+    let mut child = Command::new(SCM)
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("scm fleet spawns");
+    // Poll for the first checkpoint, then kill immediately. A completed
+    // run deletes its checkpoint, so "checkpoint present" is precisely
+    // "resumable progress exists".
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !checkpoint.exists() {
+        if let Some(status) = child.try_wait().expect("child status") {
+            assert!(
+                status.success(),
+                "fleet died on its own before checkpointing: {status:?}"
+            );
+            return false; // finished before we could kill it
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 120 s");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    child.kill().expect("SIGKILL delivered");
+    let status = child.wait().expect("killed child reaped");
+    if status.success() {
+        // The kill raced completion; the checkpoint is already gone.
+        return false;
+    }
+    use std::os::unix::process::ExitStatusExt;
+    assert_eq!(status.signal(), Some(9), "expected death by SIGKILL");
+    assert!(
+        checkpoint.exists(),
+        "a killed campaign must leave its checkpoint behind"
+    );
+    true
+}
+
+#[test]
+fn sigkilled_campaigns_resume_to_the_uninterrupted_report_at_1_2_4_threads() {
+    // Sized so even a release build has a comfortable window between the
+    // first checkpoint (64 devices) and completion; doubled on the rare
+    // retry where the run outpaces the poll loop.
+    let mut devices = 6_000u64;
+    let mut reference: Option<(u64, String)> = None;
+    for threads in [1usize, 2, 4] {
+        let checkpoint = ckpt_path(&threads.to_string());
+        let mut killed = kill_mid_campaign(devices, threads, &checkpoint);
+        while !killed {
+            devices *= 2;
+            reference = None;
+            assert!(devices <= 1_000_000, "cannot outrun the fleet driver");
+            killed = kill_mid_campaign(devices, threads, &checkpoint);
+        }
+        // Resume under a different thread count than the kill ran with.
+        let mut resume_args = campaign_flags(devices);
+        resume_args.extend([
+            "--threads".to_owned(),
+            ((threads % 4) + 1).to_string(),
+            "--resume".to_owned(),
+            checkpoint.display().to_string(),
+        ]);
+        let resumed = run_to_string(&resume_args);
+        let (_, expected) = reference.get_or_insert_with(|| {
+            let mut args = campaign_flags(devices);
+            args.extend(["--threads".to_owned(), "4".to_owned()]);
+            (devices, run_to_string(&args))
+        });
+        assert_eq!(
+            &resumed, expected,
+            "threads {threads}: resumed stdout drifted from the uninterrupted run"
+        );
+        assert!(
+            !checkpoint.exists(),
+            "completion must clean up the checkpoint"
+        );
+    }
+}

@@ -9,8 +9,14 @@ use scm_bench::cli;
 
 const FIXTURE: &str = include_str!("fixtures/system.stdout");
 
+// The fixture pins the scalar engine explicitly: `scm system` defaults
+// to the sliced backend (whose stdout carries an extra engine banner).
 fn run_system(extra: &[&str]) -> String {
-    let mut args = vec!["system".to_owned()];
+    let mut args = vec![
+        "system".to_owned(),
+        "--engine".to_owned(),
+        "scalar".to_owned(),
+    ];
     args.extend(extra.iter().map(|s| (*s).to_owned()));
     cli::run(&args).expect("scm system succeeds")
 }

@@ -1,0 +1,189 @@
+//! One simulated device: a full mission through the system campaign
+//! engine, plus the hard-defect triage draw.
+//!
+//! A device's entire outcome is a pure function of
+//! `(fleet seed, cohort index, device index)` — the fleet driver's
+//! determinism contract. Nothing here knows about chunking, threads or
+//! checkpoints: the driver may group devices however it likes and the
+//! telemetry sums land identically.
+
+use crate::spec::CohortSpec;
+use crate::telemetry::CohortTelemetry;
+use scm_diag::{FaultDictionary, IndicationClass, SpareBudget};
+use scm_memory::campaign::CampaignConfig;
+use scm_memory::fault::{FaultScenario, FaultSite};
+use scm_system::{seed_mix, SeuProcess, SystemCampaign};
+
+/// Domain-separation tag for per-device seeds.
+const DEVICE_TAG: u64 = 0xF1EE_7D01;
+/// Tag for the hard-defect draw.
+const HARD_TAG: u64 = 0xF1EE_7D02;
+/// Tag for triage prefill seeds.
+const TRIAGE_TAG: u64 = 0xF1EE_7D03;
+
+/// The seed driving every draw of one device's mission.
+pub fn device_seed(fleet_seed: u64, cohort: usize, device: u64) -> u64 {
+    seed_mix(fleet_seed ^ DEVICE_TAG, &[cohort as u64, device])
+}
+
+/// Simulate one device of `cohort` and return its telemetry
+/// contribution (a single-device [`CohortTelemetry`]).
+///
+/// The SEU mission runs the cohort's system through [`SystemCampaign`]
+/// with one trial per strike scenario; the campaign is pinned to the
+/// caller's thread (`serial_threshold(u64::MAX)`) because parallelism
+/// belongs to the fleet driver's device chunks, not inside a device.
+/// Devices drawn hard (per `hard_ppm`) additionally run a
+/// repeat-and-compare triage session against `dictionary`, burning
+/// spares only on confirmed permanents.
+pub fn simulate_device(
+    cohort: &CohortSpec,
+    cohort_index: usize,
+    device: u64,
+    fleet_seed: u64,
+    sliced: bool,
+    dictionary: Option<&FaultDictionary>,
+) -> CohortTelemetry {
+    let dseed = device_seed(fleet_seed, cohort_index, device);
+    let campaign = CampaignConfig {
+        cycles: cohort.horizon,
+        trials: 1,
+        seed: dseed,
+        write_fraction: cohort.write_fraction(),
+    };
+    let engine = SystemCampaign::new(cohort.system_config(), campaign)
+        .sliced(sliced)
+        .serial_threshold(u64::MAX)
+        .workload_model(cohort.workload_model());
+    let seu = SeuProcess::new(cohort.seu_mean_cycles as f64);
+    let universe = engine.seu_universe(cohort.arrivals_per_bank as usize, &seu);
+    let result = engine.run(&universe);
+
+    let mut t = CohortTelemetry {
+        devices: 1,
+        ..CohortTelemetry::default()
+    };
+    for fault in &result.per_fault {
+        t.strikes += fault.trials as u64;
+        t.detected += fault.detected as u64;
+        t.undetected += fault.undetected as u64;
+        t.escapes += fault.error_escapes as u64;
+        t.detection_cycle_sum += fault.detection_cycle_sum;
+        t.onset_latency_sum += fault.latency_from_error_sum;
+        t.lost_work_sum += fault.lost_work_sum;
+    }
+
+    if let Some(dictionary) = dictionary {
+        triage_hard_device(cohort, dseed, dictionary, &mut t);
+    }
+    t
+}
+
+/// The hard-defect branch: draw whether this device shipped with a
+/// defect; if so, run it through the triage queue.
+fn triage_hard_device(
+    cohort: &CohortSpec,
+    dseed: u64,
+    dictionary: &FaultDictionary,
+    t: &mut CohortTelemetry,
+) {
+    let draw = seed_mix(dseed ^ HARD_TAG, &[0]);
+    if draw % 1_000_000 >= cohort.hard_ppm as u64 {
+        return;
+    }
+    t.hard_devices += 1;
+    // A seed-pure defect in the dictionary's (bank-0) geometry: half the
+    // defects are genuinely hard stuck cells, half are one-shot flips —
+    // the population the repeat-and-compare policy exists to split.
+    let org = dictionary.config().org();
+    let row = seed_mix(dseed ^ HARD_TAG, &[1]) % org.rows();
+    let col = seed_mix(dseed ^ HARD_TAG, &[2]) % org.physical_cols() as u64;
+    let site = FaultSite::Cell {
+        row: row as usize,
+        col: col as usize,
+        stuck: seed_mix(dseed ^ HARD_TAG, &[3]) & 1 == 0,
+    };
+    let scenario = if seed_mix(dseed ^ HARD_TAG, &[4]) & 1 == 0 {
+        FaultScenario::permanent(site)
+    } else {
+        FaultScenario::transient(site, 200)
+    };
+    let budget = SpareBudget {
+        rows: cohort.spare_rows,
+        cols: cohort.spare_cols,
+    };
+    let mission = CampaignConfig {
+        cycles: 200,
+        trials: 1,
+        seed: dseed,
+        write_fraction: cohort.write_fraction(),
+    };
+    let outcome = scm_diag::triage_session(
+        dictionary,
+        scenario,
+        budget,
+        mission,
+        seed_mix(dseed ^ TRIAGE_TAG, &[0]),
+    );
+    match outcome.class {
+        IndicationClass::Silent => t.triage_silent += 1,
+        IndicationClass::Transient => t.triage_transient += 1,
+        IndicationClass::Permanent => {
+            let repaired = outcome
+                .repair
+                .as_ref()
+                .is_some_and(|session| session.fully_repaired());
+            if repaired {
+                t.triage_repaired += 1;
+            } else {
+                t.triage_unrepaired += 1;
+            }
+            if let Some(session) = &outcome.repair {
+                match session.outcome {
+                    scm_diag::RepairOutcome::RepairedRow { .. } => t.spare_rows_used += 1,
+                    scm_diag::RepairOutcome::RepairedColumn { .. } => t.spare_cols_used += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FleetSpec;
+
+    #[test]
+    fn device_simulation_is_pure_in_its_coordinates() {
+        let spec = FleetSpec::preset("small").unwrap();
+        let cohort = &spec.cohorts[0];
+        let a = simulate_device(cohort, 0, 3, 0xF1EE7, false, None);
+        let b = simulate_device(cohort, 0, 3, 0xF1EE7, false, None);
+        assert_eq!(a, b, "pure in (seed, cohort, device)");
+        assert_eq!(a.devices, 1);
+        assert_eq!(
+            a.strikes,
+            cohort.banks.len() as u64 * cohort.arrivals_per_bank as u64
+        );
+        assert_eq!(a.strikes, a.detected + a.undetected);
+        // Distinct devices and seeds see distinct missions.
+        let c = simulate_device(cohort, 0, 4, 0xF1EE7, false, None);
+        let d = simulate_device(cohort, 0, 3, 0xF1EE8, false, None);
+        assert!(a != c || a != d, "device/seed coordinates must matter");
+    }
+
+    #[test]
+    fn hard_draw_rate_tracks_ppm() {
+        let spec = FleetSpec::preset("small").unwrap();
+        let cohort = &spec.cohorts[0]; // hard_ppm = 250_000
+        let hits = (0..400u64)
+            .filter(|&d| {
+                let dseed = device_seed(0xBEEF, 0, d);
+                seed_mix(dseed ^ HARD_TAG, &[0]) % 1_000_000 < cohort.hard_ppm as u64
+            })
+            .count();
+        // 25 % ± generous slack on 400 draws.
+        assert!((60..=140).contains(&hits), "{hits} of 400 drawn hard");
+    }
+}

@@ -1,0 +1,35 @@
+//! Fleet-scale streaming campaigns over self-checking memory devices.
+//!
+//! A production deployment of the paper's self-checking memories is not
+//! one system but a **fleet**: cohorts of heterogeneous devices, each
+//! running its own mission under its own SEU environment, that an
+//! operator must roll up into per-cohort reliability verdicts — the
+//! application-specific detection-requirement framing of Papadopoulos
+//! et al., with Aupy-style checkpoint/lost-work accounting.
+//!
+//! The crate layers four pieces (DESIGN.md §4d):
+//!
+//! * [`spec`] — integer-only cohort specifications: bank recipes,
+//!   workload/SEU/SLO parameters, built-in presets, a canonical text
+//!   form and its FNV-1a digest;
+//! * [`device`] — one device = one seed-pure mission through
+//!   `scm_system::SystemCampaign`, plus the hard-defect triage draw
+//!   through `scm_diag`;
+//! * [`driver`] — the streaming driver: canonical device chunks, wave
+//!   parallelism, periodic **atomic checkpoints** and kill-safe
+//!   **resume** that reproduces the uninterrupted run bit-for-bit;
+//! * [`telemetry`]/[`report`] — commuting integer accumulators, and the
+//!   derived FIT rates, spare-exhaustion forecasts and SLO pass/fail
+//!   verdicts rendered as a human table or machine JSON.
+
+pub mod device;
+pub mod driver;
+pub mod report;
+pub mod spec;
+pub mod telemetry;
+
+pub use device::{device_seed, simulate_device};
+pub use driver::{FleetDriver, FleetOptions, FleetOutcome, FleetProgress, CHUNK_DEVICES};
+pub use report::{cohort_reports, fleet_json, fleet_report};
+pub use spec::{BankRecipe, CohortSpec, FleetSpec, PRESET_NAMES};
+pub use telemetry::{CohortReport, CohortTelemetry};

@@ -1,0 +1,278 @@
+//! Rendering fleet telemetry: the human table and the machine JSON.
+//!
+//! Both renderers consume only the settled integer totals of a
+//! [`FleetOutcome`] (derived floats are computed here, once), so two
+//! bit-identical outcomes — whatever their thread count or
+//! checkpoint/resume history — render byte-identical text. The `scm
+//! fleet` fixture pins exactly that.
+
+use crate::driver::FleetOutcome;
+use crate::telemetry::CohortReport;
+use std::fmt::Write as _;
+
+/// Per-cohort derived reports, spec cohort order.
+pub fn cohort_reports(outcome: &FleetOutcome) -> Vec<CohortReport> {
+    outcome
+        .spec
+        .cohorts
+        .iter()
+        .zip(&outcome.cohorts)
+        .map(|(cohort, &telemetry)| CohortReport::derive(&outcome.spec, cohort, telemetry))
+        .collect()
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+fn fit(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_owned()
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// The human-readable fleet report.
+pub fn fleet_report(outcome: &FleetOutcome) -> String {
+    let reports = cohort_reports(outcome);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "self-checking memory fleet campaign — {} devices, {} cohorts",
+        outcome.devices,
+        reports.len()
+    );
+    let _ = writeln!(
+        out,
+        "engine = {}   seed = {:#x}   clock = {} cycles/hour",
+        if outcome.sliced { "sliced" } else { "scalar" },
+        outcome.seed,
+        outcome.spec.cycles_per_hour
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>11} {:>6}",
+        "cohort",
+        "devices",
+        "strikes",
+        "det",
+        "escapes",
+        "SDC FIT",
+        "mean-det",
+        "lost/strike",
+        "hard"
+    );
+    for r in &reports {
+        let t = &r.telemetry;
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>11} {:>6}",
+            r.name,
+            t.devices,
+            t.strikes,
+            pct(r.detect_fraction),
+            t.escapes,
+            fit(r.sdc_fit),
+            r.mean_detection_cycle
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".to_owned()),
+            format!("{:.1}", r.mean_lost_work),
+            t.hard_devices,
+        );
+    }
+    out.push('\n');
+    out.push_str("SLO compliance\n");
+    for (r, cohort) in reports.iter().zip(&outcome.spec.cohorts) {
+        let _ = writeln!(
+            out,
+            "  {:<12} SDC {} FIT vs max {} -> {} | detect {} vs min {} -> {}  => {}",
+            r.name,
+            fit(r.sdc_fit),
+            fit(cohort.slo_max_sdc_fit as f64),
+            if r.sdc_slo_pass { "PASS" } else { "FAIL" },
+            pct(r.detect_fraction),
+            pct(cohort.slo_min_detect_ppm as f64 / 1e6),
+            if r.detect_slo_pass { "PASS" } else { "FAIL" },
+            if r.slo_pass() { "PASS" } else { "FAIL" },
+        );
+    }
+    out.push('\n');
+    out.push_str("spare-exhaustion forecast\n");
+    for (r, cohort) in reports.iter().zip(&outcome.spec.cohorts) {
+        let t = &r.telemetry;
+        let burned = t.spare_rows_used + t.spare_cols_used;
+        let budget = t.devices * (cohort.spare_rows as u64 + cohort.spare_cols as u64);
+        match r.spare_exhaustion_hours {
+            Some(hours) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {burned} of {budget} spares burned in {:.2} device-hours \
+                     -> ~{hours:.1} h to exhaustion",
+                    r.name, r.device_hours,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {:<12} no spares burned (budget {budget})", r.name);
+            }
+        }
+    }
+    out.push('\n');
+    out.push_str("triage queue (hard-defect devices)\n");
+    for r in &reports {
+        let t = &r.telemetry;
+        if t.hard_devices == 0 {
+            let _ = writeln!(out, "  {:<12} no hard defects drawn", r.name);
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<12} {} hard -> {} silent, {} transient (no spare burned), \
+                 {} repaired ({}r+{}c), {} unrepaired",
+                r.name,
+                t.hard_devices,
+                t.triage_silent,
+                t.triage_transient,
+                t.triage_repaired,
+                t.spare_rows_used,
+                t.spare_cols_used,
+                t.triage_unrepaired,
+            );
+        }
+    }
+    let all_pass = reports.iter().all(|r| r.slo_pass());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "fleet verdict: {}",
+        if all_pass {
+            "every cohort meets its SLO"
+        } else {
+            "SLO VIOLATIONS PRESENT"
+        }
+    );
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Machine-readable telemetry: one JSON document, stable field order,
+/// floats in Rust's shortest-round-trip form.
+pub fn fleet_json(outcome: &FleetOutcome) -> String {
+    let reports = cohort_reports(outcome);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"fleet\": {{\"devices\": {}, \"seed\": {}, \"engine\": {}, \"cycles_per_hour\": {}, \
+         \"slo_pass\": {}}},",
+        outcome.devices,
+        outcome.seed,
+        json_string(if outcome.sliced { "sliced" } else { "scalar" }),
+        outcome.spec.cycles_per_hour,
+        reports.iter().all(|r| r.slo_pass()),
+    );
+    out.push_str("  \"cohorts\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let t = &r.telemetry;
+        out.push_str("    {");
+        let _ = write!(out, "\"name\": {}, ", json_string(&r.name));
+        for (name, value) in t.fields() {
+            let _ = write!(out, "\"{name}\": {value}, ");
+        }
+        let _ = write!(
+            out,
+            "\"device_hours\": {}, \"sdc_fit\": {}, \"detect_fraction\": {}, \
+             \"escape_fraction\": {}, \"mean_lost_work\": {}, ",
+            r.device_hours, r.sdc_fit, r.detect_fraction, r.escape_fraction, r.mean_lost_work,
+        );
+        let _ = write!(
+            out,
+            "\"mean_detection_cycle\": {}, \"spare_exhaustion_hours\": {}, ",
+            r.mean_detection_cycle
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "null".to_owned()),
+            r.spare_exhaustion_hours
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "null".to_owned()),
+        );
+        let _ = write!(
+            out,
+            "\"slo\": {{\"sdc_pass\": {}, \"detect_pass\": {}, \"pass\": {}}}",
+            r.sdc_slo_pass,
+            r.detect_slo_pass,
+            r.slo_pass()
+        );
+        out.push('}');
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{FleetDriver, FleetOptions, FleetProgress};
+    use crate::spec::FleetSpec;
+
+    fn outcome() -> FleetOutcome {
+        let spec = FleetSpec::preset("small").unwrap();
+        let options = FleetOptions {
+            threads: 1,
+            sliced: false,
+            ..FleetOptions::default()
+        };
+        match FleetDriver::new(spec, options).unwrap().run().unwrap() {
+            FleetProgress::Completed(outcome) => outcome,
+            FleetProgress::Halted { .. } => unreachable!("no halt requested"),
+        }
+    }
+
+    #[test]
+    fn report_carries_slo_verdicts_and_sections() {
+        let text = fleet_report(&outcome());
+        assert!(text.contains("SLO compliance"), "{text}");
+        assert!(text.contains("PASS") || text.contains("FAIL"), "{text}");
+        assert!(text.contains("spare-exhaustion forecast"), "{text}");
+        assert!(text.contains("triage queue"), "{text}");
+        assert!(text.contains("fleet verdict"), "{text}");
+        for cohort in ["edge", "datacenter"] {
+            assert!(text.contains(cohort), "missing {cohort}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_structurally_sane() {
+        let o = outcome();
+        let a = fleet_json(&o);
+        let b = fleet_json(&o);
+        assert_eq!(a, b, "rendering is a pure function of the outcome");
+        assert!(a.starts_with("{\n") && a.ends_with("}\n"));
+        assert!(a.contains("\"cohorts\": ["));
+        assert!(a.contains("\"slo\": {"));
+        // Balanced braces/brackets (cheap structural check, no parser).
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "unbalanced braces:\n{a}"
+        );
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\u000a\"");
+    }
+}

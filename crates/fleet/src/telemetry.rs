@@ -1,0 +1,271 @@
+//! Fleet telemetry: integer accumulators and derived SLO verdicts.
+//!
+//! Everything the driver accumulates is a `u64` counter so partial
+//! results **commute and merge exactly** — the property that makes the
+//! final report bit-identical at any thread count and across a
+//! checkpoint/resume boundary. Floating-point rates (FIT, fractions,
+//! forecasts) are derived only at render time from the settled integer
+//! totals.
+
+use crate::spec::{CohortSpec, FleetSpec};
+
+/// Integer accumulators for one cohort. Every field is a plain sum over
+/// devices, so merging partial telemetry in any grouping yields the
+/// same totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CohortTelemetry {
+    /// Devices simulated.
+    pub devices: u64,
+    /// SEU strike scenarios simulated across those devices.
+    pub strikes: u64,
+    /// Strikes detected within the mission horizon.
+    pub detected: u64,
+    /// Strikes never detected within the horizon.
+    pub undetected: u64,
+    /// Strikes whose erroneous word escaped to an output before (or
+    /// without) detection — the SDC events the FIT SLO bounds.
+    pub escapes: u64,
+    /// Sum of detection cycles over detected strikes (global clock).
+    pub detection_cycle_sum: u64,
+    /// Sum of `detection − onset` latencies over detected strikes.
+    pub onset_latency_sum: u64,
+    /// Sum of Aupy-style lost work over all strikes.
+    pub lost_work_sum: u64,
+    /// Devices drawn with a manufacturing (hard) defect.
+    pub hard_devices: u64,
+    /// Triage sessions classed transient (no spare burned).
+    pub triage_transient: u64,
+    /// Triage sessions whose diagnosing March stayed clean.
+    pub triage_silent: u64,
+    /// Triage sessions confirmed permanent and fully repaired.
+    pub triage_repaired: u64,
+    /// Triage sessions confirmed permanent but not repaired (out of
+    /// spares or structurally unrepairable).
+    pub triage_unrepaired: u64,
+    /// Spare rows committed by repairs.
+    pub spare_rows_used: u64,
+    /// Spare columns committed by repairs.
+    pub spare_cols_used: u64,
+}
+
+impl CohortTelemetry {
+    /// Fold another partial into this one (field-wise sum).
+    pub fn merge(&mut self, other: &CohortTelemetry) {
+        self.devices += other.devices;
+        self.strikes += other.strikes;
+        self.detected += other.detected;
+        self.undetected += other.undetected;
+        self.escapes += other.escapes;
+        self.detection_cycle_sum += other.detection_cycle_sum;
+        self.onset_latency_sum += other.onset_latency_sum;
+        self.lost_work_sum += other.lost_work_sum;
+        self.hard_devices += other.hard_devices;
+        self.triage_transient += other.triage_transient;
+        self.triage_silent += other.triage_silent;
+        self.triage_repaired += other.triage_repaired;
+        self.triage_unrepaired += other.triage_unrepaired;
+        self.spare_rows_used += other.spare_rows_used;
+        self.spare_cols_used += other.spare_cols_used;
+    }
+
+    /// The fields in checkpoint-line order, paired with stable names.
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
+        [
+            ("devices", self.devices),
+            ("strikes", self.strikes),
+            ("detected", self.detected),
+            ("undetected", self.undetected),
+            ("escapes", self.escapes),
+            ("detection_cycle_sum", self.detection_cycle_sum),
+            ("onset_latency_sum", self.onset_latency_sum),
+            ("lost_work_sum", self.lost_work_sum),
+            ("hard_devices", self.hard_devices),
+            ("triage_transient", self.triage_transient),
+            ("triage_silent", self.triage_silent),
+            ("triage_repaired", self.triage_repaired),
+            ("triage_unrepaired", self.triage_unrepaired),
+            ("spare_rows_used", self.spare_rows_used),
+            ("spare_cols_used", self.spare_cols_used),
+        ]
+    }
+
+    /// Rebuild from values in [`fields`](Self::fields) order.
+    pub fn from_values(values: &[u64; 15]) -> CohortTelemetry {
+        CohortTelemetry {
+            devices: values[0],
+            strikes: values[1],
+            detected: values[2],
+            undetected: values[3],
+            escapes: values[4],
+            detection_cycle_sum: values[5],
+            onset_latency_sum: values[6],
+            lost_work_sum: values[7],
+            hard_devices: values[8],
+            triage_transient: values[9],
+            triage_silent: values[10],
+            triage_repaired: values[11],
+            triage_unrepaired: values[12],
+            spare_rows_used: values[13],
+            spare_cols_used: values[14],
+        }
+    }
+}
+
+/// One cohort's derived metrics and SLO verdicts (render-time floats
+/// over settled integer totals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortReport {
+    /// Cohort name.
+    pub name: String,
+    /// The raw accumulators.
+    pub telemetry: CohortTelemetry,
+    /// Simulated device-hours (`devices · horizon / cycles_per_hour`).
+    pub device_hours: f64,
+    /// SDC escape rate in FIT (escapes per 10⁹ device-hours).
+    pub sdc_fit: f64,
+    /// Detected fraction of strikes.
+    pub detect_fraction: f64,
+    /// Escaped fraction of strikes.
+    pub escape_fraction: f64,
+    /// Mean detection cycle over detected strikes.
+    pub mean_detection_cycle: Option<f64>,
+    /// Mean lost work per strike.
+    pub mean_lost_work: f64,
+    /// Spares committed per device-hour (rows + columns).
+    pub spare_burn_rate: f64,
+    /// Forecast hours until the cohort's pooled spare budget is
+    /// exhausted at the observed burn rate (`None` = no burn observed).
+    pub spare_exhaustion_hours: Option<f64>,
+    /// SDC-FIT SLO verdict (`rate ≤ slo_max_sdc_fit`).
+    pub sdc_slo_pass: bool,
+    /// Detection-fraction SLO verdict
+    /// (`detect_fraction ≥ slo_min_detect_ppm`).
+    pub detect_slo_pass: bool,
+}
+
+impl CohortReport {
+    /// Derive a cohort's report from its spec and settled telemetry.
+    pub fn derive(spec: &FleetSpec, cohort: &CohortSpec, telemetry: CohortTelemetry) -> Self {
+        let device_hours =
+            telemetry.devices as f64 * cohort.horizon as f64 / spec.cycles_per_hour as f64;
+        let sdc_fit = if device_hours > 0.0 {
+            telemetry.escapes as f64 * 1e9 / device_hours
+        } else {
+            0.0
+        };
+        let strikes = telemetry.strikes.max(1) as f64;
+        let detect_fraction = telemetry.detected as f64 / strikes;
+        let escape_fraction = telemetry.escapes as f64 / strikes;
+        let spares_used = telemetry.spare_rows_used + telemetry.spare_cols_used;
+        let spare_burn_rate = if device_hours > 0.0 {
+            spares_used as f64 / device_hours
+        } else {
+            0.0
+        };
+        let budget = telemetry.devices * (cohort.spare_rows as u64 + cohort.spare_cols as u64);
+        let spare_exhaustion_hours = (spare_burn_rate > 0.0)
+            .then(|| budget.saturating_sub(spares_used) as f64 / spare_burn_rate);
+        CohortReport {
+            name: cohort.name.clone(),
+            telemetry,
+            device_hours,
+            sdc_fit,
+            detect_fraction,
+            escape_fraction,
+            mean_detection_cycle: (telemetry.detected > 0)
+                .then(|| telemetry.detection_cycle_sum as f64 / telemetry.detected as f64),
+            mean_lost_work: telemetry.lost_work_sum as f64 / strikes,
+            spare_burn_rate,
+            spare_exhaustion_hours,
+            sdc_slo_pass: sdc_fit <= cohort.slo_max_sdc_fit as f64,
+            detect_slo_pass: detect_fraction * 1e6 >= cohort.slo_min_detect_ppm as f64,
+        }
+    }
+
+    /// Did the cohort meet every SLO?
+    pub fn slo_pass(&self) -> bool {
+        self.sdc_slo_pass && self.detect_slo_pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_field_wise_and_commutative() {
+        let mut a = CohortTelemetry {
+            devices: 2,
+            strikes: 8,
+            detected: 5,
+            escapes: 1,
+            ..CohortTelemetry::default()
+        };
+        let b = CohortTelemetry {
+            devices: 3,
+            strikes: 12,
+            detected: 9,
+            spare_rows_used: 1,
+            ..CohortTelemetry::default()
+        };
+        let mut ba = b;
+        ba.merge(&a);
+        a.merge(&b);
+        assert_eq!(a, ba);
+        assert_eq!(a.devices, 5);
+        assert_eq!(a.strikes, 20);
+        assert_eq!(a.detected, 14);
+        assert_eq!(a.spare_rows_used, 1);
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        let t = CohortTelemetry {
+            devices: 7,
+            strikes: 4,
+            detected: 3,
+            undetected: 1,
+            escapes: 2,
+            detection_cycle_sum: 100,
+            onset_latency_sum: 40,
+            lost_work_sum: 900,
+            hard_devices: 1,
+            triage_transient: 1,
+            triage_silent: 0,
+            triage_repaired: 1,
+            triage_unrepaired: 0,
+            spare_rows_used: 1,
+            spare_cols_used: 0,
+        };
+        let values: Vec<u64> = t.fields().iter().map(|&(_, v)| v).collect();
+        let rebuilt = CohortTelemetry::from_values(&values.try_into().unwrap());
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn derived_metrics_and_verdicts() {
+        let spec = FleetSpec::preset("small").unwrap();
+        let cohort = &spec.cohorts[0]; // 400-cycle horizon, 3600 cycles/hour
+        let telemetry = CohortTelemetry {
+            devices: 9,
+            strikes: 36,
+            detected: 30,
+            undetected: 6,
+            escapes: 2,
+            spare_rows_used: 1,
+            ..CohortTelemetry::default()
+        };
+        let report = CohortReport::derive(&spec, cohort, telemetry);
+        assert!((report.device_hours - 1.0).abs() < 1e-12);
+        assert!((report.sdc_fit - 2e9).abs() < 1.0);
+        assert!((report.detect_fraction - 30.0 / 36.0).abs() < 1e-12);
+        // 9 devices × 2 spares, 1 burned in 1 device-hour → 17 h left.
+        assert!((report.spare_exhaustion_hours.unwrap() - 17.0).abs() < 1e-9);
+        assert!(report.sdc_slo_pass, "2e9 FIT under the 4e9 edge SLO");
+        assert!(report.detect_slo_pass);
+        // An escape-free cohort forecasts no exhaustion.
+        let clean = CohortReport::derive(&spec, cohort, CohortTelemetry::default());
+        assert_eq!(clean.spare_exhaustion_hours, None);
+        assert!(clean.sdc_slo_pass);
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration: the fleet driver's checkpoint/resume and thread
+//! invariance, at the library level. (The real kill-and-restart test —
+//! SIGKILL on the `scm` binary — lives in `scm-bench`'s test suite; this
+//! file pins the underlying driver contract the CLI builds on.)
+
+use scm_fleet::{FleetDriver, FleetOptions, FleetOutcome, FleetProgress, FleetSpec};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("scm-fleet-test-{}-{name}", std::process::id()));
+    path
+}
+
+fn completed(progress: FleetProgress) -> FleetOutcome {
+    match progress {
+        FleetProgress::Completed(outcome) => outcome,
+        FleetProgress::Halted { devices_done, .. } => panic!("halted at {devices_done}"),
+    }
+}
+
+fn options(threads: usize, sliced: bool) -> FleetOptions {
+    FleetOptions {
+        seed: 0xF1EE7,
+        threads,
+        sliced,
+        ..FleetOptions::default()
+    }
+}
+
+#[test]
+fn halt_and_resume_reproduces_the_uninterrupted_run_at_1_2_4_threads() {
+    for sliced in [false, true] {
+        let spec = FleetSpec::preset("small").unwrap();
+        let reference = completed(
+            FleetDriver::new(spec.clone(), options(1, sliced))
+                .unwrap()
+                .run()
+                .unwrap(),
+        );
+        for threads in [1usize, 2, 4] {
+            let path = tmp(&format!("resume-{sliced}-{threads}"));
+            let mut opts = options(threads, sliced);
+            opts.checkpoint = Some(path.clone());
+            opts.checkpoint_every = 8;
+            opts.halt_after = Some(8);
+            let progress = FleetDriver::new(spec.clone(), opts.clone())
+                .unwrap()
+                .run()
+                .unwrap();
+            let FleetProgress::Halted {
+                devices_done,
+                checkpoint,
+            } = progress
+            else {
+                panic!("expected a halt, fleet completed");
+            };
+            assert!(devices_done >= 8 && devices_done < spec.total_devices());
+            assert!(checkpoint.exists(), "halt must leave a checkpoint behind");
+            // Resume under a *different* thread count than the halt ran
+            // with: the checkpoint carries no thread state.
+            let mut resumed_opts = opts.clone();
+            resumed_opts.threads = (threads % 4) + 1;
+            resumed_opts.halt_after = None;
+            let outcome = completed(
+                FleetDriver::resume(spec.clone(), resumed_opts, &checkpoint)
+                    .unwrap()
+                    .run()
+                    .unwrap(),
+            );
+            assert_eq!(
+                outcome, reference,
+                "sliced={sliced} threads={threads}: resumed run drifted"
+            );
+            assert!(
+                !checkpoint.exists(),
+                "completion must clean up the checkpoint"
+            );
+        }
+    }
+}
+
+#[test]
+fn periodic_checkpoints_appear_and_resume_from_any_of_them() {
+    let spec = FleetSpec::preset("small").unwrap();
+    let reference = completed(
+        FleetDriver::new(spec.clone(), options(1, false))
+            .unwrap()
+            .run()
+            .unwrap(),
+    );
+    // Halt later in the run: two checkpoint cadences already passed.
+    let path = tmp("late-halt");
+    let mut opts = options(1, false);
+    opts.checkpoint = Some(path.clone());
+    opts.checkpoint_every = 4;
+    opts.halt_after = Some(12);
+    let progress = FleetDriver::new(spec.clone(), opts.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(matches!(progress, FleetProgress::Halted { .. }));
+    let mut resume_opts = opts;
+    resume_opts.halt_after = None;
+    let outcome = completed(
+        FleetDriver::resume(spec, resume_opts, &path)
+            .unwrap()
+            .run()
+            .unwrap(),
+    );
+    assert_eq!(outcome, reference);
+}
+
+#[test]
+fn rendered_reports_are_identical_across_resume() {
+    let spec = FleetSpec::preset("small").unwrap();
+    let reference = completed(
+        FleetDriver::new(spec.clone(), options(2, true))
+            .unwrap()
+            .run()
+            .unwrap(),
+    );
+    let path = tmp("render");
+    let mut opts = options(2, true);
+    opts.checkpoint = Some(path.clone());
+    opts.checkpoint_every = 8;
+    opts.halt_after = Some(8);
+    assert!(matches!(
+        FleetDriver::new(spec.clone(), opts.clone()).unwrap().run(),
+        Ok(FleetProgress::Halted { .. })
+    ));
+    let mut resume_opts = opts;
+    resume_opts.halt_after = None;
+    let outcome = completed(
+        FleetDriver::resume(spec, resume_opts, &path)
+            .unwrap()
+            .run()
+            .unwrap(),
+    );
+    assert_eq!(
+        scm_fleet::fleet_report(&reference),
+        scm_fleet::fleet_report(&outcome)
+    );
+    assert_eq!(
+        scm_fleet::fleet_json(&reference),
+        scm_fleet::fleet_json(&outcome)
+    );
+}

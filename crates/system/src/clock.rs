@@ -111,21 +111,28 @@ impl SystemEvent {
 
 /// The merged event stream: traffic + scrubs, one event per cycle.
 ///
-/// Scrub reads round-robin over the banks (slot `k` targets bank
-/// `k mod N`) and sweep each bank's rows sequentially and independently,
-/// so heterogeneous banks each get a full periodic sweep of their own
-/// address space — the per-bank hard-bound structure of
-/// `scm_memory::scrub` carries over with the period stretched by
-/// `N · period`.
+/// Scrub slots are dealt to banks by **word-weighted round-robin**
+/// (smooth/stride scheduling): every slot, each bank earns credit equal
+/// to its word count, the richest bank (lowest index on ties) takes the
+/// slot and pays back the fleet total. Bank `b` therefore receives
+/// exactly `W_b` of every `ΣW` consecutive slots, evenly interleaved,
+/// and — since each bank sweeps its own rows sequentially — *every*
+/// bank completes a full sweep of its address space in the same
+/// `ΣW · period` cycles. That uniform per-bank sweep period is the
+/// structure the `scm_memory::scrub` hard bound assumes; equal slot
+/// shares (the old `k mod N` deal) stretched a large bank's sweep
+/// proportionally to its size on heterogeneous configs. On homogeneous
+/// banks the weighted deal degenerates to the exact `k mod N` order.
 #[derive(Debug)]
 pub struct SystemClock<S> {
     interleaver: Interleaver,
     scrub: ScrubSchedule,
     traffic: S,
     cycle: u64,
-    scrub_slot: u64,
+    scrub_credit: Vec<i64>,
     scrub_next: Vec<u64>,
     bank_words: Vec<u64>,
+    total_words: i64,
 }
 
 impl<S: OpSource> SystemClock<S> {
@@ -133,14 +140,16 @@ impl<S: OpSource> SystemClock<S> {
     /// `traffic` (a stream of *global* addresses) on non-scrub cycles.
     pub fn new(interleaver: Interleaver, scrub: ScrubSchedule, traffic: S) -> Self {
         let bank_words = interleaver.bank_words().to_vec();
+        let total_words = bank_words.iter().map(|&w| w as i64).sum();
         SystemClock {
             scrub_next: vec![0; bank_words.len()],
+            scrub_credit: vec![0; bank_words.len()],
             interleaver,
             scrub,
             traffic,
             cycle: 0,
-            scrub_slot: 0,
             bank_words,
+            total_words,
         }
     }
 
@@ -152,10 +161,17 @@ impl<S: OpSource> SystemClock<S> {
     /// Emit the next cycle's event.
     pub fn next_event(&mut self) -> SystemEvent {
         let event = if self.scrub.is_scrub_slot(self.cycle) {
-            let bank = (self.scrub_slot % self.interleaver.num_banks() as u64) as usize;
+            // Smooth weighted round-robin: earn word-count credit, pick
+            // the richest bank (ties → lowest index), pay back the total.
+            for (credit, &words) in self.scrub_credit.iter_mut().zip(&self.bank_words) {
+                *credit += words as i64;
+            }
+            let bank = (0..self.scrub_credit.len())
+                .max_by_key(|&b| (self.scrub_credit[b], std::cmp::Reverse(b)))
+                .expect("interleaver has at least one bank");
+            self.scrub_credit[bank] -= self.total_words;
             let addr = self.scrub_next[bank];
             self.scrub_next[bank] = (addr + 1) % self.bank_words[bank];
-            self.scrub_slot += 1;
             SystemEvent::Scrub {
                 bank,
                 op: Op::Read(addr),
@@ -196,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn scrubs_round_robin_banks_and_sweep_locally() {
+    fn scrubs_deal_word_weighted_slots_and_sweep_locally() {
         let mut c = clock(1); // every cycle scrubs: pure sweep
         let events: Vec<(usize, u64)> = (0..8)
             .map(|_| {
@@ -204,18 +220,19 @@ mod tests {
                 (bank, op.addr())
             })
             .collect();
-        // Banks alternate 0,1,0,1…; each bank's addresses advance 0,1,2…
+        // Banks [8, 4]: bank 0 takes two of every three slots (its word
+        // share), bank 1 one; each bank's addresses advance 0,1,2…
         assert_eq!(
             events,
             vec![
                 (0, 0),
                 (1, 0),
                 (0, 1),
-                (1, 1),
                 (0, 2),
-                (1, 2),
+                (1, 1),
                 (0, 3),
-                (1, 3)
+                (0, 4),
+                (1, 2)
             ]
         );
     }
@@ -223,15 +240,65 @@ mod tests {
     #[test]
     fn scrub_sweep_wraps_each_bank_independently() {
         let mut c = clock(1);
-        // Bank 1 holds 4 words: its 5th scrub (cycle 9) wraps to 0.
+        // Bank 1 holds 4 words and takes every third slot: its 5th
+        // scrub (cycle 13) wraps to 0.
         let mut bank1 = Vec::new();
-        for _ in 0..12 {
+        for _ in 0..18 {
             let (bank, op) = c.next_event().target();
             if bank == 1 {
                 bank1.push(op.addr());
             }
         }
         assert_eq!(bank1, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn homogeneous_banks_keep_the_plain_round_robin_order() {
+        // Equal weights degenerate to the historical `slot mod N` deal —
+        // the order every homogeneous fixture was pinned against.
+        let il = Interleaver::new(Interleaving::LowOrder, &[4, 4, 4]);
+        let traffic = Workload::uniform(12, 12, 7);
+        let mut c = SystemClock::new(il, ScrubSchedule { period: 1 }, traffic);
+        let banks: Vec<usize> = (0..12).map(|_| c.next_event().target().0).collect();
+        assert_eq!(banks, vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_slots_give_every_bank_a_uniform_sweep_period() {
+        // Heterogeneous banks: each bank must complete a full sweep of
+        // its own words in the same ΣW · period cycles — the uniform
+        // per-bank sweep period the scrub hard bound assumes.
+        let words = [8u64, 4, 2];
+        let total: u64 = words.iter().sum();
+        for period in [1u64, 3] {
+            let il = Interleaver::new(Interleaving::LowOrder, &words);
+            let traffic = Workload::uniform(total, 8, 7);
+            let mut c = SystemClock::new(il, ScrubSchedule { period }, traffic);
+            let mut seen: std::collections::HashMap<(usize, u64), Vec<u64>> =
+                std::collections::HashMap::new();
+            let horizon = 3 * total * period;
+            for cycle in 0..horizon {
+                let ev = c.next_event();
+                if ev.is_scrub() {
+                    let (bank, op) = ev.target();
+                    seen.entry((bank, op.addr())).or_default().push(cycle);
+                }
+            }
+            for (bank, &w) in words.iter().enumerate() {
+                for addr in 0..w {
+                    let visits = &seen[&(bank, addr)];
+                    // Every word visited once per sweep, three sweeps in.
+                    assert_eq!(visits.len(), 3, "bank {bank} addr {addr}: {visits:?}");
+                    for pair in visits.windows(2) {
+                        assert_eq!(
+                            pair[1] - pair[0],
+                            total * period,
+                            "bank {bank} addr {addr} revisit interval at period {period}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

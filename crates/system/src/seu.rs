@@ -50,6 +50,29 @@ impl SeuProcess {
         (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// Largest f64 strictly below 1.0 — the ceiling the uniform deviate
+    /// is clamped to before the inverse transform.
+    const U_MAX: f64 = 1.0 - f64::EPSILON / 2.0;
+
+    /// Inverse-transform geometric draw: `⌊ln(1−u)/ln(1−p)⌋ + 1` cycles
+    /// until the next success at per-cycle rate `p ∈ (0, 1)`.
+    ///
+    /// Finite and ≥ 1 for *any* `u`, including `u == 1.0` exactly:
+    /// `u` is clamped into `[0, 1)` first, because at `u == 1.0` the
+    /// numerator `ln(1 − u)` is `-inf` and the float→int cast of the
+    /// resulting gap would be garbage. [`Self::uniform`]'s 53-bit
+    /// construction tops out at `(2^53 − 1)/2^53` and so cannot reach
+    /// 1.0 today, but the draw must not depend on that — any future
+    /// deviate source (or a caller-supplied `u`) gets the same
+    /// saturating tail behaviour.
+    fn inverse_geometric(u: f64, p: f64) -> u64 {
+        let u = u.clamp(0.0, Self::U_MAX);
+        let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+        // ln(1-u) ≤ 0 and ln(1-p) < 0, so the ratio is ≥ 0 and finite;
+        // the min keeps the +1 from wrapping after the cast.
+        (gap.min(u64::MAX as f64 / 2.0) as u64) + 1
+    }
+
     /// The `arrival`-th inter-arrival gap (≥ 1 cycle) for `bank` —
     /// inverse-transform geometric: `gap = ⌊ln(1−u)/ln(1−p)⌋ + 1`.
     pub fn gap(&self, seed: u64, bank: usize, arrival: usize) -> u64 {
@@ -61,11 +84,7 @@ impl SeuProcess {
         if p >= 1.0 {
             return 1;
         }
-        let u = Self::uniform(seed, bank, arrival, 0);
-        let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
-        // ln(1-u) ≤ 0 and ln(1-p) < 0, so the ratio is ≥ 0 and finite
-        // for u < 1; clamp defends the u → 1 tail.
-        (gap.min(u64::MAX as f64 / 2.0) as u64) + 1
+        Self::inverse_geometric(Self::uniform(seed, bank, arrival, 0), p)
     }
 
     /// Absolute strike cycles of the first `count` arrivals for `bank`
@@ -217,6 +236,25 @@ mod tests {
         assert!(gaps.iter().all(|&g| g >= 1), "{gaps:?}");
     }
 
+    #[test]
+    fn unit_uniform_deviate_yields_a_finite_gap() {
+        // Regression: with `u == 1.0` exactly, `ln(1 − u)` is `-inf`
+        // and the gap cast was garbage. The hashed uniform cannot reach
+        // 1.0, so exercise the clamp directly through the helper.
+        for p in [1e-12, 1e-6, 0.04, 0.5, 1.0 - 1e-9] {
+            let g = SeuProcess::inverse_geometric(1.0, p);
+            assert!(g >= 1, "u = 1.0, p = {p}: gap {g}");
+            assert!(g < u64::MAX, "u = 1.0, p = {p}: gap saturated the cast");
+            // The clamp maps u = 1.0 onto the largest representable
+            // sub-1.0 deviate: the gap is the distribution's finite tail
+            // maximum, not an artifact of the infinite numerator.
+            assert_eq!(g, SeuProcess::inverse_geometric(SeuProcess::U_MAX, p));
+        }
+        // Out-of-range deviates on the low side clamp to the minimum gap.
+        assert_eq!(SeuProcess::inverse_geometric(-3.0, 0.5), 1);
+        assert_eq!(SeuProcess::inverse_geometric(0.0, 0.5), 1);
+    }
+
     mod extreme_means {
         use super::*;
         use proptest::prelude::*;
@@ -241,6 +279,13 @@ mod tests {
                     .copied()
                     .unwrap_or_else(|| 1.0 + (raw as f64 / u64::MAX as f64) * 999_999.0);
                 let p = SeuProcess::new(mean);
+                for k in 0..64 {
+                    // Every gap finite (no saturated cast) and ≥ 1,
+                    // whatever the seed/mean corner.
+                    let g = p.gap(seed, bank, k);
+                    prop_assert!(g >= 1, "gap {g} at arrival {k}");
+                    prop_assert!(g < u64::MAX / 2, "gap {g} saturated at arrival {k}");
+                }
                 let arrivals = p.arrival_cycles(seed, bank, 64);
                 prop_assert!(arrivals[0] >= 1, "first strike before cycle 1");
                 for w in arrivals.windows(2) {
@@ -249,6 +294,25 @@ mod tests {
                     // cumulative sum.
                     prop_assert!(w[1] > w[0], "{:?}", arrivals);
                 }
+            }
+
+            #[test]
+            fn prop_inverse_geometric_is_finite_and_positive_for_any_deviate(
+                raw in any::<u64>(),
+                corner in 0usize..3,
+                pick in 0usize..CORNERS.len(),
+            ) {
+                // Deviates beyond the hashed uniform's reach — including
+                // exactly 1.0 — must still produce a finite gap ≥ 1.
+                let u = match corner {
+                    0 => 1.0,
+                    1 => SeuProcess::U_MAX,
+                    _ => raw as f64 / u64::MAX as f64, // may round to 1.0
+                };
+                let p = (1.0 / CORNERS[pick]).clamp(1e-12, 0.5);
+                let g = SeuProcess::inverse_geometric(u, p);
+                prop_assert!(g >= 1, "u = {u}, p = {p}: gap {g}");
+                prop_assert!(g < u64::MAX / 2, "u = {u}, p = {p}: gap {g} saturated");
             }
         }
     }

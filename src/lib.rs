@@ -32,6 +32,8 @@
 //!   diagnosis policies)
 //! * [`diag`] — March-test BIST, fault-dictionary localization and
 //!   spare-row/column repair
+//! * [`fleet`] — fleet-scale streaming campaigns: cohort specs,
+//!   checkpoint/resume driver, FIT/SLO telemetry
 //! * [`core`] — the facade builder
 
 #![forbid(unsafe_code)]
@@ -43,6 +45,7 @@ pub use scm_core as core;
 pub use scm_decoder as decoder;
 pub use scm_diag as diag;
 pub use scm_explore as explore;
+pub use scm_fleet as fleet;
 pub use scm_latency as latency;
 pub use scm_logic as logic;
 pub use scm_memory as memory;
