@@ -1,6 +1,8 @@
 //! Campaign-engine scaling baseline: fault-campaign throughput
 //! (fault-trials per second) at 1/2/4/8 rayon threads, so future PRs have
-//! a perf number to beat.
+//! a perf number to beat — plus the observability overhead rows pinning
+//! that a disabled trace sink costs nothing on the result path
+//! (`BENCH_obs.json` records the comparison).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scm_area::RamOrganization;
@@ -11,7 +13,7 @@ use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::FaultSite;
 use std::hint::black_box;
 
-fn bench_scaling(c: &mut Criterion) {
+fn workload() -> (RamConfig, Vec<FaultSite>, CampaignConfig) {
     let org = RamOrganization::new(256, 8, 4);
     let code = MOutOfN::new(3, 5).unwrap();
     let config = RamConfig::new(
@@ -29,6 +31,11 @@ fn bench_scaling(c: &mut Criterion) {
         seed: 0xBA5E,
         write_fraction: 0.1,
     };
+    (config, faults, campaign)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let (config, faults, campaign) = workload();
     let grid = faults.len() as u64 * campaign.trials as u64;
 
     let mut g = c.benchmark_group("campaign-scaling");
@@ -42,5 +49,30 @@ fn bench_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+fn bench_observability_overhead(c: &mut Criterion) {
+    let (config, faults, campaign) = workload();
+    let grid = faults.len() as u64 * campaign.trials as u64;
+
+    let mut g = c.benchmark_group("campaign-observability");
+    g.throughput(Throughput::Elements(grid));
+    let engine = CampaignEngine::new(campaign).threads(4);
+    // Tracing off is the default: the result path never consults a sink
+    // (the trace is a separate opt-in replay), so this row must stay
+    // within noise (< 2%) of the campaign-scaling 4-threads row.
+    g.bench_function("run-tracing-disabled", |b| {
+        b.iter(|| black_box(engine.run(black_box(&config), black_box(&faults))))
+    });
+    // What `--trace` actually pays: the canonical replay on top of the
+    // untouched result pass.
+    g.bench_function("run-plus-trace-replay", |b| {
+        b.iter(|| {
+            let result = engine.run(black_box(&config), black_box(&faults));
+            let events = engine.trace(black_box(&config), black_box(&faults));
+            black_box((result, events))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_observability_overhead);
 criterion_main!(benches);

@@ -46,6 +46,7 @@ use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::{FaultScenario, FaultSite};
 use scm_memory::report::{summary, worst_offenders};
 use scm_memory::workload::{model_by_name, MODEL_NAMES};
+use scm_obs::{chrome_trace, parse_trace, trace_text, Event, Metrics, Profiler};
 use scm_system::diag::{DiagCampaign, DiagPolicy};
 use scm_system::{system_report, Interleaving, SeuProcess, SystemCampaign, SystemConfig};
 use std::fmt::Write;
@@ -60,21 +61,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let flags = Flags(&args[1..]);
     match command.as_str() {
         "table1" => {
-            flags.validate(&[], &[])?;
+            flags.validate(&[], &[], &[])?;
             Ok(table1_stdout())
         }
         "table2" => {
-            flags.validate(&[], &[])?;
+            flags.validate(&[], &[], &[])?;
             Ok(table2_stdout())
         }
         "pareto" => {
-            flags.validate(&["--policy"], &[])?;
+            flags.validate(&["--policy"], &[], &[])?;
             Ok(pareto_stdout(
                 flags.policy_or(SelectionPolicy::WorstBlockExact)?,
             ))
         }
         "ablations" => {
-            flags.validate(&[], &[])?;
+            flags.validate(&[], &[], &[])?;
             Ok(ablations_stdout())
         }
         "explore" => {
@@ -90,14 +91,18 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--budget",
                     "--space",
                 ],
-                &["--adjudicate", "--guided"],
+                &["--adjudicate", "--guided", "--metrics", "--profile"],
+                &["--trace"],
             )?;
             // --budget and --space only mean something to the guided
             // search, so either switches it on rather than being
-            // silently ignored.
+            // silently ignored. The same goes for --trace/--metrics:
+            // rung prunes are explore's only event source.
             if flags.has("--guided")
                 || flags.value_of("--budget").is_some()
                 || flags.value_of("--space").is_some()
+                || flags.optional_value("--trace").is_some()
+                || flags.has("--metrics")
             {
                 guided_stdout(&flags)
             } else {
@@ -116,7 +121,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--scrub-period",
                     "--engine",
                 ],
-                &[],
+                &["--metrics", "--profile"],
+                &["--trace"],
             )?;
             campaign_stdout(&flags)
         }
@@ -135,7 +141,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--seu-mean",
                     "--engine",
                 ],
-                &[],
+                &["--metrics", "--profile"],
+                &["--trace"],
             )?;
             system_stdout(&flags)
         }
@@ -152,7 +159,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--fault-model",
                     "--engine",
                 ],
-                &[],
+                &["--metrics", "--profile"],
+                &["--trace"],
             )?;
             diag_stdout(&flags)
         }
@@ -171,9 +179,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--halt-after",
                     "--json",
                 ],
-                &[],
+                &["--metrics", "--profile"],
+                &["--trace"],
             )?;
             fleet_stdout(&flags)
+        }
+        "trace" => trace_stdout(&args[1..]),
+        "--version" | "-V" => {
+            flags.validate(&[], &[], &[])?;
+            Ok(version())
         }
         "--help" | "-h" | "help" => Ok(usage()),
         other => {
@@ -187,7 +201,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 }
 
 /// Every dispatchable subcommand, for the did-you-mean hint.
-const SUBCOMMANDS: [&str; 10] = [
+const SUBCOMMANDS: [&str; 11] = [
     "table1",
     "table2",
     "pareto",
@@ -197,8 +211,26 @@ const SUBCOMMANDS: [&str; 10] = [
     "system",
     "diag",
     "fleet",
+    "trace",
     "help",
 ];
+
+/// `scm --version`: the crate version plus the pinned toolchain
+/// channel, so a bug report pins the exact build recipe in one line.
+fn version() -> String {
+    let toolchain = include_str!("../../../rust-toolchain.toml")
+        .lines()
+        .find_map(|line| {
+            line.split_once('=')
+                .filter(|(key, _)| key.trim() == "channel")
+                .map(|(_, value)| value.trim().trim_matches('"').to_owned())
+        })
+        .unwrap_or_else(|| "unknown".to_owned());
+    format!(
+        "scm {} (rust toolchain {toolchain})\n",
+        env!("CARGO_PKG_VERSION")
+    )
+}
 
 /// Closest candidate within a small edit distance (Levenshtein ≤ 2,
 /// capped below the candidate's own length so short names never match
@@ -328,6 +360,18 @@ pub fn usage() -> String {
          \x20                            fleet-scale streaming campaign over device\n\
          \x20                            cohorts: FIT rates, spare forecasts, SLO\n\
          \x20                            verdicts; kill-safe checkpoint/resume\n\
+         \x20 trace summarize FILE       re-aggregate a saved trace into the metrics table\n\
+         \x20 trace chrome FILE          re-export a saved trace as Chrome trace-event JSON\n\
+         \x20 --version | -V             crate version + pinned toolchain\n\
+         \n\
+         observability (campaign | system | diag | fleet | explore):\n\
+         \x20 --trace[=PATH]             deterministic event trace on the simulated clock\n\
+         \x20                            (stdout, or PATH; bit-identical at any --threads\n\
+         \x20                            and --engine; on explore implies --guided)\n\
+         \x20 --metrics                  counter/histogram registry aggregated from the\n\
+         \x20                            same events (fleet adds its telemetry fold)\n\
+         \x20 --profile                  wall-clock phase spans ('profile:' lines,\n\
+         \x20                            nondeterministic, filtered like 'memo:')\n\
          \n\
          policies:     worst-block-exact | inverse-a\n\
          presets:      {}\n\
@@ -348,18 +392,27 @@ struct Flags<'a>(&'a [String]);
 
 impl Flags<'_> {
     /// Reject typos loudly: every token must be a recognised value flag
-    /// (followed by its value) or boolean flag — otherwise the run would
-    /// silently proceed on defaults.
-    fn validate(&self, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+    /// (followed by its value), boolean flag, or optional-value flag
+    /// (`--flag` or `--flag=value` in one token) — otherwise the run
+    /// would silently proceed on defaults.
+    fn validate(
+        &self,
+        value_flags: &[&str],
+        bool_flags: &[&str],
+        opt_value_flags: &[&str],
+    ) -> Result<(), String> {
         let mut i = 0;
         while i < self.0.len() {
             let token = self.0[i].as_str();
+            let inline_ok = token
+                .split_once('=')
+                .is_some_and(|(name, value)| opt_value_flags.contains(&name) && !value.is_empty());
             if value_flags.contains(&token) {
                 if i + 1 >= self.0.len() {
                     return Err(format!("flag {token} is missing its value"));
                 }
                 i += 2;
-            } else if bool_flags.contains(&token) {
+            } else if bool_flags.contains(&token) || opt_value_flags.contains(&token) || inline_ok {
                 i += 1;
             } else {
                 return Err(format!("unrecognised argument '{token}'\n\n{}", usage()));
@@ -380,6 +433,20 @@ impl Flags<'_> {
         self.0.iter().any(|a| a == name)
     }
 
+    /// Optional-value flag: absent → `None`, bare `--flag` →
+    /// `Some(None)`, `--flag=value` → `Some(Some(value))`.
+    fn optional_value(&self, name: &str) -> Option<Option<&str>> {
+        self.0.iter().find_map(|a| {
+            if a == name {
+                return Some(None);
+            }
+            a.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix('='))
+                .filter(|v| !v.is_empty())
+                .map(Some)
+        })
+    }
+
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.value_of(name) {
             None => Ok(default),
@@ -394,6 +461,91 @@ impl Flags<'_> {
             None => Ok(default),
             Some(name) => SelectionPolicy::parse(name)
                 .ok_or_else(|| format!("unknown policy '{name}' (worst-block-exact | inverse-a)")),
+        }
+    }
+}
+
+/// Did the command line ask for anything that needs the canonical
+/// replay trace? (`--trace` in either form, or `--metrics`, whose
+/// registry is aggregated from the same events.)
+fn wants_events(flags: &Flags) -> bool {
+    flags.optional_value("--trace").is_some() || flags.has("--metrics")
+}
+
+/// Append the shared `--trace[=PATH]` / `--metrics` / `--profile`
+/// sections to a subcommand's stdout. `events` is the canonical replay
+/// trace (already chronological); `fold` pre-seeds the metrics registry
+/// with counters that do not come from events (the fleet telemetry
+/// fold). The trace and metrics sections are pure functions of the
+/// events, so they inherit the engines' thread/engine invariance;
+/// `profile:` lines are the one deliberately nondeterministic tail.
+fn append_observability(
+    out: &mut String,
+    flags: &Flags,
+    cmd: &str,
+    clock: &str,
+    events: &[Event],
+    fold: Option<&Metrics>,
+    profiler: &Profiler,
+) -> Result<(), String> {
+    match flags.optional_value("--trace") {
+        None => {}
+        Some(None) => {
+            out.push('\n');
+            out.push_str(&trace_text(cmd, clock, events));
+        }
+        Some(Some(path)) => {
+            std::fs::write(path, trace_text(cmd, clock, events))
+                .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+            let _ = writeln!(out, "\ntrace -> {path} ({} events)", events.len());
+        }
+    }
+    if flags.has("--metrics") {
+        let mut metrics = Metrics::from_events(events);
+        if let Some(fold) = fold {
+            metrics.merge(fold);
+        }
+        out.push('\n');
+        out.push_str(&metrics.render_table());
+    }
+    let profile = profiler.render();
+    if !profile.is_empty() {
+        out.push('\n');
+        out.push_str(&profile);
+    }
+    Ok(())
+}
+
+/// `scm trace summarize|chrome FILE` — re-read a saved trace and either
+/// re-aggregate it into the metrics table (byte-identical to what
+/// `--metrics` printed when the trace was recorded) or re-export it as
+/// Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+fn trace_stdout(args: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: scm trace summarize FILE | scm trace chrome FILE";
+    let [mode, path] = args else {
+        return Err(USAGE.to_owned());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+    let trace = parse_trace(&text)?;
+    match mode.as_str() {
+        "summarize" => {
+            let mut out = format!(
+                "trace: cmd={} clock={} events={}\n\n",
+                trace.cmd,
+                trace.clock,
+                trace.events.len()
+            );
+            out.push_str(&Metrics::from_events(&trace.events).render_table());
+            Ok(out)
+        }
+        "chrome" => Ok(chrome_trace(&trace.events) + "\n"),
+        other => {
+            let hint = match suggest(other, ["summarize", "chrome"]) {
+                Some(known) => format!(" (did you mean '{known}'?)"),
+                None => String::new(),
+            };
+            Err(format!("unknown trace mode '{other}'{hint}\n{USAGE}"))
         }
     }
 }
@@ -558,7 +710,8 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         });
     }
 
-    let results = evaluator.evaluate_space(&space);
+    let mut profiler = Profiler::new(flags.has("--profile"));
+    let results = profiler.time("evaluate-space", || evaluator.evaluate_space(&space));
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -675,6 +828,17 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         stats.scrub_bounds.hits,
         stats.scrub_bounds.misses,
     );
+    // Plain explore has no event stream (--trace/--metrics switch to
+    // the guided path); --profile still renders its trailer here.
+    append_observability(
+        &mut out,
+        flags,
+        "explore",
+        "scenario-trials",
+        &[],
+        None,
+        &profiler,
+    )?;
     Ok(out)
 }
 
@@ -720,8 +884,11 @@ fn guided_stdout(flags: &Flags) -> Result<String, String> {
     } else {
         GuidedConfig::with_budget(budget)
     };
-    let report = GuidedSearch::new(&evaluator, config)
-        .run(&space)
+    let mut profiler = Profiler::new(flags.has("--profile"));
+    let report = profiler
+        .time("guided-search", || {
+            GuidedSearch::new(&evaluator, config).run(&space)
+        })
         .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
@@ -813,6 +980,17 @@ fn guided_stdout(flags: &Flags) -> Result<String, String> {
         stats.scrub_bounds.hits,
         stats.scrub_bounds.misses,
     );
+    // Rung prunes on the budget clock: explore's whole event stream.
+    let events = scm_explore::rung_events(&report);
+    append_observability(
+        &mut out,
+        flags,
+        "explore",
+        "scenario-trials",
+        &events,
+        None,
+        &profiler,
+    )?;
     Ok(out)
 }
 
@@ -857,12 +1035,22 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
         seed,
         write_fraction: 0.1,
     };
-    let result = CampaignEngine::new(campaign)
+    let mut profiler = Profiler::new(flags.has("--profile"));
+    let engine = CampaignEngine::new(campaign)
         .workload_model(model)
         .threads(threads)
         .scrub(scrub_period)
-        .sliced(sliced)
-        .run_scenarios(design.config(), &scenarios);
+        .sliced(sliced);
+    let result = profiler.time("campaign-fan-out", || {
+        engine.run_scenarios(design.config(), &scenarios)
+    });
+    let events = if wants_events(flags) {
+        profiler.time("trace-replay", || {
+            engine.trace_scenarios(design.config(), &scenarios)
+        })
+    } else {
+        Vec::new()
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -889,6 +1077,9 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     out.push_str(&summary(&result));
     out.push('\n');
     out.push_str(&worst_offenders(&result, 5));
+    append_observability(
+        &mut out, flags, "campaign", "cycles", &events, None, &profiler,
+    )?;
     Ok(out)
 }
 
@@ -960,7 +1151,13 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
         "transient" => engine.seu_universe(12, &SeuProcess::new(seu_mean)),
         _ => engine.decoder_universe(12),
     };
-    let result = engine.run(&universe);
+    let mut profiler = Profiler::new(flags.has("--profile"));
+    let result = profiler.time("system-campaign", || engine.run(&universe));
+    let events = if wants_events(flags) {
+        profiler.time("trace-replay", || engine.trace(&universe))
+    } else {
+        Vec::new()
+    };
 
     let mut out = String::new();
     out.push_str("sharded self-checking memory system: 4 heterogeneous banks\n\n");
@@ -975,6 +1172,9 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
         );
     }
     out.push_str(&system_report(engine.system(), &result, workload));
+    append_observability(
+        &mut out, flags, "system", "cycles", &events, None, &profiler,
+    )?;
     Ok(out)
 }
 
@@ -1027,11 +1227,14 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
     // Both builds file identical signatures (the sliced backend is
     // lane-by-lane bit-identical to the scalar one), so the rendered
     // output — fixture-pinned — does not depend on the engine choice.
-    let dictionary = if sliced {
-        FaultDictionary::build_sliced(&config, &test, seed, &candidates, threads)
-    } else {
-        FaultDictionary::build(&config, &test, seed, &candidates, threads)
-    };
+    let mut profiler = Profiler::new(flags.has("--profile"));
+    let dictionary = profiler.time("dictionary-build", || {
+        if sliced {
+            FaultDictionary::build_sliced(&config, &test, seed, &candidates, threads)
+        } else {
+            FaultDictionary::build(&config, &test, seed, &candidates, threads)
+        }
+    });
 
     let budget = SpareBudget {
         rows: spare_rows,
@@ -1087,6 +1290,10 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
         );
         out.push('\n');
         out.push_str(&scm_diag::triage_report(&outcomes));
+        // The triage view runs no system campaign, so its trace is
+        // empty; `--trace`/`--metrics` still render (header only) so
+        // pipelines need not special-case the fault model.
+        append_observability(&mut out, flags, "diag", "cycles", &[], None, &profiler)?;
         return Ok(out);
     }
     // A mixed slice of the dictionary's own candidate set: every 29th
@@ -1126,46 +1333,62 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
         &area,
     ));
     out.push('\n');
-    out.push_str(&diag_system_section(
-        &config, &test, budget, trials, cycles, seed, threads,
-    )?);
+    let (section, events) = diag_system_section(
+        &config,
+        &test,
+        budget,
+        CampaignConfig {
+            cycles,
+            trials,
+            seed,
+            write_fraction: 0.1,
+        },
+        threads,
+        wants_events(flags),
+        &mut profiler,
+    )?;
+    out.push_str(&section);
+    append_observability(&mut out, flags, "diag", "cycles", &events, None, &profiler)?;
     Ok(out)
 }
 
 /// The system view of `scm diag`: two banks behind an interleaver, BIST
-/// sessions stealing slots from live traffic (reactive repair interrupt
-/// + proactive round-robin sweeps), lost work charged to checkpoints.
+/// sessions stealing slots from live traffic (reactive repair interrupts
+/// and proactive round-robin sweeps), lost work charged to checkpoints.
+/// Returns the rendered section plus the campaign's trace events (empty
+/// unless `want_events`).
 fn diag_system_section(
     bank: &RamConfig,
     test: &MarchTest,
     budget: SpareBudget,
-    trials: u32,
-    cycles: u64,
-    seed: u64,
+    campaign: CampaignConfig,
     threads: usize,
-) -> Result<String, String> {
+    want_events: bool,
+    profiler: &mut Profiler,
+) -> Result<(String, Vec<Event>), String> {
     let system = SystemConfig {
         banks: vec![bank.clone(), bank.clone()],
         interleaving: Interleaving::LowOrder,
         scrub: scm_system::ScrubSchedule { period: 4 },
         checkpoint: scm_system::CheckpointSchedule { interval: 64 },
     };
+    let cycles = campaign.cycles;
+    let trials = campaign.trials;
     let period = cycles / 2;
     let policy = DiagPolicy {
         period,
         test: test.clone(),
-        session_seed: seed,
+        session_seed: campaign.seed,
         budget,
-    };
-    let campaign = CampaignConfig {
-        cycles,
-        trials,
-        seed,
-        write_fraction: 0.1,
     };
     let engine = DiagCampaign::new(system, policy, campaign).threads(threads);
     let universe = engine.diag_universe(6, 4);
-    let result = engine.run(&universe);
+    let result = profiler.time("diag-campaign", || engine.run(&universe));
+    let events = if want_events {
+        profiler.time("trace-replay", || engine.trace(&universe))
+    } else {
+        Vec::new()
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -1210,7 +1433,7 @@ fn diag_system_section(
         "  post-repair escapes: {} (sound repairs leave zero)",
         result.post_repair_escapes(),
     );
-    Ok(out)
+    Ok((out, events))
 }
 
 /// `scm fleet` — the streaming fleet campaign: a cohort spec (built-in
@@ -1280,11 +1503,16 @@ fn fleet_stdout(flags: &Flags) -> Result<String, String> {
         checkpoint,
         halt_after,
     };
+    let mut profiler = Profiler::new(flags.has("--profile"));
     let mut driver = match &resume {
         Some(path) => FleetDriver::resume(spec, options, path)?,
         None => FleetDriver::new(spec, options)?,
     };
-    match driver.run()? {
+    let progress = profiler.time("fleet-drive", || driver.run())?;
+    // Driver-level events only: checkpoint writes/restores on the
+    // device-count clock (per-device events would flood at fleet scale).
+    let events = driver.events().to_vec();
+    match progress {
         FleetProgress::Completed(outcome) => {
             let mut out = scm_fleet::fleet_report(&outcome);
             match flags.value_of("--json") {
@@ -1300,17 +1528,41 @@ fn fleet_stdout(flags: &Flags) -> Result<String, String> {
                     let _ = writeln!(out, "\njson telemetry -> {path}");
                 }
             }
+            // The fleet's per-trial events live inside devices; its
+            // registry is instead folded from the settled telemetry.
+            let fold = flags.has("--metrics").then(|| {
+                let mut fold = Metrics::new();
+                for (cohort, telemetry) in outcome.spec.cohorts.iter().zip(&outcome.cohorts) {
+                    telemetry.fold_metrics(&cohort.name, &mut fold);
+                }
+                fold
+            });
+            append_observability(
+                &mut out,
+                flags,
+                "fleet",
+                "devices",
+                &events,
+                fold.as_ref(),
+                &profiler,
+            )?;
             Ok(out)
         }
         FleetProgress::Halted {
             devices_done,
             checkpoint,
-        } => Ok(format!(
-            "fleet halted after {devices_done} devices; checkpoint at {}\n\
-             resume with: scm fleet ... --resume {}\n",
-            checkpoint.display(),
-            checkpoint.display(),
-        )),
+        } => {
+            let mut out = format!(
+                "fleet halted after {devices_done} devices; checkpoint at {}\n\
+                 resume with: scm fleet ... --resume {}\n",
+                checkpoint.display(),
+                checkpoint.display(),
+            );
+            append_observability(
+                &mut out, flags, "fleet", "devices", &events, None, &profiler,
+            )?;
+            Ok(out)
+        }
     }
 }
 
@@ -1979,6 +2231,146 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("unknown fault mix"), "{err}");
+    }
+
+    #[test]
+    fn version_prints_crate_and_toolchain() {
+        let out = run(&["--version".to_owned()]).unwrap();
+        assert!(
+            out.starts_with(&format!("scm {} ", env!("CARGO_PKG_VERSION"))),
+            "{out}"
+        );
+        assert!(out.contains("toolchain stable"), "{out}");
+        assert_eq!(run(&["-V".to_owned()]).unwrap(), out);
+        let err = run(&["--version".to_owned(), "--bogus".to_owned()]).unwrap_err();
+        assert!(err.contains("unrecognised argument"), "{err}");
+    }
+
+    #[test]
+    fn observability_flags_render_trace_metrics_and_profile() {
+        let base = vec![
+            "campaign".to_owned(),
+            "--trials".to_owned(),
+            "2".to_owned(),
+            "--cycles".to_owned(),
+            "6".to_owned(),
+        ];
+        let mut args = base.clone();
+        args.extend(["--trace".to_owned(), "--metrics".to_owned()]);
+        let out = run(&args).unwrap();
+        assert!(
+            out.contains("# scm-trace v1 cmd=campaign clock=cycles"),
+            "{out}"
+        );
+        assert!(out.contains("ev=detect"), "{out}");
+        assert!(out.contains("counters:"), "{out}");
+        assert!(out.contains("ev.activate"), "{out}");
+        let mut args = base.clone();
+        args.push("--profile".to_owned());
+        let out = run(&args).unwrap();
+        assert!(out.contains("profile: phase=campaign-fan-out"), "{out}");
+        assert!(out.contains("profile: phase=total"), "{out}");
+        // Without the flags the classical stdout stays untouched.
+        let plain = run(&base).unwrap();
+        assert!(!plain.contains("scm-trace"), "{plain}");
+        assert!(!plain.contains("profile:"), "{plain}");
+    }
+
+    #[test]
+    fn trace_file_round_trips_through_summarize_and_chrome() {
+        let path = std::env::temp_dir().join("scm-cli-trace-roundtrip.trace");
+        let path_s = path.to_str().unwrap().to_owned();
+        let out = run(&[
+            "campaign".to_owned(),
+            "--trials".to_owned(),
+            "2".to_owned(),
+            "--cycles".to_owned(),
+            "6".to_owned(),
+            format!("--trace={path_s}"),
+            "--metrics".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace -> "), "{out}");
+        // summarize re-aggregates the file into the very table
+        // --metrics printed when the trace was recorded.
+        let summarized =
+            run(&["trace".to_owned(), "summarize".to_owned(), path_s.clone()]).unwrap();
+        let table = |text: &str| text[text.find("counters:").expect("metrics table")..].to_owned();
+        assert_eq!(table(&out), table(&summarized));
+        let chrome = run(&["trace".to_owned(), "chrome".to_owned(), path_s.clone()]).unwrap();
+        assert!(chrome.trim_start().starts_with('['), "{chrome}");
+        assert!(chrome.contains("\"ph\": \"i\""), "{chrome}");
+        let err = run(&["trace".to_owned(), "summarise".to_owned(), path_s]).unwrap_err();
+        assert!(err.contains("did you mean 'summarize'?"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn explore_trace_implies_guided_and_emits_rung_prunes() {
+        let out = run(&[
+            "explore".to_owned(),
+            "--trace".to_owned(),
+            "--trials".to_owned(),
+            "8".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("guided design-space search"), "{out}");
+        assert!(out.contains("clock=scenario-trials"), "{out}");
+        assert!(out.contains("ev=rung-prune"), "{out}");
+    }
+
+    #[test]
+    fn cli_trace_is_byte_identical_across_threads_and_engines() {
+        // The PR's acceptance contract, enforced on the user-visible
+        // surface: `scm campaign --trace` emits the same bytes at any
+        // thread count and under either engine flag.
+        let trace_of = |extra: &[&str]| {
+            let mut args: Vec<String> = [
+                "campaign",
+                "--trials",
+                "3",
+                "--cycles",
+                "8",
+                "--fault-model",
+                "mix",
+                "--scrub-period",
+                "4",
+                "--trace",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+            args.extend(extra.iter().map(|s| (*s).to_owned()));
+            let out = run(&args).unwrap();
+            out[out.find("# scm-trace").expect("trace section")..].to_owned()
+        };
+        let reference = trace_of(&["--threads", "1"]);
+        assert!(reference.contains("ev="), "{reference}");
+        for threads in ["2", "4", "8"] {
+            assert_eq!(
+                trace_of(&["--threads", threads]),
+                reference,
+                "threads {threads}"
+            );
+        }
+        assert_eq!(trace_of(&["--engine", "scalar"]), reference, "scalar");
+        assert_eq!(trace_of(&["--engine", "sliced"]), reference, "sliced");
+    }
+
+    #[test]
+    fn fleet_metrics_fold_lands_in_the_registry() {
+        let out = run(&[
+            "fleet".to_owned(),
+            "--trace".to_owned(),
+            "--metrics".to_owned(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("# scm-trace v1 cmd=fleet clock=devices"),
+            "{out}"
+        );
+        assert!(out.contains("fleet.edge.devices"), "{out}");
+        assert!(out.contains("fleet.datacenter.strikes"), "{out}");
     }
 
     #[test]

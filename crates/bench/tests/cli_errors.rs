@@ -176,6 +176,29 @@ fn misspelled_guided_space_exits_two_with_a_hint() {
 }
 
 #[test]
+fn version_flag_exits_zero_with_crate_version_and_toolchain() {
+    for flag in ["--version", "-V"] {
+        let out = scm(&[flag]);
+        assert_eq!(out.status.code(), Some(0), "{flag}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // Shape: `scm <semver> (rust toolchain <channel>)\n` — one line.
+        assert_eq!(stdout.lines().count(), 1, "{flag}: {stdout}");
+        let expected = format!("scm {} (rust toolchain ", env!("CARGO_PKG_VERSION"));
+        assert!(stdout.starts_with(&expected), "{flag}: {stdout}");
+        assert!(stdout.trim_end().ends_with(')'), "{flag}: {stdout}");
+        assert!(out.stderr.is_empty(), "{flag}: version is not an error");
+    }
+}
+
+#[test]
+fn empty_trace_value_is_rejected_not_treated_as_stdout() {
+    let out = scm(&["campaign", "--trace="]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecognised argument"), "{stderr}");
+}
+
+#[test]
 fn valid_subcommand_exits_zero() {
     let out = scm(&["help"]);
     assert_eq!(out.status.code(), Some(0));

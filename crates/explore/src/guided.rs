@@ -206,6 +206,34 @@ pub struct GuidedReport {
     pub provisional: bool,
 }
 
+/// The trace view of a guided search: one
+/// [`RungPrune`](scm_obs::EventKind::RungPrune) event per rung, in
+/// execution order, timestamped on the **budget clock** (`t` = total
+/// scenario-trials spent once the rung settled). Derived post-hoc from
+/// the report's own accounting, so the search loop pays nothing and the
+/// trace inherits its determinism.
+pub fn rung_events(report: &GuidedReport) -> Vec<scm_obs::Event> {
+    let mut spent = 0u64;
+    report
+        .rungs
+        .iter()
+        .map(|rung| {
+            spent += rung.spent;
+            scm_obs::Event::global(
+                spent,
+                scm_obs::EventKind::RungPrune {
+                    generation: rung.generation as u32,
+                    fidelity: rung.trials,
+                    entered: rung.entered as u32,
+                    evaluated: rung.evaluated as u32,
+                    survivors: rung.survivors as u32,
+                    spent: rung.spent,
+                },
+            )
+        })
+        .collect()
+}
+
 impl GuidedReport {
     /// Scenario-trials saved against the exhaustive baseline.
     pub fn saved(&self) -> u64 {

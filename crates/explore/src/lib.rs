@@ -56,8 +56,8 @@ pub use evaluate::{
     RepairAdjudication, RepairFigures, SystemAdjudication, SystemFigures,
 };
 pub use guided::{
-    empirical_front, exhaustive_front, ExhaustiveReference, FidelityLadder, GuidedConfig,
-    GuidedReport, GuidedSearch, RungStats,
+    empirical_front, exhaustive_front, rung_events, ExhaustiveReference, FidelityLadder,
+    GuidedConfig, GuidedReport, GuidedSearch, RungStats,
 };
 pub use pareto::{
     dominates, mix_pareto_fronts, pareto_front, repair_pareto_front, system_pareto_front,

@@ -41,6 +41,7 @@ use rayon::prelude::*;
 use scm_diag::{cell_universe, FaultDictionary};
 use scm_memory::campaign::decoder_fault_universe;
 use scm_memory::fault::FaultSite;
+use scm_obs::{Event, EventKind};
 use scm_system::seed_mix;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -136,6 +137,11 @@ pub struct FleetDriver {
     checkpoints_written: u64,
     telemetry: Vec<CohortTelemetry>,
     dictionaries: Vec<Option<Arc<FaultDictionary>>>,
+    /// Driver-level trace: one event per checkpoint write/restore, on
+    /// the device-count clock (`t` = devices completed). Per-device
+    /// events would flood the trace at fleet scale, so the driver
+    /// records only its own scheduling acts.
+    events: Vec<Event>,
 }
 
 impl FleetDriver {
@@ -160,6 +166,7 @@ impl FleetDriver {
             checkpoints_written: 0,
             telemetry,
             dictionaries,
+            events: Vec::new(),
         })
     }
 
@@ -222,6 +229,15 @@ impl FleetDriver {
     /// Devices completed so far.
     pub fn devices_done(&self) -> u64 {
         self.devices_done
+    }
+
+    /// Trace events recorded so far (checkpoint writes and restores on
+    /// the device-count clock). Checkpoint boundaries are fixed by the
+    /// cadence options and the canonical chunk sequence — `wave_end`
+    /// cuts every wave exactly at a boundary — so this trace is
+    /// bit-identical at any thread count.
+    pub fn events(&self) -> &[Event] {
+        &self.events
     }
 
     /// Worker threads the driver will actually use.
@@ -305,11 +321,23 @@ impl FleetDriver {
                 if due > self.checkpoints_written {
                     self.checkpoints_written = due;
                     self.write_checkpoint()?;
+                    self.events.push(Event::global(
+                        self.devices_done,
+                        EventKind::CheckpointWrite {
+                            index: self.checkpoints_written,
+                        },
+                    ));
                 }
             }
             if let Some(halt) = self.options.halt_after {
                 if !complete && self.devices_done >= halt {
                     self.write_checkpoint()?;
+                    self.events.push(Event::global(
+                        self.devices_done,
+                        EventKind::CheckpointWrite {
+                            index: self.checkpoints_written + 1,
+                        },
+                    ));
                     return Ok(FleetProgress::Halted {
                         devices_done: self.devices_done,
                         checkpoint: self
@@ -504,6 +532,13 @@ impl FleetDriver {
         if let Some(written) = self.devices_done.checked_div(self.options.checkpoint_every) {
             self.checkpoints_written = written;
         }
+        // Atomic checkpoints mean a restore itself discards nothing
+        // (`lost = 0`); whatever ran between the checkpoint and the
+        // kill was never committed and is unknowable here.
+        self.events.push(Event::global(
+            self.devices_done,
+            EventKind::CheckpointRestore { lost: 0 },
+        ));
         Ok(())
     }
 }
@@ -631,6 +666,36 @@ mod tests {
             .unwrap()
             .load_checkpoint("not a checkpoint")
             .is_err());
+    }
+
+    #[test]
+    fn checkpoint_writes_and_restores_ride_the_device_count_clock() {
+        // Restore: loading a checkpoint records one event at the
+        // resumed device count.
+        let mut a = FleetDriver::new(small(), opts(1)).unwrap();
+        a.next_chunk = 2;
+        a.devices_done = 12;
+        let text = a.checkpoint_text();
+        let mut b = FleetDriver::new(small(), opts(1)).unwrap();
+        b.load_checkpoint(&text).unwrap();
+        assert_eq!(
+            b.events(),
+            &[Event::global(12, EventKind::CheckpointRestore { lost: 0 })]
+        );
+        // Write: a cadence run over 20 devices (chunks 8+4+8) crosses
+        // the every-8 boundary once before the final wave completes
+        // the fleet (completion removes the file, writes no event).
+        let path = std::env::temp_dir().join("scm-fleet-driver-events.ckpt");
+        let mut o = opts(1);
+        o.checkpoint_every = 8;
+        o.checkpoint = Some(path.clone());
+        let mut driver = FleetDriver::new(small(), o).unwrap();
+        completed(driver.run().unwrap());
+        assert_eq!(
+            driver.events(),
+            &[Event::global(8, EventKind::CheckpointWrite { index: 1 })]
+        );
+        assert!(!path.exists(), "completion removes the checkpoint");
     }
 
     #[test]

@@ -33,6 +33,11 @@ fn fit(x: f64) -> String {
     }
 }
 
+/// Render an unobserved rate (`None` denominator) as `n/a`.
+fn opt(x: Option<f64>, render: impl Fn(f64) -> String) -> String {
+    x.map(render).unwrap_or_else(|| "n/a".to_owned())
+}
+
 /// The human-readable fleet report.
 pub fn fleet_report(outcome: &FleetOutcome) -> String {
     let reports = cohort_reports(outcome);
@@ -72,13 +77,13 @@ pub fn fleet_report(outcome: &FleetOutcome) -> String {
             r.name,
             t.devices,
             t.strikes,
-            pct(r.detect_fraction),
+            opt(r.detect_fraction, pct),
             t.escapes,
-            fit(r.sdc_fit),
+            opt(r.sdc_fit, fit),
             r.mean_detection_cycle
                 .map(|m| format!("{m:.1}"))
                 .unwrap_or_else(|| "-".to_owned()),
-            format!("{:.1}", r.mean_lost_work),
+            opt(r.mean_lost_work, |m| format!("{m:.1}")),
             t.hard_devices,
         );
     }
@@ -89,10 +94,10 @@ pub fn fleet_report(outcome: &FleetOutcome) -> String {
             out,
             "  {:<12} SDC {} FIT vs max {} -> {} | detect {} vs min {} -> {}  => {}",
             r.name,
-            fit(r.sdc_fit),
+            opt(r.sdc_fit, fit),
             fit(cohort.slo_max_sdc_fit as f64),
             if r.sdc_slo_pass { "PASS" } else { "FAIL" },
-            pct(r.detect_fraction),
+            opt(r.detect_fraction, pct),
             pct(cohort.slo_min_detect_ppm as f64 / 1e6),
             if r.detect_slo_pass { "PASS" } else { "FAIL" },
             if r.slo_pass() { "PASS" } else { "FAIL" },
@@ -154,6 +159,12 @@ pub fn fleet_report(outcome: &FleetOutcome) -> String {
     out
 }
 
+/// An unobserved rate is JSON `null`, never a fabricated number.
+fn json_opt(x: Option<f64>) -> String {
+    x.map(|v| v.to_string())
+        .unwrap_or_else(|| "null".to_owned())
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -199,17 +210,17 @@ pub fn fleet_json(outcome: &FleetOutcome) -> String {
             out,
             "\"device_hours\": {}, \"sdc_fit\": {}, \"detect_fraction\": {}, \
              \"escape_fraction\": {}, \"mean_lost_work\": {}, ",
-            r.device_hours, r.sdc_fit, r.detect_fraction, r.escape_fraction, r.mean_lost_work,
+            r.device_hours,
+            json_opt(r.sdc_fit),
+            json_opt(r.detect_fraction),
+            json_opt(r.escape_fraction),
+            json_opt(r.mean_lost_work),
         );
         let _ = write!(
             out,
             "\"mean_detection_cycle\": {}, \"spare_exhaustion_hours\": {}, ",
-            r.mean_detection_cycle
-                .map(|m| m.to_string())
-                .unwrap_or_else(|| "null".to_owned()),
-            r.spare_exhaustion_hours
-                .map(|h| h.to_string())
-                .unwrap_or_else(|| "null".to_owned()),
+            json_opt(r.mean_detection_cycle),
+            json_opt(r.spare_exhaustion_hours),
         );
         let _ = write!(
             out,
@@ -255,6 +266,30 @@ mod tests {
         for cohort in ["edge", "datacenter"] {
             assert!(text.contains(cohort), "missing {cohort}:\n{text}");
         }
+    }
+
+    #[test]
+    fn unobserved_rates_render_as_na_and_null() {
+        use crate::telemetry::CohortTelemetry;
+        let spec = FleetSpec::preset("small").unwrap();
+        let cohorts = vec![CohortTelemetry::default(); spec.cohorts.len()];
+        let o = FleetOutcome {
+            spec,
+            seed: 1,
+            sliced: true,
+            devices: 0,
+            cohorts,
+        };
+        let text = fleet_report(&o);
+        assert!(text.contains("n/a"), "{text}");
+        assert!(
+            text.contains("every cohort meets its SLO"),
+            "vacuous SLO pass:\n{text}"
+        );
+        let json = fleet_json(&o);
+        assert!(json.contains("\"sdc_fit\": null"), "{json}");
+        assert!(json.contains("\"detect_fraction\": null"), "{json}");
+        assert!(json.contains("\"mean_lost_work\": null"), "{json}");
     }
 
     #[test]

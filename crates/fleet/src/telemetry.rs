@@ -89,6 +89,17 @@ impl CohortTelemetry {
         ]
     }
 
+    /// Fold the accumulators into a metrics registry as
+    /// `fleet.<cohort>.<field>` counters. Counter addition commutes, so
+    /// folding per-cohort telemetry in any order yields the same
+    /// registry — the same contract [`merge`](Self::merge) gives the
+    /// raw accumulators.
+    pub fn fold_metrics(&self, cohort: &str, metrics: &mut scm_obs::Metrics) {
+        for (name, value) in self.fields() {
+            metrics.add(&format!("fleet.{cohort}.{name}"), value);
+        }
+    }
+
     /// Rebuild from values in [`fields`](Self::fields) order.
     pub fn from_values(values: &[u64; 15]) -> CohortTelemetry {
         CohortTelemetry {
@@ -113,6 +124,12 @@ impl CohortTelemetry {
 
 /// One cohort's derived metrics and SLO verdicts (render-time floats
 /// over settled integer totals).
+///
+/// Every rate whose denominator can be zero — a cohort with no
+/// devices, no strikes, or no detections — is an `Option`, `None`
+/// meaning "nothing observed". Renderers print those as `-`/`null`
+/// rather than a fabricated `0.0`, and the SLO verdicts pass vacuously
+/// (a rate that was never observed cannot violate a bound).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CohortReport {
     /// Cohort name.
@@ -121,25 +138,30 @@ pub struct CohortReport {
     pub telemetry: CohortTelemetry,
     /// Simulated device-hours (`devices · horizon / cycles_per_hour`).
     pub device_hours: f64,
-    /// SDC escape rate in FIT (escapes per 10⁹ device-hours).
-    pub sdc_fit: f64,
-    /// Detected fraction of strikes.
-    pub detect_fraction: f64,
-    /// Escaped fraction of strikes.
-    pub escape_fraction: f64,
-    /// Mean detection cycle over detected strikes.
+    /// SDC escape rate in FIT (escapes per 10⁹ device-hours;
+    /// `None` = zero device-hours).
+    pub sdc_fit: Option<f64>,
+    /// Detected fraction of strikes (`None` = no strikes).
+    pub detect_fraction: Option<f64>,
+    /// Escaped fraction of strikes (`None` = no strikes).
+    pub escape_fraction: Option<f64>,
+    /// Mean detection cycle over detected strikes
+    /// (`None` = no detections).
     pub mean_detection_cycle: Option<f64>,
-    /// Mean lost work per strike.
-    pub mean_lost_work: f64,
-    /// Spares committed per device-hour (rows + columns).
-    pub spare_burn_rate: f64,
+    /// Mean lost work per strike (`None` = no strikes).
+    pub mean_lost_work: Option<f64>,
+    /// Spares committed per device-hour, rows + columns
+    /// (`None` = zero device-hours).
+    pub spare_burn_rate: Option<f64>,
     /// Forecast hours until the cohort's pooled spare budget is
     /// exhausted at the observed burn rate (`None` = no burn observed).
     pub spare_exhaustion_hours: Option<f64>,
-    /// SDC-FIT SLO verdict (`rate ≤ slo_max_sdc_fit`).
+    /// SDC-FIT SLO verdict (`rate ≤ slo_max_sdc_fit`; vacuous pass
+    /// when no device-hours were simulated).
     pub sdc_slo_pass: bool,
     /// Detection-fraction SLO verdict
-    /// (`detect_fraction ≥ slo_min_detect_ppm`).
+    /// (`detect_fraction ≥ slo_min_detect_ppm`; vacuous pass when no
+    /// strikes were simulated).
     pub detect_slo_pass: bool,
 }
 
@@ -148,23 +170,16 @@ impl CohortReport {
     pub fn derive(spec: &FleetSpec, cohort: &CohortSpec, telemetry: CohortTelemetry) -> Self {
         let device_hours =
             telemetry.devices as f64 * cohort.horizon as f64 / spec.cycles_per_hour as f64;
-        let sdc_fit = if device_hours > 0.0 {
-            telemetry.escapes as f64 * 1e9 / device_hours
-        } else {
-            0.0
-        };
-        let strikes = telemetry.strikes.max(1) as f64;
-        let detect_fraction = telemetry.detected as f64 / strikes;
-        let escape_fraction = telemetry.escapes as f64 / strikes;
+        let sdc_fit = (device_hours > 0.0).then(|| telemetry.escapes as f64 * 1e9 / device_hours);
+        let strikes = (telemetry.strikes > 0).then_some(telemetry.strikes as f64);
+        let detect_fraction = strikes.map(|s| telemetry.detected as f64 / s);
+        let escape_fraction = strikes.map(|s| telemetry.escapes as f64 / s);
         let spares_used = telemetry.spare_rows_used + telemetry.spare_cols_used;
-        let spare_burn_rate = if device_hours > 0.0 {
-            spares_used as f64 / device_hours
-        } else {
-            0.0
-        };
+        let spare_burn_rate = (device_hours > 0.0).then(|| spares_used as f64 / device_hours);
         let budget = telemetry.devices * (cohort.spare_rows as u64 + cohort.spare_cols as u64);
-        let spare_exhaustion_hours = (spare_burn_rate > 0.0)
-            .then(|| budget.saturating_sub(spares_used) as f64 / spare_burn_rate);
+        let spare_exhaustion_hours = spare_burn_rate
+            .filter(|&rate| rate > 0.0)
+            .map(|rate| budget.saturating_sub(spares_used) as f64 / rate);
         CohortReport {
             name: cohort.name.clone(),
             telemetry,
@@ -174,11 +189,12 @@ impl CohortReport {
             escape_fraction,
             mean_detection_cycle: (telemetry.detected > 0)
                 .then(|| telemetry.detection_cycle_sum as f64 / telemetry.detected as f64),
-            mean_lost_work: telemetry.lost_work_sum as f64 / strikes,
+            mean_lost_work: strikes.map(|s| telemetry.lost_work_sum as f64 / s),
             spare_burn_rate,
             spare_exhaustion_hours,
-            sdc_slo_pass: sdc_fit <= cohort.slo_max_sdc_fit as f64,
-            detect_slo_pass: detect_fraction * 1e6 >= cohort.slo_min_detect_ppm as f64,
+            sdc_slo_pass: sdc_fit.is_none_or(|fit| fit <= cohort.slo_max_sdc_fit as f64),
+            detect_slo_pass: detect_fraction
+                .is_none_or(|f| f * 1e6 >= cohort.slo_min_detect_ppm as f64),
         }
     }
 
@@ -257,8 +273,8 @@ mod tests {
         };
         let report = CohortReport::derive(&spec, cohort, telemetry);
         assert!((report.device_hours - 1.0).abs() < 1e-12);
-        assert!((report.sdc_fit - 2e9).abs() < 1.0);
-        assert!((report.detect_fraction - 30.0 / 36.0).abs() < 1e-12);
+        assert!((report.sdc_fit.unwrap() - 2e9).abs() < 1.0);
+        assert!((report.detect_fraction.unwrap() - 30.0 / 36.0).abs() < 1e-12);
         // 9 devices × 2 spares, 1 burned in 1 device-hour → 17 h left.
         assert!((report.spare_exhaustion_hours.unwrap() - 17.0).abs() < 1e-9);
         assert!(report.sdc_slo_pass, "2e9 FIT under the 4e9 edge SLO");
@@ -267,5 +283,77 @@ mod tests {
         let clean = CohortReport::derive(&spec, cohort, CohortTelemetry::default());
         assert_eq!(clean.spare_exhaustion_hours, None);
         assert!(clean.sdc_slo_pass);
+    }
+
+    #[test]
+    fn zero_denominators_yield_none_not_fabricated_rates() {
+        let spec = FleetSpec::preset("small").unwrap();
+        let cohort = &spec.cohorts[0];
+        // A cohort that never ran: every rate is unobserved, every SLO
+        // passes vacuously.
+        let empty = CohortReport::derive(&spec, cohort, CohortTelemetry::default());
+        assert_eq!(empty.device_hours, 0.0);
+        assert_eq!(empty.sdc_fit, None);
+        assert_eq!(empty.detect_fraction, None);
+        assert_eq!(empty.escape_fraction, None);
+        assert_eq!(empty.mean_detection_cycle, None);
+        assert_eq!(empty.mean_lost_work, None);
+        assert_eq!(empty.spare_burn_rate, None);
+        assert_eq!(empty.spare_exhaustion_hours, None);
+        assert!(empty.slo_pass(), "unobserved rates cannot violate an SLO");
+        // Devices ran but drew no strikes: per-strike rates stay
+        // unobserved while device-hour rates settle.
+        let quiet = CohortReport::derive(
+            &spec,
+            cohort,
+            CohortTelemetry {
+                devices: 4,
+                ..CohortTelemetry::default()
+            },
+        );
+        assert!(quiet.device_hours > 0.0);
+        assert_eq!(quiet.sdc_fit, Some(0.0));
+        assert_eq!(quiet.detect_fraction, None);
+        assert_eq!(quiet.mean_lost_work, None);
+        assert_eq!(quiet.spare_burn_rate, Some(0.0));
+        assert!(quiet.slo_pass());
+        // Strikes with zero detections: fractions settle, the
+        // per-detection mean stays unobserved.
+        let undetected = CohortReport::derive(
+            &spec,
+            cohort,
+            CohortTelemetry {
+                devices: 4,
+                strikes: 8,
+                undetected: 8,
+                ..CohortTelemetry::default()
+            },
+        );
+        assert_eq!(undetected.detect_fraction, Some(0.0));
+        assert_eq!(undetected.mean_detection_cycle, None);
+        assert!(!undetected.detect_slo_pass, "0% detection misses the SLO");
+    }
+
+    #[test]
+    fn fold_metrics_mirrors_the_field_table() {
+        let t = CohortTelemetry {
+            devices: 7,
+            strikes: 4,
+            detected: 3,
+            spare_rows_used: 1,
+            ..CohortTelemetry::default()
+        };
+        let mut metrics = scm_obs::Metrics::new();
+        t.fold_metrics("edge", &mut metrics);
+        assert_eq!(metrics.counter("fleet.edge.devices"), 7);
+        assert_eq!(metrics.counter("fleet.edge.strikes"), 4);
+        assert_eq!(metrics.counter("fleet.edge.detected"), 3);
+        assert_eq!(metrics.counter("fleet.edge.spare_rows_used"), 1);
+        // Zero fields are still present: the registry mirrors the
+        // checkpoint field table one-for-one.
+        assert_eq!(metrics.counter("fleet.edge.escapes"), 0);
+        // Folding twice doubles every counter (plain addition).
+        t.fold_metrics("edge", &mut metrics);
+        assert_eq!(metrics.counter("fleet.edge.devices"), 14);
     }
 }

@@ -31,6 +31,7 @@ use crate::workload::{
     AddressPattern, FixedPattern, ScrubInterleaver, UniformRandom, WorkloadModel, WorkloadSpec,
 };
 use rayon::prelude::*;
+use scm_obs::{sort_chronological, Event, EventKind};
 use std::sync::Arc;
 
 /// One schedulable unit: a contiguous trial range of one fault.
@@ -400,6 +401,136 @@ impl CampaignEngine {
             per_fault,
             config: self.campaign,
         }
+    }
+
+    /// Trace the permanent grid: the scenario-level twin of
+    /// [`run`](Self::run).
+    pub fn trace(&self, config: &RamConfig, faults: &[FaultSite]) -> Vec<Event> {
+        let scenarios: Vec<FaultScenario> = faults
+            .iter()
+            .copied()
+            .map(FaultScenario::permanent)
+            .collect();
+        self.trace_scenarios(config, &scenarios)
+    }
+
+    /// Replay the scenario × trial grid as a structured event trace.
+    ///
+    /// This is a **canonical replay**, not a tap on the result path: it
+    /// always runs the behavioural backend with the shared-stream
+    /// (common-random-numbers) trial seeding the sliced engine defines,
+    /// which PR 6's lane-exactness contract guarantees is exactly what
+    /// every lane of the default sliced engine observes. The trace is
+    /// therefore a pure function of `(seed, fault, trial)` — bit-identical
+    /// at any thread count, any lane width, and under either engine flag —
+    /// and the result path keeps zero overhead when tracing is off.
+    pub fn trace_scenarios(&self, config: &RamConfig, scenarios: &[FaultScenario]) -> Vec<Event> {
+        let dispatch = || -> Vec<Vec<Event>> {
+            scenarios
+                .par_iter()
+                .enumerate()
+                .map(|(fidx, scenario)| self.trace_fault(config, fidx, scenario))
+                .collect()
+        };
+        let per_fault: Vec<Vec<Event>> = if self.runs_serially(scenarios.len()) {
+            scenarios
+                .iter()
+                .enumerate()
+                .map(|(fidx, scenario)| self.trace_fault(config, fidx, scenario))
+                .collect()
+        } else if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        per_fault.into_iter().flatten().collect()
+    }
+
+    /// Replay every trial of one fault, emitting its events in
+    /// chronological order. Pure in `(campaign seed, fidx, trial)`.
+    fn trace_fault(&self, config: &RamConfig, fidx: usize, scenario: &FaultScenario) -> Vec<Event> {
+        use crate::fault::FaultProcess;
+        let mut backend = BehavioralBackend::prefilled(config, self.campaign.seed ^ 0xF1E1D1);
+        let org = config.org();
+        let spec = WorkloadSpec {
+            words: org.words(),
+            word_bits: org.word_bits(),
+            write_fraction: self.campaign.write_fraction,
+        };
+        let fault = fidx as u32;
+        let mut events = Vec::new();
+        for trial in 0..self.campaign.trials {
+            backend.reset(Some(scenario));
+            let workload = self
+                .model
+                .stream(spec, shared_trial_seed(self.campaign.seed, trial));
+            let out = if self.scrub_period > 0 {
+                let mut scrubbed = ScrubInterleaver::new(workload, self.scrub_period, org.words());
+                measure_detection_on(&mut backend, &mut scrubbed, self.campaign.cycles)
+            } else {
+                let mut workload = workload;
+                measure_detection_on(&mut backend, workload.as_mut(), self.campaign.cycles)
+            };
+            let mut trial_events = Vec::new();
+            // Onset: a transient strike is an SEU event at its flip
+            // cycle; every other process activates at its first active
+            // window (couplings are armed from cycle 0).
+            match scenario.process {
+                FaultProcess::TransientFlip { at } => {
+                    if at < out.cycles_run {
+                        trial_events.push(Event::cell(at, 0, fault, trial, EventKind::SeuStrike));
+                    }
+                }
+                FaultProcess::Permanent { onset } | FaultProcess::Intermittent { onset, .. } => {
+                    if onset < out.cycles_run {
+                        trial_events.push(Event::cell(onset, 0, fault, trial, EventKind::Activate));
+                    }
+                }
+                FaultProcess::Coupling { .. } => {
+                    trial_events.push(Event::cell(0, 0, fault, trial, EventKind::Activate));
+                }
+            }
+            if self.scrub_period > 0 {
+                let sweep_len = self.scrub_period * org.words();
+                let mut sweep = 1u64;
+                while sweep * sweep_len <= out.cycles_run {
+                    trial_events.push(Event::cell(
+                        sweep * sweep_len - 1,
+                        0,
+                        fault,
+                        trial,
+                        EventKind::ScrubSweep { sweep },
+                    ));
+                    sweep += 1;
+                }
+            }
+            if let Some(d) = out.first_detection {
+                let onset = scenario
+                    .process
+                    .corruption_onset()
+                    .map(|a| a.min(out.first_error.unwrap_or(d)))
+                    .unwrap_or_else(|| out.first_error.unwrap_or(d))
+                    .min(d);
+                trial_events.push(Event::cell(
+                    d,
+                    0,
+                    fault,
+                    trial,
+                    EventKind::Detect { latency: d - onset },
+                ));
+            }
+            if out.error_escaped() {
+                let t = out.first_error.expect("an escape implies an error");
+                trial_events.push(Event::cell(t, 0, fault, trial, EventKind::Escape));
+            }
+            sort_chronological(&mut trial_events);
+            events.extend(trial_events);
+        }
+        events
     }
 
     /// Is this grid small enough for the serial fast path?
@@ -827,6 +958,61 @@ mod tests {
             .lane_width(8)
             .run_scenarios(&cfg, &scenarios);
         assert_eq!(result.determinism_profile(), narrow.determinism_profile());
+    }
+
+    mod trace_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            // The replayed trace is a pure function of
+            // `(seed, fault, trial)`: random small campaigns must
+            // produce identical event streams at every thread count,
+            // with the serial path (threads = 1, default threshold)
+            // as the reference against forced fan-out.
+            #[test]
+            fn trace_is_thread_invariant_over_random_campaigns(
+                cycles in 1u64..12,
+                trials in 1u32..6,
+                seed in any::<u64>(),
+                w in 0u32..17,
+                take in 1usize..9,
+                onset in 0u64..8,
+            ) {
+                let campaign = CampaignConfig {
+                    cycles,
+                    trials,
+                    seed,
+                    write_fraction: f64::from(w) / 16.0,
+                };
+                let cfg = config();
+                let faults = row_faults();
+                let scenarios: Vec<FaultScenario> = faults
+                    .iter()
+                    .take(take.min(faults.len()))
+                    .enumerate()
+                    .map(|(i, &site)| {
+                        if i % 2 == 0 {
+                            FaultScenario::permanent(site)
+                        } else {
+                            FaultScenario::transient(site, onset % cycles)
+                        }
+                    })
+                    .collect();
+                let reference = CampaignEngine::new(campaign)
+                    .threads(1)
+                    .trace_scenarios(&cfg, &scenarios);
+                for threads in [2usize, 4, 8] {
+                    let trace = CampaignEngine::new(campaign)
+                        .threads(threads)
+                        .serial_threshold(0)
+                        .trace_scenarios(&cfg, &scenarios);
+                    prop_assert_eq!(&trace, &reference, "threads = {}", threads);
+                }
+            }
+        }
     }
 
     #[test]

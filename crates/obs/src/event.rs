@@ -1,0 +1,324 @@
+//! Structured trace events on the simulated clock.
+//!
+//! An [`Event`] is a point on the **simulated** timeline — a cycle
+//! count, a device count, or a budget position, never wall-clock time —
+//! tagged with the `(bank, fault, trial)` grid cell that produced it.
+//! Every event an engine emits is a pure function of
+//! `(seed, bank, fault, trial)`, so a trace is bit-identical at any
+//! thread count, any lane width and under either engine; nondeterminism
+//! lives exclusively in [`crate::profile`].
+
+use std::fmt::Write as _;
+
+/// The diagnosing-session verdict a [`EventKind::BistVerdict`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Session ran on a fault-free bank: silent, cycles only.
+    Silent,
+    /// Horizon expired before the March completed.
+    Incomplete,
+    /// Complete session, clean log: the test is blind to the fault.
+    Clean,
+    /// Localized and committed onto a spare.
+    Repaired,
+    /// Dirty log, but the spare budget cannot cover the ambiguity set.
+    Unrepairable,
+}
+
+impl Verdict {
+    /// Stable lowercase name (the trace-line value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Silent => "silent",
+            Verdict::Incomplete => "incomplete",
+            Verdict::Clean => "clean",
+            Verdict::Repaired => "repaired",
+            Verdict::Unrepairable => "unrepairable",
+        }
+    }
+
+    /// Inverse of [`Verdict::name`].
+    pub fn from_name(name: &str) -> Option<Verdict> {
+        match name {
+            "silent" => Some(Verdict::Silent),
+            "incomplete" => Some(Verdict::Incomplete),
+            "clean" => Some(Verdict::Clean),
+            "repaired" => Some(Verdict::Repaired),
+            "unrepairable" => Some(Verdict::Unrepairable),
+            _ => None,
+        }
+    }
+}
+
+/// What happened (with its kind-specific payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A fault process entered its first active window.
+    Activate,
+    /// A one-shot SEU corrupted stored state (the Aupy onset anchor).
+    SeuStrike,
+    /// First checker indication of the trial; `latency` counts from the
+    /// true onset (the engines' shared definition).
+    Detect {
+        /// Detection latency from onset, in cycles.
+        latency: u64,
+    },
+    /// An erroneous output reached the system before (or without) any
+    /// indication — the TSC-goal violation.
+    Escape,
+    /// A background scrub sweep finished covering the whole array.
+    ScrubSweep {
+        /// 1-based sweep number within the trial.
+        sweep: u64,
+    },
+    /// A recovery checkpoint was committed.
+    CheckpointWrite {
+        /// 1-based checkpoint number within the trial (or, for the
+        /// fleet driver, the checkpoint count so far).
+        index: u64,
+    },
+    /// State rolled back to the last checkpoint; `lost` is the
+    /// Aupy-style lost work the rollback discards.
+    CheckpointRestore {
+        /// Lost work in cycles (0 when nothing was discarded).
+        lost: u64,
+    },
+    /// A BIST March session started on bank `target`.
+    BistStart {
+        /// Bank under test (proactive sessions round-robin all banks).
+        target: u32,
+        /// Fired by a checker indication rather than the schedule.
+        reactive: bool,
+    },
+    /// A BIST session ended with `verdict`; `ambiguity` is the
+    /// diagnosis candidate-set size (0 when no diagnosis ran).
+    BistVerdict {
+        /// How the session ended.
+        verdict: Verdict,
+        /// Ambiguity-set size of the diagnosis, when one ran.
+        ambiguity: u64,
+    },
+    /// A spare row (`row = true`) or column was burned by a repair.
+    SpareCommit {
+        /// Row spare (`false` = column spare).
+        row: bool,
+    },
+    /// A guided-search rung settled: `entered` candidates arrived,
+    /// `evaluated` were funded at `fidelity` trials, `survivors` moved
+    /// up, and `spent` scenario-trials were charged. `t` is the total
+    /// budget spent after the rung.
+    RungPrune {
+        /// Mutation generation the rung belongs to.
+        generation: u32,
+        /// Trials per scenario at this rung.
+        fidelity: u32,
+        /// Candidates entering the rung.
+        entered: u32,
+        /// Candidates actually funded and evaluated.
+        evaluated: u32,
+        /// Candidates surviving to the next rung.
+        survivors: u32,
+        /// Scenario-trials charged by this rung.
+        spent: u64,
+    },
+}
+
+/// One trace event: a simulated timestamp, the owning grid cell, and
+/// the kind-specific payload. Grid-less events (rung prunes) leave the
+/// scope fields zero and omit them from the rendered line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated timestamp (cycle, device count or budget position —
+    /// the emitting engine's clock, named in the trace header).
+    pub t: u64,
+    /// Bank of the owning grid cell (0 for single-memory campaigns).
+    pub bank: u32,
+    /// Fault index within the universe (per-bank for system grids).
+    pub fault: u32,
+    /// Trial index.
+    pub trial: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A grid-cell event.
+    pub fn cell(t: u64, bank: u32, fault: u32, trial: u32, kind: EventKind) -> Event {
+        Event {
+            t,
+            bank,
+            fault,
+            trial,
+            kind,
+        }
+    }
+
+    /// A grid-less event (scope fields zeroed and not rendered).
+    pub fn global(t: u64, kind: EventKind) -> Event {
+        Event {
+            t,
+            bank: 0,
+            fault: 0,
+            trial: 0,
+            kind,
+        }
+    }
+
+    /// Stable event name (the trace-line `ev=` value).
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            EventKind::Activate => "activate",
+            EventKind::SeuStrike => "seu-strike",
+            EventKind::Detect { .. } => "detect",
+            EventKind::Escape => "escape",
+            EventKind::ScrubSweep { .. } => "scrub-sweep",
+            EventKind::CheckpointWrite { .. } => "ckpt-write",
+            EventKind::CheckpointRestore { .. } => "ckpt-restore",
+            EventKind::BistStart { .. } => "bist-start",
+            EventKind::BistVerdict { .. } => "bist-verdict",
+            EventKind::SpareCommit { .. } => "spare-commit",
+            EventKind::RungPrune { .. } => "rung-prune",
+        }
+    }
+
+    /// Does the event belong to a grid cell (scope keys rendered)?
+    fn scoped(&self) -> bool {
+        !matches!(self.kind, EventKind::RungPrune { .. })
+    }
+
+    /// Kind-specific payload as ordered `key=value` pairs.
+    pub fn payload(&self) -> Vec<(&'static str, String)> {
+        match self.kind {
+            EventKind::Activate | EventKind::SeuStrike | EventKind::Escape => Vec::new(),
+            EventKind::Detect { latency } => vec![("latency", latency.to_string())],
+            EventKind::ScrubSweep { sweep } => vec![("sweep", sweep.to_string())],
+            EventKind::CheckpointWrite { index } => vec![("index", index.to_string())],
+            EventKind::CheckpointRestore { lost } => vec![("lost", lost.to_string())],
+            EventKind::BistStart { target, reactive } => vec![
+                ("target", target.to_string()),
+                ("reactive", reactive.to_string()),
+            ],
+            EventKind::BistVerdict { verdict, ambiguity } => vec![
+                ("verdict", verdict.name().to_owned()),
+                ("ambiguity", ambiguity.to_string()),
+            ],
+            EventKind::SpareCommit { row } => {
+                vec![("kind", if row { "row" } else { "col" }.to_owned())]
+            }
+            EventKind::RungPrune {
+                generation,
+                fidelity,
+                entered,
+                evaluated,
+                survivors,
+                spent,
+            } => vec![
+                ("gen", generation.to_string()),
+                ("fidelity", fidelity.to_string()),
+                ("entered", entered.to_string()),
+                ("evaluated", evaluated.to_string()),
+                ("survivors", survivors.to_string()),
+                ("spent", spent.to_string()),
+            ],
+        }
+    }
+
+    /// The canonical single-line text form.
+    pub fn render(&self) -> String {
+        let mut out = format!("t={} ev={}", self.t, self.name());
+        if self.scoped() {
+            let _ = write!(
+                out,
+                " bank={} fault={} trial={}",
+                self.bank, self.fault, self.trial
+            );
+        }
+        for (key, value) in self.payload() {
+            let _ = write!(out, " {key}={value}");
+        }
+        out
+    }
+
+    /// Tie-break rank for same-cycle events: causes sort before their
+    /// effects (activation before detection, verdict before the spare
+    /// it commits).
+    fn rank(&self) -> u8 {
+        match self.kind {
+            EventKind::Activate => 0,
+            EventKind::SeuStrike => 1,
+            EventKind::CheckpointWrite { .. } => 2,
+            EventKind::ScrubSweep { .. } => 3,
+            EventKind::BistStart { .. } => 4,
+            EventKind::BistVerdict { .. } => 5,
+            EventKind::SpareCommit { .. } => 6,
+            EventKind::Escape => 7,
+            EventKind::Detect { .. } => 8,
+            EventKind::CheckpointRestore { .. } => 9,
+            EventKind::RungPrune { .. } => 10,
+        }
+    }
+}
+
+/// Chronologically order the events of **one trial** in place: by
+/// timestamp, causes before effects on ties. Engines call this per
+/// trial cell before concatenating cells in canonical grid order, so
+/// the whole trace never needs a global sort.
+pub fn sort_chronological(events: &mut [Event]) {
+    events.sort_by_key(|e| (e.t, e.rank()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_canonical_and_scope_aware() {
+        let e = Event::cell(12, 1, 3, 2, EventKind::Detect { latency: 4 });
+        assert_eq!(
+            e.render(),
+            "t=12 ev=detect bank=1 fault=3 trial=2 latency=4"
+        );
+        let r = Event::global(
+            840,
+            EventKind::RungPrune {
+                generation: 0,
+                fidelity: 2,
+                entered: 9,
+                evaluated: 9,
+                survivors: 3,
+                spent: 630,
+            },
+        );
+        assert_eq!(
+            r.render(),
+            "t=840 ev=rung-prune gen=0 fidelity=2 entered=9 evaluated=9 survivors=3 spent=630"
+        );
+        let b = Event::cell(
+            7,
+            0,
+            1,
+            0,
+            EventKind::BistVerdict {
+                verdict: Verdict::Repaired,
+                ambiguity: 2,
+            },
+        );
+        assert_eq!(
+            b.render(),
+            "t=7 ev=bist-verdict bank=0 fault=1 trial=0 verdict=repaired ambiguity=2"
+        );
+    }
+
+    #[test]
+    fn chronological_sort_puts_causes_before_effects() {
+        let mut events = vec![
+            Event::cell(5, 0, 0, 0, EventKind::Detect { latency: 5 }),
+            Event::cell(5, 0, 0, 0, EventKind::Escape),
+            Event::cell(0, 0, 0, 0, EventKind::Activate),
+            Event::cell(5, 0, 0, 0, EventKind::CheckpointRestore { lost: 6 }),
+        ];
+        sort_chronological(&mut events);
+        let names: Vec<&str> = events.iter().map(Event::name).collect();
+        assert_eq!(names, ["activate", "escape", "detect", "ckpt-restore"]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Trace serialisation: versioned text, lossless re-parsing, and
+//! Chrome trace-event JSON.
+//!
+//! The canonical on-disk form is line-oriented text: a
+//! `# scm-trace v1 cmd=<cmd> clock=<clock>` header followed by one
+//! [`Event`] per line (see [`Event::render`]). `#`-comment and
+//! `profile:` lines are ignored on parse, so a file with appended
+//! profiler output still round-trips. Parsing is **typed** — it
+//! reconstructs the exact [`Event`] values — which is what lets
+//! `scm trace summarize` reuse the same aggregation as `--metrics`.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind, Verdict};
+
+/// Trace format version written and accepted by this crate.
+pub const TRACE_VERSION: &str = "v1";
+
+/// A parsed trace: the header identity plus the typed events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Subcommand that produced the trace (`campaign`, `system`, ...).
+    pub cmd: String,
+    /// What the `t=` axis counts (`cycle`, `device`, `trial-budget`).
+    pub clock: String,
+    /// Events, in file order.
+    pub events: Vec<Event>,
+}
+
+/// Render a trace in the canonical text form.
+pub fn trace_text(cmd: &str, clock: &str, events: &[Event]) -> String {
+    let mut out = format!("# scm-trace {TRACE_VERSION} cmd={cmd} clock={clock}\n");
+    for event in events {
+        out.push_str(&event.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn field<'a>(pairs: &'a [(&'a str, &'a str)], key: &str) -> Result<&'a str, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn num<T: std::str::FromStr>(pairs: &[(&str, &str)], key: &str) -> Result<T, String> {
+    field(pairs, key)?
+        .parse()
+        .map_err(|_| format!("field `{key}` is not a number"))
+}
+
+fn parse_event(line: &str) -> Result<Event, String> {
+    let pairs: Vec<(&str, &str)> = line
+        .split_whitespace()
+        .map(|tok| {
+            tok.split_once('=')
+                .ok_or_else(|| format!("malformed token `{tok}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let t: u64 = num(&pairs, "t")?;
+    let name = field(&pairs, "ev")?;
+    let kind = match name {
+        "activate" => EventKind::Activate,
+        "seu-strike" => EventKind::SeuStrike,
+        "detect" => EventKind::Detect {
+            latency: num(&pairs, "latency")?,
+        },
+        "escape" => EventKind::Escape,
+        "scrub-sweep" => EventKind::ScrubSweep {
+            sweep: num(&pairs, "sweep")?,
+        },
+        "ckpt-write" => EventKind::CheckpointWrite {
+            index: num(&pairs, "index")?,
+        },
+        "ckpt-restore" => EventKind::CheckpointRestore {
+            lost: num(&pairs, "lost")?,
+        },
+        "bist-start" => EventKind::BistStart {
+            target: num(&pairs, "target")?,
+            reactive: match field(&pairs, "reactive")? {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("bad reactive value `{other}`")),
+            },
+        },
+        "bist-verdict" => {
+            let raw = field(&pairs, "verdict")?;
+            EventKind::BistVerdict {
+                verdict: Verdict::from_name(raw)
+                    .ok_or_else(|| format!("unknown verdict `{raw}`"))?,
+                ambiguity: num(&pairs, "ambiguity")?,
+            }
+        }
+        "spare-commit" => EventKind::SpareCommit {
+            row: match field(&pairs, "kind")? {
+                "row" => true,
+                "col" => false,
+                other => return Err(format!("bad spare kind `{other}`")),
+            },
+        },
+        "rung-prune" => EventKind::RungPrune {
+            generation: num(&pairs, "gen")?,
+            fidelity: num(&pairs, "fidelity")?,
+            entered: num(&pairs, "entered")?,
+            evaluated: num(&pairs, "evaluated")?,
+            survivors: num(&pairs, "survivors")?,
+            spent: num(&pairs, "spent")?,
+        },
+        other => return Err(format!("unknown event `{other}`")),
+    };
+    if name == "rung-prune" {
+        Ok(Event::global(t, kind))
+    } else {
+        Ok(Event::cell(
+            t,
+            num(&pairs, "bank")?,
+            num(&pairs, "fault")?,
+            num(&pairs, "trial")?,
+            kind,
+        ))
+    }
+}
+
+/// Parse canonical trace text back into typed events.
+///
+/// Comment lines (`#`, beyond the mandatory header) and `profile:`
+/// lines are skipped; any other malformed line is an error naming its
+/// 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace")?;
+    let rest = header
+        .strip_prefix(&format!("# scm-trace {TRACE_VERSION} "))
+        .ok_or_else(|| format!("bad trace header `{header}`"))?;
+    let pairs: Vec<(&str, &str)> = rest
+        .split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .collect();
+    let cmd = field(&pairs, "cmd")?.to_owned();
+    let clock = field(&pairs, "clock")?.to_owned();
+    let mut events = Vec::new();
+    for (index, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("profile:") {
+            continue;
+        }
+        events.push(parse_event(line).map_err(|e| format!("trace line {}: {e}", index + 1))?);
+    }
+    Ok(Trace { cmd, clock, events })
+}
+
+/// Render events as Chrome trace-event JSON (the "JSON array format"
+/// loadable in `chrome://tracing` / Perfetto): one instant event per
+/// trace event, `ts` = simulated timestamp, `pid` = bank,
+/// `tid` = fault index, payload under `args`.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let mut args = format!("\"trial\": {}", event.trial);
+        for (key, value) in event.payload() {
+            let _ = write!(args, ", \"{key}\": \"{value}\"");
+        }
+        let _ = write!(
+            out,
+            "{sep}\n  {{\"name\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \"pid\": {}, \"tid\": {}, \"args\": {{{args}}}}}",
+            event.name(),
+            event.t,
+            event.bank,
+            event.fault,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::cell(0, 0, 2, 1, EventKind::Activate),
+            Event::cell(3, 0, 2, 1, EventKind::SeuStrike),
+            Event::cell(7, 0, 2, 1, EventKind::Detect { latency: 4 }),
+            Event::cell(7, 0, 2, 1, EventKind::CheckpointRestore { lost: 4 }),
+            Event::cell(15, 1, 0, 0, EventKind::ScrubSweep { sweep: 1 }),
+            Event::cell(16, 1, 0, 0, EventKind::CheckpointWrite { index: 2 }),
+            Event::cell(
+                20,
+                1,
+                0,
+                0,
+                EventKind::BistStart {
+                    target: 1,
+                    reactive: true,
+                },
+            ),
+            Event::cell(
+                30,
+                1,
+                0,
+                0,
+                EventKind::BistVerdict {
+                    verdict: Verdict::Repaired,
+                    ambiguity: 2,
+                },
+            ),
+            Event::cell(30, 1, 0, 0, EventKind::SpareCommit { row: false }),
+            Event::cell(31, 1, 0, 0, EventKind::Escape),
+            Event::global(
+                640,
+                EventKind::RungPrune {
+                    generation: 1,
+                    fidelity: 8,
+                    entered: 4,
+                    evaluated: 4,
+                    survivors: 2,
+                    spent: 512,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn text_round_trips_losslessly() {
+        let events = sample_events();
+        let text = trace_text("system", "cycle", &events);
+        assert!(text.starts_with("# scm-trace v1 cmd=system clock=cycle\n"));
+        let trace = parse_trace(&text).unwrap();
+        assert_eq!(trace.cmd, "system");
+        assert_eq!(trace.clock, "cycle");
+        assert_eq!(trace.events, events);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_profile_lines() {
+        let text = "# scm-trace v1 cmd=campaign clock=cycle\n\
+                    # a comment\n\
+                    profile: phase=fan-out wall_us=12\n\
+                    t=5 ev=detect bank=0 fault=1 trial=0 latency=5\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(
+            trace.events[0],
+            Event::cell(5, 0, 1, 0, EventKind::Detect { latency: 5 })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("not a header\n").is_err());
+        let bad = "# scm-trace v1 cmd=campaign clock=cycle\nt=1 ev=nonsense\n";
+        let err = parse_trace(bad).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let bad = "# scm-trace v1 cmd=campaign clock=cycle\nt=1 ev=detect bank=0 fault=0 trial=0\n";
+        let err = parse_trace(bad).unwrap_err();
+        assert!(err.contains("latency"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json_array() {
+        let json = chrome_trace(&sample_events());
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert!(json.contains("\"name\": \"detect\""));
+        assert!(json.contains("\"ts\": 7"));
+        assert!(json.contains("\"latency\": \"4\""));
+        // Balanced braces/brackets — cheap structural sanity check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

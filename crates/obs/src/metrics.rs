@@ -1,0 +1,332 @@
+//! Exact-integer metrics: named counters and integer-bucket histograms.
+//!
+//! Everything here is integer arithmetic over sorted maps, so two
+//! properties hold by construction:
+//!
+//! * **Associative, commutative merge** — [`Metrics::merge`] adds
+//!   pointwise, so partial registries fold in any grouping (per-chunk,
+//!   per-wave, per-thread) to the same result.
+//! * **Exact distributions** — a [`Histogram`] keeps one bucket per
+//!   distinct observed value (`value → count`), so quantiles are exact
+//!   nearest-rank statistics, not approximations.
+//!
+//! [`Metrics::from_events`] is the **single** aggregation from a trace
+//! to a registry; both `--metrics` (live events) and
+//! `scm trace summarize` (re-parsed events) call it, so their output
+//! agrees byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+
+/// An exact integer histogram: one bucket per distinct observed value.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation of `value`.
+    pub fn observe(&mut self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` observations of `value`.
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n > 0 {
+            *self.buckets.entry(value).or_insert(0) += n;
+        }
+    }
+
+    /// Add every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&value, &n) in &other.buckets {
+            self.observe_n(value, n);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |acc, (&v, &n)| {
+            acc.saturating_add(v.saturating_mul(n))
+        })
+    }
+
+    /// Smallest observed value, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Largest observed value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Exact nearest-rank percentile: the smallest observed value whose
+    /// cumulative count reaches `⌈p·n/100⌉`. `None` on an empty
+    /// histogram; `p` is clamped to `1..=100`.
+    pub fn percentile(&self, p: u64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let p = p.clamp(1, 100);
+        let rank = p.saturating_mul(n).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (&value, &count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Sorted `(value, count)` bucket pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Is the histogram empty?
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `n` (a zero increment still creates
+    /// the counter, so merged registries list the same keys).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Fold `other` into `self` pointwise. Associative and commutative.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, &n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The single trace→registry aggregation (shared by `--metrics`
+    /// and `scm trace summarize`).
+    pub fn from_events(events: &[Event]) -> Metrics {
+        let mut m = Metrics::new();
+        for event in events {
+            m.add(&format!("ev.{}", event.name()), 1);
+            match event.kind {
+                EventKind::Detect { latency } => m.observe("detect_latency", latency),
+                EventKind::CheckpointRestore { lost } => m.observe("lost_work", lost),
+                EventKind::BistVerdict { verdict, ambiguity } => {
+                    m.add(&format!("bist.{}", verdict.name()), 1);
+                    if ambiguity > 0 {
+                        m.observe("bist_ambiguity", ambiguity);
+                    }
+                }
+                EventKind::SpareCommit { row } => {
+                    m.add(if row { "spare.row" } else { "spare.col" }, 1);
+                }
+                EventKind::RungPrune {
+                    evaluated,
+                    survivors,
+                    spent,
+                    ..
+                } => {
+                    m.add("rung.evaluated", evaluated as u64);
+                    m.add("rung.survivors", survivors as u64);
+                    m.observe("rung_spend", spent);
+                }
+                EventKind::Activate
+                | EventKind::SeuStrike
+                | EventKind::Escape
+                | EventKind::ScrubSweep { .. }
+                | EventKind::CheckpointWrite { .. }
+                | EventKind::BistStart { .. } => {}
+            }
+        }
+        m
+    }
+
+    /// Human summary: a `counters:` block and a `histograms:` block
+    /// with exact nearest-rank statistics.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.counters.is_empty() && self.histograms.is_empty() {
+            out.push_str("metrics: (empty)\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let width = self.histograms.keys().map(String::len).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  n={} min={} p50={} p99={} max={} sum={}",
+                    h.count(),
+                    h.min().unwrap_or(0),
+                    h.percentile(50).unwrap_or(0),
+                    h.percentile(99).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                    h.sum(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Hand-rolled JSON: counters as an object, histograms as exact
+    /// `[value, count]` bucket arrays plus derived statistics.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h.buckets().map(|(v, n)| format!("[{v}, {n}]")).collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.percentile(50).unwrap_or(0),
+                h.percentile(99).unwrap_or(0),
+                h.max().unwrap_or(0),
+                buckets.join(", "),
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics_are_exact() {
+        let mut h = Histogram::new();
+        for v in [4u64, 1, 4, 9, 2] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.percentile(50), Some(4));
+        assert_eq!(h.percentile(99), Some(9));
+        assert_eq!(h.percentile(1), Some(1));
+        assert_eq!(Histogram::new().percentile(50), None);
+    }
+
+    #[test]
+    fn merge_is_pointwise_addition() {
+        let mut a = Metrics::new();
+        a.inc("ev.detect");
+        a.observe("detect_latency", 3);
+        let mut b = Metrics::new();
+        b.add("ev.detect", 2);
+        b.inc("ev.escape");
+        b.observe("detect_latency", 3);
+        b.observe("detect_latency", 7);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("ev.detect"), 3);
+        assert_eq!(ab.counter("ev.escape"), 1);
+        let h = ab.histogram("detect_latency").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 13);
+    }
+
+    #[test]
+    fn renders_are_stable() {
+        let mut m = Metrics::new();
+        m.inc("ev.detect");
+        m.observe("detect_latency", 5);
+        let table = m.render_table();
+        assert!(table.contains("counters:"));
+        assert!(table.contains("ev.detect"));
+        assert!(table.contains("n=1 min=5 p50=5 p99=5 max=5 sum=5"));
+        let json = m.render_json();
+        assert!(json.contains("\"ev.detect\": 1"));
+        assert!(json.contains("\"buckets\": [[5, 1]]"));
+        assert_eq!(Metrics::new().render_table(), "metrics: (empty)\n");
+    }
+}

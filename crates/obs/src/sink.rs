@@ -1,0 +1,101 @@
+//! Trace sinks: where engines put events.
+//!
+//! Engines are generic over [`TraceSink`] so the disabled path
+//! monomorphises to nothing: [`NullSink::enabled`] is a constant
+//! `false`, every emission site is guarded by it, and the optimiser
+//! removes both the guard and the event construction. The enabled path
+//! uses [`VecSink`], one per `(bank, fault, trial)` work unit, merged
+//! in canonical grid order — which is what keeps the trace byte-stable
+//! under any thread count.
+
+use crate::event::Event;
+
+/// A destination for trace events.
+///
+/// Implementations must be cheap to query: engines call
+/// [`TraceSink::enabled`] before building an event so the disabled
+/// path never allocates or formats.
+pub trait TraceSink {
+    /// Will [`TraceSink::record`] keep events? Emission sites skip
+    /// event construction entirely when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Accept one event.
+    fn record(&mut self, event: Event);
+}
+
+/// The disabled sink: a zero-sized type whose methods compile away.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// An in-memory sink that keeps events in arrival order.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Recorded events, in the order they were recorded.
+    pub events: Vec<Event>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// Consume the sink, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl TraceSink for VecSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+impl TraceSink for &mut VecSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn null_sink_is_disabled_and_vec_sink_keeps_order() {
+        assert!(!NullSink.enabled());
+        let mut sink = VecSink::new();
+        assert!(sink.enabled());
+        sink.record(Event::cell(3, 0, 0, 0, EventKind::Activate));
+        sink.record(Event::cell(1, 0, 0, 1, EventKind::Escape));
+        let events = sink.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t, 3);
+        assert_eq!(events[1].t, 1);
+    }
+}

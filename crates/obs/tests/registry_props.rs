@@ -1,0 +1,155 @@
+//! Property tests for the metrics registry and the trace codec.
+//!
+//! The registry's whole reason to exist is that aggregation commutes
+//! with parallel decomposition: engines fold events per cell, merge in
+//! canonical order, and the CLI re-aggregates saved traces. All of that
+//! is sound only if `merge` is associative and commutative and
+//! `from_events` is invariant under *any* grouping of the event stream.
+//! These properties are exercised here over randomized event streams,
+//! alongside lossless text round-tripping of the trace format itself.
+//!
+//! The vendored proptest shim has no `prop_oneof!`/`Just`, so the kind
+//! strategy draws a selector plus a payload pool and maps them onto the
+//! eleven `EventKind` variants.
+
+use proptest::prelude::*;
+use scm_obs::{parse_trace, trace_text, Event, EventKind, Histogram, Metrics, Verdict};
+
+const VERDICTS: [Verdict; 5] = [
+    Verdict::Silent,
+    Verdict::Incomplete,
+    Verdict::Clean,
+    Verdict::Repaired,
+    Verdict::Unrepairable,
+];
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    (0u32..11, 0u64..10_000, 0u32..8, any::<bool>(), 0u64..32).prop_map(
+        |(selector, big, small, flag, mid)| match selector {
+            0 => EventKind::Activate,
+            1 => EventKind::SeuStrike,
+            2 => EventKind::Detect { latency: big },
+            3 => EventKind::Escape,
+            4 => EventKind::ScrubSweep { sweep: mid + 1 },
+            5 => EventKind::CheckpointWrite { index: mid + 1 },
+            6 => EventKind::CheckpointRestore { lost: big },
+            7 => EventKind::BistStart {
+                target: small,
+                reactive: flag,
+            },
+            8 => EventKind::BistVerdict {
+                verdict: VERDICTS[(mid % 5) as usize],
+                ambiguity: mid,
+            },
+            9 => EventKind::SpareCommit { row: flag },
+            _ => EventKind::RungPrune {
+                generation: small,
+                fidelity: small + 1,
+                entered: mid as u32,
+                evaluated: small,
+                survivors: small.min(mid as u32),
+                spent: big,
+            },
+        },
+    )
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u64..1_000_000, 0u32..8, 0u32..64, 0u32..32, arb_kind()).prop_map(
+        |(t, bank, fault, trial, kind)| {
+            // Grid-less kinds carry a zeroed scope by construction (the
+            // renderer omits it), so the strategy mirrors the emitters.
+            if matches!(kind, EventKind::RungPrune { .. }) {
+                Event::global(t, kind)
+            } else {
+                Event::cell(t, bank, fault, trial, kind)
+            }
+        },
+    )
+}
+
+fn events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(arb_event(), 0..64)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in events(), b in events(), c in events()
+    ) {
+        let (ma, mb, mc) = (
+            Metrics::from_events(&a),
+            Metrics::from_events(&b),
+            Metrics::from_events(&c),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut left = ma.clone();
+        left.merge(&mb);
+        left.merge(&mc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = mb.clone();
+        bc.merge(&mc);
+        let mut right = ma.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = ma.clone();
+        ab.merge(&mb);
+        let mut ba = mb.clone();
+        ba.merge(&ma);
+        prop_assert_eq!(&ab, &ba);
+        // Rendering is a pure function of the registry value.
+        prop_assert_eq!(left.render_table(), right.render_table());
+        prop_assert_eq!(ab.render_json(), ba.render_json());
+    }
+
+    #[test]
+    fn aggregation_is_invariant_under_any_grouping(
+        stream in events(),
+        cuts in proptest::collection::vec(any::<usize>(), 1..8)
+    ) {
+        let whole = Metrics::from_events(&stream);
+        // Split the stream at arbitrary positions and fold the pieces.
+        let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(stream.len());
+        boundaries.sort_unstable();
+        let mut folded = Metrics::new();
+        for pair in boundaries.windows(2) {
+            folded.merge(&Metrics::from_events(&stream[pair[0]..pair[1]]));
+        }
+        prop_assert_eq!(&folded, &whole);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_observation(
+        xs in proptest::collection::vec(0u64..100_000, 0..64),
+        ys in proptest::collection::vec(0u64..100_000, 0..64)
+    ) {
+        let mut h_xs = Histogram::new();
+        xs.iter().for_each(|&x| h_xs.observe(x));
+        let mut h_ys = Histogram::new();
+        ys.iter().for_each(|&y| h_ys.observe(y));
+        let mut merged = h_xs.clone();
+        merged.merge(&h_ys);
+        let mut concat = Histogram::new();
+        xs.iter().chain(&ys).for_each(|&v| concat.observe(v));
+        prop_assert_eq!(&merged, &concat);
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(merged.sum(), xs.iter().chain(&ys).sum::<u64>());
+        // Nearest-rank percentiles are exact: p100 is the max, p0 the min.
+        let mut all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(merged.percentile(100), all.last().copied());
+        prop_assert_eq!(merged.min(), all.first().copied());
+    }
+
+    #[test]
+    fn trace_text_round_trips_losslessly(stream in events()) {
+        let text = trace_text("campaign", "cycles", &stream);
+        let trace = parse_trace(&text).expect("rendered traces always parse");
+        prop_assert_eq!(trace.cmd, "campaign");
+        prop_assert_eq!(trace.clock, "cycles");
+        prop_assert_eq!(trace.events, stream);
+    }
+}

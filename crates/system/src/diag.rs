@@ -42,11 +42,12 @@ use crate::system::{bank_prefill_seed, seed_mix, MemorySystem, SystemConfig};
 use rayon::prelude::*;
 use scm_diag::dictionary::FaultDictionary;
 use scm_diag::march::{MarchSession, MarchTest};
-use scm_diag::repair::{RepairedRam, SpareAllocator, SpareBudget};
+use scm_diag::repair::{RepairOutcome, RepairedRam, SpareAllocator, SpareBudget};
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
 use scm_memory::campaign::CampaignConfig;
 use scm_memory::fault::FaultSite;
 use scm_memory::workload::{Op, UniformRandom, WorkloadModel};
+use scm_obs::{sort_chronological, Event, EventKind, NullSink, TraceSink, VecSink, Verdict};
 use std::sync::Arc;
 
 /// How the system schedules BIST diagnosis and what it may repair with.
@@ -372,33 +373,13 @@ impl DiagCampaign {
     /// # Panics
     /// Panics if a universe entry names a bank outside the system.
     pub fn run(&self, universe: &[SystemFault]) -> DiagSystemResult {
-        if let Some(bad) = universe.iter().find(|f| f.bank >= self.system.num_banks()) {
-            panic!(
-                "fault targets bank {} of a {}-bank system",
-                bad.bank,
-                self.system.num_banks()
-            );
-        }
-        // Diagnosis sessions roll banks back to the recovery image, which
-        // restarts a backend's activation clock: the scheduler is only
-        // sound for the classical injected-at-reset model. Transient
-        // indications are triaged at the memory level instead
-        // (`scm_diag::triage_session`'s repeat-and-compare policy).
-        if let Some(bad) = universe
-            .iter()
-            .find(|f| f.process != scm_memory::fault::FaultProcess::PERMANENT)
-        {
-            panic!(
-                "DiagCampaign schedules only permanent faults; got {}",
-                bad.scenario()
-            );
-        }
+        self.validate(universe);
         let template = MemorySystem::new(self.system.clone(), self.campaign.seed);
         let dictionaries = self.dictionaries(universe);
         let dispatch = || -> Vec<DiagFaultResult> {
             universe
                 .par_iter()
-                .map(|&fault| self.run_fault(&template, &dictionaries, fault))
+                .map(|&fault| self.run_fault_with(&template, &dictionaries, fault, &mut NullSink))
                 .collect()
         };
         let per_fault = if self.threads == 0 {
@@ -423,11 +404,88 @@ impl DiagCampaign {
         }
     }
 
-    fn run_fault(
+    fn validate(&self, universe: &[SystemFault]) {
+        if let Some(bad) = universe.iter().find(|f| f.bank >= self.system.num_banks()) {
+            panic!(
+                "fault targets bank {} of a {}-bank system",
+                bad.bank,
+                self.system.num_banks()
+            );
+        }
+        // Diagnosis sessions roll banks back to the recovery image, which
+        // restarts a backend's activation clock: the scheduler is only
+        // sound for the classical injected-at-reset model. Transient
+        // indications are triaged at the memory level instead
+        // (`scm_diag::triage_session`'s repeat-and-compare policy).
+        if let Some(bad) = universe
+            .iter()
+            .find(|f| f.process != scm_memory::fault::FaultProcess::PERMANENT)
+        {
+            panic!(
+                "DiagCampaign schedules only permanent faults; got {}",
+                bad.scenario()
+            );
+        }
+    }
+
+    /// Replay the grid as a structured event trace: fault activation,
+    /// BIST session start/verdict, spare commit, detection, escape.
+    ///
+    /// The diagnosis scheduler is scalar-only and its trial loop is
+    /// already pure in `(seed, bank, fault index, trial)`, so unlike
+    /// the campaign engines the trace here taps the *same* state
+    /// machine the results come from — through a [`TraceSink`] that
+    /// monomorphises to a no-op on the result path ([`NullSink`]).
+    /// Bit-identical at any thread count; the engine has no sliced or
+    /// lane axis.
+    ///
+    /// # Panics
+    /// Panics on out-of-range banks or non-permanent processes, exactly
+    /// like [`run`](Self::run).
+    pub fn trace(&self, universe: &[SystemFault]) -> Vec<Event> {
+        self.validate(universe);
+        let template = MemorySystem::new(self.system.clone(), self.campaign.seed);
+        let dictionaries = self.dictionaries(universe);
+        let trace_fault = |fault: SystemFault| -> Vec<Event> {
+            let mut sink = VecSink::new();
+            self.run_fault_with(&template, &dictionaries, fault, &mut sink);
+            let mut events = sink.into_events();
+            // Each trial's events are contiguous but Detect/Escape are
+            // latched after the session events; restore chronology
+            // within every trial range.
+            let mut start = 0;
+            for i in 1..=events.len() {
+                if i == events.len() || events[i].trial != events[start].trial {
+                    sort_chronological(&mut events[start..i]);
+                    start = i;
+                }
+            }
+            events
+        };
+        let dispatch = || -> Vec<Vec<Event>> {
+            universe
+                .par_iter()
+                .map(|&fault| trace_fault(fault))
+                .collect()
+        };
+        let per_fault: Vec<Vec<Event>> = if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        per_fault.into_iter().flatten().collect()
+    }
+
+    fn run_fault_with<K: TraceSink>(
         &self,
         template: &MemorySystem,
         dictionaries: &[Option<FaultDictionary>],
         fault: SystemFault,
+        sink: &mut K,
     ) -> DiagFaultResult {
         let mut result = DiagFaultResult::new(fault);
         let spec = self.system.workload_spec(self.campaign.write_fraction);
@@ -439,6 +497,8 @@ impl DiagCampaign {
             let mut trial_run = TrialRun {
                 engine: self,
                 fault,
+                trial,
+                sink: &mut *sink,
                 dictionary: dictionaries[fault.bank].as_ref(),
                 plain: plain_template.clone(),
                 repaired: None,
@@ -457,7 +517,18 @@ impl DiagCampaign {
                 rr_bank: 0,
             };
             trial_run.plain.reset_site(Some(fault.site));
+            // The classical injected-at-reset model: active from cycle 0.
+            trial_run.emit(0, EventKind::Activate);
             trial_run.run();
+            if let Some(d) = trial_run.detected_at {
+                let onset = trial_run.onset.unwrap_or(d).min(d);
+                trial_run.emit(d, EventKind::Detect { latency: d - onset });
+            }
+            if let Some(e) = trial_run.onset {
+                if trial_run.detected_at.is_none_or(|d| e < d) {
+                    trial_run.emit(e, EventKind::Escape);
+                }
+            }
             let horizon = self.campaign.cycles;
             match trial_run.detected_at {
                 Some(d) => {
@@ -506,9 +577,11 @@ fn subsample(universe: &[FaultSite], cap: usize) -> Vec<FaultSite> {
 }
 
 /// One trial's state machine.
-struct TrialRun<'a, S: scm_memory::workload::OpSource> {
+struct TrialRun<'a, S: scm_memory::workload::OpSource, K: TraceSink> {
     engine: &'a DiagCampaign,
     fault: SystemFault,
+    trial: u32,
+    sink: &'a mut K,
     dictionary: Option<&'a FaultDictionary>,
     plain: BehavioralBackend,
     repaired: Option<RepairedRam>,
@@ -528,9 +601,28 @@ struct TrialRun<'a, S: scm_memory::workload::OpSource> {
     rr_bank: usize,
 }
 
-impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
+impl<S: scm_memory::workload::OpSource, K: TraceSink> TrialRun<'_, S, K> {
     fn horizon(&self) -> u64 {
         self.engine.campaign.cycles
+    }
+
+    /// Record a trace event against this trial's grid cell. With the
+    /// [`NullSink`] the guard is a constant `false` and the whole call
+    /// compiles away.
+    fn emit(&mut self, t: u64, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.record(Event::cell(
+                t,
+                self.fault.bank as u32,
+                self.fault.index as u32,
+                self.trial,
+                kind,
+            ));
+        }
+    }
+
+    fn emit_verdict(&mut self, verdict: Verdict, ambiguity: u64) {
+        self.emit(self.cycle, EventKind::BistVerdict { verdict, ambiguity });
     }
 
     fn step_bank(&mut self, op: Op) -> scm_memory::backend::CycleObservation {
@@ -557,7 +649,7 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
             if period > 0 && (self.cycle + 1).is_multiple_of(period) {
                 let bank = self.rr_bank % num_banks;
                 self.rr_bank += 1;
-                self.run_session(bank);
+                self.run_session(bank, false);
                 continue;
             }
             let (bank, op) = self.clock.next_event().target();
@@ -583,7 +675,7 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
             // session on the flagged bank (once — re-diagnosing a fault
             // the spares cannot cover would replay the same verdict).
             if flagged_pre_repair && !self.abandoned {
-                self.run_session(self.fault.bank);
+                self.run_session(self.fault.bank, true);
             }
         }
     }
@@ -591,16 +683,24 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
     /// Run one March session on `bank`, stealing cycles from the global
     /// clock. Sessions on fault-free banks are silent and simply advance
     /// time (the single-fault soundness argument of the system engine).
-    fn run_session(&mut self, bank: usize) {
+    fn run_session(&mut self, bank: usize, reactive: bool) {
         let engine = self.engine;
         let test = &engine.policy.test;
         let words = engine.system.banks[bank].org().words();
         let word_bits = engine.system.banks[bank].org().word_bits();
         let session_len = test.session_cycles(words);
+        self.emit(
+            self.cycle,
+            EventKind::BistStart {
+                target: bank as u32,
+                reactive,
+            },
+        );
         if bank != self.fault.bank {
             let consumed = session_len.min(self.horizon() - self.cycle);
             self.cycle += consumed;
             self.bist_cycles += consumed;
+            self.emit_verdict(Verdict::Silent, 0);
             return;
         }
         // The shared incremental runner keeps syndrome recording (and
@@ -628,10 +728,28 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
         if log.cycles > 0 {
             self.rollback();
         }
-        if !complete || self.repaired_at.is_some() || self.abandoned {
+        if !complete {
+            self.emit_verdict(Verdict::Incomplete, 0);
+            return;
+        }
+        if self.repaired_at.is_some() || self.abandoned {
+            // The trial's diagnosis already settled; a later (proactive)
+            // session just replays its log — classify by the log alone.
+            let verdict = if log.clean() {
+                Verdict::Clean
+            } else {
+                Verdict::Unrepairable
+            };
+            self.emit_verdict(verdict, 0);
             return;
         }
         let Some(dictionary) = self.dictionary else {
+            let verdict = if log.clean() {
+                Verdict::Clean
+            } else {
+                Verdict::Unrepairable
+            };
+            self.emit_verdict(verdict, 0);
             return;
         };
         if log.clean() {
@@ -641,6 +759,7 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
             // the same clean log, so stop the reactive trigger. Proactive
             // sessions keep firing — their bandwidth cost is real.
             self.abandoned = true;
+            self.emit_verdict(Verdict::Clean, 0);
             return;
         }
         let diagnosis = dictionary.diagnose(&log);
@@ -657,8 +776,16 @@ impl<S: scm_memory::workload::OpSource> TrialRun<'_, S> {
             ram.reset_site(Some(self.fault.site));
             self.repaired = Some(ram);
             self.repaired_at = Some(self.cycle);
+            self.emit_verdict(Verdict::Repaired, self.ambiguity as u64);
+            self.emit(
+                self.cycle,
+                EventKind::SpareCommit {
+                    row: matches!(outcome, RepairOutcome::RepairedRow { .. }),
+                },
+            );
         } else {
             self.abandoned = true;
+            self.emit_verdict(Verdict::Unrepairable, self.ambiguity as u64);
         }
     }
 }

@@ -35,6 +35,7 @@ use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
 use scm_memory::fault::{FaultProcess, FaultScenario, FaultSite};
 use scm_memory::sliced::{for_each_lane, SlicedBackend};
 use scm_memory::workload::{UniformRandom, WorkloadModel};
+use scm_obs::{sort_chronological, Event, EventKind};
 use std::sync::Arc;
 
 /// Domain-separation tag for the sliced engine's shared traffic streams
@@ -676,6 +677,174 @@ impl SystemCampaign {
         results
     }
 
+    /// Replay the `bank × fault × trial` grid as a structured event
+    /// trace on the global system clock.
+    ///
+    /// Like [`scm_memory::engine::CampaignEngine::trace_scenarios`],
+    /// this is a **canonical replay**: it
+    /// always drives the scalar bank backend with the shared-stream
+    /// traffic seeding the sliced engine defines
+    /// (`seed_mix(seed ^ SLICED_TRAFFIC_TAG, [bank, trial])`), which
+    /// the sliced path's lane-exactness makes exactly what every lane
+    /// of the default sliced engine observes. The trace is pure in
+    /// `(seed, bank, fault index, trial)` — bit-identical at any
+    /// thread count, lane width, and engine flag — and the result path
+    /// pays nothing when tracing is off.
+    ///
+    /// Undetected trials emit no terminal event (their censored lost
+    /// work is a result-path quantity, not a timeline point); an
+    /// escape is still emitted if an erroneous output got out.
+    ///
+    /// # Panics
+    /// Panics if a universe entry names a bank outside the system.
+    pub fn trace(&self, universe: &[SystemFault]) -> Vec<Event> {
+        if let Some(bad) = universe.iter().find(|f| f.bank >= self.system.num_banks()) {
+            panic!(
+                "fault targets bank {} of a {}-bank system",
+                bad.bank,
+                self.system.num_banks()
+            );
+        }
+        let template = MemorySystem::new(self.system.clone(), self.campaign.seed);
+        let dispatch = || -> Vec<Vec<Event>> {
+            universe
+                .par_iter()
+                .map(|fault| self.trace_fault(&template, *fault))
+                .collect()
+        };
+        let per_fault: Vec<Vec<Event>> = if self.runs_serially(universe.len()) {
+            universe
+                .iter()
+                .map(|fault| self.trace_fault(&template, *fault))
+                .collect()
+        } else if self.threads == 0 {
+            dispatch()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+                .install(dispatch)
+        };
+        per_fault.into_iter().flatten().collect()
+    }
+
+    /// Replay every trial of one universe entry, emitting chronological
+    /// events. Pure in `(campaign seed, bank, fault index, trial)`.
+    fn trace_fault(&self, template: &MemorySystem, fault: SystemFault) -> Vec<Event> {
+        let spec = self.system.workload_spec(self.campaign.write_fraction);
+        let scenario = fault.scenario();
+        let mut backend: BehavioralBackend = template.banks()[fault.bank].clone();
+        let (bank, findex) = (fault.bank as u32, fault.index as u32);
+        let mut events = Vec::new();
+        for trial in 0..self.campaign.trials {
+            backend.reset(Some(&scenario));
+            let traffic = self.model.stream(
+                spec,
+                crate::system::seed_mix(
+                    self.campaign.seed ^ SLICED_TRAFFIC_TAG,
+                    &[fault.bank as u64, trial as u64],
+                ),
+            );
+            let mut clock = SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
+            let mut first_error: Option<u64> = None;
+            let mut first_detection: Option<u64> = None;
+            for cycle in 0..self.campaign.cycles {
+                let (target, op) = clock.next_event().target();
+                if target != fault.bank {
+                    backend.advance(1);
+                    continue;
+                }
+                let obs = backend.step(op);
+                if obs.erroneous.unwrap_or(false) && first_error.is_none() {
+                    first_error = Some(cycle);
+                }
+                if obs.detected() {
+                    first_detection = Some(cycle);
+                    break;
+                }
+            }
+            // The trial's simulated extent: detection latches the clock.
+            let end = first_detection.map_or(self.campaign.cycles, |d| d + 1);
+            let mut trial_events = Vec::new();
+            match scenario.process {
+                FaultProcess::TransientFlip { at } => {
+                    if at < end {
+                        trial_events.push(Event::cell(
+                            at,
+                            bank,
+                            findex,
+                            trial,
+                            EventKind::SeuStrike,
+                        ));
+                    }
+                }
+                FaultProcess::Permanent { onset } | FaultProcess::Intermittent { onset, .. } => {
+                    if onset < end {
+                        trial_events.push(Event::cell(
+                            onset,
+                            bank,
+                            findex,
+                            trial,
+                            EventKind::Activate,
+                        ));
+                    }
+                }
+                FaultProcess::Coupling { .. } => {
+                    trial_events.push(Event::cell(0, bank, findex, trial, EventKind::Activate));
+                }
+            }
+            let interval = self.system.checkpoint.interval;
+            if interval > 0 {
+                let mut k = 1u64;
+                while k * interval < end {
+                    trial_events.push(Event::cell(
+                        k * interval,
+                        bank,
+                        findex,
+                        trial,
+                        EventKind::CheckpointWrite { index: k },
+                    ));
+                    k += 1;
+                }
+            }
+            if let Some(d) = first_detection {
+                let observed = first_error.unwrap_or(d);
+                let onset = scenario
+                    .process
+                    .corruption_onset()
+                    .map(|a| a.min(observed))
+                    .unwrap_or(observed)
+                    .min(d);
+                trial_events.push(Event::cell(
+                    d,
+                    bank,
+                    findex,
+                    trial,
+                    EventKind::Detect { latency: d - onset },
+                ));
+                let rollback = self.system.checkpoint.last_checkpoint_at_or_before(onset);
+                trial_events.push(Event::cell(
+                    d,
+                    bank,
+                    findex,
+                    trial,
+                    EventKind::CheckpointRestore {
+                        lost: d - rollback + 1,
+                    },
+                ));
+            }
+            if let Some(e) = first_error {
+                if first_detection.is_none_or(|d| e < d) {
+                    trial_events.push(Event::cell(e, bank, findex, trial, EventKind::Escape));
+                }
+            }
+            sort_chronological(&mut trial_events);
+            events.extend(trial_events);
+        }
+        events
+    }
+
     /// Universe-major block decomposition (the campaign engine's shape:
     /// one block per fault when faults outnumber workers, trial splits
     /// otherwise).
@@ -1047,5 +1216,52 @@ mod tests {
         let mut universe = engine.decoder_universe(2);
         universe[0].bank = 7;
         engine.run(&universe);
+    }
+
+    mod trace_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            // The system trace replays the sliced engine's shared-seed
+            // conventions regardless of how the result path is
+            // configured, so random small campaigns must trace
+            // identically at every thread count and under either
+            // engine flag.
+            #[test]
+            fn trace_is_thread_and_engine_invariant_over_random_campaigns(
+                cycles in 8u64..64,
+                trials in 1u32..5,
+                seed in any::<u64>(),
+                per_bank in 1usize..4,
+            ) {
+                let campaign = CampaignConfig {
+                    cycles,
+                    trials,
+                    seed,
+                    write_fraction: 0.1,
+                };
+                let engine = SystemCampaign::new(config(), campaign).threads(1);
+                let universe = engine.decoder_universe(per_bank);
+                let reference = engine.trace(&universe);
+                for threads in [2usize, 4, 8] {
+                    let trace = SystemCampaign::new(config(), campaign)
+                        .threads(threads)
+                        .serial_threshold(0)
+                        .trace(&universe);
+                    prop_assert_eq!(&trace, &reference, "threads = {}", threads);
+                }
+                for sliced in [false, true] {
+                    let trace = SystemCampaign::new(config(), campaign)
+                        .sliced(sliced)
+                        .threads(2)
+                        .serial_threshold(0)
+                        .trace(&universe);
+                    prop_assert_eq!(&trace, &reference, "sliced = {}", sliced);
+                }
+            }
+        }
     }
 }
