@@ -1,11 +1,15 @@
 //! Scalar vs bit-sliced campaign core, head to head on one grid: the
 //! `CampaignEngine` over the mixed temporal universe, once per backend
 //! and once per lane width. The sliced engine packs 64 scenario lanes
-//! into each `u64` of RAM and checker state, so the single-core ratio
-//! against the scalar rows is the headline number
-//! (`BENCH_bitslice.json` snapshots it). Lane widths 1 and 8 bound the
-//! packing overhead: width 1 is the sliced machinery with none of the
-//! parallelism, width 8 the partially-packed middle.
+//! into each `u64` of RAM and checker state — and the slab widths
+//! (128/256/512) pack multiple words per pass, sharing one decoded op
+//! stream across every word — so the single-core ratio against the
+//! scalar rows is the headline number (`BENCH_bitslice.json` snapshots
+//! it). Lane widths 1 and 8 bound the packing overhead: width 1 is the
+//! sliced machinery with none of the parallelism, width 8 the
+//! partially-packed middle; the slab rows measure how much of the
+//! per-op fixed cost (stream replay, addressing, activity masks) the
+//! multi-word slabs amortise.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scm_area::RamOrganization;
@@ -42,7 +46,7 @@ fn bench_bitslice(c: &mut Criterion) {
     g.bench_function("scalar-1-thread", |b| {
         b.iter(|| black_box(scalar.run_scenarios(black_box(&cfg), black_box(&universe))))
     });
-    for width in [1usize, 8, 64] {
+    for width in [1usize, 8, 64, 128, 256, 512] {
         let engine = CampaignEngine::new(campaign)
             .scrub(4)
             .threads(1)

@@ -40,6 +40,7 @@ fn bench_scaling(c: &mut Criterion) {
         max_faults: 16,
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         sliced: false,
+        lane_width: 512,
     };
 
     let mut g = c.benchmark_group("explore-scaling");

@@ -1,0 +1,48 @@
+//! Standalone driver for profiling the bit-sliced campaign core with
+//! external tools (`gprofng collect app`, `perf record`): runs the
+//! exact grid of `benches/bitslice.rs` in a flat loop so samples land
+//! in the simulation hot path rather than criterion scaffolding.
+//!
+//! Usage: `profile_bitslice [lane_width] [iters]` (defaults: 512, 200).
+
+use scm_area::RamOrganization;
+use scm_codes::{CodewordMap, MOutOfN};
+use scm_memory::campaign::{mixed_universe, CampaignConfig};
+use scm_memory::design::RamConfig;
+use scm_memory::engine::CampaignEngine;
+use std::hint::black_box;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let width: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(512);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let org = RamOrganization::new(256, 8, 4);
+    let code = MOutOfN::new(3, 5).unwrap();
+    let cfg = RamConfig::new(
+        org,
+        CodewordMap::mod_a(code, 9, org.rows()).unwrap(),
+        CodewordMap::mod_a(code, 9, 4).unwrap(),
+    );
+    let campaign = CampaignConfig {
+        cycles: 100,
+        trials: 8,
+        seed: 0xFA17,
+        write_fraction: 0.1,
+    };
+    let universe = mixed_universe(&cfg, 32, campaign.cycles, campaign.seed);
+    let engine = CampaignEngine::new(campaign)
+        .scrub(4)
+        .threads(1)
+        .sliced(true)
+        .lane_width(width);
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        black_box(engine.run_scenarios(black_box(&cfg), black_box(&universe)));
+    }
+    let elapsed = start.elapsed();
+    let grid = universe.len() as u64 * campaign.trials as u64 * iters as u64;
+    println!(
+        "width {width}: {iters} iters in {elapsed:?} ({:.3e} elem/s)",
+        grid as f64 / elapsed.as_secs_f64()
+    );
+}

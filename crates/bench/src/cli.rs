@@ -45,6 +45,7 @@ use scm_memory::design::RamConfig;
 use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::{FaultScenario, FaultSite};
 use scm_memory::report::{summary, worst_offenders};
+use scm_memory::sliced::MAX_SLAB_LANES;
 use scm_memory::workload::{model_by_name, MODEL_NAMES};
 use scm_obs::{chrome_trace, parse_trace, trace_text, Event, Metrics, Profiler};
 use scm_system::diag::{DiagCampaign, DiagPolicy};
@@ -88,6 +89,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--threads",
                     "--fault-mix",
                     "--engine",
+                    "--lane-width",
                     "--budget",
                     "--space",
                 ],
@@ -120,6 +122,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--fault-model",
                     "--scrub-period",
                     "--engine",
+                    "--lane-width",
                 ],
                 &["--metrics", "--profile"],
                 &["--trace"],
@@ -140,6 +143,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--fault-model",
                     "--seu-mean",
                     "--engine",
+                    "--lane-width",
                 ],
                 &["--metrics", "--profile"],
                 &["--trace"],
@@ -158,6 +162,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--threads",
                     "--fault-model",
                     "--engine",
+                    "--lane-width",
                 ],
                 &["--metrics", "--profile"],
                 &["--trace"],
@@ -173,6 +178,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     "--seed",
                     "--threads",
                     "--engine",
+                    "--lane-width",
                     "--checkpoint-every",
                     "--checkpoint",
                     "--resume",
@@ -293,6 +299,20 @@ fn engine_choice(flags: &Flags, default_sliced: bool) -> Result<bool, String> {
     }
 }
 
+/// Resolve `--lane-width`: scenarios packed per sliced simulation pass
+/// (`1..=`[`MAX_SLAB_LANES`], default the maximum). Pure scheduling,
+/// like `--threads`: results are bit-identical at every width, so only
+/// the `occupancy:` line (and the wall clock) can tell widths apart.
+fn lane_width_flag(flags: &Flags) -> Result<usize, String> {
+    let width: usize = flags.parsed("--lane-width", MAX_SLAB_LANES)?;
+    if width == 0 || width > MAX_SLAB_LANES {
+        return Err(format!(
+            "--lane-width must be between 1 and {MAX_SLAB_LANES}, got {width}"
+        ));
+    }
+    Ok(width)
+}
+
 /// The uniform unknown-workload message: did-you-mean hint first (when a
 /// model name is within edit distance 2), the full list always.
 fn unknown_workload(name: &str) -> String {
@@ -334,28 +354,30 @@ pub fn usage() -> String {
          \x20 ablations                  design-choice ablations (odd-a, arity, completion fix)\n\
          \x20 explore [--policy P|both] [--workload W|all] [--scrub S] [--fault-mix M|all]\n\
          \x20         [--adjudicate] [--trials N (implies --adjudicate)] [--threads N]\n\
-         \x20         [--engine E]\n\
+         \x20         [--engine E] [--lane-width L]\n\
          \x20                            design-space exploration + Pareto front(s)\n\
          \x20 explore --guided [--budget N] [--space worked|million] [--trials N]\n\
-         \x20         [--threads N] [--engine E]\n\
+         \x20         [--threads N] [--engine E] [--lane-width L]\n\
          \x20                            budget-bounded multi-fidelity Pareto search\n\
          \x20                            (successive halving; --budget in scenario-trials,\n\
          \x20                            0 = unbounded; --budget/--space imply --guided)\n\
          \x20 campaign [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
          \x20          [--fault-model M] [--scrub-period P] [--engine E]\n\
+         \x20          [--lane-width L]\n\
          \x20                            fault campaign on the 1Kx16 worked example\n\
          \x20 system [--workload W] [--trials N] [--cycles C] [--seed S] [--threads N]\n\
          \x20        [--interleave I] [--scrub-period P] [--checkpoint K]\n\
          \x20        [--fault-model permanent|transient] [--seu-mean G] [--engine E]\n\
+         \x20        [--lane-width L]\n\
          \x20                            sharded multi-bank system campaign (scrubs +\n\
          \x20                            checkpoints competing with live traffic)\n\
          \x20 diag [--march T] [--spare-rows R] [--spare-cols C] [--trials N]\n\
          \x20      [--cycles C] [--seed S] [--threads N] [--fault-model permanent|transient]\n\
-         \x20      [--engine E]\n\
+         \x20      [--engine E] [--lane-width L]\n\
          \x20                            March-BIST diagnosis, fault localization and\n\
          \x20                            spare repair, memory and system views\n\
          \x20 fleet [--preset P | --spec FILE] [--devices N] [--seed S] [--threads N]\n\
-         \x20       [--engine E] [--checkpoint-every C] [--checkpoint PATH]\n\
+         \x20       [--engine E] [--lane-width L] [--checkpoint-every C] [--checkpoint PATH]\n\
          \x20       [--resume PATH] [--halt-after D] [--json PATH|-]\n\
          \x20                            fleet-scale streaming campaign over device\n\
          \x20                            cohorts: FIT rates, spare forecasts, SLO\n\
@@ -377,8 +399,10 @@ pub fn usage() -> String {
          presets:      {}\n\
          scrubs:       off | sequential-sweep\n\
          interleave:   low-order | high-order\n\
-         engines:      scalar | sliced (64 fault lanes per machine word;\n\
-         \x20             campaign/system/diag/fleet default to sliced, explore to scalar)\n\
+         engines:      scalar | sliced (up to 512 fault lanes per slab pass;\n\
+         \x20             campaign/system/diag/fleet default to sliced, explore to scalar;\n\
+         \x20             --lane-width caps scenarios packed per pass — pure scheduling,\n\
+         \x20             results are bit-identical at every width)\n\
          fault models: permanent | transient | intermittent | mix\n\
          march tests:  {}\n\
          workloads:    {}\n",
@@ -673,6 +697,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
         return Err("--trials must be at least 1".to_owned());
     }
     let sliced = engine_choice(flags, false)?;
+    let lane_width = lane_width_flag(flags)?;
 
     let geometry = RamOrganization::with_mux8(1024, 16);
     let space = ExplorationSpace {
@@ -707,6 +732,7 @@ fn explore_stdout(flags: &Flags) -> Result<String, String> {
             max_faults: 64,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced,
+            lane_width,
         });
     }
 
@@ -853,6 +879,7 @@ fn guided_stdout(flags: &Flags) -> Result<String, String> {
         return Err("--trials must be at least 1".to_owned());
     }
     let sliced = engine_choice(flags, true)?; // guided default: the fast path
+    let lane_width = lane_width_flag(flags)?;
     let budget: u64 = flags.parsed("--budget", 0)?;
     let space = match flags.value_of("--space") {
         None | Some("worked") => ExplorationSpace::worked_reference(),
@@ -878,6 +905,7 @@ fn guided_stdout(flags: &Flags) -> Result<String, String> {
             max_faults: 64,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced,
+            lane_width,
         });
     let config = if budget == 0 {
         GuidedConfig::default()
@@ -1004,6 +1032,7 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
     let model = model_by_name(workload).ok_or_else(|| unknown_workload(workload))?;
     let fault_model = fault_model_or_default(flags, &FAULT_MODELS)?;
     let sliced = engine_choice(flags, true)?;
+    let lane_width = lane_width_flag(flags)?;
     let scrub_period: u64 = flags.parsed("--scrub-period", 0)?;
     let trials: u32 = flags.parsed("--trials", 32)?;
     if trials == 0 {
@@ -1040,7 +1069,8 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
         .workload_model(model)
         .threads(threads)
         .scrub(scrub_period)
-        .sliced(sliced);
+        .sliced(sliced)
+        .lane_width(lane_width);
     let result = profiler.time("campaign-fan-out", || {
         engine.run_scenarios(design.config(), &scenarios)
     });
@@ -1058,7 +1088,17 @@ fn campaign_stdout(flags: &Flags) -> Result<String, String> {
         "campaign: 1Kx16 worked example (3-out-of-5, a = 9), workload = {workload}"
     );
     if sliced {
-        out.push_str("engine = sliced (64 scenario lanes per machine word)\n");
+        out.push_str("engine = sliced (multi-word scenario lane slabs)\n");
+        let occupancy = engine.occupancy(scenarios.len());
+        let _ = writeln!(
+            out,
+            "occupancy: {}/{} lanes filled across {} block{} (lane width {})",
+            occupancy.filled,
+            occupancy.capacity,
+            occupancy.blocks,
+            if occupancy.blocks == 1 { "" } else { "s" },
+            occupancy.width,
+        );
     }
     // Non-default temporal settings announce themselves; the classical
     // permanent/unscrubbed output stays byte-for-byte what it always was.
@@ -1139,6 +1179,7 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
     };
     let fault_model = fault_model_or_default(flags, &["permanent", "transient"])?;
     let sliced = engine_choice(flags, true)?;
+    let lane_width = lane_width_flag(flags)?;
     let seu_mean: f64 = flags.parsed("--seu-mean", 40.0)?;
     if !seu_mean.is_finite() || seu_mean < 1.0 {
         return Err("--seu-mean must be a finite number of at least 1 cycle".to_owned());
@@ -1146,7 +1187,8 @@ fn system_stdout(flags: &Flags) -> Result<String, String> {
     let engine = SystemCampaign::new(system, campaign)
         .workload_model(model)
         .threads(threads)
-        .sliced(sliced);
+        .sliced(sliced)
+        .lane_width(lane_width);
     let universe = match fault_model {
         "transient" => engine.seu_universe(12, &SeuProcess::new(seu_mean)),
         _ => engine.decoder_universe(12),
@@ -1218,6 +1260,7 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
     );
     let fault_model = fault_model_or_default(flags, &["permanent", "transient"])?;
     let sliced = engine_choice(flags, true)?;
+    let lane_width = lane_width_flag(flags)?;
     let mut candidates = cell_universe(&config);
     candidates.extend(
         decoder_fault_universe(org.row_bits())
@@ -1230,7 +1273,7 @@ fn diag_stdout(flags: &Flags) -> Result<String, String> {
     let mut profiler = Profiler::new(flags.has("--profile"));
     let dictionary = profiler.time("dictionary-build", || {
         if sliced {
-            FaultDictionary::build_sliced(&config, &test, seed, &candidates, threads)
+            FaultDictionary::build_sliced(&config, &test, seed, &candidates, threads, lane_width)
         } else {
             FaultDictionary::build(&config, &test, seed, &candidates, threads)
         }
@@ -1499,6 +1542,7 @@ fn fleet_stdout(flags: &Flags) -> Result<String, String> {
         seed: flags.parsed("--seed", 0xF1EE7)?,
         threads: flags.parsed("--threads", 0)?,
         sliced: engine_choice(flags, true)?,
+        lane_width: lane_width_flag(flags)?,
         checkpoint_every,
         checkpoint,
         halt_after,
@@ -2184,6 +2228,61 @@ mod tests {
         let reference = stable(at("1"));
         for threads in ["2", "4", "8"] {
             assert_eq!(reference, stable(at(threads)), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn campaign_system_fleet_stdout_is_lane_width_invariant() {
+        // Lane width is pure scheduling, like the thread count: every
+        // subcommand's stdout must be byte-identical at any width. Only
+        // the campaign `occupancy:` line names the packing, so it is
+        // the one line filtered — analogous to `memo:`/`profile:`.
+        let stable = |out: String| -> String {
+            out.lines()
+                .filter(|l| !l.starts_with("occupancy:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let run_with = |base: &[&str], width: &str| -> String {
+            let mut args: Vec<String> = base.iter().map(|s| (*s).to_owned()).collect();
+            args.extend(["--lane-width".to_owned(), width.to_owned()]);
+            stable(run(&args).unwrap())
+        };
+        let cases: [&[&str]; 3] = [
+            &[
+                "campaign",
+                "--trials",
+                "4",
+                "--cycles",
+                "8",
+                "--fault-model",
+                "mix",
+            ],
+            &["system", "--trials", "2", "--cycles", "96"],
+            &["fleet", "--preset", "small", "--devices", "6"],
+        ];
+        for case in cases {
+            let reference = run_with(case, "512");
+            for width in ["1", "7", "64", "100"] {
+                assert_eq!(
+                    reference,
+                    run_with(case, width),
+                    "{case:?} at lane width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_width_flag_is_validated() {
+        for bad in ["0", "513", "wide"] {
+            let err = run(&[
+                "campaign".to_owned(),
+                "--lane-width".to_owned(),
+                bad.to_owned(),
+            ])
+            .unwrap_err();
+            assert!(err.contains("--lane-width"), "{err}");
         }
     }
 

@@ -33,12 +33,15 @@
 //! traffic writes a word of the other parity); multi-background BIST
 //! would close the gap at proportional session cost.
 
-use crate::march::{run_march, run_march_sliced, MarchLog, MarchTest, SyndromeEvent};
+use crate::march::{
+    materialize_session, run_march, run_march_sliced_ops, MarchLog, MarchSessionOp, MarchTest,
+    SyndromeEvent,
+};
 use rayon::prelude::*;
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
 use scm_memory::design::RamConfig;
 use scm_memory::fault::{FaultScenario, FaultSite};
-use scm_memory::sliced::SlicedBackend;
+use scm_memory::sliced::{slab_words, SlicedBackend, MAX_SLAB_LANES};
 use std::collections::BTreeMap;
 
 /// A session signature: the full (possibly capped) syndrome-event
@@ -147,31 +150,58 @@ impl FaultDictionary {
     }
 
     /// [`build`](Self::build) on the bit-sliced fast path: candidates
-    /// pack 64 to a simulation pass, each riding one lane of a
-    /// [`SlicedBackend`] through one shared March session. The lane
-    /// bit-identity contract makes the result **equal** to the scalar
-    /// build — same signatures, same filing — at a fraction of the cost
-    /// (the dictionary over a full cell universe is the heaviest
-    /// single-shot simulation in the stack).
+    /// pack up to `lane_width` (clamped to `1..=`[`MAX_SLAB_LANES`],
+    /// `0` = maximum) to a simulation pass, each riding one lane of a
+    /// [`SlicedBackend`] at the narrowest slab width that fits, all
+    /// replaying **one** materialised March session by reference. The
+    /// lane bit-identity contract makes the result **equal** to the
+    /// scalar build — same signatures, same filing — at a fraction of
+    /// the cost (the dictionary over a full cell universe is the
+    /// heaviest single-shot simulation in the stack).
     pub fn build_sliced(
         config: &RamConfig,
         test: &MarchTest,
         seed: u64,
         candidates: &[FaultSite],
         threads: usize,
+        lane_width: usize,
     ) -> Self {
-        let chunks: Vec<&[FaultSite]> = candidates.chunks(64).collect();
-        let simulate = |chunk: &&[FaultSite]| -> Vec<Signature> {
+        let width = if lane_width == 0 {
+            MAX_SLAB_LANES
+        } else {
+            lane_width.clamp(1, MAX_SLAB_LANES)
+        };
+        let chunks: Vec<&[FaultSite]> = candidates.chunks(width).collect();
+        let org = config.org();
+        let session = materialize_session(test, org.words(), org.word_bits(), seed);
+        fn simulate_chunk<const W: usize>(
+            config: &RamConfig,
+            chunk: &[FaultSite],
+            session: &[MarchSessionOp],
+        ) -> Vec<Signature> {
             let scenarios: Vec<FaultScenario> = chunk
                 .iter()
                 .copied()
                 .map(FaultScenario::permanent)
                 .collect();
-            let mut backend = SlicedBackend::new(config, &scenarios);
-            run_march_sliced(&mut backend, test, seed)
+            let mut backend = SlicedBackend::<W>::new(config, &scenarios);
+            run_march_sliced_ops(&mut backend, session)
                 .into_iter()
                 .map(|log| (log.events, log.truncated))
                 .collect()
+        }
+        let simulate = |chunk: &&[FaultSite]| -> Vec<Signature> {
+            match slab_words(chunk.len()) {
+                1 => simulate_chunk::<1>(config, chunk, &session),
+                2 => simulate_chunk::<2>(config, chunk, &session),
+                3 => simulate_chunk::<3>(config, chunk, &session),
+                4 => simulate_chunk::<4>(config, chunk, &session),
+                5 => simulate_chunk::<5>(config, chunk, &session),
+                6 => simulate_chunk::<6>(config, chunk, &session),
+                7 => simulate_chunk::<7>(config, chunk, &session),
+                8 => simulate_chunk::<8>(config, chunk, &session),
+                w => unreachable!("slab_words returned {w}"),
+            }
         };
         let dispatch = || -> Vec<Vec<Signature>> { chunks.par_iter().map(simulate).collect() };
         let per_chunk: Vec<Vec<Signature>> = if threads == 0 {
@@ -412,13 +442,19 @@ mod tests {
         );
         let test = MarchTest::march_c_minus();
         let scalar = FaultDictionary::build(&cfg, &test, 11, &candidates, 0);
-        let sliced = FaultDictionary::build_sliced(&cfg, &test, 11, &candidates, 0);
+        let sliced = FaultDictionary::build_sliced(&cfg, &test, 11, &candidates, 0, 0);
         assert_eq!(scalar.entries, sliced.entries);
         assert_eq!(scalar.silent, sliced.silent);
         assert_eq!(scalar.stats(), sliced.stats());
         // And the sliced build keeps the thread-count contract.
-        let threaded = FaultDictionary::build_sliced(&cfg, &test, 11, &candidates, 4);
+        let threaded = FaultDictionary::build_sliced(&cfg, &test, 11, &candidates, 4, 0);
         assert_eq!(sliced.entries, threaded.entries);
+        // …and the lane-width one, narrow slabs through the widest.
+        for width in [1usize, 64, 100, 512] {
+            let at_width = FaultDictionary::build_sliced(&cfg, &test, 11, &candidates, 0, width);
+            assert_eq!(sliced.entries, at_width.entries, "lane width {width}");
+            assert_eq!(sliced.silent, at_width.silent, "lane width {width}");
+        }
     }
 
     #[test]

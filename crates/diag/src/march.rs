@@ -22,7 +22,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scm_memory::backend::FaultSimBackend;
-use scm_memory::sliced::{for_each_lane, SlicedBackend};
+use scm_memory::sliced::SlicedBackend;
 use scm_memory::workload::{Op, OpSource};
 
 /// One March operation applied at the current address.
@@ -454,6 +454,99 @@ pub fn run_march<B: FaultSimBackend + ?Sized>(
     session.into_log()
 }
 
+/// One materialised March operation: the op plus its March-local
+/// coordinates, precomputed so every lane chunk of a dictionary build
+/// replays the session by reference instead of re-walking the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarchSessionOp {
+    /// The memory operation.
+    pub op: Op,
+    /// Element index within the test.
+    pub element: u32,
+    /// Operation index within the element's string.
+    pub op_idx: u32,
+    /// Is this op a read (`r0`/`r1`)?
+    pub is_read: bool,
+}
+
+/// Materialise one complete March session — the shared-op-stream arena
+/// unit of the diagnosis layer. Pure in `(test, words, word_bits,
+/// seed)`; a March stream never depends on the fault, so every lane
+/// chunk of a build legitimately shares one materialisation.
+pub fn materialize_session(
+    test: &MarchTest,
+    words: u64,
+    word_bits: u32,
+    seed: u64,
+) -> Vec<MarchSessionOp> {
+    let total = test.session_cycles(words);
+    let mut stream = test.stream(words, word_bits, seed);
+    let mut ops = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        let element = stream.element as u32;
+        let op_idx = stream.op as u32;
+        let is_read = stream.test.elements[stream.element].ops[stream.op].is_read();
+        let op = OpSource::next_op(&mut stream);
+        ops.push(MarchSessionOp {
+            op,
+            element,
+            op_idx,
+            is_read,
+        });
+    }
+    ops
+}
+
+/// Replay a materialised March session over **every lane** of a sliced
+/// backend at once, yielding the per-lane logs in lane order. The
+/// caller resets the backend (the session is as destructive as the
+/// scalar one).
+pub fn run_march_sliced_ops<const W: usize>(
+    backend: &mut SlicedBackend<W>,
+    session: &[MarchSessionOp],
+) -> Vec<MarchLog> {
+    let all = backend.lane_mask();
+    let total = session.len() as u64;
+    let mut logs: Vec<MarchLog> = (0..backend.lanes())
+        .map(|_| MarchLog {
+            cycles: total,
+            first_syndrome: None,
+            events: Vec::new(),
+            truncated: false,
+        })
+        .collect();
+    for (cycle, entry) in session.iter().enumerate() {
+        let obs = backend.step(entry.op);
+        let read_mismatch = if entry.is_read {
+            obs.erroneous
+        } else {
+            scm_memory::sliced::LaneSet::EMPTY
+        };
+        let flagged =
+            (read_mismatch | obs.row_code_error | obs.col_code_error | obs.parity_error) & all;
+        flagged.for_each_lane(|lane| {
+            let log = &mut logs[lane];
+            if log.first_syndrome.is_none() {
+                log.first_syndrome = Some(cycle as u64);
+            }
+            if log.events.len() < MAX_SYNDROME_EVENTS {
+                log.events.push(SyndromeEvent {
+                    element: entry.element,
+                    op: entry.op_idx,
+                    addr: entry.op.addr(),
+                    read_mismatch: read_mismatch.test(lane),
+                    row_code_error: obs.row_code_error.test(lane),
+                    col_code_error: obs.col_code_error.test(lane),
+                    parity_error: obs.parity_error.test(lane),
+                });
+            } else {
+                log.truncated = true;
+            }
+        });
+    }
+    logs
+}
+
 /// Run one March session over **every lane** of a sliced backend at
 /// once, yielding the per-lane logs in lane order.
 ///
@@ -463,51 +556,14 @@ pub fn run_march<B: FaultSimBackend + ?Sized>(
 /// equal to [`run_march`] on a scalar backend carrying that lane's
 /// scenario alone. The caller resets the backend (the session is as
 /// destructive as the scalar one).
-pub fn run_march_sliced(backend: &mut SlicedBackend, test: &MarchTest, seed: u64) -> Vec<MarchLog> {
+pub fn run_march_sliced<const W: usize>(
+    backend: &mut SlicedBackend<W>,
+    test: &MarchTest,
+    seed: u64,
+) -> Vec<MarchLog> {
     let org = backend.config().org();
-    let words = org.words();
-    let all = backend.lane_mask();
-    let total = test.session_cycles(words);
-    let mut stream = test.stream(words, org.word_bits(), seed);
-    let mut logs: Vec<MarchLog> = (0..backend.lanes())
-        .map(|_| MarchLog {
-            cycles: total,
-            first_syndrome: None,
-            events: Vec::new(),
-            truncated: false,
-        })
-        .collect();
-    for cycle in 0..total {
-        let element = stream.element as u32;
-        let op_idx = stream.op as u32;
-        let is_read = stream.test.elements[stream.element].ops[stream.op].is_read();
-        let op = OpSource::next_op(&mut stream);
-        let obs = backend.step(op);
-        let read_mismatch = if is_read { obs.erroneous } else { 0 };
-        let flagged =
-            (read_mismatch | obs.row_code_error | obs.col_code_error | obs.parity_error) & all;
-        for_each_lane(flagged, |lane| {
-            let log = &mut logs[lane];
-            if log.first_syndrome.is_none() {
-                log.first_syndrome = Some(cycle);
-            }
-            if log.events.len() < MAX_SYNDROME_EVENTS {
-                let bit = 1u64 << lane;
-                log.events.push(SyndromeEvent {
-                    element,
-                    op: op_idx,
-                    addr: op.addr(),
-                    read_mismatch: read_mismatch & bit != 0,
-                    row_code_error: obs.row_code_error & bit != 0,
-                    col_code_error: obs.col_code_error & bit != 0,
-                    parity_error: obs.parity_error & bit != 0,
-                });
-            } else {
-                log.truncated = true;
-            }
-        });
-    }
-    logs
+    let session = materialize_session(test, org.words(), org.word_bits(), seed);
+    run_march_sliced_ops(backend, &session)
 }
 
 #[cfg(test)]
@@ -682,9 +738,14 @@ mod tests {
             .collect();
         for name in MarchTest::NAMES {
             let test = MarchTest::by_name(name).unwrap();
-            let mut sliced = scm_memory::sliced::SlicedBackend::new(&config(), &scenarios);
+            let mut sliced = scm_memory::sliced::SlicedBackend::<1>::new(&config(), &scenarios);
             let logs = run_march_sliced(&mut sliced, &test, 17);
             assert_eq!(logs.len(), sites.len());
+            // The same lanes on a wide slab must log identically — the
+            // multi-word path through the March runner.
+            let mut wide = scm_memory::sliced::SlicedBackend::<4>::new(&config(), &scenarios);
+            let wide_logs = run_march_sliced(&mut wide, &test, 17);
+            assert_eq!(logs, wide_logs, "{name}: slab width changed a log");
             for (site, log) in sites.iter().zip(&logs) {
                 let mut backend = BehavioralBackend::new(&config());
                 backend.reset_site(Some(*site));

@@ -35,6 +35,7 @@ use scm_codes::{CodeError, MOutOfN};
 use scm_diag::march::MarchTest;
 use scm_diag::repair::SpareBudget;
 use scm_latency::goal::{assess_escape, ProtectionGrade};
+use scm_memory::arena::OpStreamArena;
 use scm_memory::campaign::{
     decoder_fault_universe, intermittent_universe, mixed_universe, transient_universe,
     CampaignConfig,
@@ -43,6 +44,7 @@ use scm_memory::design::RamConfig;
 use scm_memory::engine::CampaignEngine;
 use scm_memory::fault::{FaultScenario, FaultSite};
 use scm_memory::scrub::{sweep_bound, SweepBound};
+use scm_memory::sliced::MAX_SLAB_LANES;
 use scm_memory::workload::{builtin_models, WorkloadModel};
 use scm_system::{DiagCampaign, DiagPolicy, Interleaving, SystemCampaign, SystemConfig};
 use std::collections::HashMap;
@@ -293,9 +295,13 @@ pub struct SystemAdjudication {
     /// Mean SEU inter-arrival time in system cycles for points graded
     /// against the transient mix.
     pub seu_mean: f64,
-    /// Run each point's system campaign on the bit-sliced engine (64
-    /// fault lanes per machine word) instead of the scalar backend.
+    /// Run each point's system campaign on the bit-sliced engine (up to
+    /// 512 fault lanes per multi-word slab) instead of the scalar
+    /// backend.
     pub sliced: bool,
+    /// Slab lane width of the sliced engine (clamped to `1..=512`);
+    /// results are invariant under it.
+    pub lane_width: usize,
 }
 
 impl Default for SystemAdjudication {
@@ -310,6 +316,7 @@ impl Default for SystemAdjudication {
             max_faults_per_bank: 12,
             seu_mean: 40.0,
             sliced: false,
+            lane_width: MAX_SLAB_LANES,
         }
     }
 }
@@ -363,9 +370,13 @@ pub struct Adjudication {
     /// Scrub period applied when the point's scrub policy is
     /// [`ScrubPolicy::SequentialSweep`] (`Off` points never scrub).
     pub scrub_period: u64,
-    /// Run each point's campaign on the bit-sliced engine (64 scenario
-    /// lanes per machine word) instead of the scalar backend.
+    /// Run each point's campaign on the bit-sliced engine (up to 512
+    /// scenario lanes per multi-word slab) instead of the scalar
+    /// backend.
     pub sliced: bool,
+    /// Slab lane width of the sliced engine (clamped to `1..=512`);
+    /// results are invariant under it.
+    pub lane_width: usize,
 }
 
 impl Adjudication {
@@ -438,6 +449,12 @@ pub struct Evaluator {
     repair: Option<RepairAdjudication>,
     threads: usize,
     registry: HashMap<String, Arc<dyn WorkloadModel>>,
+    /// Shared op-stream arena for every sliced campaign the evaluator
+    /// runs: one `(seed, trial)` stream materialised once, replayed by
+    /// reference across points **and fidelity rungs** (lower rungs'
+    /// streams are prefixes of higher ones — the common-random-numbers
+    /// property guided search leans on, now also a cache hit).
+    arena: Arc<OpStreamArena>,
     plans: Mutex<HashMap<PlanKey, Result<CodePlan, CodeError>>>,
     areas: Mutex<HashMap<AreaKey, OverheadBreakdown>>,
     scrub_bounds: Mutex<HashMap<ScrubKey, SweepBound>>,
@@ -467,6 +484,7 @@ impl Evaluator {
             repair: None,
             threads: 0,
             registry,
+            arena: Arc::new(OpStreamArena::new()),
             plans: Mutex::new(HashMap::new()),
             areas: Mutex::new(HashMap::new()),
             scrub_bounds: Mutex::new(HashMap::new()),
@@ -668,6 +686,8 @@ impl Evaluator {
             .workload_model(model)
             .scrub(scrub_period)
             .sliced(adjudication.sliced)
+            .lane_width(adjudication.lane_width)
+            .arena(self.arena.clone())
             .run_scenarios(&config, &scenarios);
         let horizon = campaign.cycles;
         let (mut latency_sum, mut trial_sum) = (0u64, 0u64);
@@ -723,7 +743,8 @@ impl Evaluator {
         // the outer point sweep, like the adjudication stage.
         let engine = SystemCampaign::new(system, campaign)
             .workload_model(model)
-            .sliced(stage.sliced);
+            .sliced(stage.sliced)
+            .lane_width(stage.lane_width);
         // The system grid is graded against the point's fault mix: the
         // permanent decoder universe, SEU arrival streams, or the same
         // decoder sites under duty-cycled intermittent windows (phases
@@ -1197,6 +1218,7 @@ mod tests {
             max_faults: 12,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced: false,
+            lane_width: 512,
         });
         for workload in ["uniform", "write-mostly"] {
             let mut p = DesignPoint::paper(small_geometry(), 10, 1e-9, SelectionPolicy::InverseA);
@@ -1336,6 +1358,7 @@ mod tests {
             max_faults: 16,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced,
+            lane_width: 512,
         })
     }
 

@@ -740,6 +740,7 @@ mod tests {
             max_faults: 16,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced: true,
+            lane_width: 512,
         })
     }
 

@@ -285,6 +285,7 @@ mod tests {
             max_faults: 8,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced: false,
+            lane_width: 512,
         });
         let space = ExplorationSpace {
             geometries: vec![RamOrganization::new(256, 8, 4)],

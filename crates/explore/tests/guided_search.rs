@@ -34,6 +34,7 @@ fn evaluator(trials: u32, max_faults: usize, threads: usize) -> Evaluator {
             max_faults,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced: true,
+            lane_width: 512,
         })
 }
 

@@ -36,12 +36,16 @@ pub fn device_seed(fleet_seed: u64, cohort: usize, device: u64) -> u64 {
 /// Devices drawn hard (per `hard_ppm`) additionally run a
 /// repeat-and-compare triage session against `dictionary`, burning
 /// spares only on confirmed permanents.
+///
+/// `lane_width` caps the sliced engine's slab packing; results are
+/// invariant under it (it is pure scheduling, like the thread count).
 pub fn simulate_device(
     cohort: &CohortSpec,
     cohort_index: usize,
     device: u64,
     fleet_seed: u64,
     sliced: bool,
+    lane_width: usize,
     dictionary: Option<&FaultDictionary>,
 ) -> CohortTelemetry {
     let dseed = device_seed(fleet_seed, cohort_index, device);
@@ -53,6 +57,7 @@ pub fn simulate_device(
     };
     let engine = SystemCampaign::new(cohort.system_config(), campaign)
         .sliced(sliced)
+        .lane_width(lane_width)
         .serial_threshold(u64::MAX)
         .workload_model(cohort.workload_model());
     let seu = SeuProcess::new(cohort.seu_mean_cycles as f64);
@@ -158,8 +163,8 @@ mod tests {
     fn device_simulation_is_pure_in_its_coordinates() {
         let spec = FleetSpec::preset("small").unwrap();
         let cohort = &spec.cohorts[0];
-        let a = simulate_device(cohort, 0, 3, 0xF1EE7, false, None);
-        let b = simulate_device(cohort, 0, 3, 0xF1EE7, false, None);
+        let a = simulate_device(cohort, 0, 3, 0xF1EE7, false, 512, None);
+        let b = simulate_device(cohort, 0, 3, 0xF1EE7, false, 512, None);
         assert_eq!(a, b, "pure in (seed, cohort, device)");
         assert_eq!(a.devices, 1);
         assert_eq!(
@@ -168,8 +173,8 @@ mod tests {
         );
         assert_eq!(a.strikes, a.detected + a.undetected);
         // Distinct devices and seeds see distinct missions.
-        let c = simulate_device(cohort, 0, 4, 0xF1EE7, false, None);
-        let d = simulate_device(cohort, 0, 3, 0xF1EE8, false, None);
+        let c = simulate_device(cohort, 0, 4, 0xF1EE7, false, 512, None);
+        let d = simulate_device(cohort, 0, 3, 0xF1EE8, false, 512, None);
         assert!(a != c || a != d, "device/seed coordinates must matter");
     }
 

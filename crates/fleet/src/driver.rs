@@ -31,8 +31,9 @@
 //! Resume refuses a checkpoint whose spec digest, seed, engine or chunk
 //! size disagree with the requested run — those are different fleets,
 //! and silently splicing them would fabricate telemetry. Thread count
-//! is deliberately *not* part of the guard: resuming under a different
-//! `--threads` is valid and still bit-identical.
+//! and lane width are deliberately *not* part of the guard: resuming
+//! under a different `--threads` or `--lane-width` is valid and still
+//! bit-identical.
 
 use crate::device::simulate_device;
 use crate::spec::FleetSpec;
@@ -66,6 +67,11 @@ pub struct FleetOptions {
     pub threads: usize,
     /// Run devices on the bit-sliced engine.
     pub sliced: bool,
+    /// Slab lane width for the sliced engine (scenarios packed per
+    /// simulation pass, clamped downstream to `1..=512`). Pure
+    /// scheduling, like `threads`: results are invariant under it, so
+    /// it is deliberately **not** part of the checkpoint identity.
+    pub lane_width: usize,
     /// Write a checkpoint every this many completed devices
     /// (`0` = never; requires [`checkpoint`](Self::checkpoint)).
     pub checkpoint_every: u64,
@@ -82,6 +88,7 @@ impl Default for FleetOptions {
             seed: 0xF1EE7,
             threads: 0,
             sliced: true,
+            lane_width: 512,
             checkpoint_every: 0,
             checkpoint: None,
             halt_after: None,
@@ -156,7 +163,7 @@ impl FleetDriver {
         }
         let chunks = Self::decompose(&spec);
         let telemetry = vec![CohortTelemetry::default(); spec.cohorts.len()];
-        let dictionaries = Self::build_dictionaries(&spec, options.seed);
+        let dictionaries = Self::build_dictionaries(&spec, options.seed, options.lane_width);
         Ok(FleetDriver {
             spec,
             options,
@@ -200,8 +207,14 @@ impl FleetDriver {
 
     /// One fault dictionary per cohort with a hard-defect population
     /// (bank-0 geometry, full cell + row-decoder candidate set). Built
-    /// single-threaded: construction must not depend on `--threads`.
-    fn build_dictionaries(spec: &FleetSpec, seed: u64) -> Vec<Option<Arc<FaultDictionary>>> {
+    /// single-threaded: construction must not depend on `--threads`
+    /// (the dictionary itself is invariant under `lane_width` too —
+    /// that knob only shapes the slab packing of the build).
+    fn build_dictionaries(
+        spec: &FleetSpec,
+        seed: u64,
+        lane_width: usize,
+    ) -> Vec<Option<Arc<FaultDictionary>>> {
         spec.cohorts
             .iter()
             .enumerate()
@@ -220,6 +233,7 @@ impl FleetDriver {
                         seed_mix(seed ^ DICT_TAG, &[i as u64]),
                         &candidates,
                         1,
+                        lane_width,
                     ))
                 })
             })
@@ -261,6 +275,7 @@ impl FleetDriver {
                 device,
                 self.options.seed,
                 self.options.sliced,
+                self.options.lane_width,
                 dictionary,
             ));
         }
@@ -617,6 +632,24 @@ mod tests {
         let outcome = completed(FleetDriver::new(small(), o).unwrap().run().unwrap());
         assert_eq!(outcome.devices, 20);
         assert!(outcome.cohorts.iter().any(|c| c.detected > 0));
+    }
+
+    #[test]
+    fn sliced_fleet_telemetry_is_lane_width_invariant() {
+        let mk = |width: usize| {
+            let mut o = opts(2);
+            o.sliced = true;
+            o.lane_width = width;
+            completed(FleetDriver::new(small(), o).unwrap().run().unwrap())
+        };
+        let reference = mk(512);
+        for width in [1usize, 64] {
+            let outcome = mk(width);
+            assert_eq!(
+                reference.cohorts, outcome.cohorts,
+                "lane width {width} must be pure scheduling"
+            );
+        }
     }
 
     #[test]

@@ -21,14 +21,17 @@
 //! workers pull them off a shared queue, so a fault whose trials detect
 //! in one cycle doesn't leave its thread idle while a slow fault finishes.
 
+use crate::arena::{OpStreamArena, ReplayOps, ARENA_OP_BUDGET};
 use crate::backend::{BehavioralBackend, FaultSimBackend};
 use crate::campaign::{CampaignConfig, CampaignResult, FaultResult};
 use crate::design::RamConfig;
 use crate::fault::{FaultScenario, FaultSite};
 use crate::sim::measure_detection_on;
-use crate::sliced::{measure_detection_sliced, shared_trial_seed, SlicedBackend};
+use crate::sliced::{
+    measure_detection_sliced, shared_trial_seed, slab_words, SlicedBackend, MAX_SLAB_LANES,
+};
 use crate::workload::{
-    AddressPattern, FixedPattern, ScrubInterleaver, UniformRandom, WorkloadModel, WorkloadSpec,
+    AddressPattern, FixedPattern, Op, ScrubInterleaver, UniformRandom, WorkloadModel, WorkloadSpec,
 };
 use rayon::prelude::*;
 use scm_obs::{sort_chronological, Event, EventKind};
@@ -52,6 +55,23 @@ pub struct CampaignEngine {
     sliced: bool,
     lane_width: usize,
     serial_threshold: u64,
+    arena: Option<Arc<OpStreamArena>>,
+}
+
+/// How full the sliced engine's lane blocks are for one grid: `filled`
+/// scenarios over `capacity` slab lanes across `blocks` packs. The gap
+/// is the partial-final-block waste the campaign CLI surfaces as its
+/// `occupancy:` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneOccupancy {
+    /// Scenario lanes actually carrying a fault.
+    pub filled: usize,
+    /// Total lanes allocated (each block rounds up to whole slab words).
+    pub capacity: usize,
+    /// Number of lane blocks the grid splits into.
+    pub blocks: usize,
+    /// The configured lane width (scenarios per block, before rounding).
+    pub width: usize,
 }
 
 /// Grids of at most this many `scenario × trial` cells run serially by
@@ -70,8 +90,9 @@ impl CampaignEngine {
             threads: 0,
             scrub_period: 0,
             sliced: false,
-            lane_width: 64,
+            lane_width: MAX_SLAB_LANES,
             serial_threshold: DEFAULT_SERIAL_THRESHOLD,
+            arena: None,
         }
     }
 
@@ -127,11 +148,11 @@ impl CampaignEngine {
 
     /// Route [`run_scenarios`](Self::run_scenarios) through the bit-sliced
     /// backend: up to [`lane_width`](Self::lane_width) scenarios share one
-    /// simulation pass, each riding a bit lane of the packed `u64` state.
+    /// simulation pass, each riding a bit lane of the packed slab state.
     ///
     /// The sliced engine keeps the bit-identical-at-any-thread-count
-    /// contract and adds lane-packing invariance: the same grid at lane
-    /// widths 1, 8 and 64 produces the same [`CampaignResult`]. Its
+    /// contract and adds lane-packing invariance: the same grid at any
+    /// lane width from 1 to 512 produces the same [`CampaignResult`]. Its
     /// workload seeding is shared across the lane block (common random
     /// numbers), so sliced results are *internally* deterministic but not
     /// numerically equal to the scalar engine's per-fault streams.
@@ -141,11 +162,40 @@ impl CampaignEngine {
     }
 
     /// Scenarios packed per simulation pass on the sliced path (clamped
-    /// to `1..=64`; default 64). Narrower widths exist for the
-    /// lane-packing-invariance tests — production runs want 64.
+    /// to `1..=`[`MAX_SLAB_LANES`]; default 512). Each block runs at the
+    /// narrowest multi-word slab that fits it ([`slab_words`]), so any
+    /// width is exact — narrower widths exist for the lane-packing
+    /// invariance tests, production runs want the default.
     pub fn lane_width(mut self, width: usize) -> Self {
-        self.lane_width = width.clamp(1, 64);
+        self.lane_width = width.clamp(1, MAX_SLAB_LANES);
         self
+    }
+
+    /// Share a materialised op-stream arena with other engines (e.g.
+    /// across guided-search fidelity rungs). Without one the engine
+    /// builds a private arena per [`run_scenarios`](Self::run_scenarios)
+    /// call; either way each trial's stream is generated exactly once
+    /// per campaign while the grid fits [`ARENA_OP_BUDGET`].
+    pub fn arena(mut self, arena: Arc<OpStreamArena>) -> Self {
+        self.arena = Some(arena);
+        self
+    }
+
+    /// Lane occupancy of a `scenarios`-wide grid at the current lane
+    /// width — what the campaign CLI prints as its `occupancy:` line.
+    pub fn occupancy(&self, scenarios: usize) -> LaneOccupancy {
+        let width = self.lane_width;
+        let blocks = scenarios.div_ceil(width);
+        let full = scenarios / width;
+        let rem = scenarios % width;
+        let capacity =
+            full * slab_words(width) * 64 + if rem > 0 { slab_words(rem) * 64 } else { 0 };
+        LaneOccupancy {
+            filled: scenarios,
+            capacity,
+            blocks,
+            width,
+        }
     }
 
     /// The campaign parameters.
@@ -188,12 +238,16 @@ impl CampaignEngine {
 
     /// Run the scenario × trial grid on the bit-sliced backend: scenarios
     /// are chunked into lane blocks of [`lane_width`](Self::lane_width),
-    /// every trial advances all lanes of a block through one shared
-    /// op-stream, and per-lane detection cycles come out of the packed
-    /// detection masks. Trial ranges still split across rayon workers
-    /// exactly like the scalar path, so results are bit-identical at any
-    /// thread count *and* at any lane width (the trial stream seed depends
-    /// only on `(campaign seed, trial)`, never on lane geometry).
+    /// each block runs at the narrowest multi-word slab that fits it
+    /// ([`slab_words`]), every trial advances all lanes of a block
+    /// through one shared op-stream, and per-lane detection cycles come
+    /// out of the packed detection masks. Trial streams are materialised
+    /// once in the op-stream arena and replayed by reference per block
+    /// (grids beyond [`ARENA_OP_BUDGET`] regenerate per block instead —
+    /// bit-identical either way). Trial ranges still split across rayon
+    /// workers exactly like the scalar path, so results are bit-identical
+    /// at any thread count *and* at any lane width (the trial stream seed
+    /// depends only on `(campaign seed, trial)`, never on lane geometry).
     ///
     /// # Panics
     /// Panics if the sliced backend does not
@@ -203,25 +257,53 @@ impl CampaignEngine {
         config: &RamConfig,
         scenarios: &[FaultScenario],
     ) -> CampaignResult {
-        if let Some(bad) = scenarios.iter().find(|s| !SlicedBackend::supports(s)) {
+        if let Some(bad) = scenarios.iter().find(|s| !SlicedBackend::<1>::supports(s)) {
             panic!("backend 'sliced' cannot inject {bad:?}");
         }
-        let width = self.lane_width.clamp(1, 64);
+        let width = self.lane_width.clamp(1, MAX_SLAB_LANES);
         let chunks: Vec<&[FaultScenario]> = scenarios.chunks(width).collect();
-        let blocks = self.decompose(chunks.len());
-        let dispatch = || -> Vec<Vec<FaultResult>> {
-            blocks
-                .par_iter()
-                .map(|block| self.run_sliced_block(config, chunks[block.fidx], *block))
-                .collect()
+        let blocks = self.decompose_slabs(chunks.len());
+        let org = config.org();
+        let spec = WorkloadSpec {
+            words: org.words(),
+            word_bits: org.word_bits(),
+            write_fraction: self.campaign.write_fraction,
         };
+        let streams: Option<Vec<Arc<Vec<Op>>>> = if (self.campaign.trials as u64)
+            .saturating_mul(self.campaign.cycles)
+            <= ARENA_OP_BUDGET
+        {
+            let arena = self.arena.clone().unwrap_or_default();
+            Some(arena.prepare(
+                &self.model,
+                spec,
+                self.campaign.seed,
+                self.scrub_period,
+                self.campaign.trials,
+                self.campaign.cycles,
+            ))
+        } else {
+            None
+        };
+        let run_block = |block: &TrialBlock| -> Vec<FaultResult> {
+            let chunk = chunks[block.fidx];
+            let streams = streams.as_deref();
+            match slab_words(chunk.len()) {
+                1 => self.run_sliced_block::<1>(config, chunk, *block, streams),
+                2 => self.run_sliced_block::<2>(config, chunk, *block, streams),
+                3 => self.run_sliced_block::<3>(config, chunk, *block, streams),
+                4 => self.run_sliced_block::<4>(config, chunk, *block, streams),
+                5 => self.run_sliced_block::<5>(config, chunk, *block, streams),
+                6 => self.run_sliced_block::<6>(config, chunk, *block, streams),
+                7 => self.run_sliced_block::<7>(config, chunk, *block, streams),
+                _ => self.run_sliced_block::<8>(config, chunk, *block, streams),
+            }
+        };
+        let dispatch = || -> Vec<Vec<FaultResult>> { blocks.par_iter().map(run_block).collect() };
         let partials: Vec<Vec<FaultResult>> = if self.runs_serially(scenarios.len()) {
             // Tiny grid: the fan-out costs more than it buys. Same
             // blocks, same order, same merge — bit-identical results.
-            blocks
-                .iter()
-                .map(|block| self.run_sliced_block(config, chunks[block.fidx], *block))
-                .collect()
+            blocks.iter().map(run_block).collect()
         } else if self.threads == 0 {
             dispatch()
         } else {
@@ -259,16 +341,20 @@ impl CampaignEngine {
         }
     }
 
-    /// One trial range of one lane block: every trial steps all packed
-    /// scenarios at once, then the per-lane outcomes are scattered back
-    /// into one [`FaultResult`] per lane.
-    fn run_sliced_block(
+    /// One trial range of one lane block at slab width `W`: every trial
+    /// steps all packed scenarios at once, then the per-lane outcomes
+    /// are scattered back into one [`FaultResult`] per lane. With
+    /// `streams` the trial ops replay from the arena; without, they
+    /// regenerate from the model (identical sequences either way).
+    fn run_sliced_block<const W: usize>(
         &self,
         config: &RamConfig,
         chunk: &[FaultScenario],
         block: TrialBlock,
+        streams: Option<&[Arc<Vec<Op>>]>,
     ) -> Vec<FaultResult> {
-        let mut backend = SlicedBackend::prefilled(config, chunk, self.campaign.seed ^ 0xF1E1D1);
+        let mut backend =
+            SlicedBackend::<W>::prefilled(config, chunk, self.campaign.seed ^ 0xF1E1D1);
         let org = config.org();
         let trials = block.trial_end - block.trial_start;
         let mut results: Vec<FaultResult> = chunk
@@ -291,15 +377,28 @@ impl CampaignEngine {
         };
         for trial in block.trial_start..block.trial_end {
             backend.reset();
-            let workload = self
-                .model
-                .stream(spec, shared_trial_seed(self.campaign.seed, trial));
-            let outcomes = if self.scrub_period > 0 {
-                let mut scrubbed = ScrubInterleaver::new(workload, self.scrub_period, org.words());
-                measure_detection_sliced(&mut backend, &mut scrubbed, self.campaign.cycles)
-            } else {
-                let mut workload = workload;
-                measure_detection_sliced(&mut backend, workload.as_mut(), self.campaign.cycles)
+            let outcomes = match streams {
+                Some(streams) => {
+                    let mut replay = ReplayOps::new(&streams[trial as usize]);
+                    measure_detection_sliced(&mut backend, &mut replay, self.campaign.cycles)
+                }
+                None => {
+                    let workload = self
+                        .model
+                        .stream(spec, shared_trial_seed(self.campaign.seed, trial));
+                    if self.scrub_period > 0 {
+                        let mut scrubbed =
+                            ScrubInterleaver::new(workload, self.scrub_period, org.words());
+                        measure_detection_sliced(&mut backend, &mut scrubbed, self.campaign.cycles)
+                    } else {
+                        let mut workload = workload;
+                        measure_detection_sliced(
+                            &mut backend,
+                            workload.as_mut(),
+                            self.campaign.cycles,
+                        )
+                    }
+                }
             };
             for (lane, out) in outcomes.iter().enumerate() {
                 let result = &mut results[lane];
@@ -553,6 +652,47 @@ impl CampaignEngine {
         let block_len = trials.div_ceil(splits_per_fault).max(1);
         let mut blocks = Vec::with_capacity(num_faults * splits_per_fault as usize);
         for fidx in 0..num_faults {
+            let mut t0 = 0u32;
+            while t0 < trials {
+                let t1 = (t0 + block_len).min(trials);
+                blocks.push(TrialBlock {
+                    fidx,
+                    trial_start: t0,
+                    trial_end: t1,
+                });
+                t0 = t1;
+            }
+            if trials == 0 {
+                blocks.push(TrialBlock {
+                    fidx,
+                    trial_start: 0,
+                    trial_end: 0,
+                });
+            }
+        }
+        blocks
+    }
+
+    /// Split slab blocks into schedulable trial ranges. Unlike
+    /// [`decompose`](Self::decompose), which over-decomposes by 8× for
+    /// work stealing, this only splits trials as far as the worker
+    /// count demands: every extra trial range rebuilds the block's
+    /// fault tables (the dominant fixed cost of a wide slab), so a
+    /// serial run gets exactly one backend per block and a parallel
+    /// run pays construction only once per worker. Results are
+    /// invariant either way — trial outcomes never depend on which
+    /// block ran them.
+    fn decompose_slabs(&self, num_chunks: usize) -> Vec<TrialBlock> {
+        let trials = self.campaign.trials;
+        let threads = self.resolved_threads();
+        let splits_per_chunk = if num_chunks == 0 || num_chunks >= threads {
+            1
+        } else {
+            (threads.div_ceil(num_chunks) as u32).clamp(1, trials.max(1))
+        };
+        let block_len = trials.div_ceil(splits_per_chunk).max(1);
+        let mut blocks = Vec::with_capacity(num_chunks * splits_per_chunk as usize);
+        for fidx in 0..num_chunks {
             let mut t0 = 0u32;
             while t0 < trials {
                 let t1 = (t0 + block_len).min(trials);
@@ -875,7 +1015,7 @@ mod tests {
                 "{threads} threads"
             );
         }
-        for width in [1usize, 8, 17, 64] {
+        for width in [1usize, 8, 17, 64, 100, 128, 512] {
             let result = CampaignEngine::new(campaign)
                 .sliced(true)
                 .lane_width(width)
@@ -886,6 +1026,132 @@ mod tests {
                 "lane width {width}"
             );
         }
+    }
+
+    #[derive(Debug)]
+    struct CountingModel {
+        inner: Arc<dyn WorkloadModel>,
+        calls: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl WorkloadModel for CountingModel {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn stream(&self, spec: WorkloadSpec, seed: u64) -> crate::workload::OpStream {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.stream(spec, seed)
+        }
+    }
+
+    #[test]
+    fn sliced_campaign_generates_each_trial_stream_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cfg = config();
+        let scenarios = mixed_scenarios();
+        let calls = Arc::new(AtomicU64::new(0));
+        let campaign = CampaignConfig {
+            cycles: 12,
+            trials: 10,
+            seed: 77,
+            write_fraction: 0.1,
+        };
+        // Lane width 8 splits the universe into many blocks; before the
+        // op-stream arena every block regenerated all ten streams.
+        let result = CampaignEngine::new(campaign)
+            .workload_model(Arc::new(CountingModel {
+                inner: Arc::new(UniformRandom),
+                calls: calls.clone(),
+            }))
+            .sliced(true)
+            .lane_width(8)
+            .serial_threshold(0)
+            .threads(4)
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(result.per_fault.len(), scenarios.len());
+        assert!(scenarios.len() > 8, "universe must span several blocks");
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            u64::from(campaign.trials),
+            "one stream per trial, regardless of lane blocks"
+        );
+    }
+
+    #[test]
+    fn shared_arena_reuses_streams_across_runs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cfg = config();
+        let scenarios = mixed_scenarios();
+        let calls = Arc::new(AtomicU64::new(0));
+        let model: Arc<dyn WorkloadModel> = Arc::new(CountingModel {
+            inner: Arc::new(UniformRandom),
+            calls: calls.clone(),
+        });
+        let arena = Arc::new(crate::arena::OpStreamArena::new());
+        let campaign = CampaignConfig {
+            cycles: 12,
+            trials: 6,
+            seed: 5,
+            write_fraction: 0.1,
+        };
+        let low = CampaignEngine::new(campaign)
+            .workload_model(model.clone())
+            .sliced(true)
+            .arena(arena.clone())
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        // A higher-fidelity rung with more trials only generates the new
+        // trials; the first six replay from the shared arena.
+        let high = CampaignEngine::new(campaign)
+            .workload_model(model.clone())
+            .sliced(true)
+            .arena(arena.clone())
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(calls.load(Ordering::Relaxed), 6, "second run regenerated");
+        assert_eq!(low.determinism_profile(), high.determinism_profile());
+        let more = CampaignConfig {
+            trials: 9,
+            ..campaign
+        };
+        CampaignEngine::new(more)
+            .workload_model(model)
+            .sliced(true)
+            .arena(arena)
+            .run_scenarios(&cfg, &scenarios);
+        assert_eq!(calls.load(Ordering::Relaxed), 9, "only trials 6..9 are new");
+    }
+
+    #[test]
+    fn occupancy_accounts_for_partial_blocks() {
+        let engine = CampaignEngine::new(CampaignConfig::default());
+        assert_eq!(
+            engine.occupancy(272),
+            LaneOccupancy {
+                filled: 272,
+                capacity: 320,
+                blocks: 1,
+                width: 512,
+            }
+        );
+        assert_eq!(
+            engine.clone().lane_width(64).occupancy(130),
+            LaneOccupancy {
+                filled: 130,
+                capacity: 192,
+                blocks: 3,
+                width: 64,
+            }
+        );
+        assert_eq!(
+            engine.lane_width(512).occupancy(512),
+            LaneOccupancy {
+                filled: 512,
+                capacity: 512,
+                blocks: 1,
+                width: 512,
+            }
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod address_check;
+pub mod arena;
 pub mod array;
 pub mod backend;
 pub mod campaign;
@@ -63,13 +64,17 @@ pub mod sim;
 pub mod sliced;
 pub mod workload;
 
+pub use arena::{OpStreamArena, ReplayOps, ARENA_OP_BUDGET};
 pub use backend::{BehavioralBackend, CycleObservation, FaultSimBackend, GateLevelBackend};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultResult};
 pub use design::{RamConfig, ReadOutcome, SelfCheckingRam, Verdict};
-pub use engine::{CampaignEngine, DEFAULT_SERIAL_THRESHOLD};
+pub use engine::{CampaignEngine, LaneOccupancy, DEFAULT_SERIAL_THRESHOLD};
 pub use fault::FaultSite;
 pub use sim::{measure_detection, measure_detection_on, DetectionOutcome};
-pub use sliced::{measure_detection_sliced, SlicedBackend, SlicedObservation, SlicedPrefill};
+pub use sliced::{
+    measure_detection_sliced, slab_words, LaneSet, SlicedBackend, SlicedObservation, SlicedPrefill,
+    MAX_SLAB_LANES, MAX_SLAB_WORDS,
+};
 pub use workload::{
     builtin_models, model_by_name, AddressPattern, Op, OpSource, OpStream, Workload, WorkloadModel,
     WorkloadSpec, MODEL_NAMES,

@@ -1,13 +1,27 @@
-//! Bit-sliced scenario-parallel fast path: 64 fault scenarios per `u64`.
+//! Bit-sliced scenario-parallel fast path: multi-word lane slabs, up to
+//! 512 fault scenarios per shared op stream.
 //!
 //! The behavioural backend simulates one `(scenario, trial)` at a time;
 //! the campaign grid multiplies scenarios × trials × cycles, and that
 //! product is the throughput bottleneck of every consumer from the
 //! Monte-Carlo adjudicator to the system campaign. [`SlicedBackend`]
 //! removes it by transposing the problem: every storage cell (and every
-//! derived checker signal) carries a `u64` whose **bit `L` is lane `L`'s
-//! value**, so one operation of a shared seed-pure stream advances up to
-//! 64 scenarios simultaneously.
+//! derived checker signal) carries a [`LaneSet`] — a slab of `W` machine
+//! words — so one operation of a shared seed-pure stream advances up to
+//! `64 × W` scenarios simultaneously.
+//!
+//! # Slab lane numbering
+//!
+//! A [`LaneSet<W>`] packs lanes **little-endian across words**: bit `b`
+//! of word `w` is lane `w·64 + b`. Lane `L` therefore lives at word
+//! `L / 64`, bit `L % 64`, for every `W`; a width-1 slab is exactly the
+//! PR 6 single-`u64` slice. Scenario packs narrower than the slab leave
+//! the high lanes as *don't-care*: prefill and writes drive them, but
+//! every observation is masked by the backend's lane mask before it
+//! escapes, so garbage above `lanes` is never visible. `W` ranges over
+//! `1..=`[`MAX_SLAB_WORDS`]; [`slab_words`] picks the narrowest slab
+//! that fits a pack, so odd pack sizes (say 272 scenarios → 5 words)
+//! never pay for power-of-two padding.
 //!
 //! # Lane semantics
 //!
@@ -23,8 +37,8 @@
 //!
 //! Lane `L` of a sliced run is **bit-identical** to a scalar
 //! [`BehavioralBackend`] run of scenario `L` on the same prefill seed and
-//! op stream — observation by observation, cycle by cycle. Everything
-//! the scalar model does is reproduced lane-masked:
+//! op stream — observation by observation, cycle by cycle, at every slab
+//! width. Everything the scalar model does is reproduced lane-masked:
 //!
 //! * decoder faults become precomputed per-address selection/verdict
 //!   tables (no-line precharge, double-selection wired-OR, ROM-word code
@@ -37,8 +51,24 @@
 //!   detect-and-restore from the golden image on the cycle a read raises
 //!   an indication.
 //!
+//! Because lanes never interact, slicing a universe into packs of any
+//! width yields bit-identical per-scenario results — that is what makes
+//! campaign output invariant under `--lane-width` and thread count.
+//!
+//! # Memory layout
+//!
+//! State is stored access-contiguous: the `m + 1` bit groups of one
+//! `(row value, column value)` site — `m` data bits plus the parity
+//! bit — occupy adjacent slabs, so a read or write touches one
+//! contiguous run of `(m + 1) · W` words instead of `m + 1` strided
+//! ones. The fault-free golden twin is kept as a packed one-bit-per-cell
+//! bitmap whenever every lane shares one image ([`SlicedPrefill::Zeroed`]
+//! / [`SlicedPrefill::Shared`] — writes keep it lane-uniform forever),
+//! which cuts golden-image traffic by `64 · W×` on the common path.
+//!
 //! The differential proptests in `tests/differential_backends.rs` and the
-//! unit tests below enforce the contract against the scalar backends.
+//! unit tests in `sliced/tests.rs` enforce the contract against the
+//! scalar backends across slab widths.
 //!
 //! [`BehavioralBackend`]: crate::backend::BehavioralBackend
 //! [`CellArray`]: crate::array::CellArray
@@ -57,25 +87,157 @@ use scm_rom::RomMatrix;
 /// campaign runs.
 const SHARED_STREAM_TAG: u64 = 0x51_1CED;
 
-/// What every lane observed on one cycle; bit `L` of each mask is lane
-/// `L`'s flag. Write cycles report `erroneous = 0` and `parity_error = 0`
-/// (only the decoder checkers speak), mirroring the scalar observation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SlicedObservation {
-    /// Lanes whose read output (data or parity bit) differed from the
-    /// fault-free golden image.
-    pub erroneous: u64,
-    /// Lanes whose row-decoder ROM word failed the code membership check.
-    pub row_code_error: u64,
-    /// Lanes whose column-decoder ROM word failed the membership check.
-    pub col_code_error: u64,
-    /// Lanes whose data-path parity check failed (read cycles only).
-    pub parity_error: u64,
+/// Widest slab a [`SlicedBackend`] supports, in 64-bit words.
+pub const MAX_SLAB_WORDS: usize = 8;
+
+/// Most scenarios one slab pack can carry (`64 ×` [`MAX_SLAB_WORDS`]).
+pub const MAX_SLAB_LANES: usize = 64 * MAX_SLAB_WORDS;
+
+/// The narrowest slab width (in words) that fits `lanes` scenarios —
+/// the dispatch key engines use to pick a `SlicedBackend::<W>`
+/// instantiation for a pack. Always in `1..=`[`MAX_SLAB_WORDS`]; packs
+/// larger than [`MAX_SLAB_LANES`] must be split before dispatch.
+pub fn slab_words(lanes: usize) -> usize {
+    lanes.div_ceil(64).clamp(1, MAX_SLAB_WORDS)
 }
 
-impl SlicedObservation {
+/// A set of lanes as a slab of `W` machine words: bit `b` of word `w`
+/// is lane `w·64 + b`. All bitwise operators act lane-wise across the
+/// whole slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneSet<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> Default for LaneSet<W> {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl<const W: usize> LaneSet<W> {
+    /// No lanes set.
+    pub const EMPTY: Self = Self([0; W]);
+
+    /// Every lane of every word set (`true`) or cleared (`false`).
+    pub fn splat(value: bool) -> Self {
+        Self([if value { u64::MAX } else { 0 }; W])
+    }
+
+    /// The first `n` lanes set — the lane mask of an `n`-scenario pack.
+    pub fn first_n(n: usize) -> Self {
+        debug_assert!(n <= 64 * W, "lane count {n} exceeds slab capacity");
+        let mut words = [0u64; W];
+        for (w, word) in words.iter_mut().enumerate() {
+            let lo = w * 64;
+            *word = if n >= lo + 64 {
+                u64::MAX
+            } else if n > lo {
+                (1u64 << (n - lo)) - 1
+            } else {
+                0
+            };
+        }
+        Self(words)
+    }
+
+    /// The singleton set of `lane`.
+    pub fn bit(lane: usize) -> Self {
+        debug_assert!(lane < 64 * W, "lane {lane} exceeds slab capacity");
+        let mut words = [0u64; W];
+        words[lane / 64] = 1u64 << (lane % 64);
+        Self(words)
+    }
+
+    /// Is `lane` a member?
+    pub fn test(&self, lane: usize) -> bool {
+        self.0[lane / 64] >> (lane % 64) & 1 == 1
+    }
+
+    /// Is any lane set?
+    pub fn any(&self) -> bool {
+        self.0.iter().any(|&w| w != 0)
+    }
+
+    /// Is no lane set?
+    pub fn is_empty(&self) -> bool {
+        !self.any()
+    }
+
+    /// Number of lanes set.
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Visit every set lane in ascending order — the trailing-zero scan
+    /// that extracts per-lane results from detection masks.
+    pub fn for_each_lane(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.0.iter().enumerate() {
+            let mut mask = word;
+            while mask != 0 {
+                f(w * 64 + mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+            }
+        }
+    }
+}
+
+macro_rules! laneset_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl<const W: usize> std::ops::$trait for LaneSet<W> {
+            type Output = Self;
+            #[inline]
+            fn $method(mut self, rhs: Self) -> Self {
+                for w in 0..W {
+                    self.0[w] $op rhs.0[w];
+                }
+                self
+            }
+        }
+        impl<const W: usize> std::ops::$assign_trait for LaneSet<W> {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Self) {
+                for w in 0..W {
+                    self.0[w] $op rhs.0[w];
+                }
+            }
+        }
+    };
+}
+
+laneset_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+laneset_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+laneset_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl<const W: usize> std::ops::Not for LaneSet<W> {
+    type Output = Self;
+    #[inline]
+    fn not(mut self) -> Self {
+        for w in 0..W {
+            self.0[w] = !self.0[w];
+        }
+        self
+    }
+}
+
+/// What every lane observed on one cycle; lane `L` of each [`LaneSet`]
+/// is lane `L`'s flag. Write cycles report empty `erroneous` and
+/// `parity_error` sets (only the decoder checkers speak), mirroring the
+/// scalar observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlicedObservation<const W: usize = 1> {
+    /// Lanes whose read output (data or parity bit) differed from the
+    /// fault-free golden image.
+    pub erroneous: LaneSet<W>,
+    /// Lanes whose row-decoder ROM word failed the code membership check.
+    pub row_code_error: LaneSet<W>,
+    /// Lanes whose column-decoder ROM word failed the membership check.
+    pub col_code_error: LaneSet<W>,
+    /// Lanes whose data-path parity check failed (read cycles only).
+    pub parity_error: LaneSet<W>,
+}
+
+impl<const W: usize> SlicedObservation<W> {
     /// Lanes on which any checker raised an error indication this cycle.
-    pub fn detected(&self) -> u64 {
+    pub fn detected(&self) -> LaneSet<W> {
         self.row_code_error | self.col_code_error | self.parity_error
     }
 
@@ -85,13 +247,12 @@ impl SlicedObservation {
     ///
     /// [`BehavioralBackend`]: crate::backend::BehavioralBackend
     pub fn lane(&self, lane: usize) -> CycleObservation {
-        let bit = 1u64 << lane;
         CycleObservation {
-            erroneous: Some(self.erroneous & bit != 0),
+            erroneous: Some(self.erroneous.test(lane)),
             verdict: Verdict {
-                row_code_error: self.row_code_error & bit != 0,
-                col_code_error: self.col_code_error & bit != 0,
-                parity_error: self.parity_error & bit != 0,
+                row_code_error: self.row_code_error.test(lane),
+                col_code_error: self.col_code_error.test(lane),
+                parity_error: self.parity_error.test(lane),
             },
         }
     }
@@ -120,12 +281,82 @@ pub enum SlicedPrefill {
 }
 
 /// Iterate the set bit positions of `mask` in ascending order — the
-/// trailing-zero scan that extracts per-lane results from detection
-/// masks.
+/// single-word trailing-zero scan; slab consumers use
+/// [`LaneSet::for_each_lane`].
 pub fn for_each_lane(mut mask: u64, mut f: impl FnMut(usize)) {
     while mask != 0 {
         f(mask.trailing_zeros() as usize);
         mask &= mask - 1;
+    }
+}
+
+/// One lane's position inside a slab: word index plus bit mask. Every
+/// per-lane fault entry (pinned cell, double selection, activation
+/// window, coupling…) stores one of these instead of a full
+/// [`LaneSet<W>`], so the per-operation scans cost O(1) per entry at
+/// any slab width — storing whole-slab masks there would make every
+/// scan O(entries × W) and erase the multi-word win.
+/// Pending-lane floor and ceiling for a batched retirement sweep — see
+/// [`SlicedBackend::retire`]. A sweep walks every per-`rv` entry list,
+/// so it only pays for itself once a meaningful fraction of the slab's
+/// lanes is waiting; single-lane dribble (late transients) rides along
+/// until a word dies or the batch fills. The trigger scales with
+/// occupancy (a quarter of the packed lanes) between these bounds.
+const RETIRE_SWEEP_MIN: u32 = 8;
+const RETIRE_SWEEP_MAX: u32 = 64;
+
+/// The indices of the words of `set` holding any lane.
+fn live_words<const W: usize>(set: &LaneSet<W>, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(
+        set.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &word)| word != 0)
+            .map(|(w, _)| w),
+    );
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LaneSlot {
+    word: usize,
+    bit: u64,
+}
+
+impl LaneSlot {
+    fn of(lane: usize) -> Self {
+        LaneSlot {
+            word: lane / 64,
+            bit: 1u64 << (lane % 64),
+        }
+    }
+
+    /// Is this lane a member of `set`?
+    #[inline]
+    fn in_set<const W: usize>(self, set: &LaneSet<W>) -> bool {
+        set.0[self.word] & self.bit != 0
+    }
+
+    /// Insert this lane into `set`.
+    #[inline]
+    fn set_in<const W: usize>(self, set: &mut LaneSet<W>) {
+        set.0[self.word] |= self.bit;
+    }
+
+    /// Remove this lane from `set`.
+    #[inline]
+    fn clear_in<const W: usize>(self, set: &mut LaneSet<W>) {
+        set.0[self.word] &= !self.bit;
+    }
+
+    /// Write `value` at this lane of `set`.
+    #[inline]
+    fn assign_in<const W: usize>(self, set: &mut LaneSet<W>, value: bool) {
+        if value {
+            self.set_in(set);
+        } else {
+            self.clear_in(set);
+        }
     }
 }
 
@@ -150,75 +381,208 @@ fn splitmix(mut z: u64) -> u64 {
 /// scalar engine's per-fault seeding, the stream is shared by every lane
 /// of a pack and therefore must not depend on any fault index — that is
 /// what makes results invariant under lane-packing width (the same trial
-/// replays the same stream no matter how the universe was chunked).
+/// replays the same stream no matter how the universe was chunked), and
+/// what lets the op-stream arena materialise each trial exactly once.
 pub fn shared_trial_seed(seed: u64, trial: u32) -> u64 {
     splitmix(splitmix(seed ^ SHARED_STREAM_TAG).wrapping_add(trial as u64))
 }
 
-/// A bit-sliced self-checking RAM running up to 64 fault scenarios in
-/// lane-parallel over one shared operation stream.
+#[inline]
+fn uniform_bit(bits: &[u64], idx: usize) -> bool {
+    bits[idx >> 6] >> (idx & 63) & 1 == 1
+}
+
+#[inline]
+fn set_uniform_bit(bits: &mut [u64], idx: usize, value: bool) {
+    let (w, b) = (idx >> 6, idx & 63);
+    if value {
+        bits[w] |= 1u64 << b;
+    } else {
+        bits[w] &= !(1u64 << b);
+    }
+}
+
+/// Cell-image storage: lane-uniform images (the zeroed and shared-seed
+/// prefills, preserved by writes, which are lane-uniform on the golden
+/// twin) pack one bit per cell; per-lane images carry a full slab.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ImageStore<const W: usize> {
+    /// Packed bitmap, one bit per cell index.
+    Uniform(Vec<u64>),
+    /// One slab per cell index.
+    PerLane(Vec<LaneSet<W>>),
+}
+
+impl<const W: usize> ImageStore<W> {
+    /// Allocation-free refresh from another store of the same shape.
+    fn clone_from_store(&mut self, other: &Self) {
+        match (self, other) {
+            (ImageStore::Uniform(a), ImageStore::Uniform(b)) => a.clone_from(b),
+            (ImageStore::PerLane(a), ImageStore::PerLane(b)) => a.clone_from(b),
+            (a, b) => *a = b.clone(),
+        }
+    }
+
+    /// Expand into full slab-per-cell form (the working `cells` state).
+    fn materialize_into(&self, cells: &mut [LaneSet<W>]) {
+        match self {
+            ImageStore::Uniform(bits) => {
+                for (idx, cell) in cells.iter_mut().enumerate() {
+                    *cell = LaneSet::splat(uniform_bit(bits, idx));
+                }
+            }
+            ImageStore::PerLane(img) => cells.copy_from_slice(img),
+        }
+    }
+}
+
+/// A coupling defect with every address precomputed: the victim's cell
+/// index, and the aggressor's `(row value, column value, bit group)`
+/// coordinates plus cell index for the write-transition check.
 #[derive(Debug, Clone)]
-pub struct SlicedBackend {
+struct SlabCoupling {
+    slot: LaneSlot,
+    victim_idx: usize,
+    agg_row: usize,
+    agg_cv: usize,
+    agg_k: usize,
+    agg_idx: usize,
+    kind: CouplingKind,
+}
+
+/// Live-prefix lengths of the per-lane fault-entry lists. Retirement
+/// swaps a dead lane's entries into its list's tail and shrinks the
+/// prefix; [`reset`](SlicedBackend::reset) restores full lengths in
+/// O(1) per list. Entries are never dropped or reallocated, only
+/// reordered — sound because every entry's effect is confined to its
+/// own lane's bit (reads OR companion bits lane-locally, writes assign
+/// lane-locally), so list order is immaterial to the observations.
+#[derive(Debug, Clone)]
+struct LiveLens {
+    temporal: usize,
+    cell_flips: usize,
+    stuck_cells: usize,
+    couplings: usize,
+    data_reg: usize,
+    row_two: Vec<u32>,
+    col_two: Vec<u32>,
+}
+
+/// Swap entries of `dead` lanes out of `list[..live]`'s prefix,
+/// returning the new live-prefix length.
+fn partition_live<T, const W: usize>(
+    list: &mut [T],
+    live: usize,
+    dead: &LaneSet<W>,
+    slot: impl Fn(&T) -> LaneSlot,
+) -> usize {
+    let mut n = live;
+    let mut i = 0;
+    while i < n {
+        if slot(&list[i]).in_set(dead) {
+            n -= 1;
+            list.swap(i, n);
+        } else {
+            i += 1;
+        }
+    }
+    n
+}
+
+/// A bit-sliced self-checking RAM running up to `64 × W` fault scenarios
+/// in lane-parallel over one shared operation stream. `W = 1` is the
+/// classic single-word slice; engines dispatch wider slabs via
+/// [`slab_words`].
+#[derive(Debug, Clone)]
+pub struct SlicedBackend<const W: usize = 1> {
     config: RamConfig,
     scenarios: Vec<FaultScenario>,
     lanes: usize,
-    all_mask: u64,
-    pcols: usize,
+    all_mask: LaneSet<W>,
     mux: usize,
     m: u32,
-    /// Pre-fault image (bit `L` = lane `L`'s stored value).
-    base: Vec<u64>,
-    /// Faulty underlying state, `rows × physical_cols`, row-major.
-    /// Pinned-cell overlays apply at read time, like [`CellArray`].
+    /// Slabs per `(row value, column value)` site: `m` data bit groups
+    /// plus the parity group.
+    stride: usize,
+    /// Pre-fault image.
+    base: ImageStore<W>,
+    /// Faulty underlying state, one slab per cell, access-contiguous:
+    /// index `(rv · mux + cv) · stride + k`. Pinned-cell overlays apply
+    /// at read time, like [`CellArray`].
     ///
     /// [`CellArray`]: crate::array::CellArray
-    cells: Vec<u64>,
-    /// The fault-free golden twin's state.
-    gold: Vec<u64>,
+    cells: Vec<LaneSet<W>>,
+    /// The fault-free golden twin's state (lane-uniform unless the
+    /// prefill was per-lane).
+    gold: ImageStore<W>,
+    /// Reusable read buffer (`stride` slabs) — keeps `read` off the
+    /// stack-zeroing path a `[LaneSet<W>; 65]` local would pay.
+    scratch: Vec<LaneSet<W>>,
     cycle: u64,
     /// Lanes whose one-shot cell flip already fired.
-    fired: u64,
+    fired: LaneSet<W>,
     /// Union of the one-shot flip lanes (early-out for the firing scan).
-    flips_all: u64,
+    flips_all: LaneSet<W>,
     /// Lanes pinned on every cycle (`Permanent { onset: 0 }`).
-    const_active: u64,
+    const_active: LaneSet<W>,
     /// Lanes whose pinning follows a delayed/windowed process.
-    temporal: Vec<(u64, FaultProcess)>,
-    /// One-shot state flips: `(lane mask, row, col, at)`.
-    cell_flips: Vec<(u64, usize, usize, u64)>,
-    /// Pinned cell overlays: `(lane mask, row, col, stuck)`.
-    stuck_cells: Vec<(u64, usize, usize, bool)>,
-    /// Coupling defects: `(lane mask, victim, aggressor, kind)` — always
-    /// live (corruption rides writes, never the clock).
-    couplings: Vec<(u64, CellRef, CellRef, CouplingKind)>,
-    /// Data-register stuck bits: `(lane mask, bit, stuck)`.
-    data_reg: Vec<(u64, u32, bool)>,
+    temporal: Vec<(LaneSlot, FaultProcess)>,
+    /// One-shot state flips: `(lane, cell index, at)`.
+    cell_flips: Vec<(LaneSlot, usize, u64)>,
+    /// Pinned cell overlays: `(lane, row value, column value, bit
+    /// group, stuck)`.
+    stuck_cells: Vec<(LaneSlot, usize, usize, usize, bool)>,
+    /// Coupling defects — always live (corruption rides writes, never
+    /// the clock).
+    couplings: Vec<SlabCoupling>,
+    /// Data-register stuck bits: `(lane, bit, stuck)`.
+    data_reg: Vec<(LaneSlot, u32, bool)>,
     /// Lanes whose scenario corrupts stored state (eligible for
     /// detect-and-restore healing).
-    corrupts_state: u64,
+    corrupts_state: LaneSet<W>,
     /// Per applied row value: lanes whose row decoder selects no line.
-    row_none: Vec<u64>,
+    row_none: Vec<LaneSet<W>>,
     /// Per applied column value: lanes whose column decoder selects none.
-    col_none: Vec<u64>,
-    /// Per applied row value: `(lane mask, companion row)` double
+    col_none: Vec<LaneSet<W>>,
+    /// Per applied row value: `(lane, companion row)` double
     /// selections.
-    row_two: Vec<Vec<(u64, u64)>>,
-    /// Per applied column value: `(lane mask, companion column-select)`.
-    col_two: Vec<Vec<(u64, u64)>>,
+    row_two: Vec<Vec<(LaneSlot, u64)>>,
+    /// Per applied column value: `(lane, companion column-select)`.
+    col_two: Vec<Vec<(LaneSlot, u64)>>,
     /// Per applied row value: lanes whose ROM word fails the row code
     /// check *while their fault is active*.
-    row_err: Vec<u64>,
+    row_err: Vec<LaneSet<W>>,
     /// Per applied column value: lanes failing the column code check.
-    col_err: Vec<u64>,
+    col_err: Vec<LaneSet<W>>,
+    /// Live-prefix lengths of the entry lists above — the only state
+    /// a retirement sweep mutates (activity/verdict masks stay intact;
+    /// callers already ignore retired lanes' observation bits).
+    live_len: LiveLens,
+    /// Lanes dropped by [`retire`](Self::retire) since the last reset.
+    retired: LaneSet<W>,
+    /// Retired lanes not yet swept out of the fault tables. Sweeps are
+    /// batched: pruning is a pure optimization (callers already ignore
+    /// retired lanes), and a full table sweep per single-lane
+    /// retirement would cost more than it saves.
+    pending_retire: LaneSet<W>,
+    /// The slab words still holding a live lane. The dense per-bit
+    /// loops (scratch fill, gold compare, masked write) only touch
+    /// these words, so a slab whose surviving lanes sit in one word
+    /// steps at single-word cost wherever that word lies. Dead words'
+    /// observation bits read as all-clear, which is indistinguishable
+    /// to callers: every lane there has latched a detection, and the
+    /// measurement contract ignores it afterwards.
+    live: Vec<usize>,
 }
 
-impl SlicedBackend {
+impl<const W: usize> SlicedBackend<W> {
     /// Sliced backend over a zero-initialised RAM (the dictionary
     /// convention).
     ///
     /// # Panics
-    /// Panics on an empty or >64-scenario pack, on out-of-range fault
-    /// coordinates, or on a coupling scenario whose victim is not a cell.
+    /// Panics on an empty or over-capacity scenario pack, on
+    /// out-of-range fault coordinates, or on a coupling scenario whose
+    /// victim is not a cell.
     pub fn new(config: &RamConfig, scenarios: &[FaultScenario]) -> Self {
         Self::with_prefill(config, scenarios, SlicedPrefill::Zeroed)
     }
@@ -247,8 +611,9 @@ impl SlicedBackend {
         prefill: SlicedPrefill,
     ) -> Self {
         assert!(
-            !scenarios.is_empty() && scenarios.len() <= 64,
-            "a sliced backend packs 1..=64 scenarios, got {}",
+            !scenarios.is_empty() && scenarios.len() <= 64 * W,
+            "a sliced backend packs 1..={} scenarios, got {}",
+            64 * W,
             scenarios.len()
         );
         let org = config.org();
@@ -256,31 +621,44 @@ impl SlicedBackend {
         let pcols = org.physical_cols() as usize;
         let mux = org.mux_factor() as usize;
         let m = org.word_bits();
+        let stride = m as usize + 1;
         let lanes = scenarios.len();
-        let all_mask = if lanes == 64 {
-            u64::MAX
-        } else {
-            (1u64 << lanes) - 1
-        };
+        let all_mask = LaneSet::first_n(lanes);
         let row_rom = RomMatrix::from_map(config.row_map());
         let col_rom = RomMatrix::from_map(config.col_map());
+        // Physical column `col` sits in bit group `col / mux` of column
+        // value `col % mux`; its slab lives at this contiguous index.
+        let cell_idx = |row: usize, col: usize| (row * mux + col % mux) * stride + col / mux;
 
-        let mut row_none = vec![0u64; rows];
-        let mut col_none = vec![0u64; mux];
-        let mut row_two: Vec<Vec<(u64, u64)>> = vec![Vec::new(); rows];
-        let mut col_two: Vec<Vec<(u64, u64)>> = vec![Vec::new(); mux];
-        let mut row_err = vec![0u64; rows];
-        let mut col_err = vec![0u64; mux];
-        let mut const_active = 0u64;
+        let mut row_none = vec![LaneSet::EMPTY; rows];
+        let mut col_none = vec![LaneSet::EMPTY; mux];
+        // Each decoder scenario contributes at most one entry per value
+        // list, so sizing the lists to the scenario counts up front turns
+        // thousands of incremental pushes into one allocation per value.
+        let row_dec = scenarios
+            .iter()
+            .filter(|s| matches!(s.site, FaultSite::RowDecoder(_)))
+            .count();
+        let col_dec = scenarios
+            .iter()
+            .filter(|s| matches!(s.site, FaultSite::ColDecoder(_)))
+            .count();
+        let mut row_two: Vec<Vec<(LaneSlot, u64)>> =
+            (0..rows).map(|_| Vec::with_capacity(row_dec)).collect();
+        let mut col_two: Vec<Vec<(LaneSlot, u64)>> =
+            (0..mux).map(|_| Vec::with_capacity(col_dec)).collect();
+        let mut row_err = vec![LaneSet::EMPTY; rows];
+        let mut col_err = vec![LaneSet::EMPTY; mux];
+        let mut const_active = LaneSet::EMPTY;
         let mut temporal = Vec::new();
-        let mut cell_flips: Vec<(u64, usize, usize, u64)> = Vec::new();
+        let mut cell_flips: Vec<(LaneSlot, usize, u64)> = Vec::new();
         let mut stuck_cells = Vec::new();
         let mut couplings = Vec::new();
         let mut data_reg = Vec::new();
-        let mut corrupts_state = 0u64;
+        let mut corrupts_state = LaneSet::EMPTY;
 
         for (lane, s) in scenarios.iter().enumerate() {
-            let mask = 1u64 << lane;
+            let slot = LaneSlot::of(lane);
             // State-corrupting processes first: they install no pinned
             // site, exactly like the scalar backend's special cases.
             if let (FaultProcess::TransientFlip { at }, FaultSite::Cell { row, col, .. }) =
@@ -290,8 +668,8 @@ impl SlicedBackend {
                     row < rows && col < pcols,
                     "cell ({row}, {col}) out of range"
                 );
-                cell_flips.push((mask, row, col, at));
-                corrupts_state |= mask;
+                cell_flips.push((slot, cell_idx(row, col), at));
+                slot.set_in(&mut corrupts_state);
                 continue;
             }
             if let FaultProcess::Coupling { aggressor, kind } = s.process {
@@ -317,15 +695,23 @@ impl SlicedBackend {
                     victim.row,
                     victim.col
                 );
-                couplings.push((mask, victim, aggressor, kind));
-                corrupts_state |= mask;
+                couplings.push(SlabCoupling {
+                    slot,
+                    victim_idx: cell_idx(victim.row, victim.col),
+                    agg_row: aggressor.row,
+                    agg_cv: aggressor.col % mux,
+                    agg_k: aggressor.col / mux,
+                    agg_idx: cell_idx(aggressor.row, aggressor.col),
+                    kind,
+                });
+                slot.set_in(&mut corrupts_state);
                 continue;
             }
             // Every remaining process pins its site inside an activation
             // window on the cycle clock.
             match s.process {
-                FaultProcess::Permanent { onset: 0 } => const_active |= mask,
-                p => temporal.push((mask, p)),
+                FaultProcess::Permanent { onset: 0 } => slot.set_in(&mut const_active),
+                p => temporal.push((slot, p)),
             }
             match s.site {
                 FaultSite::Cell { row, col, stuck } => {
@@ -333,7 +719,7 @@ impl SlicedBackend {
                         row < rows && col < pcols,
                         "cell ({row}, {col}) out of range"
                     );
-                    stuck_cells.push((mask, row, col, stuck));
+                    stuck_cells.push((slot, row, col % mux, col / mux, stuck));
                 }
                 FaultSite::RowDecoder(f) => {
                     let mut dec = BehavioralDecoder::new(org.row_bits());
@@ -341,17 +727,17 @@ impl SlicedBackend {
                     for rv in 0..rows as u64 {
                         let lines = dec.decode(rv);
                         match lines {
-                            ActiveLines::None => row_none[rv as usize] |= mask,
+                            ActiveLines::None => slot.set_in(&mut row_none[rv as usize]),
                             ActiveLines::One(_) => {}
                             ActiveLines::Two(_, companion) => {
-                                row_two[rv as usize].push((mask, companion));
+                                row_two[rv as usize].push((slot, companion));
                             }
                         }
                         let word = lines.iter().fold(full_word(row_rom.width()), |acc, line| {
                             acc & row_rom.word(line as usize)
                         });
                         if !config.row_map().is_codeword(word) {
-                            row_err[rv as usize] |= mask;
+                            slot.set_in(&mut row_err[rv as usize]);
                         }
                     }
                 }
@@ -361,17 +747,17 @@ impl SlicedBackend {
                     for cv in 0..mux as u64 {
                         let lines = dec.decode(cv);
                         match lines {
-                            ActiveLines::None => col_none[cv as usize] |= mask,
+                            ActiveLines::None => slot.set_in(&mut col_none[cv as usize]),
                             ActiveLines::One(_) => {}
                             ActiveLines::Two(_, companion) => {
-                                col_two[cv as usize].push((mask, companion));
+                                col_two[cv as usize].push((slot, companion));
                             }
                         }
                         let word = lines.iter().fold(full_word(col_rom.width()), |acc, line| {
                             acc & col_rom.word(line as usize)
                         });
                         if !config.col_map().is_codeword(word) {
-                            col_err[cv as usize] |= mask;
+                            slot.set_in(&mut col_err[cv as usize]);
                         }
                     }
                 }
@@ -384,7 +770,7 @@ impl SlicedBackend {
                             .row_map()
                             .is_codeword(row_rom.word(rv as usize) ^ flip)
                         {
-                            row_err[rv as usize] |= mask;
+                            slot.set_in(&mut row_err[rv as usize]);
                         }
                     }
                 }
@@ -397,7 +783,7 @@ impl SlicedBackend {
                             .col_map()
                             .is_codeword(col_rom.word(cv as usize) ^ flip)
                         {
-                            col_err[cv as usize] |= mask;
+                            slot.set_in(&mut col_err[cv as usize]);
                         }
                     }
                 }
@@ -414,7 +800,7 @@ impl SlicedBackend {
                             w & !(1u64 << bit)
                         };
                         if !config.row_map().is_codeword(word) {
-                            row_err[rv as usize] |= mask;
+                            slot.set_in(&mut row_err[rv as usize]);
                         }
                     }
                 }
@@ -431,32 +817,49 @@ impl SlicedBackend {
                             w & !(1u64 << bit)
                         };
                         if !config.col_map().is_codeword(word) {
-                            col_err[cv as usize] |= mask;
+                            slot.set_in(&mut col_err[cv as usize]);
                         }
                     }
                 }
                 FaultSite::DataRegisterBit { bit, stuck } => {
                     assert!(bit < m, "register bit out of range");
-                    data_reg.push((mask, bit, stuck));
+                    data_reg.push((slot, bit, stuck));
                 }
             }
         }
 
         let base = Self::prefill_image(config, &prefill, lanes);
-        let flips_all = cell_flips.iter().fold(0u64, |acc, f| acc | f.0);
+        let cell_count = rows * pcols;
+        let mut cells = vec![LaneSet::EMPTY; cell_count];
+        base.materialize_into(&mut cells);
+        let flips_all = cell_flips.iter().fold(LaneSet::EMPTY, |acc, f| {
+            let mut acc = acc;
+            f.0.set_in(&mut acc);
+            acc
+        });
+        let live_len = LiveLens {
+            temporal: temporal.len(),
+            cell_flips: cell_flips.len(),
+            stuck_cells: stuck_cells.len(),
+            couplings: couplings.len(),
+            data_reg: data_reg.len(),
+            row_two: row_two.iter().map(|l| l.len() as u32).collect(),
+            col_two: col_two.iter().map(|l| l.len() as u32).collect(),
+        };
         SlicedBackend {
             config: config.clone(),
             scenarios: scenarios.to_vec(),
             lanes,
             all_mask,
-            pcols,
             mux,
             m,
-            cells: base.clone(),
+            stride,
+            cells,
             gold: base.clone(),
             base,
+            scratch: vec![LaneSet::EMPTY; stride],
             cycle: 0,
-            fired: 0,
+            fired: LaneSet::EMPTY,
             flips_all,
             const_active,
             temporal,
@@ -471,6 +874,14 @@ impl SlicedBackend {
             col_two,
             row_err,
             col_err,
+            live_len,
+            retired: LaneSet::EMPTY,
+            pending_retire: LaneSet::EMPTY,
+            live: {
+                let mut live = Vec::with_capacity(W);
+                live_words(&all_mask, &mut live);
+                live
+            },
         }
     }
 
@@ -487,39 +898,56 @@ impl SlicedBackend {
         }
     }
 
-    fn prefill_image(config: &RamConfig, prefill: &SlicedPrefill, lanes: usize) -> Vec<u64> {
+    fn prefill_image(config: &RamConfig, prefill: &SlicedPrefill, lanes: usize) -> ImageStore<W> {
         let org = config.org();
-        let pcols = org.physical_cols() as usize;
         let mux = org.mux_factor() as usize;
         let m = org.word_bits();
+        let stride = m as usize + 1;
         let value_mask = if m >= 64 { u64::MAX } else { (1u64 << m) - 1 };
-        let mut base = vec![0u64; org.rows() as usize * pcols];
-        let mut fill = |lane_mask: u64, seed: u64| {
-            // Bit-exact replay of BehavioralBackend::prefilled: one
-            // seeded write per word in address order.
+        let cell_count = org.rows() as usize * org.physical_cols() as usize;
+        // Bit-exact replay of BehavioralBackend::prefilled: one seeded
+        // write per word in address order. Each (addr, bit group) pair
+        // maps to a distinct cell index, so single-pass set suffices.
+        let replay = |seed: u64, store: &mut dyn FnMut(usize, bool)| {
             let mut rng = SmallRng::seed_from_u64(seed);
             for addr in 0..org.words() {
                 let value = rng.gen::<u64>() & value_mask;
                 let parity = value.count_ones() % 2 == 1;
                 let (rv, cv) = config.split_address(addr);
-                for k in 0..=m {
-                    let wbit = if k == m { parity } else { value >> k & 1 == 1 };
-                    let idx = rv as usize * pcols + k as usize * mux + cv as usize;
-                    base[idx] = (base[idx] & !lane_mask) | if wbit { lane_mask } else { 0 };
+                let site = (rv as usize * mux + cv as usize) * stride;
+                for k in 0..=m as usize {
+                    let wbit = if k == m as usize {
+                        parity
+                    } else {
+                        value >> k & 1 == 1
+                    };
+                    store(site + k, wbit);
                 }
             }
         };
         match prefill {
-            SlicedPrefill::Zeroed => {}
-            SlicedPrefill::Shared(seed) => fill(u64::MAX, *seed),
+            SlicedPrefill::Zeroed => ImageStore::Uniform(vec![0u64; cell_count.div_ceil(64)]),
+            SlicedPrefill::Shared(seed) => {
+                let mut bits = vec![0u64; cell_count.div_ceil(64)];
+                replay(*seed, &mut |idx, wbit| {
+                    set_uniform_bit(&mut bits, idx, wbit)
+                });
+                ImageStore::Uniform(bits)
+            }
             SlicedPrefill::PerLane(seeds) => {
                 assert_eq!(seeds.len(), lanes, "one prefill seed per lane");
+                let mut img = vec![LaneSet::EMPTY; cell_count];
                 for (lane, &seed) in seeds.iter().enumerate() {
-                    fill(1u64 << lane, seed);
+                    let mask = LaneSet::bit(lane);
+                    replay(seed, &mut |idx, wbit| {
+                        if wbit {
+                            img[idx] |= mask;
+                        }
+                    });
                 }
+                ImageStore::PerLane(img)
             }
         }
-        base
     }
 
     /// Number of packed lanes.
@@ -527,8 +955,13 @@ impl SlicedBackend {
         self.lanes
     }
 
+    /// Lane capacity of this slab width (`64 × W`).
+    pub fn capacity(&self) -> usize {
+        64 * W
+    }
+
     /// Mask with one bit set per packed lane.
-    pub fn lane_mask(&self) -> u64 {
+    pub fn lane_mask(&self) -> LaneSet<W> {
         self.all_mask
     }
 
@@ -549,12 +982,98 @@ impl SlicedBackend {
     }
 
     /// Restore the pre-fault image on every lane and restart the
-    /// activation clock at cycle 0.
+    /// activation clock at cycle 0, un-retiring every retired lane.
+    /// Allocation-free (table restoration reuses the live vectors).
     pub fn reset(&mut self) {
-        self.cells.copy_from_slice(&self.base);
-        self.gold.copy_from_slice(&self.base);
+        self.base.materialize_into(&mut self.cells);
+        self.gold.clone_from_store(&self.base);
         self.cycle = 0;
-        self.fired = 0;
+        self.fired = LaneSet::EMPTY;
+        self.retired = LaneSet::EMPTY;
+        self.pending_retire = LaneSet::EMPTY;
+        let mut live = std::mem::take(&mut self.live);
+        live_words(&self.all_mask, &mut live);
+        self.live = live;
+        self.live_len.temporal = self.temporal.len();
+        self.live_len.cell_flips = self.cell_flips.len();
+        self.live_len.stuck_cells = self.stuck_cells.len();
+        self.live_len.couplings = self.couplings.len();
+        self.live_len.data_reg = self.data_reg.len();
+        for (list, live) in self.row_two.iter().zip(self.live_len.row_two.iter_mut()) {
+            *live = list.len() as u32;
+        }
+        for (list, live) in self.col_two.iter().zip(self.live_len.col_two.iter_mut()) {
+            *live = list.len() as u32;
+        }
+    }
+
+    /// Drop `lanes` from the per-lane fault-entry lists: the scan
+    /// entries they contributed (pinned cells, double selections,
+    /// activation windows, couplings) stop costing anything on every
+    /// subsequent operation, and once a whole slab word has retired the
+    /// dense per-bit loops skip it entirely. Activity and verdict masks
+    /// are left untouched — a retired lane may keep reporting
+    /// observation bits, which callers already ignore.
+    ///
+    /// Detection-measuring drivers call this as lanes latch their first
+    /// detection: per the measurement contract nothing after a lane's
+    /// first detection is recorded, so its observations are free to go
+    /// quiet. This is what restores the narrow-block early-exit economy
+    /// to wide slabs, where one late lane would otherwise keep every
+    /// other lane's fault machinery running for the whole horizon. Do
+    /// **not** retire lanes whose later observations matter (the March
+    /// session logs every event, for instance). [`reset`](Self::reset)
+    /// un-retires every lane.
+    ///
+    /// Retired lanes take effect immediately for the dense word skip,
+    /// but the table sweep itself is batched: single-lane retirements
+    /// (a transient firing late in the horizon) accumulate until
+    /// enough lanes are pending or a whole slab word goes quiet.
+    pub fn retire(&mut self, lanes: LaneSet<W>) {
+        if lanes.is_empty() {
+            return;
+        }
+        self.retired |= lanes;
+        self.pending_retire |= lanes;
+        let kills_word = self
+            .live
+            .iter()
+            .any(|&w| self.all_mask.0[w] & !self.retired.0[w] == 0);
+        let batch = (self.lanes as u32 / 4).clamp(RETIRE_SWEEP_MIN, RETIRE_SWEEP_MAX);
+        if self.pending_retire.count() < batch && !kills_word {
+            return;
+        }
+        self.pending_retire = LaneSet::EMPTY;
+        let dead = self.retired;
+        self.live_len.temporal =
+            partition_live(&mut self.temporal, self.live_len.temporal, &dead, |e| e.0);
+        self.live_len.cell_flips =
+            partition_live(&mut self.cell_flips, self.live_len.cell_flips, &dead, |e| {
+                e.0
+            });
+        self.live_len.stuck_cells = partition_live(
+            &mut self.stuck_cells,
+            self.live_len.stuck_cells,
+            &dead,
+            |e| e.0,
+        );
+        self.live_len.couplings = partition_live(
+            &mut self.couplings,
+            self.live_len.couplings,
+            &dead,
+            |c| c.slot,
+        );
+        self.live_len.data_reg =
+            partition_live(&mut self.data_reg, self.live_len.data_reg, &dead, |e| e.0);
+        for (list, live) in self.row_two.iter_mut().zip(self.live_len.row_two.iter_mut()) {
+            *live = partition_live(list, *live as usize, &dead, |e| e.0) as u32;
+        }
+        for (list, live) in self.col_two.iter_mut().zip(self.live_len.col_two.iter_mut()) {
+            *live = partition_live(list, *live as usize, &dead, |e| e.0) as u32;
+        }
+        let mut live = std::mem::take(&mut self.live);
+        live_words(&(self.all_mask & !self.retired), &mut live);
+        self.live = live;
     }
 
     /// Advance the activation clock without executing an operation (the
@@ -566,29 +1085,29 @@ impl SlicedBackend {
 
     /// Execute one operation on every lane and report the per-lane
     /// observation masks.
-    pub fn step(&mut self, op: Op) -> SlicedObservation {
+    pub fn step(&mut self, op: Op) -> SlicedObservation<W> {
         // One-shot cell flips whose instant has been reached fire before
         // the operation observes the array.
         if self.fired != self.flips_all {
             let SlicedBackend {
                 ref cell_flips,
+                ref live_len,
                 ref mut cells,
                 ref mut fired,
-                pcols,
                 cycle,
                 ..
             } = *self;
-            for &(mask, row, col, at) in cell_flips {
-                if *fired & mask == 0 && cycle >= at {
-                    cells[row * pcols + col] ^= mask;
-                    *fired |= mask;
+            for &(slot, idx, at) in &cell_flips[..live_len.cell_flips] {
+                if !slot.in_set(fired) && cycle >= at {
+                    cells[idx].0[slot.word] ^= slot.bit;
+                    slot.set_in(fired);
                 }
             }
         }
         let mut active = self.const_active;
-        for &(mask, p) in &self.temporal {
+        for &(slot, p) in &self.temporal[..self.live_len.temporal] {
             if p.pins_site_at(self.cycle) {
-                active |= mask;
+                slot.set_in(&mut active);
             }
         }
         let obs = match op {
@@ -598,7 +1117,7 @@ impl SlicedBackend {
                 // read of state-resident corruption heals the addressed
                 // word from the golden image on exactly those lanes.
                 let restore = obs.detected() & self.corrupts_state;
-                if restore != 0 {
+                if restore.any() {
                     self.restore(addr, restore);
                 }
                 obs
@@ -609,76 +1128,122 @@ impl SlicedBackend {
         obs
     }
 
-    fn read(&self, addr: u64, active: u64) -> SlicedObservation {
+    fn read(&mut self, addr: u64, active: LaneSet<W>) -> SlicedObservation<W> {
         let (rv64, cv64) = self.config.split_address(addr);
         let (rv, cv) = (rv64 as usize, cv64 as usize);
-        let m = self.m as usize;
-        let mut data = [0u64; 65];
-        let mut goldb = [0u64; 65];
-        for k in 0..=m {
-            let idx = rv * self.pcols + k * self.mux + cv;
-            data[k] = self.cells[idx];
-            goldb[k] = self.gold[idx];
+        let stride = self.stride;
+        let site = (rv * self.mux + cv) * stride;
+        let SlicedBackend {
+            ref cells,
+            ref gold,
+            ref mut scratch,
+            ref stuck_cells,
+            ref data_reg,
+            ref row_none,
+            ref col_none,
+            ref row_two,
+            ref col_two,
+            ref row_err,
+            ref col_err,
+            ref live,
+            ref live_len,
+            mux,
+            all_mask,
+            ..
+        } = *self;
+        let full = live.len() == W;
+        if full {
+            scratch.copy_from_slice(&cells[site..site + stride]);
+        } else {
+            for (dst, src) in scratch.iter_mut().zip(&cells[site..site + stride]) {
+                for &w in live {
+                    dst.0[w] = src.0[w];
+                }
+            }
         }
         // Pinned-cell overlays replace the stored bit while active.
-        for &(mask, row, col, stuck) in &self.stuck_cells {
-            if active & mask != 0 && row == rv && col % self.mux == cv {
-                let k = col / self.mux;
-                if stuck {
-                    data[k] |= mask;
-                } else {
-                    data[k] &= !mask;
-                }
+        for &(slot, row, scv, k, stuck) in &stuck_cells[..live_len.stuck_cells] {
+            if row == rv && scv == cv && slot.in_set(&active) {
+                slot.assign_in(&mut scratch[k], stuck);
             }
         }
         // No line selected → precharged all-ones on every bit group.
-        let precharge = (self.row_none[rv] | self.col_none[cv]) & active;
-        if precharge != 0 {
-            for word in data.iter_mut().take(m + 1) {
-                *word |= precharge;
-            }
-        }
-        // Double selection → wired-OR with the companion row / column.
-        for &(mask, companion) in &self.row_two[rv] {
-            if active & mask != 0 {
-                for (k, word) in data.iter_mut().enumerate().take(m + 1) {
-                    *word |= self.cells[companion as usize * self.pcols + k * self.mux + cv] & mask;
+        let precharge = (row_none[rv] | col_none[cv]) & active;
+        if precharge.any() {
+            for word in scratch.iter_mut() {
+                for &w in live {
+                    word.0[w] |= precharge.0[w];
                 }
             }
         }
-        for &(mask, companion) in &self.col_two[cv] {
-            if active & mask != 0 {
-                for (k, word) in data.iter_mut().enumerate().take(m + 1) {
-                    *word |= self.cells[rv * self.pcols + k * self.mux + companion as usize] & mask;
+        // Double selection → wired-OR with the companion row / column.
+        for &(slot, companion) in &row_two[rv][..live_len.row_two[rv] as usize] {
+            if slot.in_set(&active) {
+                let cbase = (companion as usize * mux + cv) * stride;
+                for (k, word) in scratch.iter_mut().enumerate() {
+                    word.0[slot.word] |= cells[cbase + k].0[slot.word] & slot.bit;
+                }
+            }
+        }
+        for &(slot, companion) in &col_two[cv][..live_len.col_two[cv] as usize] {
+            if slot.in_set(&active) {
+                let cbase = (rv * mux + companion as usize) * stride;
+                for (k, word) in scratch.iter_mut().enumerate() {
+                    word.0[slot.word] |= cells[cbase + k].0[slot.word] & slot.bit;
                 }
             }
         }
         // Data-register stuck bits strike the data word only (after the
         // mux, before the parity check).
-        for &(mask, bit, stuck) in &self.data_reg {
-            if active & mask != 0 {
-                if stuck {
-                    data[bit as usize] |= mask;
-                } else {
-                    data[bit as usize] &= !mask;
+        for &(slot, bit, stuck) in &data_reg[..live_len.data_reg] {
+            if slot.in_set(&active) {
+                slot.assign_in(&mut scratch[bit as usize], stuck);
+            }
+        }
+        let mut err = LaneSet::EMPTY;
+        let mut par = LaneSet::EMPTY;
+        match gold {
+            ImageStore::Uniform(bits) if full => {
+                for (k, &d) in scratch.iter().enumerate() {
+                    err |= if uniform_bit(bits, site + k) { !d } else { d };
+                    par ^= d;
+                }
+            }
+            ImageStore::Uniform(bits) => {
+                for (k, d) in scratch.iter().enumerate() {
+                    let stored_one = uniform_bit(bits, site + k);
+                    for &w in live {
+                        let dw = d.0[w];
+                        err.0[w] |= if stored_one { !dw } else { dw };
+                        par.0[w] ^= dw;
+                    }
+                }
+            }
+            ImageStore::PerLane(g) if full => {
+                for (k, &d) in scratch.iter().enumerate() {
+                    err |= d ^ g[site + k];
+                    par ^= d;
+                }
+            }
+            ImageStore::PerLane(g) => {
+                for (k, d) in scratch.iter().enumerate() {
+                    for &w in live {
+                        let dw = d.0[w];
+                        err.0[w] |= dw ^ g[site + k].0[w];
+                        par.0[w] ^= dw;
+                    }
                 }
             }
         }
-        let mut err = 0u64;
-        let mut par = 0u64;
-        for k in 0..=m {
-            err |= data[k] ^ goldb[k];
-            par ^= data[k];
-        }
         SlicedObservation {
-            erroneous: err & self.all_mask,
-            row_code_error: self.row_err[rv] & active,
-            col_code_error: self.col_err[cv] & active,
-            parity_error: par & self.all_mask,
+            erroneous: err & all_mask,
+            row_code_error: row_err[rv] & active,
+            col_code_error: col_err[cv] & active,
+            parity_error: par & all_mask,
         }
     }
 
-    fn write(&mut self, addr: u64, value: u64, active: u64) -> SlicedObservation {
+    fn write(&mut self, addr: u64, value: u64, active: LaneSet<W>) -> SlicedObservation<W> {
         let (rv64, cv64) = self.config.split_address(addr);
         let (rv, cv) = (rv64 as usize, cv64 as usize);
         let m = self.m;
@@ -691,6 +1256,8 @@ impl SlicedBackend {
         // Lanes whose decoder selects no line write nothing at all.
         let none = (self.row_none[rv] | self.col_none[cv]) & active;
         let wmask = !none;
+        let stride = self.stride;
+        let site = (rv * self.mux + cv) * stride;
         let SlicedBackend {
             ref mut cells,
             ref mut gold,
@@ -699,73 +1266,115 @@ impl SlicedBackend {
             ref couplings,
             ref row_err,
             ref col_err,
-            pcols,
+            ref live,
+            ref live_len,
             mux,
             ..
         } = *self;
+        let wbit_at = |k: usize| {
+            if k == m as usize {
+                parity
+            } else {
+                value >> k & 1 == 1
+            }
+        };
         // The coupling aggressor check precedes the cell update: a write
         // transitions the aggressor iff the new value differs from the
         // currently stored one. Coupling lanes always have clean
         // decoders (single fault per lane), so the selected set is
         // exactly the nominal word.
-        let mut toggled = 0u64;
-        for &(mask, _, agg, _) in couplings {
-            if agg.row == rv && agg.col % mux == cv {
-                let k = (agg.col / mux) as u32;
-                let wbit = if k == m { parity } else { value >> k & 1 == 1 };
-                let cur = cells[agg.row * pcols + agg.col] & mask != 0;
-                if cur != wbit {
-                    toggled |= mask;
+        let mut toggled: LaneSet<W> = LaneSet::EMPTY;
+        let couplings = &couplings[..live_len.couplings];
+        for c in couplings {
+            if c.agg_row == rv && c.agg_cv == cv {
+                let cur = c.slot.in_set(&cells[c.agg_idx]);
+                if cur != wbit_at(c.agg_k) {
+                    c.slot.set_in(&mut toggled);
                 }
             }
         }
-        for k in 0..=m {
-            let wbit = if k == m { parity } else { value >> k & 1 == 1 };
-            let idx = rv * pcols + k as usize * mux + cv;
-            cells[idx] = (cells[idx] & !wmask) | if wbit { wmask } else { 0 };
-            gold[idx] = if wbit { u64::MAX } else { 0 };
-            // Double selection lands the write in the companion word too.
-            for &(mask, companion) in &row_two[rv] {
-                if active & mask != 0 {
-                    let cidx = companion as usize * pcols + k as usize * mux + cv;
-                    cells[cidx] = (cells[cidx] & !mask) | if wbit { mask } else { 0 };
+        if live.len() == W {
+            for k in 0..stride {
+                let wbit = wbit_at(k);
+                let idx = site + k;
+                cells[idx] = (cells[idx] & !wmask) | if wbit { wmask } else { LaneSet::EMPTY };
+            }
+        } else {
+            for k in 0..stride {
+                let wbit = wbit_at(k);
+                let cell = &mut cells[site + k];
+                for &w in live {
+                    let select = wmask.0[w];
+                    cell.0[w] = (cell.0[w] & !select) | if wbit { select } else { 0 };
                 }
             }
-            for &(mask, companion) in &col_two[cv] {
-                if active & mask != 0 {
-                    let cidx = rv * pcols + k as usize * mux + companion as usize;
-                    cells[cidx] = (cells[cidx] & !mask) | if wbit { mask } else { 0 };
+        }
+        // Double selection lands the write in the companion word too.
+        // Entry-outer order keeps the activity test out of the bit loop.
+        for &(slot, companion) in &row_two[rv][..live_len.row_two[rv] as usize] {
+            if slot.in_set(&active) {
+                let cbase = (companion as usize * mux + cv) * stride;
+                for k in 0..stride {
+                    slot.assign_in(&mut cells[cbase + k], wbit_at(k));
+                }
+            }
+        }
+        for &(slot, companion) in &col_two[cv][..live_len.col_two[cv] as usize] {
+            if slot.in_set(&active) {
+                let cbase = (rv * mux + companion as usize) * stride;
+                for k in 0..stride {
+                    slot.assign_in(&mut cells[cbase + k], wbit_at(k));
+                }
+            }
+        }
+        // The fault-free twin always writes (its decoders are clean);
+        // lane-uniform images stay uniform under writes.
+        match gold {
+            ImageStore::Uniform(bits) => {
+                for k in 0..stride {
+                    set_uniform_bit(bits, site + k, wbit_at(k));
+                }
+            }
+            ImageStore::PerLane(g) => {
+                for (k, slab) in g[site..site + stride].iter_mut().enumerate() {
+                    *slab = LaneSet::splat(wbit_at(k));
                 }
             }
         }
         // Coupling acts after the write settles.
-        if toggled != 0 {
-            for &(mask, victim, _, kind) in couplings {
-                if toggled & mask != 0 {
-                    let vidx = victim.row * pcols + victim.col;
-                    match kind {
-                        CouplingKind::Inversion => cells[vidx] ^= mask,
+        if toggled.any() {
+            for c in couplings {
+                if c.slot.in_set(&toggled) {
+                    match c.kind {
+                        CouplingKind::Inversion => {
+                            cells[c.victim_idx].0[c.slot.word] ^= c.slot.bit;
+                        }
                         CouplingKind::Idempotent { value } => {
-                            cells[vidx] = (cells[vidx] & !mask) | if value { mask } else { 0 };
+                            c.slot.assign_in(&mut cells[c.victim_idx], value);
                         }
                     }
                 }
             }
         }
         SlicedObservation {
-            erroneous: 0,
+            erroneous: LaneSet::EMPTY,
             row_code_error: row_err[rv] & active,
             col_code_error: col_err[cv] & active,
-            parity_error: 0,
+            parity_error: LaneSet::EMPTY,
         }
     }
 
-    fn restore(&mut self, addr: u64, mask: u64) {
+    fn restore(&mut self, addr: u64, mask: LaneSet<W>) {
         let (rv64, cv64) = self.config.split_address(addr);
         let (rv, cv) = (rv64 as usize, cv64 as usize);
-        for k in 0..=(self.m as usize) {
-            let idx = rv * self.pcols + k * self.mux + cv;
-            self.cells[idx] = (self.cells[idx] & !mask) | (self.gold[idx] & mask);
+        let site = (rv * self.mux + cv) * self.stride;
+        for k in 0..self.stride {
+            let idx = site + k;
+            let gval = match &self.gold {
+                ImageStore::Uniform(bits) => LaneSet::splat(uniform_bit(bits, idx)),
+                ImageStore::PerLane(g) => g[idx],
+            };
+            self.cells[idx] = (self.cells[idx] & !mask) | (gval & mask);
         }
     }
 }
@@ -780,8 +1389,8 @@ impl SlicedBackend {
 /// recorded for it, and `cycles_run` is the detection cycle + 1 (or
 /// `cycles` when undetected). The loop exits early once every lane has
 /// detected.
-pub fn measure_detection_sliced<S: OpSource + ?Sized>(
-    backend: &mut SlicedBackend,
+pub fn measure_detection_sliced<const W: usize, S: OpSource + ?Sized>(
+    backend: &mut SlicedBackend<W>,
     workload: &mut S,
     cycles: u64,
 ) -> Vec<DetectionOutcome> {
@@ -794,16 +1403,16 @@ pub fn measure_detection_sliced<S: OpSource + ?Sized>(
         };
         backend.lanes()
     ];
-    let mut seen_err = 0u64;
-    let mut seen_det = 0u64;
+    let mut seen_err = LaneSet::EMPTY;
+    let mut seen_det = LaneSet::EMPTY;
     for cycle in 0..cycles {
         let obs = backend.step(workload.next_op());
         let pending = !seen_det;
         let new_err = obs.erroneous & pending & !seen_err;
-        for_each_lane(new_err, |l| out[l].first_error = Some(cycle));
+        new_err.for_each_lane(|l| out[l].first_error = Some(cycle));
         seen_err |= new_err;
         let new_det = obs.detected() & pending & all;
-        for_each_lane(new_det, |l| {
+        new_det.for_each_lane(|l| {
             out[l].first_detection = Some(cycle);
             out[l].cycles_run = cycle + 1;
         });
@@ -811,415 +1420,12 @@ pub fn measure_detection_sliced<S: OpSource + ?Sized>(
         if seen_det == all {
             break;
         }
+        // Nothing after a lane's first detection is recorded, so its
+        // fault machinery can stop paying rent immediately.
+        backend.retire(new_det);
     }
     out
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::backend::{BehavioralBackend, FaultSimBackend};
-    use crate::campaign::decoder_fault_universe;
-    use crate::decoder_unit::DecoderFault;
-    use crate::sim::measure_detection_on;
-    use crate::workload::{model_by_name, WorkloadSpec};
-    use scm_area::RamOrganization;
-    use scm_codes::{CodewordMap, MOutOfN};
-
-    fn small_config() -> RamConfig {
-        // 64 words × 8 bits, 1-of-4 mux — the geometry every scalar
-        // backend test uses.
-        let org = RamOrganization::new(64, 8, 4);
-        let code = MOutOfN::new(3, 5).unwrap();
-        RamConfig::new(
-            org,
-            CodewordMap::mod_a(code, 9, 16).unwrap(),
-            CodewordMap::mod_a(code, 9, 4).unwrap(),
-        )
-    }
-
-    fn ops(seed: u64, n: usize, write_fraction: f64) -> Vec<Op> {
-        let model = model_by_name("uniform").unwrap();
-        let spec = WorkloadSpec {
-            words: 64,
-            word_bits: 8,
-            write_fraction,
-        };
-        let mut stream = model.stream(spec, seed);
-        (0..n).map(|_| stream.next_op()).collect()
-    }
-
-    /// The exactness contract, asserted wholesale: lane `L` of one
-    /// sliced run must equal a scalar behavioural run of scenario `L`
-    /// on the identical prefill seed and op sequence, observation by
-    /// observation.
-    fn assert_lanes_match(cfg: &RamConfig, scenarios: &[FaultScenario], seed: u64, ops: &[Op]) {
-        let mut sliced = SlicedBackend::prefilled(cfg, scenarios, seed);
-        let per_cycle: Vec<SlicedObservation> = ops.iter().map(|&op| sliced.step(op)).collect();
-        for (lane, s) in scenarios.iter().enumerate() {
-            let mut scalar = BehavioralBackend::prefilled(cfg, seed);
-            scalar.reset(Some(s));
-            for (cycle, &op) in ops.iter().enumerate() {
-                let expect = scalar.step(op);
-                let got = per_cycle[cycle].lane(lane);
-                assert_eq!(got, expect, "lane {lane} {s} cycle {cycle} op {op:?}");
-            }
-        }
-    }
-
-    fn mixed_site_scenarios() -> Vec<FaultScenario> {
-        let mut v: Vec<FaultScenario> = vec![
-            FaultSite::Cell {
-                row: 2,
-                col: 13,
-                stuck: true,
-            }
-            .into(),
-            FaultSite::Cell {
-                row: 7,
-                col: 0,
-                stuck: false,
-            }
-            .into(),
-            // Parity-group cell (group m = 8 → physical cols 32..36).
-            FaultSite::Cell {
-                row: 5,
-                col: 8 * 4 + 2,
-                stuck: true,
-            }
-            .into(),
-            FaultSite::RowRomBit { line: 7, bit: 2 }.into(),
-            FaultSite::ColRomBit { line: 1, bit: 0 }.into(),
-            FaultSite::RowRomColumn {
-                bit: 0,
-                stuck: true,
-            }
-            .into(),
-            FaultSite::ColRomColumn {
-                bit: 3,
-                stuck: false,
-            }
-            .into(),
-            FaultSite::DataRegisterBit {
-                bit: 0,
-                stuck: true,
-            }
-            .into(),
-            FaultSite::DataRegisterBit {
-                bit: 5,
-                stuck: false,
-            }
-            .into(),
-        ];
-        for f in decoder_fault_universe(4).into_iter().step_by(5) {
-            v.push(FaultSite::RowDecoder(f).into());
-        }
-        for f in decoder_fault_universe(2).into_iter().step_by(2) {
-            v.push(FaultSite::ColDecoder(f).into());
-        }
-        v
-    }
-
-    fn temporal_scenarios() -> Vec<FaultScenario> {
-        let cell = |row, col, stuck| FaultSite::Cell { row, col, stuck };
-        let dec = FaultSite::RowDecoder(DecoderFault {
-            bits: 4,
-            offset: 0,
-            value: 5,
-            stuck_one: false,
-        });
-        let sa1 = FaultSite::RowDecoder(DecoderFault {
-            bits: 4,
-            offset: 0,
-            value: 0,
-            stuck_one: true,
-        });
-        vec![
-            // Delayed permanents.
-            FaultScenario {
-                site: dec,
-                process: FaultProcess::Permanent { onset: 4 },
-            },
-            FaultScenario {
-                site: cell(3, 9, true),
-                process: FaultProcess::Permanent { onset: 11 },
-            },
-            // One-shot transients: state flips on cells, glitches elsewhere.
-            FaultScenario::transient(cell(2, 1, false), 3),
-            FaultScenario::transient(cell(6, 20, false), 17),
-            FaultScenario::transient(dec, 5),
-            FaultScenario::transient(sa1, 9),
-            FaultScenario::transient(
-                FaultSite::DataRegisterBit {
-                    bit: 2,
-                    stuck: true,
-                },
-                7,
-            ),
-            // Intermittents on a cell and on a decoder line.
-            FaultScenario {
-                site: cell(2, 1, true),
-                process: FaultProcess::Intermittent {
-                    onset: 2,
-                    period: 4,
-                    duty: 2,
-                },
-            },
-            FaultScenario {
-                site: sa1,
-                process: FaultProcess::Intermittent {
-                    onset: 0,
-                    period: 7,
-                    duty: 3,
-                },
-            },
-            // Degenerate intermittent (period 0 → permanent from onset).
-            FaultScenario {
-                site: dec,
-                process: FaultProcess::Intermittent {
-                    onset: 6,
-                    period: 0,
-                    duty: 0,
-                },
-            },
-            // Coupling defects, both kinds.
-            FaultScenario {
-                site: cell(1, 0, false),
-                process: FaultProcess::Coupling {
-                    aggressor: CellRef { row: 3, col: 2 },
-                    kind: CouplingKind::Inversion,
-                },
-            },
-            FaultScenario {
-                site: cell(4, 17, false),
-                process: FaultProcess::Coupling {
-                    aggressor: CellRef { row: 4, col: 16 },
-                    kind: CouplingKind::Idempotent { value: true },
-                },
-            },
-        ]
-    }
-
-    #[test]
-    fn permanents_match_scalar_across_all_site_classes() {
-        let cfg = small_config();
-        assert_lanes_match(&cfg, &mixed_site_scenarios(), 7, &ops(101, 120, 0.3));
-    }
-
-    #[test]
-    fn full_decoder_universe_packs_64_lanes() {
-        let cfg = small_config();
-        let scenarios: Vec<FaultScenario> = decoder_fault_universe(4)
-            .into_iter()
-            .map(|f| FaultSite::RowDecoder(f).into())
-            .collect();
-        assert_eq!(scenarios.len(), 64, "the 4-bit universe fills a word");
-        assert_lanes_match(&cfg, &scenarios, 3, &ops(55, 100, 0.25));
-    }
-
-    #[test]
-    fn temporal_processes_match_scalar() {
-        let cfg = small_config();
-        // High write fraction exercises coupling transitions, rewrite
-        // healing and double-selection write corruption.
-        assert_lanes_match(&cfg, &temporal_scenarios(), 21, &ops(77, 160, 0.45));
-    }
-
-    #[test]
-    fn detection_outcomes_match_scalar_lane_by_lane() {
-        let cfg = small_config();
-        let mut scenarios = mixed_site_scenarios();
-        scenarios.extend(temporal_scenarios());
-        let model = model_by_name("uniform").unwrap();
-        let spec = WorkloadSpec {
-            words: 64,
-            word_bits: 8,
-            write_fraction: 0.2,
-        };
-        let mut sliced = SlicedBackend::prefilled(&cfg, &scenarios, 9);
-        let mut stream = model.stream(spec, 31);
-        let outcomes = measure_detection_sliced(&mut sliced, &mut stream, 200);
-        for (lane, s) in scenarios.iter().enumerate() {
-            let mut scalar = BehavioralBackend::prefilled(&cfg, 9);
-            scalar.reset(Some(s));
-            let mut stream = model.stream(spec, 31);
-            let expect = measure_detection_on(&mut scalar, &mut stream, 200);
-            assert_eq!(outcomes[lane], expect, "lane {lane} {s}");
-        }
-    }
-
-    #[test]
-    fn lane_width_does_not_change_outcomes() {
-        let cfg = small_config();
-        let scenarios: Vec<FaultScenario> = decoder_fault_universe(4)
-            .into_iter()
-            .map(|f| FaultSite::RowDecoder(f).into())
-            .collect();
-        let model = model_by_name("uniform").unwrap();
-        let spec = WorkloadSpec {
-            words: 64,
-            word_bits: 8,
-            write_fraction: 0.15,
-        };
-        let run = |width: usize| -> Vec<DetectionOutcome> {
-            let mut all = Vec::new();
-            for chunk in scenarios.chunks(width) {
-                let mut backend = SlicedBackend::prefilled(&cfg, chunk, 5);
-                let mut stream = model.stream(spec, 42);
-                all.extend(measure_detection_sliced(&mut backend, &mut stream, 150));
-            }
-            all
-        };
-        let w64 = run(64);
-        assert_eq!(run(1), w64, "width 1 vs 64");
-        assert_eq!(run(8), w64, "width 8 vs 64");
-    }
-
-    #[test]
-    fn reset_restores_prefill_and_replays_identically() {
-        let cfg = small_config();
-        let scenarios = temporal_scenarios();
-        let stream = ops(13, 90, 0.4);
-        let mut b = SlicedBackend::prefilled(&cfg, &scenarios, 17);
-        let first: Vec<SlicedObservation> = stream.iter().map(|&op| b.step(op)).collect();
-        b.reset();
-        assert_eq!(b.cycle(), 0);
-        let second: Vec<SlicedObservation> = stream.iter().map(|&op| b.step(op)).collect();
-        assert_eq!(first, second, "reset must restore the pre-fault state");
-    }
-
-    #[test]
-    fn per_lane_prefill_matches_scalar_prefills() {
-        let cfg = small_config();
-        let seeds: Vec<u64> = (0..6).map(|k| 1000 + k * 37).collect();
-        // One scenario replicated per lane — the lane = trial packing.
-        let scenario: FaultScenario = FaultSite::DataRegisterBit {
-            bit: 1,
-            stuck: true,
-        }
-        .into();
-        let scenarios = vec![scenario; seeds.len()];
-        let mut sliced =
-            SlicedBackend::with_prefill(&cfg, &scenarios, SlicedPrefill::PerLane(seeds.clone()));
-        let stream = ops(71, 80, 0.2);
-        let per_cycle: Vec<SlicedObservation> = stream.iter().map(|&op| sliced.step(op)).collect();
-        for (lane, &seed) in seeds.iter().enumerate() {
-            let mut scalar = BehavioralBackend::prefilled(&cfg, seed);
-            scalar.reset(Some(&scenario));
-            for (cycle, &op) in stream.iter().enumerate() {
-                let expect = scalar.step(op);
-                assert_eq!(
-                    per_cycle[cycle].lane(lane),
-                    expect,
-                    "lane {lane} seed {seed} cycle {cycle}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn advance_keeps_the_activation_clock_global() {
-        let cfg = small_config();
-        let addr = 2 * 4 + 1;
-        let scenarios = vec![
-            FaultScenario::transient(
-                FaultSite::Cell {
-                    row: 2,
-                    col: 1,
-                    stuck: false,
-                },
-                10,
-            ),
-            FaultScenario::permanent(FaultSite::RowRomBit { line: 2, bit: 1 }),
-        ];
-        let mut b = SlicedBackend::prefilled(&cfg, &scenarios, 11);
-        for _ in 0..5 {
-            let obs = b.step(Op::Read(addr));
-            assert_eq!(obs.erroneous & 1, 0, "lane 0 silent before the flip");
-        }
-        b.advance(5);
-        assert_eq!(b.cycle(), 10);
-        let obs = b.step(Op::Read(addr));
-        assert_eq!(obs.erroneous & 1, 1, "flip fired during the skip");
-    }
-
-    #[test]
-    fn shared_trial_seed_is_pure_and_spread() {
-        assert_eq!(shared_trial_seed(5, 3), shared_trial_seed(5, 3));
-        assert_ne!(shared_trial_seed(5, 3), shared_trial_seed(5, 4));
-        assert_ne!(shared_trial_seed(5, 3), shared_trial_seed(6, 3));
-    }
-
-    #[test]
-    fn for_each_lane_scans_in_ascending_order() {
-        let mut seen = Vec::new();
-        for_each_lane(0b1010_0110_0001, |l| seen.push(l));
-        assert_eq!(seen, vec![0, 5, 6, 9, 11]);
-        for_each_lane(0, |_| panic!("empty mask must not call back"));
-    }
-
-    #[test]
-    fn supports_mirrors_the_scalar_backend() {
-        let cfg = small_config();
-        let scalar = BehavioralBackend::new(&cfg);
-        let coupled = |row, col| FaultScenario {
-            site: FaultSite::Cell {
-                row,
-                col,
-                stuck: false,
-            },
-            process: FaultProcess::Coupling {
-                aggressor: CellRef { row: 1, col: 1 },
-                kind: CouplingKind::Inversion,
-            },
-        };
-        for s in [
-            FaultScenario::permanent(FaultSite::Cell {
-                row: 0,
-                col: 0,
-                stuck: true,
-            }),
-            coupled(0, 0),
-            coupled(1, 1), // self-coupling: unsupported
-            FaultScenario {
-                site: FaultSite::RowRomBit { line: 0, bit: 0 },
-                process: FaultProcess::Coupling {
-                    aggressor: CellRef { row: 1, col: 1 },
-                    kind: CouplingKind::Inversion,
-                },
-            },
-        ] {
-            assert_eq!(SlicedBackend::supports(&s), scalar.supports(&s), "{s}");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "1..=64 scenarios")]
-    fn more_than_64_lanes_rejected() {
-        let cfg = small_config();
-        let scenarios: Vec<FaultScenario> = vec![
-            FaultSite::Cell {
-                row: 0,
-                col: 0,
-                stuck: true
-            }
-            .into();
-            65
-        ];
-        let _ = SlicedBackend::new(&cfg, &scenarios);
-    }
-
-    #[test]
-    #[should_panic(expected = "coupling victim must be a cell")]
-    fn coupling_on_non_cell_site_panics() {
-        let cfg = small_config();
-        let scenarios = vec![FaultScenario {
-            site: FaultSite::RowRomBit { line: 0, bit: 0 },
-            process: FaultProcess::Coupling {
-                aggressor: CellRef { row: 1, col: 1 },
-                kind: CouplingKind::Inversion,
-            },
-        }];
-        let _ = SlicedBackend::new(&cfg, &scenarios);
-    }
-}
+mod tests;

@@ -30,12 +30,14 @@ use crate::clock::SystemClock;
 use crate::seu::SeuProcess;
 use crate::system::{bank_prefill_seed, MemorySystem, SystemConfig};
 use rayon::prelude::*;
+use scm_memory::arena::ARENA_OP_BUDGET;
 use scm_memory::backend::{BehavioralBackend, FaultSimBackend};
 use scm_memory::campaign::{decoder_fault_universe, CampaignConfig};
 use scm_memory::fault::{FaultProcess, FaultScenario, FaultSite};
-use scm_memory::sliced::{for_each_lane, SlicedBackend};
-use scm_memory::workload::{UniformRandom, WorkloadModel};
+use scm_memory::sliced::{slab_words, LaneSet, SlicedBackend, MAX_SLAB_LANES};
+use scm_memory::workload::{Op, UniformRandom, WorkloadModel};
 use scm_obs::{sort_chronological, Event, EventKind};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Domain-separation tag for the sliced engine's shared traffic streams
@@ -273,8 +275,9 @@ struct TrialBlock {
     trial_end: u32,
 }
 
-/// One lane block of the sliced system path: up to 64 universe entries
-/// of the same bank, addressed by their positions in the input universe.
+/// One lane block of the sliced system path: up to
+/// [`MAX_SLAB_LANES`] universe entries of the same bank, addressed by
+/// their positions in the input universe.
 #[derive(Debug, Clone)]
 struct LaneChunk {
     bank: usize,
@@ -308,7 +311,7 @@ impl SystemCampaign {
             model: Arc::new(UniformRandom),
             threads: 0,
             sliced: false,
-            lane_width: 64,
+            lane_width: MAX_SLAB_LANES,
             serial_threshold: DEFAULT_SERIAL_THRESHOLD,
         }
     }
@@ -324,9 +327,13 @@ impl SystemCampaign {
         self
     }
 
-    /// Scenarios packed per sliced pass (clamped to `1..=64`; default 64).
+    /// Scenarios packed per sliced pass (clamped to
+    /// `1..=`[`MAX_SLAB_LANES`]; default [`MAX_SLAB_LANES`]). Each pass
+    /// uses the narrowest slab word count that fits
+    /// ([`slab_words`]), so narrow widths pay for one `u64` per state
+    /// word, not eight. Results are invariant under this knob.
     pub fn lane_width(mut self, width: usize) -> Self {
-        self.lane_width = width.clamp(1, 64);
+        self.lane_width = width.clamp(1, MAX_SLAB_LANES);
         self
     }
 
@@ -485,20 +492,53 @@ impl SystemCampaign {
         }
     }
 
+    /// Project one `(bank, trial)` shared system event stream onto the
+    /// bank: the `(global cycle, op)` pairs the bank actually serves
+    /// within the horizon. Pure in `(campaign seed, model, bank,
+    /// trial)` — fault-blind by construction, which is what lets every
+    /// lane chunk of the bank replay the same projection.
+    fn project_bank_traffic(&self, bank: usize, trial: u32) -> Vec<(u64, Op)> {
+        let spec = self.system.workload_spec(self.campaign.write_fraction);
+        let traffic = self.model.stream(
+            spec,
+            crate::system::seed_mix(
+                self.campaign.seed ^ SLICED_TRAFFIC_TAG,
+                &[bank as u64, trial as u64],
+            ),
+        );
+        let mut clock = SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
+        let mut events = Vec::new();
+        for cycle in 0..self.campaign.cycles {
+            let (target, op) = clock.next_event().target();
+            if target == bank {
+                events.push((cycle, op));
+            }
+        }
+        events
+    }
+
     /// The sliced grid: universe entries grouped bank-major into lane
-    /// chunks of [`lane_width`](Self::lane_width), every chunk advancing
+    /// chunks of [`lane_width`](Self::lane_width) (each chunk simulated
+    /// at the narrowest slab width that holds it), every chunk advancing
     /// all its lanes through one shared per-trial system event stream.
+    ///
+    /// Under the op budget the engine materialises each `(bank, trial)`
+    /// stream's bank projection **exactly once** up front and replays it
+    /// by reference with gap-advance (idle cycles between two served ops
+    /// collapse into one clock jump); over budget every chunk regenerates
+    /// its streams on the fly. Both paths are bit-identical — the arena
+    /// caches values that were already deterministic.
     ///
     /// # Panics
     /// Panics if the sliced backend cannot inject a universe entry.
     fn run_sliced(&self, universe: &[SystemFault]) -> SystemResult {
         if let Some(bad) = universe
             .iter()
-            .find(|f| !SlicedBackend::supports(&f.scenario()))
+            .find(|f| !SlicedBackend::<1>::supports(&f.scenario()))
         {
             panic!("backend 'sliced' cannot inject {:?}", bad.scenario());
         }
-        let width = self.lane_width.clamp(1, 64);
+        let width = self.lane_width.clamp(1, MAX_SLAB_LANES);
         let mut chunks: Vec<LaneChunk> = Vec::new();
         for bank in 0..self.system.num_banks() {
             let positions: Vec<usize> = (0..universe.len())
@@ -511,18 +551,53 @@ impl SystemCampaign {
                 });
             }
         }
+        // The projection arena: one clock walk per (bank, trial),
+        // shared read-only by every lane chunk and trial block of that
+        // bank. Walk cost is banks × trials × cycles, so the same op
+        // budget that bounds the campaign arena bounds it.
+        let banks_used: BTreeSet<usize> = chunks.iter().map(|c| c.bank).collect();
+        let walk_cells = (banks_used.len() as u64)
+            .saturating_mul(self.campaign.trials as u64)
+            .saturating_mul(self.campaign.cycles);
+        let projections: Option<HashMap<(usize, u32), Arc<Vec<(u64, Op)>>>> =
+            (walk_cells <= ARENA_OP_BUDGET).then(|| {
+                let mut map = HashMap::new();
+                for &bank in &banks_used {
+                    for trial in 0..self.campaign.trials {
+                        map.insert(
+                            (bank, trial),
+                            Arc::new(self.project_bank_traffic(bank, trial)),
+                        );
+                    }
+                }
+                map
+            });
+        let run_block = |chunk: &LaneChunk, block: TrialBlock| -> Vec<SystemFaultResult> {
+            let proj = projections.as_ref();
+            match slab_words(chunk.positions.len()) {
+                1 => self.run_sliced_block::<1>(chunk, universe, block, proj),
+                2 => self.run_sliced_block::<2>(chunk, universe, block, proj),
+                3 => self.run_sliced_block::<3>(chunk, universe, block, proj),
+                4 => self.run_sliced_block::<4>(chunk, universe, block, proj),
+                5 => self.run_sliced_block::<5>(chunk, universe, block, proj),
+                6 => self.run_sliced_block::<6>(chunk, universe, block, proj),
+                7 => self.run_sliced_block::<7>(chunk, universe, block, proj),
+                8 => self.run_sliced_block::<8>(chunk, universe, block, proj),
+                w => unreachable!("slab_words returned {w}"),
+            }
+        };
         let blocks = self.decompose(chunks.len());
         let dispatch = || -> Vec<Vec<SystemFaultResult>> {
             blocks
                 .par_iter()
-                .map(|block| self.run_sliced_block(&chunks[block.uidx], universe, *block))
+                .map(|block| run_block(&chunks[block.uidx], *block))
                 .collect()
         };
         let partials: Vec<Vec<SystemFaultResult>> = if self.runs_serially(universe.len()) {
             // Tiny grid: same chunks, same order, same scatter.
             blocks
                 .iter()
-                .map(|block| self.run_sliced_block(&chunks[block.uidx], universe, *block))
+                .map(|block| run_block(&chunks[block.uidx], *block))
                 .collect()
         } else if self.threads == 0 {
             dispatch()
@@ -572,11 +647,17 @@ impl SystemCampaign {
     /// One trial range of one lane chunk: all packed faults of one bank
     /// ride the same global event stream; lanes latch their own first
     /// error / first detection out of the packed observation masks.
-    fn run_sliced_block(
+    ///
+    /// With a projection arena in hand the trial replays only the
+    /// cycles the bank serves, jumping the activation clock over the
+    /// gaps — exactly equivalent to stepping idle cycles one by one,
+    /// because an unserved bank cycle changes nothing but the clock.
+    fn run_sliced_block<const W: usize>(
         &self,
         chunk: &LaneChunk,
         universe: &[SystemFault],
         block: TrialBlock,
+        projections: Option<&HashMap<(usize, u32), Arc<Vec<(u64, Op)>>>>,
     ) -> Vec<SystemFaultResult> {
         let scenarios: Vec<FaultScenario> = chunk
             .positions
@@ -584,7 +665,7 @@ impl SystemCampaign {
             .map(|&p| universe[p].scenario())
             .collect();
         let cfg = &self.system.banks[chunk.bank];
-        let mut backend = SlicedBackend::prefilled(
+        let mut backend = SlicedBackend::<W>::prefilled(
             cfg,
             &scenarios,
             bank_prefill_seed(self.campaign.seed, chunk.bank),
@@ -611,44 +692,67 @@ impl SystemCampaign {
         let mut det_cycle = vec![0u64; lanes];
         for trial in block.trial_start..block.trial_end {
             backend.reset();
-            let traffic = self.model.stream(
-                spec,
-                crate::system::seed_mix(
-                    self.campaign.seed ^ SLICED_TRAFFIC_TAG,
-                    &[chunk.bank as u64, trial as u64],
-                ),
-            );
-            let mut clock = SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
-            let mut seen_err = 0u64;
-            let mut seen_det = 0u64;
-            for cycle in 0..self.campaign.cycles {
-                let (bank, op) = clock.next_event().target();
-                if bank != chunk.bank {
-                    backend.advance(1);
-                    continue;
-                }
-                let obs = backend.step(op);
-                // Mirror the scalar trial loop per lane: errors latch
-                // before detection on the same cycle; a detected lane's
-                // trial is over — later cycles no longer touch it.
-                let pending = !seen_det;
-                let new_err = obs.erroneous & pending & !seen_err & all;
-                for_each_lane(new_err, |lane| err_cycle[lane] = cycle);
-                seen_err |= new_err;
+            let mut seen_err = LaneSet::<W>::EMPTY;
+            let mut seen_det = LaneSet::<W>::EMPTY;
+            // Mirror the scalar trial loop per lane: errors latch
+            // before detection on the same cycle; a detected lane's
+            // trial is over — later cycles no longer touch it (the
+            // caller retires freshly detected lanes so their fault
+            // machinery stops costing per-op work).
+            let mut latch = |cycle: u64,
+                             obs: &scm_memory::sliced::SlicedObservation<W>,
+                             seen_err: &mut LaneSet<W>,
+                             seen_det: &mut LaneSet<W>|
+             -> LaneSet<W> {
+                let pending = !*seen_det;
+                let new_err = obs.erroneous & pending & !*seen_err & all;
+                new_err.for_each_lane(|lane| err_cycle[lane] = cycle);
+                *seen_err |= new_err;
                 let new_det = obs.detected() & pending & all;
-                for_each_lane(new_det, |lane| det_cycle[lane] = cycle);
-                seen_det |= new_det;
-                if seen_det == all {
-                    break;
+                new_det.for_each_lane(|lane| det_cycle[lane] = cycle);
+                *seen_det |= new_det;
+                new_det
+            };
+            if let Some(events) = projections.map(|p| &p[&(chunk.bank, trial)]) {
+                for &(cycle, op) in events.iter() {
+                    backend.advance(cycle - backend.cycle());
+                    let obs = backend.step(op);
+                    let new_det = latch(cycle, &obs, &mut seen_err, &mut seen_det);
+                    if seen_det == all {
+                        break;
+                    }
+                    backend.retire(new_det);
+                }
+            } else {
+                let traffic = self.model.stream(
+                    spec,
+                    crate::system::seed_mix(
+                        self.campaign.seed ^ SLICED_TRAFFIC_TAG,
+                        &[chunk.bank as u64, trial as u64],
+                    ),
+                );
+                let mut clock =
+                    SystemClock::new(self.system.interleaver(), self.system.scrub, traffic);
+                for cycle in 0..self.campaign.cycles {
+                    let (bank, op) = clock.next_event().target();
+                    if bank != chunk.bank {
+                        backend.advance(1);
+                        continue;
+                    }
+                    let obs = backend.step(op);
+                    let new_det = latch(cycle, &obs, &mut seen_err, &mut seen_det);
+                    if seen_det == all {
+                        break;
+                    }
+                    backend.retire(new_det);
                 }
             }
             for (lane, result) in results.iter_mut().enumerate() {
-                let bit = 1u64 << lane;
-                if seen_det & bit != 0 {
+                if seen_det.test(lane) {
                     let d = det_cycle[lane];
                     result.detected += 1;
                     result.detection_cycle_sum += d;
-                    let observed = if seen_err & bit != 0 {
+                    let observed = if seen_err.test(lane) {
                         err_cycle[lane]
                     } else {
                         d
@@ -662,13 +766,13 @@ impl SystemCampaign {
                     result.latency_from_error_sum += d - onset;
                     let rollback = self.system.checkpoint.last_checkpoint_at_or_before(onset);
                     result.lost_work_sum += d - rollback + 1;
-                    if seen_err & bit != 0 && err_cycle[lane] < d {
+                    if seen_err.test(lane) && err_cycle[lane] < d {
                         result.error_escapes += 1;
                     }
                 } else {
                     result.undetected += 1;
                     result.lost_work_sum += self.campaign.cycles;
-                    if seen_err & bit != 0 {
+                    if seen_err.test(lane) {
                         result.error_escapes += 1;
                     }
                 }
@@ -1105,7 +1209,7 @@ mod tests {
                 "{threads} threads"
             );
         }
-        for width in [1usize, 8, 64] {
+        for width in [1usize, 8, 64, 100, 512] {
             let result = engine.clone().lane_width(width).run(&universe);
             assert_eq!(
                 reference.determinism_profile(),
@@ -1113,6 +1217,55 @@ mod tests {
                 "lane width {width}"
             );
         }
+    }
+
+    /// A model wrapper that counts stream instantiations — the
+    /// projection-arena regression hook.
+    #[derive(Debug)]
+    struct CountingModel {
+        inner: Arc<dyn WorkloadModel>,
+        calls: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl WorkloadModel for CountingModel {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn stream(
+            &self,
+            spec: scm_memory::workload::WorkloadSpec,
+            seed: u64,
+        ) -> scm_memory::workload::OpStream {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.stream(spec, seed)
+        }
+    }
+
+    #[test]
+    fn sliced_system_projects_each_bank_trial_stream_exactly_once() {
+        let calls = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let model = Arc::new(CountingModel {
+            inner: Arc::new(UniformRandom),
+            calls: calls.clone(),
+        });
+        // Lane width 4 splits every bank's universe into several chunks
+        // that all share the bank's projections; without the arena each
+        // chunk would regenerate every trial's stream.
+        let engine = SystemCampaign::new(config(), campaign())
+            .sliced(true)
+            .lane_width(4)
+            .workload_model(model)
+            .threads(4)
+            .serial_threshold(0);
+        let universe = engine.decoder_universe(10);
+        let banks_with_faults = 3u64;
+        engine.run(&universe);
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            banks_with_faults * campaign().trials as u64,
+            "one clock walk per (bank, trial), shared by all of its chunks"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() {
         max_faults: 32,
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         sliced: false,
+        lane_width: 512,
     });
 
     let evaluations: Vec<_> = evaluator

@@ -22,6 +22,7 @@ fn evaluator() -> Evaluator {
         max_faults: 64,
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         sliced: true,
+        lane_width: 512,
     })
 }
 

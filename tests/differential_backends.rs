@@ -18,11 +18,11 @@
 use proptest::prelude::*;
 use scm_area::RamOrganization;
 use scm_codes::{CodewordMap, MOutOfN};
-use scm_memory::backend::{BehavioralBackend, FaultSimBackend, GateLevelBackend};
+use scm_memory::backend::{BehavioralBackend, CycleObservation, FaultSimBackend, GateLevelBackend};
 use scm_memory::campaign::decoder_fault_universe;
 use scm_memory::design::RamConfig;
 use scm_memory::fault::{CellRef, CouplingKind, FaultProcess, FaultScenario, FaultSite};
-use scm_memory::sliced::SlicedBackend;
+use scm_memory::sliced::{slab_words, SlicedBackend, SlicedObservation};
 use scm_memory::workload::{model_by_name, Op, WorkloadSpec, MODEL_NAMES};
 
 /// Constant-weight codes the gate-level checker generator can realise.
@@ -33,6 +33,46 @@ const MODULI: [u64; 4] = [3, 5, 7, 9];
 
 fn mix(seed: u64, fidx: usize, trial: u32) -> u64 {
     scm_system::seed_mix(seed, &[fidx as u64, trial as u64])
+}
+
+/// Per-lane, per-cycle observations of one scenario pack replayed at
+/// the given lane width (scenarios per backend pass). Each chunk runs
+/// at the narrowest multi-word slab that fits it — exactly how the
+/// campaign engines pack — so equal results across widths is the slab
+/// exactness contract, not a tautology.
+fn sliced_observations(
+    config: &RamConfig,
+    scenarios: &[FaultScenario],
+    seed: u64,
+    ops: &[Op],
+    width: usize,
+) -> Vec<Vec<CycleObservation>> {
+    fn run_chunk<const W: usize>(
+        config: &RamConfig,
+        chunk: &[FaultScenario],
+        seed: u64,
+        ops: &[Op],
+    ) -> Vec<Vec<CycleObservation>> {
+        let mut backend = SlicedBackend::<W>::prefilled(config, chunk, seed);
+        let per_cycle: Vec<SlicedObservation<W>> = ops.iter().map(|&op| backend.step(op)).collect();
+        (0..chunk.len())
+            .map(|lane| per_cycle.iter().map(|obs| obs.lane(lane)).collect())
+            .collect()
+    }
+    let mut lanes = Vec::new();
+    for chunk in scenarios.chunks(width) {
+        lanes.extend(match slab_words(chunk.len()) {
+            1 => run_chunk::<1>(config, chunk, seed, ops),
+            2 => run_chunk::<2>(config, chunk, seed, ops),
+            3 => run_chunk::<3>(config, chunk, seed, ops),
+            4 => run_chunk::<4>(config, chunk, seed, ops),
+            5 => run_chunk::<5>(config, chunk, seed, ops),
+            6 => run_chunk::<6>(config, chunk, seed, ops),
+            7 => run_chunk::<7>(config, chunk, seed, ops),
+            _ => run_chunk::<8>(config, chunk, seed, ops),
+        });
+    }
+    lanes
 }
 
 proptest! {
@@ -205,12 +245,21 @@ proptest! {
         }
     }
 
+}
+
+proptest! {
+    // Fewer cases than the scalar oracles above: each case replays a
+    // >64-lane pack at five slab widths, so the per-case work is ~4×.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
     /// The bit-sliced engine against both scalar oracles on one shared
     /// op stream: lane `L` of a sliced run over a random scenario pack
     /// must equal a scalar behavioural run of scenario `L` on the
     /// identical prefill seed, observation by observation — and, on
     /// decoder sites, the gate-level hardware must agree with that lane's
-    /// code verdicts cycle by cycle.
+    /// code verdicts cycle by cycle. The pack exceeds 64 scenarios so
+    /// slab widths 128/256 genuinely run multi-word slabs; every width in
+    /// {1, 8, 64, 128, 256} must reproduce the reference bit-for-bit.
     #[test]
     fn prop_sliced_lanes_match_scalar_backends(
         row_bits in 3u32..=5,
@@ -280,7 +329,18 @@ proptest! {
                 .step_by(4)
                 .map(FaultSite::ColDecoder),
         );
-        sites.truncate(64);
+        // Tile cell faults across the geometry until the pack needs a
+        // ≥3-word slab at width 256 (and splits into mixed-width chunks
+        // at 128) — otherwise the wide-slab paths would never run.
+        'tile: for row in 0..rows as usize {
+            for col in 0..word_bits as usize {
+                if sites.len() >= 160 {
+                    break 'tile;
+                }
+                sites.push(FaultSite::Cell { row, col, stuck: (row + col) % 2 == 0 });
+            }
+        }
+        sites.truncate(160);
         // Apply the drawn process wherever the sliced engine can realise
         // it (coupling needs a cell victim); other sites fall back to the
         // classical permanent so every lane still carries a scenario.
@@ -288,7 +348,7 @@ proptest! {
             .iter()
             .map(|&site| {
                 let s = FaultScenario { site, process };
-                if SlicedBackend::supports(&s) {
+                if SlicedBackend::<1>::supports(&s) {
                     s
                 } else {
                     FaultScenario { site, process: FaultProcess::PERMANENT }
@@ -305,8 +365,7 @@ proptest! {
         let mut stream = model.stream(spec, seed ^ 0x51_1CED);
         let ops: Vec<Op> = (0..40).map(|_| stream.next_op()).collect();
 
-        let mut sliced = SlicedBackend::prefilled(&config, &scenarios, seed);
-        let per_cycle: Vec<_> = ops.iter().map(|&op| sliced.step(op)).collect();
+        let reference = sliced_observations(&config, &scenarios, seed, &ops, 64);
         let mut gate = GateLevelBackend::try_new(&config)
             .expect("constant-weight mappings always build a gate-level path");
         for (lane, s) in scenarios.iter().enumerate() {
@@ -318,7 +377,7 @@ proptest! {
             }
             for (cycle, &op) in ops.iter().enumerate() {
                 let expect = scalar.step(op);
-                let got = per_cycle[cycle].lane(lane);
+                let got = reference[lane][cycle];
                 prop_assert_eq!(
                     got, expect,
                     "lane {} {} cycle {} op {:?}: sliced diverges from scalar",
@@ -340,6 +399,16 @@ proptest! {
                     );
                 }
             }
+        }
+        // Slab-width invariance: every packing reproduces the reference
+        // bit-for-bit (1 = scalar-slab degenerate case, 8 = sub-word,
+        // 128/256 = two- and three-word slabs over this 160-lane pack).
+        for width in [1usize, 8, 128, 256] {
+            let replay = sliced_observations(&config, &scenarios, seed, &ops, width);
+            prop_assert_eq!(
+                &replay, &reference,
+                "lane width {} diverges from the width-64 reference", width
+            );
         }
     }
 }

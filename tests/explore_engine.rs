@@ -43,6 +43,7 @@ fn evaluator(threads: usize) -> Evaluator {
             max_faults: 10,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced: false,
+            lane_width: 512,
         })
 }
 
@@ -59,6 +60,7 @@ fn sliced_evaluator(threads: usize) -> Evaluator {
             max_faults: 10,
             scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
             sliced: true,
+            lane_width: 512,
         })
 }
 
@@ -223,6 +225,7 @@ fn adjudicated_figures_stay_within_the_analytic_regime() {
         max_faults: 0, // whole row-decoder universe
         scrub_period: Adjudication::DEFAULT_SCRUB_PERIOD,
         sliced: false,
+        lane_width: 512,
     });
     let e = ev
         .goal_solve(
